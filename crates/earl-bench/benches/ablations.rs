@@ -1,0 +1,143 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! intra-iteration reuse on/off, sketch size, sampling strategies,
+//! SSABE vs naive sizing, and pipelined vs batch iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use earl_bench::BenchEnv;
+use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig};
+use earl_bootstrap::delta::intra::shared_prefix_resamples;
+use earl_bootstrap::delta::{IncrementalBootstrap, SketchConfig};
+use earl_bootstrap::estimators::Mean;
+use earl_bootstrap::jackknife::jackknife;
+use earl_bootstrap::rng::seeded_rng;
+use earl_core::tasks::MeanTask;
+use earl_core::{EarlConfig, EarlDriver, SamplingMethod};
+use earl_mapreduce::{contrib, InputSource, JobConf, PipelinedSession};
+use earl_sampling::{block::block_sample, premap::premap_sample, reservoir::reservoir_sample};
+
+/// Intra-iteration prefix reuse on/off (ablation of §4.2).
+fn ablation_intra_onoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_intra_onoff");
+    group.sample_size(10);
+    let env = BenchEnv::new(20);
+    let ds = env.standard_dataset("/ab1", 20_000, 20);
+    for &y in &[0.0f64, 0.3] {
+        group.bench_with_input(BenchmarkId::new("shared_prefix_y", format!("{y}")), &y, |b, &y| {
+            let mut rng = seeded_rng(21);
+            b.iter(|| shared_prefix_resamples(&mut rng, &ds.values[..2_000], 30, y))
+        });
+    }
+    group.finish();
+}
+
+/// Sketch-size constant `c` (ablation of the two-layer structure of §4.1).
+fn ablation_sketch_c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sketch_c");
+    group.sample_size(10);
+    let env = BenchEnv::new(22);
+    let ds = env.standard_dataset("/ab2", 20_000, 22);
+    for &sketch_c in &[0.5f64, 4.0, 32.0] {
+        group.bench_with_input(BenchmarkId::new("sketch_c", format!("{sketch_c}")), &sketch_c, |b, &cc| {
+            b.iter(|| {
+                let mut rng = seeded_rng(23);
+                let mut ib =
+                    IncrementalBootstrap::new(&mut rng, &ds.values[..2_000], 30, SketchConfig { c: cc })
+                        .unwrap();
+                ib.expand(&mut rng, &ds.values[2_000..4_000]).unwrap();
+                ib.work()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Pre-map vs block vs reservoir sampling at equal sample sizes.
+fn ablation_sampling_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sampling_strategies");
+    group.sample_size(10);
+    let env = BenchEnv::new(24);
+    let ds = env.standard_dataset("/ab3", 20_000, 24);
+    group.bench_function("premap_200", |b| b.iter(|| premap_sample(env.dfs(), "/ab3", 200, 1).unwrap()));
+    group.bench_function("block_one_split", |b| {
+        b.iter(|| block_sample(env.dfs(), "/ab3", 1 << 14, 1, 1).unwrap())
+    });
+    group.bench_function("reservoir_200_in_memory", |b| {
+        let mut rng = seeded_rng(25);
+        b.iter(|| reservoir_sample(&mut rng, ds.values.iter().copied(), 200))
+    });
+    group.finish();
+}
+
+/// Bootstrap vs jackknife error estimation.
+fn ablation_bootstrap_vs_jackknife(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bootstrap_vs_jackknife");
+    group.sample_size(10);
+    let env = BenchEnv::new(26);
+    let ds = env.standard_dataset("/ab4", 20_000, 26);
+    group.bench_function("bootstrap_B30_n1000", |b| {
+        let mut rng = seeded_rng(27);
+        b.iter(|| {
+            bootstrap_distribution(&mut rng, &ds.values[..1_000], &Mean, &BootstrapConfig::with_resamples(30))
+                .unwrap()
+        })
+    });
+    group.bench_function("jackknife_n1000", |b| b.iter(|| jackknife(&ds.values[..1_000], &Mean).unwrap()));
+    group.finish();
+}
+
+/// Pre-map vs post-map sampling inside the full driver.
+fn ablation_driver_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_driver_sampling");
+    group.sample_size(10);
+    let env = BenchEnv::new(28);
+    env.standard_dataset("/ab5", 20_000, 28);
+    for (label, method) in [("premap", SamplingMethod::PreMap), ("postmap", SamplingMethod::PostMap)] {
+        let driver =
+            EarlDriver::new(env.dfs().clone(), EarlConfig { sampling: method, ..EarlConfig::default() });
+        group.bench_function(format!("driver_mean_{label}"), |b| {
+            b.iter(|| driver.run("/ab5", &MeanTask).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Pipelined (task-reusing) vs batch iteration.
+fn ablation_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipeline");
+    group.sample_size(10);
+    let env = BenchEnv::new(30);
+    env.standard_dataset("/ab6", 10_000, 30);
+    group.bench_function("pipelined_three_iterations", |b| {
+        b.iter(|| {
+            let mut session = PipelinedSession::new(env.dfs().clone());
+            let conf = JobConf::new("mean", InputSource::Path("/ab6".into()));
+            for _ in 0..3 {
+                session
+                    .run_iteration(&conf, &contrib::ValueExtractMapper, &contrib::MeanReducer)
+                    .unwrap();
+            }
+        })
+    });
+    group.bench_function("batch_three_jobs", |b| {
+        b.iter(|| {
+            let conf = JobConf::new("mean", InputSource::Path("/ab6".into()));
+            for _ in 0..3 {
+                earl_mapreduce::run_job(env.dfs(), &conf, &contrib::ValueExtractMapper, &contrib::MeanReducer)
+                    .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablation_benches,
+    ablation_intra_onoff,
+    ablation_sketch_c,
+    ablation_sampling_strategies,
+    ablation_bootstrap_vs_jackknife,
+    ablation_driver_sampling,
+    ablation_pipeline
+);
+criterion_main!(ablation_benches);

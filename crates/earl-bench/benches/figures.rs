@@ -1,0 +1,174 @@
+//! Criterion benches — one group per paper figure.
+//!
+//! Each bench times the kernel that the corresponding figure exercises (the
+//! full series themselves are produced by the `experiments` binary; these
+//! benches confirm the kernels' real-time cost and track regressions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use earl_bench::{figures, BenchEnv, Scale};
+use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig};
+use earl_bootstrap::delta::{optimal_y, IncrementalBootstrap, SketchConfig};
+use earl_bootstrap::estimators::{Mean, Median};
+use earl_bootstrap::rng::seeded_rng;
+use earl_bootstrap::ssabe::{Ssabe, SsabeConfig};
+use earl_core::tasks::{approximate_kmeans, KmeansConfig, MeanTask, MedianTask};
+use earl_core::{EarlConfig, EarlDriver};
+use earl_sampling::{PostMapSampler, PreMapSampler, SampleSource};
+use earl_workload::{KmeansDataset, KmeansSpec};
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("earl");
+    group.sample_size(10);
+    group
+}
+
+/// Fig. 2a/2b kernel: the Monte-Carlo bootstrap itself.
+fn fig2_bootstrap_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_bootstrap_convergence");
+    group.sample_size(10);
+    let env = BenchEnv::new(1);
+    let ds = env.standard_dataset("/b", 20_000, 1);
+    for &b in &[10usize, 30, 100] {
+        group.bench_with_input(BenchmarkId::new("bootstrap_B", b), &b, |bench, &b| {
+            let mut rng = seeded_rng(2);
+            bench.iter(|| {
+                bootstrap_distribution(
+                    &mut rng,
+                    &ds.values[..1_000],
+                    &Mean,
+                    &BootstrapConfig::with_resamples(b),
+                )
+                .unwrap()
+            })
+        });
+    }
+    for &n in &[500usize, 2_000, 8_000] {
+        group.bench_with_input(BenchmarkId::new("bootstrap_n", n), &n, |bench, &n| {
+            let mut rng = seeded_rng(3);
+            bench.iter(|| {
+                bootstrap_distribution(&mut rng, &ds.values[..n], &Mean, &BootstrapConfig::with_resamples(30))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 3 kernel: the Eq. 4 optimal-overlap search.
+fn fig3_intra_iteration(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.bench_function("fig3_optimal_y_n200", |b| b.iter(|| optimal_y(200)));
+    group.finish();
+}
+
+/// Fig. 5 kernel: a full EARL mean run (sampling + SSABE + AES) vs the exact job.
+fn fig5_mean_speedup(c: &mut Criterion) {
+    let mut group = quick(c);
+    let env = BenchEnv::new(5);
+    env.standard_dataset("/f5", 20_000, 5);
+    let driver = EarlDriver::new(env.dfs().clone(), EarlConfig::default());
+    group.bench_function("fig5_earl_mean", |b| b.iter(|| driver.run("/f5", &MeanTask).unwrap()));
+    group.bench_function("fig5_exact_mean", |b| b.iter(|| driver.run_exact("/f5", &MeanTask).unwrap()));
+    group.bench_function("fig5_series", |b| b.iter(|| figures::fig5(Scale::Quick)));
+    group.finish();
+}
+
+/// Fig. 6 kernel: the approximate median with and without delta maintenance.
+fn fig6_median(c: &mut Criterion) {
+    let mut group = quick(c);
+    let env = BenchEnv::new(6);
+    env.standard_dataset("/f6", 20_000, 6);
+    for (label, delta) in [("optimized", true), ("naive", false)] {
+        let config = EarlConfig { delta_maintenance: delta, ..EarlConfig::default() };
+        let driver = EarlDriver::new(env.dfs().clone(), config);
+        group.bench_function(format!("fig6_median_{label}"), |b| {
+            b.iter(|| driver.run("/f6", &MedianTask).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7 kernel: approximate K-Means on a sampled point cloud.
+fn fig7_kmeans(c: &mut Criterion) {
+    let mut group = quick(c);
+    let env = BenchEnv::new(7);
+    let spec = KmeansSpec { num_points: 10_000, k: 4, dims: 2, cluster_std_dev: 1.5, centroid_spread: 200.0, seed: 7 };
+    KmeansDataset::generate(env.dfs(), "/f7", &spec).unwrap();
+    let earl_config = EarlConfig { bootstraps: Some(6), ..EarlConfig::default() };
+    let kconfig = KmeansConfig { k: 4, max_iterations: 10, ..Default::default() };
+    group.bench_function("fig7_approximate_kmeans", |b| {
+        b.iter(|| approximate_kmeans(env.dfs(), "/f7", &earl_config, &kconfig).unwrap())
+    });
+    group.finish();
+}
+
+/// Fig. 8 kernel: the SSABE estimation procedure.
+fn fig8_ssabe(c: &mut Criterion) {
+    let mut group = quick(c);
+    let env = BenchEnv::new(8);
+    let ds = env.standard_dataset("/f8", 20_000, 8);
+    let ssabe = Ssabe::new(SsabeConfig::new(0.05, 0.01)).unwrap();
+    group.bench_function("fig8_ssabe_estimate", |b| {
+        let mut rng = seeded_rng(9);
+        b.iter(|| ssabe.estimate(&mut rng, &ds.values[..4_096], &Mean, 1_000_000_000).unwrap())
+    });
+    group.finish();
+}
+
+/// Fig. 9 kernel: pre-map vs post-map sampling.
+fn fig9_sampling(c: &mut Criterion) {
+    let mut group = quick(c);
+    let env = BenchEnv::new(9);
+    env.standard_dataset("/f9", 20_000, 9);
+    group.bench_function("fig9_premap_draw_200", |b| {
+        b.iter(|| {
+            let mut s = PreMapSampler::new(env.dfs().clone(), "/f9", 1).unwrap();
+            s.draw(200).unwrap()
+        })
+    });
+    group.bench_function("fig9_postmap_draw_200", |b| {
+        b.iter(|| {
+            let mut s = PostMapSampler::new(env.dfs().clone(), "/f9", 1).unwrap();
+            s.draw(200).unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 10 kernel: incremental resample maintenance vs a fresh redraw.
+fn fig10_delta_maintenance(c: &mut Criterion) {
+    let mut group = quick(c);
+    let env = BenchEnv::new(10);
+    let ds = env.standard_dataset("/f10", 20_000, 10);
+    group.bench_function("fig10_incremental_expand", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(11);
+            let mut ib =
+                IncrementalBootstrap::new(&mut rng, &ds.values[..4_000], 30, SketchConfig::default()).unwrap();
+            ib.expand(&mut rng, &ds.values[4_000..8_000]).unwrap();
+            ib.evaluate(&Median)
+        })
+    });
+    group.bench_function("fig10_fresh_rebuild", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(12);
+            bootstrap_distribution(&mut rng, &ds.values[..8_000], &Median, &BootstrapConfig::with_resamples(30))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures_benches,
+    fig2_bootstrap_convergence,
+    fig3_intra_iteration,
+    fig5_mean_speedup,
+    fig6_median,
+    fig7_kmeans,
+    fig8_ssabe,
+    fig9_sampling,
+    fig10_delta_maintenance
+);
+criterion_main!(figures_benches);

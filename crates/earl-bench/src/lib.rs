@@ -1,0 +1,21 @@
+//! # earl-bench
+//!
+//! The experiment harness that regenerates every figure of the EARL paper's
+//! evaluation (§6) on the simulated cluster, plus the ablation studies called
+//! out in `DESIGN.md`.
+//!
+//! Each `figN` function returns the data series behind the corresponding paper
+//! figure; the `experiments` binary prints them as tables, and the Criterion
+//! benches in `benches/` time the underlying kernels.  Absolute numbers are
+//! simulated (see DESIGN.md for the substitution rationale); the *shapes* —
+//! who wins, by roughly what factor, and where crossovers fall — are the
+//! reproduction targets recorded in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod env;
+pub mod figures;
+pub mod stock;
+
+pub use env::{BenchEnv, Scale};

@@ -1,0 +1,242 @@
+//! Monte-Carlo bootstrap resampling (§3, §3.1 of the paper).
+//!
+//! Given a sample `s` of size `n` and a function of interest `f`, the bootstrap
+//! draws `B` resamples of size `n` **with replacement** from `s`, evaluates `f`
+//! on each, and uses the resulting *result distribution* to estimate the
+//! accuracy of `f(s)`: its standard error, bias, coefficient of variation and
+//! confidence intervals.  The Monte-Carlo variance estimate is
+//!
+//! ```text
+//! σ̂²_B = (1/B) Σ (θ̂*_b − θ̄*)²
+//! ```
+//!
+//! exactly as in the paper's §3.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::estimators::{coefficient_of_variation, Estimator, Mean, StdDev};
+use crate::rng::sample_indices_with_replacement;
+use crate::{Result, StatsError};
+
+/// Configuration of a bootstrap run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapConfig {
+    /// Number of resamples `B`.
+    pub num_resamples: usize,
+    /// Size of each resample; `None` means "same as the sample size", the
+    /// standard bootstrap.
+    pub resample_size: Option<usize>,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        // The paper observes ≈30 bootstraps normally suffice for a confident
+        // estimate of the error (§3.1 / Fig. 2a).
+        Self { num_resamples: 30, resample_size: None }
+    }
+}
+
+impl BootstrapConfig {
+    /// Creates a configuration with `b` resamples of the full sample size.
+    pub fn with_resamples(b: usize) -> Self {
+        Self { num_resamples: b, resample_size: None }
+    }
+}
+
+/// The outcome of a bootstrap run: the result distribution and derived
+/// accuracy measures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapResult {
+    /// The statistic evaluated on the original sample, `f(s)`.
+    pub point_estimate: f64,
+    /// The statistic evaluated on each resample, `θ̂*_1 … θ̂*_B`.
+    pub replicates: Vec<f64>,
+    /// Mean of the replicates, `θ̄*`.
+    pub replicate_mean: f64,
+    /// Bootstrap standard error (standard deviation of the replicates).
+    pub std_error: f64,
+    /// Bootstrap estimate of bias, `θ̄* − f(s)`.
+    pub bias: f64,
+    /// Coefficient of variation of the result distribution — the error measure
+    /// EARL reports to the user.
+    pub cv: f64,
+}
+
+impl BootstrapResult {
+    /// A percentile confidence interval at level `1 − alpha` (e.g. `alpha =
+    /// 0.05` for a 95 % interval).
+    pub fn percentile_ci(&self, alpha: f64) -> (f64, f64) {
+        let alpha = alpha.clamp(0.0, 1.0);
+        let mut sorted = self.replicates.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if sorted.is_empty() {
+            return (f64::NAN, f64::NAN);
+        }
+        let lo_idx = ((alpha / 2.0) * (sorted.len() - 1) as f64).round() as usize;
+        let hi_idx = ((1.0 - alpha / 2.0) * (sorted.len() - 1) as f64).round() as usize;
+        (sorted[lo_idx], sorted[hi_idx.min(sorted.len() - 1)])
+    }
+
+    /// The bias-corrected point estimate, `2·f(s) − θ̄*`.
+    pub fn bias_corrected(&self) -> f64 {
+        2.0 * self.point_estimate - self.replicate_mean
+    }
+
+    /// Relative half-width of the `1 − alpha` percentile interval around the
+    /// point estimate (an alternative error measure).
+    pub fn relative_ci_halfwidth(&self, alpha: f64) -> f64 {
+        let (lo, hi) = self.percentile_ci(alpha);
+        if self.point_estimate == 0.0 {
+            return f64::NAN;
+        }
+        ((hi - lo) / 2.0).abs() / self.point_estimate.abs()
+    }
+}
+
+/// Draws one bootstrap resample (with replacement) of `size` elements from
+/// `data`.
+pub fn draw_resample<R: Rng + ?Sized>(rng: &mut R, data: &[f64], size: usize) -> Vec<f64> {
+    sample_indices_with_replacement(rng, data.len(), size).into_iter().map(|i| data[i]).collect()
+}
+
+/// Runs the Monte-Carlo bootstrap: `config.num_resamples` resamples of `data`,
+/// each pushed through `estimator`.
+pub fn bootstrap_distribution<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[f64],
+    estimator: &dyn Estimator,
+    config: &BootstrapConfig,
+) -> Result<BootstrapResult> {
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if config.num_resamples < 2 {
+        return Err(StatsError::InvalidParameter("need at least 2 bootstrap resamples".into()));
+    }
+    let size = config.resample_size.unwrap_or(data.len());
+    if size == 0 {
+        return Err(StatsError::InvalidParameter("resample size must be ≥ 1".into()));
+    }
+    let point_estimate = estimator.estimate(data);
+    let replicates: Vec<f64> =
+        (0..config.num_resamples).map(|_| estimator.estimate(&draw_resample(rng, data, size))).collect();
+    Ok(summarise(point_estimate, replicates))
+}
+
+/// Builds a [`BootstrapResult`] from an already-computed set of replicates
+/// (used by the delta-maintenance paths, which produce replicates without
+/// re-drawing resamples from scratch).
+pub fn summarise(point_estimate: f64, replicates: Vec<f64>) -> BootstrapResult {
+    let replicate_mean = Mean.estimate(&replicates);
+    let std_error = StdDev.estimate(&replicates);
+    let cv = coefficient_of_variation(&replicates);
+    BootstrapResult {
+        point_estimate,
+        bias: replicate_mean - point_estimate,
+        replicate_mean,
+        std_error,
+        cv,
+        replicates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::{Mean, Median};
+    use crate::rng::seeded_rng;
+
+    fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| mean + sd * crate::rng::standard_normal(&mut rng)).collect()
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut rng = seeded_rng(0);
+        assert!(matches!(
+            bootstrap_distribution(&mut rng, &[], &Mean, &BootstrapConfig::default()),
+            Err(StatsError::EmptySample)
+        ));
+        assert!(bootstrap_distribution(&mut rng, &[1.0], &Mean, &BootstrapConfig::with_resamples(1)).is_err());
+        let bad_size = BootstrapConfig { num_resamples: 10, resample_size: Some(0) };
+        assert!(bootstrap_distribution(&mut rng, &[1.0], &Mean, &bad_size).is_err());
+    }
+
+    #[test]
+    fn bootstrap_std_error_matches_theory_for_the_mean() {
+        // For the mean, the bootstrap SE should approximate sd/sqrt(n).
+        let data = normal_sample(400, 100.0, 10.0, 1);
+        let mut rng = seeded_rng(2);
+        let result =
+            bootstrap_distribution(&mut rng, &data, &Mean, &BootstrapConfig::with_resamples(200)).unwrap();
+        let theoretical = crate::estimators::StdDev.estimate(&data) / (data.len() as f64).sqrt();
+        let ratio = result.std_error / theoretical;
+        assert!((0.7..1.3).contains(&ratio), "bootstrap SE {} vs theory {theoretical}", result.std_error);
+        assert!(result.cv < 0.01, "cv of the mean of 400 points should be well under 1%");
+        assert_eq!(result.replicates.len(), 200);
+    }
+
+    #[test]
+    fn bootstrap_works_for_the_median_where_jackknife_fails() {
+        let data = normal_sample(200, 50.0, 5.0, 3);
+        let mut rng = seeded_rng(4);
+        let result =
+            bootstrap_distribution(&mut rng, &data, &Median, &BootstrapConfig::with_resamples(100)).unwrap();
+        assert!(result.std_error > 0.0);
+        assert!((result.point_estimate - 50.0).abs() < 2.0);
+        let (lo, hi) = result.percentile_ci(0.05);
+        assert!(lo <= result.replicate_mean && result.replicate_mean <= hi);
+    }
+
+    #[test]
+    fn cv_decreases_with_sample_size() {
+        // Fig. 2b: larger n → lower cv.
+        let mut cvs = Vec::new();
+        for n in [50usize, 200, 800] {
+            let data = normal_sample(n, 10.0, 3.0, 7);
+            let mut rng = seeded_rng(8);
+            let result =
+                bootstrap_distribution(&mut rng, &data, &Mean, &BootstrapConfig::with_resamples(60)).unwrap();
+            cvs.push(result.cv);
+        }
+        assert!(cvs[0] > cvs[1] && cvs[1] > cvs[2], "cv must decrease with n: {cvs:?}");
+    }
+
+    #[test]
+    fn percentile_ci_brackets_the_truth_most_of_the_time() {
+        let data = normal_sample(300, 20.0, 4.0, 11);
+        let mut rng = seeded_rng(12);
+        let result =
+            bootstrap_distribution(&mut rng, &data, &Mean, &BootstrapConfig::with_resamples(300)).unwrap();
+        let (lo, hi) = result.percentile_ci(0.05);
+        assert!(lo < hi);
+        assert!(lo <= 20.5 && hi >= 19.5, "95% CI [{lo}, {hi}] should cover the true mean 20");
+        assert!(result.relative_ci_halfwidth(0.05) < 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = normal_sample(100, 5.0, 1.0, 20);
+        let a = bootstrap_distribution(&mut seeded_rng(99), &data, &Mean, &BootstrapConfig::default()).unwrap();
+        let b = bootstrap_distribution(&mut seeded_rng(99), &data, &Mean, &BootstrapConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bias_corrected_estimate_moves_opposite_to_bias() {
+        let result = summarise(10.0, vec![11.0, 11.5, 10.5]);
+        assert!(result.bias > 0.0);
+        assert!(result.bias_corrected() < 10.0);
+    }
+
+    #[test]
+    fn summarise_handles_small_replicate_sets() {
+        let r = summarise(1.0, vec![1.0, 1.0]);
+        assert_eq!(r.std_error, 0.0);
+        assert_eq!(r.bias, 0.0);
+        let (lo, hi) = r.percentile_ci(0.1);
+        assert_eq!((lo, hi), (1.0, 1.0));
+    }
+}

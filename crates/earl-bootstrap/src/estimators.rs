@@ -1,0 +1,481 @@
+//! Functions of interest (`f` in the paper's notation) and streaming moments.
+//!
+//! EARL's accuracy estimation is *non-parametric*: it never needs a closed-form
+//! variance formula for `f`, only the ability to evaluate `f` on resamples.
+//! The [`Estimator`] trait captures exactly that; implementations are provided
+//! for the statistics used throughout the paper's evaluation (mean, sum,
+//! median, quantiles, variance, extrema, counts) plus Pearson correlation over
+//! paired data.
+
+use serde::{Deserialize, Serialize};
+
+/// A statistic computed from a numeric sample.
+pub trait Estimator: Send + Sync {
+    /// Evaluates the statistic on `data`.  Implementations should return
+    /// `f64::NAN` for inputs on which the statistic is undefined (e.g. an empty
+    /// sample) rather than panic.
+    fn estimate(&self, data: &[f64]) -> f64;
+
+    /// A short human-readable name used in reports.
+    fn name(&self) -> &'static str {
+        "statistic"
+    }
+}
+
+impl<F> Estimator for F
+where
+    F: Fn(&[f64]) -> f64 + Send + Sync,
+{
+    fn estimate(&self, data: &[f64]) -> f64 {
+        self(data)
+    }
+    fn name(&self) -> &'static str {
+        "closure"
+    }
+}
+
+/// The arithmetic mean.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Mean;
+
+impl Estimator for Mean {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        if data.is_empty() {
+            return f64::NAN;
+        }
+        data.iter().sum::<f64>() / data.len() as f64
+    }
+    fn name(&self) -> &'static str {
+        "mean"
+    }
+}
+
+/// The sum of all values.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Sum;
+
+impl Estimator for Sum {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        data.iter().sum()
+    }
+    fn name(&self) -> &'static str {
+        "sum"
+    }
+}
+
+/// The number of values (useful for testing correction logic).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Count;
+
+impl Estimator for Count {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        data.len() as f64
+    }
+    fn name(&self) -> &'static str {
+        "count"
+    }
+}
+
+/// The median (see [`Quantile`] for general quantiles).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Median;
+
+impl Estimator for Median {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        Quantile::new(0.5).estimate(data)
+    }
+    fn name(&self) -> &'static str {
+        "median"
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between order
+/// statistics.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Quantile {
+    q: f64,
+}
+
+impl Quantile {
+    /// Creates a quantile estimator; `q` is clamped to `[0, 1]`.
+    pub fn new(q: f64) -> Self {
+        Self { q: q.clamp(0.0, 1.0) }
+    }
+
+    /// The quantile level.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+}
+
+impl Estimator for Quantile {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        if data.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pos = self.q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+    fn name(&self) -> &'static str {
+        "quantile"
+    }
+}
+
+/// The (unbiased, n−1 denominator) sample variance.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Variance;
+
+impl Estimator for Variance {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        if data.len() < 2 {
+            return f64::NAN;
+        }
+        let mean = Mean.estimate(data);
+        data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64
+    }
+    fn name(&self) -> &'static str {
+        "variance"
+    }
+}
+
+/// The sample standard deviation.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StdDev;
+
+impl Estimator for StdDev {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        Variance.estimate(data).sqrt()
+    }
+    fn name(&self) -> &'static str {
+        "stddev"
+    }
+}
+
+/// The minimum.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Min;
+
+impl Estimator for Min {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        data.iter().copied().fold(f64::NAN, |acc, x| if acc.is_nan() || x < acc { x } else { acc })
+    }
+    fn name(&self) -> &'static str {
+        "min"
+    }
+}
+
+/// The maximum.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Max;
+
+impl Estimator for Max {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        data.iter().copied().fold(f64::NAN, |acc, x| if acc.is_nan() || x > acc { x } else { acc })
+    }
+    fn name(&self) -> &'static str {
+        "max"
+    }
+}
+
+/// Pearson correlation over interleaved pairs `[x0, y0, x1, y1, …]`.
+///
+/// The paper argues the i.i.d. key/value independence assumption "makes
+/// sampling applicable to algorithms relying on capturing data-structure such
+/// as correlation analysis" (§3.3); this estimator lets the test-suite and the
+/// examples exercise exactly that case without a separate paired-sample API.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PairedCorrelation;
+
+impl Estimator for PairedCorrelation {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        let n = data.len() / 2;
+        if n < 2 {
+            return f64::NAN;
+        }
+        let xs: Vec<f64> = (0..n).map(|i| data[2 * i]).collect();
+        let ys: Vec<f64> = (0..n).map(|i| data[2 * i + 1]).collect();
+        let mx = Mean.estimate(&xs);
+        let my = Mean.estimate(&ys);
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for i in 0..n {
+            let dx = xs[i] - mx;
+            let dy = ys[i] - my;
+            cov += dx * dy;
+            vx += dx * dx;
+            vy += dy * dy;
+        }
+        if vx <= 0.0 || vy <= 0.0 {
+            return f64::NAN;
+        }
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+    fn name(&self) -> &'static str {
+        "correlation"
+    }
+}
+
+/// The coefficient of variation of a set of values: `std-dev / |mean|`.
+///
+/// This is the error measure EARL reports to the user (§3): it is applied to
+/// the *bootstrap result distribution*, not to the raw data.
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return f64::NAN;
+    }
+    let mean = Mean.estimate(values);
+    if mean == 0.0 {
+        return f64::NAN;
+    }
+    let sd = StdDev.estimate(values);
+    sd / mean.abs()
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm), used by the
+/// incremental `update()` path of EARL tasks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford / Chan's
+    /// formula), enabling per-reducer partial states to be combined.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (NaN if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (NaN if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Running minimum (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Running maximum (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Coefficient of variation of the accumulated observations.
+    pub fn cv(&self) -> f64 {
+        let mean = self.mean();
+        if !mean.is_finite() || mean == 0.0 {
+            return f64::NAN;
+        }
+        self.std_dev() / mean.abs()
+    }
+
+    /// Sum of the accumulated observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: [f64; 8] = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+
+    #[test]
+    fn mean_sum_count() {
+        assert!((Mean.estimate(&DATA) - 5.0).abs() < 1e-12);
+        assert!((Sum.estimate(&DATA) - 40.0).abs() < 1e-12);
+        assert_eq!(Count.estimate(&DATA), 8.0);
+        assert!(Mean.estimate(&[]).is_nan());
+        assert_eq!(Sum.estimate(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_and_stddev() {
+        // Population variance of DATA is 4.0; sample variance is 32/7.
+        assert!((Variance.estimate(&DATA) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((StdDev.estimate(&DATA) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(Variance.estimate(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn median_and_quantiles() {
+        assert!((Median.estimate(&DATA) - 4.5).abs() < 1e-12);
+        assert!((Median.estimate(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(Quantile::new(0.0).estimate(&DATA), 2.0);
+        assert_eq!(Quantile::new(1.0).estimate(&DATA), 9.0);
+        let q25 = Quantile::new(0.25).estimate(&DATA);
+        assert!((q25 - 4.0).abs() < 1e-12);
+        assert!(Quantile::new(0.5).estimate(&[]).is_nan());
+        // out-of-range q is clamped
+        assert_eq!(Quantile::new(7.0).q(), 1.0);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Min.estimate(&DATA), 2.0);
+        assert_eq!(Max.estimate(&DATA), 9.0);
+        assert!(Min.estimate(&[]).is_nan());
+        assert!(Max.estimate(&[]).is_nan());
+    }
+
+    #[test]
+    fn correlation_of_perfectly_linear_data_is_one() {
+        let pairs: Vec<f64> = (0..50).flat_map(|i| [i as f64, 2.0 * i as f64 + 1.0]).collect();
+        assert!((PairedCorrelation.estimate(&pairs) - 1.0).abs() < 1e-9);
+        let anti: Vec<f64> = (0..50).flat_map(|i| [i as f64, -3.0 * i as f64]).collect();
+        assert!((PairedCorrelation.estimate(&anti) + 1.0).abs() < 1e-9);
+        assert!(PairedCorrelation.estimate(&[1.0, 2.0]).is_nan());
+        // constant series has undefined correlation
+        let flat: Vec<f64> = (0..10).flat_map(|i| [i as f64, 5.0]).collect();
+        assert!(PairedCorrelation.estimate(&flat).is_nan());
+    }
+
+    #[test]
+    fn cv_of_distribution() {
+        let values = [10.0, 10.0, 10.0];
+        assert!(coefficient_of_variation(&values) < 1e-12);
+        assert!(coefficient_of_variation(&[1.0]).is_nan());
+        let spread = [5.0, 15.0];
+        assert!(coefficient_of_variation(&spread) > 0.5);
+    }
+
+    #[test]
+    fn closures_are_estimators() {
+        let range = |data: &[f64]| Max.estimate(data) - Min.estimate(data);
+        assert_eq!(range.estimate(&DATA), 7.0);
+        assert_eq!(range.name(), "closure");
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let mut s = StreamingStats::new();
+        for x in DATA {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - Mean.estimate(&DATA)).abs() < 1e-12);
+        assert!((s.variance() - Variance.estimate(&DATA)).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+        assert!(s.cv() > 0.0);
+    }
+
+    #[test]
+    fn streaming_merge_matches_single_pass() {
+        let (left, right) = DATA.split_at(3);
+        let mut a = StreamingStats::new();
+        for &x in left {
+            a.push(x);
+        }
+        let mut b = StreamingStats::new();
+        for &x in right {
+            b.push(x);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        let mut single = StreamingStats::new();
+        for x in DATA {
+            single.push(x);
+        }
+        assert!((merged.mean() - single.mean()).abs() < 1e-12);
+        assert!((merged.variance() - single.variance()).abs() < 1e-12);
+        assert_eq!(merged.count(), single.count());
+
+        // merging with an empty accumulator is the identity
+        let mut c = StreamingStats::new();
+        c.merge(&single);
+        assert!((c.mean() - single.mean()).abs() < 1e-12);
+        let mut d = single;
+        d.merge(&StreamingStats::new());
+        assert!((d.variance() - single.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_streaming_stats_are_nan() {
+        let s = StreamingStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert!(s.cv().is_nan());
+    }
+}

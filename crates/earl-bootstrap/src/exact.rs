@@ -1,0 +1,150 @@
+//! Exact bootstrap enumeration for tiny samples.
+//!
+//! The paper motivates Monte-Carlo approximation by noting that an exact
+//! bootstrap variance estimate requires `C(2n−1, n−1)` resamples, "which for
+//! n = 15 is already equal to 77 × 10⁶" (§3).  This module provides that count
+//! and, for very small `n`, the exact enumeration itself — used in tests to
+//! validate that the Monte-Carlo estimate converges to the exact value.
+
+use crate::estimators::Estimator;
+use crate::{Result, StatsError};
+
+/// Number of distinct bootstrap resamples (multisets) of a sample of size `n`:
+/// `C(2n−1, n−1)`.  Returns `None` on overflow of `u128`.
+pub fn exact_resample_count(n: u64) -> Option<u128> {
+    if n == 0 {
+        return Some(0);
+    }
+    binomial(2 * n as u128 - 1, n as u128 - 1)
+}
+
+fn binomial(n: u128, k: u128) -> Option<u128> {
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.checked_mul(n - i)?;
+        result /= i + 1;
+    }
+    Some(result)
+}
+
+/// The exact bootstrap distribution of `estimator` over all `n^n` equally
+/// likely ordered resamples, computed by enumerating multisets with their
+/// multinomial weights.  Only feasible for very small `n` (≤ 10 or so); returns
+/// the exact mean and variance of the bootstrap distribution.
+pub fn exact_bootstrap_moments(data: &[f64], estimator: &dyn Estimator) -> Result<(f64, f64)> {
+    let n = data.len();
+    if n == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    if n > 10 {
+        return Err(StatsError::InvalidParameter(format!(
+            "exact bootstrap enumeration is infeasible for n = {n} (the paper's point)"
+        )));
+    }
+    // Enumerate all multisets (c_0, ..., c_{n-1}) with sum n; each has
+    // probability n!/(c_0!...c_{n-1}!) / n^n.
+    let mut mean = 0.0;
+    let mut second = 0.0;
+    let mut counts = vec![0usize; n];
+    enumerate_compositions(&mut counts, 0, n, data, estimator, &mut mean, &mut second);
+    let variance = second - mean * mean;
+    Ok((mean, variance.max(0.0)))
+}
+
+fn enumerate_compositions(
+    counts: &mut Vec<usize>,
+    index: usize,
+    remaining: usize,
+    data: &[f64],
+    estimator: &dyn Estimator,
+    mean: &mut f64,
+    second: &mut f64,
+) {
+    let n = data.len();
+    if index == n - 1 {
+        counts[index] = remaining;
+        let weight = multinomial_probability(counts, n);
+        let resample: Vec<f64> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &c)| std::iter::repeat(data[i]).take(c))
+            .collect();
+        let value = estimator.estimate(&resample);
+        *mean += weight * value;
+        *second += weight * value * value;
+        return;
+    }
+    for c in 0..=remaining {
+        counts[index] = c;
+        enumerate_compositions(counts, index + 1, remaining - c, data, estimator, mean, second);
+    }
+}
+
+fn multinomial_probability(counts: &[usize], n: usize) -> f64 {
+    // n! / (prod c_i!) / n^n computed in log space for stability.
+    let mut log_p = ln_factorial(n) - n as f64 * (n as f64).ln();
+    for &c in counts {
+        log_p -= ln_factorial(c);
+    }
+    log_p.exp()
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (1..=n).map(|i| (i as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::{bootstrap_distribution, BootstrapConfig};
+    use crate::estimators::Mean;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn resample_count_matches_the_paper() {
+        // C(29, 14) = 77,558,760 ≈ 77 × 10⁶ for n = 15, as quoted in §3.
+        assert_eq!(exact_resample_count(15), Some(77_558_760));
+        assert_eq!(exact_resample_count(1), Some(1));
+        assert_eq!(exact_resample_count(2), Some(3));
+        assert_eq!(exact_resample_count(0), Some(0));
+        // Growth is astronomically fast — n = 60 already exceeds 10^34.
+        assert!(exact_resample_count(60).unwrap() > 10u128.pow(34));
+    }
+
+    #[test]
+    fn exact_bootstrap_mean_of_the_mean_is_the_sample_mean() {
+        let data = [1.0, 4.0, 7.0, 10.0];
+        let (mean, var) = exact_bootstrap_moments(&data, &Mean).unwrap();
+        assert!((mean - 5.5).abs() < 1e-9);
+        // Exact bootstrap variance of the mean is population variance / n.
+        let pop_var = data.iter().map(|x| (x - 5.5).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((var - pop_var / data.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_the_exact_value() {
+        let data = [2.0, 3.0, 5.0, 8.0, 13.0];
+        let (_, exact_var) = exact_bootstrap_moments(&data, &Mean).unwrap();
+        let mc = bootstrap_distribution(
+            &mut seeded_rng(1),
+            &data,
+            &Mean,
+            &BootstrapConfig::with_resamples(20_000),
+        )
+        .unwrap();
+        let mc_var = mc.std_error * mc.std_error;
+        let ratio = mc_var / exact_var;
+        assert!((0.9..1.1).contains(&ratio), "MC variance {mc_var} vs exact {exact_var}");
+    }
+
+    #[test]
+    fn enumeration_is_refused_for_large_n() {
+        let data: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        assert!(matches!(
+            exact_bootstrap_moments(&data, &Mean),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        assert!(matches!(exact_bootstrap_moments(&[], &Mean), Err(StatsError::EmptySample)));
+    }
+}

@@ -1,0 +1,156 @@
+//! Least-squares curve fitting used by SSABE's sample-size estimation (§3.2).
+//!
+//! The paper fits "the best fitting curve … using the standard method of least
+//! squares" to the points `(n_i, cv_i)` measured on the subsample ladder and
+//! then reads off the sample size that achieves the target error.  The natural
+//! model family is the power law `cv(n) = a · n^b` (for i.i.d. data the theory
+//! gives `b ≈ −1/2`), which becomes ordinary linear regression in log–log
+//! space.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StatsError};
+
+/// A fitted power-law curve `y = a · x^b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// The multiplicative coefficient `a`.
+    pub a: f64,
+    /// The exponent `b`.
+    pub b: f64,
+    /// Coefficient of determination (R²) of the fit in log–log space.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.a * x.powf(self.b)
+    }
+
+    /// Solves for the `x` at which the curve reaches `y` (requires `b < 0` for
+    /// a decreasing error curve).  Returns `None` if the curve never reaches
+    /// `y`.
+    pub fn solve_for_x(&self, y: f64) -> Option<f64> {
+        if y <= 0.0 || self.a <= 0.0 || self.b == 0.0 {
+            return None;
+        }
+        let x = (y / self.a).powf(1.0 / self.b);
+        if x.is_finite() && x > 0.0 {
+            Some(x)
+        } else {
+            None
+        }
+    }
+}
+
+/// Ordinary least-squares fit of a straight line `y = intercept + slope · x`.
+pub fn linear_fit(points: &[(f64, f64)]) -> Result<(f64, f64, f64)> {
+    if points.len() < 2 {
+        return Err(StatsError::InvalidParameter("need at least 2 points to fit a line".into()));
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::InvalidParameter("all x values are identical".into()));
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Ok((intercept, slope, r_squared))
+}
+
+/// Fits `y = a · x^b` to strictly positive points via log–log linear
+/// regression.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Result<PowerLawFit> {
+    let log_points: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0 && x.is_finite() && y.is_finite())
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if log_points.len() < 2 {
+        return Err(StatsError::InvalidParameter(
+            "need at least 2 positive finite points for a power-law fit".into(),
+        ));
+    }
+    let (intercept, slope, r_squared) = linear_fit(&log_points)?;
+    Ok(PowerLawFit { a: intercept.exp(), b: slope, r_squared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (intercept, slope, r2) = linear_fit(&points).unwrap();
+        assert!((intercept - 3.0).abs() < 1e-9);
+        assert!((slope - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_rejects_degenerate_input() {
+        assert!(linear_fit(&[(1.0, 2.0)]).is_err());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_err());
+    }
+
+    #[test]
+    fn power_law_fit_recovers_inverse_sqrt() {
+        // cv(n) = 2 / sqrt(n), the theoretical shape for the mean.
+        let points: Vec<(f64, f64)> =
+            [10.0f64, 50.0, 100.0, 500.0, 1000.0].iter().map(|&n| (n, 2.0 / n.sqrt())).collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.a - 2.0).abs() < 1e-6);
+        assert!((fit.b + 0.5).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999);
+        // Predicting and solving round-trip.
+        assert!((fit.predict(400.0) - 0.1).abs() < 1e-6);
+        let n_for_5pct = fit.solve_for_x(0.05).unwrap();
+        assert!((n_for_5pct - 1600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn power_law_fit_is_noise_tolerant() {
+        let points: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let n = (i * 50) as f64;
+                // ±5% deterministic "noise"
+                let noise = 1.0 + 0.05 * ((i % 3) as f64 - 1.0);
+                (n, 1.5 / n.sqrt() * noise)
+            })
+            .collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.b + 0.5).abs() < 0.1, "exponent {}", fit.b);
+        assert!(fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn solve_for_x_edge_cases() {
+        let fit = PowerLawFit { a: 1.0, b: -0.5, r_squared: 1.0 };
+        assert!(fit.solve_for_x(0.0).is_none());
+        assert!(fit.solve_for_x(-1.0).is_none());
+        let flat = PowerLawFit { a: 1.0, b: 0.0, r_squared: 1.0 };
+        assert!(flat.solve_for_x(0.5).is_none());
+    }
+
+    #[test]
+    fn power_law_fit_filters_non_positive_points() {
+        let points = vec![(0.0, 1.0), (-5.0, 2.0), (10.0, 0.5), (100.0, 0.158)];
+        let fit = fit_power_law(&points).unwrap();
+        assert!(fit.b < 0.0);
+        assert!(fit_power_law(&[(0.0, 1.0), (1.0, 0.0)]).is_err());
+    }
+}

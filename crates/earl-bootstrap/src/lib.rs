@@ -1,0 +1,70 @@
+//! # earl-bootstrap
+//!
+//! The statistical machinery of the EARL reproduction (Laptev, Zeng, Zaniolo —
+//! VLDB 2012, §3–§4):
+//!
+//! * [`estimators`] — the functions of interest `f` (mean, median, quantiles,
+//!   variance, correlation, …) evaluated over numeric samples, plus streaming
+//!   moment accumulators;
+//! * [`bootstrap`] — Monte-Carlo bootstrap resampling producing a result
+//!   distribution, point estimate, standard error, bias, coefficient of
+//!   variation and percentile confidence intervals;
+//! * [`jackknife`] — the leave-one-out jackknife, for comparison (the paper
+//!   notes it fails for the median);
+//! * [`exact`] — exact bootstrap enumeration for tiny samples, quantifying why
+//!   Monte-Carlo approximation is necessary (`C(2n-1, n-1)` resamples);
+//! * [`ssabe`] — the paper's two-phase **S**ample **S**ize **A**nd **B**ootstrap
+//!   **E**stimation algorithm (§3.2) that empirically picks `B` via
+//!   τ-stability and `n` via a least-squares curve fit over a subsample ladder,
+//!   plus the theoretical predictions it is compared against in Fig. 8;
+//! * [`delta`] — the inter-iteration (§4.1) and intra-iteration (§4.2) delta
+//!   maintenance optimisations, including the two-layer sketch structure and
+//!   the Eq. 4 overlap model;
+//! * [`categorical`] — proportion estimation with normal-approximation
+//!   intervals (Appendix A);
+//! * [`blockboot`] — the moving-block bootstrap for b-dependent data
+//!   (Appendix A).
+//!
+//! Everything is deterministic given an RNG seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blockboot;
+pub mod bootstrap;
+pub mod categorical;
+pub mod delta;
+pub mod estimators;
+pub mod exact;
+pub mod jackknife;
+pub mod least_squares;
+pub mod rng;
+pub mod ssabe;
+
+pub use bootstrap::{bootstrap_distribution, BootstrapConfig, BootstrapResult};
+pub use estimators::{Estimator, StreamingStats};
+pub use jackknife::jackknife;
+pub use ssabe::{Ssabe, SsabeConfig, SsabeEstimate};
+
+/// Errors raised by the statistical layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input sample was empty (or too small for the requested operation).
+    EmptySample,
+    /// A configuration parameter was invalid.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "empty sample"),
+            StatsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,155 @@
+//! Deterministic RNG helpers.
+//!
+//! Every stochastic component of the reproduction accepts a seed so that
+//! experiments are exactly repeatable; this module centralises RNG
+//! construction and the index-sampling primitives used by the resamplers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a seeded standard RNG.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws `count` indices uniformly at random **with replacement** from
+/// `[0, n)`.
+pub fn sample_indices_with_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, count: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..count).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Draws `count` distinct indices uniformly at random **without replacement**
+/// from `[0, n)` using a partial Fisher–Yates shuffle (O(count) extra memory
+/// beyond the index vector).
+pub fn sample_indices_without_replacement<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    count: usize,
+) -> Vec<usize> {
+    let count = count.min(n);
+    let mut indices: Vec<usize> = (0..n).collect();
+    for i in 0..count {
+        let j = rng.gen_range(i..n);
+        indices.swap(i, j);
+    }
+    indices.truncate(count);
+    indices
+}
+
+/// Draws one sample from the binomial distribution `Binomial(trials, p)`.
+///
+/// For small `trials` this sums Bernoulli draws; for large `trials` it uses
+/// the Gaussian approximation `N(trials·p, trials·p·(1-p))` — exactly the
+/// approximation the paper applies to Equation 2 when maintaining resamples
+/// incrementally (§4.1).
+pub fn binomial_sample<R: Rng + ?Sized>(rng: &mut R, trials: u64, p: f64) -> u64 {
+    if trials == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return trials;
+    }
+    if trials <= 64 {
+        let mut successes = 0;
+        for _ in 0..trials {
+            if rng.gen::<f64>() < p {
+                successes += 1;
+            }
+        }
+        return successes;
+    }
+    let mean = trials as f64 * p;
+    let sd = (trials as f64 * p * (1.0 - p)).sqrt();
+    let draw = mean + sd * standard_normal(rng);
+    draw.round().clamp(0.0, trials as f64) as u64
+}
+
+/// Draws one standard-normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut rng = seeded_rng(42);
+            (0..10).map(|_| rng.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = seeded_rng(42);
+            (0..10).map(|_| rng.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_replacement_can_repeat_and_is_bounded() {
+        let mut rng = seeded_rng(1);
+        let idx = sample_indices_with_replacement(&mut rng, 5, 1000);
+        assert_eq!(idx.len(), 1000);
+        assert!(idx.iter().all(|&i| i < 5));
+        // With 1000 draws from 5 values, repeats are certain.
+        let distinct: std::collections::HashSet<_> = idx.iter().collect();
+        assert!(distinct.len() <= 5);
+        assert!(sample_indices_with_replacement(&mut rng, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn without_replacement_is_distinct() {
+        let mut rng = seeded_rng(2);
+        let idx = sample_indices_without_replacement(&mut rng, 100, 30);
+        assert_eq!(idx.len(), 30);
+        let distinct: std::collections::HashSet<_> = idx.iter().collect();
+        assert_eq!(distinct.len(), 30);
+        // Requesting more than n yields exactly n distinct indices.
+        let all = sample_indices_without_replacement(&mut rng, 10, 50);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = seeded_rng(3);
+        assert_eq!(binomial_sample(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial_sample(&mut rng, 10, 0.0), 0);
+        assert_eq!(binomial_sample(&mut rng, 10, 1.0), 10);
+        for _ in 0..100 {
+            let x = binomial_sample(&mut rng, 20, 0.3);
+            assert!(x <= 20);
+        }
+    }
+
+    #[test]
+    fn binomial_mean_is_roughly_np() {
+        let mut rng = seeded_rng(4);
+        let trials = 10_000u64;
+        let p = 0.25;
+        let draws: Vec<u64> = (0..200).map(|_| binomial_sample(&mut rng, trials, p)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+        let expected = trials as f64 * p;
+        assert!((mean - expected).abs() / expected < 0.02, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut rng = seeded_rng(5);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Node-failure injection.
+//!
+//! §3.4 of the EARL paper argues that when an approximate answer is acceptable,
+//! node failures need not trigger task restarts: the surviving sample still
+//! yields a result with a quantified error.  To reproduce those experiments the
+//! cluster supports two kinds of failure schedules:
+//!
+//! * **Deterministic** — "fail node 3 at t = 10 s" (used by integration tests
+//!   so outcomes are exactly reproducible), and
+//! * **Stochastic** — an annualised disk-failure rate in the spirit of the
+//!   Schroeder & Gibson numbers cited by the paper (≈3 % of disks per year),
+//!   driven by a seeded RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::clock::SimInstant;
+use crate::node::NodeId;
+
+#[cfg(test)]
+use crate::clock::SimDuration;
+
+/// A single scheduled failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// The node that fails.
+    pub node: NodeId,
+    /// The simulated instant at which it fails.
+    pub at: SimInstant,
+}
+
+/// A failure schedule: either a fixed list of events or a stochastic rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FailureSchedule {
+    /// No failures ever occur.
+    None,
+    /// The given events occur at their scheduled times.
+    Deterministic(Vec<FailureEvent>),
+    /// Each available node fails independently with probability
+    /// `per_node_probability_per_sec` per simulated second.
+    Stochastic {
+        /// Per-node failure probability per simulated second.
+        per_node_probability_per_sec: f64,
+        /// RNG seed so runs are reproducible.
+        seed: u64,
+    },
+}
+
+impl FailureSchedule {
+    /// Builds a stochastic schedule from an annualised failure rate (e.g. 0.03
+    /// for the "3 % of disks fail per year" figure the paper cites).
+    pub fn from_annual_rate(annual_rate: f64, seed: u64) -> Self {
+        const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+        FailureSchedule::Stochastic {
+            per_node_probability_per_sec: (annual_rate.max(0.0)) / SECONDS_PER_YEAR,
+            seed,
+        }
+    }
+}
+
+/// Stateful injector that decides which nodes fail as simulated time advances.
+#[derive(Debug)]
+pub struct FailureInjector {
+    schedule: FailureSchedule,
+    rng: StdRng,
+    last_checked: SimInstant,
+    fired: Vec<FailureEvent>,
+}
+
+impl FailureInjector {
+    /// Creates an injector for the given schedule.
+    pub fn new(schedule: FailureSchedule) -> Self {
+        let seed = match &schedule {
+            FailureSchedule::Stochastic { seed, .. } => *seed,
+            _ => 0,
+        };
+        Self {
+            schedule,
+            rng: StdRng::seed_from_u64(seed),
+            last_checked: SimInstant::EPOCH,
+            fired: Vec::new(),
+        }
+    }
+
+    /// Creates an injector that never fails anything.
+    pub fn none() -> Self {
+        Self::new(FailureSchedule::None)
+    }
+
+    /// Advances the injector to `now` and returns the nodes (among
+    /// `available_nodes`) that fail in the interval `(last_checked, now]`.
+    pub fn poll(&mut self, now: SimInstant, available_nodes: &[NodeId]) -> Vec<NodeId> {
+        let window_start = self.last_checked;
+        self.last_checked = now;
+        match &self.schedule {
+            FailureSchedule::None => Vec::new(),
+            FailureSchedule::Deterministic(events) => {
+                let mut failed = Vec::new();
+                for ev in events {
+                    let already = self.fired.iter().any(|f| f == ev);
+                    if !already && ev.at > window_start && ev.at <= now {
+                        if available_nodes.contains(&ev.node) {
+                            failed.push(ev.node);
+                        }
+                        self.fired.push(*ev);
+                    }
+                }
+                failed
+            }
+            FailureSchedule::Stochastic { per_node_probability_per_sec, .. } => {
+                let window = now.duration_since(window_start);
+                let secs = window.as_secs_f64();
+                if secs <= 0.0 {
+                    return Vec::new();
+                }
+                // P(survive window) = (1 - p)^secs; fail otherwise.
+                let p_window = 1.0 - (1.0 - per_node_probability_per_sec).powf(secs);
+                let mut failed = Vec::new();
+                for &node in available_nodes {
+                    if self.rng.gen::<f64>() < p_window {
+                        failed.push(node);
+                        self.fired.push(FailureEvent { node, at: now });
+                    }
+                }
+                failed
+            }
+        }
+    }
+
+    /// All failure events that have fired so far.
+    pub fn fired_events(&self) -> &[FailureEvent] {
+        &self.fired
+    }
+
+    /// The schedule driving this injector.
+    pub fn schedule(&self) -> &FailureSchedule {
+        &self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn none_schedule_never_fails() {
+        let mut inj = FailureInjector::none();
+        let failed = inj.poll(SimInstant::EPOCH + SimDuration::from_secs(1_000), &nodes(5));
+        assert!(failed.is_empty());
+        assert!(inj.fired_events().is_empty());
+    }
+
+    #[test]
+    fn deterministic_schedule_fires_once_in_window() {
+        let ev = FailureEvent { node: NodeId(2), at: SimInstant::EPOCH + SimDuration::from_secs(10) };
+        let mut inj = FailureInjector::new(FailureSchedule::Deterministic(vec![ev]));
+        // before the event: nothing
+        assert!(inj.poll(SimInstant::EPOCH + SimDuration::from_secs(5), &nodes(5)).is_empty());
+        // window containing the event: node 2 fails
+        let failed = inj.poll(SimInstant::EPOCH + SimDuration::from_secs(15), &nodes(5));
+        assert_eq!(failed, vec![NodeId(2)]);
+        // later polls do not re-fire
+        assert!(inj.poll(SimInstant::EPOCH + SimDuration::from_secs(30), &nodes(5)).is_empty());
+        assert_eq!(inj.fired_events().len(), 1);
+    }
+
+    #[test]
+    fn deterministic_event_on_unavailable_node_is_consumed_silently() {
+        let ev = FailureEvent { node: NodeId(9), at: SimInstant::EPOCH + SimDuration::from_secs(1) };
+        let mut inj = FailureInjector::new(FailureSchedule::Deterministic(vec![ev]));
+        let failed = inj.poll(SimInstant::EPOCH + SimDuration::from_secs(2), &nodes(3));
+        assert!(failed.is_empty());
+        assert_eq!(inj.fired_events().len(), 1, "event is consumed even if node already gone");
+    }
+
+    #[test]
+    fn stochastic_high_rate_fails_quickly_and_is_deterministic_per_seed() {
+        let schedule = FailureSchedule::Stochastic { per_node_probability_per_sec: 0.5, seed: 7 };
+        let mut a = FailureInjector::new(schedule.clone());
+        let mut b = FailureInjector::new(schedule);
+        let t = SimInstant::EPOCH + SimDuration::from_secs(10);
+        let fa = a.poll(t, &nodes(20));
+        let fb = b.poll(t, &nodes(20));
+        assert_eq!(fa, fb, "same seed must produce the same failures");
+        assert!(!fa.is_empty(), "with p=0.5/s over 10s nearly every node should fail");
+    }
+
+    #[test]
+    fn stochastic_zero_window_fails_nothing() {
+        let mut inj =
+            FailureInjector::new(FailureSchedule::Stochastic { per_node_probability_per_sec: 1.0, seed: 1 });
+        assert!(inj.poll(SimInstant::EPOCH, &nodes(5)).is_empty());
+    }
+
+    #[test]
+    fn annual_rate_conversion_is_tiny_per_second() {
+        if let FailureSchedule::Stochastic { per_node_probability_per_sec, .. } =
+            FailureSchedule::from_annual_rate(0.03, 1)
+        {
+            assert!(per_node_probability_per_sec > 0.0);
+            assert!(per_node_probability_per_sec < 1e-8);
+        } else {
+            panic!("expected stochastic schedule");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # earl-cluster
+//!
+//! Deterministic single-process simulation of a commodity cluster, used as the
+//! substrate for the EARL reproduction (Laptev, Zeng, Zaniolo — VLDB 2012).
+//!
+//! The paper ran on a 5-node Hadoop cluster; this crate replaces the physical
+//! cluster with an explicit, deterministic cost model so that "processing time"
+//! becomes a pure function of the work performed (bytes scanned from disk, bytes
+//! moved over the network, records processed by CPUs).  All higher layers
+//! (`earl-dfs`, `earl-mapreduce`, EARL itself) charge their work against a
+//! [`Cluster`], and experiments read the accumulated simulated time from it.
+//!
+//! ## Components
+//!
+//! * [`SimClock`] — a monotonically advancing simulated clock (microsecond
+//!   resolution).
+//! * [`CostModel`] — per-operation costs (disk seek, sequential scan, network
+//!   transfer, per-record CPU) with presets mirroring commodity 2012 hardware.
+//! * [`Node`] / [`Cluster`] — the machines, their disks and task slots.
+//! * [`FailureInjector`] — deterministic and stochastic node-failure schedules
+//!   (used for the fault-tolerance experiments of §3.4 of the paper).
+//! * [`Metrics`] — counters for bytes/records/tasks, split by phase.
+//!
+//! The simulation is deliberately single-threaded at the simulation layer:
+//! determinism (same seed → same simulated time and same results) is a core
+//! requirement for reproducible experiments, so the cluster advances time
+//! analytically rather than by racing real threads.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod cluster;
+pub mod cost;
+pub mod error;
+pub mod failure;
+pub mod metrics;
+pub mod node;
+
+pub use clock::{SimClock, SimDuration, SimInstant};
+pub use cluster::{Cluster, ClusterBuilder};
+pub use cost::{CostModel, CostModelBuilder};
+pub use error::ClusterError;
+pub use failure::{FailureEvent, FailureInjector, FailureSchedule};
+pub use metrics::{Metrics, MetricsSnapshot, Phase};
+pub use node::{Node, NodeId, NodeState};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,148 @@
+//! The Accuracy Estimation Stage (AES, §3.1).
+//!
+//! The AES takes the current sample, re-evaluates the user's task on `B`
+//! bootstrap resamples, and summarises the resulting *result distribution*
+//! into the error measure EARL reports: the coefficient of variation.  It is
+//! deliberately independent of how the resamples were produced — the driver
+//! feeds it either fresh Monte-Carlo resamples or delta-maintained ones.
+
+use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig, BootstrapResult};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::task::{EarlTask, TaskEstimator};
+use crate::Result;
+
+/// The AES output for one iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AesReport {
+    /// The task evaluated on the current sample.
+    pub result: f64,
+    /// The result corrected for the sampled fraction `p`.
+    pub corrected_result: f64,
+    /// Coefficient of variation of the result distribution.
+    pub cv: f64,
+    /// Standard error of the result distribution.
+    pub std_error: f64,
+    /// 95 % percentile confidence interval (corrected for `p`).
+    pub ci: (f64, f64),
+    /// Number of resamples used.
+    pub bootstraps: usize,
+    /// Sample size the estimate is based on.
+    pub sample_size: usize,
+}
+
+/// The accuracy estimation stage.
+#[derive(Debug, Clone, Copy)]
+pub struct AccuracyEstimationStage {
+    sigma: f64,
+}
+
+impl AccuracyEstimationStage {
+    /// Creates an AES targeting the error bound `sigma`.
+    pub fn new(sigma: f64) -> Self {
+        Self { sigma }
+    }
+
+    /// The target error bound.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Whether an achieved cv satisfies the bound.
+    pub fn meets_bound(&self, cv: f64) -> bool {
+        cv.is_finite() && cv <= self.sigma + 1e-12
+    }
+
+    /// Runs a fresh Monte-Carlo bootstrap of `task` over `sample` and
+    /// summarises it.  `p` is the sampled fraction used for result correction.
+    pub fn estimate<T: EarlTask, R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        task: &T,
+        sample: &[f64],
+        p: f64,
+        bootstraps: usize,
+    ) -> Result<AesReport> {
+        let estimator = TaskEstimator::new(task);
+        let result = bootstrap_distribution(
+            rng,
+            sample,
+            &estimator,
+            &BootstrapConfig::with_resamples(bootstraps),
+        )?;
+        Ok(self.summarise(task, &result, p, sample.len()))
+    }
+
+    /// Summarises an already-computed bootstrap result (e.g. one produced by
+    /// the delta-maintained resamples) into an [`AesReport`].
+    pub fn summarise<T: EarlTask>(
+        &self,
+        task: &T,
+        bootstrap: &BootstrapResult,
+        p: f64,
+        sample_size: usize,
+    ) -> AesReport {
+        let (lo, hi) = bootstrap.percentile_ci(0.05);
+        AesReport {
+            result: bootstrap.point_estimate,
+            corrected_result: task.correct(bootstrap.point_estimate, p),
+            cv: bootstrap.cv,
+            std_error: bootstrap.std_error,
+            ci: (task.correct(lo, p), task.correct(hi, p)),
+            bootstraps: bootstrap.replicates.len(),
+            sample_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{MeanTask, MedianTask, SumTask};
+    use earl_bootstrap::rng::{seeded_rng, standard_normal};
+
+    fn sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| mean + sd * standard_normal(&mut rng)).collect()
+    }
+
+    #[test]
+    fn estimate_reports_cv_and_corrected_result() {
+        let aes = AccuracyEstimationStage::new(0.05);
+        let data = sample(1_000, 200.0, 20.0, 1);
+        let report = aes.estimate(&mut seeded_rng(2), &MeanTask, &data, 0.01, 40).unwrap();
+        assert_eq!(report.bootstraps, 40);
+        assert_eq!(report.sample_size, 1_000);
+        assert!((report.result - 200.0).abs() < 3.0);
+        assert_eq!(report.result, report.corrected_result, "mean needs no correction");
+        assert!(report.cv < 0.01, "cv of the mean of 1000 points is tiny");
+        assert!(aes.meets_bound(report.cv));
+        assert!(report.ci.0 < report.result && report.result < report.ci.1);
+    }
+
+    #[test]
+    fn sum_task_is_scaled_by_one_over_p() {
+        let aes = AccuracyEstimationStage::new(0.05);
+        let data = sample(500, 10.0, 1.0, 3);
+        let report = aes.estimate(&mut seeded_rng(4), &SumTask, &data, 0.1, 30).unwrap();
+        assert!((report.corrected_result - report.result * 10.0).abs() < 1e-6);
+        assert!(report.ci.1 > report.ci.0);
+    }
+
+    #[test]
+    fn small_noisy_samples_fail_the_bound() {
+        let aes = AccuracyEstimationStage::new(0.01);
+        // A tiny, highly dispersed sample cannot achieve a 1% bound.
+        let data = sample(20, 10.0, 8.0, 5);
+        let report = aes.estimate(&mut seeded_rng(6), &MedianTask, &data, 1.0, 50).unwrap();
+        assert!(!aes.meets_bound(report.cv), "cv {} should exceed 0.01", report.cv);
+        assert!(!aes.meets_bound(f64::NAN));
+    }
+
+    #[test]
+    fn empty_sample_is_an_error() {
+        let aes = AccuracyEstimationStage::new(0.05);
+        assert!(aes.estimate(&mut seeded_rng(7), &MeanTask, &[], 1.0, 30).is_err());
+    }
+}

@@ -1,0 +1,547 @@
+//! The EARL driver: the iterative sample → estimate → expand loop of Figure 1.
+//!
+//! One [`EarlDriver::run`] call performs the whole pipeline the paper
+//! describes:
+//!
+//! 1. draw a small pilot sample and run **SSABE** to pick the number of
+//!    bootstraps `B` and the sample size `n` (§3.2), falling back to exact
+//!    execution when `B·n ≥ N`;
+//! 2. draw the sample (pre-map or post-map, §3.3) and run the user's task on
+//!    it through the MapReduce engine (reusing tasks across iterations as the
+//!    pipelined extension of §2.1 does);
+//! 3. run the **Accuracy Estimation Stage** over `B` resamples — maintained
+//!    incrementally via delta maintenance (§4.1) when enabled — and compare the
+//!    cv against σ;
+//! 4. expand the sample and repeat until the bound is met, the data is
+//!    exhausted, or the iteration budget runs out.
+
+use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig, BootstrapResult};
+use earl_bootstrap::delta::{IncrementalBootstrap, SketchConfig};
+use earl_bootstrap::ssabe::{Ssabe, SsabeConfig};
+use earl_cluster::Phase;
+use earl_dfs::{Dfs, DfsPath};
+use earl_mapreduce::{
+    ErrorReport, InputSource, JobConf, MapContext, Mapper, PipelinedSession, ReduceContext, Reducer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aes::AccuracyEstimationStage;
+use crate::config::{EarlConfig, SamplingMethod};
+use crate::error::EarlError;
+use crate::report::EarlReport;
+use crate::task::{EarlTask, TaskEstimator};
+use crate::Result;
+use earl_sampling::{PostMapSampler, PreMapSampler, SampleSource};
+
+/// A [`Mapper`] that extracts a task's values from raw input lines.
+pub struct TaskMapper<'a, T: EarlTask> {
+    task: &'a T,
+}
+
+impl<'a, T: EarlTask> TaskMapper<'a, T> {
+    /// Wraps a task.
+    pub fn new(task: &'a T) -> Self {
+        Self { task }
+    }
+}
+
+impl<T: EarlTask> Mapper for TaskMapper<'_, T> {
+    type OutKey = u32;
+    type OutValue = f64;
+    fn map(&self, _offset: u64, line: &str, ctx: &mut MapContext<u32, f64>) {
+        if let Some(value) = self.task.extract(line) {
+            ctx.emit(0, value);
+        }
+    }
+    fn is_heavy(&self) -> bool {
+        self.task.is_heavy()
+    }
+}
+
+/// A [`Reducer`] that evaluates a task over all values of its key.
+pub struct TaskReducer<'a, T: EarlTask> {
+    task: &'a T,
+}
+
+impl<'a, T: EarlTask> TaskReducer<'a, T> {
+    /// Wraps a task.
+    pub fn new(task: &'a T) -> Self {
+        Self { task }
+    }
+}
+
+impl<T: EarlTask> Reducer for TaskReducer<'_, T> {
+    type InKey = u32;
+    type InValue = f64;
+    type Output = f64;
+    fn reduce(&self, _key: &u32, values: &[f64], ctx: &mut ReduceContext<f64>) {
+        ctx.emit(self.task.evaluate(values));
+    }
+    fn is_heavy(&self) -> bool {
+        self.task.is_heavy()
+    }
+}
+
+enum Sampler {
+    Pre(PreMapSampler),
+    Post(PostMapSampler),
+}
+
+impl Sampler {
+    fn draw(&mut self, count: usize) -> crate::Result<earl_sampling::SampleBatch> {
+        let batch = match self {
+            Sampler::Pre(s) => s.draw(count)?,
+            Sampler::Post(s) => s.draw(count)?,
+        };
+        Ok(batch)
+    }
+
+    fn drawn(&self) -> u64 {
+        match self {
+            Sampler::Pre(s) => s.drawn(),
+            Sampler::Post(s) => s.drawn(),
+        }
+    }
+}
+
+/// The EARL driver.
+#[derive(Debug, Clone)]
+pub struct EarlDriver {
+    dfs: Dfs,
+    config: EarlConfig,
+}
+
+impl EarlDriver {
+    /// Creates a driver over the given DFS.  The configuration is validated on
+    /// each run.
+    pub fn new(dfs: Dfs, config: EarlConfig) -> Self {
+        Self { dfs, config }
+    }
+
+    /// The DFS this driver operates on.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &EarlConfig {
+        &self.config
+    }
+
+    /// Runs `task` over `path` with early approximation, returning a report
+    /// whose error estimate satisfies the configured bound σ.
+    ///
+    /// Falls back to exact execution (like stock Hadoop) when the SSABE
+    /// estimate says sampling will not pay off.  Returns
+    /// [`EarlError::AccuracyNotReached`] carrying the partial report when the
+    /// bound cannot be met within the iteration budget.
+    pub fn run<T: EarlTask>(&self, path: impl Into<DfsPath>, task: &T) -> Result<EarlReport> {
+        self.config.validate()?;
+        let path = path.into();
+        let status = self.dfs.status(path.clone())?;
+        let population = status.num_records.unwrap_or(0);
+        if population == 0 {
+            return Err(EarlError::NoUsableRecords);
+        }
+        let cluster = self.dfs.cluster().clone();
+        let start_time = cluster.elapsed();
+        let start_bytes = cluster.metrics().snapshot().total_disk_bytes_read();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // ---- sampler --------------------------------------------------------
+        let mut sampler = match self.config.sampling {
+            SamplingMethod::PreMap => {
+                Sampler::Pre(PreMapSampler::new(self.dfs.clone(), path.clone(), self.config.seed)?)
+            }
+            SamplingMethod::PostMap => {
+                Sampler::Post(PostMapSampler::new(self.dfs.clone(), path.clone(), self.config.seed)?)
+            }
+        };
+
+        // ---- pilot + SSABE (phase 1, run in local mode) ----------------------
+        let pilot_target = ((population as f64 * self.config.pilot_fraction).ceil() as u64)
+            .max(self.config.min_pilot)
+            .min(population) as usize;
+        let pilot_batch = sampler.draw(pilot_target)?;
+        let mut records: Vec<(u64, String)> = pilot_batch.records;
+        let mut values: Vec<f64> =
+            records.iter().filter_map(|(_, line)| task.extract(line)).collect();
+        if values.is_empty() {
+            return Err(EarlError::NoUsableRecords);
+        }
+
+        let estimator = TaskEstimator::new(task);
+        let (bootstraps, target_n, worthwhile) = match (self.config.bootstraps, self.config.sample_size) {
+            (Some(b), Some(n)) => (b, n.min(population), (b as u64) * n < population),
+            _ => {
+                let ssabe = Ssabe::new(SsabeConfig::new(self.config.sigma, self.config.tau))
+                    .map_err(EarlError::Stats)?;
+                match ssabe.estimate(&mut rng, &values, &estimator, population) {
+                    Ok(est) => {
+                        // SSABE runs in local mode on one machine: charge its
+                        // resampling CPU to the accuracy-estimation phase.
+                        cluster.charge_reduce_cpu(
+                            Phase::AccuracyEstimation,
+                            (est.b * values.len()) as u64,
+                            task.is_heavy(),
+                        );
+                        let b = self.config.bootstraps.unwrap_or(est.b);
+                        let n = self.config.sample_size.unwrap_or(est.n).min(population);
+                        (b, n, est.worthwhile)
+                    }
+                    // Pilot too small for the ladder fit (tiny files): sampling
+                    // will not pay off anyway.
+                    Err(_) => (30, population, false),
+                }
+            }
+        };
+
+        if !worthwhile {
+            return self.run_exact(path, task);
+        }
+
+        // ---- iterative approximation -----------------------------------------
+        let aes = AccuracyEstimationStage::new(self.config.sigma);
+        let mut session = PipelinedSession::new(self.dfs.clone());
+        let feedback = session.feedback();
+        let mut incremental: Option<IncrementalBootstrap> = None;
+        let mut target_n = target_n.max(1);
+        let mut iterations = 0usize;
+        let mut last_bootstrap: Option<BootstrapResult> = None;
+        let mut exact = false;
+
+        let mut exhausted = false;
+        while iterations < self.config.max_iterations {
+            iterations += 1;
+
+            // Expand the sample up to the current target.
+            let mut delta_values: Vec<f64> = Vec::new();
+            if (values.len() as u64) < target_n {
+                let needed = (target_n - values.len() as u64) as usize;
+                let batch = sampler.draw(needed)?;
+                if batch.is_empty() {
+                    // The sampler cannot produce more records: whatever we have
+                    // is effectively the whole usable population.
+                    exhausted = true;
+                } else {
+                    delta_values =
+                        batch.records.iter().filter_map(|(_, line)| task.extract(line)).collect();
+                    records.extend(batch.records);
+                    values.extend(delta_values.iter().copied());
+                }
+            }
+
+            // Run the user's job on the current sample through the MapReduce
+            // engine (tasks are reused across iterations — pipelining §2.1).
+            let conf = JobConf::new(format!("earl-{}", task.name()), InputSource::Memory(records.clone()));
+            let mapper = TaskMapper::new(task);
+            let reducer = TaskReducer::new(task);
+            session.run_iteration(&conf, &mapper, &reducer)?;
+
+            // Accuracy estimation stage.
+            let (bootstrap_result, aes_records) = if self.config.delta_maintenance {
+                match incremental.as_mut() {
+                    None => {
+                        let ib =
+                            IncrementalBootstrap::new(&mut rng, &values, bootstraps, SketchConfig::default())
+                                .map_err(EarlError::Stats)?;
+                        let touched = (bootstraps * values.len()) as u64;
+                        let result = ib.evaluate(&estimator);
+                        incremental = Some(ib);
+                        (result, touched)
+                    }
+                    Some(ib) => {
+                        let touched = if delta_values.is_empty() {
+                            0
+                        } else {
+                            ib.expand(&mut rng, &delta_values).map_err(EarlError::Stats)?.items_touched
+                        };
+                        (ib.evaluate(&estimator), touched)
+                    }
+                }
+            } else {
+                let result = bootstrap_distribution(
+                    &mut rng,
+                    &values,
+                    &estimator,
+                    &BootstrapConfig::with_resamples(bootstraps),
+                )
+                .map_err(EarlError::Stats)?;
+                ((bootstraps * values.len()) as u64).pipe(|records| (result, records))
+            };
+            cluster.charge_reduce_cpu(Phase::AccuracyEstimation, aes_records, task.is_heavy());
+
+            // Post the error on the reducer→mapper feedback channel (§3.3).
+            feedback.post(ErrorReport { reducer: 0, error: bootstrap_result.cv, timestamp: cluster.now() });
+
+            let cv = bootstrap_result.cv;
+            last_bootstrap = Some(bootstrap_result);
+
+            if values.len() as u64 >= population {
+                exact = true;
+                break;
+            }
+            if aes.meets_bound(cv) || exhausted {
+                break;
+            }
+            // Expand and try again.
+            let next = ((values.len() as f64) * self.config.expansion_factor).ceil() as u64;
+            target_n = next.min(population);
+        }
+
+        // ---- report ----------------------------------------------------------
+        let bootstrap_result = last_bootstrap.ok_or(EarlError::NoUsableRecords)?;
+        let sampled_fraction = (sampler.drawn() as f64 / population as f64).clamp(0.0, 1.0);
+        let aes_report = aes.summarise(task, &bootstrap_result, sampled_fraction, values.len());
+        let report = EarlReport {
+            task: task.name().to_owned(),
+            result: if exact { task.evaluate(&values) } else { aes_report.corrected_result },
+            uncorrected_result: aes_report.result,
+            error_estimate: if exact { 0.0 } else { aes_report.cv },
+            target_sigma: self.config.sigma,
+            ci_low: aes_report.ci.0,
+            ci_high: aes_report.ci.1,
+            sample_size: values.len() as u64,
+            population,
+            sample_fraction: sampled_fraction,
+            bootstraps: aes_report.bootstraps,
+            iterations,
+            exact,
+            sim_time: cluster.elapsed() - start_time,
+            bytes_read: cluster.metrics().snapshot().total_disk_bytes_read() - start_bytes,
+            resample_work: incremental.as_ref().map(|ib| ib.work()),
+        };
+        if report.meets_bound() {
+            Ok(report)
+        } else {
+            Err(EarlError::AccuracyNotReached(Box::new(report)))
+        }
+    }
+
+    /// Runs `task` exactly over the full data set through the MapReduce engine
+    /// — the "stock Hadoop" baseline of the paper's experiments.
+    pub fn run_exact<T: EarlTask>(&self, path: impl Into<DfsPath>, task: &T) -> Result<EarlReport> {
+        self.config.validate()?;
+        let path = path.into();
+        let status = self.dfs.status(path.clone())?;
+        let population = status.num_records.unwrap_or(0);
+        let cluster = self.dfs.cluster().clone();
+        let start_time = cluster.elapsed();
+        let start_bytes = cluster.metrics().snapshot().total_disk_bytes_read();
+
+        let conf = JobConf::new(format!("exact-{}", task.name()), InputSource::Path(path));
+        let mapper = TaskMapper::new(task);
+        let reducer = TaskReducer::new(task);
+        let result = earl_mapreduce::run_job(&self.dfs, &conf, &mapper, &reducer)?;
+        let value = result.outputs.first().copied().ok_or(EarlError::NoUsableRecords)?;
+
+        Ok(EarlReport {
+            task: task.name().to_owned(),
+            result: value,
+            uncorrected_result: value,
+            error_estimate: 0.0,
+            target_sigma: self.config.sigma,
+            ci_low: value,
+            ci_high: value,
+            sample_size: result.stats.map_input_records,
+            population,
+            sample_fraction: 1.0,
+            bootstraps: 0,
+            iterations: 1,
+            exact: true,
+            sim_time: cluster.elapsed() - start_time,
+            bytes_read: cluster.metrics().snapshot().total_disk_bytes_read() - start_bytes,
+            resample_work: None,
+        })
+    }
+}
+
+/// Tiny `pipe` helper so the non-delta branch reads naturally.
+trait Pipe: Sized {
+    fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
+        f(self)
+    }
+}
+impl<T> Pipe for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{MeanTask, MedianTask, SumTask};
+    use earl_cluster::{Cluster, CostModel};
+    use earl_dfs::DfsConfig;
+    use earl_workload::{DatasetBuilder, DatasetSpec};
+
+    fn dfs(nodes: u32) -> Dfs {
+        let cluster = Cluster::builder().nodes(nodes).cost_model(CostModel::commodity_2012()).build().unwrap();
+        Dfs::new(cluster, DfsConfig { block_size: 1 << 16, replication: 2, io_chunk: 128 }).unwrap()
+    }
+
+    fn build(dfs: &Dfs, records: u64, seed: u64) -> earl_workload::dataset::GeneratedDataset {
+        DatasetBuilder::new(dfs.clone())
+            .build("/data", &DatasetSpec::normal(records, 500.0, 100.0, seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn approximate_mean_meets_the_bound_and_is_accurate() {
+        let dfs = dfs(5);
+        let ds = build(&dfs, 50_000, 1);
+        let driver = EarlDriver::new(dfs, EarlConfig::default());
+        let report = driver.run("/data", &MeanTask).unwrap();
+        assert!(!report.exact, "50k records at σ=5% must not require exact execution");
+        assert!(report.meets_bound());
+        assert!(report.sample_fraction < 0.25, "sample fraction {} should be small", report.sample_fraction);
+        assert!(
+            report.relative_error_vs(ds.true_mean) < 0.05,
+            "result {} vs truth {}",
+            report.result,
+            ds.true_mean
+        );
+        assert!(report.bootstraps >= 5);
+        assert!(report.sim_time > earl_cluster::SimDuration::ZERO);
+        assert!(report.bytes_read > 0);
+    }
+
+    #[test]
+    fn approximate_is_much_cheaper_than_exact() {
+        let dfs = dfs(5);
+        build(&dfs, 50_000, 2);
+        let driver = EarlDriver::new(dfs.clone(), EarlConfig::default());
+
+        let approx = driver.run("/data", &MeanTask).unwrap();
+        let exact = driver.run_exact("/data", &MeanTask).unwrap();
+        assert!(exact.exact);
+        assert!(
+            approx.bytes_read < exact.bytes_read / 2,
+            "sampling must read far less: {} vs {}",
+            approx.bytes_read,
+            exact.bytes_read
+        );
+        // The answers agree to within the error bound.  (The *time* crossover —
+        // EARL only wins on sufficiently large inputs, Fig. 5 — is exercised by
+        // the integration tests and the fig5 experiment, not on this tiny file.)
+        assert!((approx.result - exact.result).abs() / exact.result < 0.05);
+    }
+
+    #[test]
+    fn tiny_dataset_falls_back_to_exact_execution() {
+        let dfs = dfs(2);
+        // High dispersion (cv = 0.8) so the SSABE-estimated B·n exceeds the
+        // 300 available records and sampling cannot pay off.
+        let ds = DatasetBuilder::new(dfs.clone())
+            .build("/data", &DatasetSpec::normal(300, 500.0, 400.0, 3))
+            .unwrap();
+        let driver = EarlDriver::new(dfs, EarlConfig::default());
+        let report = driver.run("/data", &MeanTask).unwrap();
+        assert!(report.exact, "B·n ≥ N for a 300-record file");
+        assert_eq!(report.sample_fraction, 1.0);
+        assert!((report.result - ds.true_mean).abs() < 1e-9);
+        assert_eq!(report.error_estimate, 0.0);
+    }
+
+    #[test]
+    fn sum_task_is_corrected_to_population_scale() {
+        let dfs = dfs(3);
+        let ds = build(&dfs, 40_000, 4);
+        let truth: f64 = ds.values.iter().sum();
+        let driver = EarlDriver::new(dfs, EarlConfig::default());
+        let report = driver.run("/data", &SumTask).unwrap();
+        assert!(
+            report.relative_error_vs(truth) < 0.08,
+            "corrected sum {} vs truth {truth}",
+            report.result
+        );
+        assert!(report.result > report.uncorrected_result, "sum must be scaled up by 1/p");
+    }
+
+    #[test]
+    fn median_works_with_and_without_delta_maintenance() {
+        let dfs = dfs(3);
+        let ds = build(&dfs, 30_000, 5);
+        for delta in [true, false] {
+            let config = EarlConfig { delta_maintenance: delta, ..EarlConfig::default() };
+            let driver = EarlDriver::new(dfs.clone(), config);
+            let report = driver.run("/data", &MedianTask).unwrap();
+            assert!(report.meets_bound());
+            assert!(
+                report.relative_error_vs(ds.true_median) < 0.05,
+                "median {} vs truth {} (delta={delta})",
+                report.result,
+                ds.true_median
+            );
+            assert_eq!(report.resample_work.is_some(), delta);
+        }
+    }
+
+    #[test]
+    fn tighter_bounds_need_bigger_samples() {
+        let dfs = dfs(3);
+        // High dispersion so that σ = 1% genuinely needs more than the pilot.
+        DatasetBuilder::new(dfs.clone())
+            .build("/data", &DatasetSpec::normal(60_000, 500.0, 400.0, 6))
+            .unwrap();
+        let loose = EarlDriver::new(dfs.clone(), EarlConfig::with_sigma(0.10))
+            .run("/data", &MeanTask)
+            .unwrap();
+        let tight = EarlDriver::new(dfs, EarlConfig::with_sigma(0.01)).run("/data", &MeanTask).unwrap();
+        assert!(
+            tight.sample_size > loose.sample_size,
+            "σ=1% sample {} must exceed σ=10% sample {}",
+            tight.sample_size,
+            loose.sample_size
+        );
+    }
+
+    #[test]
+    fn post_map_sampling_also_works() {
+        let dfs = dfs(3);
+        let ds = build(&dfs, 20_000, 7);
+        let config = EarlConfig { sampling: SamplingMethod::PostMap, ..EarlConfig::default() };
+        let driver = EarlDriver::new(dfs, config);
+        let report = driver.run("/data", &MeanTask).unwrap();
+        assert!(report.meets_bound());
+        assert!(report.relative_error_vs(ds.true_mean) < 0.05);
+    }
+
+    #[test]
+    fn fixed_b_and_n_override_ssabe() {
+        let dfs = dfs(3);
+        build(&dfs, 20_000, 8);
+        let config = EarlConfig {
+            bootstraps: Some(12),
+            sample_size: Some(1_000),
+            ..EarlConfig::default()
+        };
+        let driver = EarlDriver::new(dfs, config);
+        let report = driver.run("/data", &MeanTask).unwrap();
+        assert_eq!(report.bootstraps, 12);
+        assert!(report.sample_size >= 1_000);
+    }
+
+    #[test]
+    fn missing_file_and_unparsable_data_error() {
+        let dfs = dfs(2);
+        let driver = EarlDriver::new(dfs.clone(), EarlConfig::default());
+        assert!(matches!(driver.run("/missing", &MeanTask), Err(EarlError::Dfs(_))));
+        dfs.write_lines("/text", (0..1000).map(|i| format!("word-{i}"))).unwrap();
+        assert!(matches!(driver.run("/text", &MeanTask), Err(EarlError::NoUsableRecords)));
+        let invalid = EarlDriver::new(dfs, EarlConfig { sigma: 2.0, ..EarlConfig::default() });
+        assert!(matches!(invalid.run("/text", &MeanTask), Err(EarlError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn reports_are_deterministic_for_a_fixed_seed() {
+        let make = || {
+            let dfs = dfs(3);
+            build(&dfs, 20_000, 11);
+            EarlDriver::new(dfs, EarlConfig::default()).run("/data", &MeanTask).unwrap()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.sample_size, b.sample_size);
+        assert_eq!(a.error_estimate, b.error_estimate);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the EARL library.
+
+use std::fmt;
+
+use earl_bootstrap::StatsError;
+use earl_dfs::DfsError;
+use earl_mapreduce::MrError;
+use earl_sampling::SamplingError;
+
+/// Errors raised by EARL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EarlError {
+    /// The underlying DFS reported an error.
+    Dfs(DfsError),
+    /// The MapReduce engine reported an error.
+    MapReduce(MrError),
+    /// A sampler reported an error.
+    Sampling(SamplingError),
+    /// The statistics layer reported an error.
+    Stats(StatsError),
+    /// The configuration is invalid.
+    InvalidConfig(String),
+    /// The input contained no parsable records for the task.
+    NoUsableRecords,
+    /// The requested accuracy could not be reached within the configured
+    /// iteration budget; the partial report is attached.
+    AccuracyNotReached(Box<crate::report::EarlReport>),
+}
+
+impl fmt::Display for EarlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EarlError::Dfs(e) => write!(f, "dfs error: {e}"),
+            EarlError::MapReduce(e) => write!(f, "mapreduce error: {e}"),
+            EarlError::Sampling(e) => write!(f, "sampling error: {e}"),
+            EarlError::Stats(e) => write!(f, "statistics error: {e}"),
+            EarlError::InvalidConfig(msg) => write!(f, "invalid EARL configuration: {msg}"),
+            EarlError::NoUsableRecords => write!(f, "no records could be parsed for this task"),
+            EarlError::AccuracyNotReached(report) => write!(
+                f,
+                "requested error bound {} not reached (achieved {:.4} with a {:.1}% sample)",
+                report.target_sigma,
+                report.error_estimate,
+                report.sample_fraction * 100.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EarlError {}
+
+impl From<DfsError> for EarlError {
+    fn from(e: DfsError) -> Self {
+        EarlError::Dfs(e)
+    }
+}
+
+impl From<MrError> for EarlError {
+    fn from(e: MrError) -> Self {
+        EarlError::MapReduce(e)
+    }
+}
+
+impl From<SamplingError> for EarlError {
+    fn from(e: SamplingError) -> Self {
+        EarlError::Sampling(e)
+    }
+}
+
+impl From<StatsError> for EarlError {
+    fn from(e: StatsError) -> Self {
+        EarlError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EarlError = DfsError::FileNotFound("/x".into()).into();
+        assert!(e.to_string().contains("/x"));
+        let e: EarlError = MrError::ClusterLost.into();
+        assert!(e.to_string().contains("mapreduce"));
+        let e: EarlError = SamplingError::InvalidConfig("p".into()).into();
+        assert!(e.to_string().contains("sampling"));
+        let e: EarlError = StatsError::EmptySample.into();
+        assert!(e.to_string().contains("statistics"));
+        assert!(EarlError::NoUsableRecords.to_string().contains("parsed"));
+        assert!(EarlError::InvalidConfig("sigma".into()).to_string().contains("sigma"));
+    }
+}

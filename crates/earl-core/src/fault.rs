@@ -1,0 +1,169 @@
+//! Fault-tolerant approximate completion (§3.4).
+//!
+//! Stock Hadoop reacts to node failures with data re-replication and task
+//! restarts.  EARL's observation: if the user accepts an approximate answer,
+//! the records that survive on live nodes *are* a sample, and the Accuracy
+//! Estimation Stage can bound the error of the answer computed from them — no
+//! restarts needed.  (The surviving data is a uniform sample of the input only
+//! insofar as block placement is value-independent, which the DFS re-balancer
+//! guarantees for the synthetic workloads used here; the same caveat applies to
+//! the paper.)
+
+use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig};
+use earl_cluster::Phase;
+use earl_dfs::{Dfs, DfsPath};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::EarlConfig;
+use crate::error::EarlError;
+use crate::report::EarlReport;
+use crate::task::{EarlTask, TaskEstimator};
+use crate::Result;
+
+/// Computes `task` over whatever fraction of `path` is still readable after
+/// node failures, and attaches a bootstrap error estimate to the result
+/// instead of restarting anything.
+pub fn run_despite_failures<T: EarlTask>(
+    dfs: &Dfs,
+    path: impl Into<DfsPath>,
+    task: &T,
+    config: &EarlConfig,
+) -> Result<EarlReport> {
+    config.validate()?;
+    let path = path.into();
+    let cluster = dfs.cluster().clone();
+    let start_time = cluster.elapsed();
+    let start_bytes = cluster.metrics().snapshot().total_disk_bytes_read();
+
+    // Bring DFS metadata in sync with whatever has failed so far.
+    dfs.reconcile_failures();
+    let status = dfs.status(path.clone())?;
+    let population = status.num_records.unwrap_or(0);
+    if population == 0 {
+        return Err(EarlError::NoUsableRecords);
+    }
+
+    // Read every split that still has a live replica; skip the rest.
+    let mut surviving: Vec<f64> = Vec::new();
+    let mut lost_splits = 0usize;
+    let splits = dfs.default_splits(path.clone())?;
+    for split in splits {
+        let mut reader = dfs.open_split(split, Phase::Load);
+        match reader.read_all() {
+            Ok(lines) => {
+                surviving.extend(lines.iter().filter_map(|(_, l)| task.extract(l)));
+            }
+            Err(_) => lost_splits += 1,
+        }
+    }
+    if surviving.is_empty() {
+        return Err(EarlError::NoUsableRecords);
+    }
+
+    // Treat the surviving records as the sample and estimate the error.
+    let p = (surviving.len() as f64 / population as f64).clamp(0.0, 1.0);
+    let bootstraps = config.bootstraps.unwrap_or(30).max(2);
+    let estimator = TaskEstimator::new(task);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let bootstrap = bootstrap_distribution(
+        &mut rng,
+        &surviving,
+        &estimator,
+        &BootstrapConfig::with_resamples(bootstraps),
+    )
+    .map_err(EarlError::Stats)?;
+    cluster.charge_reduce_cpu(
+        Phase::AccuracyEstimation,
+        (bootstraps * surviving.len()) as u64,
+        task.is_heavy(),
+    );
+
+    let exact = lost_splits == 0 && surviving.len() as u64 >= population;
+    let (ci_low, ci_high) = bootstrap.percentile_ci(0.05);
+    Ok(EarlReport {
+        task: task.name().to_owned(),
+        result: task.correct(bootstrap.point_estimate, p),
+        uncorrected_result: bootstrap.point_estimate,
+        error_estimate: if exact { 0.0 } else { bootstrap.cv },
+        target_sigma: config.sigma,
+        ci_low: task.correct(ci_low, p),
+        ci_high: task.correct(ci_high, p),
+        sample_size: surviving.len() as u64,
+        population,
+        sample_fraction: p,
+        bootstraps,
+        iterations: 1,
+        exact,
+        sim_time: cluster.elapsed() - start_time,
+        bytes_read: cluster.metrics().snapshot().total_disk_bytes_read() - start_bytes,
+        resample_work: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::MeanTask;
+    use earl_cluster::{Cluster, CostModel, NodeId};
+    use earl_dfs::DfsConfig;
+    use earl_workload::{DatasetBuilder, DatasetSpec};
+
+    fn setup(replication: u32) -> (Dfs, f64) {
+        let cluster = Cluster::builder().nodes(4).cost_model(CostModel::free()).build().unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig { block_size: 2048, replication, io_chunk: 256 },
+        )
+        .unwrap();
+        let ds = DatasetBuilder::new(dfs.clone())
+            .build("/ft", &DatasetSpec::normal(20_000, 100.0, 20.0, 1))
+            .unwrap();
+        (dfs, ds.true_mean)
+    }
+
+    #[test]
+    fn no_failures_gives_the_exact_answer() {
+        let (dfs, truth) = setup(2);
+        let report = run_despite_failures(&dfs, "/ft", &MeanTask, &EarlConfig::default()).unwrap();
+        assert!(report.exact);
+        assert_eq!(report.sample_fraction, 1.0);
+        assert!((report.result - truth).abs() / truth < 1e-9);
+    }
+
+    #[test]
+    fn node_failure_with_replication_one_still_yields_a_bounded_answer() {
+        // Replication 1 so a failure genuinely loses data.
+        let (dfs, truth) = setup(1);
+        dfs.cluster().fail_node(NodeId(0)).unwrap();
+        dfs.cluster().fail_node(NodeId(1)).unwrap();
+        let report = run_despite_failures(&dfs, "/ft", &MeanTask, &EarlConfig::default()).unwrap();
+        assert!(report.sample_fraction < 1.0, "some data must have been lost");
+        assert!(report.sample_fraction > 0.0);
+        assert!(!report.exact);
+        assert!(report.error_estimate > 0.0);
+        // The answer from the surviving half is still close to the truth, and
+        // the bootstrap error bound brackets the discrepancy.
+        let rel = (report.result - truth).abs() / truth;
+        assert!(rel < 0.05, "mean from surviving data off by {rel}");
+        assert!(report.ci_low < truth && truth < report.ci_high);
+    }
+
+    #[test]
+    fn losing_everything_is_an_error() {
+        let (dfs, _) = setup(1);
+        for node in dfs.cluster().available_nodes() {
+            dfs.cluster().fail_node(node).unwrap();
+        }
+        assert!(matches!(
+            run_despite_failures(&dfs, "/ft", &MeanTask, &EarlConfig::default()),
+            Err(EarlError::NoUsableRecords) | Err(EarlError::Dfs(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let (dfs, _) = setup(2);
+        assert!(run_despite_failures(&dfs, "/missing", &MeanTask, &EarlConfig::default()).is_err());
+    }
+}

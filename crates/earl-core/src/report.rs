@@ -1,0 +1,162 @@
+//! The report returned to the user after an EARL run.
+
+use std::fmt;
+
+use earl_bootstrap::delta::UpdateWork;
+use earl_cluster::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Everything EARL knows about an answer it produced: the (corrected) result,
+/// how accurate it believes it is, how much data it touched, and what the run
+/// cost on the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EarlReport {
+    /// Name of the task that was run.
+    pub task: String,
+    /// The final (corrected) result.
+    pub result: f64,
+    /// The result before `correct()` was applied.
+    pub uncorrected_result: f64,
+    /// The achieved error estimate (coefficient of variation of the bootstrap
+    /// result distribution); 0 when the result is exact.
+    pub error_estimate: f64,
+    /// The error bound σ the user asked for.
+    pub target_sigma: f64,
+    /// 95 % percentile confidence interval of the result distribution.
+    pub ci_low: f64,
+    /// Upper end of the 95 % interval.
+    pub ci_high: f64,
+    /// Records in the final sample.
+    pub sample_size: u64,
+    /// Records in the full data set (N).
+    pub population: u64,
+    /// `sample_size / population` — the `p` used for result correction.
+    pub sample_fraction: f64,
+    /// Number of bootstrap resamples used (B).
+    pub bootstraps: usize,
+    /// Number of sample-expansion iterations performed.
+    pub iterations: usize,
+    /// Whether EARL fell back to exact execution over the entire data set.
+    pub exact: bool,
+    /// Simulated processing time of the whole run.
+    pub sim_time: SimDuration,
+    /// Bytes read from the DFS during the run.
+    pub bytes_read: u64,
+    /// Resample-maintenance work accounting, when delta maintenance was used.
+    pub resample_work: Option<UpdateWork>,
+}
+
+impl EarlReport {
+    /// Whether the achieved error satisfies the requested bound.
+    pub fn meets_bound(&self) -> bool {
+        self.exact || self.error_estimate <= self.target_sigma + 1e-12
+    }
+
+    /// The relative error of the result against a known ground truth (used by
+    /// tests and the experiment harness on synthetic data).
+    pub fn relative_error_vs(&self, truth: f64) -> f64 {
+        if truth == 0.0 {
+            return (self.result - truth).abs();
+        }
+        (self.result - truth).abs() / truth.abs()
+    }
+}
+
+impl fmt::Display for EarlReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "EARL report for task `{}`", self.task)?;
+        writeln!(f, "  result            : {:.6} (uncorrected {:.6})", self.result, self.uncorrected_result)?;
+        if self.exact {
+            writeln!(f, "  accuracy          : exact (computed over the full data set)")?;
+        } else {
+            writeln!(
+                f,
+                "  accuracy          : cv {:.4} (bound {:.4}), 95% CI [{:.4}, {:.4}]",
+                self.error_estimate, self.target_sigma, self.ci_low, self.ci_high
+            )?;
+        }
+        writeln!(
+            f,
+            "  sample            : {} of {} records ({:.3}%) in {} iteration(s), B = {}",
+            self.sample_size,
+            self.population,
+            self.sample_fraction * 100.0,
+            self.iterations,
+            self.bootstraps
+        )?;
+        writeln!(f, "  simulated time    : {}", self.sim_time)?;
+        writeln!(f, "  bytes read        : {}", self.bytes_read)?;
+        if let Some(work) = &self.resample_work {
+            writeln!(
+                f,
+                "  resample work     : {} items touched of {} naive ({:.1}% saved)",
+                work.items_touched,
+                work.naive_items,
+                work.savings() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> EarlReport {
+        EarlReport {
+            task: "mean".into(),
+            result: 100.0,
+            uncorrected_result: 100.0,
+            error_estimate: 0.03,
+            target_sigma: 0.05,
+            ci_low: 95.0,
+            ci_high: 105.0,
+            sample_size: 1_000,
+            population: 100_000,
+            sample_fraction: 0.01,
+            bootstraps: 30,
+            iterations: 1,
+            exact: false,
+            sim_time: SimDuration::from_millis(1234),
+            bytes_read: 4096,
+            resample_work: None,
+        }
+    }
+
+    #[test]
+    fn meets_bound_logic() {
+        let mut r = report();
+        assert!(r.meets_bound());
+        r.error_estimate = 0.06;
+        assert!(!r.meets_bound());
+        r.exact = true;
+        assert!(r.meets_bound(), "exact results always meet the bound");
+    }
+
+    #[test]
+    fn relative_error() {
+        let r = report();
+        assert!((r.relative_error_vs(102.0) - 2.0 / 102.0).abs() < 1e-12);
+        assert_eq!(r.relative_error_vs(0.0), 100.0);
+    }
+
+    #[test]
+    fn display_contains_the_essentials() {
+        let mut r = report();
+        r.resample_work = Some(earl_bootstrap::delta::UpdateWork {
+            items_touched: 10,
+            naive_items: 100,
+            sketch_hits: 10,
+            disk_accesses: 0,
+        });
+        let text = r.to_string();
+        assert!(text.contains("mean"));
+        assert!(text.contains("cv 0.0300"));
+        assert!(text.contains("B = 30"));
+        assert!(text.contains("90.0% saved"));
+        let mut exact = report();
+        exact.exact = true;
+        assert!(exact.to_string().contains("exact"));
+    }
+}

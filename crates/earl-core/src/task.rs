@@ -1,0 +1,119 @@
+//! The [`EarlTask`] abstraction: the paper's extended reduce interface.
+//!
+//! EARL extends the MapReduce reduce phase with a finer-grained interface
+//! (§2.1) of four methods:
+//!
+//! * `initialize()` — reduce a set of values into a *state*;
+//! * `update()` — merge another state (or new values) into an existing state,
+//!   enabling incremental processing as the sample grows;
+//! * `finalize()` — turn the state into the current result;
+//! * `correct()` — adjust a result computed from a `p`-fraction sample so it
+//!   refers to the full data set (e.g. a SUM must be scaled by `1/p`; a MEAN
+//!   needs no correction).
+//!
+//! Tasks also know how to extract their input values from raw record lines, so
+//! the same task can be run by the sampling driver or by an exact MapReduce
+//! job.
+
+use earl_bootstrap::Estimator;
+
+/// A user analytics task in EARL's incremental-reduce form.
+pub trait EarlTask: Send + Sync {
+    /// The intermediate state produced by `initialize` and consumed by
+    /// `finalize`.
+    type State: Clone + Send + Sync;
+
+    /// Short task name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Parses one input line into a value contributing to this task, or `None`
+    /// if the line carries nothing relevant.  The default takes the last
+    /// tab-separated field and parses it as `f64`.
+    fn extract(&self, line: &str) -> Option<f64> {
+        line.rsplit('\t').next().and_then(|f| f.trim().parse().ok())
+    }
+
+    /// Reduces a set of values into a state.
+    fn initialize(&self, values: &[f64]) -> Self::State;
+
+    /// Merges `other` into `state` (used for incremental/partial processing).
+    fn update(&self, state: &mut Self::State, other: &Self::State);
+
+    /// Computes the current result from a state.
+    fn finalize(&self, state: &Self::State) -> f64;
+
+    /// Corrects a result computed from a fraction `p` of the data (0 < p ≤ 1).
+    /// The default is the identity — correct for scale-free statistics such as
+    /// the mean, median or variance.
+    fn correct(&self, result: f64, p: f64) -> f64 {
+        let _ = p;
+        result
+    }
+
+    /// Whether evaluating the task is CPU-heavy (propagated to the cost model).
+    fn is_heavy(&self) -> bool {
+        false
+    }
+
+    /// Convenience: evaluate the task end-to-end on a slice of values.
+    fn evaluate(&self, values: &[f64]) -> f64 {
+        self.finalize(&self.initialize(values))
+    }
+}
+
+/// Adapts an [`EarlTask`] into an [`earl_bootstrap::Estimator`], so the
+/// bootstrap machinery can evaluate the user's job on resamples — the core of
+/// the Accuracy Estimation Stage.
+pub struct TaskEstimator<'a, T: EarlTask> {
+    task: &'a T,
+}
+
+impl<'a, T: EarlTask> TaskEstimator<'a, T> {
+    /// Wraps a task.
+    pub fn new(task: &'a T) -> Self {
+        Self { task }
+    }
+}
+
+impl<T: EarlTask> Estimator for TaskEstimator<'_, T> {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        self.task.evaluate(data)
+    }
+    fn name(&self) -> &'static str {
+        self.task.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{MeanTask, SumTask};
+
+    #[test]
+    fn default_extract_parses_plain_and_keyed_lines() {
+        let task = MeanTask;
+        assert_eq!(task.extract("3.5"), Some(3.5));
+        assert_eq!(task.extract("key\t7.25"), Some(7.25));
+        assert_eq!(task.extract("a\tb\t-2"), Some(-2.0));
+        assert_eq!(task.extract("junk"), None);
+    }
+
+    #[test]
+    fn evaluate_composes_initialize_and_finalize() {
+        assert_eq!(MeanTask.evaluate(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(SumTask.evaluate(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn task_estimator_adapts_to_the_bootstrap_interface() {
+        let task = MeanTask;
+        let est = TaskEstimator::new(&task);
+        assert_eq!(est.estimate(&[2.0, 4.0]), 3.0);
+        assert_eq!(Estimator::name(&est), "mean");
+    }
+
+    #[test]
+    fn default_correct_is_identity() {
+        assert_eq!(MeanTask.correct(42.0, 0.01), 42.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Built-in analytics tasks.
+//!
+//! These cover the statistics used in the paper's evaluation — mean (Fig. 5),
+//! median (Fig. 6), K-Means (Fig. 7) — plus the other aggregates the EARL
+//! programming interface is designed around (sum and count with `1/p`
+//! correction, quantiles, variance, extrema).
+
+pub mod basic;
+pub mod kmeans;
+pub mod moments;
+pub mod order;
+
+pub use basic::{CountTask, MeanTask, SumTask};
+pub use kmeans::{
+    approximate_kmeans, centroid_match_error, exact_kmeans_mapreduce, lloyd, parse_point,
+    ApproxKmeansReport, KmeansConfig, KmeansModel,
+};
+pub use moments::{StdDevTask, VarianceTask};
+pub use order::{MaxTask, MedianTask, MinTask, QuantileTask};

@@ -1,0 +1,156 @@
+//! Order statistics: median, quantiles, extrema.
+//!
+//! These are exactly the statistics for which no simple closed-form error
+//! estimate exists — the paper's motivation for bootstrap-based accuracy
+//! estimation (the jackknife famously fails for the median).  Their state is a
+//! value buffer: `update()` concatenates buffers, `finalize()` sorts once.
+
+use crate::task::EarlTask;
+
+/// Mergeable buffer state for order statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BufferState {
+    values: Vec<f64>,
+}
+
+impl BufferState {
+    /// The buffered values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+fn quantile_of(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] * (1.0 - (pos - lo as f64)) + sorted[hi] * (pos - lo as f64)
+    }
+}
+
+macro_rules! buffer_task {
+    ($(#[$doc:meta])* $name:ident, $task_name:literal, |$state:ident| $finalize:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name;
+
+        impl EarlTask for $name {
+            type State = BufferState;
+            fn name(&self) -> &'static str {
+                $task_name
+            }
+            fn initialize(&self, values: &[f64]) -> BufferState {
+                BufferState { values: values.to_vec() }
+            }
+            fn update(&self, state: &mut BufferState, other: &BufferState) {
+                state.values.extend_from_slice(&other.values);
+            }
+            fn finalize(&self, $state: &BufferState) -> f64 {
+                $finalize
+            }
+        }
+    };
+}
+
+buffer_task!(
+    /// The median (Fig. 6's workload).
+    MedianTask,
+    "median",
+    |state| quantile_of(&state.values, 0.5)
+);
+
+buffer_task!(
+    /// The minimum value.
+    MinTask,
+    "min",
+    |state| state.values.iter().copied().fold(f64::NAN, |a, x| if a.is_nan() || x < a { x } else { a })
+);
+
+buffer_task!(
+    /// The maximum value.
+    MaxTask,
+    "max",
+    |state| state.values.iter().copied().fold(f64::NAN, |a, x| if a.is_nan() || x > a { x } else { a })
+);
+
+/// An arbitrary `q`-quantile.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileTask {
+    q: f64,
+}
+
+impl QuantileTask {
+    /// Creates a quantile task; `q` is clamped to `[0, 1]`.
+    pub fn new(q: f64) -> Self {
+        Self { q: q.clamp(0.0, 1.0) }
+    }
+
+    /// The quantile level.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+}
+
+impl EarlTask for QuantileTask {
+    type State = BufferState;
+    fn name(&self) -> &'static str {
+        "quantile"
+    }
+    fn initialize(&self, values: &[f64]) -> BufferState {
+        BufferState { values: values.to_vec() }
+    }
+    fn update(&self, state: &mut BufferState, other: &BufferState) {
+        state.values.extend_from_slice(&other.values);
+    }
+    fn finalize(&self, state: &BufferState) -> f64 {
+        quantile_of(&state.values, self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_quantiles() {
+        let values = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(MedianTask.evaluate(&values), 5.0);
+        assert_eq!(QuantileTask::new(0.0).evaluate(&values), 1.0);
+        assert_eq!(QuantileTask::new(1.0).evaluate(&values), 9.0);
+        assert_eq!(QuantileTask::new(0.5).evaluate(&values), 5.0);
+        assert_eq!(QuantileTask::new(2.0).q(), 1.0);
+        assert!(MedianTask.evaluate(&[]).is_nan());
+    }
+
+    #[test]
+    fn extremes() {
+        let values = [4.0, -2.0, 10.0];
+        assert_eq!(MinTask.evaluate(&values), -2.0);
+        assert_eq!(MaxTask.evaluate(&values), 10.0);
+        assert!(MinTask.evaluate(&[]).is_nan());
+    }
+
+    #[test]
+    fn update_concatenates_buffers() {
+        let task = MedianTask;
+        let mut state = task.initialize(&[1.0, 2.0]);
+        let other = task.initialize(&[3.0, 4.0, 100.0]);
+        task.update(&mut state, &other);
+        assert_eq!(state.values().len(), 5);
+        assert_eq!(task.finalize(&state), 3.0);
+    }
+
+    #[test]
+    fn order_tasks_are_not_corrected() {
+        assert_eq!(MedianTask.correct(42.0, 0.01), 42.0);
+        assert_eq!(MaxTask.correct(7.0, 0.5), 7.0);
+    }
+}

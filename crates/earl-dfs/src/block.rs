@@ -1,0 +1,63 @@
+//! Blocks: the unit of storage and replication.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Default block size: 64 MB, the HDFS default the paper mentions in §3.3.
+pub const DEFAULT_BLOCK_SIZE: u64 = 64 * 1024 * 1024;
+
+/// Identifier of a block (unique within one DFS instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u64);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk_{}", self.0)
+    }
+}
+
+/// Metadata about a single block of a file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockMeta {
+    /// The block identifier.
+    pub id: BlockId,
+    /// Offset of the first byte of this block within its file.
+    pub file_offset: u64,
+    /// Number of bytes stored in the block (≤ the block size; only the last
+    /// block of a file may be shorter).
+    pub len: u64,
+}
+
+impl BlockMeta {
+    /// The half-open byte range `[file_offset, file_offset + len)` this block
+    /// covers within its file.
+    pub fn range(&self) -> std::ops::Range<u64> {
+        self.file_offset..self.file_offset + self.len
+    }
+
+    /// Whether the given file offset falls inside this block.
+    pub fn contains(&self, offset: u64) -> bool {
+        self.range().contains(&offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_meta_range_and_contains() {
+        let b = BlockMeta { id: BlockId(3), file_offset: 100, len: 50 };
+        assert_eq!(b.range(), 100..150);
+        assert!(b.contains(100));
+        assert!(b.contains(149));
+        assert!(!b.contains(150));
+        assert!(!b.contains(99));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BlockId(42).to_string(), "blk_42");
+    }
+}

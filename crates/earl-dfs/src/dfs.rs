@@ -1,0 +1,742 @@
+//! The DFS facade: create, write, read, list, delete, split.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use earl_cluster::{Cluster, NodeId, Phase};
+use parking_lot::RwLock;
+
+use crate::block::{BlockId, BlockMeta, DEFAULT_BLOCK_SIZE};
+use crate::datanode::{BlockStore, DataNodeDirectory};
+use crate::error::DfsError;
+use crate::file::{DfsPath, FileStatus};
+use crate::line_reader::LineRecordReader;
+use crate::namenode::{BlockLocation, FileMeta, NameNode};
+use crate::split::{compute_split_ranges, InputSplit};
+use crate::Result;
+
+/// Configuration of a DFS instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfsConfig {
+    /// Block size in bytes (HDFS default: 64 MB).
+    pub block_size: u64,
+    /// Replication factor (HDFS default: 3).
+    pub replication: u32,
+    /// Chunk size used by buffered line readers.
+    pub io_chunk: u64,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        Self { block_size: DEFAULT_BLOCK_SIZE, replication: 3, io_chunk: 64 * 1024 }
+    }
+}
+
+impl DfsConfig {
+    /// A configuration with small blocks, convenient for unit tests.
+    pub fn small_blocks(block_size: u64) -> Self {
+        Self { block_size, replication: 2, io_chunk: 64 }
+    }
+}
+
+/// Shared handle to a simulated distributed file system.
+#[derive(Debug, Clone)]
+pub struct Dfs {
+    inner: Arc<DfsInner>,
+}
+
+#[derive(Debug)]
+struct DfsInner {
+    cluster: Cluster,
+    config: DfsConfig,
+    namenode: RwLock<NameNode>,
+    store: RwLock<BlockStore>,
+    directory: RwLock<DataNodeDirectory>,
+    /// Where the previous read of each file ended, used to distinguish
+    /// sequential reads (no seek charged) from random reads (seek charged).
+    read_cursors: RwLock<std::collections::HashMap<DfsPath, u64>>,
+}
+
+impl Dfs {
+    /// Creates an empty DFS on the given cluster.
+    pub fn new(cluster: Cluster, config: DfsConfig) -> Result<Self> {
+        if config.block_size == 0 {
+            return Err(DfsError::InvalidConfig("block_size must be > 0".into()));
+        }
+        if config.replication == 0 {
+            return Err(DfsError::InvalidConfig("replication must be ≥ 1".into()));
+        }
+        Ok(Self {
+            inner: Arc::new(DfsInner {
+                cluster,
+                config,
+                namenode: RwLock::new(NameNode::new()),
+                store: RwLock::new(BlockStore::new()),
+                directory: RwLock::new(DataNodeDirectory::new()),
+                read_cursors: RwLock::new(std::collections::HashMap::new()),
+            }),
+        })
+    }
+
+    /// A DFS on a single free-cost node with small blocks, for unit tests.
+    pub fn for_tests() -> Self {
+        Self::new(Cluster::for_tests(), DfsConfig::small_blocks(256)).expect("valid test config")
+    }
+
+    /// The cluster backing this DFS.
+    pub fn cluster(&self) -> &Cluster {
+        &self.inner.cluster
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DfsConfig {
+        &self.inner.config
+    }
+
+    // ----- writing ----------------------------------------------------------
+
+    /// Opens a writer for a new file.  Fails if the path already exists.
+    pub fn create(&self, path: impl Into<DfsPath>) -> Result<DfsWriter> {
+        let path = path.into();
+        if self.inner.namenode.read().exists(&path) {
+            return Err(DfsError::FileExists(path.to_string()));
+        }
+        Ok(DfsWriter {
+            dfs: self.clone(),
+            path,
+            buffer: Vec::with_capacity(self.inner.config.block_size.min(1 << 20) as usize),
+            blocks: Vec::new(),
+            bytes_written: 0,
+            num_records: 0,
+            closed: false,
+        })
+    }
+
+    /// Convenience: writes an entire file from an iterator of lines (a trailing
+    /// `\n` is appended to each line).
+    pub fn write_lines<I, S>(&self, path: impl Into<DfsPath>, lines: I) -> Result<FileStatus>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut writer = self.create(path)?;
+        for line in lines {
+            writer.write_line(line.as_ref())?;
+        }
+        writer.close()
+    }
+
+    // ----- metadata ---------------------------------------------------------
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: impl Into<DfsPath>) -> bool {
+        self.inner.namenode.read().exists(&path.into())
+    }
+
+    /// Status of a file.
+    pub fn status(&self, path: impl Into<DfsPath>) -> Result<FileStatus> {
+        let path = path.into();
+        let nn = self.inner.namenode.read();
+        let meta = nn.file(&path)?;
+        Ok(FileStatus {
+            path,
+            len: meta.len,
+            num_blocks: meta.blocks.len(),
+            block_size: meta.block_size,
+            replication: meta.replication,
+            num_records: meta.num_records,
+        })
+    }
+
+    /// Lists all files.
+    pub fn list(&self) -> Vec<FileStatus> {
+        self.inner.namenode.read().list()
+    }
+
+    /// Deletes a file and frees its blocks.
+    pub fn delete(&self, path: impl Into<DfsPath>) -> Result<()> {
+        let path = path.into();
+        let blocks = self.inner.namenode.write().delete_file(&path)?;
+        let mut store = self.inner.store.write();
+        let mut dir = self.inner.directory.write();
+        for block in blocks {
+            let size = store.get(block).map(|b| b.len() as u64).unwrap_or(0);
+            store.remove(block);
+            for node in self.inner.cluster.nodes() {
+                if dir.hosts(node.id(), block) {
+                    dir.remove(node.id(), block);
+                    let _ = self.inner.cluster.record_block_removed(node.id(), size);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replica locations of every block of a file.
+    pub fn block_locations(&self, path: impl Into<DfsPath>) -> Result<Vec<BlockLocation>> {
+        self.inner.namenode.read().file_block_locations(&path.into())
+    }
+
+    /// Bytes of block data stored on a node according to the DFS directory.
+    pub fn bytes_on_node(&self, node: NodeId) -> u64 {
+        let dir = self.inner.directory.read();
+        let store = self.inner.store.read();
+        dir.blocks_on(node).iter().map(|b| store.get(*b).map(|d| d.len() as u64).unwrap_or(0)).sum()
+    }
+
+    // ----- reading ----------------------------------------------------------
+
+    /// Reads `len` bytes starting at `offset`.  A disk seek is charged only
+    /// when the read is *not* sequential with the previous read of the same
+    /// file (mirroring real disk behaviour: streaming scans pay the seek once,
+    /// random line probes pay it every time).  Reading past EOF is an error;
+    /// reading a zero-length range returns an empty buffer.
+    pub fn read_range(&self, phase: Phase, path: impl Into<DfsPath>, offset: u64, len: u64) -> Result<Bytes> {
+        let path = path.into();
+        let (file_len, blocks) = {
+            let nn = self.inner.namenode.read();
+            let meta = nn.file(&path)?;
+            (meta.len, meta.blocks.clone())
+        };
+        if offset > file_len || offset + len > file_len {
+            return Err(DfsError::OutOfBounds { offset: offset + len, len: file_len });
+        }
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        let end = offset + len;
+        for block in blocks.iter().filter(|b| b.file_offset < end && b.file_offset + b.len > offset) {
+            self.ensure_live_replica(block.id)?;
+            let data = self.inner.store.read().get(block.id)?;
+            let from = offset.saturating_sub(block.file_offset) as usize;
+            let to = (end.min(block.file_offset + block.len) - block.file_offset) as usize;
+            out.extend_from_slice(&data[from..to]);
+        }
+        let sequential = {
+            let mut cursors = self.inner.read_cursors.write();
+            let sequential = cursors.get(&path).copied() == Some(offset);
+            cursors.insert(path, end);
+            sequential
+        };
+        if sequential {
+            self.inner.cluster.charge_disk_read(phase, len);
+        } else {
+            self.inner.cluster.charge_disk_seek_read(phase, len);
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Reads an entire file.
+    pub fn read_full(&self, phase: Phase, path: impl Into<DfsPath>) -> Result<Bytes> {
+        let path = path.into();
+        let len = self.status(path.clone())?.len;
+        self.read_range(phase, path, 0, len)
+    }
+
+    /// Reads an entire file and splits it into lines (without trailing `\n`).
+    pub fn read_all_lines(&self, phase: Phase, path: impl Into<DfsPath>) -> Result<Vec<String>> {
+        let bytes = self.read_full(phase, path)?;
+        let text = String::from_utf8_lossy(&bytes);
+        Ok(text.lines().map(str::to_owned).collect())
+    }
+
+    /// Reads the single line containing or starting after `offset`, mirroring
+    /// Hadoop's `LineRecordReader` behaviour used by pre-map sampling
+    /// (Algorithm 2): if `offset` is not at a line boundary the reader skips
+    /// forward to the start of the next line.  Returns `(line_start, line)` or
+    /// `None` if no complete line starts at or after `offset`.
+    pub fn read_line_at(
+        &self,
+        phase: Phase,
+        path: impl Into<DfsPath>,
+        offset: u64,
+    ) -> Result<Option<(u64, String)>> {
+        let path = path.into();
+        let file_len = self.status(path.clone())?.len;
+        if offset >= file_len {
+            return Ok(None);
+        }
+        let chunk = self.inner.config.io_chunk.max(16);
+        // Buffered scan starting one byte before `offset` (so the previous
+        // byte tells us whether `offset` is already a line start).  Reads
+        // continue sequentially from there, so each probe costs one seek.
+        let read_start = offset.saturating_sub(1);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut buf_start = read_start;
+        let mut fetched_until = read_start;
+        let fetch_more = |buf: &mut Vec<u8>, fetched_until: &mut u64| -> Result<bool> {
+            if *fetched_until >= file_len {
+                return Ok(false);
+            }
+            let len = chunk.min(file_len - *fetched_until);
+            let data = self.read_range(phase, path.clone(), *fetched_until, len)?;
+            buf.extend_from_slice(&data);
+            *fetched_until += len;
+            Ok(true)
+        };
+
+        // Determine the line start.
+        let mut line_start = offset;
+        if offset > 0 {
+            if buf.is_empty() && !fetch_more(&mut buf, &mut fetched_until)? {
+                return Ok(None);
+            }
+            if buf[0] != b'\n' {
+                // Skip forward to the byte after the next newline.
+                let mut scan_pos = 1usize; // relative to buf_start
+                loop {
+                    if let Some(rel) = buf[scan_pos..].iter().position(|b| *b == b'\n') {
+                        line_start = buf_start + (scan_pos + rel) as u64 + 1;
+                        break;
+                    }
+                    scan_pos = buf.len();
+                    if !fetch_more(&mut buf, &mut fetched_until)? {
+                        return Ok(None);
+                    }
+                }
+                if line_start >= file_len {
+                    return Ok(None);
+                }
+            }
+        } else {
+            buf_start = 0;
+        }
+
+        // Read the line starting at line_start, continuing the sequential scan.
+        let mut line = Vec::new();
+        let mut pos = line_start;
+        loop {
+            while pos >= fetched_until {
+                if !fetch_more(&mut buf, &mut fetched_until)? {
+                    // EOF before a newline: the remainder is the (final) line.
+                    return Ok(Some((line_start, String::from_utf8_lossy(&line).into_owned())));
+                }
+            }
+            let rel = (pos - buf_start) as usize;
+            match buf[rel..].iter().position(|b| *b == b'\n') {
+                Some(nl) => {
+                    line.extend_from_slice(&buf[rel..rel + nl]);
+                    break;
+                }
+                None => {
+                    line.extend_from_slice(&buf[rel..]);
+                    pos = fetched_until;
+                }
+            }
+        }
+        Ok(Some((line_start, String::from_utf8_lossy(&line).into_owned())))
+    }
+
+    /// Opens a buffered line reader over an input split.
+    pub fn open_split(&self, split: InputSplit, phase: Phase) -> LineRecordReader {
+        LineRecordReader::new(self.clone(), split, phase)
+    }
+
+    // ----- splits -----------------------------------------------------------
+
+    /// Computes logical input splits of `split_size` bytes for a file.
+    pub fn splits(&self, path: impl Into<DfsPath>, split_size: u64) -> Result<Vec<InputSplit>> {
+        let path = path.into();
+        let nn = self.inner.namenode.read();
+        let meta = nn.file(&path)?;
+        let ranges = compute_split_ranges(meta.len, split_size);
+        Ok(ranges
+            .into_iter()
+            .enumerate()
+            .map(|(index, (start, length))| {
+                // Locality: the replicas of the block containing the split start.
+                let locations = meta
+                    .blocks
+                    .iter()
+                    .find(|b| b.contains(start))
+                    .map(|b| nn.locations(b.id).to_vec())
+                    .unwrap_or_default();
+                InputSplit { path: path.clone(), start, length, locations, index }
+            })
+            .collect())
+    }
+
+    /// Computes splits using the configured block size as the split size (the
+    /// common Hadoop default of one split per block).
+    pub fn default_splits(&self, path: impl Into<DfsPath>) -> Result<Vec<InputSplit>> {
+        let block_size = self.inner.config.block_size;
+        self.splits(path, block_size)
+    }
+
+    // ----- failure handling -------------------------------------------------
+
+    /// Synchronises DFS metadata with cluster node failures: replicas on failed
+    /// nodes are dropped.  Returns blocks that lost **all** replicas (their
+    /// data is gone until re-written).
+    pub fn reconcile_failures(&self) -> Vec<BlockId> {
+        let failed = self.inner.cluster.failed_nodes();
+        if failed.is_empty() {
+            return Vec::new();
+        }
+        let mut nn = self.inner.namenode.write();
+        let mut dir = self.inner.directory.write();
+        let mut orphaned = Vec::new();
+        for node in failed {
+            for block in dir.drop_node(node) {
+                nn.remove_replica(block, node);
+                if nn.locations(block).is_empty() && !orphaned.contains(&block) {
+                    orphaned.push(block);
+                }
+            }
+        }
+        // Drop payloads of fully-orphaned blocks to model data loss.
+        let mut store = self.inner.store.write();
+        for block in &orphaned {
+            store.remove(*block);
+        }
+        orphaned
+    }
+
+    /// Fraction of a file's bytes still readable (i.e. in blocks with at least
+    /// one live replica).  Used by the fault-tolerance experiments.
+    pub fn readable_fraction(&self, path: impl Into<DfsPath>) -> Result<f64> {
+        let path = path.into();
+        let nn = self.inner.namenode.read();
+        let meta = nn.file(&path)?;
+        if meta.len == 0 {
+            return Ok(1.0);
+        }
+        let live_bytes: u64 = meta
+            .blocks
+            .iter()
+            .filter(|b| {
+                nn.locations(b.id)
+                    .iter()
+                    .any(|n| self.inner.cluster.node(*n).map(|n| n.is_available()).unwrap_or(false))
+            })
+            .map(|b| b.len)
+            .sum();
+        Ok(live_bytes as f64 / meta.len as f64)
+    }
+
+    // ----- internals --------------------------------------------------------
+
+    fn ensure_live_replica(&self, block: BlockId) -> Result<()> {
+        let nn = self.inner.namenode.read();
+        let replicas = nn.locations(block);
+        if replicas.is_empty() {
+            // Files written before any failure bookkeeping: accept if payload exists.
+            return self.inner.store.read().get(block).map(|_| ());
+        }
+        let any_live = replicas
+            .iter()
+            .any(|n| self.inner.cluster.node(*n).map(|n| n.is_available()).unwrap_or(false));
+        if any_live {
+            Ok(())
+        } else {
+            Err(DfsError::BlockUnavailable(block))
+        }
+    }
+
+    fn place_replicas(&self, count: u32) -> Result<Vec<NodeId>> {
+        let available = self.inner.cluster.available_nodes();
+        if available.is_empty() {
+            return Err(DfsError::Cluster(earl_cluster::ClusterError::NoAvailableNodes));
+        }
+        let count = (count as usize).min(available.len());
+        // First replica on the least-loaded node, remaining replicas on random
+        // distinct nodes — an approximation of HDFS placement plus the data
+        // re-balancer the paper relies on for uniformity.
+        let mut chosen = Vec::with_capacity(count);
+        let first = self.inner.cluster.least_loaded_node()?;
+        chosen.push(first);
+        let mut remaining: Vec<NodeId> = available.into_iter().filter(|n| *n != first).collect();
+        while chosen.len() < count && !remaining.is_empty() {
+            let idx = self.inner.cluster.random_below(remaining.len() as u64) as usize;
+            chosen.push(remaining.swap_remove(idx));
+        }
+        Ok(chosen)
+    }
+
+    fn commit_block(&self, data: Vec<u8>, file_offset: u64, phase: Phase) -> Result<BlockMeta> {
+        let len = data.len() as u64;
+        let replicas = self.place_replicas(self.inner.config.replication)?;
+        let id = self.inner.namenode.write().allocate_block_id();
+        self.inner.store.write().put(id, Bytes::from(data));
+        // Charge the primary write plus pipeline transfers to the other replicas.
+        self.inner.cluster.charge_disk_write(phase, len);
+        for (i, node) in replicas.iter().enumerate() {
+            if i > 0 {
+                self.inner.cluster.charge_net_transfer(phase, replicas[0], *node, len);
+                self.inner.cluster.charge_disk_write(phase, len);
+            }
+            self.inner.cluster.record_block_stored(*node, len)?;
+            self.inner.directory.write().add(*node, id);
+        }
+        self.inner.namenode.write().set_locations(id, replicas);
+        Ok(BlockMeta { id, file_offset, len })
+    }
+
+    fn finish_file(
+        &self,
+        path: DfsPath,
+        blocks: Vec<BlockMeta>,
+        len: u64,
+        num_records: u64,
+    ) -> Result<FileStatus> {
+        let meta = FileMeta {
+            blocks,
+            len,
+            block_size: self.inner.config.block_size,
+            replication: self.inner.config.replication,
+            num_records: Some(num_records),
+        };
+        self.inner.namenode.write().create_file(path.clone(), meta)?;
+        self.status(path)
+    }
+
+    pub(crate) fn move_replica(&self, block: BlockId, from: NodeId, to: NodeId) -> Result<()> {
+        let size = self.inner.store.read().get(block)?.len() as u64;
+        {
+            let dir = self.inner.directory.read();
+            if !dir.hosts(from, block) || dir.hosts(to, block) {
+                return Ok(()); // nothing to do
+            }
+        }
+        self.inner.cluster.charge_net_transfer(Phase::Other, from, to, size);
+        self.inner.cluster.charge_disk_write(Phase::Other, size);
+        let mut dir = self.inner.directory.write();
+        dir.remove(from, block);
+        dir.add(to, block);
+        let mut nn = self.inner.namenode.write();
+        nn.remove_replica(block, from);
+        nn.add_replica(block, to);
+        self.inner.cluster.record_block_removed(from, size)?;
+        self.inner.cluster.record_block_stored(to, size)?;
+        Ok(())
+    }
+
+    pub(crate) fn blocks_on_node(&self, node: NodeId) -> Vec<BlockId> {
+        self.inner.directory.read().blocks_on(node)
+    }
+
+    pub(crate) fn block_size_of(&self, block: BlockId) -> u64 {
+        self.inner.store.read().get(block).map(|b| b.len() as u64).unwrap_or(0)
+    }
+}
+
+/// Streaming writer that cuts a file into blocks as data arrives.
+#[derive(Debug)]
+pub struct DfsWriter {
+    dfs: Dfs,
+    path: DfsPath,
+    buffer: Vec<u8>,
+    blocks: Vec<BlockMeta>,
+    bytes_written: u64,
+    num_records: u64,
+    closed: bool,
+}
+
+impl DfsWriter {
+    /// Appends raw bytes.
+    pub fn write_bytes(&mut self, data: &[u8]) -> Result<()> {
+        self.buffer.extend_from_slice(data);
+        self.bytes_written += data.len() as u64;
+        let block_size = self.dfs.inner.config.block_size as usize;
+        while self.buffer.len() >= block_size {
+            let rest = self.buffer.split_off(block_size);
+            let full = std::mem::replace(&mut self.buffer, rest);
+            let offset = self.blocks.iter().map(|b| b.len).sum();
+            let meta = self.dfs.commit_block(full, offset, Phase::Output)?;
+            self.blocks.push(meta);
+        }
+        Ok(())
+    }
+
+    /// Appends one newline-terminated record.
+    pub fn write_line(&mut self, line: &str) -> Result<()> {
+        self.num_records += 1;
+        self.write_bytes(line.as_bytes())?;
+        self.write_bytes(b"\n")
+    }
+
+    /// Bytes written so far (including buffered, un-committed bytes).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.num_records
+    }
+
+    /// Flushes the remaining buffer and registers the file with the NameNode.
+    pub fn close(mut self) -> Result<FileStatus> {
+        if !self.buffer.is_empty() {
+            let data = std::mem::take(&mut self.buffer);
+            let offset = self.blocks.iter().map(|b| b.len).sum();
+            let meta = self.dfs.commit_block(data, offset, Phase::Output)?;
+            self.blocks.push(meta);
+        }
+        self.closed = true;
+        let blocks = std::mem::take(&mut self.blocks);
+        self.dfs.finish_file(self.path.clone(), blocks, self.bytes_written, self.num_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfs_with(block_size: u64, nodes: u32) -> Dfs {
+        let cluster = Cluster::builder().nodes(nodes).cost_model(earl_cluster::CostModel::free()).build().unwrap();
+        Dfs::new(cluster, DfsConfig { block_size, replication: 2, io_chunk: 32 }).unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let cluster = Cluster::for_tests();
+        assert!(Dfs::new(cluster.clone(), DfsConfig { block_size: 0, replication: 1, io_chunk: 8 }).is_err());
+        assert!(Dfs::new(cluster, DfsConfig { block_size: 8, replication: 0, io_chunk: 8 }).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dfs = dfs_with(16, 3);
+        let lines: Vec<String> = (0..20).map(|i| format!("record-{i:03}")).collect();
+        let status = dfs.write_lines("/data", &lines).unwrap();
+        assert_eq!(status.num_records, Some(20));
+        assert!(status.num_blocks > 1, "small block size must produce several blocks");
+        let read_back = dfs.read_all_lines(Phase::Load, "/data").unwrap();
+        assert_eq!(read_back, lines);
+    }
+
+    #[test]
+    fn read_range_and_bounds() {
+        let dfs = dfs_with(8, 2);
+        dfs.write_lines("/f", ["abc", "defg"]).unwrap(); // "abc\ndefg\n" = 9 bytes
+        let status = dfs.status("/f").unwrap();
+        assert_eq!(status.len, 9);
+        assert_eq!(&dfs.read_range(Phase::Load, "/f", 4, 4).unwrap()[..], b"defg");
+        assert_eq!(dfs.read_range(Phase::Load, "/f", 9, 0).unwrap().len(), 0);
+        assert!(matches!(
+            dfs.read_range(Phase::Load, "/f", 8, 5),
+            Err(DfsError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let dfs = dfs_with(16, 1);
+        dfs.write_lines("/x", ["a"]).unwrap();
+        assert!(matches!(dfs.create("/x"), Err(DfsError::FileExists(_))));
+        assert!(matches!(dfs.write_lines("/x", ["b"]), Err(DfsError::FileExists(_))));
+    }
+
+    #[test]
+    fn delete_frees_blocks_and_storage() {
+        let dfs = dfs_with(8, 2);
+        dfs.write_lines("/x", (0..50).map(|i| i.to_string())).unwrap();
+        let total_before: u64 = dfs.cluster().nodes().iter().map(|n| n.stored_bytes()).sum();
+        assert!(total_before > 0);
+        dfs.delete("/x").unwrap();
+        assert!(!dfs.exists("/x"));
+        let total_after: u64 = dfs.cluster().nodes().iter().map(|n| n.stored_bytes()).sum();
+        assert_eq!(total_after, 0);
+        assert!(matches!(dfs.delete("/x"), Err(DfsError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn splits_cover_file_and_have_locations() {
+        let dfs = dfs_with(32, 3);
+        dfs.write_lines("/s", (0..100).map(|i| format!("line{i}"))).unwrap();
+        let status = dfs.status("/s").unwrap();
+        let splits = dfs.splits("/s", 64).unwrap();
+        let covered: u64 = splits.iter().map(|s| s.length).sum();
+        assert_eq!(covered, status.len);
+        for s in &splits {
+            assert!(!s.locations.is_empty(), "splits should carry replica locations");
+        }
+        let default_splits = dfs.default_splits("/s").unwrap();
+        assert!(!default_splits.is_empty());
+    }
+
+    #[test]
+    fn read_line_at_backtracks_to_line_start() {
+        let dfs = dfs_with(64, 1);
+        dfs.write_lines("/l", ["alpha", "bravo", "charlie"]).unwrap();
+        // offset 0 → first line
+        assert_eq!(dfs.read_line_at(Phase::Load, "/l", 0).unwrap(), Some((0, "alpha".into())));
+        // offset in the middle of "alpha" → skip to "bravo" (starts at 6)
+        assert_eq!(dfs.read_line_at(Phase::Load, "/l", 2).unwrap(), Some((6, "bravo".into())));
+        // offset exactly at a line start → that line
+        assert_eq!(dfs.read_line_at(Phase::Load, "/l", 6).unwrap(), Some((6, "bravo".into())));
+        // offset inside the final line → no following line, but the trailing
+        // newline means the scan lands exactly at EOF → None
+        assert_eq!(dfs.read_line_at(Phase::Load, "/l", 15).unwrap(), None);
+        // offset past EOF → None
+        assert_eq!(dfs.read_line_at(Phase::Load, "/l", 1000).unwrap(), None);
+    }
+
+    #[test]
+    fn metrics_account_reads() {
+        let cluster = Cluster::with_nodes(2);
+        let dfs = Dfs::new(cluster, DfsConfig::small_blocks(1024)).unwrap();
+        dfs.write_lines("/m", (0..100).map(|i| i.to_string())).unwrap();
+        let before = dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
+        dfs.read_full(Phase::Load, "/m").unwrap();
+        let after = dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
+        assert_eq!(after - before, dfs.status("/m").unwrap().len);
+        assert!(dfs.cluster().elapsed() > earl_cluster::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn failure_reconciliation_orphans_blocks() {
+        // replication 1 so any node failure loses data
+        let cluster = Cluster::builder().nodes(2).cost_model(earl_cluster::CostModel::free()).build().unwrap();
+        let dfs = Dfs::new(cluster, DfsConfig { block_size: 8, replication: 1, io_chunk: 8 }).unwrap();
+        dfs.write_lines("/ft", (0..40).map(|i| i.to_string())).unwrap();
+        assert!((dfs.readable_fraction("/ft").unwrap() - 1.0).abs() < 1e-12);
+        // Fail node 0 and reconcile.
+        dfs.cluster().fail_node(NodeId(0)).unwrap();
+        let orphaned = dfs.reconcile_failures();
+        let frac = dfs.readable_fraction("/ft").unwrap();
+        if orphaned.is_empty() {
+            assert!((frac - 1.0).abs() < 1e-12);
+        } else {
+            assert!(frac < 1.0);
+            // Reading the whole file should now fail on an orphaned block.
+            assert!(dfs.read_full(Phase::Load, "/ft").is_err());
+        }
+    }
+
+    #[test]
+    fn replication_survives_single_failure() {
+        let cluster = Cluster::builder().nodes(3).cost_model(earl_cluster::CostModel::free()).build().unwrap();
+        let dfs = Dfs::new(cluster, DfsConfig { block_size: 16, replication: 2, io_chunk: 16 }).unwrap();
+        let lines: Vec<String> = (0..30).map(|i| format!("v{i}")).collect();
+        dfs.write_lines("/r", &lines).unwrap();
+        dfs.cluster().fail_node(NodeId(0)).unwrap();
+        dfs.reconcile_failures();
+        // With replication 2 over 3 nodes, all blocks should still be readable.
+        assert!((dfs.readable_fraction("/r").unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(dfs.read_all_lines(Phase::Load, "/r").unwrap(), lines);
+    }
+
+    #[test]
+    fn writer_tracks_progress() {
+        let dfs = dfs_with(1024, 1);
+        let mut w = dfs.create("/p").unwrap();
+        w.write_line("hello").unwrap();
+        w.write_bytes(b"raw").unwrap();
+        assert_eq!(w.records_written(), 1);
+        assert_eq!(w.bytes_written(), 9);
+        let status = w.close().unwrap();
+        assert_eq!(status.len, 9);
+    }
+
+    #[test]
+    fn bytes_on_node_matches_cluster_accounting() {
+        let dfs = dfs_with(8, 2);
+        dfs.write_lines("/acct", (0..20).map(|i| i.to_string())).unwrap();
+        let from_dfs: u64 = (0..2).map(|i| dfs.bytes_on_node(NodeId(i))).sum();
+        let from_cluster: u64 = dfs.cluster().nodes().iter().map(|n| n.stored_bytes()).sum();
+        assert_eq!(from_dfs, from_cluster);
+    }
+}

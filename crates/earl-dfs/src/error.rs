@@ -1,0 +1,77 @@
+//! Error type for the simulated DFS.
+
+use std::fmt;
+
+use earl_cluster::ClusterError;
+
+use crate::block::BlockId;
+
+/// Errors raised by the simulated distributed file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// The requested path does not exist.
+    FileNotFound(String),
+    /// A file with the given path already exists.
+    FileExists(String),
+    /// A referenced block is missing from all replicas (e.g. every replica's
+    /// node has failed).
+    BlockUnavailable(BlockId),
+    /// A read went past the end of the file.
+    OutOfBounds {
+        /// The requested offset.
+        offset: u64,
+        /// The file length.
+        len: u64,
+    },
+    /// The underlying cluster reported an error.
+    Cluster(ClusterError),
+    /// The DFS was configured with invalid parameters.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::BlockUnavailable(b) => write!(f, "block {b} has no live replica"),
+            DfsError::OutOfBounds { offset, len } => {
+                write!(f, "read at offset {offset} past end of file (len {len})")
+            }
+            DfsError::Cluster(e) => write!(f, "cluster error: {e}"),
+            DfsError::InvalidConfig(msg) => write!(f, "invalid DFS configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DfsError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for DfsError {
+    fn from(e: ClusterError) -> Self {
+        DfsError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DfsError::FileNotFound("/a".into());
+        assert!(e.to_string().contains("/a"));
+        let c: DfsError = ClusterError::NoAvailableNodes.into();
+        assert!(c.to_string().contains("cluster error"));
+        use std::error::Error;
+        assert!(c.source().is_some());
+        assert!(e.source().is_none());
+        assert!(DfsError::OutOfBounds { offset: 10, len: 5 }.to_string().contains("offset 10"));
+    }
+}

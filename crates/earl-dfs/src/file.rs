@@ -1,0 +1,84 @@
+//! File paths and statuses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A path within the simulated DFS.
+///
+/// Paths are plain strings; the DFS has a flat namespace but conventionally
+/// uses `/`-separated hierarchical names like HDFS (`/data/points.tsv`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DfsPath(String);
+
+impl DfsPath {
+    /// Creates a path, normalising it to start with `/`.
+    pub fn new(path: impl Into<String>) -> Self {
+        let raw = path.into();
+        if raw.starts_with('/') {
+            Self(raw)
+        } else {
+            Self(format!("/{raw}"))
+        }
+    }
+
+    /// The path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for DfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for DfsPath {
+    fn from(s: &str) -> Self {
+        DfsPath::new(s)
+    }
+}
+
+impl From<String> for DfsPath {
+    fn from(s: String) -> Self {
+        DfsPath::new(s)
+    }
+}
+
+/// Summary information about a stored file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileStatus {
+    /// The file path.
+    pub path: DfsPath,
+    /// Total length in bytes.
+    pub len: u64,
+    /// Number of blocks.
+    pub num_blocks: usize,
+    /// Block size used when the file was written.
+    pub block_size: u64,
+    /// Replication factor.
+    pub replication: u32,
+    /// Number of newline-delimited records, if known (maintained by the line
+    /// writer so samplers can convert between record counts and byte offsets).
+    pub num_records: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_normalised() {
+        assert_eq!(DfsPath::new("data/x").as_str(), "/data/x");
+        assert_eq!(DfsPath::new("/data/x").as_str(), "/data/x");
+        assert_eq!(DfsPath::from("y").to_string(), "/y");
+        assert_eq!(DfsPath::from(String::from("/z")).as_str(), "/z");
+    }
+
+    #[test]
+    fn paths_compare_by_value() {
+        assert_eq!(DfsPath::new("a"), DfsPath::new("/a"));
+        assert_ne!(DfsPath::new("a"), DfsPath::new("b"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Buffered line reader over an input split.
+//!
+//! Implements the standard Hadoop `LineRecordReader` contract the paper relies
+//! on (§3.3): a reader assigned the split `[start, start+length)`
+//!
+//! * skips the first (possibly partial) line when `start > 0` — that line
+//!   belongs to the previous split, and
+//! * keeps reading past the end of the split to finish the last line that
+//!   *starts* inside the split.
+//!
+//! Together these rules guarantee every line of the file is produced by exactly
+//! one split and no line is ever torn in half.
+
+use earl_cluster::Phase;
+
+use crate::dfs::Dfs;
+use crate::split::InputSplit;
+use crate::Result;
+
+/// Streaming reader of the lines belonging to one [`InputSplit`].
+#[derive(Debug)]
+pub struct LineRecordReader {
+    dfs: Dfs,
+    split: InputSplit,
+    phase: Phase,
+    file_len: u64,
+    /// Byte position of the next unread byte in the file.
+    pos: u64,
+    /// Buffered bytes covering `[buf_start, buf_start + buf.len())`.
+    buf: Vec<u8>,
+    buf_start: u64,
+    /// Whether the initial partial-line skip has been performed.
+    primed: bool,
+    /// Whether the reader has exhausted its split.
+    finished: bool,
+    records_read: u64,
+    bytes_read: u64,
+}
+
+impl LineRecordReader {
+    /// Creates a reader; I/O is charged to `phase` on the DFS's cluster.
+    pub fn new(dfs: Dfs, split: InputSplit, phase: Phase) -> Self {
+        let file_len = dfs.status(split.path.clone()).map(|s| s.len).unwrap_or(0);
+        Self {
+            dfs,
+            pos: split.start,
+            split,
+            phase,
+            file_len,
+            buf: Vec::new(),
+            buf_start: 0,
+            primed: false,
+            finished: false,
+            records_read: 0,
+            bytes_read: 0,
+        }
+    }
+
+    /// The split being read.
+    pub fn split(&self) -> &InputSplit {
+        &self.split
+    }
+
+    /// Number of complete records returned so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Number of bytes fetched from the DFS so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Returns the next `(line_start_offset, line)` belonging to this split, or
+    /// `None` when the split is exhausted.
+    pub fn next_line(&mut self) -> Result<Option<(u64, String)>> {
+        if self.finished {
+            return Ok(None);
+        }
+        if !self.primed {
+            self.primed = true;
+            if self.split.start > 0 {
+                // Skip the partial line that began in the previous split.
+                // (If the previous byte is '\n' the skip consumes zero bytes —
+                // we detect that by checking the byte before the split start.)
+                let prev = self.dfs.read_range(self.phase, self.split.path.clone(), self.split.start - 1, 1)?;
+                self.bytes_read += 1;
+                if prev[0] != b'\n' {
+                    // Consume up to and including the next newline.
+                    if self.scan_past_newline()?.is_none() {
+                        self.finished = true;
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        // A record belongs to this split only if it starts before split.end().
+        if self.pos >= self.split.end() || self.pos >= self.file_len {
+            self.finished = true;
+            return Ok(None);
+        }
+        let line_start = self.pos;
+        let mut line = Vec::new();
+        loop {
+            if self.pos >= self.file_len {
+                break;
+            }
+            self.fill_buffer()?;
+            let rel = (self.pos - self.buf_start) as usize;
+            let slice = &self.buf[rel..];
+            if let Some(nl) = slice.iter().position(|b| *b == b'\n') {
+                line.extend_from_slice(&slice[..nl]);
+                self.pos += nl as u64 + 1;
+                break;
+            }
+            line.extend_from_slice(slice);
+            self.pos += slice.len() as u64;
+        }
+        self.records_read += 1;
+        Ok(Some((line_start, String::from_utf8_lossy(&line).into_owned())))
+    }
+
+    /// Reads every remaining line of the split.
+    pub fn read_all(&mut self) -> Result<Vec<(u64, String)>> {
+        let mut out = Vec::new();
+        while let Some(item) = self.next_line()? {
+            out.push(item);
+        }
+        Ok(out)
+    }
+
+    /// Advances `pos` past the next newline; returns `None` at EOF.
+    fn scan_past_newline(&mut self) -> Result<Option<()>> {
+        loop {
+            if self.pos >= self.file_len {
+                return Ok(None);
+            }
+            self.fill_buffer()?;
+            let rel = (self.pos - self.buf_start) as usize;
+            let slice = &self.buf[rel..];
+            if let Some(nl) = slice.iter().position(|b| *b == b'\n') {
+                self.pos += nl as u64 + 1;
+                return Ok(Some(()));
+            }
+            self.pos += slice.len() as u64;
+        }
+    }
+
+    /// Ensures the buffer contains the byte at `self.pos`.
+    fn fill_buffer(&mut self) -> Result<()> {
+        let within = self.pos >= self.buf_start && self.pos < self.buf_start + self.buf.len() as u64;
+        if within && !self.buf.is_empty() {
+            return Ok(());
+        }
+        let chunk = self.dfs.config().io_chunk.max(16);
+        let len = chunk.min(self.file_len - self.pos);
+        let data = self.dfs.read_range(self.phase, self.split.path.clone(), self.pos, len)?;
+        self.bytes_read += data.len() as u64;
+        self.buf_start = self.pos;
+        self.buf = data.to_vec();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::{Dfs, DfsConfig};
+    use earl_cluster::Cluster;
+
+    fn make_dfs(lines: &[&str], block_size: u64) -> Dfs {
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .cost_model(earl_cluster::CostModel::free())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(cluster, DfsConfig { block_size, replication: 1, io_chunk: 7 }).unwrap();
+        dfs.write_lines("/t", lines.iter().copied()).unwrap();
+        dfs
+    }
+
+    #[test]
+    fn every_line_belongs_to_exactly_one_split() {
+        let lines: Vec<String> = (0..57).map(|i| format!("row-{i:04}-{}", "x".repeat(i % 13))).collect();
+        let line_refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let dfs = make_dfs(&line_refs, 64);
+        for split_size in [10u64, 33, 64, 100, 10_000] {
+            let splits = dfs.splits("/t", split_size).unwrap();
+            let mut collected = Vec::new();
+            for split in splits {
+                let mut reader = dfs.open_split(split, Phase::Map);
+                for (_, line) in reader.read_all().unwrap() {
+                    collected.push(line);
+                }
+            }
+            assert_eq!(collected, lines, "split_size={split_size}");
+        }
+    }
+
+    #[test]
+    fn single_split_reads_everything() {
+        let dfs = make_dfs(&["a", "bb", "ccc"], 1024);
+        let splits = dfs.splits("/t", 1 << 20).unwrap();
+        assert_eq!(splits.len(), 1);
+        let mut reader = dfs.open_split(splits[0].clone(), Phase::Map);
+        let all = reader.read_all().unwrap();
+        assert_eq!(all.iter().map(|(_, l)| l.as_str()).collect::<Vec<_>>(), vec!["a", "bb", "ccc"]);
+        assert_eq!(all[0].0, 0);
+        assert_eq!(all[1].0, 2);
+        assert_eq!(all[2].0, 5);
+        assert_eq!(reader.records_read(), 3);
+        assert!(reader.bytes_read() >= 9);
+    }
+
+    #[test]
+    fn later_split_skips_partial_first_line() {
+        // "aaaa\nbbbb\ncccc\n" = 15 bytes; a split starting at byte 2 must not
+        // produce "aa" — it starts with "bbbb".
+        let dfs = make_dfs(&["aaaa", "bbbb", "cccc"], 1024);
+        let split = InputSplit {
+            path: "/t".into(),
+            start: 2,
+            length: 13,
+            locations: vec![],
+            index: 1,
+        };
+        let mut reader = dfs.open_split(split, Phase::Map);
+        let all = reader.read_all().unwrap();
+        let lines: Vec<&str> = all.iter().map(|(_, l)| l.as_str()).collect();
+        assert_eq!(lines, vec!["bbbb", "cccc"]);
+    }
+
+    #[test]
+    fn split_boundary_at_newline_keeps_next_line_in_next_split() {
+        // "aa\nbb\ncc\n" = 9 bytes.  Split A = [0,6), split B = [6,9).
+        let dfs = make_dfs(&["aa", "bb", "cc"], 1024);
+        let a = InputSplit { path: "/t".into(), start: 0, length: 6, locations: vec![], index: 0 };
+        let b = InputSplit { path: "/t".into(), start: 6, length: 3, locations: vec![], index: 1 };
+        let la: Vec<String> =
+            dfs.open_split(a, Phase::Map).read_all().unwrap().into_iter().map(|(_, l)| l).collect();
+        let lb: Vec<String> =
+            dfs.open_split(b, Phase::Map).read_all().unwrap().into_iter().map(|(_, l)| l).collect();
+        assert_eq!(la, vec!["aa", "bb"]);
+        assert_eq!(lb, vec!["cc"]);
+    }
+
+    #[test]
+    fn line_spanning_split_boundary_goes_to_the_split_it_starts_in() {
+        // One long line straddling byte 5.
+        let dfs = make_dfs(&["0123456789abcdef", "tail"], 1024);
+        let a = InputSplit { path: "/t".into(), start: 0, length: 5, locations: vec![], index: 0 };
+        let b = InputSplit { path: "/t".into(), start: 5, length: 17, locations: vec![], index: 1 };
+        let la: Vec<String> =
+            dfs.open_split(a, Phase::Map).read_all().unwrap().into_iter().map(|(_, l)| l).collect();
+        let lb: Vec<String> =
+            dfs.open_split(b, Phase::Map).read_all().unwrap().into_iter().map(|(_, l)| l).collect();
+        assert_eq!(la, vec!["0123456789abcdef"], "the long line starts in split A");
+        assert_eq!(lb, vec!["tail"]);
+    }
+
+    #[test]
+    fn empty_split_yields_nothing() {
+        let dfs = make_dfs(&["x"], 1024);
+        let split = InputSplit { path: "/t".into(), start: 2, length: 0, locations: vec![], index: 9 };
+        let mut reader = dfs.open_split(split, Phase::Map);
+        assert!(reader.next_line().unwrap().is_none());
+        assert!(reader.next_line().unwrap().is_none(), "reader stays finished");
+    }
+}

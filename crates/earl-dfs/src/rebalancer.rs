@@ -1,0 +1,157 @@
+//! Data re-balancer.
+//!
+//! The paper (§1) points out that "Hadoop employs a data re-balancer which
+//! distributes HDFS data uniformly across the DataNodes in the cluster", and
+//! EARL's sampling leans on that uniformity.  This module provides the same
+//! facility for the simulated DFS: it migrates block replicas from overloaded
+//! to underloaded nodes until every node is within a configurable threshold of
+//! the mean utilisation.
+
+use earl_cluster::NodeId;
+
+use crate::dfs::Dfs;
+use crate::Result;
+
+/// Outcome of one rebalancing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceReport {
+    /// Number of block replicas that were moved.
+    pub blocks_moved: usize,
+    /// Total bytes migrated.
+    pub bytes_moved: u64,
+    /// Maximum absolute deviation from the mean node load after rebalancing,
+    /// expressed as a fraction of the mean (0.0 = perfectly even).
+    pub final_imbalance: f64,
+}
+
+/// Moves block replicas between nodes until every available node's stored
+/// bytes are within `threshold` (a fraction, e.g. 0.1 = ±10 %) of the mean, or
+/// until no further productive move exists.
+pub fn rebalance(dfs: &Dfs, threshold: f64) -> Result<RebalanceReport> {
+    let threshold = threshold.max(0.0);
+    let mut blocks_moved = 0usize;
+    let mut bytes_moved = 0u64;
+    // Cap iterations defensively; each productive move strictly reduces the
+    // spread so this bound is generous.
+    let max_moves = 10_000;
+
+    for _ in 0..max_moves {
+        let loads = node_loads(dfs);
+        if loads.len() < 2 {
+            break;
+        }
+        let mean = loads.iter().map(|(_, b)| *b as f64).sum::<f64>() / loads.len() as f64;
+        if mean <= 0.0 {
+            break;
+        }
+        let (max_node, max_bytes) = *loads.iter().max_by_key(|(_, b)| *b).expect("non-empty");
+        let (min_node, min_bytes) = *loads.iter().min_by_key(|(_, b)| *b).expect("non-empty");
+        let imbalance = (max_bytes as f64 - mean).max(mean - min_bytes as f64) / mean;
+        if imbalance <= threshold {
+            break;
+        }
+        // Pick a block on the overloaded node that the underloaded node does not
+        // already host, preferring one that will not overshoot the mean.
+        let candidates = dfs.blocks_on_node(max_node);
+        let target_gap = mean - min_bytes as f64;
+        let mut best: Option<(crate::block::BlockId, u64)> = None;
+        for block in candidates {
+            if dfs.blocks_on_node(min_node).contains(&block) {
+                continue;
+            }
+            let size = dfs.block_size_of(block);
+            if size == 0 {
+                continue;
+            }
+            let fits = size as f64 <= target_gap * 2.0 + 1.0;
+            match (&best, fits) {
+                (None, _) => best = Some((block, size)),
+                (Some((_, cur)), true) if size > *cur => best = Some((block, size)),
+                _ => {}
+            }
+        }
+        let Some((block, size)) = best else { break };
+        dfs.move_replica(block, max_node, min_node)?;
+        blocks_moved += 1;
+        bytes_moved += size;
+    }
+
+    let loads = node_loads(dfs);
+    let final_imbalance = if loads.is_empty() {
+        0.0
+    } else {
+        let mean = loads.iter().map(|(_, b)| *b as f64).sum::<f64>() / loads.len() as f64;
+        if mean <= 0.0 {
+            0.0
+        } else {
+            loads.iter().map(|(_, b)| (*b as f64 - mean).abs()).fold(0.0, f64::max) / mean
+        }
+    };
+    Ok(RebalanceReport { blocks_moved, bytes_moved, final_imbalance })
+}
+
+fn node_loads(dfs: &Dfs) -> Vec<(NodeId, u64)> {
+    dfs.cluster()
+        .available_nodes()
+        .into_iter()
+        .map(|n| (n, dfs.bytes_on_node(n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::{Dfs, DfsConfig};
+    use earl_cluster::{Cluster, CostModel};
+
+    /// Builds a deliberately skewed DFS: replication 1 and a placement that ends
+    /// up uneven because files are written while some nodes are "failed".
+    fn skewed_dfs() -> Dfs {
+        let cluster = Cluster::builder().nodes(4).cost_model(CostModel::free()).build().unwrap();
+        let dfs = Dfs::new(cluster, DfsConfig { block_size: 32, replication: 1, io_chunk: 32 }).unwrap();
+        // Fail nodes 2 and 3 so all data lands on nodes 0 and 1...
+        dfs.cluster().fail_node(NodeId(2)).unwrap();
+        dfs.cluster().fail_node(NodeId(3)).unwrap();
+        dfs.write_lines("/skew", (0..200).map(|i| format!("record-{i:05}"))).unwrap();
+        // ...then repair them, leaving an imbalanced cluster.
+        dfs.cluster().repair_node(NodeId(2)).unwrap();
+        dfs.cluster().repair_node(NodeId(3)).unwrap();
+        dfs
+    }
+
+    #[test]
+    fn rebalance_reduces_imbalance() {
+        let dfs = skewed_dfs();
+        let before: Vec<u64> =
+            dfs.cluster().available_nodes().iter().map(|n| dfs.bytes_on_node(*n)).collect();
+        assert_eq!(before[2], 0, "nodes repaired after writing start empty");
+        let report = rebalance(&dfs, 0.25).unwrap();
+        assert!(report.blocks_moved > 0);
+        assert!(report.bytes_moved > 0);
+        let after: Vec<u64> =
+            dfs.cluster().available_nodes().iter().map(|n| dfs.bytes_on_node(*n)).collect();
+        let spread_before = before.iter().max().unwrap() - before.iter().min().unwrap();
+        let spread_after = after.iter().max().unwrap() - after.iter().min().unwrap();
+        assert!(spread_after < spread_before, "rebalancing must narrow the spread");
+        // Data must still be intact.
+        assert_eq!(dfs.read_all_lines(earl_cluster::Phase::Load, "/skew").unwrap().len(), 200);
+    }
+
+    #[test]
+    fn balanced_cluster_is_a_noop() {
+        let cluster = Cluster::builder().nodes(2).cost_model(CostModel::free()).build().unwrap();
+        let dfs = Dfs::new(cluster, DfsConfig { block_size: 16, replication: 1, io_chunk: 16 }).unwrap();
+        dfs.write_lines("/even", (0..64).map(|i| format!("{i:04}"))).unwrap();
+        let report = rebalance(&dfs, 0.5).unwrap();
+        // Placement already targets the least-loaded node, so little or nothing moves.
+        assert!(report.final_imbalance <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn empty_dfs_rebalance_is_safe() {
+        let dfs = Dfs::for_tests();
+        let report = rebalance(&dfs, 0.1).unwrap();
+        assert_eq!(report.blocks_moved, 0);
+        assert_eq!(report.final_imbalance, 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Logical input splits.
+//!
+//! When a MapReduce job runs, each file is divided into logical "Input Splits"
+//! that are handed to mappers (paper §3.3).  A split is a byte range of a file
+//! plus the nodes on which that range's blocks are stored, which the scheduler
+//! uses for locality and which pre-map sampling uses to draw random lines.
+
+use earl_cluster::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::file::DfsPath;
+
+/// A logical byte range of a file assigned to a single map task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputSplit {
+    /// The file this split belongs to.
+    pub path: DfsPath,
+    /// Offset of the first byte of the split.
+    pub start: u64,
+    /// Length of the split in bytes.
+    pub length: u64,
+    /// Nodes holding replicas of the data underlying the split (preferred
+    /// execution locations).
+    pub locations: Vec<NodeId>,
+    /// Index of the split within its file (0-based).
+    pub index: usize,
+}
+
+impl InputSplit {
+    /// Offset one past the last byte of the split.
+    pub fn end(&self) -> u64 {
+        self.start + self.length
+    }
+
+    /// Whether the given file offset lies inside the split.
+    pub fn contains(&self, offset: u64) -> bool {
+        offset >= self.start && offset < self.end()
+    }
+}
+
+/// Computes the logical splits of a file of length `file_len`, targeting
+/// `split_size` bytes per split.  The final split absorbs any remainder smaller
+/// than half a split so that tiny tails do not become their own tasks.
+pub fn compute_split_ranges(file_len: u64, split_size: u64) -> Vec<(u64, u64)> {
+    if file_len == 0 {
+        return Vec::new();
+    }
+    let split_size = split_size.max(1);
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    while start < file_len {
+        let remaining = file_len - start;
+        let len = if remaining < split_size + split_size / 2 { remaining } else { split_size };
+        ranges.push((start, len));
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_the_file_exactly_once() {
+        for (file_len, split_size) in [(1000u64, 100u64), (1050, 100), (149, 100), (1, 1), (0, 10)] {
+            let ranges = compute_split_ranges(file_len, split_size);
+            let mut cursor = 0;
+            for (start, len) in &ranges {
+                assert_eq!(*start, cursor, "splits must be contiguous");
+                assert!(*len > 0);
+                cursor += len;
+            }
+            assert_eq!(cursor, file_len, "splits must cover the whole file");
+        }
+    }
+
+    #[test]
+    fn small_tail_is_absorbed() {
+        // 1040 bytes with 100-byte splits: the last range should be 140, not 40.
+        let ranges = compute_split_ranges(1040, 100);
+        assert_eq!(ranges.last().unwrap().1, 140);
+        assert_eq!(ranges.len(), 10);
+    }
+
+    #[test]
+    fn zero_split_size_is_clamped() {
+        let ranges = compute_split_ranges(5, 0);
+        assert!(!ranges.is_empty());
+        assert_eq!(ranges.iter().map(|r| r.1).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn split_contains_and_end() {
+        let split = InputSplit {
+            path: DfsPath::new("/f"),
+            start: 100,
+            length: 50,
+            locations: vec![NodeId(0)],
+            index: 1,
+        };
+        assert_eq!(split.end(), 150);
+        assert!(split.contains(100));
+        assert!(split.contains(149));
+        assert!(!split.contains(150));
+        assert!(!split.contains(99));
+    }
+}

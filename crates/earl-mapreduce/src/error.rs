@@ -1,0 +1,68 @@
+//! Error type for the MapReduce engine.
+
+use std::fmt;
+
+use earl_cluster::ClusterError;
+use earl_dfs::DfsError;
+
+/// Errors raised by the MapReduce engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrError {
+    /// The underlying DFS reported an error.
+    Dfs(DfsError),
+    /// The underlying cluster reported an error.
+    Cluster(ClusterError),
+    /// The job configuration is invalid.
+    InvalidJob(String),
+    /// Every node failed before the job could finish and the failure policy
+    /// required completion.
+    ClusterLost,
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::Dfs(e) => write!(f, "dfs error: {e}"),
+            MrError::Cluster(e) => write!(f, "cluster error: {e}"),
+            MrError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
+            MrError::ClusterLost => write!(f, "all nodes failed before the job completed"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrError::Dfs(e) => Some(e),
+            MrError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfsError> for MrError {
+    fn from(e: DfsError) -> Self {
+        MrError::Dfs(e)
+    }
+}
+
+impl From<ClusterError> for MrError {
+    fn from(e: ClusterError) -> Self {
+        MrError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MrError = DfsError::FileNotFound("/x".into()).into();
+        assert!(e.to_string().contains("/x"));
+        let e: MrError = ClusterError::NoAvailableNodes.into();
+        assert!(e.to_string().contains("cluster"));
+        assert!(MrError::InvalidJob("zero reducers".into()).to_string().contains("zero reducers"));
+        assert!(MrError::ClusterLost.to_string().contains("failed"));
+    }
+}

@@ -1,0 +1,140 @@
+//! The mapper↔reducer feedback channel.
+//!
+//! In EARL's modified Hadoop, "every reducer writes its computed error together
+//! with a time-stamp onto HDFS.  These files are then read by the mappers to
+//! compute the overall average error" (§3.3), which drives the decision to
+//! expand the sample or terminate.  The reproduction models that shared medium
+//! with an in-memory channel: reducers post [`ErrorReport`]s, mappers (or the
+//! EARL driver standing in for them) read the average error since their last
+//! successful read.
+
+use crossbeam::queue::SegQueue;
+use earl_cluster::SimInstant;
+use parking_lot::Mutex;
+
+/// One error observation posted by a reducer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// Reducer partition that produced the estimate.
+    pub reducer: usize,
+    /// The estimated error (coefficient of variation).
+    pub error: f64,
+    /// Simulated time at which the estimate was produced.
+    pub timestamp: SimInstant,
+}
+
+/// Shared feedback medium between reducers and mappers.
+#[derive(Debug, Default)]
+pub struct ErrorFeedback {
+    queue: SegQueue<ErrorReport>,
+    history: Mutex<Vec<ErrorReport>>,
+}
+
+impl ErrorFeedback {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posts an error estimate (called by reducers / the AES stage).
+    pub fn post(&self, report: ErrorReport) {
+        self.queue.push(report);
+    }
+
+    /// Drains newly posted reports into the history and returns the average
+    /// error over all reports with `timestamp > since`, or `None` if there are
+    /// none.  This mirrors the mapper-side "get new error average (timestamp)"
+    /// call in Algorithm 1 of the paper.
+    pub fn average_error_since(&self, since: SimInstant) -> Option<f64> {
+        let mut history = self.history.lock();
+        while let Some(report) = self.queue.pop() {
+            history.push(report);
+        }
+        let recent: Vec<f64> =
+            history.iter().filter(|r| r.timestamp > since).map(|r| r.error).collect();
+        if recent.is_empty() {
+            None
+        } else {
+            Some(recent.iter().sum::<f64>() / recent.len() as f64)
+        }
+    }
+
+    /// Latest report per reducer, if any.
+    pub fn latest(&self) -> Option<ErrorReport> {
+        let mut history = self.history.lock();
+        while let Some(report) = self.queue.pop() {
+            history.push(report);
+        }
+        history.last().copied()
+    }
+
+    /// Total number of reports received.
+    pub fn len(&self) -> usize {
+        let mut history = self.history.lock();
+        while let Some(report) = self.queue.pop() {
+            history.push(report);
+        }
+        history.len()
+    }
+
+    /// Whether no report has been received.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earl_cluster::SimDuration;
+
+    fn at(ms: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn empty_channel_has_no_average() {
+        let fb = ErrorFeedback::new();
+        assert!(fb.is_empty());
+        assert_eq!(fb.average_error_since(SimInstant::EPOCH), None);
+        assert!(fb.latest().is_none());
+    }
+
+    #[test]
+    fn average_filters_by_timestamp() {
+        let fb = ErrorFeedback::new();
+        fb.post(ErrorReport { reducer: 0, error: 0.10, timestamp: at(10) });
+        fb.post(ErrorReport { reducer: 1, error: 0.20, timestamp: at(20) });
+        fb.post(ErrorReport { reducer: 0, error: 0.30, timestamp: at(30) });
+        // Everything after t=0.
+        let avg = fb.average_error_since(SimInstant::EPOCH).unwrap();
+        assert!((avg - 0.20).abs() < 1e-12);
+        // Only the report after t=20 ms.
+        let avg = fb.average_error_since(at(20)).unwrap();
+        assert!((avg - 0.30).abs() < 1e-12);
+        // Nothing after t=30 ms.
+        assert_eq!(fb.average_error_since(at(30)), None);
+        assert_eq!(fb.len(), 3);
+        assert_eq!(fb.latest().unwrap().error, 0.30);
+    }
+
+    #[test]
+    fn reports_survive_concurrent_posting() {
+        use std::sync::Arc;
+        let fb = Arc::new(ErrorFeedback::new());
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let fb = Arc::clone(&fb);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        fb.post(ErrorReport { reducer: r, error: i as f64, timestamp: at(i + 1) });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fb.len(), 400);
+    }
+}

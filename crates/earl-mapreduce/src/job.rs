@@ -1,0 +1,214 @@
+//! Job configuration and results.
+
+use earl_cluster::SimDuration;
+use earl_dfs::{DfsPath, InputSplit};
+
+use crate::counters::Counters;
+
+/// Where a job's input records come from.
+#[derive(Debug, Clone)]
+pub enum InputSource {
+    /// All splits of a DFS file, using the DFS default split size.
+    Path(DfsPath),
+    /// An explicit list of splits (used by pre-map sampling, which assigns a
+    /// sampled subset of splits / lines to the job).
+    Splits(Vec<InputSplit>),
+    /// In-memory records `(offset, line)` — used for local mode and for
+    /// running the user job over resamples held in memory.
+    Memory(Vec<(u64, String)>),
+}
+
+impl InputSource {
+    /// Convenience: an in-memory source from plain lines, with synthetic
+    /// offsets.
+    pub fn from_lines<I, S>(lines: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut offset = 0u64;
+        let records = lines
+            .into_iter()
+            .map(|l| {
+                let line = l.as_ref().to_owned();
+                let rec = (offset, line);
+                offset += rec.1.len() as u64 + 1;
+                rec
+            })
+            .collect();
+        InputSource::Memory(records)
+    }
+}
+
+/// What to do when a node fails while running one of the job's tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Stock Hadoop behaviour: restart the task on another node.
+    #[default]
+    Restart,
+    /// EARL's fault-tolerant approximation mode (§3.4): drop the lost task's
+    /// output and keep going; the accuracy-estimation stage will account for
+    /// the smaller effective sample.
+    Ignore,
+}
+
+/// Configuration of one MapReduce job.
+#[derive(Debug, Clone)]
+pub struct JobConf {
+    /// Human-readable job name (appears in reports).
+    pub name: String,
+    /// Input records.
+    pub input: InputSource,
+    /// Number of reduce tasks.
+    pub num_reducers: usize,
+    /// Estimated serialized size of one intermediate record, used to charge
+    /// shuffle network traffic.
+    pub avg_record_bytes: u64,
+    /// Failure handling policy.
+    pub failure_policy: FailurePolicy,
+    /// Local mode: run everything in a single process without task start-up
+    /// costs (the paper's single-JVM estimation mode, §3.2).
+    pub local_mode: bool,
+    /// Whether to charge the fixed job start-up cost (a pipelined session
+    /// charges it only once across iterations).
+    pub charge_job_startup: bool,
+    /// Optional DFS path to which reducer output line-records are written.
+    pub output_path: Option<DfsPath>,
+}
+
+impl JobConf {
+    /// A job reading a whole DFS file with `num_reducers` reducers.
+    pub fn new(name: impl Into<String>, input: InputSource) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            num_reducers: 1,
+            avg_record_bytes: 16,
+            failure_policy: FailurePolicy::Restart,
+            local_mode: false,
+            charge_job_startup: true,
+            output_path: None,
+        }
+    }
+
+    /// Sets the number of reducers.
+    pub fn with_reducers(mut self, n: usize) -> Self {
+        self.num_reducers = n.max(1);
+        self
+    }
+
+    /// Sets the failure policy.
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
+    /// Enables local (single-process) execution.
+    pub fn local(mut self) -> Self {
+        self.local_mode = true;
+        self
+    }
+
+    /// Suppresses the job start-up charge (used by pipelined sessions after
+    /// the first iteration).
+    pub fn without_job_startup(mut self) -> Self {
+        self.charge_job_startup = false;
+        self
+    }
+
+    /// Sets the estimated intermediate record size in bytes.
+    pub fn with_avg_record_bytes(mut self, bytes: u64) -> Self {
+        self.avg_record_bytes = bytes.max(1);
+        self
+    }
+
+    /// Sets a DFS output path; reducer outputs are written there as lines via
+    /// their `Display`-like conversion supplied to the runner.
+    pub fn with_output_path(mut self, path: impl Into<DfsPath>) -> Self {
+        self.output_path = Some(path.into());
+        self
+    }
+}
+
+/// Statistics of one job execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobStats {
+    /// Input records consumed by mappers.
+    pub map_input_records: u64,
+    /// Intermediate records emitted by mappers (after combining, if any).
+    pub shuffle_records: u64,
+    /// Distinct keys seen by reducers.
+    pub reduce_groups: u64,
+    /// Map tasks executed (including restarts).
+    pub map_tasks: u64,
+    /// Reduce tasks executed.
+    pub reduce_tasks: u64,
+    /// Map tasks whose output was dropped because their node failed under the
+    /// [`FailurePolicy::Ignore`] policy.
+    pub lost_map_tasks: u64,
+    /// Tasks restarted after node failures.
+    pub restarted_tasks: u64,
+    /// Simulated time elapsed on the cluster during this job.
+    pub sim_time: SimDuration,
+}
+
+impl JobStats {
+    /// Fraction of map tasks whose output survived (1.0 when nothing was lost).
+    pub fn surviving_fraction(&self) -> f64 {
+        if self.map_tasks == 0 {
+            return 1.0;
+        }
+        1.0 - self.lost_map_tasks as f64 / self.map_tasks as f64
+    }
+}
+
+/// The result of running a job.
+#[derive(Debug, Clone)]
+pub struct JobResult<O> {
+    /// All reducer output records (concatenated across reduce partitions, in
+    /// deterministic key order within each partition).
+    pub outputs: Vec<O>,
+    /// Job counters (built-in + user).
+    pub counters: Counters,
+    /// Execution statistics.
+    pub stats: JobStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let conf = JobConf::new("test", InputSource::from_lines(["a", "b"]))
+            .with_reducers(0)
+            .with_failure_policy(FailurePolicy::Ignore)
+            .local()
+            .without_job_startup()
+            .with_avg_record_bytes(0)
+            .with_output_path("/out");
+        assert_eq!(conf.num_reducers, 1, "reducer count is clamped to ≥1");
+        assert_eq!(conf.avg_record_bytes, 1, "record size is clamped to ≥1");
+        assert_eq!(conf.failure_policy, FailurePolicy::Ignore);
+        assert!(conf.local_mode);
+        assert!(!conf.charge_job_startup);
+        assert_eq!(conf.output_path, Some("/out".into()));
+    }
+
+    #[test]
+    fn from_lines_assigns_increasing_offsets() {
+        let InputSource::Memory(records) = InputSource::from_lines(["ab", "c"]) else {
+            panic!("expected memory source");
+        };
+        assert_eq!(records, vec![(0, "ab".to_owned()), (3, "c".to_owned())]);
+    }
+
+    #[test]
+    fn surviving_fraction() {
+        let mut stats = JobStats::default();
+        assert_eq!(stats.surviving_fraction(), 1.0);
+        stats.map_tasks = 10;
+        stats.lost_map_tasks = 3;
+        assert!((stats.surviving_fraction() - 0.7).abs() < 1e-12);
+    }
+}

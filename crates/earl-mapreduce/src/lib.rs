@@ -1,0 +1,46 @@
+//! # earl-mapreduce
+//!
+//! A Hadoop-like MapReduce engine running on the simulated cluster and DFS of
+//! `earl-cluster` / `earl-dfs`.  It provides everything the EARL paper (Laptev,
+//! Zeng, Zaniolo — VLDB 2012) assumes of its substrate:
+//!
+//! * the classic `map : (k1, v1) → list(k2, v2)` / `reduce : (k2, list(v2)) →
+//!   (k3, v3)` programming model with combiners, partitioners and counters;
+//! * locality-aware task scheduling over input splits, with task restart on
+//!   node failure (stock Hadoop behaviour) or *ignore-and-continue* (the
+//!   fault-tolerant approximation mode of EARL §3.4);
+//! * a **local mode** that runs a job in-process without task start-up costs,
+//!   used by EARL's SSABE parameter-estimation phase (§3.2);
+//! * a **pipelined session** (Hadoop-Online-style) that keeps mapper/reducer
+//!   tasks alive across EARL iterations and provides the mapper↔reducer
+//!   feedback channel used to signal sample expansion or termination (§2.1).
+//!
+//! The engine executes user code for real (results are exact), while all I/O,
+//! CPU and start-up work is charged to the cluster's cost model so simulated
+//! processing times reflect the work performed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod contrib;
+pub mod counters;
+pub mod error;
+pub mod feedback;
+pub mod job;
+pub mod partition;
+pub mod pipeline;
+pub mod runner;
+pub mod shuffle;
+pub mod types;
+
+pub use counters::Counters;
+pub use error::MrError;
+pub use feedback::{ErrorFeedback, ErrorReport};
+pub use job::{FailurePolicy, InputSource, JobConf, JobResult, JobStats};
+pub use partition::{HashPartitioner, Partitioner};
+pub use pipeline::PipelinedSession;
+pub use runner::{run_job, run_job_with_combiner};
+pub use types::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MrError>;

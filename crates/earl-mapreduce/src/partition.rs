@@ -1,0 +1,72 @@
+//! Partitioners: mapping intermediate keys to reducers.
+//!
+//! The paper (§1) notes that "in a MapReduce framework there is a set of
+//! (key, value) pairs which map to a particular reducer.  This set of pairs can
+//! be distributed uniformly using random hashing" — the property EARL's
+//! key-based (post-map) sampling exploits.  [`HashPartitioner`] provides that
+//! uniform random hashing.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+
+use crate::types::MrKey;
+
+/// Maps a key to one of `num_partitions` reducers.
+pub trait Partitioner<K>: Send + Sync {
+    /// Returns the partition (reducer index) for `key`, in `[0, num_partitions)`.
+    fn partition(&self, key: &K, num_partitions: usize) -> usize;
+}
+
+/// The default partitioner: uniform random hashing of the key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl<K: MrKey> Partitioner<K> for HashPartitioner {
+    fn partition(&self, key: &K, num_partitions: usize) -> usize {
+        if num_partitions <= 1 {
+            return 0;
+        }
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % num_partitions as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        let p = HashPartitioner;
+        for key in 0..1000u64 {
+            let a = p.partition(&key, 7);
+            let b = p.partition(&key, 7);
+            assert_eq!(a, b, "partitioning must be deterministic");
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn single_partition_always_zero() {
+        let p = HashPartitioner;
+        assert_eq!(p.partition(&"anything", 1), 0);
+        assert_eq!(p.partition(&"anything", 0), 0);
+    }
+
+    #[test]
+    fn hashing_spreads_keys_roughly_uniformly() {
+        let p = HashPartitioner;
+        let parts = 4usize;
+        let mut counts = vec![0usize; parts];
+        let n = 10_000u64;
+        for key in 0..n {
+            counts[p.partition(&key, parts)] += 1;
+        }
+        let expected = n as f64 / parts as f64;
+        for c in counts {
+            let deviation = (c as f64 - expected).abs() / expected;
+            assert!(deviation < 0.1, "partition skew too high: {c} vs {expected}");
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The job runner: executes a MapReduce job over the simulated cluster.
+//!
+//! User code (mappers, reducers, combiners) runs for real, so results are
+//! exact; all I/O, CPU and start-up work is charged to the cluster cost model
+//! so that the simulated elapsed time reflects the work actually performed.
+//! This is the property the EARL reproduction needs: processing time is a
+//! deterministic function of bytes scanned and records processed, which is
+//! precisely what early approximation reduces.
+
+use earl_cluster::{NodeId, Phase};
+use earl_dfs::{Dfs, InputSplit};
+
+use crate::counters::{builtin, Counters};
+use crate::error::MrError;
+use crate::job::{FailurePolicy, InputSource, JobConf, JobResult, JobStats};
+use crate::partition::HashPartitioner;
+use crate::shuffle::{apply_combiner, ShuffleOutput};
+use crate::types::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
+use crate::Result;
+
+/// Maximum number of attempts for a single task before the job is declared
+/// lost (mirrors Hadoop's `mapred.map.max.attempts` default of 4).
+const MAX_TASK_ATTEMPTS: usize = 4;
+
+/// Runs a job without a combiner.
+pub fn run_job<M, R>(dfs: &Dfs, conf: &JobConf, mapper: &M, reducer: &R) -> Result<JobResult<R::Output>>
+where
+    M: Mapper,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+{
+    run_inner::<M, R, NeverCombiner<M::OutKey, M::OutValue>>(dfs, conf, mapper, reducer, None)
+}
+
+/// Runs a job with a combiner applied to each map task's local output.
+pub fn run_job_with_combiner<M, R, C>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    mapper: &M,
+    reducer: &R,
+    combiner: &C,
+) -> Result<JobResult<R::Output>>
+where
+    M: Mapper,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+{
+    run_inner::<M, R, C>(dfs, conf, mapper, reducer, Some(combiner))
+}
+
+/// A combiner type used only to instantiate the generic runner when no
+/// combiner is supplied.
+struct NeverCombiner<K, V>(std::marker::PhantomData<(K, V)>);
+
+impl<K: crate::types::MrKey, V: crate::types::MrValue> Combiner for NeverCombiner<K, V> {
+    type Key = K;
+    type Value = V;
+    fn combine(&self, _key: &K, values: &[V]) -> Vec<V> {
+        values.to_vec()
+    }
+}
+
+fn run_inner<M, R, C>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    mapper: &M,
+    reducer: &R,
+    combiner: Option<&C>,
+) -> Result<JobResult<R::Output>>
+where
+    M: Mapper,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+{
+    let cluster = dfs.cluster();
+    let start = cluster.elapsed();
+    let mut counters = Counters::new();
+    let mut stats = JobStats::default();
+
+    if conf.charge_job_startup && !conf.local_mode {
+        cluster.charge_job_startup();
+    }
+
+    // ---- plan map tasks ----------------------------------------------------
+    let map_inputs: Vec<MapInput> = match &conf.input {
+        InputSource::Path(path) => {
+            dfs.default_splits(path.clone())?.into_iter().map(MapInput::Split).collect()
+        }
+        InputSource::Splits(splits) => splits.iter().cloned().map(MapInput::Split).collect(),
+        InputSource::Memory(records) => {
+            if records.is_empty() {
+                Vec::new()
+            } else {
+                vec![MapInput::Memory(records.clone())]
+            }
+        }
+    };
+
+    // ---- map phase -----------------------------------------------------------
+    let mut all_pairs: Vec<(M::OutKey, M::OutValue)> = Vec::new();
+    for input in &map_inputs {
+        stats.map_tasks += 1;
+        match run_map_task(dfs, conf, mapper, combiner, input, &mut counters, &mut stats)? {
+            Some(pairs) => all_pairs.extend(pairs),
+            None => {
+                stats.lost_map_tasks += 1;
+                counters.increment(builtin::LOST_SPLITS);
+            }
+        }
+    }
+    stats.map_input_records = counters.get(builtin::MAP_INPUT_RECORDS);
+    stats.shuffle_records = all_pairs.len() as u64;
+
+    // ---- shuffle -------------------------------------------------------------
+    if !conf.local_mode && !all_pairs.is_empty() {
+        cluster.charge_sort(all_pairs.len() as u64);
+        let nodes = cluster.available_nodes();
+        if nodes.len() >= 2 {
+            // On average (n-1)/n of intermediate data crosses the network.
+            let crossing =
+                all_pairs.len() as u64 * conf.avg_record_bytes * (nodes.len() as u64 - 1) / nodes.len() as u64;
+            cluster.charge_net_transfer(Phase::Shuffle, nodes[0], nodes[1], crossing);
+        }
+    }
+    let shuffled = ShuffleOutput::shuffle(all_pairs, conf.num_reducers, &HashPartitioner);
+    stats.reduce_groups = shuffled.total_groups();
+
+    // ---- reduce phase --------------------------------------------------------
+    let mut outputs = Vec::new();
+    for partition in shuffled.into_partitions() {
+        if partition.is_empty() {
+            continue;
+        }
+        stats.reduce_tasks += 1;
+        let records_in: u64 = partition.values().map(|v| v.len() as u64).sum();
+        counters.add(builtin::REDUCE_INPUT_GROUPS, partition.len() as u64);
+        counters.add(builtin::REDUCE_INPUT_RECORDS, records_in);
+
+        // Reduce tasks are always re-executed on failure (only map-side sample
+        // loss is tolerated by EARL's approximation mode).
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let node = pick_node(dfs, &[])?;
+            if !conf.local_mode {
+                cluster.charge_task_startup();
+                cluster.record_task_on(node)?;
+            }
+            let mut ctx = ReduceContext::new();
+            for (key, values) in &partition {
+                reducer.reduce(key, values, &mut ctx);
+            }
+            cluster.charge_reduce_cpu(Phase::Reduce, records_in, reducer.is_heavy());
+            let survived = conf.local_mode || node_alive(dfs, node);
+            if survived {
+                let (out, c) = ctx.into_parts();
+                outputs.extend(out);
+                counters.merge(&c);
+                break;
+            }
+            cluster.record_task_restart();
+            stats.restarted_tasks += 1;
+            counters.increment(builtin::RESTARTED_TASKS);
+            if attempts >= MAX_TASK_ATTEMPTS {
+                return Err(MrError::ClusterLost);
+            }
+        }
+    }
+
+    // ---- output --------------------------------------------------------------
+    if let Some(_path) = &conf.output_path {
+        // Output records are charged as sequential writes of the estimated
+        // record size (materialisation is left to the caller, which knows how
+        // to serialise its output type).
+        cluster.charge_disk_write(Phase::Output, outputs.len() as u64 * conf.avg_record_bytes);
+    }
+
+    stats.sim_time = cluster.elapsed() - start;
+    Ok(JobResult { outputs, counters, stats })
+}
+
+enum MapInput {
+    Split(InputSplit),
+    Memory(Vec<(u64, String)>),
+}
+
+/// Runs one map task, retrying or dropping it according to the failure policy.
+/// Returns `None` when the task's output was lost under [`FailurePolicy::Ignore`].
+fn run_map_task<M, C>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    mapper: &M,
+    combiner: Option<&C>,
+    input: &MapInput,
+    counters: &mut Counters,
+    stats: &mut JobStats,
+) -> Result<Option<Vec<(M::OutKey, M::OutValue)>>>
+where
+    M: Mapper,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+{
+    let cluster = dfs.cluster();
+    let preferred = match input {
+        MapInput::Split(split) => split.locations.clone(),
+        MapInput::Memory(_) => Vec::new(),
+    };
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let node = pick_node(dfs, &preferred)?;
+        if !conf.local_mode {
+            cluster.charge_task_startup();
+            cluster.record_task_on(node)?;
+        }
+
+        let mut ctx = MapContext::new();
+        let mut records = 0u64;
+        let read_result: Result<()> = (|| {
+            match input {
+                MapInput::Split(split) => {
+                    let mut reader = dfs.open_split(split.clone(), Phase::Load);
+                    while let Some((offset, line)) = reader.next_line()? {
+                        mapper.map(offset, &line, &mut ctx);
+                        records += 1;
+                    }
+                }
+                MapInput::Memory(lines) => {
+                    for (offset, line) in lines {
+                        mapper.map(*offset, line, &mut ctx);
+                        records += 1;
+                    }
+                }
+            }
+            Ok(())
+        })();
+
+        match read_result {
+            Ok(()) => {}
+            Err(MrError::Dfs(earl_dfs::DfsError::BlockUnavailable(_)))
+                if conf.failure_policy == FailurePolicy::Ignore =>
+            {
+                // The data itself is gone; under the approximation policy the
+                // task is simply dropped.
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        }
+
+        cluster.charge_map_cpu(records, mapper.is_heavy());
+
+        let survived = conf.local_mode || node_alive(dfs, node);
+        if survived {
+            counters.add(builtin::MAP_INPUT_RECORDS, records);
+            let (pairs, c) = ctx.into_parts();
+            counters.merge(&c);
+            let pairs = match combiner {
+                Some(cmb) => {
+                    let combined = apply_combiner(pairs, cmb);
+                    counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
+                    combined
+                }
+                None => pairs,
+            };
+            return Ok(Some(pairs));
+        }
+
+        // The node running this task failed while it was working.
+        match conf.failure_policy {
+            FailurePolicy::Ignore => return Ok(None),
+            FailurePolicy::Restart => {
+                cluster.record_task_restart();
+                stats.restarted_tasks += 1;
+                counters.increment(builtin::RESTARTED_TASKS);
+                if attempts >= MAX_TASK_ATTEMPTS {
+                    return Err(MrError::ClusterLost);
+                }
+                // Re-sync DFS metadata so the retry does not read from the dead node.
+                dfs.reconcile_failures();
+            }
+        }
+    }
+}
+
+fn pick_node(dfs: &Dfs, preferred: &[NodeId]) -> Result<NodeId> {
+    for node in preferred {
+        if node_alive(dfs, *node) {
+            return Ok(*node);
+        }
+    }
+    Ok(dfs.cluster().random_available_node()?)
+}
+
+fn node_alive(dfs: &Dfs, node: NodeId) -> bool {
+    dfs.cluster().node(node).map(|n| n.is_available()).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contrib::{CountCombiner, MeanReducer, TokenCountMapper, ValueExtractMapper, WordCountReducer};
+    use earl_cluster::{Cluster, CostModel, FailureEvent, FailureSchedule, SimDuration, SimInstant};
+    use earl_dfs::DfsConfig;
+
+    fn test_dfs(nodes: u32, free: bool) -> Dfs {
+        let mut builder = Cluster::builder().nodes(nodes);
+        if free {
+            builder = builder.cost_model(CostModel::free());
+        }
+        Dfs::new(builder.build().unwrap(), DfsConfig { block_size: 256, replication: 2, io_chunk: 64 })
+            .unwrap()
+    }
+
+    #[test]
+    fn word_count_over_dfs_matches_reference() {
+        let dfs = test_dfs(3, true);
+        let lines = vec!["the quick brown fox", "the lazy dog", "the fox"];
+        dfs.write_lines("/wc", &lines).unwrap();
+        let conf = JobConf::new("wordcount", InputSource::Path("/wc".into())).with_reducers(3);
+        let result = run_job(&dfs, &conf, &TokenCountMapper, &WordCountReducer).unwrap();
+        let mut counts: Vec<(String, u64)> = result.outputs.clone();
+        counts.sort();
+        let the = counts.iter().find(|(w, _)| w == "the").unwrap();
+        assert_eq!(the.1, 3);
+        let fox = counts.iter().find(|(w, _)| w == "fox").unwrap();
+        assert_eq!(fox.1, 2);
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<u64>(), 9);
+        assert_eq!(result.counters.get(builtin::MAP_INPUT_RECORDS), 3);
+        assert_eq!(result.stats.map_input_records, 3);
+        assert!(result.stats.reduce_tasks >= 1);
+        assert_eq!(result.stats.lost_map_tasks, 0);
+        assert_eq!(result.stats.surviving_fraction(), 1.0);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_without_changing_results() {
+        let dfs = test_dfs(2, true);
+        let lines: Vec<String> = (0..50).map(|i| format!("k{} k{} k{}", i % 3, i % 3, i % 5)).collect();
+        dfs.write_lines("/c", &lines).unwrap();
+        let conf = JobConf::new("wc", InputSource::Path("/c".into())).with_reducers(2);
+        let plain = run_job(&dfs, &conf, &TokenCountMapper, &WordCountReducer).unwrap();
+        let combined =
+            run_job_with_combiner(&dfs, &conf, &TokenCountMapper, &WordCountReducer, &CountCombiner).unwrap();
+        let mut a = plain.outputs.clone();
+        let mut b = combined.outputs.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "combiner must not change results");
+        assert!(
+            combined.counters.get(builtin::COMBINE_OUTPUT_RECORDS) < plain.stats.shuffle_records,
+            "combiner must shrink intermediate data"
+        );
+    }
+
+    #[test]
+    fn memory_input_runs_without_dfs_reads() {
+        let dfs = test_dfs(1, false);
+        let conf = JobConf::new(
+            "mean",
+            InputSource::from_lines((1..=100).map(|i| i.to_string())),
+        );
+        let result = run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        assert_eq!(result.outputs.len(), 1);
+        assert!((result.outputs[0] - 50.5).abs() < 1e-9);
+        let load = dfs.cluster().metrics().snapshot().phase(Phase::Load);
+        assert_eq!(load.disk_bytes_read, 0, "memory input must not touch the DFS");
+    }
+
+    #[test]
+    fn local_mode_is_cheaper_than_cluster_mode() {
+        let dfs = test_dfs(3, false);
+        let lines: Vec<String> = (0..200).map(|i| i.to_string()).collect();
+        dfs.write_lines("/m", &lines).unwrap();
+
+        dfs.cluster().reset_accounting();
+        let cluster_conf = JobConf::new("mean", InputSource::Path("/m".into()));
+        run_job(&dfs, &cluster_conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        let cluster_time = dfs.cluster().elapsed();
+
+        dfs.cluster().reset_accounting();
+        let local_conf = JobConf::new("mean", InputSource::Path("/m".into())).local();
+        run_job(&dfs, &local_conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        let local_time = dfs.cluster().elapsed();
+
+        assert!(
+            local_time < cluster_time,
+            "local mode must avoid job/task start-up costs: {local_time} vs {cluster_time}"
+        );
+    }
+
+    #[test]
+    fn empty_input_produces_empty_result() {
+        let dfs = test_dfs(1, true);
+        let conf = JobConf::new("empty", InputSource::Memory(Vec::new()));
+        let result = run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        assert!(result.outputs.is_empty());
+        assert_eq!(result.stats.map_tasks, 0);
+        assert_eq!(result.stats.reduce_tasks, 0);
+    }
+
+    #[test]
+    fn restart_policy_recovers_from_node_failure() {
+        // Node 1 fails shortly after the job starts; with replication 2 the
+        // data survives and the restart policy must deliver the exact answer.
+        let schedule = FailureSchedule::Deterministic(vec![FailureEvent {
+            node: NodeId(1),
+            at: SimInstant::EPOCH + SimDuration::from_millis(100),
+        }]);
+        let cluster = Cluster::builder().nodes(3).failure_schedule(schedule).build().unwrap();
+        let dfs =
+            Dfs::new(cluster, DfsConfig { block_size: 512, replication: 2, io_chunk: 128 }).unwrap();
+        let lines: Vec<String> = (1..=1000).map(|i| i.to_string()).collect();
+        dfs.write_lines("/ft", &lines).unwrap();
+        let conf = JobConf::new("mean", InputSource::Path("/ft".into()))
+            .with_failure_policy(FailurePolicy::Restart);
+        let result = run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        assert_eq!(result.outputs.len(), 1);
+        assert!((result.outputs[0] - 500.5).abs() < 1e-9);
+        assert!(!dfs.cluster().failed_nodes().is_empty(), "the failure must actually have fired");
+    }
+
+    #[test]
+    fn ignore_policy_drops_lost_tasks_but_completes() {
+        // Every node except node 0 fails very early; with the Ignore policy the
+        // job still completes, reporting lost map tasks.
+        let schedule = FailureSchedule::Deterministic(vec![
+            FailureEvent { node: NodeId(1), at: SimInstant::EPOCH + SimDuration::from_millis(1) },
+            FailureEvent { node: NodeId(2), at: SimInstant::EPOCH + SimDuration::from_millis(1) },
+        ]);
+        let cluster = Cluster::builder().nodes(3).failure_schedule(schedule).build().unwrap();
+        let dfs = Dfs::new(cluster, DfsConfig { block_size: 256, replication: 1, io_chunk: 64 }).unwrap();
+        let lines: Vec<String> = (1..=2000).map(|i| i.to_string()).collect();
+        dfs.write_lines("/loss", &lines).unwrap();
+        dfs.cluster().reset_accounting();
+        let conf = JobConf::new("mean", InputSource::Path("/loss".into()))
+            .with_failure_policy(FailurePolicy::Ignore);
+        let result = run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        // The job must finish; depending on which blocks were lost the answer is
+        // approximate but the surviving fraction must be reported.
+        assert!(result.stats.map_tasks > 0);
+        if result.stats.lost_map_tasks > 0 {
+            assert!(result.stats.surviving_fraction() < 1.0);
+            assert_eq!(result.counters.get(builtin::LOST_SPLITS), result.stats.lost_map_tasks);
+        }
+    }
+
+    #[test]
+    fn output_path_charges_write_cost() {
+        let dfs = test_dfs(2, false);
+        dfs.write_lines("/in", (1..=100).map(|i| i.to_string())).unwrap();
+        let before = dfs.cluster().metrics().snapshot().phase(Phase::Output).disk_bytes_written;
+        let conf = JobConf::new("mean", InputSource::Path("/in".into())).with_output_path("/out");
+        run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        let after = dfs.cluster().metrics().snapshot().phase(Phase::Output).disk_bytes_written;
+        assert!(after > before);
+    }
+
+    #[test]
+    fn stats_record_sim_time_and_tasks() {
+        let dfs = test_dfs(2, false);
+        dfs.write_lines("/t", (1..=500).map(|i| i.to_string())).unwrap();
+        let conf = JobConf::new("mean", InputSource::Path("/t".into()));
+        let result = run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        assert!(result.stats.sim_time > SimDuration::ZERO);
+        assert!(result.stats.map_tasks >= 1);
+        assert_eq!(result.stats.map_input_records, 500);
+    }
+}

@@ -1,0 +1,137 @@
+//! The shuffle: partitioning, grouping and sorting of intermediate pairs.
+
+use std::collections::BTreeMap;
+
+use crate::partition::Partitioner;
+use crate::types::{Combiner, MrKey, MrValue};
+
+/// Intermediate data grouped per reduce partition, with values grouped by key
+/// in sorted key order (the "sort" half of sort-and-shuffle).
+#[derive(Debug)]
+pub struct ShuffleOutput<K, V> {
+    partitions: Vec<BTreeMap<K, Vec<V>>>,
+}
+
+impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
+    /// Groups `pairs` into `num_partitions` reduce partitions using `partitioner`.
+    pub fn shuffle<P: Partitioner<K> + ?Sized>(
+        pairs: Vec<(K, V)>,
+        num_partitions: usize,
+        partitioner: &P,
+    ) -> Self {
+        let num_partitions = num_partitions.max(1);
+        let mut partitions: Vec<BTreeMap<K, Vec<V>>> = (0..num_partitions).map(|_| BTreeMap::new()).collect();
+        for (key, value) in pairs {
+            let p = partitioner.partition(&key, num_partitions).min(num_partitions - 1);
+            partitions[p].entry(key).or_default().push(value);
+        }
+        Self { partitions }
+    }
+
+    /// Number of reduce partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of records across all partitions.
+    pub fn total_records(&self) -> u64 {
+        self.partitions.iter().flat_map(|p| p.values()).map(|v| v.len() as u64).sum()
+    }
+
+    /// Total number of distinct keys across all partitions.
+    pub fn total_groups(&self) -> u64 {
+        self.partitions.iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// Iterates over partitions.
+    pub fn partitions(&self) -> impl Iterator<Item = &BTreeMap<K, Vec<V>>> {
+        self.partitions.iter()
+    }
+
+    /// Consumes the shuffle output, yielding the partitions.
+    pub fn into_partitions(self) -> Vec<BTreeMap<K, Vec<V>>> {
+        self.partitions
+    }
+}
+
+/// Applies a combiner to one mapper's local output, reducing the number of
+/// records that must cross the network.
+pub fn apply_combiner<C>(pairs: Vec<(C::Key, C::Value)>, combiner: &C) -> Vec<(C::Key, C::Value)>
+where
+    C: Combiner + ?Sized,
+{
+    let mut grouped: BTreeMap<C::Key, Vec<C::Value>> = BTreeMap::new();
+    for (k, v) in pairs {
+        grouped.entry(k).or_default().push(v);
+    }
+    let mut combined = Vec::new();
+    for (k, values) in grouped {
+        for v in combiner.combine(&k, &values) {
+            combined.push((k.clone(), v));
+        }
+    }
+    combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::HashPartitioner;
+
+    #[test]
+    fn shuffle_groups_by_key_in_sorted_order() {
+        let pairs = vec![("b", 1), ("a", 2), ("b", 3), ("c", 4), ("a", 5)];
+        let out = ShuffleOutput::shuffle(pairs, 1, &HashPartitioner);
+        assert_eq!(out.num_partitions(), 1);
+        assert_eq!(out.total_records(), 5);
+        assert_eq!(out.total_groups(), 3);
+        let partition = &out.into_partitions()[0];
+        let keys: Vec<&&str> = partition.keys().collect();
+        assert_eq!(keys, vec![&"a", &"b", &"c"]);
+        assert_eq!(partition["a"], vec![2, 5]);
+        assert_eq!(partition["b"], vec![1, 3]);
+    }
+
+    #[test]
+    fn every_key_lands_in_exactly_one_partition() {
+        let pairs: Vec<(u64, u64)> = (0..500).map(|i| (i % 50, i)).collect();
+        let out = ShuffleOutput::shuffle(pairs, 4, &HashPartitioner);
+        assert_eq!(out.total_records(), 500);
+        assert_eq!(out.total_groups(), 50);
+        // No key appears in two partitions.
+        let mut seen = std::collections::HashSet::new();
+        for partition in out.partitions() {
+            for key in partition.keys() {
+                assert!(seen.insert(*key), "key {key} appeared in two partitions");
+            }
+        }
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    fn zero_partitions_is_clamped_to_one() {
+        let out = ShuffleOutput::shuffle(vec![("k", 1)], 0, &HashPartitioner);
+        assert_eq!(out.num_partitions(), 1);
+    }
+
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        type Key = String;
+        type Value = u64;
+        fn combine(&self, _key: &String, values: &[u64]) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+    }
+
+    #[test]
+    fn combiner_shrinks_local_output() {
+        let pairs = vec![
+            ("a".to_owned(), 1),
+            ("a".to_owned(), 2),
+            ("b".to_owned(), 3),
+            ("a".to_owned(), 4),
+        ];
+        let combined = apply_combiner(pairs, &SumCombiner);
+        assert_eq!(combined, vec![("a".to_owned(), 7), ("b".to_owned(), 3)]);
+    }
+}

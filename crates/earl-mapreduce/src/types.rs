@@ -1,0 +1,202 @@
+//! The MapReduce programming model: mapper, reducer and combiner traits plus
+//! their execution contexts.
+//!
+//! Signatures follow the paper's §2.1:
+//!
+//! ```text
+//! map    : (k1, v1)        → list(k2, v2)
+//! reduce : (k2, list(v2))  → (k3, v3)
+//! ```
+//!
+//! Input records arrive as `(byte offset, line)` pairs, exactly like Hadoop's
+//! `TextInputFormat`.
+
+use std::hash::Hash as StdHash;
+
+use crate::counters::{builtin, Counters};
+
+/// Marker bounds for intermediate keys.
+pub trait MrKey: Ord + StdHash + Clone + Send + Sync + 'static {}
+impl<T: Ord + StdHash + Clone + Send + Sync + 'static> MrKey for T {}
+
+/// Marker bounds for intermediate values.
+pub trait MrValue: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> MrValue for T {}
+
+/// Context handed to map functions for emitting intermediate pairs.
+#[derive(Debug)]
+pub struct MapContext<K, V> {
+    emitted: Vec<(K, V)>,
+    counters: Counters,
+}
+
+impl<K: MrKey, V: MrValue> MapContext<K, V> {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self { emitted: Vec::new(), counters: Counters::new() }
+    }
+
+    /// Emits one intermediate `(key, value)` pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.counters.increment(builtin::MAP_OUTPUT_RECORDS);
+        self.emitted.push((key, value));
+    }
+
+    /// Increments a user counter.
+    pub fn increment_counter(&mut self, name: &str, delta: u64) {
+        self.counters.add(name, delta);
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn emitted_len(&self) -> usize {
+        self.emitted.len()
+    }
+
+    /// Consumes the context, returning emitted pairs and counters.
+    pub fn into_parts(self) -> (Vec<(K, V)>, Counters) {
+        (self.emitted, self.counters)
+    }
+}
+
+impl<K: MrKey, V: MrValue> Default for MapContext<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Context handed to reduce functions for emitting final output records.
+#[derive(Debug)]
+pub struct ReduceContext<O> {
+    outputs: Vec<O>,
+    counters: Counters,
+}
+
+impl<O> ReduceContext<O> {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self { outputs: Vec::new(), counters: Counters::new() }
+    }
+
+    /// Emits one output record.
+    pub fn emit(&mut self, output: O) {
+        self.counters.increment(builtin::REDUCE_OUTPUT_RECORDS);
+        self.outputs.push(output);
+    }
+
+    /// Increments a user counter.
+    pub fn increment_counter(&mut self, name: &str, delta: u64) {
+        self.counters.add(name, delta);
+    }
+
+    /// Consumes the context, returning outputs and counters.
+    pub fn into_parts(self) -> (Vec<O>, Counters) {
+        (self.outputs, self.counters)
+    }
+}
+
+impl<O> Default for ReduceContext<O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A map function over `(offset, line)` input records.
+pub trait Mapper: Send + Sync {
+    /// Intermediate key type.
+    type OutKey: MrKey;
+    /// Intermediate value type.
+    type OutValue: MrValue;
+
+    /// Processes one input record.
+    fn map(&self, offset: u64, line: &str, ctx: &mut MapContext<Self::OutKey, Self::OutValue>);
+
+    /// Whether the map function is CPU-heavy (charged at the cost model's
+    /// heavy multiplier).  Defaults to `false`.
+    fn is_heavy(&self) -> bool {
+        false
+    }
+}
+
+/// A reduce function over `(key, values)` groups.
+pub trait Reducer: Send + Sync {
+    /// Intermediate key type (must match the mapper's).
+    type InKey: MrKey;
+    /// Intermediate value type (must match the mapper's).
+    type InValue: MrValue;
+    /// Final output record type.
+    type Output: Send + 'static;
+
+    /// Processes one key group.
+    fn reduce(&self, key: &Self::InKey, values: &[Self::InValue], ctx: &mut ReduceContext<Self::Output>);
+
+    /// Whether the reduce function is CPU-heavy.  Defaults to `false`.
+    fn is_heavy(&self) -> bool {
+        false
+    }
+}
+
+/// A combiner: a local, associative reduction applied to each mapper's output
+/// before the shuffle to cut intermediate data volume.
+pub trait Combiner: Send + Sync {
+    /// Key type.
+    type Key: MrKey;
+    /// Value type.
+    type Value: MrValue;
+
+    /// Combines all values of one key produced by a single mapper into a
+    /// smaller list (often a single element).
+    fn combine(&self, key: &Self::Key, values: &[Self::Value]) -> Vec<Self::Value>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Tokenizer;
+    impl Mapper for Tokenizer {
+        type OutKey = String;
+        type OutValue = u64;
+        fn map(&self, _offset: u64, line: &str, ctx: &mut MapContext<String, u64>) {
+            for token in line.split_whitespace() {
+                ctx.emit(token.to_owned(), 1);
+            }
+        }
+    }
+
+    struct Summer;
+    impl Reducer for Summer {
+        type InKey = String;
+        type InValue = u64;
+        type Output = (String, u64);
+        fn reduce(&self, key: &String, values: &[u64], ctx: &mut ReduceContext<(String, u64)>) {
+            ctx.emit((key.clone(), values.iter().sum()));
+        }
+    }
+
+    #[test]
+    fn map_context_collects_emits_and_counters() {
+        let mut ctx = MapContext::new();
+        Tokenizer.map(0, "a b a", &mut ctx);
+        ctx.increment_counter("custom", 2);
+        assert_eq!(ctx.emitted_len(), 3);
+        let (pairs, counters) = ctx.into_parts();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(counters.get(builtin::MAP_OUTPUT_RECORDS), 3);
+        assert_eq!(counters.get("custom"), 2);
+    }
+
+    #[test]
+    fn reduce_context_collects_outputs() {
+        let mut ctx = ReduceContext::new();
+        Summer.reduce(&"a".to_owned(), &[1, 1, 1], &mut ctx);
+        let (outputs, counters) = ctx.into_parts();
+        assert_eq!(outputs, vec![("a".to_owned(), 3)]);
+        assert_eq!(counters.get(builtin::REDUCE_OUTPUT_RECORDS), 1);
+    }
+
+    #[test]
+    fn default_heaviness_is_light() {
+        assert!(!Tokenizer.is_heavy());
+        assert!(!Summer.is_heavy());
+    }
+}

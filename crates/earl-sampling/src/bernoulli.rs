@@ -1,0 +1,96 @@
+//! Bernoulli (coin-flip) sampling.
+//!
+//! Each record is included independently with probability `p`.  Used as a
+//! simple per-record baseline and by the post-map sampler's key-hashing stage.
+
+use rand::Rng;
+
+/// Includes each item of `iter` independently with probability `p`.
+pub fn bernoulli_sample<T, I, R>(rng: &mut R, iter: I, p: f64) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    let p = p.clamp(0.0, 1.0);
+    iter.into_iter().filter(|_| rng.gen::<f64>() < p).collect()
+}
+
+/// A stateful Bernoulli sampler with inclusion accounting.
+#[derive(Debug, Clone)]
+pub struct BernoulliSampler {
+    p: f64,
+    offered: u64,
+    included: u64,
+}
+
+impl BernoulliSampler {
+    /// Creates a sampler with inclusion probability `p` (clamped to `[0, 1]`).
+    pub fn new(p: f64) -> Self {
+        Self { p: p.clamp(0.0, 1.0), offered: 0, included: 0 }
+    }
+
+    /// Decides whether the next record is included.
+    pub fn include<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        self.offered += 1;
+        let hit = rng.gen::<f64>() < self.p;
+        if hit {
+            self.included += 1;
+        }
+        hit
+    }
+
+    /// Records offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Records included so far.
+    pub fn included(&self) -> u64 {
+        self.included
+    }
+
+    /// Empirical inclusion rate so far.
+    pub fn rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.included as f64 / self.offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_rate_matches_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = bernoulli_sample(&mut rng, 0..100_000u32, 0.1);
+        let rate = sample.len() as f64 / 100_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(bernoulli_sample(&mut rng, 0..100u32, 0.0).is_empty());
+        assert_eq!(bernoulli_sample(&mut rng, 0..100u32, 1.0).len(), 100);
+        assert_eq!(bernoulli_sample(&mut rng, 0..100u32, 7.0).len(), 100, "p is clamped");
+    }
+
+    #[test]
+    fn stateful_sampler_accounts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = BernoulliSampler::new(0.5);
+        assert_eq!(s.rate(), 0.0);
+        for _ in 0..10_000 {
+            s.include(&mut rng);
+        }
+        assert_eq!(s.offered(), 10_000);
+        assert!((s.rate() - 0.5).abs() < 0.05);
+        assert_eq!(s.included(), (s.rate() * 10_000.0).round() as u64);
+    }
+}

@@ -1,0 +1,122 @@
+//! Reservoir sampling (Vitter's Algorithm R).
+//!
+//! The paper discusses reservoir sampling as the "naive solution" that produces
+//! a perfectly uniform sample but "suffers from slow loading times because the
+//! entire dataset needs to be read, and possibly re-read when further samples
+//! are required" (§3.3).  It is provided here both as a correctness baseline
+//! for the property tests and as the comparison point for the Fig. 5/Fig. 9
+//! load-time experiments.
+
+use rand::Rng;
+
+/// A fixed-capacity uniform reservoir over a stream of items.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Creates a reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, seen: 0, items: Vec::with_capacity(capacity.min(1 << 20)) }
+    }
+
+    /// Offers one item from the stream.
+    pub fn offer<R: Rng + ?Sized>(&mut self, rng: &mut R, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else if self.capacity > 0 {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Number of stream items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current reservoir contents.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the sampler and returns the sample.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Draws a uniform sample of `k` items from an iterator in one pass.
+pub fn reservoir_sample<T, I, R>(rng: &mut R, iter: I, k: usize) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    let mut sampler = ReservoirSampler::new(k);
+    for item in iter {
+        sampler.offer(rng, item);
+    }
+    sampler.into_items()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reservoir_never_exceeds_capacity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = reservoir_sample(&mut rng, 0..10_000u32, 50);
+        assert_eq!(sample.len(), 50);
+        let mut sampler: ReservoirSampler<u32> = ReservoirSampler::new(0);
+        sampler.offer(&mut rng, 7);
+        assert!(sampler.items().is_empty());
+        assert_eq!(sampler.seen(), 1);
+    }
+
+    #[test]
+    fn short_stream_is_kept_entirely() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sample = reservoir_sample(&mut rng, 0..10u32, 50);
+        assert_eq!(sample, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn inclusion_probability_is_uniform() {
+        // Each of 100 items should appear in a k=10 reservoir with probability
+        // 0.1; over 2000 trials the per-item inclusion frequency must be close.
+        let n = 100u32;
+        let k = 10usize;
+        let trials = 2_000;
+        let mut counts = vec![0u32; n as usize];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..trials {
+            for &item in reservoir_sample(&mut rng, 0..n, k).iter() {
+                counts[item as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64; // 200
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.35, "item {i} included {c} times, expected ≈{expected}");
+        }
+    }
+
+    #[test]
+    fn into_items_returns_the_sample() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sampler = ReservoirSampler::new(3);
+        for i in 0..3 {
+            sampler.offer(&mut rng, i);
+        }
+        assert_eq!(sampler.into_items(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,103 @@
+//! The [`SampleSource`] abstraction the EARL driver consumes.
+//!
+//! EARL's iterative loop ("draw Δs, aggregate with s, re-estimate") only needs
+//! two operations from a sampler: *draw some more records* and *tell me how big
+//! the population is*.  Both pre-map and post-map samplers implement this
+//! trait, so the driver is agnostic to which one the user picked.
+
+use crate::Result;
+
+/// A batch of sampled records plus accounting information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleBatch {
+    /// The sampled records as `(byte offset or record index, line)` pairs,
+    /// ready to be fed to a MapReduce job as in-memory input.
+    pub records: Vec<(u64, String)>,
+    /// Bytes that had to be read from the DFS to produce this batch.
+    pub bytes_read: u64,
+}
+
+impl SampleBatch {
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A source of uniformly random records that can be drawn from incrementally.
+pub trait SampleSource {
+    /// Draws up to `count` additional records (fewer if the population is
+    /// exhausted).  Records already returned by earlier calls are never
+    /// returned again (sampling without replacement across calls), so the union
+    /// of all batches is itself a uniform sample.
+    fn draw(&mut self, count: usize) -> Result<SampleBatch>;
+
+    /// Total number of records in the population, if known.  Pre-map sampling
+    /// only knows an estimate until the file's record count metadata is
+    /// consulted; post-map sampling knows it exactly after its initial scan.
+    fn population_size(&self) -> Option<u64>;
+
+    /// Number of records drawn so far.
+    fn drawn(&self) -> u64;
+
+    /// Fraction of the population drawn so far (`None` when the population size
+    /// is unknown).  This is the `p` handed to the user's `correct()` function.
+    fn sampled_fraction(&self) -> Option<f64> {
+        self.population_size().map(|n| {
+            if n == 0 {
+                1.0
+            } else {
+                self.drawn() as f64 / n as f64
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeSource {
+        next: u64,
+        total: u64,
+    }
+
+    impl SampleSource for FakeSource {
+        fn draw(&mut self, count: usize) -> Result<SampleBatch> {
+            let take = (count as u64).min(self.total - self.next);
+            let records =
+                (0..take).map(|i| (self.next + i, format!("r{}", self.next + i))).collect::<Vec<_>>();
+            self.next += take;
+            Ok(SampleBatch { records, bytes_read: take * 4 })
+        }
+        fn population_size(&self) -> Option<u64> {
+            Some(self.total)
+        }
+        fn drawn(&self) -> u64 {
+            self.next
+        }
+    }
+
+    #[test]
+    fn sampled_fraction_tracks_draws() {
+        let mut src = FakeSource { next: 0, total: 100 };
+        assert_eq!(src.sampled_fraction(), Some(0.0));
+        let batch = src.draw(25).unwrap();
+        assert_eq!(batch.len(), 25);
+        assert!(!batch.is_empty());
+        assert_eq!(src.sampled_fraction(), Some(0.25));
+        src.draw(1000).unwrap();
+        assert_eq!(src.sampled_fraction(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_population_fraction_is_one() {
+        let src = FakeSource { next: 0, total: 0 };
+        assert_eq!(src.sampled_fraction(), Some(1.0));
+    }
+}

@@ -1,0 +1,171 @@
+//! The 2-file / ARHASH-style sampler from the related-work discussion (§7).
+//!
+//! Olken & Rotem's technique keeps a set of blocks `F1` in main memory and the
+//! remaining blocks `F2` on disk; each random draw first picks `F1` or `F2`
+//! with probability proportional to their sizes and then draws a record from
+//! the chosen side.  The expected number of disk seeks is therefore reduced by
+//! the memory-resident fraction.  The paper notes the idea must be extended for
+//! a distributed file system — this module provides that extension over the
+//! simulated DFS and is used by an ablation bench comparing samplers.
+
+use earl_cluster::Phase;
+use earl_dfs::{Dfs, DfsPath};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::SamplingError;
+use crate::source::SampleBatch;
+use crate::Result;
+
+/// Statistics of a two-file sampling run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwoFileStats {
+    /// Draws served from the in-memory portion (no disk seek).
+    pub memory_hits: u64,
+    /// Draws that required a disk seek into the on-disk portion.
+    pub disk_seeks: u64,
+}
+
+/// A sampler that holds a prefix fraction of the file in memory and serves
+/// random draws from memory or disk proportionally.
+#[derive(Debug)]
+pub struct TwoFileSampler {
+    dfs: Dfs,
+    path: DfsPath,
+    /// Lines resident in memory (F1), with their offsets.
+    memory: Vec<(u64, String)>,
+    /// Byte range of the on-disk remainder (F2).
+    disk_start: u64,
+    file_len: u64,
+    rng: StdRng,
+    stats: TwoFileStats,
+}
+
+impl TwoFileSampler {
+    /// Creates the sampler, loading roughly `memory_fraction` of the file's
+    /// bytes into memory (charged as a sequential read).
+    pub fn new(dfs: Dfs, path: impl Into<DfsPath>, memory_fraction: f64, seed: u64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&memory_fraction) {
+            return Err(SamplingError::InvalidConfig("memory_fraction must be in [0, 1]".into()));
+        }
+        let path = path.into();
+        let status = dfs.status(path.clone())?;
+        let memory_bytes = (status.len as f64 * memory_fraction) as u64;
+        let mut memory = Vec::new();
+        let mut disk_start = 0u64;
+        if memory_bytes > 0 {
+            // Load whole lines until the memory budget is exhausted.
+            let mut offset = 0u64;
+            while offset < status.len && offset < memory_bytes {
+                match dfs.read_line_at(Phase::Load, path.clone(), offset)? {
+                    Some((start, line)) => {
+                        let next = start + line.len() as u64 + 1;
+                        memory.push((start, line));
+                        offset = next;
+                    }
+                    None => break,
+                }
+            }
+            disk_start = offset;
+        }
+        Ok(Self {
+            dfs,
+            path,
+            memory,
+            disk_start,
+            file_len: status.len,
+            rng: StdRng::seed_from_u64(seed),
+            stats: TwoFileStats::default(),
+        })
+    }
+
+    /// Sampling statistics so far.
+    pub fn stats(&self) -> TwoFileStats {
+        self.stats
+    }
+
+    /// Draws `count` random records (with replacement across draws, as in the
+    /// original ARHASH formulation).
+    pub fn draw(&mut self, count: usize) -> Result<SampleBatch> {
+        if self.file_len == 0 {
+            return Ok(SampleBatch { records: Vec::new(), bytes_read: 0 });
+        }
+        let before = self.dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
+        let memory_fraction = if self.file_len == 0 { 0.0 } else { self.disk_start as f64 / self.file_len as f64 };
+        let mut records = Vec::with_capacity(count);
+        while records.len() < count {
+            if !self.memory.is_empty() && self.rng.gen::<f64>() < memory_fraction {
+                let idx = self.rng.gen_range(0..self.memory.len());
+                records.push(self.memory[idx].clone());
+                self.stats.memory_hits += 1;
+            } else if self.disk_start < self.file_len {
+                let offset = self.rng.gen_range(self.disk_start..self.file_len);
+                if let Some(rec) = self.dfs.read_line_at(Phase::Load, self.path.clone(), offset)? {
+                    records.push(rec);
+                }
+                self.stats.disk_seeks += 1;
+            } else if !self.memory.is_empty() {
+                // Whole file fits in memory.
+                let idx = self.rng.gen_range(0..self.memory.len());
+                records.push(self.memory[idx].clone());
+                self.stats.memory_hits += 1;
+            } else {
+                break;
+            }
+        }
+        let after = self.dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
+        Ok(SampleBatch { records, bytes_read: after - before })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earl_cluster::{Cluster, CostModel};
+    use earl_dfs::DfsConfig;
+
+    fn dataset(n: usize) -> Dfs {
+        let cluster = Cluster::builder().nodes(2).cost_model(CostModel::free()).build().unwrap();
+        let dfs = Dfs::new(cluster, DfsConfig { block_size: 4096, replication: 1, io_chunk: 128 }).unwrap();
+        dfs.write_lines("/tf", (0..n).map(|i| format!("{i}"))).unwrap();
+        dfs
+    }
+
+    #[test]
+    fn memory_resident_fraction_reduces_disk_seeks() {
+        let dfs = dataset(2_000);
+        let mut cold = TwoFileSampler::new(dfs.clone(), "/tf", 0.0, 1).unwrap();
+        let mut warm = TwoFileSampler::new(dfs, "/tf", 0.5, 1).unwrap();
+        cold.draw(500).unwrap();
+        warm.draw(500).unwrap();
+        assert_eq!(cold.stats().memory_hits, 0);
+        assert!(warm.stats().memory_hits > 100, "half the draws should be served from memory");
+        assert!(warm.stats().disk_seeks < cold.stats().disk_seeks);
+    }
+
+    #[test]
+    fn fully_memory_resident_never_seeks() {
+        let dfs = dataset(200);
+        let mut s = TwoFileSampler::new(dfs, "/tf", 1.0, 2).unwrap();
+        let batch = s.draw(100).unwrap();
+        assert_eq!(batch.len(), 100);
+        assert_eq!(s.stats().disk_seeks, 0);
+    }
+
+    #[test]
+    fn draws_cover_both_regions() {
+        let dfs = dataset(1_000);
+        let mut s = TwoFileSampler::new(dfs, "/tf", 0.3, 3).unwrap();
+        let batch = s.draw(600).unwrap();
+        let values: Vec<u64> = batch.records.iter().map(|(_, l)| l.parse().unwrap()).collect();
+        assert!(values.iter().any(|&v| v < 300), "some draws from the memory region");
+        assert!(values.iter().any(|&v| v > 700), "some draws from the disk region");
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let dfs = dataset(10);
+        assert!(TwoFileSampler::new(dfs.clone(), "/tf", 1.5, 1).is_err());
+        assert!(TwoFileSampler::new(dfs, "/missing", 0.5, 1).is_err());
+    }
+}

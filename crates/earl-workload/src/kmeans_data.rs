@@ -1,0 +1,149 @@
+//! Gaussian-mixture point clouds for the K-Means experiment (Fig. 7).
+//!
+//! The paper validates that "EARL finds centroids that are within 5% of the
+//! optimal" by running K-Means on synthetic data with known generative
+//! centroids; this module produces exactly such data.
+
+use earl_dfs::{Dfs, DfsPath, FileStatus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Specification of a K-Means dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KmeansSpec {
+    /// Number of points.
+    pub num_points: u64,
+    /// Number of clusters (and generative centroids).
+    pub k: usize,
+    /// Dimensionality of each point.
+    pub dims: usize,
+    /// Standard deviation of each cluster around its centroid.
+    pub cluster_std_dev: f64,
+    /// Spread of the centroids themselves (centroids are drawn uniformly from
+    /// `[0, centroid_spread)` per dimension).
+    pub centroid_spread: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KmeansSpec {
+    fn default() -> Self {
+        Self { num_points: 10_000, k: 8, dims: 2, cluster_std_dev: 2.0, centroid_spread: 100.0, seed: 0xC1 }
+    }
+}
+
+/// A generated K-Means dataset, with the generative ground truth.
+#[derive(Debug, Clone)]
+pub struct KmeansDataset {
+    /// Where the data lives in the DFS.
+    pub path: DfsPath,
+    /// File status after writing.
+    pub status: FileStatus,
+    /// The generative centroids (the "optimal" centroids the paper compares
+    /// against, up to sampling noise).
+    pub true_centroids: Vec<Vec<f64>>,
+    /// The generated points, in disk order.
+    pub points: Vec<Vec<f64>>,
+    /// The cluster each point was generated from.
+    pub labels: Vec<usize>,
+}
+
+impl KmeansDataset {
+    /// Generates the dataset and writes it to `path` as lines of
+    /// space-separated coordinates.
+    pub fn generate(dfs: &Dfs, path: impl Into<DfsPath>, spec: &KmeansSpec) -> earl_dfs::Result<Self> {
+        let path = path.into();
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let true_centroids: Vec<Vec<f64>> = (0..spec.k)
+            .map(|_| (0..spec.dims).map(|_| rng.gen_range(0.0..spec.centroid_spread)).collect())
+            .collect();
+        let mut points = Vec::with_capacity(spec.num_points as usize);
+        let mut labels = Vec::with_capacity(spec.num_points as usize);
+        for _ in 0..spec.num_points {
+            let cluster = rng.gen_range(0..spec.k);
+            let point: Vec<f64> = (0..spec.dims)
+                .map(|d| true_centroids[cluster][d] + spec.cluster_std_dev * standard_normal(&mut rng))
+                .collect();
+            points.push(point);
+            labels.push(cluster);
+        }
+        let status = dfs.write_lines(
+            path.clone(),
+            points.iter().map(|p| p.iter().map(|c| format!("{c:.6}")).collect::<Vec<_>>().join(" ")),
+        )?;
+        Ok(Self { path, status, true_centroids, points, labels })
+    }
+
+    /// Parses a point from one line of the written format.
+    pub fn parse_point(line: &str) -> Option<Vec<f64>> {
+        let coords: Option<Vec<f64>> = line.split_whitespace().map(|t| t.parse().ok()).collect();
+        coords.filter(|c| !c.is_empty())
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earl_cluster::{Cluster, CostModel, Phase};
+    use earl_dfs::DfsConfig;
+
+    fn dfs() -> Dfs {
+        let cluster = Cluster::builder().nodes(2).cost_model(CostModel::free()).build().unwrap();
+        Dfs::new(cluster, DfsConfig { block_size: 1 << 16, replication: 1, io_chunk: 512 }).unwrap()
+    }
+
+    #[test]
+    fn generates_k_clusters_with_points_near_their_centroids() {
+        let dfs = dfs();
+        let spec = KmeansSpec { num_points: 2_000, k: 4, dims: 2, cluster_std_dev: 1.0, centroid_spread: 200.0, seed: 7 };
+        let ds = KmeansDataset::generate(&dfs, "/km", &spec).unwrap();
+        assert_eq!(ds.true_centroids.len(), 4);
+        assert_eq!(ds.points.len(), 2_000);
+        assert_eq!(ds.status.num_records, Some(2_000));
+        // Each point should be within a few std-devs of its generative centroid.
+        for (point, &label) in ds.points.iter().zip(&ds.labels) {
+            let c = &ds.true_centroids[label];
+            let dist: f64 = point.iter().zip(c).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+            assert!(dist < 6.0, "point {point:?} too far from its centroid {c:?}");
+        }
+    }
+
+    #[test]
+    fn written_lines_parse_back_to_the_same_points() {
+        let dfs = dfs();
+        let spec = KmeansSpec { num_points: 200, ..Default::default() };
+        let ds = KmeansDataset::generate(&dfs, "/km2", &spec).unwrap();
+        let lines = dfs.read_all_lines(Phase::Load, "/km2").unwrap();
+        assert_eq!(lines.len(), 200);
+        for (line, point) in lines.iter().zip(&ds.points) {
+            let parsed = KmeansDataset::parse_point(line).unwrap();
+            assert_eq!(parsed.len(), spec.dims);
+            for (a, b) in parsed.iter().zip(point) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+        assert!(KmeansDataset::parse_point("not a point").is_none());
+        assert!(KmeansDataset::parse_point("").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let dfs = dfs();
+        let spec = KmeansSpec { num_points: 50, seed: 3, ..Default::default() };
+        let a = KmeansDataset::generate(&dfs, "/a", &spec).unwrap();
+        let b = KmeansDataset::generate(&dfs, "/b", &spec).unwrap();
+        assert_eq!(a.true_centroids, b.true_centroids);
+        assert_eq!(a.points, b.points);
+    }
+}

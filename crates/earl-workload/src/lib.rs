@@ -1,0 +1,32 @@
+//! # earl-workload
+//!
+//! Synthetic data generation for the EARL reproduction.  The paper's
+//! experiments (§6) run on "a synthetically generated data-set" so the accuracy
+//! of EARL's estimates can be validated against known ground truth; this crate
+//! provides the corresponding generators:
+//!
+//! * [`generators`] — value distributions (uniform, normal, log-normal,
+//!   exponential, Zipf) with known population statistics;
+//! * [`layout`] — disk layouts (shuffled vs clustered-by-value), used to show
+//!   when naive block sampling breaks;
+//! * [`dataset`] — builders that materialise generated records as
+//!   newline-delimited files in the simulated DFS (plain values, key\tvalue
+//!   pairs, K-Means points);
+//! * [`kmeans_data`] — Gaussian-mixture point clouds with known centroids for
+//!   the Fig. 7 experiment;
+//! * [`scaling`] — helpers for the "nominal data size" mode used to reproduce
+//!   the 100 GB-scale figures on laptop-scale materialised data.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod generators;
+pub mod kmeans_data;
+pub mod layout;
+pub mod scaling;
+
+pub use dataset::{DatasetBuilder, DatasetSpec};
+pub use generators::{Distribution, ValueGenerator};
+pub use kmeans_data::{KmeansDataset, KmeansSpec};
+pub use scaling::NominalSize;

@@ -1,0 +1,64 @@
+//! Approximate K-Means on a sample vs exact MapReduce K-Means (Fig. 7).
+//!
+//! ```text
+//! cargo run --example kmeans_clustering
+//! ```
+//!
+//! Generates a Gaussian-mixture point cloud with known centroids, clusters it
+//! with EARL's sample-based K-Means and with the exact per-iteration MapReduce
+//! K-Means, and compares both against the generative truth.
+
+use earl_cluster::Cluster;
+use earl_core::tasks::{approximate_kmeans, centroid_match_error, exact_kmeans_mapreduce, KmeansConfig};
+use earl_core::EarlConfig;
+use earl_dfs::{Dfs, DfsConfig};
+use earl_workload::{KmeansDataset, KmeansSpec};
+
+fn main() {
+    let cluster = Cluster::with_nodes(5);
+    let dfs = Dfs::new(cluster, DfsConfig { block_size: 1 << 17, replication: 2, io_chunk: 1024 })
+        .expect("dfs config");
+
+    let spec = KmeansSpec {
+        num_points: 30_000,
+        k: 6,
+        dims: 2,
+        cluster_std_dev: 2.0,
+        centroid_spread: 300.0,
+        seed: 11,
+    };
+    let dataset = KmeansDataset::generate(&dfs, "/kmeans/points", &spec).expect("point cloud");
+    println!("generated {} points around {} true centroids", spec.num_points, spec.k);
+
+    let kconfig = KmeansConfig { k: 6, max_iterations: 20, ..Default::default() };
+
+    // EARL: K-Means on an adaptively sized sample.
+    dfs.cluster().reset_accounting();
+    let earl_config = EarlConfig { sigma: 0.05, bootstraps: Some(8), ..EarlConfig::default() };
+    let approx = approximate_kmeans(&dfs, "/kmeans/points", &earl_config, &kconfig).expect("approx kmeans");
+    println!(
+        "\nEARL  : {} of {} points sampled, cost cv {:.4}, {} simulated time",
+        approx.sample_size, approx.population, approx.cost_cv, approx.sim_time
+    );
+    println!(
+        "        centroid error vs truth: {:.2}% of spread",
+        centroid_match_error(&approx.model.centroids, &dataset.true_centroids) * 100.0
+    );
+
+    // Stock Hadoop: one full MapReduce job per Lloyd iteration.
+    dfs.cluster().reset_accounting();
+    let (exact_model, exact_time) = exact_kmeans_mapreduce(&dfs, "/kmeans/points", &kconfig).expect("exact");
+    println!(
+        "\nHadoop: full scans for {} Lloyd iterations, {} simulated time",
+        exact_model.iterations, exact_time
+    );
+    println!(
+        "        centroid error vs truth: {:.2}% of spread",
+        centroid_match_error(&exact_model.centroids, &dataset.true_centroids) * 100.0
+    );
+
+    println!(
+        "\nspeed-up from sampling: {:.1}x",
+        exact_time.as_secs_f64() / approx.sim_time.as_secs_f64()
+    );
+}

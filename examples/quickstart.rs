@@ -1,0 +1,51 @@
+//! Quickstart: compute an approximate mean with a 5% error bound.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! This walks through the full EARL pipeline of the paper's Figure 1: build a
+//! (simulated) 5-node cluster and distributed file system, write a data set,
+//! and ask EARL for the mean with a bounded error — comparing cost and answer
+//! against the exact "stock Hadoop" execution.
+
+use earl_cluster::Cluster;
+use earl_core::tasks::MeanTask;
+use earl_core::{EarlConfig, EarlDriver};
+use earl_dfs::{Dfs, DfsConfig};
+use earl_workload::{DatasetBuilder, DatasetSpec};
+
+fn main() {
+    // 1. A 5-node cluster (the paper's setup) with the default commodity cost
+    //    model, and an HDFS-like file system on top of it.
+    let cluster = Cluster::with_nodes(5);
+    let dfs = Dfs::new(cluster, DfsConfig { block_size: 1 << 16, replication: 2, io_chunk: 256 })
+        .expect("dfs config is valid");
+
+    // 2. A synthetic data set with known ground truth: 100,000 normal values.
+    let dataset = DatasetBuilder::new(dfs.clone())
+        .build("/quickstart/values", &DatasetSpec::normal(100_000, 500.0, 100.0, 42))
+        .expect("dataset builds");
+    println!("wrote {} records, true mean = {:.4}", dataset.values.len(), dataset.true_mean);
+
+    // 3. Ask EARL for the mean, accurate to within 5%.
+    let driver = EarlDriver::new(dfs, EarlConfig { sigma: 0.05, ..EarlConfig::default() });
+    let approx = driver.run("/quickstart/values", &MeanTask).expect("approximate run succeeds");
+    println!("\n--- EARL (early approximate result) ---\n{approx}");
+
+    // 4. Compare against the exact stock-Hadoop-style execution.
+    let exact = driver.run_exact("/quickstart/values", &MeanTask).expect("exact run succeeds");
+    println!("--- stock Hadoop (exact) ---\n{exact}");
+
+    println!(
+        "relative error vs ground truth: {:.4}%  (bound was {:.1}%)",
+        approx.relative_error_vs(dataset.true_mean) * 100.0,
+        approx.target_sigma * 100.0
+    );
+    println!(
+        "data read: {} bytes (EARL) vs {} bytes (exact) — {:.1}x less",
+        approx.bytes_read,
+        exact.bytes_read,
+        exact.bytes_read as f64 / approx.bytes_read.max(1) as f64
+    );
+}
