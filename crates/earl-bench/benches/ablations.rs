@@ -23,10 +23,14 @@ fn ablation_intra_onoff(c: &mut Criterion) {
     let env = BenchEnv::new(20);
     let ds = env.standard_dataset("/ab1", 20_000, 20);
     for &y in &[0.0f64, 0.3] {
-        group.bench_with_input(BenchmarkId::new("shared_prefix_y", format!("{y}")), &y, |b, &y| {
-            let mut rng = seeded_rng(21);
-            b.iter(|| shared_prefix_resamples(&mut rng, &ds.values[..2_000], 30, y))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("shared_prefix_y", format!("{y}")),
+            &y,
+            |b, &y| {
+                let mut rng = seeded_rng(21);
+                b.iter(|| shared_prefix_resamples(&mut rng, &ds.values[..2_000], 30, y))
+            },
+        );
     }
     group.finish();
 }
@@ -38,16 +42,23 @@ fn ablation_sketch_c(c: &mut Criterion) {
     let env = BenchEnv::new(22);
     let ds = env.standard_dataset("/ab2", 20_000, 22);
     for &sketch_c in &[0.5f64, 4.0, 32.0] {
-        group.bench_with_input(BenchmarkId::new("sketch_c", format!("{sketch_c}")), &sketch_c, |b, &cc| {
-            b.iter(|| {
-                let mut rng = seeded_rng(23);
-                let mut ib =
-                    IncrementalBootstrap::new(&mut rng, &ds.values[..2_000], 30, SketchConfig { c: cc })
-                        .unwrap();
-                ib.expand(&mut rng, &ds.values[2_000..4_000]).unwrap();
-                ib.work()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sketch_c", format!("{sketch_c}")),
+            &sketch_c,
+            |b, &cc| {
+                b.iter(|| {
+                    let mut ib = IncrementalBootstrap::new(
+                        23,
+                        &ds.values[..2_000],
+                        30,
+                        SketchConfig { c: cc },
+                    )
+                    .unwrap();
+                    ib.expand(&ds.values[2_000..4_000]).unwrap();
+                    ib.work()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -58,7 +69,9 @@ fn ablation_sampling_strategies(c: &mut Criterion) {
     group.sample_size(10);
     let env = BenchEnv::new(24);
     let ds = env.standard_dataset("/ab3", 20_000, 24);
-    group.bench_function("premap_200", |b| b.iter(|| premap_sample(env.dfs(), "/ab3", 200, 1).unwrap()));
+    group.bench_function("premap_200", |b| {
+        b.iter(|| premap_sample(env.dfs(), "/ab3", 200, 1).unwrap())
+    });
     group.bench_function("block_one_split", |b| {
         b.iter(|| block_sample(env.dfs(), "/ab3", 1 << 14, 1, 1).unwrap())
     });
@@ -76,13 +89,19 @@ fn ablation_bootstrap_vs_jackknife(c: &mut Criterion) {
     let env = BenchEnv::new(26);
     let ds = env.standard_dataset("/ab4", 20_000, 26);
     group.bench_function("bootstrap_B30_n1000", |b| {
-        let mut rng = seeded_rng(27);
         b.iter(|| {
-            bootstrap_distribution(&mut rng, &ds.values[..1_000], &Mean, &BootstrapConfig::with_resamples(30))
-                .unwrap()
+            bootstrap_distribution(
+                27,
+                &ds.values[..1_000],
+                &Mean,
+                &BootstrapConfig::with_resamples(30),
+            )
+            .unwrap()
         })
     });
-    group.bench_function("jackknife_n1000", |b| b.iter(|| jackknife(&ds.values[..1_000], &Mean).unwrap()));
+    group.bench_function("jackknife_n1000", |b| {
+        b.iter(|| jackknife(&ds.values[..1_000], &Mean).unwrap())
+    });
     group.finish();
 }
 
@@ -92,9 +111,17 @@ fn ablation_driver_sampling(c: &mut Criterion) {
     group.sample_size(10);
     let env = BenchEnv::new(28);
     env.standard_dataset("/ab5", 20_000, 28);
-    for (label, method) in [("premap", SamplingMethod::PreMap), ("postmap", SamplingMethod::PostMap)] {
-        let driver =
-            EarlDriver::new(env.dfs().clone(), EarlConfig { sampling: method, ..EarlConfig::default() });
+    for (label, method) in [
+        ("premap", SamplingMethod::PreMap),
+        ("postmap", SamplingMethod::PostMap),
+    ] {
+        let driver = EarlDriver::new(
+            env.dfs().clone(),
+            EarlConfig {
+                sampling: method,
+                ..EarlConfig::default()
+            },
+        );
         group.bench_function(format!("driver_mean_{label}"), |b| {
             b.iter(|| driver.run("/ab5", &MeanTask).unwrap())
         });
@@ -123,8 +150,13 @@ fn ablation_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let conf = JobConf::new("mean", InputSource::Path("/ab6".into()));
             for _ in 0..3 {
-                earl_mapreduce::run_job(env.dfs(), &conf, &contrib::ValueExtractMapper, &contrib::MeanReducer)
-                    .unwrap();
+                earl_mapreduce::run_job(
+                    env.dfs(),
+                    &conf,
+                    &contrib::ValueExtractMapper,
+                    &contrib::MeanReducer,
+                )
+                .unwrap();
             }
         })
     });

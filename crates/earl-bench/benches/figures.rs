@@ -10,7 +10,6 @@ use earl_bench::{figures, BenchEnv, Scale};
 use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig};
 use earl_bootstrap::delta::{optimal_y, IncrementalBootstrap, SketchConfig};
 use earl_bootstrap::estimators::{Mean, Median};
-use earl_bootstrap::rng::seeded_rng;
 use earl_bootstrap::ssabe::{Ssabe, SsabeConfig};
 use earl_core::tasks::{approximate_kmeans, KmeansConfig, MeanTask, MedianTask};
 use earl_core::{EarlConfig, EarlDriver};
@@ -31,10 +30,9 @@ fn fig2_bootstrap_convergence(c: &mut Criterion) {
     let ds = env.standard_dataset("/b", 20_000, 1);
     for &b in &[10usize, 30, 100] {
         group.bench_with_input(BenchmarkId::new("bootstrap_B", b), &b, |bench, &b| {
-            let mut rng = seeded_rng(2);
             bench.iter(|| {
                 bootstrap_distribution(
-                    &mut rng,
+                    2,
                     &ds.values[..1_000],
                     &Mean,
                     &BootstrapConfig::with_resamples(b),
@@ -45,10 +43,14 @@ fn fig2_bootstrap_convergence(c: &mut Criterion) {
     }
     for &n in &[500usize, 2_000, 8_000] {
         group.bench_with_input(BenchmarkId::new("bootstrap_n", n), &n, |bench, &n| {
-            let mut rng = seeded_rng(3);
             bench.iter(|| {
-                bootstrap_distribution(&mut rng, &ds.values[..n], &Mean, &BootstrapConfig::with_resamples(30))
-                    .unwrap()
+                bootstrap_distribution(
+                    3,
+                    &ds.values[..n],
+                    &Mean,
+                    &BootstrapConfig::with_resamples(30),
+                )
+                .unwrap()
             })
         });
     }
@@ -68,8 +70,12 @@ fn fig5_mean_speedup(c: &mut Criterion) {
     let env = BenchEnv::new(5);
     env.standard_dataset("/f5", 20_000, 5);
     let driver = EarlDriver::new(env.dfs().clone(), EarlConfig::default());
-    group.bench_function("fig5_earl_mean", |b| b.iter(|| driver.run("/f5", &MeanTask).unwrap()));
-    group.bench_function("fig5_exact_mean", |b| b.iter(|| driver.run_exact("/f5", &MeanTask).unwrap()));
+    group.bench_function("fig5_earl_mean", |b| {
+        b.iter(|| driver.run("/f5", &MeanTask).unwrap())
+    });
+    group.bench_function("fig5_exact_mean", |b| {
+        b.iter(|| driver.run_exact("/f5", &MeanTask).unwrap())
+    });
     group.bench_function("fig5_series", |b| b.iter(|| figures::fig5(Scale::Quick)));
     group.finish();
 }
@@ -80,7 +86,10 @@ fn fig6_median(c: &mut Criterion) {
     let env = BenchEnv::new(6);
     env.standard_dataset("/f6", 20_000, 6);
     for (label, delta) in [("optimized", true), ("naive", false)] {
-        let config = EarlConfig { delta_maintenance: delta, ..EarlConfig::default() };
+        let config = EarlConfig {
+            delta_maintenance: delta,
+            ..EarlConfig::default()
+        };
         let driver = EarlDriver::new(env.dfs().clone(), config);
         group.bench_function(format!("fig6_median_{label}"), |b| {
             b.iter(|| driver.run("/f6", &MedianTask).unwrap())
@@ -93,10 +102,24 @@ fn fig6_median(c: &mut Criterion) {
 fn fig7_kmeans(c: &mut Criterion) {
     let mut group = quick(c);
     let env = BenchEnv::new(7);
-    let spec = KmeansSpec { num_points: 10_000, k: 4, dims: 2, cluster_std_dev: 1.5, centroid_spread: 200.0, seed: 7 };
+    let spec = KmeansSpec {
+        num_points: 10_000,
+        k: 4,
+        dims: 2,
+        cluster_std_dev: 1.5,
+        centroid_spread: 200.0,
+        seed: 7,
+    };
     KmeansDataset::generate(env.dfs(), "/f7", &spec).unwrap();
-    let earl_config = EarlConfig { bootstraps: Some(6), ..EarlConfig::default() };
-    let kconfig = KmeansConfig { k: 4, max_iterations: 10, ..Default::default() };
+    let earl_config = EarlConfig {
+        bootstraps: Some(6),
+        ..EarlConfig::default()
+    };
+    let kconfig = KmeansConfig {
+        k: 4,
+        max_iterations: 10,
+        ..Default::default()
+    };
     group.bench_function("fig7_approximate_kmeans", |b| {
         b.iter(|| approximate_kmeans(env.dfs(), "/f7", &earl_config, &kconfig).unwrap())
     });
@@ -110,8 +133,11 @@ fn fig8_ssabe(c: &mut Criterion) {
     let ds = env.standard_dataset("/f8", 20_000, 8);
     let ssabe = Ssabe::new(SsabeConfig::new(0.05, 0.01)).unwrap();
     group.bench_function("fig8_ssabe_estimate", |b| {
-        let mut rng = seeded_rng(9);
-        b.iter(|| ssabe.estimate(&mut rng, &ds.values[..4_096], &Mean, 1_000_000_000).unwrap())
+        b.iter(|| {
+            ssabe
+                .estimate(9, &ds.values[..4_096], &Mean, 1_000_000_000)
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -143,18 +169,22 @@ fn fig10_delta_maintenance(c: &mut Criterion) {
     let ds = env.standard_dataset("/f10", 20_000, 10);
     group.bench_function("fig10_incremental_expand", |b| {
         b.iter(|| {
-            let mut rng = seeded_rng(11);
             let mut ib =
-                IncrementalBootstrap::new(&mut rng, &ds.values[..4_000], 30, SketchConfig::default()).unwrap();
-            ib.expand(&mut rng, &ds.values[4_000..8_000]).unwrap();
+                IncrementalBootstrap::new(11, &ds.values[..4_000], 30, SketchConfig::default())
+                    .unwrap();
+            ib.expand(&ds.values[4_000..8_000]).unwrap();
             ib.evaluate(&Median)
         })
     });
     group.bench_function("fig10_fresh_rebuild", |b| {
         b.iter(|| {
-            let mut rng = seeded_rng(12);
-            bootstrap_distribution(&mut rng, &ds.values[..8_000], &Median, &BootstrapConfig::with_resamples(30))
-                .unwrap()
+            bootstrap_distribution(
+                12,
+                &ds.values[..8_000],
+                &Median,
+                &BootstrapConfig::with_resamples(30),
+            )
+            .unwrap()
         })
     });
     group.finish();

@@ -1,0 +1,85 @@
+//! Benches for the parallel execution engine introduced in PR 1: the
+//! bootstrap thread-pool scaling curve and parallel vs sequential MapReduce.
+//!
+//! The committed perf baseline (`BENCH_PR1.json`) is produced by the
+//! `bench_pr1` binary; these benches track the same kernels under `cargo
+//! bench` for regression hunting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use earl_bench::BenchEnv;
+use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig};
+use earl_bootstrap::estimators::Mean;
+use earl_bootstrap::rng::{seeded_rng, standard_normal};
+use earl_mapreduce::{contrib, run_job, InputSource, JobConf};
+
+fn million_values() -> Vec<f64> {
+    let mut rng = seeded_rng(0xB00);
+    (0..1_000_000)
+        .map(|_| 100.0 + 10.0 * standard_normal(&mut rng))
+        .collect()
+}
+
+/// Bootstrap B = 100 over 1M rows at 1, 2, 4 and 8 worker threads.
+fn parallel_bootstrap_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_bootstrap_b100_n1m");
+    group.sample_size(10);
+    let data = million_values();
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let config = BootstrapConfig::with_resamples(100).with_parallelism(Some(threads));
+                b.iter(|| bootstrap_distribution(1, &data, &Mean, &config).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A wordcount-style job over DFS splits, sequential vs parallel.
+fn parallel_wordcount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_wordcount");
+    group.sample_size(10);
+    let env = BenchEnv::new(0xC0);
+    let lines: Vec<String> = (0..100_000)
+        .map(|i| {
+            format!(
+                "alpha bravo-{} charlie-{} delta echo-{}",
+                i % 97,
+                i % 31,
+                i % 7
+            )
+        })
+        .collect();
+    env.dfs().write_lines("/wc", &lines).unwrap();
+    for &threads in &[1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let conf = JobConf::new("wc", InputSource::Path("/wc".into()))
+                    .with_reducers(8)
+                    .with_parallelism(Some(threads));
+                b.iter(|| {
+                    run_job(
+                        env.dfs(),
+                        &conf,
+                        &contrib::TokenCountMapper,
+                        &contrib::WordCountReducer,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    parallel_benches,
+    parallel_bootstrap_scaling,
+    parallel_wordcount
+);
+criterion_main!(parallel_benches);

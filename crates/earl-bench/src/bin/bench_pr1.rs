@@ -1,0 +1,166 @@
+//! PR 1 perf baseline: parallel, allocation-free execution engine.
+//!
+//! Measures the two kernels the PR parallelised —
+//!
+//! 1. Monte-Carlo bootstrap, B = 100 over a 1M-row sample (the accuracy
+//!    estimation hot path), at 1 thread vs. 8 threads;
+//! 2. a wordcount-style MapReduce job over generated DFS splits, sequential
+//!    vs. parallel task execution —
+//!
+//! verifies that the parallel results are bit-identical to the sequential
+//! ones, and writes `BENCH_PR1.json` so future PRs have a perf trajectory to
+//! compare against.  Usage: `cargo run --release -p earl-bench --bin bench_pr1
+//! [output.json]`.
+
+use std::time::Instant;
+
+use earl_bench::BenchEnv;
+use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig};
+use earl_bootstrap::estimators::Mean;
+use earl_bootstrap::rng::{seeded_rng, standard_normal};
+use earl_mapreduce::{contrib, run_job, InputSource, JobConf};
+
+const BOOTSTRAP_B: usize = 100;
+const BOOTSTRAP_N: usize = 1_000_000;
+const WORDCOUNT_LINES: usize = 100_000;
+const PARALLEL_THREADS: usize = 8;
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn time_n<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = None;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    (median_secs(samples), out.expect("at least one rep"))
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+
+    // ---- kernel 1: bootstrap B=100 over 1M rows ---------------------------
+    let mut rng = seeded_rng(0xB00);
+    let data: Vec<f64> = (0..BOOTSTRAP_N)
+        .map(|_| 100.0 + 10.0 * standard_normal(&mut rng))
+        .collect();
+    eprintln!("bootstrap: B={BOOTSTRAP_B} over n={BOOTSTRAP_N} rows");
+
+    let sequential_config = BootstrapConfig::with_resamples(BOOTSTRAP_B).with_parallelism(Some(1));
+    let (boot_seq_s, seq_result) = time_n(3, || {
+        bootstrap_distribution(1, &data, &Mean, &sequential_config).unwrap()
+    });
+    eprintln!("  1 thread : {boot_seq_s:.3}s");
+
+    let parallel_config =
+        BootstrapConfig::with_resamples(BOOTSTRAP_B).with_parallelism(Some(PARALLEL_THREADS));
+    let (boot_par_s, par_result) = time_n(3, || {
+        bootstrap_distribution(1, &data, &Mean, &parallel_config).unwrap()
+    });
+    eprintln!("  {PARALLEL_THREADS} threads: {boot_par_s:.3}s");
+
+    assert_eq!(
+        seq_result, par_result,
+        "parallel bootstrap must be bit-identical"
+    );
+    let boot_speedup = boot_seq_s / boot_par_s;
+    eprintln!("  speedup  : {boot_speedup:.2}x (bit-identical results)");
+
+    // ---- kernel 2: wordcount over generated splits ------------------------
+    let env = BenchEnv::new(0xC0);
+    let lines: Vec<String> = (0..WORDCOUNT_LINES)
+        .map(|i| {
+            format!(
+                "alpha bravo-{} charlie-{} delta echo-{}",
+                i % 97,
+                i % 31,
+                i % 7
+            )
+        })
+        .collect();
+    env.dfs().write_lines("/wc", &lines).unwrap();
+    let splits = env.dfs().default_splits("/wc").unwrap().len();
+    eprintln!("wordcount: {WORDCOUNT_LINES} lines over {splits} splits, 8 reducers");
+
+    let wc_conf = |threads: usize| {
+        JobConf::new("wc", InputSource::Path("/wc".into()))
+            .with_reducers(8)
+            .with_parallelism(Some(threads))
+    };
+    let (wc_seq_s, wc_seq) = time_n(3, || {
+        run_job(
+            env.dfs(),
+            &wc_conf(1),
+            &contrib::TokenCountMapper,
+            &contrib::WordCountReducer,
+        )
+        .unwrap()
+    });
+    eprintln!("  1 thread : {wc_seq_s:.3}s");
+    let (wc_par_s, wc_par) = time_n(3, || {
+        run_job(
+            env.dfs(),
+            &wc_conf(PARALLEL_THREADS),
+            &contrib::TokenCountMapper,
+            &contrib::WordCountReducer,
+        )
+        .unwrap()
+    });
+    eprintln!("  {PARALLEL_THREADS} threads: {wc_par_s:.3}s");
+
+    assert_eq!(
+        wc_seq.outputs, wc_par.outputs,
+        "parallel wordcount must match sequential"
+    );
+    assert_eq!(
+        wc_seq.counters, wc_par.counters,
+        "parallel counters must match sequential"
+    );
+    let wc_speedup = wc_seq_s / wc_par_s;
+    eprintln!("  speedup  : {wc_speedup:.2}x (identical outputs and counters)");
+
+    // ---- baseline file ----------------------------------------------------
+    let json = format!(
+        r#"{{
+  "pr": 1,
+  "description": "Parallel, allocation-free execution engine baseline (median of 3 runs, release build)",
+  "note": "speedup is bounded by host_cores: on a single-core host extra threads only add scheduling overhead; the >=4x bootstrap target applies to hosts with >=8 cores. Results are bit-identical at every thread count.",
+  "host_cores": {cores},
+  "bootstrap_b100_n1m": {{
+    "b": {b},
+    "n": {n},
+    "threads_1_s": {boot_seq_s:.4},
+    "threads_{threads}_s": {boot_par_s:.4},
+    "speedup": {boot_speedup:.2},
+    "bit_identical": true
+  }},
+  "wordcount_100k_lines": {{
+    "lines": {lines_n},
+    "splits": {splits},
+    "reducers": 8,
+    "threads_1_s": {wc_seq_s:.4},
+    "threads_{threads}_s": {wc_par_s:.4},
+    "speedup": {wc_speedup:.2},
+    "identical_outputs": true
+  }}
+}}
+"#,
+        cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        b = BOOTSTRAP_B,
+        n = BOOTSTRAP_N,
+        threads = PARALLEL_THREADS,
+        lines_n = WORDCOUNT_LINES,
+    );
+    std::fs::write(&out_path, &json).expect("write baseline file");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+}

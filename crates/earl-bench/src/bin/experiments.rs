@@ -13,8 +13,16 @@ use earl_bench::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
-    let requested: Vec<&str> = args.iter().map(String::as_str).filter(|a| !a.starts_with("--")).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let requested: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
 
     let run_all = requested.is_empty() || requested.contains(&"all");
     let wants = |name: &str| run_all || requested.contains(&name);

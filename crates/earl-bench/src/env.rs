@@ -42,8 +42,15 @@ impl BenchEnv {
             .seed(seed)
             .build()
             .expect("valid bench cluster");
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 1 << 16, replication: 2, io_chunk: 256 })
-            .expect("valid bench dfs");
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 1 << 16,
+                replication: 2,
+                io_chunk: 256,
+            },
+        )
+        .expect("valid bench dfs");
         Self { dfs }
     }
 

@@ -9,9 +9,11 @@ use std::fmt;
 use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig};
 use earl_bootstrap::delta::{optimal_y, IncrementalBootstrap, SketchConfig};
 use earl_bootstrap::estimators::{coefficient_of_variation, Mean};
-use earl_bootstrap::rng::seeded_rng;
+use earl_bootstrap::rng::derive_seed;
 use earl_bootstrap::ssabe::{theoretical_b, theoretical_n_for_mean, Ssabe, SsabeConfig};
-use earl_core::tasks::{approximate_kmeans, centroid_match_error, exact_kmeans_mapreduce, KmeansConfig};
+use earl_core::tasks::{
+    approximate_kmeans, centroid_match_error, exact_kmeans_mapreduce, KmeansConfig,
+};
 use earl_core::EarlConfig;
 
 use earl_workload::{KmeansDataset, KmeansSpec, NominalSize};
@@ -62,34 +64,46 @@ pub fn fig2a(scale: Scale) -> Series {
     let env = BenchEnv::new(0x2A);
     let ds = env.standard_dataset("/fig2", scale.records().min(50_000), 1);
     let sample = &ds.values[..1_000.min(ds.values.len())];
-    let mut rng = seeded_rng(2);
     let max_b = 100;
-    let full = bootstrap_distribution(&mut rng, sample, &Mean, &BootstrapConfig::with_resamples(max_b))
+    let full = bootstrap_distribution(2, sample, &Mean, &BootstrapConfig::with_resamples(max_b))
         .expect("bootstrap");
     let rows = [2usize, 5, 10, 15, 20, 30, 40, 60, 80, 100]
         .iter()
         .map(|&b| vec![b as f64, coefficient_of_variation(&full.replicates[..b])])
         .collect();
-    Series { figure: "Figure 2a", title: "effect of B on cv (n = 1000, mean)", columns: vec!["B", "cv"], rows }
+    Series {
+        figure: "Figure 2a",
+        title: "effect of B on cv (n = 1000, mean)",
+        columns: vec!["B", "cv"],
+        rows,
+    }
 }
 
 /// Fig. 2b — effect of the sample size `n` on the estimated cv (B = 30).
 pub fn fig2b(scale: Scale) -> Series {
     let env = BenchEnv::new(0x2B);
     let ds = env.standard_dataset("/fig2b", scale.records().min(50_000), 2);
-    let mut rng = seeded_rng(3);
     let sizes = [100usize, 200, 400, 800, 1_600, 3_200, 6_400];
     let rows = sizes
         .iter()
         .filter(|&&n| n <= ds.values.len())
         .map(|&n| {
-            let result =
-                bootstrap_distribution(&mut rng, &ds.values[..n], &Mean, &BootstrapConfig::with_resamples(30))
-                    .expect("bootstrap");
+            let result = bootstrap_distribution(
+                derive_seed(3, n as u64),
+                &ds.values[..n],
+                &Mean,
+                &BootstrapConfig::with_resamples(30),
+            )
+            .expect("bootstrap");
             vec![n as f64, result.cv]
         })
         .collect();
-    Series { figure: "Figure 2b", title: "effect of n on cv (B = 30, mean)", columns: vec!["n", "cv"], rows }
+    Series {
+        figure: "Figure 2b",
+        title: "effect of n on cv (B = 30, mean)",
+        columns: vec!["n", "cv"],
+        rows,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -144,7 +158,7 @@ pub fn fig5(scale: Scale) -> Series {
         let nominal = NominalSize::gib(gib, ds.values.len() as u64, bytes_per_record);
         let stock = full_scan_job_time(&cost, &nominal, false).as_secs_f64();
         let est = ssabe
-            .estimate(&mut seeded_rng(50 + gib as u64), pilot, &Mean, nominal.nominal_records())
+            .estimate(50 + gib as u64, pilot, &Mean, nominal.nominal_records())
             .expect("ssabe");
         let approximate = {
             let sample_records = est.n + pilot.len() as u64;
@@ -157,15 +171,27 @@ pub fn fig5(scale: Scale) -> Series {
         };
         // EARL switches back to the exact work-flow whenever sampling is not
         // worthwhile (B·n ≥ N, or the approximate path would not be faster).
-        let earl = if est.worthwhile { approximate.min(stock) } else { stock };
+        let earl = if est.worthwhile {
+            approximate.min(stock)
+        } else {
+            stock
+        };
         let load_full = full_scan_load_time(&cost, &nominal).as_secs_f64();
-        let load_premap = premap_sample_time(&cost, est.n + pilot.len() as u64, chunk).as_secs_f64();
+        let load_premap =
+            premap_sample_time(&cost, est.n + pilot.len() as u64, chunk).as_secs_f64();
         rows.push(vec![gib, stock, earl, stock / earl, load_full, load_premap]);
     }
     Series {
         figure: "Figure 5",
         title: "mean: EARL vs stock Hadoop vs data size (σ = 0.05)",
-        columns: vec!["GiB", "hadoop_s", "earl_s", "speedup", "full_load_s", "premap_load_s"],
+        columns: vec![
+            "GiB",
+            "hadoop_s",
+            "earl_s",
+            "speedup",
+            "full_load_s",
+            "premap_load_s",
+        ],
         rows,
     }
 }
@@ -196,13 +222,14 @@ pub fn fig6(scale: Scale) -> Series {
     let final_n = *ladder.last().expect("non-empty ladder");
 
     // Measure the resampling work of both strategies on real data.
-    let mut rng = seeded_rng(61);
     let naive_records: u64 = ladder.iter().map(|&n| (b * n) as u64).sum();
     let mut incremental =
-        IncrementalBootstrap::new(&mut rng, &ds.values[..ladder[0]], b, SketchConfig::default())
+        IncrementalBootstrap::new(61, &ds.values[..ladder[0]], b, SketchConfig::default())
             .expect("incremental bootstrap");
     for window in ladder.windows(2) {
-        incremental.expand(&mut rng, &ds.values[window[0]..window[1]]).expect("expand");
+        incremental
+            .expand(&ds.values[window[0]..window[1]])
+            .expect("expand");
     }
     let optimized_records = incremental.work().items_touched;
 
@@ -221,12 +248,26 @@ pub fn fig6(scale: Scale) -> Series {
         let naive = (base + naive_restarts + cost.reduce_cpu(naive_records, false)).as_secs_f64();
         // Optimised: in-reduce resampling (no restarts) + delta maintenance.
         let optimized = (base + cost.reduce_cpu(optimized_records, false)).as_secs_f64();
-        rows.push(vec![gib, stock, naive, optimized, stock / naive, naive / optimized]);
+        rows.push(vec![
+            gib,
+            stock,
+            naive,
+            optimized,
+            stock / naive,
+            naive / optimized,
+        ]);
     }
     Series {
         figure: "Figure 6",
         title: "median: stock Hadoop vs naive vs optimised resampling (σ = 0.05)",
-        columns: vec!["GiB", "hadoop_s", "naive_s", "optimized_s", "naive_speedup", "opt_vs_naive"],
+        columns: vec![
+            "GiB",
+            "hadoop_s",
+            "naive_s",
+            "optimized_s",
+            "naive_speedup",
+            "opt_vs_naive",
+        ],
         rows,
     }
 }
@@ -254,25 +295,49 @@ pub fn fig7(scale: Scale) -> Series {
             seed: 7 + i as u64,
         };
         let ds = KmeansDataset::generate(env.dfs(), "/fig7", &spec).expect("kmeans dataset");
-        let kconfig = KmeansConfig { k: 4, max_iterations: 15, ..Default::default() };
+        let kconfig = KmeansConfig {
+            k: 4,
+            max_iterations: 15,
+            ..Default::default()
+        };
 
         env.reset();
-        let earl_config = EarlConfig { sigma: 0.05, bootstraps: Some(8), ..EarlConfig::default() };
-        let approx = approximate_kmeans(env.dfs(), "/fig7", &earl_config, &kconfig).expect("approx kmeans");
+        let earl_config = EarlConfig {
+            sigma: 0.05,
+            bootstraps: Some(8),
+            ..EarlConfig::default()
+        };
+        let approx =
+            approximate_kmeans(env.dfs(), "/fig7", &earl_config, &kconfig).expect("approx kmeans");
         let earl_s = approx.sim_time.as_secs_f64();
 
         env.reset();
-        let (exact_model, exact_time) = exact_kmeans_mapreduce(env.dfs(), "/fig7", &kconfig).expect("exact");
+        let (exact_model, exact_time) =
+            exact_kmeans_mapreduce(env.dfs(), "/fig7", &kconfig).expect("exact");
         let stock_s = exact_time.as_secs_f64();
 
         let approx_err = centroid_match_error(&approx.model.centroids, &ds.true_centroids);
         let exact_err = centroid_match_error(&exact_model.centroids, &ds.true_centroids);
-        rows.push(vec![points as f64, stock_s, earl_s, stock_s / earl_s, approx_err, exact_err]);
+        rows.push(vec![
+            points as f64,
+            stock_s,
+            earl_s,
+            stock_s / earl_s,
+            approx_err,
+            exact_err,
+        ]);
     }
     Series {
         figure: "Figure 7",
         title: "K-Means: EARL vs stock Hadoop (measured), centroid error vs generative truth",
-        columns: vec!["points", "hadoop_s", "earl_s", "speedup", "earl_cent_err", "exact_cent_err"],
+        columns: vec![
+            "points",
+            "hadoop_s",
+            "earl_s",
+            "speedup",
+            "earl_cent_err",
+            "exact_cent_err",
+        ],
         rows,
     }
 }
@@ -291,16 +356,28 @@ pub fn fig8(scale: Scale) -> Series {
     for &sigma in &[0.01, 0.02, 0.05, 0.10] {
         let ssabe = Ssabe::new(SsabeConfig::new(sigma, 0.01)).expect("config");
         let est = ssabe
-            .estimate(&mut seeded_rng(80), pilot, &Mean, ds.values.len() as u64 * 1_000)
+            .estimate(80, pilot, &Mean, ds.values.len() as u64 * 1_000)
             .expect("ssabe estimate");
         let theo_n = theoretical_n_for_mean(&ds.values, sigma).expect("theoretical n");
         let theo_b = theoretical_b(sigma) as f64;
-        rows.push(vec![sigma, est.n as f64, theo_n as f64, est.b as f64, theo_b]);
+        rows.push(vec![
+            sigma,
+            est.n as f64,
+            theo_n as f64,
+            est.b as f64,
+            theo_b,
+        ]);
     }
     Series {
         figure: "Figure 8",
         title: "empirical (SSABE) vs theoretical estimates of n and B (mean)",
-        columns: vec!["sigma", "empirical_n", "theoretical_n", "empirical_B", "theoretical_B"],
+        columns: vec![
+            "sigma",
+            "empirical_n",
+            "theoretical_n",
+            "empirical_B",
+            "theoretical_B",
+        ],
         rows,
     }
 }
@@ -325,7 +402,12 @@ pub fn fig9(scale: Scale) -> Series {
     // The sample EARL needs for the mean at σ = 0.05, estimated from real data.
     let ssabe = Ssabe::new(SsabeConfig::new(0.05, 0.01)).expect("config");
     let est = ssabe
-        .estimate(&mut seeded_rng(91), &ds.values[..2_048.min(ds.values.len())], &Mean, u64::MAX)
+        .estimate(
+            91,
+            &ds.values[..2_048.min(ds.values.len())],
+            &Mean,
+            u64::MAX,
+        )
         .expect("ssabe");
     let sample_records = est.n + 2_048;
 
@@ -334,7 +416,9 @@ pub fn fig9(scale: Scale) -> Series {
         let nominal = NominalSize::gib(gib, ds.values.len() as u64, bytes_per_record);
         let premap_s = premap_sample_time(&cost, sample_records, chunk).as_secs_f64();
         let postmap_s = (full_scan_load_time(&cost, &nominal)
-            + cost.cpu_per_map_record.mul_f64(nominal.nominal_records() as f64))
+            + cost
+                .cpu_per_map_record
+                .mul_f64(nominal.nominal_records() as f64))
         .as_secs_f64();
         rows.push(vec![gib, premap_s, postmap_s, postmap_s / premap_s]);
     }
@@ -361,11 +445,12 @@ pub fn fig10(scale: Scale) -> Series {
     let sample_n = 4_000.min(ds.values.len() / 2);
 
     // Measure the resample-maintenance work for a doubling sample on real data.
-    let mut rng = seeded_rng(101);
     let mut incremental =
-        IncrementalBootstrap::new(&mut rng, &ds.values[..sample_n], b, SketchConfig::default())
+        IncrementalBootstrap::new(101, &ds.values[..sample_n], b, SketchConfig::default())
             .expect("incremental");
-    let step = incremental.expand(&mut rng, &ds.values[sample_n..2 * sample_n]).expect("expand");
+    let step = incremental
+        .expand(&ds.values[sample_n..2 * sample_n])
+        .expect("expand");
 
     let sizes: Vec<f64> = match scale {
         Scale::Quick => vec![0.5, 1.0, 2.0, 4.0],
@@ -430,7 +515,10 @@ mod tests {
 
         let b = fig2b(Scale::Quick);
         let cvs = column(&b.rows, 1);
-        assert!(cvs.first().unwrap() > cvs.last().unwrap(), "cv must fall as n grows: {cvs:?}");
+        assert!(
+            cvs.first().unwrap() > cvs.last().unwrap(),
+            "cv must fall as n grows: {cvs:?}"
+        );
     }
 
     #[test]
@@ -448,7 +536,12 @@ mod tests {
         let speedup = column(&s.rows, 3);
         // At the smallest size EARL switches back to exact execution, so there
         // is (essentially) no speedup — the paper's sub-GB regime.
-        assert!(speedup[0] < 1.5, "≈no speedup expected at {} GiB, got {:.2}x", gib[0], speedup[0]);
+        assert!(
+            speedup[0] < 1.5,
+            "≈no speedup expected at {} GiB, got {:.2}x",
+            gib[0],
+            speedup[0]
+        );
         // At 100 GiB the speedup is large (the paper reports ≈4x on its
         // testbed; the simulated cost model preserves who-wins with a larger
         // factor because EARL's sample size is set by SSABE rather than a
@@ -456,7 +549,10 @@ mod tests {
         let last = *speedup.last().unwrap();
         assert!(last >= 4.0, "expected ≥4x at 100 GiB, got {last:.2}x");
         // Speedup grows monotonically with the data size.
-        assert!(speedup.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{speedup:?}");
+        assert!(
+            speedup.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            "{speedup:?}"
+        );
         // Pre-map sampling loads far less than a full scan at the largest size.
         let last_row = s.rows.last().unwrap();
         assert!(last_row[5] < last_row[4]);
@@ -467,7 +563,10 @@ mod tests {
         let s = fig6(Scale::Quick);
         let last = s.rows.last().unwrap();
         let (stock, naive, optimized) = (last[1], last[2], last[3]);
-        assert!(naive < stock, "naive bootstrap EARL must beat stock Hadoop at 100 GiB");
+        assert!(
+            naive < stock,
+            "naive bootstrap EARL must beat stock Hadoop at 100 GiB"
+        );
         assert!(
             optimized < naive / 2.0,
             "optimised resampling must clearly beat the naive bootstrap ({optimized} vs {naive})"
@@ -479,7 +578,10 @@ mod tests {
         let s = fig8(Scale::Quick);
         for row in &s.rows {
             let (empirical_b, theoretical_b) = (row[3], row[4]);
-            assert!(empirical_b < theoretical_b, "B: empirical {empirical_b} vs theoretical {theoretical_b}");
+            assert!(
+                empirical_b < theoretical_b,
+                "B: empirical {empirical_b} vs theoretical {theoretical_b}"
+            );
             assert!(row[1] > 0.0 && row[2] > 0.0);
         }
         // Tighter sigma needs a larger sample, both empirically and in theory.
@@ -496,19 +598,34 @@ mod tests {
         // nominal size; pre-map sampling's cost is flat (sample-sized).
         let post_growth = postmap.last().unwrap() / postmap.first().unwrap();
         let pre_growth = premap.last().unwrap() / premap.first().unwrap();
-        assert!(post_growth > 10.0 * pre_growth, "postmap {post_growth:.2}x vs premap {pre_growth:.2}x");
+        assert!(
+            post_growth > 10.0 * pre_growth,
+            "postmap {post_growth:.2}x vs premap {pre_growth:.2}x"
+        );
         // At the largest size pre-map sampling is dramatically cheaper.
         let last = s.rows.last().unwrap();
-        assert!(last[1] < last[2] / 10.0, "premap {} vs postmap {}", last[1], last[2]);
+        assert!(
+            last[1] < last[2] / 10.0,
+            "premap {} vs postmap {}",
+            last[1],
+            last[2]
+        );
     }
 
     #[test]
     fn fig10_delta_maintenance_speedup_grows_with_size_and_hits_2x_plus() {
         let s = fig10(Scale::Quick);
         let speedup = column(&s.rows, 3);
-        assert!(speedup.iter().all(|&x| x > 1.5), "delta maintenance must pay off: {speedup:?}");
+        assert!(
+            speedup.iter().all(|&x| x > 1.5),
+            "delta maintenance must pay off: {speedup:?}"
+        );
         let four_gib = s.rows.iter().find(|r| (r[0] - 4.0).abs() < 1e-9).unwrap();
-        assert!(four_gib[3] >= 1.9, "≈2-3x speed-up expected at 4 GiB, got {:.2}", four_gib[3]);
+        assert!(
+            four_gib[3] >= 1.9,
+            "≈2-3x speed-up expected at 4 GiB, got {:.2}",
+            four_gib[3]
+        );
     }
 
     #[test]

@@ -40,8 +40,7 @@ pub fn full_scan_load_time(cost: &CostModel, nominal: &NominalSize) -> SimDurati
 /// sampling from a file of the given nominal size: one random seek plus one
 /// I/O-chunk read per sampled line, independent of the nominal file size.
 pub fn premap_sample_time(cost: &CostModel, sample_records: u64, chunk_bytes: u64) -> SimDuration {
-    cost.disk_seek.mul_f64(sample_records as f64)
-        + cost.disk_read(sample_records * chunk_bytes)
+    cost.disk_seek.mul_f64(sample_records as f64) + cost.disk_read(sample_records * chunk_bytes)
 }
 
 #[cfg(test)]
@@ -54,7 +53,10 @@ mod tests {
         let one = full_scan_job_time(&cost, &NominalSize::gib(1.0, 10_000, 100), false);
         let hundred = full_scan_job_time(&cost, &NominalSize::gib(100.0, 10_000, 100), false);
         let ratio = hundred.as_secs_f64() / one.as_secs_f64();
-        assert!((50.0..150.0).contains(&ratio), "100x data should cost ≈100x, got {ratio:.1}x");
+        assert!(
+            (50.0..150.0).contains(&ratio),
+            "100x data should cost ≈100x, got {ratio:.1}x"
+        );
     }
 
     #[test]
@@ -73,6 +75,9 @@ mod tests {
         let huge = full_scan_load_time(&cost, &NominalSize::gib(100.0, 10_000, 100));
         let tiny = full_scan_load_time(&cost, &NominalSize::gib(0.25, 10_000, 100));
         assert!(sample < huge, "sampling must beat scanning 100GB");
-        assert!(sample > tiny, "sampling does not pay off on 0.25GB — the Fig. 5 crossover");
+        assert!(
+            sample > tiny,
+            "sampling does not pay off on 0.25GB — the Fig. 5 crossover"
+        );
     }
 }

@@ -11,46 +11,86 @@ use rand::Rng;
 
 use crate::bootstrap::{summarise, BootstrapResult};
 use crate::estimators::Estimator;
+use crate::parallel::{replicate_map, workers_for};
+use crate::rng::replicate_rng;
 use crate::{Result, StatsError};
 
 /// Draws one moving-block resample of `data`: blocks of `block_len` consecutive
 /// observations, starting at uniformly random offsets, concatenated and
 /// truncated to the original length.
-pub fn moving_block_resample<R: Rng + ?Sized>(rng: &mut R, data: &[f64], block_len: usize) -> Vec<f64> {
-    let n = data.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let block_len = block_len.clamp(1, n);
-    let mut out = Vec::with_capacity(n + block_len);
-    let max_start = n - block_len;
-    while out.len() < n {
-        let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
-        out.extend_from_slice(&data[start..start + block_len]);
-    }
-    out.truncate(n);
+pub fn moving_block_resample<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[f64],
+    block_len: usize,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    moving_block_resample_into(rng, data, block_len, &mut out);
     out
 }
 
-/// Runs a moving-block bootstrap of `estimator` over `data` with `b` resamples.
-pub fn block_bootstrap_distribution<R: Rng + ?Sized>(
+/// Allocation-free variant of [`moving_block_resample`]: clears and refills
+/// `out`, reusing its capacity.
+pub fn moving_block_resample_into<R: Rng + ?Sized>(
     rng: &mut R,
+    data: &[f64],
+    block_len: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let block_len = block_len.clamp(1, n);
+    out.reserve(n + block_len);
+    let max_start = n - block_len;
+    while out.len() < n {
+        let start = if max_start == 0 {
+            0
+        } else {
+            rng.gen_range(0..=max_start)
+        };
+        out.extend_from_slice(&data[start..start + block_len]);
+    }
+    out.truncate(n);
+}
+
+/// Runs a moving-block bootstrap of `estimator` over `data` with `b` resamples
+/// evaluated across a scoped thread pool (`parallelism` workers, `None` = all
+/// cores).  Replicate `i` draws from the RNG stream `(seed, i)`, so the result
+/// is bit-identical for every thread count.
+pub fn block_bootstrap_distribution(
+    seed: u64,
     data: &[f64],
     estimator: &dyn Estimator,
     block_len: usize,
     b: usize,
+    parallelism: Option<usize>,
 ) -> Result<BootstrapResult> {
     if data.is_empty() {
         return Err(StatsError::EmptySample);
     }
     if b < 2 {
-        return Err(StatsError::InvalidParameter("need at least 2 block-bootstrap resamples".into()));
+        return Err(StatsError::InvalidParameter(
+            "need at least 2 block-bootstrap resamples".into(),
+        ));
     }
     if block_len == 0 {
-        return Err(StatsError::InvalidParameter("block length must be ≥ 1".into()));
+        return Err(StatsError::InvalidParameter(
+            "block length must be ≥ 1".into(),
+        ));
     }
-    let replicates: Vec<f64> =
-        (0..b).map(|_| estimator.estimate(&moving_block_resample(rng, data, block_len))).collect();
+    let threads = workers_for(b.saturating_mul(data.len()), parallelism);
+    let replicates = replicate_map(
+        b,
+        threads,
+        || Vec::with_capacity(data.len() + block_len.min(data.len())),
+        |i, scratch: &mut Vec<f64>| {
+            let mut rng = replicate_rng(seed, i as u64);
+            moving_block_resample_into(&mut rng, data, block_len, scratch);
+            estimator.estimate(scratch)
+        },
+    );
     Ok(summarise(estimator.estimate(data), replicates))
 }
 
@@ -87,8 +127,14 @@ mod tests {
         assert_eq!(resample.len(), 100);
         assert!(resample.iter().all(|v| data.contains(v)));
         // Within a block, consecutive values differ by exactly 1 (dependence preserved).
-        let consecutive_pairs = resample.windows(2).filter(|w| (w[1] - w[0] - 1.0).abs() < 1e-12).count();
-        assert!(consecutive_pairs > 50, "most adjacent pairs should come from the same block");
+        let consecutive_pairs = resample
+            .windows(2)
+            .filter(|w| (w[1] - w[0] - 1.0).abs() < 1e-12)
+            .count();
+        assert!(
+            consecutive_pairs > 50,
+            "most adjacent pairs should come from the same block"
+        );
         assert!(moving_block_resample(&mut rng, &[], 5).is_empty());
     }
 
@@ -106,21 +152,9 @@ mod tests {
         // larger than the i.i.d. formula suggests; the block bootstrap must
         // report a larger standard error than the naive bootstrap.
         let data = ar1(2_000, 0.8, 3);
-        let iid = bootstrap_distribution(
-            &mut seeded_rng(4),
-            &data,
-            &Mean,
-            &BootstrapConfig::with_resamples(200),
-        )
-        .unwrap();
-        let block = block_bootstrap_distribution(
-            &mut seeded_rng(5),
-            &data,
-            &Mean,
-            50,
-            200,
-        )
-        .unwrap();
+        let iid =
+            bootstrap_distribution(4, &data, &Mean, &BootstrapConfig::with_resamples(200)).unwrap();
+        let block = block_bootstrap_distribution(5, &data, &Mean, 50, 200, None).unwrap();
         assert!(
             block.std_error > 1.5 * iid.std_error,
             "block SE {} should exceed iid SE {}",
@@ -132,21 +166,37 @@ mod tests {
     #[test]
     fn block_bootstrap_matches_iid_for_independent_data() {
         let mut rng = seeded_rng(6);
-        let data: Vec<f64> = (0..1_000).map(|_| 5.0 + standard_normal(&mut rng)).collect();
+        let data: Vec<f64> = (0..1_000)
+            .map(|_| 5.0 + standard_normal(&mut rng))
+            .collect();
         let iid =
-            bootstrap_distribution(&mut seeded_rng(7), &data, &Mean, &BootstrapConfig::with_resamples(200))
-                .unwrap();
-        let block = block_bootstrap_distribution(&mut seeded_rng(8), &data, &Mean, 10, 200).unwrap();
+            bootstrap_distribution(7, &data, &Mean, &BootstrapConfig::with_resamples(200)).unwrap();
+        let block = block_bootstrap_distribution(8, &data, &Mean, 10, 200, None).unwrap();
         let ratio = block.std_error / iid.std_error;
-        assert!((0.6..1.7).contains(&ratio), "independent data: block {} vs iid {}", block.std_error, iid.std_error);
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "independent data: block {} vs iid {}",
+            block.std_error,
+            iid.std_error
+        );
     }
 
     #[test]
     fn invalid_parameters_rejected() {
-        let mut rng = seeded_rng(9);
-        assert!(block_bootstrap_distribution(&mut rng, &[], &Mean, 5, 10).is_err());
-        assert!(block_bootstrap_distribution(&mut rng, &[1.0], &Mean, 0, 10).is_err());
-        assert!(block_bootstrap_distribution(&mut rng, &[1.0], &Mean, 1, 1).is_err());
+        assert!(block_bootstrap_distribution(9, &[], &Mean, 5, 10, None).is_err());
+        assert!(block_bootstrap_distribution(9, &[1.0], &Mean, 0, 10, None).is_err());
+        assert!(block_bootstrap_distribution(9, &[1.0], &Mean, 1, 1, None).is_err());
+    }
+
+    #[test]
+    fn block_bootstrap_is_bit_identical_across_thread_counts() {
+        let data = ar1(2_000, 0.5, 10);
+        let reference = block_bootstrap_distribution(11, &data, &Mean, 20, 64, Some(1)).unwrap();
+        for threads in [2, 8] {
+            let parallel =
+                block_bootstrap_distribution(11, &data, &Mean, 20, 64, Some(threads)).unwrap();
+            assert_eq!(reference, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -11,12 +11,25 @@
 //! ```
 //!
 //! exactly as in the paper's §3.
+//!
+//! ## Execution model
+//!
+//! The `B` replicates are embarrassingly parallel, and EARL's whole value
+//! proposition depends on the error-estimation overhead staying small relative
+//! to the job.  [`bootstrap_distribution`] therefore evaluates replicates
+//! across a scoped thread pool, with each worker owning a [`Resampler`] — a
+//! pair of reusable index/value buffers, so the steady state performs **zero
+//! allocations per replicate**.  Replicate `b` draws from an RNG stream derived
+//! deterministically from `(seed, b)` via SplitMix64
+//! ([`crate::rng::replicate_rng`]), which makes results bit-identical for
+//! every thread count.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::estimators::{coefficient_of_variation, Estimator, Mean, StdDev};
-use crate::rng::sample_indices_with_replacement;
+use crate::parallel::{replicate_map, workers_for};
+use crate::rng::{replicate_rng, sample_indices_with_replacement_into};
 use crate::{Result, StatsError};
 
 /// Configuration of a bootstrap run.
@@ -27,20 +40,48 @@ pub struct BootstrapConfig {
     /// Size of each resample; `None` means "same as the sample size", the
     /// standard bootstrap.
     pub resample_size: Option<usize>,
+    /// Worker threads used to evaluate the replicates; `None` means one per
+    /// available core.  Any value yields bit-identical results — replicate RNG
+    /// streams depend only on `(seed, replicate index)`.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for BootstrapConfig {
     fn default() -> Self {
         // The paper observes ≈30 bootstraps normally suffice for a confident
         // estimate of the error (§3.1 / Fig. 2a).
-        Self { num_resamples: 30, resample_size: None }
+        Self {
+            num_resamples: 30,
+            resample_size: None,
+            parallelism: None,
+        }
     }
 }
 
 impl BootstrapConfig {
     /// Creates a configuration with `b` resamples of the full sample size.
     pub fn with_resamples(b: usize) -> Self {
-        Self { num_resamples: b, resample_size: None }
+        Self {
+            num_resamples: b,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker-thread count (`None` = all cores).
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The worker count actually used for `resample_size`-element resamples:
+    /// the configured parallelism, downgraded to 1 when the total work is too
+    /// small to amortise a fork-join.
+    pub fn effective_parallelism(&self, resample_size: usize) -> usize {
+        workers_for(
+            self.num_resamples.saturating_mul(resample_size),
+            self.parallelism,
+        )
+        .min(self.num_resamples.max(1))
     }
 }
 
@@ -66,16 +107,27 @@ pub struct BootstrapResult {
 impl BootstrapResult {
     /// A percentile confidence interval at level `1 − alpha` (e.g. `alpha =
     /// 0.05` for a 95 % interval).
+    ///
+    /// Uses `select_nth_unstable` order statistics — O(B) per call instead of
+    /// a full O(B log B) sort of the replicate vector.
     pub fn percentile_ci(&self, alpha: f64) -> (f64, f64) {
         let alpha = alpha.clamp(0.0, 1.0);
-        let mut sorted = self.replicates.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        if sorted.is_empty() {
+        let b = self.replicates.len();
+        if b == 0 {
             return (f64::NAN, f64::NAN);
         }
-        let lo_idx = ((alpha / 2.0) * (sorted.len() - 1) as f64).round() as usize;
-        let hi_idx = ((1.0 - alpha / 2.0) * (sorted.len() - 1) as f64).round() as usize;
-        (sorted[lo_idx], sorted[hi_idx.min(sorted.len() - 1)])
+        let lo_idx = ((alpha / 2.0) * (b - 1) as f64).round() as usize;
+        let hi_idx = (((1.0 - alpha / 2.0) * (b - 1) as f64).round() as usize).min(b - 1);
+        let cmp = |a: &f64, b: &f64| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal);
+        let mut scratch = self.replicates.clone();
+        let (_, lo, upper) = scratch.select_nth_unstable_by(lo_idx, cmp);
+        let lo = *lo;
+        let hi = if hi_idx > lo_idx {
+            *upper.select_nth_unstable_by(hi_idx - lo_idx - 1, cmp).1
+        } else {
+            lo
+        };
+        (lo, hi)
     }
 
     /// The bias-corrected point estimate, `2·f(s) − θ̄*`.
@@ -94,33 +146,104 @@ impl BootstrapResult {
     }
 }
 
+/// Reusable scratch state for drawing bootstrap resamples: one index buffer
+/// and one value buffer.  After warm-up, [`Resampler::resample_into`] performs
+/// no allocation at all — both buffers retain their capacity across replicates.
+///
+/// Each worker thread owns exactly one `Resampler`.
+#[derive(Debug, Default)]
+pub struct Resampler {
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Resampler {
+    /// Creates an empty resampler (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a resampler with buffers pre-sized for `size`-element resamples.
+    pub fn with_capacity(size: usize) -> Self {
+        Self {
+            indices: Vec::with_capacity(size),
+            values: Vec::with_capacity(size),
+        }
+    }
+
+    /// Draws one resample of `size` elements from `data` (with replacement)
+    /// into the internal value buffer and returns it as a slice.
+    pub fn resample_into<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        data: &[f64],
+        size: usize,
+    ) -> &[f64] {
+        sample_indices_with_replacement_into(rng, data.len(), size, &mut self.indices);
+        self.values.clear();
+        self.values.reserve(self.indices.len());
+        self.values.extend(self.indices.iter().map(|&i| data[i]));
+        &self.values
+    }
+
+    /// Evaluates `estimator` on one freshly drawn resample of the replicate
+    /// stream `(seed, replicate)` — the unit of work the thread pool executes.
+    pub fn replicate<E: Estimator + ?Sized>(
+        &mut self,
+        seed: u64,
+        replicate: u64,
+        data: &[f64],
+        size: usize,
+        estimator: &E,
+    ) -> f64 {
+        let mut rng = replicate_rng(seed, replicate);
+        estimator.estimate(self.resample_into(&mut rng, data, size))
+    }
+}
+
 /// Draws one bootstrap resample (with replacement) of `size` elements from
-/// `data`.
+/// `data` as a fresh allocation.  Hot paths should hold a [`Resampler`] and
+/// use [`Resampler::resample_into`] instead.
 pub fn draw_resample<R: Rng + ?Sized>(rng: &mut R, data: &[f64], size: usize) -> Vec<f64> {
-    sample_indices_with_replacement(rng, data.len(), size).into_iter().map(|i| data[i]).collect()
+    let mut scratch = Resampler::new();
+    scratch.resample_into(rng, data, size);
+    scratch.values
 }
 
 /// Runs the Monte-Carlo bootstrap: `config.num_resamples` resamples of `data`,
-/// each pushed through `estimator`.
-pub fn bootstrap_distribution<R: Rng + ?Sized>(
-    rng: &mut R,
+/// each pushed through `estimator`, evaluated across a scoped thread pool.
+///
+/// Replicate `b` draws from the RNG stream `(seed, b)`, so the result is a
+/// pure function of `(seed, data, estimator, B, size)` — the thread count
+/// changes wall-clock time only, never the result.
+pub fn bootstrap_distribution(
+    seed: u64,
     data: &[f64],
-    estimator: &dyn Estimator,
+    estimator: &(impl Estimator + ?Sized),
     config: &BootstrapConfig,
 ) -> Result<BootstrapResult> {
     if data.is_empty() {
         return Err(StatsError::EmptySample);
     }
     if config.num_resamples < 2 {
-        return Err(StatsError::InvalidParameter("need at least 2 bootstrap resamples".into()));
+        return Err(StatsError::InvalidParameter(
+            "need at least 2 bootstrap resamples".into(),
+        ));
     }
     let size = config.resample_size.unwrap_or(data.len());
     if size == 0 {
-        return Err(StatsError::InvalidParameter("resample size must be ≥ 1".into()));
+        return Err(StatsError::InvalidParameter(
+            "resample size must be ≥ 1".into(),
+        ));
     }
     let point_estimate = estimator.estimate(data);
-    let replicates: Vec<f64> =
-        (0..config.num_resamples).map(|_| estimator.estimate(&draw_resample(rng, data, size))).collect();
+    let threads = config.effective_parallelism(size);
+    let replicates = replicate_map(
+        config.num_resamples,
+        threads,
+        || Resampler::with_capacity(size),
+        |b, scratch| scratch.replicate(seed, b as u64, data, size, estimator),
+    );
     Ok(summarise(point_estimate, replicates))
 }
 
@@ -149,41 +272,53 @@ mod tests {
 
     fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
         let mut rng = seeded_rng(seed);
-        (0..n).map(|_| mean + sd * crate::rng::standard_normal(&mut rng)).collect()
+        (0..n)
+            .map(|_| mean + sd * crate::rng::standard_normal(&mut rng))
+            .collect()
     }
 
     #[test]
     fn rejects_bad_inputs() {
-        let mut rng = seeded_rng(0);
         assert!(matches!(
-            bootstrap_distribution(&mut rng, &[], &Mean, &BootstrapConfig::default()),
+            bootstrap_distribution(0, &[], &Mean, &BootstrapConfig::default()),
             Err(StatsError::EmptySample)
         ));
-        assert!(bootstrap_distribution(&mut rng, &[1.0], &Mean, &BootstrapConfig::with_resamples(1)).is_err());
-        let bad_size = BootstrapConfig { num_resamples: 10, resample_size: Some(0) };
-        assert!(bootstrap_distribution(&mut rng, &[1.0], &Mean, &bad_size).is_err());
+        assert!(
+            bootstrap_distribution(0, &[1.0], &Mean, &BootstrapConfig::with_resamples(1)).is_err()
+        );
+        let bad_size = BootstrapConfig {
+            resample_size: Some(0),
+            ..BootstrapConfig::with_resamples(10)
+        };
+        assert!(bootstrap_distribution(0, &[1.0], &Mean, &bad_size).is_err());
     }
 
     #[test]
     fn bootstrap_std_error_matches_theory_for_the_mean() {
         // For the mean, the bootstrap SE should approximate sd/sqrt(n).
         let data = normal_sample(400, 100.0, 10.0, 1);
-        let mut rng = seeded_rng(2);
         let result =
-            bootstrap_distribution(&mut rng, &data, &Mean, &BootstrapConfig::with_resamples(200)).unwrap();
+            bootstrap_distribution(2, &data, &Mean, &BootstrapConfig::with_resamples(200)).unwrap();
         let theoretical = crate::estimators::StdDev.estimate(&data) / (data.len() as f64).sqrt();
         let ratio = result.std_error / theoretical;
-        assert!((0.7..1.3).contains(&ratio), "bootstrap SE {} vs theory {theoretical}", result.std_error);
-        assert!(result.cv < 0.01, "cv of the mean of 400 points should be well under 1%");
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "bootstrap SE {} vs theory {theoretical}",
+            result.std_error
+        );
+        assert!(
+            result.cv < 0.01,
+            "cv of the mean of 400 points should be well under 1%"
+        );
         assert_eq!(result.replicates.len(), 200);
     }
 
     #[test]
     fn bootstrap_works_for_the_median_where_jackknife_fails() {
         let data = normal_sample(200, 50.0, 5.0, 3);
-        let mut rng = seeded_rng(4);
         let result =
-            bootstrap_distribution(&mut rng, &data, &Median, &BootstrapConfig::with_resamples(100)).unwrap();
+            bootstrap_distribution(4, &data, &Median, &BootstrapConfig::with_resamples(100))
+                .unwrap();
         assert!(result.std_error > 0.0);
         assert!((result.point_estimate - 50.0).abs() < 2.0);
         let (lo, hi) = result.percentile_ci(0.05);
@@ -196,32 +331,116 @@ mod tests {
         let mut cvs = Vec::new();
         for n in [50usize, 200, 800] {
             let data = normal_sample(n, 10.0, 3.0, 7);
-            let mut rng = seeded_rng(8);
             let result =
-                bootstrap_distribution(&mut rng, &data, &Mean, &BootstrapConfig::with_resamples(60)).unwrap();
+                bootstrap_distribution(8, &data, &Mean, &BootstrapConfig::with_resamples(60))
+                    .unwrap();
             cvs.push(result.cv);
         }
-        assert!(cvs[0] > cvs[1] && cvs[1] > cvs[2], "cv must decrease with n: {cvs:?}");
+        assert!(
+            cvs[0] > cvs[1] && cvs[1] > cvs[2],
+            "cv must decrease with n: {cvs:?}"
+        );
     }
 
     #[test]
     fn percentile_ci_brackets_the_truth_most_of_the_time() {
         let data = normal_sample(300, 20.0, 4.0, 11);
-        let mut rng = seeded_rng(12);
         let result =
-            bootstrap_distribution(&mut rng, &data, &Mean, &BootstrapConfig::with_resamples(300)).unwrap();
+            bootstrap_distribution(12, &data, &Mean, &BootstrapConfig::with_resamples(300))
+                .unwrap();
         let (lo, hi) = result.percentile_ci(0.05);
         assert!(lo < hi);
-        assert!(lo <= 20.5 && hi >= 19.5, "95% CI [{lo}, {hi}] should cover the true mean 20");
+        assert!(
+            lo <= 20.5 && hi >= 19.5,
+            "95% CI [{lo}, {hi}] should cover the true mean 20"
+        );
         assert!(result.relative_ci_halfwidth(0.05) < 0.05);
+    }
+
+    #[test]
+    fn percentile_ci_matches_full_sort() {
+        // The select-based quantiles must agree with the straightforward
+        // sort-then-index implementation they replaced.
+        let data = normal_sample(500, 5.0, 2.0, 13);
+        let result =
+            bootstrap_distribution(14, &data, &Mean, &BootstrapConfig::with_resamples(251))
+                .unwrap();
+        for alpha in [0.01, 0.05, 0.1, 0.5, 1.0] {
+            let mut sorted = result.replicates.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let lo_idx = ((alpha / 2.0) * (sorted.len() - 1) as f64).round() as usize;
+            let hi_idx = ((1.0 - alpha / 2.0) * (sorted.len() - 1) as f64).round() as usize;
+            let expected = (sorted[lo_idx], sorted[hi_idx.min(sorted.len() - 1)]);
+            assert_eq!(result.percentile_ci(alpha), expected, "alpha = {alpha}");
+        }
     }
 
     #[test]
     fn deterministic_given_seed() {
         let data = normal_sample(100, 5.0, 1.0, 20);
-        let a = bootstrap_distribution(&mut seeded_rng(99), &data, &Mean, &BootstrapConfig::default()).unwrap();
-        let b = bootstrap_distribution(&mut seeded_rng(99), &data, &Mean, &BootstrapConfig::default()).unwrap();
+        let a = bootstrap_distribution(99, &data, &Mean, &BootstrapConfig::default()).unwrap();
+        let b = bootstrap_distribution(99, &data, &Mean, &BootstrapConfig::default()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // The acceptance property of the parallel engine: the full result —
+        // every replicate — is identical for 1, 2 and 8 workers.
+        let data = normal_sample(4_096, 42.0, 7.0, 21);
+        let reference = bootstrap_distribution(
+            7,
+            &data,
+            &Median,
+            &BootstrapConfig::with_resamples(64).with_parallelism(Some(1)),
+        )
+        .unwrap();
+        for threads in [2usize, 3, 8] {
+            let parallel = bootstrap_distribution(
+                7,
+                &data,
+                &Median,
+                &BootstrapConfig::with_resamples(64).with_parallelism(Some(threads)),
+            )
+            .unwrap();
+            assert_eq!(reference, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn growing_b_preserves_the_replicate_prefix() {
+        // Replicate b depends only on (seed, b): a B=50 run's first 30
+        // replicates equal the B=30 run exactly.  SSABE's incremental B search
+        // relies on this.
+        let data = normal_sample(256, 10.0, 2.0, 22);
+        let small =
+            bootstrap_distribution(5, &data, &Mean, &BootstrapConfig::with_resamples(30)).unwrap();
+        let large =
+            bootstrap_distribution(5, &data, &Mean, &BootstrapConfig::with_resamples(50)).unwrap();
+        assert_eq!(small.replicates[..], large.replicates[..30]);
+    }
+
+    #[test]
+    fn resampler_reuses_buffers() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let mut scratch = Resampler::with_capacity(data.len());
+        let mut rng = seeded_rng(1);
+        scratch.resample_into(&mut rng, &data, data.len());
+        let (icap, vcap) = (scratch.indices.capacity(), scratch.values.capacity());
+        for _ in 0..100 {
+            let s = scratch.resample_into(&mut rng, &data, data.len());
+            assert_eq!(s.len(), data.len());
+        }
+        assert_eq!(
+            scratch.indices.capacity(),
+            icap,
+            "index buffer must not reallocate"
+        );
+        assert_eq!(
+            scratch.values.capacity(),
+            vcap,
+            "value buffer must not reallocate"
+        );
     }
 
     #[test]

@@ -31,16 +31,26 @@ impl ProportionEstimate {
             return Err(StatsError::EmptySample);
         }
         if successes > n {
-            return Err(StatsError::InvalidParameter("successes cannot exceed trials".into()));
+            return Err(StatsError::InvalidParameter(
+                "successes cannot exceed trials".into(),
+            ));
         }
         let p_hat = successes as f64 / n as f64;
         let std_error = (p_hat * (1.0 - p_hat) / n as f64).sqrt();
-        Ok(Self { successes, n, p_hat, std_error })
+        Ok(Self {
+            successes,
+            n,
+            p_hat,
+            std_error,
+        })
     }
 
     /// Estimates a proportion from a boolean sample.
     pub fn from_sample(sample: &[bool]) -> Result<Self> {
-        Self::new(sample.iter().filter(|b| **b).count() as u64, sample.len() as u64)
+        Self::new(
+            sample.iter().filter(|b| **b).count() as u64,
+            sample.len() as u64,
+        )
     }
 
     /// Coefficient of variation of the estimate, `SE/p̂` — the same error
@@ -82,7 +92,9 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
-        * (0.254_829_592 + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -94,7 +106,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -179,7 +191,10 @@ mod tests {
     fn z_test_behaviour() {
         let est = ProportionEstimate::new(55, 100).unwrap();
         let (_, p_same) = est.z_test(0.5);
-        assert!(p_same > 0.05, "55/100 is not significantly different from 0.5");
+        assert!(
+            p_same > 0.05,
+            "55/100 is not significantly different from 0.5"
+        );
         let (z_far, p_far) = est.z_test(0.2);
         assert!(z_far > 5.0);
         assert!(p_far < 1e-6);
@@ -189,7 +204,10 @@ mod tests {
     fn normal_cdf_and_quantile_are_inverse() {
         for p in [0.01, 0.1, 0.25, 0.5, 0.8, 0.975, 0.999] {
             let x = normal_quantile(p);
-            assert!((normal_cdf(x) - p).abs() < 1e-6, "round-trip failed at p={p}");
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-6,
+                "round-trip failed at p={p}"
+            );
         }
         assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
         assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);

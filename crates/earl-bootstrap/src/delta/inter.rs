@@ -19,12 +19,14 @@
 //! served from the sketch while it lasts, and every sketch exhaustion is
 //! counted as a (simulated) disk access.
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+use rand::Rng;
 
 use crate::bootstrap::{summarise, BootstrapResult};
 use crate::estimators::Estimator;
-use crate::rng::{binomial_sample, sample_indices_with_replacement};
+use crate::parallel::{replicate_map, replicate_update, workers_for};
+use crate::rng::{binomial_sample, derive_seed, replicate_rng};
 use crate::{Result, StatsError};
 
 /// Configuration of the per-resample sketch (the memory layer of the paper's
@@ -85,6 +87,11 @@ struct MaintainedResample {
 
 /// A bootstrap whose resamples are maintained incrementally across sample
 /// expansions.
+///
+/// All per-resample work (initial draw, every delta update, every evaluation)
+/// runs across a scoped thread pool.  Resample `i` in expansion `e` always
+/// draws from the RNG stream derived from `(seed, e, i)`, so the maintained
+/// state is bit-identical for every thread count.
 #[derive(Debug, Clone)]
 pub struct IncrementalBootstrap {
     sample: Vec<f64>,
@@ -92,38 +99,71 @@ pub struct IncrementalBootstrap {
     sketch: SketchConfig,
     work: UpdateWork,
     expansions: u64,
+    seed: u64,
+    parallelism: Option<usize>,
 }
 
 impl IncrementalBootstrap {
     /// Creates the structure from an initial sample (treated as the first delta
     /// Δs₁ added to an empty set, per the paper) with `b` resamples.
-    pub fn new<R: Rng + ?Sized>(
-        rng: &mut R,
-        initial_sample: &[f64],
-        b: usize,
-        sketch: SketchConfig,
-    ) -> Result<Self> {
+    pub fn new(seed: u64, initial_sample: &[f64], b: usize, sketch: SketchConfig) -> Result<Self> {
         if initial_sample.is_empty() {
             return Err(StatsError::EmptySample);
         }
         if b < 2 {
-            return Err(StatsError::InvalidParameter("need at least 2 resamples".into()));
+            return Err(StatsError::InvalidParameter(
+                "need at least 2 resamples".into(),
+            ));
         }
         let n = initial_sample.len();
         let sketch_budget = sketch_budget(&sketch, n);
-        let mut work = UpdateWork::default();
-        let resamples = (0..b)
-            .map(|_| {
-                work.items_touched += n as u64;
-                work.naive_items += n as u64;
-                let items = sample_indices_with_replacement(rng, n, n)
-                    .into_iter()
-                    .map(|i| initial_sample[i])
-                    .collect();
-                MaintainedResample { items, sketch_budget }
-            })
-            .collect();
-        Ok(Self { sample: initial_sample.to_vec(), resamples, sketch, work, expansions: 0 })
+        let mut this = Self {
+            sample: initial_sample.to_vec(),
+            resamples: vec![
+                MaintainedResample {
+                    items: Vec::new(),
+                    sketch_budget
+                };
+                b
+            ],
+            sketch,
+            work: UpdateWork::default(),
+            expansions: 0,
+            seed,
+            parallelism: None,
+        };
+        // Expansion stream 0 is the initial draw; each resample fills itself
+        // from its own (seed, 0, i) stream.
+        let init_seed = derive_seed(seed, 0);
+        let threads = this.threads_for(n);
+        let sample = &this.sample;
+        replicate_update(
+            &mut this.resamples,
+            threads,
+            || (),
+            |i, resample, ()| {
+                let mut rng = replicate_rng(init_seed, i as u64);
+                resample.items.reserve_exact(n);
+                for _ in 0..n {
+                    resample.items.push(sample[rng.gen_range(0..n)]);
+                }
+            },
+        );
+        this.work.items_touched = (b * n) as u64;
+        this.work.naive_items = (b * n) as u64;
+        Ok(this)
+    }
+
+    /// Sets the worker-thread count used by `expand` / `evaluate`
+    /// (`None` = all cores).
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    fn threads_for(&self, per_resample_work: usize) -> usize {
+        let b = self.resamples.len();
+        workers_for(b.saturating_mul(per_resample_work.max(1)), self.parallelism)
     }
 
     /// Current sample size `n`.
@@ -152,65 +192,85 @@ impl IncrementalBootstrap {
     }
 
     /// Expands the sample with `delta` and incrementally updates every
-    /// resample.  Returns the work performed by this expansion.
-    pub fn expand<R: Rng + ?Sized>(&mut self, rng: &mut R, delta: &[f64]) -> Result<UpdateWork> {
+    /// resample in parallel.  Returns the work performed by this expansion.
+    pub fn expand(&mut self, delta: &[f64]) -> Result<UpdateWork> {
         if delta.is_empty() {
             return Err(StatsError::EmptySample);
         }
         let n = self.sample.len();
         let n_prime = n + delta.len();
         let keep_fraction = n as f64 / n_prime as f64;
+        // Expansion streams: 0 is the initial draw, e >= 1 the e-th expand.
+        let expansion_seed = derive_seed(self.seed, self.expansions + 1);
+        let threads = self.threads_for(delta.len() + (n as f64).sqrt() as usize);
+
+        let sample = &self.sample;
+        let sketch = &self.sketch;
+        let mut pairs: Vec<(&mut MaintainedResample, UpdateWork)> = self
+            .resamples
+            .iter_mut()
+            .map(|r| (r, UpdateWork::default()))
+            .collect();
+        replicate_update(
+            &mut pairs,
+            threads,
+            || (),
+            |i, (resample, step), ()| {
+                let mut rng = replicate_rng(expansion_seed, i as u64);
+                // Eq. 2 / Eq. 3: how many of the n′ items should come from the old s.
+                let target_from_s =
+                    binomial_sample(&mut rng, n_prime as u64, keep_fraction) as usize;
+                let target_from_s = target_from_s.min(n_prime);
+                let current = resample.items.len();
+                let mut touched = 0u64;
+
+                if target_from_s < current {
+                    // Randomly delete (current - target_from_s) items.
+                    for _ in 0..(current - target_from_s) {
+                        let idx = rng.gen_range(0..resample.items.len());
+                        resample.items.swap_remove(idx);
+                        touched += 1;
+                    }
+                } else if target_from_s > current {
+                    // Add items randomly drawn from the old sample s.
+                    for _ in 0..(target_from_s - current) {
+                        resample.items.push(sample[rng.gen_range(0..n)]);
+                        touched += 1;
+                    }
+                }
+                // Top up with items drawn from Δs.
+                for _ in 0..(n_prime - target_from_s) {
+                    resample.items.push(delta[rng.gen_range(0..delta.len())]);
+                    touched += 1;
+                }
+                debug_assert_eq!(resample.items.len(), n_prime);
+
+                // Sketch accounting: updates are served from the in-memory sketch
+                // until it is exhausted, then the on-disk copy is touched and a new
+                // sketch is drawn.
+                let mut remaining = touched;
+                while remaining > 0 {
+                    if resample.sketch_budget >= remaining {
+                        resample.sketch_budget -= remaining;
+                        step.sketch_hits += remaining;
+                        remaining = 0;
+                    } else {
+                        step.sketch_hits += resample.sketch_budget;
+                        remaining -= resample.sketch_budget;
+                        step.disk_accesses += 1;
+                        resample.sketch_budget = sketch_budget(sketch, n_prime);
+                    }
+                }
+
+                step.items_touched += touched;
+                step.naive_items += n_prime as u64;
+            },
+        );
         let mut step = UpdateWork::default();
-
-        for resample in &mut self.resamples {
-            // Eq. 2 / Eq. 3: how many of the n′ items should come from the old s.
-            let target_from_s = binomial_sample(rng, n_prime as u64, keep_fraction) as usize;
-            let target_from_s = target_from_s.min(n_prime);
-            let current = resample.items.len();
-            let mut touched = 0u64;
-
-            if target_from_s < current {
-                // Randomly delete (current - target_from_s) items.
-                for _ in 0..(current - target_from_s) {
-                    let idx = rng.gen_range(0..resample.items.len());
-                    resample.items.swap_remove(idx);
-                    touched += 1;
-                }
-            } else if target_from_s > current {
-                // Add items randomly drawn from the old sample s.
-                for idx in sample_indices_with_replacement(rng, n, target_from_s - current) {
-                    resample.items.push(self.sample[idx]);
-                    touched += 1;
-                }
-            }
-            // Top up with items drawn from Δs.
-            let from_delta = n_prime - target_from_s;
-            for idx in sample_indices_with_replacement(rng, delta.len(), from_delta) {
-                resample.items.push(delta[idx]);
-                touched += 1;
-            }
-            debug_assert_eq!(resample.items.len(), n_prime);
-
-            // Sketch accounting: updates are served from the in-memory sketch
-            // until it is exhausted, then the on-disk copy is touched and a new
-            // sketch is drawn.
-            let mut remaining = touched;
-            while remaining > 0 {
-                if resample.sketch_budget >= remaining {
-                    resample.sketch_budget -= remaining;
-                    step.sketch_hits += remaining;
-                    remaining = 0;
-                } else {
-                    step.sketch_hits += resample.sketch_budget;
-                    remaining -= resample.sketch_budget;
-                    step.disk_accesses += 1;
-                    resample.sketch_budget = sketch_budget(&self.sketch, n_prime);
-                }
-            }
-
-            step.items_touched += touched;
-            step.naive_items += n_prime as u64;
+        for (_, w) in &pairs {
+            step.accumulate(w);
         }
+        drop(pairs);
 
         self.sample.extend_from_slice(delta);
         self.expansions += 1;
@@ -218,11 +278,17 @@ impl IncrementalBootstrap {
         Ok(step)
     }
 
-    /// Evaluates `estimator` on every maintained resample and summarises the
-    /// result distribution (point estimate taken on the full current sample).
+    /// Evaluates `estimator` on every maintained resample in parallel and
+    /// summarises the result distribution (point estimate taken on the full
+    /// current sample).
     pub fn evaluate(&self, estimator: &dyn Estimator) -> BootstrapResult {
-        let replicates: Vec<f64> =
-            self.resamples.iter().map(|r| estimator.estimate(&r.items)).collect();
+        let threads = self.threads_for(self.sample.len());
+        let replicates = replicate_map(
+            self.resamples.len(),
+            threads,
+            || (),
+            |i, ()| estimator.estimate(&self.resamples[i].items),
+        );
         summarise(estimator.estimate(&self.sample), replicates)
     }
 }
@@ -240,15 +306,17 @@ mod tests {
 
     fn normal(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
         let mut rng = seeded_rng(seed);
-        (0..n).map(|_| mean + sd * standard_normal(&mut rng)).collect()
+        (0..n)
+            .map(|_| mean + sd * standard_normal(&mut rng))
+            .collect()
     }
 
     #[test]
     fn construction_validations() {
-        let mut rng = seeded_rng(0);
-        assert!(IncrementalBootstrap::new(&mut rng, &[], 10, SketchConfig::default()).is_err());
-        assert!(IncrementalBootstrap::new(&mut rng, &[1.0, 2.0], 1, SketchConfig::default()).is_err());
-        let ib = IncrementalBootstrap::new(&mut rng, &[1.0, 2.0, 3.0], 5, SketchConfig::default()).unwrap();
+        assert!(IncrementalBootstrap::new(0, &[], 10, SketchConfig::default()).is_err());
+        assert!(IncrementalBootstrap::new(0, &[1.0, 2.0], 1, SketchConfig::default()).is_err());
+        let ib =
+            IncrementalBootstrap::new(0, &[1.0, 2.0, 3.0], 5, SketchConfig::default()).unwrap();
         assert_eq!(ib.sample_size(), 3);
         assert_eq!(ib.num_resamples(), 5);
         assert_eq!(ib.expansions(), 0);
@@ -256,11 +324,10 @@ mod tests {
 
     #[test]
     fn expansion_keeps_resamples_at_the_new_size() {
-        let mut rng = seeded_rng(1);
         let initial = normal(500, 10.0, 2.0, 2);
         let delta = normal(300, 10.0, 2.0, 3);
-        let mut ib = IncrementalBootstrap::new(&mut rng, &initial, 30, SketchConfig::default()).unwrap();
-        let work = ib.expand(&mut rng, &delta).unwrap();
+        let mut ib = IncrementalBootstrap::new(1, &initial, 30, SketchConfig::default()).unwrap();
+        let work = ib.expand(&delta).unwrap();
         assert_eq!(ib.sample_size(), 800);
         assert_eq!(ib.expansions(), 1);
         assert!(work.items_touched > 0);
@@ -269,18 +336,17 @@ mod tests {
         // evaluate() which would otherwise produce a different distribution.
         let result = ib.evaluate(&Mean);
         assert_eq!(result.replicates.len(), 30);
-        assert!(ib.expand(&mut rng, &[]).is_err());
+        assert!(ib.expand(&[]).is_err());
     }
 
     #[test]
     fn incremental_update_touches_far_fewer_items_than_a_rebuild() {
         // The Fig. 10 claim: delta maintenance saves a large fraction of the
         // work when Δs is small relative to s.
-        let mut rng = seeded_rng(4);
         let initial = normal(2_000, 50.0, 5.0, 5);
         let delta = normal(200, 50.0, 5.0, 6);
-        let mut ib = IncrementalBootstrap::new(&mut rng, &initial, 30, SketchConfig::default()).unwrap();
-        let work = ib.expand(&mut rng, &delta).unwrap();
+        let mut ib = IncrementalBootstrap::new(4, &initial, 30, SketchConfig::default()).unwrap();
+        let work = ib.expand(&delta).unwrap();
         assert!(
             work.savings() > 0.5,
             "expected >50% work saved for a 10% expansion, got {:.1}%",
@@ -296,45 +362,46 @@ mod tests {
         let delta = normal(1_500, 100.0, 10.0, 8);
         let full: Vec<f64> = initial.iter().chain(delta.iter()).copied().collect();
 
-        let mut rng = seeded_rng(9);
-        let mut ib = IncrementalBootstrap::new(&mut rng, &initial, 100, SketchConfig::default()).unwrap();
-        ib.expand(&mut rng, &delta).unwrap();
+        let mut ib = IncrementalBootstrap::new(9, &initial, 100, SketchConfig::default()).unwrap();
+        ib.expand(&delta).unwrap();
         let maintained = ib.evaluate(&Mean);
 
-        let fresh = bootstrap_distribution(
-            &mut seeded_rng(10),
-            &full,
-            &Mean,
-            &BootstrapConfig::with_resamples(100),
-        )
-        .unwrap();
+        let fresh = bootstrap_distribution(10, &full, &Mean, &BootstrapConfig::with_resamples(100))
+            .unwrap();
 
         // Point estimates are identical (same underlying sample)…
         assert!((maintained.point_estimate - fresh.point_estimate).abs() < 1e-9);
         // …and the standard errors agree to within Monte-Carlo noise.
         let ratio = maintained.std_error / fresh.std_error;
-        assert!((0.6..1.6).contains(&ratio), "maintained SE {} vs fresh SE {}", maintained.std_error, fresh.std_error);
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "maintained SE {} vs fresh SE {}",
+            maintained.std_error,
+            fresh.std_error
+        );
         // cv shrinks as the sample doubles.
         assert!(maintained.cv < 0.02);
     }
 
     #[test]
     fn repeated_expansions_accumulate_work_and_stay_consistent() {
-        let mut rng = seeded_rng(11);
         let mut ib =
-            IncrementalBootstrap::new(&mut rng, &normal(256, 10.0, 1.0, 12), 20, SketchConfig::default())
+            IncrementalBootstrap::new(11, &normal(256, 10.0, 1.0, 12), 20, SketchConfig::default())
                 .unwrap();
         let mut last_cv = ib.evaluate(&Median).cv;
         for step in 0..4 {
             let delta = normal(256, 10.0, 1.0, 13 + step);
-            ib.expand(&mut rng, &delta).unwrap();
+            ib.expand(&delta).unwrap();
             let cv = ib.evaluate(&Median).cv;
             assert!(cv.is_finite());
             last_cv = cv;
         }
         assert_eq!(ib.sample_size(), 256 * 5);
         assert_eq!(ib.expansions(), 4);
-        assert!(last_cv < 0.05, "cv after 5x data should be small, got {last_cv}");
+        assert!(
+            last_cv < 0.05,
+            "cv after 5x data should be small, got {last_cv}"
+        );
         let total = ib.work();
         assert!(total.items_touched < total.naive_items);
         assert!(total.sketch_hits > 0);
@@ -345,22 +412,46 @@ mod tests {
         let initial = normal(1_000, 5.0, 1.0, 20);
         let delta = normal(500, 5.0, 1.0, 21);
 
-        let mut rng = seeded_rng(22);
         let mut small =
-            IncrementalBootstrap::new(&mut rng, &initial, 20, SketchConfig { c: 0.1 }).unwrap();
-        let w_small = small.expand(&mut rng, &delta).unwrap();
+            IncrementalBootstrap::new(22, &initial, 20, SketchConfig { c: 0.1 }).unwrap();
+        let w_small = small.expand(&delta).unwrap();
 
-        let mut rng = seeded_rng(22);
-        let mut big = IncrementalBootstrap::new(&mut rng, &initial, 20, SketchConfig { c: 100.0 }).unwrap();
-        let w_big = big.expand(&mut rng, &delta).unwrap();
+        let mut big =
+            IncrementalBootstrap::new(22, &initial, 20, SketchConfig { c: 100.0 }).unwrap();
+        let w_big = big.expand(&delta).unwrap();
 
         assert!(w_small.disk_accesses > w_big.disk_accesses);
-        assert_eq!(w_big.disk_accesses, 0, "a huge sketch should absorb the whole update");
+        assert_eq!(
+            w_big.disk_accesses, 0,
+            "a huge sketch should absorb the whole update"
+        );
+    }
+
+    #[test]
+    fn maintained_state_is_bit_identical_across_thread_counts() {
+        let initial = normal(3_000, 20.0, 4.0, 30);
+        let delta = normal(1_000, 20.0, 4.0, 31);
+        let run = |threads: usize| {
+            let mut ib = IncrementalBootstrap::new(33, &initial, 40, SketchConfig::default())
+                .unwrap()
+                .with_parallelism(Some(threads));
+            let work = ib.expand(&delta).unwrap();
+            (ib.evaluate(&Median), work)
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "threads = {threads}");
+        }
     }
 
     #[test]
     fn update_work_savings_math() {
-        let w = UpdateWork { items_touched: 30, naive_items: 100, sketch_hits: 30, disk_accesses: 0 };
+        let w = UpdateWork {
+            items_touched: 30,
+            naive_items: 100,
+            sketch_hits: 30,
+            disk_accesses: 0,
+        };
         assert!((w.savings() - 0.7).abs() < 1e-12);
         assert_eq!(UpdateWork::default().savings(), 0.0);
         let mut acc = UpdateWork::default();

@@ -137,8 +137,15 @@ mod tests {
     #[test]
     fn overlap_probability_edges() {
         assert_eq!(overlap_probability(0, 0.5), 0.0);
-        assert_eq!(overlap_probability(100, 0.0), 1.0, "sharing nothing is certain");
-        assert!(overlap_probability(100, 1.0) < 1e-10, "sharing everything is essentially impossible");
+        assert_eq!(
+            overlap_probability(100, 0.0),
+            1.0,
+            "sharing nothing is certain"
+        );
+        assert!(
+            overlap_probability(100, 1.0) < 1e-10,
+            "sharing everything is essentially impossible"
+        );
         // Monotonically decreasing in y.
         let n = 50;
         let mut prev = 1.0;
@@ -176,7 +183,10 @@ mod tests {
         let s_small = optimal_y(10).1;
         let s_mid = optimal_y(100).1;
         let s_large = optimal_y(1000).1;
-        assert!(s_small > s_mid && s_mid > s_large, "{s_small} > {s_mid} > {s_large} expected");
+        assert!(
+            s_small > s_mid && s_mid > s_large,
+            "{s_small} > {s_mid} > {s_large} expected"
+        );
     }
 
     #[test]
@@ -186,10 +196,14 @@ mod tests {
         // measured overlap must be far above zero — the effect §4.2 exploits.
         let mut rng = seeded_rng(1);
         let data: Vec<f64> = (0..500).map(|_| standard_normal(&mut rng)).collect();
-        let a: Vec<f64> =
-            sample_indices_with_replacement(&mut rng, data.len(), data.len()).iter().map(|&i| data[i]).collect();
-        let b: Vec<f64> =
-            sample_indices_with_replacement(&mut rng, data.len(), data.len()).iter().map(|&i| data[i]).collect();
+        let a: Vec<f64> = sample_indices_with_replacement(&mut rng, data.len(), data.len())
+            .iter()
+            .map(|&i| data[i])
+            .collect();
+        let b: Vec<f64> = sample_indices_with_replacement(&mut rng, data.len(), data.len())
+            .iter()
+            .map(|&i| data[i])
+            .collect();
         let overlap = multiset_overlap_fraction(&a, &b);
         assert!(overlap > 0.3, "measured overlap {overlap}");
         assert_eq!(multiset_overlap_fraction(&[], &a), 0.0);
@@ -199,11 +213,16 @@ mod tests {
     #[test]
     fn shared_prefix_resampling_saves_work_and_preserves_the_answer() {
         let mut rng = seeded_rng(2);
-        let data: Vec<f64> = (0..1000).map(|_| 50.0 + 5.0 * standard_normal(&mut rng)).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|_| 50.0 + 5.0 * standard_normal(&mut rng))
+            .collect();
         let (resamples, saved) = shared_prefix_resamples(&mut rng, &data, 60, 0.3);
         assert_eq!(resamples.len(), 60);
         assert!(resamples.iter().all(|r| r.len() == data.len()));
-        assert!((saved - 0.3 * 59.0 / 60.0).abs() < 0.01, "≈30% of draws avoided, got {saved}");
+        assert!(
+            (saved - 0.3 * 59.0 / 60.0).abs() < 0.01,
+            "≈30% of draws avoided, got {saved}"
+        );
 
         // The replicate distribution still centres on the true mean with a
         // sensible cv (prefix reuse introduces correlation between replicates

@@ -99,7 +99,9 @@ pub struct Quantile {
 impl Quantile {
     /// Creates a quantile estimator; `q` is clamped to `[0, 1]`.
     pub fn new(q: f64) -> Self {
-        Self { q: q.clamp(0.0, 1.0) }
+        Self {
+            q: q.clamp(0.0, 1.0),
+        }
     }
 
     /// The quantile level.
@@ -166,7 +168,10 @@ pub struct Min;
 
 impl Estimator for Min {
     fn estimate(&self, data: &[f64]) -> f64 {
-        data.iter().copied().fold(f64::NAN, |acc, x| if acc.is_nan() || x < acc { x } else { acc })
+        data.iter().copied().fold(
+            f64::NAN,
+            |acc, x| if acc.is_nan() || x < acc { x } else { acc },
+        )
     }
     fn name(&self) -> &'static str {
         "min"
@@ -179,7 +184,10 @@ pub struct Max;
 
 impl Estimator for Max {
     fn estimate(&self, data: &[f64]) -> f64 {
-        data.iter().copied().fold(f64::NAN, |acc, x| if acc.is_nan() || x > acc { x } else { acc })
+        data.iter().copied().fold(
+            f64::NAN,
+            |acc, x| if acc.is_nan() || x > acc { x } else { acc },
+        )
     }
     fn name(&self) -> &'static str {
         "max"
@@ -255,7 +263,13 @@ pub struct StreamingStats {
 impl StreamingStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -398,7 +412,9 @@ mod tests {
 
     #[test]
     fn correlation_of_perfectly_linear_data_is_one() {
-        let pairs: Vec<f64> = (0..50).flat_map(|i| [i as f64, 2.0 * i as f64 + 1.0]).collect();
+        let pairs: Vec<f64> = (0..50)
+            .flat_map(|i| [i as f64, 2.0 * i as f64 + 1.0])
+            .collect();
         assert!((PairedCorrelation.estimate(&pairs) - 1.0).abs() < 1e-9);
         let anti: Vec<f64> = (0..50).flat_map(|i| [i as f64, -3.0 * i as f64]).collect();
         assert!((PairedCorrelation.estimate(&anti) + 1.0).abs() < 1e-9);

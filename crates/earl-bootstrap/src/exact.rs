@@ -68,7 +68,7 @@ fn enumerate_compositions(
         let resample: Vec<f64> = counts
             .iter()
             .enumerate()
-            .flat_map(|(i, &c)| std::iter::repeat(data[i]).take(c))
+            .flat_map(|(i, &c)| std::iter::repeat_n(data[i], c))
             .collect();
         let value = estimator.estimate(&resample);
         *mean += weight * value;
@@ -77,7 +77,15 @@ fn enumerate_compositions(
     }
     for c in 0..=remaining {
         counts[index] = c;
-        enumerate_compositions(counts, index + 1, remaining - c, data, estimator, mean, second);
+        enumerate_compositions(
+            counts,
+            index + 1,
+            remaining - c,
+            data,
+            estimator,
+            mean,
+            second,
+        );
     }
 }
 
@@ -99,7 +107,6 @@ mod tests {
     use super::*;
     use crate::bootstrap::{bootstrap_distribution, BootstrapConfig};
     use crate::estimators::Mean;
-    use crate::rng::seeded_rng;
 
     #[test]
     fn resample_count_matches_the_paper() {
@@ -126,16 +133,14 @@ mod tests {
     fn monte_carlo_converges_to_the_exact_value() {
         let data = [2.0, 3.0, 5.0, 8.0, 13.0];
         let (_, exact_var) = exact_bootstrap_moments(&data, &Mean).unwrap();
-        let mc = bootstrap_distribution(
-            &mut seeded_rng(1),
-            &data,
-            &Mean,
-            &BootstrapConfig::with_resamples(20_000),
-        )
-        .unwrap();
+        let mc = bootstrap_distribution(1, &data, &Mean, &BootstrapConfig::with_resamples(20_000))
+            .unwrap();
         let mc_var = mc.std_error * mc.std_error;
         let ratio = mc_var / exact_var;
-        assert!((0.9..1.1).contains(&ratio), "MC variance {mc_var} vs exact {exact_var}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "MC variance {mc_var} vs exact {exact_var}"
+        );
     }
 
     #[test]
@@ -145,6 +150,9 @@ mod tests {
             exact_bootstrap_moments(&data, &Mean),
             Err(StatsError::InvalidParameter(_))
         ));
-        assert!(matches!(exact_bootstrap_moments(&[], &Mean), Err(StatsError::EmptySample)));
+        assert!(matches!(
+            exact_bootstrap_moments(&[], &Mean),
+            Err(StatsError::EmptySample)
+        ));
     }
 }

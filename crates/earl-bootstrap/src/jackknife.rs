@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::estimators::{Estimator, Mean};
+use crate::parallel::{replicate_map, workers_for};
 use crate::{Result, StatsError};
 
 /// The outcome of a jackknife run.
@@ -32,26 +33,58 @@ pub struct JackknifeResult {
 /// Unlike the bootstrap, the number of replicates is fixed at `n` — this is
 /// the "fixed requirement for the number of resamples" the paper refers to.
 pub fn jackknife(data: &[f64], estimator: &dyn Estimator) -> Result<JackknifeResult> {
+    jackknife_with_parallelism(data, estimator, None)
+}
+
+/// [`jackknife`] with an explicit worker-thread count (`None` = all cores).
+///
+/// The `n` leave-one-out replicates are evaluated across a scoped thread pool;
+/// each worker reuses one scratch buffer, so the steady state allocates
+/// nothing per replicate.  The result is identical for every thread count —
+/// replicate `i` is a pure function of `(data, i)`.
+pub fn jackknife_with_parallelism(
+    data: &[f64],
+    estimator: &dyn Estimator,
+    parallelism: Option<usize>,
+) -> Result<JackknifeResult> {
     let n = data.len();
     if n < 2 {
         return Err(StatsError::EmptySample);
     }
     let point_estimate = estimator.estimate(data);
-    let mut replicates = Vec::with_capacity(n);
-    let mut scratch = Vec::with_capacity(n - 1);
-    for leave_out in 0..n {
-        scratch.clear();
-        scratch.extend(data.iter().enumerate().filter(|(i, _)| *i != leave_out).map(|(_, v)| *v));
-        replicates.push(estimator.estimate(&scratch));
-    }
+    let threads = workers_for(n.saturating_mul(n), parallelism);
+    let replicates = replicate_map(
+        n,
+        threads,
+        || Vec::with_capacity(n - 1),
+        |leave_out, scratch: &mut Vec<f64>| {
+            scratch.clear();
+            scratch.extend_from_slice(&data[..leave_out]);
+            scratch.extend_from_slice(&data[leave_out + 1..]);
+            estimator.estimate(scratch)
+        },
+    );
     let replicate_mean = Mean.estimate(&replicates);
     // Jackknife variance: (n-1)/n * Σ (θ̂_(i) − θ̄_(.))²
     let var = (n as f64 - 1.0) / n as f64
-        * replicates.iter().map(|r| (r - replicate_mean).powi(2)).sum::<f64>();
+        * replicates
+            .iter()
+            .map(|r| (r - replicate_mean).powi(2))
+            .sum::<f64>();
     let std_error = var.sqrt();
     let bias = (n as f64 - 1.0) * (replicate_mean - point_estimate);
-    let cv = if point_estimate == 0.0 { f64::NAN } else { std_error / point_estimate.abs() };
-    Ok(JackknifeResult { point_estimate, replicates, std_error, bias, cv })
+    let cv = if point_estimate == 0.0 {
+        f64::NAN
+    } else {
+        std_error / point_estimate.abs()
+    };
+    Ok(JackknifeResult {
+        point_estimate,
+        replicates,
+        std_error,
+        bias,
+        cv,
+    })
 }
 
 #[cfg(test)]
@@ -63,13 +96,21 @@ mod tests {
 
     fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
         let mut rng = seeded_rng(seed);
-        (0..n).map(|_| mean + sd * standard_normal(&mut rng)).collect()
+        (0..n)
+            .map(|_| mean + sd * standard_normal(&mut rng))
+            .collect()
     }
 
     #[test]
     fn rejects_tiny_samples() {
-        assert!(matches!(jackknife(&[1.0], &Mean), Err(StatsError::EmptySample)));
-        assert!(matches!(jackknife(&[], &Mean), Err(StatsError::EmptySample)));
+        assert!(matches!(
+            jackknife(&[1.0], &Mean),
+            Err(StatsError::EmptySample)
+        ));
+        assert!(matches!(
+            jackknife(&[], &Mean),
+            Err(StatsError::EmptySample)
+        ));
     }
 
     #[test]
@@ -79,7 +120,11 @@ mod tests {
         let result = jackknife(&data, &Mean).unwrap();
         let classic = StdDev.estimate(&data) / (data.len() as f64).sqrt();
         assert!((result.std_error - classic).abs() < 1e-9);
-        assert_eq!(result.replicates.len(), data.len(), "jackknife replicate count is fixed at n");
+        assert_eq!(
+            result.replicates.len(),
+            data.len(),
+            "jackknife replicate count is fixed at n"
+        );
         assert!(result.bias.abs() < 1e-9, "the mean is unbiased");
     }
 
@@ -87,10 +132,25 @@ mod tests {
     fn jackknife_and_bootstrap_agree_for_the_mean() {
         let data = normal_sample(200, 50.0, 8.0, 2);
         let jk = jackknife(&data, &Mean).unwrap();
-        let bs = bootstrap_distribution(&mut seeded_rng(3), &data, &Mean, &BootstrapConfig::with_resamples(400))
-            .unwrap();
+        let bs =
+            bootstrap_distribution(3, &data, &Mean, &BootstrapConfig::with_resamples(400)).unwrap();
         let ratio = jk.std_error / bs.std_error;
-        assert!((0.8..1.25).contains(&ratio), "jackknife {} vs bootstrap {}", jk.std_error, bs.std_error);
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "jackknife {} vs bootstrap {}",
+            jk.std_error,
+            bs.std_error
+        );
+    }
+
+    #[test]
+    fn parallel_jackknife_matches_sequential() {
+        let data = normal_sample(3_000, 7.0, 1.5, 9);
+        let sequential = jackknife_with_parallelism(&data, &Mean, Some(1)).unwrap();
+        for threads in [2, 8] {
+            let parallel = jackknife_with_parallelism(&data, &Mean, Some(threads)).unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -100,15 +160,17 @@ mod tests {
         // under-estimates the spread compared to the bootstrap.
         let data = normal_sample(201, 0.0, 1.0, 5);
         let jk = jackknife(&data, &Median).unwrap();
-        let bs =
-            bootstrap_distribution(&mut seeded_rng(6), &data, &Median, &BootstrapConfig::with_resamples(400))
-                .unwrap();
+        let bs = bootstrap_distribution(6, &data, &Median, &BootstrapConfig::with_resamples(400))
+            .unwrap();
         // Almost every leave-one-out median equals one of two order statistics,
         // so the jackknife replicate distribution is degenerate — the classic
         // inconsistency the paper cites as a reason to prefer the bootstrap.
         let distinct_jk: std::collections::BTreeSet<u64> =
             jk.replicates.iter().map(|r| r.to_bits()).collect();
-        assert!(distinct_jk.len() <= 4, "median jackknife replicates collapse to a couple of values");
+        assert!(
+            distinct_jk.len() <= 4,
+            "median jackknife replicates collapse to a couple of values"
+        );
         let distinct_bs: std::collections::BTreeSet<u64> =
             bs.replicates.iter().map(|r| r.to_bits()).collect();
         assert!(

@@ -47,7 +47,9 @@ impl PowerLawFit {
 /// Ordinary least-squares fit of a straight line `y = intercept + slope · x`.
 pub fn linear_fit(points: &[(f64, f64)]) -> Result<(f64, f64, f64)> {
     if points.len() < 2 {
-        return Err(StatsError::InvalidParameter("need at least 2 points to fit a line".into()));
+        return Err(StatsError::InvalidParameter(
+            "need at least 2 points to fit a line".into(),
+        ));
     }
     let n = points.len() as f64;
     let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
@@ -63,11 +65,17 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Result<(f64, f64, f64)> {
         syy += dy * dy;
     }
     if sxx == 0.0 {
-        return Err(StatsError::InvalidParameter("all x values are identical".into()));
+        return Err(StatsError::InvalidParameter(
+            "all x values are identical".into(),
+        ));
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Ok((intercept, slope, r_squared))
 }
 
@@ -85,7 +93,11 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> Result<PowerLawFit> {
         ));
     }
     let (intercept, slope, r_squared) = linear_fit(&log_points)?;
-    Ok(PowerLawFit { a: intercept.exp(), b: slope, r_squared })
+    Ok(PowerLawFit {
+        a: intercept.exp(),
+        b: slope,
+        r_squared,
+    })
 }
 
 #[cfg(test)]
@@ -110,8 +122,10 @@ mod tests {
     #[test]
     fn power_law_fit_recovers_inverse_sqrt() {
         // cv(n) = 2 / sqrt(n), the theoretical shape for the mean.
-        let points: Vec<(f64, f64)> =
-            [10.0f64, 50.0, 100.0, 500.0, 1000.0].iter().map(|&n| (n, 2.0 / n.sqrt())).collect();
+        let points: Vec<(f64, f64)> = [10.0f64, 50.0, 100.0, 500.0, 1000.0]
+            .iter()
+            .map(|&n| (n, 2.0 / n.sqrt()))
+            .collect();
         let fit = fit_power_law(&points).unwrap();
         assert!((fit.a - 2.0).abs() < 1e-6);
         assert!((fit.b + 0.5).abs() < 1e-6);
@@ -139,10 +153,18 @@ mod tests {
 
     #[test]
     fn solve_for_x_edge_cases() {
-        let fit = PowerLawFit { a: 1.0, b: -0.5, r_squared: 1.0 };
+        let fit = PowerLawFit {
+            a: 1.0,
+            b: -0.5,
+            r_squared: 1.0,
+        };
         assert!(fit.solve_for_x(0.0).is_none());
         assert!(fit.solve_for_x(-1.0).is_none());
-        let flat = PowerLawFit { a: 1.0, b: 0.0, r_squared: 1.0 };
+        let flat = PowerLawFit {
+            a: 1.0,
+            b: 0.0,
+            r_squared: 1.0,
+        };
         assert!(flat.solve_for_x(0.5).is_none());
     }
 

@@ -23,9 +23,14 @@
 //! * [`categorical`] — proportion estimation with normal-approximation
 //!   intervals (Appendix A);
 //! * [`blockboot`] — the moving-block bootstrap for b-dependent data
-//!   (Appendix A).
+//!   (Appendix A);
+//! * [`parallel`] — the scoped fork-join executor all resampling paths run on:
+//!   per-worker reusable scratch buffers (no per-replicate allocation) and
+//!   per-replicate RNG streams derived from `(seed, replicate)` via SplitMix64.
 //!
-//! Everything is deterministic given an RNG seed.
+//! Everything is deterministic given a seed, **independent of the worker
+//! thread count**: replicate `b` always draws from the RNG stream derived from
+//! `(seed, b)`, so parallelism changes wall-clock time only.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,7 +46,10 @@ pub mod least_squares;
 pub mod rng;
 pub mod ssabe;
 
-pub use bootstrap::{bootstrap_distribution, BootstrapConfig, BootstrapResult};
+/// The shared fork-join executor (re-exported from `earl-parallel`).
+pub use earl_parallel as parallel;
+
+pub use bootstrap::{bootstrap_distribution, BootstrapConfig, BootstrapResult, Resampler};
 pub use estimators::{Estimator, StreamingStats};
 pub use jackknife::jackknife;
 pub use ssabe::{Ssabe, SsabeConfig, SsabeEstimate};

@@ -12,13 +12,63 @@ pub fn seeded_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// One SplitMix64 output for the given state (stateless form).
+///
+/// SplitMix64 is the standard generator for *deriving* independent seeds: its
+/// output function is a bijection on `u64`, so distinct inputs can never
+/// collide.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent sub-seed from `(seed, stream)` via two chained
+/// SplitMix64 steps.  Used to give each phase of a procedure (SSABE's B-phase
+/// vs. ladder levels, each delta expansion, …) its own seed space.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    splitmix64(splitmix64(seed) ^ stream)
+}
+
+/// The RNG stream of bootstrap replicate `replicate` under `seed`.
+///
+/// The stream depends **only** on `(seed, replicate)` — never on which worker
+/// thread evaluates it or in what order — so bootstrap results are bit-identical
+/// for every thread count, and growing `B` preserves the replicates already
+/// drawn (the prefix property SSABE's incremental B-search relies on).
+pub fn replicate_rng(seed: u64, replicate: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(seed, replicate))
+}
+
 /// Draws `count` indices uniformly at random **with replacement** from
 /// `[0, n)`.
-pub fn sample_indices_with_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, count: usize) -> Vec<usize> {
+pub fn sample_indices_with_replacement<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    count: usize,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    sample_indices_with_replacement_into(rng, n, count, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`sample_indices_with_replacement`]: clears and
+/// refills `out`, reusing its capacity.
+pub fn sample_indices_with_replacement_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    count: usize,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    (0..count).map(|_| rng.gen_range(0..n)).collect()
+    out.reserve(count);
+    for _ in 0..count {
+        out.push(rng.gen_range(0..n));
+    }
 }
 
 /// Draws `count` distinct indices uniformly at random **without replacement**
@@ -83,6 +133,44 @@ mod tests {
     use super::*;
 
     #[test]
+    fn replicate_streams_are_independent_and_stable() {
+        // Same (seed, replicate) -> same stream.
+        let a: Vec<u64> = {
+            let mut rng = replicate_rng(7, 3);
+            (0..8).map(|_| rng.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = replicate_rng(7, 3);
+            (0..8).map(|_| rng.gen()).collect()
+        };
+        assert_eq!(a, b);
+        // Different replicate or seed -> different stream.
+        let c: u64 = replicate_rng(7, 4).gen();
+        let d: u64 = replicate_rng(8, 3).gen();
+        assert_ne!(a[0], c);
+        assert_ne!(a[0], d);
+        // derive_seed separates phase streams.
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+        // splitmix64 is a bijection-derived mix: distinct inputs stay distinct.
+        assert_ne!(splitmix64(0), splitmix64(1));
+    }
+
+    #[test]
+    fn into_variant_reuses_the_buffer() {
+        let mut rng = seeded_rng(9);
+        let mut buf = Vec::new();
+        sample_indices_with_replacement_into(&mut rng, 10, 100, &mut buf);
+        assert_eq!(buf.len(), 100);
+        let capacity = buf.capacity();
+        sample_indices_with_replacement_into(&mut rng, 10, 100, &mut buf);
+        assert_eq!(buf.len(), 100);
+        assert_eq!(buf.capacity(), capacity, "refill must not reallocate");
+        sample_indices_with_replacement_into(&mut rng, 0, 5, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn seeded_rng_is_deterministic() {
         let a: Vec<u32> = {
             let mut rng = seeded_rng(42);
@@ -136,10 +224,15 @@ mod tests {
         let mut rng = seeded_rng(4);
         let trials = 10_000u64;
         let p = 0.25;
-        let draws: Vec<u64> = (0..200).map(|_| binomial_sample(&mut rng, trials, p)).collect();
+        let draws: Vec<u64> = (0..200)
+            .map(|_| binomial_sample(&mut rng, trials, p))
+            .collect();
         let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
         let expected = trials as f64 * p;
-        assert!((mean - expected).abs() / expected < 0.02, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.02,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

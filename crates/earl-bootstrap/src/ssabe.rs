@@ -16,13 +16,18 @@
 //! If the resulting `B·n ≥ N`, early approximation is not worthwhile and EARL
 //! falls back to exact execution over the full data set.
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::bootstrap::{bootstrap_distribution, draw_resample, BootstrapConfig};
+use crate::bootstrap::{bootstrap_distribution, BootstrapConfig, Resampler};
 use crate::estimators::{coefficient_of_variation, Estimator, Mean, StdDev};
 use crate::least_squares::{fit_power_law, PowerLawFit};
+use crate::rng::derive_seed;
 use crate::{Result, StatsError};
+
+/// Sub-seed stream tag of the B-estimation phase (1a).
+const B_PHASE: u64 = 0;
+/// Sub-seed stream tag base of the ladder levels of phase 1b.
+const LADDER_PHASE: u64 = 1;
 
 /// Configuration of the SSABE procedure.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,11 +44,21 @@ pub struct SsabeConfig {
     /// Hard cap on candidate `B` values (the paper's candidate set is
     /// `{2, …, 1/τ}`).
     pub max_b: usize,
+    /// Worker threads for the ladder bootstraps (`None` = all cores; small
+    /// pilots fall back to single-threaded execution automatically).
+    pub parallelism: Option<usize>,
 }
 
 impl Default for SsabeConfig {
     fn default() -> Self {
-        Self { sigma: 0.05, tau: 0.01, ladder_levels: 5, min_b: 5, max_b: 200 }
+        Self {
+            sigma: 0.05,
+            tau: 0.01,
+            ladder_levels: 5,
+            min_b: 5,
+            max_b: 200,
+            parallelism: None,
+        }
     }
 }
 
@@ -51,26 +66,42 @@ impl SsabeConfig {
     /// Creates a configuration for error bound `sigma` and stability `tau`,
     /// with the candidate-B cap set to `1/τ` as in the paper.
     pub fn new(sigma: f64, tau: f64) -> Self {
-        let max_b = if tau > 0.0 { (1.0 / tau).ceil() as usize } else { 200 };
-        Self { sigma, tau, max_b: max_b.clamp(10, 5_000), ..Self::default() }
+        let max_b = if tau > 0.0 {
+            (1.0 / tau).ceil() as usize
+        } else {
+            200
+        };
+        Self {
+            sigma,
+            tau,
+            max_b: max_b.clamp(10, 5_000),
+            ..Self::default()
+        }
     }
 
     fn validate(&self) -> Result<()> {
-        if !(self.sigma > 0.0) {
+        if self.sigma <= 0.0 || self.sigma.is_nan() {
             return Err(StatsError::InvalidParameter("sigma must be > 0".into()));
         }
-        if !(self.tau > 0.0) {
+        if self.tau <= 0.0 || self.tau.is_nan() {
             return Err(StatsError::InvalidParameter("tau must be > 0".into()));
         }
         if self.ladder_levels < 2 {
-            return Err(StatsError::InvalidParameter("need at least 2 ladder levels".into()));
+            return Err(StatsError::InvalidParameter(
+                "need at least 2 ladder levels".into(),
+            ));
         }
         if self.min_b < 2 || self.max_b < self.min_b {
-            return Err(StatsError::InvalidParameter("need 2 ≤ min_b ≤ max_b".into()));
+            return Err(StatsError::InvalidParameter(
+                "need 2 ≤ min_b ≤ max_b".into(),
+            ));
         }
         Ok(())
     }
 }
+
+/// Result of the sample-size phase: `(n, fit, ladder)`.
+pub type NEstimate = (u64, PowerLawFit, Vec<(u64, f64)>);
 
 /// The outcome of the SSABE procedure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -113,24 +144,28 @@ impl Ssabe {
     /// Phase 1a: grows `B` over the candidate set `{2, …, max_b}` until the cv
     /// estimate stabilises to within τ.  Returns the chosen `B` and the cv
     /// trace.
-    pub fn estimate_b<R: Rng + ?Sized>(
+    pub fn estimate_b(
         &self,
-        rng: &mut R,
+        seed: u64,
         pilot: &[f64],
         estimator: &dyn Estimator,
     ) -> Result<(usize, Vec<f64>)> {
         if pilot.len() < 2 {
             return Err(StatsError::EmptySample);
         }
-        let mut replicates: Vec<f64> = Vec::with_capacity(self.config.max_b);
+        // Replicate i always draws from the stream (b_seed, i), so growing B
+        // extends the replicate set without redrawing the prefix — the same
+        // streams a full parallel bootstrap at any thread count would use.
+        let b_seed = derive_seed(seed, B_PHASE);
+        let mut scratch = Resampler::with_capacity(pilot.len());
+        let mut replicate =
+            |i: usize| scratch.replicate(b_seed, i as u64, pilot, pilot.len(), estimator);
         // Seed with two replicates (cv needs at least two points).
-        for _ in 0..2 {
-            replicates.push(estimator.estimate(&draw_resample(rng, pilot, pilot.len())));
-        }
+        let mut replicates: Vec<f64> = vec![replicate(0), replicate(1)];
         let mut trace = vec![coefficient_of_variation(&replicates)];
         let mut chosen = self.config.max_b;
         for b in 3..=self.config.max_b {
-            replicates.push(estimator.estimate(&draw_resample(rng, pilot, pilot.len())));
+            replicates.push(replicate(b - 1));
             let cv = coefficient_of_variation(&replicates);
             let prev = *trace.last().expect("trace is non-empty");
             trace.push(cv);
@@ -146,13 +181,13 @@ impl Ssabe {
     /// Phase 1b: measures the cv on a nested subsample ladder of the pilot,
     /// fits a power-law curve and solves it for the target error bound σ.
     /// Returns `(n, fit, ladder)`.
-    pub fn estimate_n<R: Rng + ?Sized>(
+    pub fn estimate_n(
         &self,
-        rng: &mut R,
+        seed: u64,
         pilot: &[f64],
         estimator: &dyn Estimator,
         b: usize,
-    ) -> Result<(u64, PowerLawFit, Vec<(u64, f64)>)> {
+    ) -> Result<NEstimate> {
         let n0 = pilot.len();
         if n0 < (1 << self.config.ladder_levels) {
             return Err(StatsError::InvalidParameter(format!(
@@ -162,7 +197,8 @@ impl Ssabe {
         }
         let l = self.config.ladder_levels;
         let mut ladder = Vec::with_capacity(l);
-        let config = BootstrapConfig::with_resamples(b.max(2));
+        let config =
+            BootstrapConfig::with_resamples(b.max(2)).with_parallelism(self.config.parallelism);
         for i in 1..=l {
             // n_i = n0 / 2^(l - i): the smallest subsample first, the full pilot last.
             let ni = n0 >> (l - i);
@@ -170,7 +206,8 @@ impl Ssabe {
                 continue;
             }
             let subsample = &pilot[..ni];
-            let result = bootstrap_distribution(rng, subsample, estimator, &config)?;
+            let level_seed = derive_seed(seed, LADDER_PHASE + i as u64);
+            let result = bootstrap_distribution(level_seed, subsample, estimator, &config)?;
             if result.cv.is_finite() && result.cv > 0.0 {
                 ladder.push((ni as u64, result.cv));
             }
@@ -198,19 +235,27 @@ impl Ssabe {
     /// Runs both phases on a pilot sample drawn from a data set of `total_n`
     /// records and decides whether early approximation is worthwhile
     /// (`B·n < N`).
-    pub fn estimate<R: Rng + ?Sized>(
+    pub fn estimate(
         &self,
-        rng: &mut R,
+        seed: u64,
         pilot: &[f64],
         estimator: &dyn Estimator,
         total_n: u64,
     ) -> Result<SsabeEstimate> {
-        let (b, cv_trace) = self.estimate_b(rng, pilot, estimator)?;
-        let (n, fit, ladder) = self.estimate_n(rng, pilot, estimator, b)?;
+        let (b, cv_trace) = self.estimate_b(seed, pilot, estimator)?;
+        let (n, fit, ladder) = self.estimate_n(seed, pilot, estimator, b)?;
         let n = n.min(total_n.max(1));
         let predicted_cv = fit.predict(n as f64);
         let worthwhile = (b as u64).saturating_mul(n) < total_n;
-        Ok(SsabeEstimate { b, n, predicted_cv, cv_trace, ladder, fit, worthwhile })
+        Ok(SsabeEstimate {
+            b,
+            n,
+            predicted_cv,
+            cv_trace,
+            ladder,
+            fit,
+            worthwhile,
+        })
     }
 }
 
@@ -237,7 +282,9 @@ pub fn theoretical_n_for_mean(data: &[f64], sigma: f64) -> Result<u64> {
     let mean = Mean.estimate(data);
     let sd = StdDev.estimate(data);
     if mean == 0.0 {
-        return Err(StatsError::InvalidParameter("mean of zero has no relative error".into()));
+        return Err(StatsError::InvalidParameter(
+            "mean of zero has no relative error".into(),
+        ));
     }
     Ok(((sd / (mean.abs() * sigma)).powi(2)).ceil().max(1.0) as u64)
 }
@@ -251,15 +298,33 @@ mod tests {
     fn lognormal_ish(n: usize, seed: u64) -> Vec<f64> {
         // Positive, right-skewed data resembling the paper's synthetic sets.
         let mut rng = seeded_rng(seed);
-        (0..n).map(|_| (1.0 + 0.4 * standard_normal(&mut rng)).exp() * 50.0).collect()
+        (0..n)
+            .map(|_| (1.0 + 0.4 * standard_normal(&mut rng)).exp() * 50.0)
+            .collect()
     }
 
     #[test]
     fn config_validation() {
-        assert!(Ssabe::new(SsabeConfig { sigma: 0.0, ..Default::default() }).is_err());
-        assert!(Ssabe::new(SsabeConfig { tau: 0.0, ..Default::default() }).is_err());
-        assert!(Ssabe::new(SsabeConfig { ladder_levels: 1, ..Default::default() }).is_err());
-        assert!(Ssabe::new(SsabeConfig { min_b: 1, ..Default::default() }).is_err());
+        assert!(Ssabe::new(SsabeConfig {
+            sigma: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Ssabe::new(SsabeConfig {
+            tau: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Ssabe::new(SsabeConfig {
+            ladder_levels: 1,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Ssabe::new(SsabeConfig {
+            min_b: 1,
+            ..Default::default()
+        })
+        .is_err());
         assert!(Ssabe::new(SsabeConfig::new(0.05, 0.01)).is_ok());
     }
 
@@ -269,11 +334,15 @@ mod tests {
         // theoretical 1/(2ε₀²) (e.g. 5000 for ε₀ = 0.01).
         let pilot = lognormal_ish(2_000, 1);
         let ssabe = Ssabe::new(SsabeConfig::new(0.05, 0.01)).unwrap();
-        let (b, trace) = ssabe.estimate_b(&mut seeded_rng(2), &pilot, &Mean).unwrap();
+        let (b, trace) = ssabe.estimate_b(2, &pilot, &Mean).unwrap();
         assert!(b >= 5);
         assert!(b <= 100, "empirical B should be small, got {b}");
         assert!((b as u64) < theoretical_b(0.01));
-        assert_eq!(trace.len(), b - 1, "one cv point per candidate B starting at B=2");
+        assert_eq!(
+            trace.len(),
+            b - 1,
+            "one cv point per candidate B starting at B=2"
+        );
     }
 
     #[test]
@@ -281,9 +350,12 @@ mod tests {
         let pilot = lognormal_ish(4_096, 3);
         let loose = Ssabe::new(SsabeConfig::new(0.10, 0.01)).unwrap();
         let tight = Ssabe::new(SsabeConfig::new(0.01, 0.01)).unwrap();
-        let (n_loose, fit, ladder) = loose.estimate_n(&mut seeded_rng(4), &pilot, &Mean, 30).unwrap();
-        let (n_tight, _, _) = tight.estimate_n(&mut seeded_rng(4), &pilot, &Mean, 30).unwrap();
-        assert!(n_tight > n_loose, "a tighter bound needs more data: {n_tight} vs {n_loose}");
+        let (n_loose, fit, ladder) = loose.estimate_n(4, &pilot, &Mean, 30).unwrap();
+        let (n_tight, _, _) = tight.estimate_n(4, &pilot, &Mean, 30).unwrap();
+        assert!(
+            n_tight > n_loose,
+            "a tighter bound needs more data: {n_tight} vs {n_loose}"
+        );
         assert!(fit.b < 0.0, "the error curve must decrease with n");
         assert!(ladder.len() >= 2);
         // The ladder sizes are nested powers of two of the pilot size.
@@ -294,12 +366,16 @@ mod tests {
     fn full_estimate_is_worthwhile_for_big_data_and_not_for_tiny_data() {
         let pilot = lognormal_ish(4_096, 5);
         let ssabe = Ssabe::new(SsabeConfig::new(0.05, 0.01)).unwrap();
-        let big = ssabe.estimate(&mut seeded_rng(6), &pilot, &Mean, 100_000_000).unwrap();
+        let big = ssabe.estimate(6, &pilot, &Mean, 100_000_000).unwrap();
         assert!(big.worthwhile, "sampling must pay off on 10^8 records");
         assert!(big.n < 100_000_000);
-        assert!(big.predicted_cv <= 0.06, "predicted cv {} should be near the bound", big.predicted_cv);
+        assert!(
+            big.predicted_cv <= 0.06,
+            "predicted cv {} should be near the bound",
+            big.predicted_cv
+        );
 
-        let small = ssabe.estimate(&mut seeded_rng(6), &pilot, &Mean, 50).unwrap();
+        let small = ssabe.estimate(6, &pilot, &Mean, 50).unwrap();
         assert!(!small.worthwhile, "B·n ≥ N for a 50-record data set");
         assert!(small.n <= 50, "n is capped at the data size");
     }
@@ -308,7 +384,7 @@ mod tests {
     fn works_for_the_median_too() {
         let pilot = lognormal_ish(2_048, 7);
         let ssabe = Ssabe::new(SsabeConfig::new(0.05, 0.02)).unwrap();
-        let est = ssabe.estimate(&mut seeded_rng(8), &pilot, &Median, 10_000_000).unwrap();
+        let est = ssabe.estimate(8, &pilot, &Median, 10_000_000).unwrap();
         assert!(est.b >= 5);
         assert!(est.n > 0);
         assert!(est.worthwhile);
@@ -319,11 +395,11 @@ mod tests {
         let pilot = lognormal_ish(16, 9);
         let ssabe = Ssabe::new(SsabeConfig::default()).unwrap();
         assert!(matches!(
-            ssabe.estimate_n(&mut seeded_rng(1), &pilot, &Mean, 30),
+            ssabe.estimate_n(1, &pilot, &Mean, 30),
             Err(StatsError::InvalidParameter(_))
         ));
         assert!(matches!(
-            ssabe.estimate_b(&mut seeded_rng(1), &[1.0], &Mean),
+            ssabe.estimate_b(1, &[1.0], &Mean),
             Err(StatsError::EmptySample)
         ));
     }
@@ -334,7 +410,9 @@ mod tests {
         assert_eq!(theoretical_b(0.1), 50);
         assert_eq!(theoretical_b(0.0), u64::MAX);
         // For data with sd/mean = 0.5 and sigma = 0.05, n = (0.5/0.05)^2 = 100.
-        let data: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 50.0 } else { 150.0 }).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 50.0 } else { 150.0 })
+            .collect();
         let n = theoretical_n_for_mean(&data, 0.05).unwrap();
         assert!((95..=105).contains(&n), "expected ≈100, got {n}");
         assert!(theoretical_n_for_mean(&[1.0], 0.05).is_err());

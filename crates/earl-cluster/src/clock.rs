@@ -12,7 +12,9 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// A span of simulated time, stored in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration {
     micros: u64,
 }
@@ -28,12 +30,16 @@ impl SimDuration {
 
     /// Creates a duration from milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        Self { micros: millis * 1_000 }
+        Self {
+            micros: millis * 1_000,
+        }
     }
 
     /// Creates a duration from whole seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        Self { micros: secs * 1_000_000 }
+        Self {
+            micros: secs * 1_000_000,
+        }
     }
 
     /// Creates a duration from fractional seconds, saturating at zero for
@@ -42,7 +48,9 @@ impl SimDuration {
         if !secs.is_finite() || secs <= 0.0 {
             return Self::ZERO;
         }
-        Self { micros: (secs * 1_000_000.0).round() as u64 }
+        Self {
+            micros: (secs * 1_000_000.0).round() as u64,
+        }
     }
 
     /// The duration in microseconds.
@@ -62,12 +70,16 @@ impl SimDuration {
 
     /// Saturating addition.
     pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { micros: self.micros.saturating_add(rhs.micros) }
+        SimDuration {
+            micros: self.micros.saturating_add(rhs.micros),
+        }
     }
 
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { micros: self.micros.saturating_sub(rhs.micros) }
+        SimDuration {
+            micros: self.micros.saturating_sub(rhs.micros),
+        }
     }
 
     /// Multiplies the duration by a non-negative scalar.
@@ -116,7 +128,9 @@ impl fmt::Display for SimDuration {
 }
 
 /// A point in simulated time (microseconds since cluster start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimInstant {
     micros: u64,
 }
@@ -139,7 +153,9 @@ impl SimInstant {
 impl Add<SimDuration> for SimInstant {
     type Output = SimInstant;
     fn add(self, rhs: SimDuration) -> SimInstant {
-        SimInstant { micros: self.micros.saturating_add(rhs.as_micros()) }
+        SimInstant {
+            micros: self.micros.saturating_add(rhs.as_micros()),
+        }
     }
 }
 

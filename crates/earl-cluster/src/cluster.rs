@@ -57,12 +57,19 @@ impl Cluster {
     /// commodity cost model and no failures.  Matches the paper's 5-node setup
     /// when called with `n = 5`.
     pub fn with_nodes(n: u32) -> Self {
-        Self::builder().nodes(n).build().expect("default cluster config is valid")
+        Self::builder()
+            .nodes(n)
+            .build()
+            .expect("default cluster config is valid")
     }
 
     /// A single-node cluster with a free cost model, for unit tests.
     pub fn for_tests() -> Self {
-        Self::builder().nodes(1).cost_model(CostModel::free()).build().expect("valid test cluster")
+        Self::builder()
+            .nodes(1)
+            .cost_model(CostModel::free())
+            .build()
+            .expect("valid test cluster")
     }
 
     // ----- topology -------------------------------------------------------
@@ -74,12 +81,24 @@ impl Cluster {
 
     /// Ids of nodes currently able to run tasks / serve blocks.
     pub fn available_nodes(&self) -> Vec<NodeId> {
-        self.inner.nodes.read().iter().filter(|n| n.is_available()).map(|n| n.id()).collect()
+        self.inner
+            .nodes
+            .read()
+            .iter()
+            .filter(|n| n.is_available())
+            .map(|n| n.id())
+            .collect()
     }
 
     /// Total number of task slots across available nodes.
     pub fn total_task_slots(&self) -> u32 {
-        self.inner.nodes.read().iter().filter(|n| n.is_available()).map(|n| n.task_slots()).sum()
+        self.inner
+            .nodes
+            .read()
+            .iter()
+            .filter(|n| n.is_available())
+            .map(|n| n.task_slots())
+            .sum()
     }
 
     /// Snapshot of a node.
@@ -141,7 +160,9 @@ impl Cluster {
     /// Records that `bytes` of block data were placed on `node`.
     pub fn record_block_stored(&self, node: NodeId, bytes: u64) -> Result<()> {
         let mut nodes = self.inner.nodes.write();
-        let n = nodes.get_mut(node.index()).ok_or(ClusterError::UnknownNode(node))?;
+        let n = nodes
+            .get_mut(node.index())
+            .ok_or(ClusterError::UnknownNode(node))?;
         if !n.is_available() {
             return Err(ClusterError::NodeUnavailable(node));
         }
@@ -152,7 +173,9 @@ impl Cluster {
     /// Records that `bytes` of block data were removed from `node`.
     pub fn record_block_removed(&self, node: NodeId, bytes: u64) -> Result<()> {
         let mut nodes = self.inner.nodes.write();
-        let n = nodes.get_mut(node.index()).ok_or(ClusterError::UnknownNode(node))?;
+        let n = nodes
+            .get_mut(node.index())
+            .ok_or(ClusterError::UnknownNode(node))?;
         n.remove_stored(bytes);
         Ok(())
     }
@@ -160,7 +183,9 @@ impl Cluster {
     /// Records that a task ran on `node`.
     pub fn record_task_on(&self, node: NodeId) -> Result<()> {
         let mut nodes = self.inner.nodes.write();
-        let n = nodes.get_mut(node.index()).ok_or(ClusterError::UnknownNode(node))?;
+        let n = nodes
+            .get_mut(node.index())
+            .ok_or(ClusterError::UnknownNode(node))?;
         if !n.is_available() {
             return Err(ClusterError::NodeUnavailable(node));
         }
@@ -220,7 +245,13 @@ impl Cluster {
 
     /// Charges a network transfer of `bytes` bytes between `from` and `to`
     /// (free if they are the same node).
-    pub fn charge_net_transfer(&self, phase: Phase, from: NodeId, to: NodeId, bytes: u64) -> SimDuration {
+    pub fn charge_net_transfer(
+        &self,
+        phase: Phase,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> SimDuration {
         if from == to {
             return SimDuration::ZERO;
         }
@@ -302,7 +333,9 @@ impl Cluster {
     /// Fails a node immediately (administrative action or test hook).
     pub fn fail_node(&self, id: NodeId) -> Result<()> {
         let mut nodes = self.inner.nodes.write();
-        let n = nodes.get_mut(id.index()).ok_or(ClusterError::UnknownNode(id))?;
+        let n = nodes
+            .get_mut(id.index())
+            .ok_or(ClusterError::UnknownNode(id))?;
         n.fail();
         Ok(())
     }
@@ -311,7 +344,9 @@ impl Cluster {
     /// running tasks and cannot be repaired back into service.
     pub fn decommission_node(&self, id: NodeId) -> Result<()> {
         let mut nodes = self.inner.nodes.write();
-        let n = nodes.get_mut(id.index()).ok_or(ClusterError::UnknownNode(id))?;
+        let n = nodes
+            .get_mut(id.index())
+            .ok_or(ClusterError::UnknownNode(id))?;
         n.decommission();
         Ok(())
     }
@@ -319,9 +354,17 @@ impl Cluster {
     /// Repairs a failed node (it comes back empty).
     pub fn repair_node(&self, id: NodeId) -> Result<()> {
         let mut nodes = self.inner.nodes.write();
-        let n = nodes.get_mut(id.index()).ok_or(ClusterError::UnknownNode(id))?;
+        let n = nodes
+            .get_mut(id.index())
+            .ok_or(ClusterError::UnknownNode(id))?;
         n.repair();
         Ok(())
+    }
+
+    /// Whether the failure injector can still fail nodes in the future.
+    /// `false` means node availability is stable for the rest of the run.
+    pub fn failure_injection_pending(&self) -> bool {
+        self.inner.failures.lock().may_fail()
     }
 
     /// Nodes that have failed so far.
@@ -425,7 +468,9 @@ impl ClusterBuilder {
     /// Builds the cluster.
     pub fn build(self) -> Result<Cluster> {
         if self.num_nodes == 0 {
-            return Err(ClusterError::InvalidConfig("a cluster needs at least one node".into()));
+            return Err(ClusterError::InvalidConfig(
+                "a cluster needs at least one node".into(),
+            ));
         }
         let nodes = (0..self.num_nodes)
             .map(|i| Node::new(NodeId(i), self.task_slots, self.disk_capacity_bytes))
@@ -450,7 +495,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_empty_cluster() {
-        assert!(matches!(Cluster::builder().nodes(0).build(), Err(ClusterError::InvalidConfig(_))));
+        assert!(matches!(
+            Cluster::builder().nodes(0).build(),
+            Err(ClusterError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -475,8 +523,14 @@ mod tests {
     #[test]
     fn intra_node_transfer_is_free() {
         let c = Cluster::with_nodes(2);
-        assert_eq!(c.charge_net_transfer(Phase::Shuffle, NodeId(0), NodeId(0), 1 << 20), SimDuration::ZERO);
-        assert!(c.charge_net_transfer(Phase::Shuffle, NodeId(0), NodeId(1), 1 << 20) > SimDuration::ZERO);
+        assert_eq!(
+            c.charge_net_transfer(Phase::Shuffle, NodeId(0), NodeId(0), 1 << 20),
+            SimDuration::ZERO
+        );
+        assert!(
+            c.charge_net_transfer(Phase::Shuffle, NodeId(0), NodeId(1), 1 << 20)
+                > SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -484,7 +538,11 @@ mod tests {
         let c = Cluster::for_tests();
         let d = c.charge_parallel(
             Phase::Map,
-            &[SimDuration::from_micros(5), SimDuration::from_micros(20), SimDuration::from_micros(1)],
+            &[
+                SimDuration::from_micros(5),
+                SimDuration::from_micros(20),
+                SimDuration::from_micros(1),
+            ],
         );
         assert_eq!(d.as_micros(), 20);
         assert_eq!(c.elapsed().as_micros(), 20);
@@ -505,8 +563,14 @@ mod tests {
         let c = Cluster::with_nodes(2);
         c.fail_node(NodeId(1)).unwrap();
         assert_eq!(c.available_nodes(), vec![NodeId(0)]);
-        assert!(matches!(c.record_block_stored(NodeId(1), 10), Err(ClusterError::NodeUnavailable(_))));
-        assert!(matches!(c.record_task_on(NodeId(1)), Err(ClusterError::NodeUnavailable(_))));
+        assert!(matches!(
+            c.record_block_stored(NodeId(1), 10),
+            Err(ClusterError::NodeUnavailable(_))
+        ));
+        assert!(matches!(
+            c.record_task_on(NodeId(1)),
+            Err(ClusterError::NodeUnavailable(_))
+        ));
         c.repair_node(NodeId(1)).unwrap();
         assert_eq!(c.available_nodes().len(), 2);
     }
@@ -517,7 +581,11 @@ mod tests {
             node: NodeId(1),
             at: SimInstant::EPOCH + SimDuration::from_millis(500),
         }]);
-        let c = Cluster::builder().nodes(3).failure_schedule(schedule).build().unwrap();
+        let c = Cluster::builder()
+            .nodes(3)
+            .failure_schedule(schedule)
+            .build()
+            .unwrap();
         // Charge enough disk time to pass 500ms.
         c.charge_disk_read(Phase::Load, 200 * 1024 * 1024);
         assert!(c.elapsed() > SimDuration::from_millis(500));
@@ -527,8 +595,14 @@ mod tests {
     #[test]
     fn unknown_node_errors() {
         let c = Cluster::with_nodes(1);
-        assert!(matches!(c.node(NodeId(9)), Err(ClusterError::UnknownNode(_))));
-        assert!(matches!(c.fail_node(NodeId(9)), Err(ClusterError::UnknownNode(_))));
+        assert!(matches!(
+            c.node(NodeId(9)),
+            Err(ClusterError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            c.fail_node(NodeId(9)),
+            Err(ClusterError::UnknownNode(_))
+        ));
     }
 
     #[test]
@@ -566,7 +640,13 @@ mod tests {
     fn no_available_nodes_error() {
         let c = Cluster::with_nodes(1);
         c.fail_node(NodeId(0)).unwrap();
-        assert!(matches!(c.random_available_node(), Err(ClusterError::NoAvailableNodes)));
-        assert!(matches!(c.least_loaded_node(), Err(ClusterError::NoAvailableNodes)));
+        assert!(matches!(
+            c.random_available_node(),
+            Err(ClusterError::NoAvailableNodes)
+        ));
+        assert!(matches!(
+            c.least_loaded_node(),
+            Err(ClusterError::NoAvailableNodes)
+        ));
     }
 }

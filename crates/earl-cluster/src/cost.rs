@@ -83,7 +83,9 @@ impl CostModel {
 
     /// Starts a builder initialised to [`CostModel::commodity_2012`].
     pub fn builder() -> CostModelBuilder {
-        CostModelBuilder { model: Self::commodity_2012() }
+        CostModelBuilder {
+            model: Self::commodity_2012(),
+        }
     }
 
     /// Time to sequentially read `bytes` bytes from one disk.
@@ -106,13 +108,21 @@ impl CostModel {
     /// function is flagged as heavy.
     pub fn map_cpu(&self, records: u64, heavy: bool) -> SimDuration {
         let base = self.cpu_per_map_record.mul_f64(records as f64);
-        if heavy { base.mul_f64(self.heavy_cpu_factor) } else { base }
+        if heavy {
+            base.mul_f64(self.heavy_cpu_factor)
+        } else {
+            base
+        }
     }
 
     /// CPU time for `records` reduce invocations.
     pub fn reduce_cpu(&self, records: u64, heavy: bool) -> SimDuration {
         let base = self.cpu_per_reduce_record.mul_f64(records as f64);
-        if heavy { base.mul_f64(self.heavy_cpu_factor) } else { base }
+        if heavy {
+            base.mul_f64(self.heavy_cpu_factor)
+        } else {
+            base
+        }
     }
 
     /// CPU time to sort `records` records (charged as n·log₂(n) comparisons at

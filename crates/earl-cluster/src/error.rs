@@ -36,9 +36,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(ClusterError::UnknownNode(NodeId(2)).to_string(), "unknown node node-2");
-        assert!(ClusterError::NodeUnavailable(NodeId(0)).to_string().contains("unavailable"));
-        assert!(ClusterError::NoAvailableNodes.to_string().contains("no available"));
-        assert!(ClusterError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert_eq!(
+            ClusterError::UnknownNode(NodeId(2)).to_string(),
+            "unknown node node-2"
+        );
+        assert!(ClusterError::NodeUnavailable(NodeId(0))
+            .to_string()
+            .contains("unavailable"));
+        assert!(ClusterError::NoAvailableNodes
+            .to_string()
+            .contains("no available"));
+        assert!(ClusterError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

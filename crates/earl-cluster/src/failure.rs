@@ -108,7 +108,10 @@ impl FailureInjector {
                 }
                 failed
             }
-            FailureSchedule::Stochastic { per_node_probability_per_sec, .. } => {
+            FailureSchedule::Stochastic {
+                per_node_probability_per_sec,
+                ..
+            } => {
                 let window = now.duration_since(window_start);
                 let secs = window.as_secs_f64();
                 if secs <= 0.0 {
@@ -125,6 +128,23 @@ impl FailureInjector {
                 }
                 failed
             }
+        }
+    }
+
+    /// Whether this injector can still fail nodes in the future.  `false`
+    /// guarantees no failure will ever fire again — the condition under which
+    /// the MapReduce engine may run tasks concurrently without losing the
+    /// deterministic failure semantics of the sequential schedule.
+    pub fn may_fail(&self) -> bool {
+        match &self.schedule {
+            FailureSchedule::None => false,
+            FailureSchedule::Deterministic(events) => {
+                events.iter().any(|ev| !self.fired.iter().any(|f| f == ev))
+            }
+            FailureSchedule::Stochastic {
+                per_node_probability_per_sec,
+                ..
+            } => *per_node_probability_per_sec > 0.0,
         }
     }
 
@@ -157,50 +177,74 @@ mod tests {
 
     #[test]
     fn deterministic_schedule_fires_once_in_window() {
-        let ev = FailureEvent { node: NodeId(2), at: SimInstant::EPOCH + SimDuration::from_secs(10) };
+        let ev = FailureEvent {
+            node: NodeId(2),
+            at: SimInstant::EPOCH + SimDuration::from_secs(10),
+        };
         let mut inj = FailureInjector::new(FailureSchedule::Deterministic(vec![ev]));
         // before the event: nothing
-        assert!(inj.poll(SimInstant::EPOCH + SimDuration::from_secs(5), &nodes(5)).is_empty());
+        assert!(inj
+            .poll(SimInstant::EPOCH + SimDuration::from_secs(5), &nodes(5))
+            .is_empty());
         // window containing the event: node 2 fails
         let failed = inj.poll(SimInstant::EPOCH + SimDuration::from_secs(15), &nodes(5));
         assert_eq!(failed, vec![NodeId(2)]);
         // later polls do not re-fire
-        assert!(inj.poll(SimInstant::EPOCH + SimDuration::from_secs(30), &nodes(5)).is_empty());
+        assert!(inj
+            .poll(SimInstant::EPOCH + SimDuration::from_secs(30), &nodes(5))
+            .is_empty());
         assert_eq!(inj.fired_events().len(), 1);
     }
 
     #[test]
     fn deterministic_event_on_unavailable_node_is_consumed_silently() {
-        let ev = FailureEvent { node: NodeId(9), at: SimInstant::EPOCH + SimDuration::from_secs(1) };
+        let ev = FailureEvent {
+            node: NodeId(9),
+            at: SimInstant::EPOCH + SimDuration::from_secs(1),
+        };
         let mut inj = FailureInjector::new(FailureSchedule::Deterministic(vec![ev]));
         let failed = inj.poll(SimInstant::EPOCH + SimDuration::from_secs(2), &nodes(3));
         assert!(failed.is_empty());
-        assert_eq!(inj.fired_events().len(), 1, "event is consumed even if node already gone");
+        assert_eq!(
+            inj.fired_events().len(),
+            1,
+            "event is consumed even if node already gone"
+        );
     }
 
     #[test]
     fn stochastic_high_rate_fails_quickly_and_is_deterministic_per_seed() {
-        let schedule = FailureSchedule::Stochastic { per_node_probability_per_sec: 0.5, seed: 7 };
+        let schedule = FailureSchedule::Stochastic {
+            per_node_probability_per_sec: 0.5,
+            seed: 7,
+        };
         let mut a = FailureInjector::new(schedule.clone());
         let mut b = FailureInjector::new(schedule);
         let t = SimInstant::EPOCH + SimDuration::from_secs(10);
         let fa = a.poll(t, &nodes(20));
         let fb = b.poll(t, &nodes(20));
         assert_eq!(fa, fb, "same seed must produce the same failures");
-        assert!(!fa.is_empty(), "with p=0.5/s over 10s nearly every node should fail");
+        assert!(
+            !fa.is_empty(),
+            "with p=0.5/s over 10s nearly every node should fail"
+        );
     }
 
     #[test]
     fn stochastic_zero_window_fails_nothing() {
-        let mut inj =
-            FailureInjector::new(FailureSchedule::Stochastic { per_node_probability_per_sec: 1.0, seed: 1 });
+        let mut inj = FailureInjector::new(FailureSchedule::Stochastic {
+            per_node_probability_per_sec: 1.0,
+            seed: 1,
+        });
         assert!(inj.poll(SimInstant::EPOCH, &nodes(5)).is_empty());
     }
 
     #[test]
     fn annual_rate_conversion_is_tiny_per_second() {
-        if let FailureSchedule::Stochastic { per_node_probability_per_sec, .. } =
-            FailureSchedule::from_annual_rate(0.03, 1)
+        if let FailureSchedule::Stochastic {
+            per_node_probability_per_sec,
+            ..
+        } = FailureSchedule::from_annual_rate(0.03, 1)
         {
             assert!(per_node_probability_per_sec > 0.0);
             assert!(per_node_probability_per_sec < 1e-8);

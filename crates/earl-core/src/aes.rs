@@ -7,7 +7,6 @@
 //! feeds it either fresh Monte-Carlo resamples or delta-maintained ones.
 
 use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig, BootstrapResult};
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::task::{EarlTask, TaskEstimator};
@@ -55,22 +54,21 @@ impl AccuracyEstimationStage {
     }
 
     /// Runs a fresh Monte-Carlo bootstrap of `task` over `sample` and
-    /// summarises it.  `p` is the sampled fraction used for result correction.
-    pub fn estimate<T: EarlTask, R: Rng + ?Sized>(
+    /// summarises it.  `p` is the sampled fraction used for result correction;
+    /// `parallelism` is the replicate worker count (`None` = all cores, any
+    /// value gives bit-identical results).
+    pub fn estimate<T: EarlTask>(
         &self,
-        rng: &mut R,
+        seed: u64,
         task: &T,
         sample: &[f64],
         p: f64,
         bootstraps: usize,
+        parallelism: Option<usize>,
     ) -> Result<AesReport> {
         let estimator = TaskEstimator::new(task);
-        let result = bootstrap_distribution(
-            rng,
-            sample,
-            &estimator,
-            &BootstrapConfig::with_resamples(bootstraps),
-        )?;
+        let config = BootstrapConfig::with_resamples(bootstraps).with_parallelism(parallelism);
+        let result = bootstrap_distribution(seed, sample, &estimator, &config)?;
         Ok(self.summarise(task, &result, p, sample.len()))
     }
 
@@ -104,18 +102,23 @@ mod tests {
 
     fn sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
         let mut rng = seeded_rng(seed);
-        (0..n).map(|_| mean + sd * standard_normal(&mut rng)).collect()
+        (0..n)
+            .map(|_| mean + sd * standard_normal(&mut rng))
+            .collect()
     }
 
     #[test]
     fn estimate_reports_cv_and_corrected_result() {
         let aes = AccuracyEstimationStage::new(0.05);
         let data = sample(1_000, 200.0, 20.0, 1);
-        let report = aes.estimate(&mut seeded_rng(2), &MeanTask, &data, 0.01, 40).unwrap();
+        let report = aes.estimate(2, &MeanTask, &data, 0.01, 40, None).unwrap();
         assert_eq!(report.bootstraps, 40);
         assert_eq!(report.sample_size, 1_000);
         assert!((report.result - 200.0).abs() < 3.0);
-        assert_eq!(report.result, report.corrected_result, "mean needs no correction");
+        assert_eq!(
+            report.result, report.corrected_result,
+            "mean needs no correction"
+        );
         assert!(report.cv < 0.01, "cv of the mean of 1000 points is tiny");
         assert!(aes.meets_bound(report.cv));
         assert!(report.ci.0 < report.result && report.result < report.ci.1);
@@ -125,7 +128,7 @@ mod tests {
     fn sum_task_is_scaled_by_one_over_p() {
         let aes = AccuracyEstimationStage::new(0.05);
         let data = sample(500, 10.0, 1.0, 3);
-        let report = aes.estimate(&mut seeded_rng(4), &SumTask, &data, 0.1, 30).unwrap();
+        let report = aes.estimate(4, &SumTask, &data, 0.1, 30, None).unwrap();
         assert!((report.corrected_result - report.result * 10.0).abs() < 1e-6);
         assert!(report.ci.1 > report.ci.0);
     }
@@ -135,14 +138,18 @@ mod tests {
         let aes = AccuracyEstimationStage::new(0.01);
         // A tiny, highly dispersed sample cannot achieve a 1% bound.
         let data = sample(20, 10.0, 8.0, 5);
-        let report = aes.estimate(&mut seeded_rng(6), &MedianTask, &data, 1.0, 50).unwrap();
-        assert!(!aes.meets_bound(report.cv), "cv {} should exceed 0.01", report.cv);
+        let report = aes.estimate(6, &MedianTask, &data, 1.0, 50, None).unwrap();
+        assert!(
+            !aes.meets_bound(report.cv),
+            "cv {} should exceed 0.01",
+            report.cv
+        );
         assert!(!aes.meets_bound(f64::NAN));
     }
 
     #[test]
     fn empty_sample_is_an_error() {
         let aes = AccuracyEstimationStage::new(0.05);
-        assert!(aes.estimate(&mut seeded_rng(7), &MeanTask, &[], 1.0, 30).is_err());
+        assert!(aes.estimate(7, &MeanTask, &[], 1.0, 30, None).is_err());
     }
 }

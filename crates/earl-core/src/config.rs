@@ -57,6 +57,10 @@ pub struct EarlConfig {
     pub delta_maintenance: bool,
     /// RNG seed controlling sampling and resampling.
     pub seed: u64,
+    /// Worker threads used for bootstrap replicate evaluation and MapReduce
+    /// task execution (`None` = one per available core).  Any value produces
+    /// bit-identical results; the knob only trades wall-clock time.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for EarlConfig {
@@ -73,6 +77,7 @@ impl Default for EarlConfig {
             sampling: SamplingMethod::PreMap,
             delta_maintenance: true,
             seed: 0xEA21,
+            parallelism: None,
         }
     }
 }
@@ -81,7 +86,10 @@ impl EarlConfig {
     /// A configuration with the given error bound and all other knobs at their
     /// defaults.
     pub fn with_sigma(sigma: f64) -> Self {
-        Self { sigma, ..Self::default() }
+        Self {
+            sigma,
+            ..Self::default()
+        }
     }
 
     /// Validates the configuration.
@@ -89,17 +97,23 @@ impl EarlConfig {
         if !(self.sigma > 0.0 && self.sigma < 1.0) {
             return Err(EarlError::InvalidConfig("sigma must be in (0, 1)".into()));
         }
-        if !(self.tau > 0.0) {
+        if self.tau <= 0.0 || self.tau.is_nan() {
             return Err(EarlError::InvalidConfig("tau must be > 0".into()));
         }
         if !(self.pilot_fraction > 0.0 && self.pilot_fraction <= 1.0) {
-            return Err(EarlError::InvalidConfig("pilot_fraction must be in (0, 1]".into()));
+            return Err(EarlError::InvalidConfig(
+                "pilot_fraction must be in (0, 1]".into(),
+            ));
         }
         if self.max_iterations == 0 {
-            return Err(EarlError::InvalidConfig("max_iterations must be ≥ 1".into()));
+            return Err(EarlError::InvalidConfig(
+                "max_iterations must be ≥ 1".into(),
+            ));
         }
-        if !(self.expansion_factor > 1.0) {
-            return Err(EarlError::InvalidConfig("expansion_factor must be > 1".into()));
+        if self.expansion_factor <= 1.0 || self.expansion_factor.is_nan() {
+            return Err(EarlError::InvalidConfig(
+                "expansion_factor must be > 1".into(),
+            ));
         }
         if let Some(b) = self.bootstraps {
             if b < 2 {
@@ -121,20 +135,66 @@ mod tests {
         assert_eq!(c.pilot_fraction, 0.01);
         assert_eq!(c.sampling, SamplingMethod::PreMap);
         assert!(c.delta_maintenance);
+        assert_eq!(c.parallelism, None, "default is one worker per core");
         assert!(c.validate().is_ok());
     }
 
     #[test]
     fn validation_rejects_bad_values() {
-        assert!(EarlConfig { sigma: 0.0, ..Default::default() }.validate().is_err());
-        assert!(EarlConfig { sigma: 1.5, ..Default::default() }.validate().is_err());
-        assert!(EarlConfig { tau: 0.0, ..Default::default() }.validate().is_err());
-        assert!(EarlConfig { pilot_fraction: 0.0, ..Default::default() }.validate().is_err());
-        assert!(EarlConfig { pilot_fraction: 1.5, ..Default::default() }.validate().is_err());
-        assert!(EarlConfig { max_iterations: 0, ..Default::default() }.validate().is_err());
-        assert!(EarlConfig { expansion_factor: 1.0, ..Default::default() }.validate().is_err());
-        assert!(EarlConfig { bootstraps: Some(1), ..Default::default() }.validate().is_err());
-        assert!(EarlConfig { bootstraps: Some(30), ..Default::default() }.validate().is_ok());
+        assert!(EarlConfig {
+            sigma: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EarlConfig {
+            sigma: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EarlConfig {
+            tau: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EarlConfig {
+            pilot_fraction: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EarlConfig {
+            pilot_fraction: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EarlConfig {
+            max_iterations: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EarlConfig {
+            expansion_factor: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EarlConfig {
+            bootstraps: Some(1),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EarlConfig {
+            bootstraps: Some(30),
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
         assert!(EarlConfig::with_sigma(0.02).validate().is_ok());
     }
 }

@@ -17,14 +17,20 @@
 
 use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig, BootstrapResult};
 use earl_bootstrap::delta::{IncrementalBootstrap, SketchConfig};
+use earl_bootstrap::rng::derive_seed;
 use earl_bootstrap::ssabe::{Ssabe, SsabeConfig};
 use earl_cluster::Phase;
 use earl_dfs::{Dfs, DfsPath};
 use earl_mapreduce::{
     ErrorReport, InputSource, JobConf, MapContext, Mapper, PipelinedSession, ReduceContext, Reducer,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+/// Sub-seed stream of the SSABE pilot estimation.
+const SSABE_STREAM: u64 = 1;
+/// Sub-seed stream of the delta-maintained resamples.
+const DELTA_STREAM: u64 = 2;
+/// Sub-seed stream base of per-iteration fresh bootstraps (non-delta mode).
+const FRESH_STREAM: u64 = 16;
 
 use crate::aes::AccuracyEstimationStage;
 use crate::config::{EarlConfig, SamplingMethod};
@@ -147,16 +153,20 @@ impl EarlDriver {
         let cluster = self.dfs.cluster().clone();
         let start_time = cluster.elapsed();
         let start_bytes = cluster.metrics().snapshot().total_disk_bytes_read();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let seed = self.config.seed;
 
         // ---- sampler --------------------------------------------------------
         let mut sampler = match self.config.sampling {
-            SamplingMethod::PreMap => {
-                Sampler::Pre(PreMapSampler::new(self.dfs.clone(), path.clone(), self.config.seed)?)
-            }
-            SamplingMethod::PostMap => {
-                Sampler::Post(PostMapSampler::new(self.dfs.clone(), path.clone(), self.config.seed)?)
-            }
+            SamplingMethod::PreMap => Sampler::Pre(PreMapSampler::new(
+                self.dfs.clone(),
+                path.clone(),
+                self.config.seed,
+            )?),
+            SamplingMethod::PostMap => Sampler::Post(PostMapSampler::new(
+                self.dfs.clone(),
+                path.clone(),
+                self.config.seed,
+            )?),
         };
 
         // ---- pilot + SSABE (phase 1, run in local mode) ----------------------
@@ -165,37 +175,48 @@ impl EarlDriver {
             .min(population) as usize;
         let pilot_batch = sampler.draw(pilot_target)?;
         let mut records: Vec<(u64, String)> = pilot_batch.records;
-        let mut values: Vec<f64> =
-            records.iter().filter_map(|(_, line)| task.extract(line)).collect();
+        let mut values: Vec<f64> = records
+            .iter()
+            .filter_map(|(_, line)| task.extract(line))
+            .collect();
         if values.is_empty() {
             return Err(EarlError::NoUsableRecords);
         }
 
         let estimator = TaskEstimator::new(task);
-        let (bootstraps, target_n, worthwhile) = match (self.config.bootstraps, self.config.sample_size) {
-            (Some(b), Some(n)) => (b, n.min(population), (b as u64) * n < population),
-            _ => {
-                let ssabe = Ssabe::new(SsabeConfig::new(self.config.sigma, self.config.tau))
-                    .map_err(EarlError::Stats)?;
-                match ssabe.estimate(&mut rng, &values, &estimator, population) {
-                    Ok(est) => {
-                        // SSABE runs in local mode on one machine: charge its
-                        // resampling CPU to the accuracy-estimation phase.
-                        cluster.charge_reduce_cpu(
-                            Phase::AccuracyEstimation,
-                            (est.b * values.len()) as u64,
-                            task.is_heavy(),
-                        );
-                        let b = self.config.bootstraps.unwrap_or(est.b);
-                        let n = self.config.sample_size.unwrap_or(est.n).min(population);
-                        (b, n, est.worthwhile)
+        let (bootstraps, target_n, worthwhile) =
+            match (self.config.bootstraps, self.config.sample_size) {
+                (Some(b), Some(n)) => (b, n.min(population), (b as u64) * n < population),
+                _ => {
+                    let ssabe_config = SsabeConfig {
+                        parallelism: self.config.parallelism,
+                        ..SsabeConfig::new(self.config.sigma, self.config.tau)
+                    };
+                    let ssabe = Ssabe::new(ssabe_config).map_err(EarlError::Stats)?;
+                    match ssabe.estimate(
+                        derive_seed(seed, SSABE_STREAM),
+                        &values,
+                        &estimator,
+                        population,
+                    ) {
+                        Ok(est) => {
+                            // SSABE runs in local mode on one machine: charge its
+                            // resampling CPU to the accuracy-estimation phase.
+                            cluster.charge_reduce_cpu(
+                                Phase::AccuracyEstimation,
+                                (est.b * values.len()) as u64,
+                                task.is_heavy(),
+                            );
+                            let b = self.config.bootstraps.unwrap_or(est.b);
+                            let n = self.config.sample_size.unwrap_or(est.n).min(population);
+                            (b, n, est.worthwhile)
+                        }
+                        // Pilot too small for the ladder fit (tiny files): sampling
+                        // will not pay off anyway.
+                        Err(_) => (30, population, false),
                     }
-                    // Pilot too small for the ladder fit (tiny files): sampling
-                    // will not pay off anyway.
-                    Err(_) => (30, population, false),
                 }
-            }
-        };
+            };
 
         if !worthwhile {
             return self.run_exact(path, task);
@@ -225,8 +246,11 @@ impl EarlDriver {
                     // is effectively the whole usable population.
                     exhausted = true;
                 } else {
-                    delta_values =
-                        batch.records.iter().filter_map(|(_, line)| task.extract(line)).collect();
+                    delta_values = batch
+                        .records
+                        .iter()
+                        .filter_map(|(_, line)| task.extract(line))
+                        .collect();
                     records.extend(batch.records);
                     values.extend(delta_values.iter().copied());
                 }
@@ -234,7 +258,11 @@ impl EarlDriver {
 
             // Run the user's job on the current sample through the MapReduce
             // engine (tasks are reused across iterations — pipelining §2.1).
-            let conf = JobConf::new(format!("earl-{}", task.name()), InputSource::Memory(records.clone()));
+            let conf = JobConf::new(
+                format!("earl-{}", task.name()),
+                InputSource::Memory(records.clone()),
+            )
+            .with_parallelism(self.config.parallelism);
             let mapper = TaskMapper::new(task);
             let reducer = TaskReducer::new(task);
             session.run_iteration(&conf, &mapper, &reducer)?;
@@ -243,9 +271,14 @@ impl EarlDriver {
             let (bootstrap_result, aes_records) = if self.config.delta_maintenance {
                 match incremental.as_mut() {
                     None => {
-                        let ib =
-                            IncrementalBootstrap::new(&mut rng, &values, bootstraps, SketchConfig::default())
-                                .map_err(EarlError::Stats)?;
+                        let ib = IncrementalBootstrap::new(
+                            derive_seed(seed, DELTA_STREAM),
+                            &values,
+                            bootstraps,
+                            SketchConfig::default(),
+                        )
+                        .map_err(EarlError::Stats)?
+                        .with_parallelism(self.config.parallelism);
                         let touched = (bootstraps * values.len()) as u64;
                         let result = ib.evaluate(&estimator);
                         incremental = Some(ib);
@@ -255,25 +288,32 @@ impl EarlDriver {
                         let touched = if delta_values.is_empty() {
                             0
                         } else {
-                            ib.expand(&mut rng, &delta_values).map_err(EarlError::Stats)?.items_touched
+                            ib.expand(&delta_values)
+                                .map_err(EarlError::Stats)?
+                                .items_touched
                         };
                         (ib.evaluate(&estimator), touched)
                     }
                 }
             } else {
                 let result = bootstrap_distribution(
-                    &mut rng,
+                    derive_seed(seed, FRESH_STREAM + iterations as u64),
                     &values,
                     &estimator,
-                    &BootstrapConfig::with_resamples(bootstraps),
+                    &BootstrapConfig::with_resamples(bootstraps)
+                        .with_parallelism(self.config.parallelism),
                 )
                 .map_err(EarlError::Stats)?;
-                ((bootstraps * values.len()) as u64).pipe(|records| (result, records))
+                (result, (bootstraps * values.len()) as u64)
             };
             cluster.charge_reduce_cpu(Phase::AccuracyEstimation, aes_records, task.is_heavy());
 
             // Post the error on the reducer→mapper feedback channel (§3.3).
-            feedback.post(ErrorReport { reducer: 0, error: bootstrap_result.cv, timestamp: cluster.now() });
+            feedback.post(ErrorReport {
+                reducer: 0,
+                error: bootstrap_result.cv,
+                timestamp: cluster.now(),
+            });
 
             let cv = bootstrap_result.cv;
             last_bootstrap = Some(bootstrap_result);
@@ -296,7 +336,11 @@ impl EarlDriver {
         let aes_report = aes.summarise(task, &bootstrap_result, sampled_fraction, values.len());
         let report = EarlReport {
             task: task.name().to_owned(),
-            result: if exact { task.evaluate(&values) } else { aes_report.corrected_result },
+            result: if exact {
+                task.evaluate(&values)
+            } else {
+                aes_report.corrected_result
+            },
             uncorrected_result: aes_report.result,
             error_estimate: if exact { 0.0 } else { aes_report.cv },
             target_sigma: self.config.sigma,
@@ -330,11 +374,16 @@ impl EarlDriver {
         let start_time = cluster.elapsed();
         let start_bytes = cluster.metrics().snapshot().total_disk_bytes_read();
 
-        let conf = JobConf::new(format!("exact-{}", task.name()), InputSource::Path(path));
+        let conf = JobConf::new(format!("exact-{}", task.name()), InputSource::Path(path))
+            .with_parallelism(self.config.parallelism);
         let mapper = TaskMapper::new(task);
         let reducer = TaskReducer::new(task);
         let result = earl_mapreduce::run_job(&self.dfs, &conf, &mapper, &reducer)?;
-        let value = result.outputs.first().copied().ok_or(EarlError::NoUsableRecords)?;
+        let value = result
+            .outputs
+            .first()
+            .copied()
+            .ok_or(EarlError::NoUsableRecords)?;
 
         Ok(EarlReport {
             task: task.name().to_owned(),
@@ -357,14 +406,6 @@ impl EarlDriver {
     }
 }
 
-/// Tiny `pipe` helper so the non-delta branch reads naturally.
-trait Pipe: Sized {
-    fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
-        f(self)
-    }
-}
-impl<T> Pipe for T {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,8 +415,20 @@ mod tests {
     use earl_workload::{DatasetBuilder, DatasetSpec};
 
     fn dfs(nodes: u32) -> Dfs {
-        let cluster = Cluster::builder().nodes(nodes).cost_model(CostModel::commodity_2012()).build().unwrap();
-        Dfs::new(cluster, DfsConfig { block_size: 1 << 16, replication: 2, io_chunk: 128 }).unwrap()
+        let cluster = Cluster::builder()
+            .nodes(nodes)
+            .cost_model(CostModel::commodity_2012())
+            .build()
+            .unwrap();
+        Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 1 << 16,
+                replication: 2,
+                io_chunk: 128,
+            },
+        )
+        .unwrap()
     }
 
     fn build(dfs: &Dfs, records: u64, seed: u64) -> earl_workload::dataset::GeneratedDataset {
@@ -390,9 +443,16 @@ mod tests {
         let ds = build(&dfs, 50_000, 1);
         let driver = EarlDriver::new(dfs, EarlConfig::default());
         let report = driver.run("/data", &MeanTask).unwrap();
-        assert!(!report.exact, "50k records at σ=5% must not require exact execution");
+        assert!(
+            !report.exact,
+            "50k records at σ=5% must not require exact execution"
+        );
         assert!(report.meets_bound());
-        assert!(report.sample_fraction < 0.25, "sample fraction {} should be small", report.sample_fraction);
+        assert!(
+            report.sample_fraction < 0.25,
+            "sample fraction {} should be small",
+            report.sample_fraction
+        );
         assert!(
             report.relative_error_vs(ds.true_mean) < 0.05,
             "result {} vs truth {}",
@@ -453,7 +513,10 @@ mod tests {
             "corrected sum {} vs truth {truth}",
             report.result
         );
-        assert!(report.result > report.uncorrected_result, "sum must be scaled up by 1/p");
+        assert!(
+            report.result > report.uncorrected_result,
+            "sum must be scaled up by 1/p"
+        );
     }
 
     #[test]
@@ -461,7 +524,10 @@ mod tests {
         let dfs = dfs(3);
         let ds = build(&dfs, 30_000, 5);
         for delta in [true, false] {
-            let config = EarlConfig { delta_maintenance: delta, ..EarlConfig::default() };
+            let config = EarlConfig {
+                delta_maintenance: delta,
+                ..EarlConfig::default()
+            };
             let driver = EarlDriver::new(dfs.clone(), config);
             let report = driver.run("/data", &MedianTask).unwrap();
             assert!(report.meets_bound());
@@ -485,7 +551,9 @@ mod tests {
         let loose = EarlDriver::new(dfs.clone(), EarlConfig::with_sigma(0.10))
             .run("/data", &MeanTask)
             .unwrap();
-        let tight = EarlDriver::new(dfs, EarlConfig::with_sigma(0.01)).run("/data", &MeanTask).unwrap();
+        let tight = EarlDriver::new(dfs, EarlConfig::with_sigma(0.01))
+            .run("/data", &MeanTask)
+            .unwrap();
         assert!(
             tight.sample_size > loose.sample_size,
             "σ=1% sample {} must exceed σ=10% sample {}",
@@ -498,7 +566,10 @@ mod tests {
     fn post_map_sampling_also_works() {
         let dfs = dfs(3);
         let ds = build(&dfs, 20_000, 7);
-        let config = EarlConfig { sampling: SamplingMethod::PostMap, ..EarlConfig::default() };
+        let config = EarlConfig {
+            sampling: SamplingMethod::PostMap,
+            ..EarlConfig::default()
+        };
         let driver = EarlDriver::new(dfs, config);
         let report = driver.run("/data", &MeanTask).unwrap();
         assert!(report.meets_bound());
@@ -524,11 +595,27 @@ mod tests {
     fn missing_file_and_unparsable_data_error() {
         let dfs = dfs(2);
         let driver = EarlDriver::new(dfs.clone(), EarlConfig::default());
-        assert!(matches!(driver.run("/missing", &MeanTask), Err(EarlError::Dfs(_))));
-        dfs.write_lines("/text", (0..1000).map(|i| format!("word-{i}"))).unwrap();
-        assert!(matches!(driver.run("/text", &MeanTask), Err(EarlError::NoUsableRecords)));
-        let invalid = EarlDriver::new(dfs, EarlConfig { sigma: 2.0, ..EarlConfig::default() });
-        assert!(matches!(invalid.run("/text", &MeanTask), Err(EarlError::InvalidConfig(_))));
+        assert!(matches!(
+            driver.run("/missing", &MeanTask),
+            Err(EarlError::Dfs(_))
+        ));
+        dfs.write_lines("/text", (0..1000).map(|i| format!("word-{i}")))
+            .unwrap();
+        assert!(matches!(
+            driver.run("/text", &MeanTask),
+            Err(EarlError::NoUsableRecords)
+        ));
+        let invalid = EarlDriver::new(
+            dfs,
+            EarlConfig {
+                sigma: 2.0,
+                ..EarlConfig::default()
+            },
+        );
+        assert!(matches!(
+            invalid.run("/text", &MeanTask),
+            Err(EarlError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -536,7 +623,9 @@ mod tests {
         let make = || {
             let dfs = dfs(3);
             build(&dfs, 20_000, 11);
-            EarlDriver::new(dfs, EarlConfig::default()).run("/data", &MeanTask).unwrap()
+            EarlDriver::new(dfs, EarlConfig::default())
+                .run("/data", &MeanTask)
+                .unwrap()
         };
         let a = make();
         let b = make();

@@ -88,6 +88,8 @@ mod tests {
         let e: EarlError = StatsError::EmptySample.into();
         assert!(e.to_string().contains("statistics"));
         assert!(EarlError::NoUsableRecords.to_string().contains("parsed"));
-        assert!(EarlError::InvalidConfig("sigma".into()).to_string().contains("sigma"));
+        assert!(EarlError::InvalidConfig("sigma".into())
+            .to_string()
+            .contains("sigma"));
     }
 }

@@ -12,8 +12,6 @@
 use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig};
 use earl_cluster::Phase;
 use earl_dfs::{Dfs, DfsPath};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::config::EarlConfig;
 use crate::error::EarlError;
@@ -65,14 +63,10 @@ pub fn run_despite_failures<T: EarlTask>(
     let p = (surviving.len() as f64 / population as f64).clamp(0.0, 1.0);
     let bootstraps = config.bootstraps.unwrap_or(30).max(2);
     let estimator = TaskEstimator::new(task);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let bootstrap = bootstrap_distribution(
-        &mut rng,
-        &surviving,
-        &estimator,
-        &BootstrapConfig::with_resamples(bootstraps),
-    )
-    .map_err(EarlError::Stats)?;
+    let bootstrap_config =
+        BootstrapConfig::with_resamples(bootstraps).with_parallelism(config.parallelism);
+    let bootstrap = bootstrap_distribution(config.seed, &surviving, &estimator, &bootstrap_config)
+        .map_err(EarlError::Stats)?;
     cluster.charge_reduce_cpu(
         Phase::AccuracyEstimation,
         (bootstraps * surviving.len()) as u64,
@@ -110,10 +104,18 @@ mod tests {
     use earl_workload::{DatasetBuilder, DatasetSpec};
 
     fn setup(replication: u32) -> (Dfs, f64) {
-        let cluster = Cluster::builder().nodes(4).cost_model(CostModel::free()).build().unwrap();
+        let cluster = Cluster::builder()
+            .nodes(4)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
         let dfs = Dfs::new(
             cluster,
-            DfsConfig { block_size: 2048, replication, io_chunk: 256 },
+            DfsConfig {
+                block_size: 2048,
+                replication,
+                io_chunk: 256,
+            },
         )
         .unwrap();
         let ds = DatasetBuilder::new(dfs.clone())
@@ -138,7 +140,10 @@ mod tests {
         dfs.cluster().fail_node(NodeId(0)).unwrap();
         dfs.cluster().fail_node(NodeId(1)).unwrap();
         let report = run_despite_failures(&dfs, "/ft", &MeanTask, &EarlConfig::default()).unwrap();
-        assert!(report.sample_fraction < 1.0, "some data must have been lost");
+        assert!(
+            report.sample_fraction < 1.0,
+            "some data must have been lost"
+        );
         assert!(report.sample_fraction > 0.0);
         assert!(!report.exact);
         assert!(report.error_estimate > 0.0);

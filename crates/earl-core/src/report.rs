@@ -65,9 +65,16 @@ impl EarlReport {
 impl fmt::Display for EarlReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "EARL report for task `{}`", self.task)?;
-        writeln!(f, "  result            : {:.6} (uncorrected {:.6})", self.result, self.uncorrected_result)?;
+        writeln!(
+            f,
+            "  result            : {:.6} (uncorrected {:.6})",
+            self.result, self.uncorrected_result
+        )?;
         if self.exact {
-            writeln!(f, "  accuracy          : exact (computed over the full data set)")?;
+            writeln!(
+                f,
+                "  accuracy          : exact (computed over the full data set)"
+            )?;
         } else {
             writeln!(
                 f,

@@ -21,7 +21,10 @@ pub struct SumState {
 
 impl SumState {
     fn from_values(values: &[f64]) -> Self {
-        Self { count: values.len() as u64, sum: values.iter().sum() }
+        Self {
+            count: values.len() as u64,
+            sum: values.iter().sum(),
+        }
     }
 
     fn merge(&mut self, other: &SumState) {
@@ -137,7 +140,11 @@ mod tests {
         let sum = SumTask;
         assert_eq!(sum.evaluate(&[1.0, 2.0, 3.0]), 6.0);
         assert_eq!(sum.correct(6.0, 0.01), 600.0);
-        assert_eq!(sum.correct(6.0, 0.0), 6.0, "degenerate p leaves the value alone");
+        assert_eq!(
+            sum.correct(6.0, 0.0),
+            6.0,
+            "degenerate p leaves the value alone"
+        );
 
         let count = CountTask;
         assert_eq!(count.evaluate(&[9.0, 9.0, 9.0, 9.0]), 4.0);

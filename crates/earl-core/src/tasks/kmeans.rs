@@ -45,7 +45,13 @@ pub struct KmeansConfig {
 
 impl Default for KmeansConfig {
     fn default() -> Self {
-        Self { k: 8, max_iterations: 20, tolerance: 1e-3, seed: 0x4B, restarts: 3 }
+        Self {
+            k: 8,
+            max_iterations: 20,
+            tolerance: 1e-3,
+            seed: 0x4B,
+            restarts: 3,
+        }
     }
 }
 
@@ -112,8 +118,10 @@ fn kmeans_plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
     while centroids.len() < k {
-        let distances: Vec<f64> =
-            points.iter().map(|p| nearest_centroid(p, &centroids).1).collect();
+        let distances: Vec<f64> = points
+            .iter()
+            .map(|p| nearest_centroid(p, &centroids).1)
+            .collect();
         let total: f64 = distances.iter().sum();
         let chosen = if total <= 0.0 {
             rng.gen_range(0..points.len())
@@ -186,7 +194,11 @@ fn lloyd_once(points: &[Vec<f64>], config: &KmeansConfig, rng: &mut StdRng) -> K
             centroids[i] = new;
         }
         if movement < config.tolerance || iterations >= config.max_iterations {
-            return KmeansModel { centroids, wcss, iterations };
+            return KmeansModel {
+                centroids,
+                wcss,
+                iterations,
+            };
         }
     }
 }
@@ -215,7 +227,12 @@ pub fn centroid_match_error(found: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
     };
     let total: f64 = truth
         .iter()
-        .map(|t| found.iter().map(|f| squared_distance(t, f).sqrt()).fold(f64::INFINITY, f64::min))
+        .map(|t| {
+            found
+                .iter()
+                .map(|f| squared_distance(t, f).sqrt())
+                .fold(f64::INFINITY, f64::min)
+        })
         .sum();
     total / truth.len() as f64 / spread
 }
@@ -248,7 +265,12 @@ impl Reducer for RecomputeReducer {
     type InKey = u32;
     type InValue = (Vec<f64>, u64);
     type Output = (u32, Vec<f64>);
-    fn reduce(&self, key: &u32, values: &[(Vec<f64>, u64)], ctx: &mut ReduceContext<(u32, Vec<f64>)>) {
+    fn reduce(
+        &self,
+        key: &u32,
+        values: &[(Vec<f64>, u64)],
+        ctx: &mut ReduceContext<(u32, Vec<f64>)>,
+    ) {
         let dims = values.first().map(|(p, _)| p.len()).unwrap_or(0);
         let mut sum = vec![0.0; dims];
         let mut count = 0u64;
@@ -282,9 +304,13 @@ pub fn exact_kmeans_mapreduce(
     // Initial centroids: k-means++ seeding over a small pre-map sample of the
     // points (sample-based seeding is standard practice for MapReduce K-Means).
     let seed_count = (config.k * 25).max(200);
-    let seed_batch = earl_sampling::premap::premap_sample(dfs, path.clone(), seed_count, config.seed)?;
-    let seed_points: Vec<Vec<f64>> =
-        seed_batch.records.iter().filter_map(|(_, l)| parse_point(l)).collect();
+    let seed_batch =
+        earl_sampling::premap::premap_sample(dfs, path.clone(), seed_count, config.seed)?;
+    let seed_points: Vec<Vec<f64>> = seed_batch
+        .records
+        .iter()
+        .filter_map(|(_, l)| parse_point(l))
+        .collect();
     if seed_points.len() < config.k {
         return Err(EarlError::InvalidConfig(format!(
             "could not draw {} initial centroids from {path}",
@@ -297,8 +323,13 @@ pub fn exact_kmeans_mapreduce(
     let mut iterations = 0;
     loop {
         iterations += 1;
-        let conf = JobConf::new(format!("kmeans-iter-{iterations}"), InputSource::Path(path.clone()));
-        let mapper = AssignMapper { centroids: centroids.clone() };
+        let conf = JobConf::new(
+            format!("kmeans-iter-{iterations}"),
+            InputSource::Path(path.clone()),
+        );
+        let mapper = AssignMapper {
+            centroids: centroids.clone(),
+        };
         let result = earl_mapreduce::run_job(dfs, &conf, &mapper, &RecomputeReducer)?;
         let mut movement = 0.0;
         for (idx, new_centroid) in result.outputs {
@@ -315,10 +346,19 @@ pub fn exact_kmeans_mapreduce(
 
     // Final WCSS pass (one more scan, as stock Hadoop would do to score the model).
     let conf = JobConf::new("kmeans-score", InputSource::Path(path.clone()));
-    let scorer = WcssMapper { centroids: centroids.clone() };
+    let scorer = WcssMapper {
+        centroids: centroids.clone(),
+    };
     let score = earl_mapreduce::run_job(dfs, &conf, &scorer, &SumReducer)?;
     let wcss = score.outputs.first().copied().unwrap_or(f64::NAN);
-    Ok((KmeansModel { centroids, wcss, iterations }, cluster.elapsed() - start))
+    Ok((
+        KmeansModel {
+            centroids,
+            wcss,
+            iterations,
+        },
+        cluster.elapsed() - start,
+    ))
 }
 
 struct WcssMapper {
@@ -377,7 +417,9 @@ pub fn approximate_kmeans(
     let bootstraps = earl_config.bootstraps.unwrap_or(10).max(2);
     let mut target = earl_config
         .sample_size
-        .unwrap_or_else(|| ((population as f64 * 0.02).ceil() as u64).max(earl_config.min_pilot * 2))
+        .unwrap_or_else(|| {
+            ((population as f64 * 0.02).ceil() as u64).max(earl_config.min_pilot * 2)
+        })
         .min(population);
 
     let mut points: Vec<Vec<f64>> = Vec::new();
@@ -409,7 +451,11 @@ pub fn approximate_kmeans(
                 lloyd(&resample, kmeans_config).map(|m| m.cost_per_point(resample.len()))
             })
             .collect::<Result<Vec<f64>>>()?;
-        cluster.charge_reduce_cpu(Phase::AccuracyEstimation, (bootstraps * points.len()) as u64, true);
+        cluster.charge_reduce_cpu(
+            Phase::AccuracyEstimation,
+            (bootstraps * points.len()) as u64,
+            true,
+        );
         cost_cv = coefficient_of_variation(&costs);
 
         let done = (cost_cv.is_finite() && cost_cv <= earl_config.sigma)
@@ -425,7 +471,8 @@ pub fn approximate_kmeans(
                 sim_time: cluster.elapsed() - start,
             });
         }
-        target = ((points.len() as f64 * earl_config.expansion_factor).ceil() as u64).min(population);
+        target =
+            ((points.len() as f64 * earl_config.expansion_factor).ceil() as u64).min(population);
     }
 }
 
@@ -437,8 +484,20 @@ mod tests {
     use earl_workload::{KmeansDataset, KmeansSpec};
 
     fn kmeans_dfs(points: u64, k: usize, seed: u64) -> (Dfs, KmeansDataset) {
-        let cluster = Cluster::builder().nodes(5).cost_model(CostModel::commodity_2012()).build().unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 1 << 17, replication: 2, io_chunk: 1024 }).unwrap();
+        let cluster = Cluster::builder()
+            .nodes(5)
+            .cost_model(CostModel::commodity_2012())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 1 << 17,
+                replication: 2,
+                io_chunk: 1024,
+            },
+        )
+        .unwrap();
         let spec = KmeansSpec {
             num_points: points,
             k,
@@ -454,10 +513,20 @@ mod tests {
     #[test]
     fn lloyd_recovers_well_separated_clusters() {
         let (_, ds) = kmeans_dfs(2_000, 4, 1);
-        let model = lloyd(&ds.points, &KmeansConfig { k: 4, ..Default::default() }).unwrap();
+        let model = lloyd(
+            &ds.points,
+            &KmeansConfig {
+                k: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(model.centroids.len(), 4);
         let err = centroid_match_error(&model.centroids, &ds.true_centroids);
-        assert!(err < 0.05, "centroid error {err} should be under 5% of the spread");
+        assert!(
+            err < 0.05,
+            "centroid error {err} should be under 5% of the spread"
+        );
         assert!(model.wcss > 0.0);
         assert!(model.iterations >= 1);
     }
@@ -466,17 +535,46 @@ mod tests {
     fn lloyd_validates_inputs() {
         assert!(lloyd(&[], &KmeansConfig::default()).is_err());
         let points = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
-        assert!(lloyd(&points, &KmeansConfig { k: 5, ..Default::default() }).is_err());
-        assert!(lloyd(&points, &KmeansConfig { k: 0, ..Default::default() }).is_err());
-        let ok = lloyd(&points, &KmeansConfig { k: 2, ..Default::default() }).unwrap();
+        assert!(lloyd(
+            &points,
+            &KmeansConfig {
+                k: 5,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(lloyd(
+            &points,
+            &KmeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let ok = lloyd(
+            &points,
+            &KmeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(ok.wcss < 1e-9, "2 points, 2 clusters → zero cost");
     }
 
     #[test]
     fn approximate_kmeans_matches_truth_and_beats_exact_on_time() {
         let (dfs, ds) = kmeans_dfs(20_000, 4, 2);
-        let kconfig = KmeansConfig { k: 4, max_iterations: 15, ..Default::default() };
-        let earl_config = EarlConfig { sigma: 0.05, bootstraps: Some(8), ..EarlConfig::default() };
+        let kconfig = KmeansConfig {
+            k: 4,
+            max_iterations: 15,
+            ..Default::default()
+        };
+        let earl_config = EarlConfig {
+            sigma: 0.05,
+            bootstraps: Some(8),
+            ..EarlConfig::default()
+        };
 
         dfs.cluster().reset_accounting();
         let approx = approximate_kmeans(&dfs, "/points", &earl_config, &kconfig).unwrap();
@@ -488,7 +586,10 @@ mod tests {
         // Both find the generative centroids...
         let approx_err = centroid_match_error(&approx.model.centroids, &ds.true_centroids);
         let exact_err = centroid_match_error(&exact_model.centroids, &ds.true_centroids);
-        assert!(approx_err < 0.05, "EARL centroids within 5% of optimal (got {approx_err})");
+        assert!(
+            approx_err < 0.05,
+            "EARL centroids within 5% of optimal (got {approx_err})"
+        );
         assert!(exact_err < 0.05);
         // ...but EARL does it on a fraction of the data and much faster.
         assert!(approx.sample_size < approx.population / 2);
@@ -515,12 +616,18 @@ mod tests {
     fn empty_file_is_rejected() {
         let cluster = Cluster::for_tests();
         let dfs = Dfs::new(cluster, DfsConfig::small_blocks(1024)).unwrap();
-        dfs.write_lines("/empty", std::iter::empty::<String>()).unwrap_or_else(|_| {
-            // writing an empty file may legitimately fail; create a file with a
-            // blank line instead so the path exists
-            dfs.write_lines("/empty", [""]).unwrap()
-        });
-        let err = approximate_kmeans(&dfs, "/empty", &EarlConfig::default(), &KmeansConfig::default());
+        dfs.write_lines("/empty", std::iter::empty::<String>())
+            .unwrap_or_else(|_| {
+                // writing an empty file may legitimately fail; create a file with a
+                // blank line instead so the path exists
+                dfs.write_lines("/empty", [""]).unwrap()
+            });
+        let err = approximate_kmeans(
+            &dfs,
+            "/empty",
+            &EarlConfig::default(),
+            &KmeansConfig::default(),
+        );
         assert!(err.is_err());
     }
 }

@@ -90,7 +90,9 @@ pub struct QuantileTask {
 impl QuantileTask {
     /// Creates a quantile task; `q` is clamped to `[0, 1]`.
     pub fn new(q: f64) -> Self {
-        Self { q: q.clamp(0.0, 1.0) }
+        Self {
+            q: q.clamp(0.0, 1.0),
+        }
     }
 
     /// The quantile level.
@@ -105,7 +107,9 @@ impl EarlTask for QuantileTask {
         "quantile"
     }
     fn initialize(&self, values: &[f64]) -> BufferState {
-        BufferState { values: values.to_vec() }
+        BufferState {
+            values: values.to_vec(),
+        }
     }
     fn update(&self, state: &mut BufferState, other: &BufferState) {
         state.values.extend_from_slice(&other.values);

@@ -48,7 +48,11 @@ mod tests {
 
     #[test]
     fn block_meta_range_and_contains() {
-        let b = BlockMeta { id: BlockId(3), file_offset: 100, len: 50 };
+        let b = BlockMeta {
+            id: BlockId(3),
+            file_offset: 100,
+            len: 50,
+        };
         assert_eq!(b.range(), 100..150);
         assert!(b.contains(100));
         assert!(b.contains(149));

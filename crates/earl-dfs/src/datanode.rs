@@ -33,7 +33,10 @@ impl BlockStore {
 
     /// Fetches a block payload.
     pub fn get(&self, id: BlockId) -> Result<Bytes> {
-        self.payloads.get(&id).cloned().ok_or(DfsError::BlockUnavailable(id))
+        self.payloads
+            .get(&id)
+            .cloned()
+            .ok_or(DfsError::BlockUnavailable(id))
     }
 
     /// Removes a block payload.
@@ -83,12 +86,17 @@ impl DataNodeDirectory {
 
     /// Whether `node` hosts `block`.
     pub fn hosts(&self, node: NodeId, block: BlockId) -> bool {
-        self.hosted.get(&node).is_some_and(|set| set.contains(&block))
+        self.hosted
+            .get(&node)
+            .is_some_and(|set| set.contains(&block))
     }
 
     /// Blocks hosted by `node`.
     pub fn blocks_on(&self, node: NodeId) -> Vec<BlockId> {
-        self.hosted.get(&node).map(|set| set.iter().copied().collect()).unwrap_or_default()
+        self.hosted
+            .get(&node)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Number of blocks hosted by `node`.
@@ -99,7 +107,10 @@ impl DataNodeDirectory {
     /// Drops every replica hosted by `node` (node failure), returning the
     /// affected block ids.
     pub fn drop_node(&mut self, node: NodeId) -> Vec<BlockId> {
-        self.hosted.remove(&node).map(|set| set.into_iter().collect()).unwrap_or_default()
+        self.hosted
+            .remove(&node)
+            .map(|set| set.into_iter().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -116,7 +127,10 @@ mod tests {
         assert_eq!(store.total_bytes(), 5);
         assert_eq!(store.get(BlockId(1)).unwrap(), Bytes::from_static(b"hello"));
         store.remove(BlockId(1));
-        assert!(matches!(store.get(BlockId(1)), Err(DfsError::BlockUnavailable(_))));
+        assert!(matches!(
+            store.get(BlockId(1)),
+            Err(DfsError::BlockUnavailable(_))
+        ));
     }
 
     #[test]

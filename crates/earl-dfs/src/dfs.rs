@@ -28,14 +28,22 @@ pub struct DfsConfig {
 
 impl Default for DfsConfig {
     fn default() -> Self {
-        Self { block_size: DEFAULT_BLOCK_SIZE, replication: 3, io_chunk: 64 * 1024 }
+        Self {
+            block_size: DEFAULT_BLOCK_SIZE,
+            replication: 3,
+            io_chunk: 64 * 1024,
+        }
     }
 }
 
 impl DfsConfig {
     /// A configuration with small blocks, convenient for unit tests.
     pub fn small_blocks(block_size: u64) -> Self {
-        Self { block_size, replication: 2, io_chunk: 64 }
+        Self {
+            block_size,
+            replication: 2,
+            io_chunk: 64,
+        }
     }
 }
 
@@ -54,7 +62,12 @@ struct DfsInner {
     directory: RwLock<DataNodeDirectory>,
     /// Where the previous read of each file ended, used to distinguish
     /// sequential reads (no seek charged) from random reads (seek charged).
-    read_cursors: RwLock<std::collections::HashMap<DfsPath, u64>>,
+    /// Open read-stream heads per file: a multiset of "end offsets" of
+    /// previous reads.  A read starting at one of these offsets continues an
+    /// existing stream (no seek); any other start opens a new stream (seek).
+    /// Multiset semantics make the seek accounting commutative, so charges are
+    /// identical no matter how concurrent readers interleave.
+    read_cursors: RwLock<std::collections::HashMap<DfsPath, std::collections::HashMap<u64, u32>>>,
 }
 
 impl Dfs {
@@ -157,6 +170,9 @@ impl Dfs {
     pub fn delete(&self, path: impl Into<DfsPath>) -> Result<()> {
         let path = path.into();
         let blocks = self.inner.namenode.write().delete_file(&path)?;
+        // Drop the file's read-stream heads: a new file at the same path must
+        // start with cold (seek-charged) reads, not inherit stale heads.
+        self.inner.read_cursors.write().remove(&path);
         let mut store = self.inner.store.write();
         let mut dir = self.inner.directory.write();
         for block in blocks {
@@ -174,14 +190,20 @@ impl Dfs {
 
     /// Replica locations of every block of a file.
     pub fn block_locations(&self, path: impl Into<DfsPath>) -> Result<Vec<BlockLocation>> {
-        self.inner.namenode.read().file_block_locations(&path.into())
+        self.inner
+            .namenode
+            .read()
+            .file_block_locations(&path.into())
     }
 
     /// Bytes of block data stored on a node according to the DFS directory.
     pub fn bytes_on_node(&self, node: NodeId) -> u64 {
         let dir = self.inner.directory.read();
         let store = self.inner.store.read();
-        dir.blocks_on(node).iter().map(|b| store.get(*b).map(|d| d.len() as u64).unwrap_or(0)).sum()
+        dir.blocks_on(node)
+            .iter()
+            .map(|b| store.get(*b).map(|d| d.len() as u64).unwrap_or(0))
+            .sum()
     }
 
     // ----- reading ----------------------------------------------------------
@@ -191,7 +213,13 @@ impl Dfs {
     /// file (mirroring real disk behaviour: streaming scans pay the seek once,
     /// random line probes pay it every time).  Reading past EOF is an error;
     /// reading a zero-length range returns an empty buffer.
-    pub fn read_range(&self, phase: Phase, path: impl Into<DfsPath>, offset: u64, len: u64) -> Result<Bytes> {
+    pub fn read_range(
+        &self,
+        phase: Phase,
+        path: impl Into<DfsPath>,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes> {
         let path = path.into();
         let (file_len, blocks) = {
             let nn = self.inner.namenode.read();
@@ -199,14 +227,20 @@ impl Dfs {
             (meta.len, meta.blocks.clone())
         };
         if offset > file_len || offset + len > file_len {
-            return Err(DfsError::OutOfBounds { offset: offset + len, len: file_len });
+            return Err(DfsError::OutOfBounds {
+                offset: offset + len,
+                len: file_len,
+            });
         }
         if len == 0 {
             return Ok(Bytes::new());
         }
         let mut out = Vec::with_capacity(len as usize);
         let end = offset + len;
-        for block in blocks.iter().filter(|b| b.file_offset < end && b.file_offset + b.len > offset) {
+        for block in blocks
+            .iter()
+            .filter(|b| b.file_offset < end && b.file_offset + b.len > offset)
+        {
             self.ensure_live_replica(block.id)?;
             let data = self.inner.store.read().get(block.id)?;
             let from = offset.saturating_sub(block.file_offset) as usize;
@@ -214,9 +248,29 @@ impl Dfs {
             out.extend_from_slice(&data[from..to]);
         }
         let sequential = {
+            // Bound on retained stream heads per file.  Streaming readers keep
+            // the multiset size constant (each read consumes one head and
+            // inserts one), so the cap is only approached by long runs of
+            // random probes — which are sequential driver code, keeping the
+            // cap deterministic.  At the cap, new heads are simply not
+            // recorded: later reads at those offsets charge a seek, which is
+            // what a cold random probe pays anyway.
+            const MAX_STREAM_HEADS: usize = 4096;
             let mut cursors = self.inner.read_cursors.write();
-            let sequential = cursors.get(&path).copied() == Some(offset);
-            cursors.insert(path, end);
+            let heads = cursors.entry(path).or_default();
+            let sequential = match heads.get_mut(&offset) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    if *count == 0 {
+                        heads.remove(&offset);
+                    }
+                    true
+                }
+                _ => false,
+            };
+            if heads.len() < MAX_STREAM_HEADS {
+                *heads.entry(end).or_insert(0) += 1;
+            }
             sequential
         };
         if sequential {
@@ -310,7 +364,10 @@ impl Dfs {
             while pos >= fetched_until {
                 if !fetch_more(&mut buf, &mut fetched_until)? {
                     // EOF before a newline: the remainder is the (final) line.
-                    return Ok(Some((line_start, String::from_utf8_lossy(&line).into_owned())));
+                    return Ok(Some((
+                        line_start,
+                        String::from_utf8_lossy(&line).into_owned(),
+                    )));
                 }
             }
             let rel = (pos - buf_start) as usize;
@@ -325,7 +382,10 @@ impl Dfs {
                 }
             }
         }
-        Ok(Some((line_start, String::from_utf8_lossy(&line).into_owned())))
+        Ok(Some((
+            line_start,
+            String::from_utf8_lossy(&line).into_owned(),
+        )))
     }
 
     /// Opens a buffered line reader over an input split.
@@ -352,7 +412,13 @@ impl Dfs {
                     .find(|b| b.contains(start))
                     .map(|b| nn.locations(b.id).to_vec())
                     .unwrap_or_default();
-                InputSplit { path: path.clone(), start, length, locations, index }
+                InputSplit {
+                    path: path.clone(),
+                    start,
+                    length,
+                    locations,
+                    index,
+                }
             })
             .collect())
     }
@@ -406,9 +472,13 @@ impl Dfs {
             .blocks
             .iter()
             .filter(|b| {
-                nn.locations(b.id)
-                    .iter()
-                    .any(|n| self.inner.cluster.node(*n).map(|n| n.is_available()).unwrap_or(false))
+                nn.locations(b.id).iter().any(|n| {
+                    self.inner
+                        .cluster
+                        .node(*n)
+                        .map(|n| n.is_available())
+                        .unwrap_or(false)
+                })
             })
             .map(|b| b.len)
             .sum();
@@ -424,9 +494,13 @@ impl Dfs {
             // Files written before any failure bookkeeping: accept if payload exists.
             return self.inner.store.read().get(block).map(|_| ());
         }
-        let any_live = replicas
-            .iter()
-            .any(|n| self.inner.cluster.node(*n).map(|n| n.is_available()).unwrap_or(false));
+        let any_live = replicas.iter().any(|n| {
+            self.inner
+                .cluster
+                .node(*n)
+                .map(|n| n.is_available())
+                .unwrap_or(false)
+        });
         if any_live {
             Ok(())
         } else {
@@ -437,7 +511,9 @@ impl Dfs {
     fn place_replicas(&self, count: u32) -> Result<Vec<NodeId>> {
         let available = self.inner.cluster.available_nodes();
         if available.is_empty() {
-            return Err(DfsError::Cluster(earl_cluster::ClusterError::NoAvailableNodes));
+            return Err(DfsError::Cluster(
+                earl_cluster::ClusterError::NoAvailableNodes,
+            ));
         }
         let count = (count as usize).min(available.len());
         // First replica on the least-loaded node, remaining replicas on random
@@ -463,14 +539,20 @@ impl Dfs {
         self.inner.cluster.charge_disk_write(phase, len);
         for (i, node) in replicas.iter().enumerate() {
             if i > 0 {
-                self.inner.cluster.charge_net_transfer(phase, replicas[0], *node, len);
+                self.inner
+                    .cluster
+                    .charge_net_transfer(phase, replicas[0], *node, len);
                 self.inner.cluster.charge_disk_write(phase, len);
             }
             self.inner.cluster.record_block_stored(*node, len)?;
             self.inner.directory.write().add(*node, id);
         }
         self.inner.namenode.write().set_locations(id, replicas);
-        Ok(BlockMeta { id, file_offset, len })
+        Ok(BlockMeta {
+            id,
+            file_offset,
+            len,
+        })
     }
 
     fn finish_file(
@@ -487,7 +569,10 @@ impl Dfs {
             replication: self.inner.config.replication,
             num_records: Some(num_records),
         };
-        self.inner.namenode.write().create_file(path.clone(), meta)?;
+        self.inner
+            .namenode
+            .write()
+            .create_file(path.clone(), meta)?;
         self.status(path)
     }
 
@@ -499,7 +584,9 @@ impl Dfs {
                 return Ok(()); // nothing to do
             }
         }
-        self.inner.cluster.charge_net_transfer(Phase::Other, from, to, size);
+        self.inner
+            .cluster
+            .charge_net_transfer(Phase::Other, from, to, size);
         self.inner.cluster.charge_disk_write(Phase::Other, size);
         let mut dir = self.inner.directory.write();
         dir.remove(from, block);
@@ -517,7 +604,12 @@ impl Dfs {
     }
 
     pub(crate) fn block_size_of(&self, block: BlockId) -> u64 {
-        self.inner.store.read().get(block).map(|b| b.len() as u64).unwrap_or(0)
+        self.inner
+            .store
+            .read()
+            .get(block)
+            .map(|b| b.len() as u64)
+            .unwrap_or(0)
     }
 }
 
@@ -576,7 +668,12 @@ impl DfsWriter {
         }
         self.closed = true;
         let blocks = std::mem::take(&mut self.blocks);
-        self.dfs.finish_file(self.path.clone(), blocks, self.bytes_written, self.num_records)
+        self.dfs.finish_file(
+            self.path.clone(),
+            blocks,
+            self.bytes_written,
+            self.num_records,
+        )
     }
 }
 
@@ -585,15 +682,79 @@ mod tests {
     use super::*;
 
     fn dfs_with(block_size: u64, nodes: u32) -> Dfs {
-        let cluster = Cluster::builder().nodes(nodes).cost_model(earl_cluster::CostModel::free()).build().unwrap();
-        Dfs::new(cluster, DfsConfig { block_size, replication: 2, io_chunk: 32 }).unwrap()
+        let cluster = Cluster::builder()
+            .nodes(nodes)
+            .cost_model(earl_cluster::CostModel::free())
+            .build()
+            .unwrap();
+        Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size,
+                replication: 2,
+                io_chunk: 32,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deleted_file_does_not_leak_read_stream_heads() {
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .cost_model(earl_cluster::CostModel::commodity_2012())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                block_size: 1 << 12,
+                replication: 1,
+                io_chunk: 64,
+            },
+        )
+        .unwrap();
+        dfs.write_lines("/heads", ["0123456789abcdef"]).unwrap();
+        dfs.read_range(Phase::Load, "/heads", 0, 10).unwrap();
+        // Continuation of the stream: sequential, no seek surcharge.
+        let t0 = cluster.elapsed();
+        dfs.read_range(Phase::Load, "/heads", 10, 5).unwrap();
+        let sequential_cost = cluster.elapsed() - t0;
+
+        // Delete and recreate the path: the old stream heads must be gone, so
+        // the same read is a cold probe again and pays the seek.
+        dfs.delete("/heads").unwrap();
+        dfs.write_lines("/heads", ["0123456789abcdef"]).unwrap();
+        let t1 = cluster.elapsed();
+        dfs.read_range(Phase::Load, "/heads", 10, 5).unwrap();
+        let cold_cost = cluster.elapsed() - t1;
+        assert!(
+            cold_cost > sequential_cost,
+            "recreated file inherited stale stream heads: cold {cold_cost} vs sequential {sequential_cost}"
+        );
     }
 
     #[test]
     fn invalid_configs_rejected() {
         let cluster = Cluster::for_tests();
-        assert!(Dfs::new(cluster.clone(), DfsConfig { block_size: 0, replication: 1, io_chunk: 8 }).is_err());
-        assert!(Dfs::new(cluster, DfsConfig { block_size: 8, replication: 0, io_chunk: 8 }).is_err());
+        assert!(Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                block_size: 0,
+                replication: 1,
+                io_chunk: 8
+            }
+        )
+        .is_err());
+        assert!(Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 8,
+                replication: 0,
+                io_chunk: 8
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -602,7 +763,10 @@ mod tests {
         let lines: Vec<String> = (0..20).map(|i| format!("record-{i:03}")).collect();
         let status = dfs.write_lines("/data", &lines).unwrap();
         assert_eq!(status.num_records, Some(20));
-        assert!(status.num_blocks > 1, "small block size must produce several blocks");
+        assert!(
+            status.num_blocks > 1,
+            "small block size must produce several blocks"
+        );
         let read_back = dfs.read_all_lines(Phase::Load, "/data").unwrap();
         assert_eq!(read_back, lines);
     }
@@ -613,7 +777,10 @@ mod tests {
         dfs.write_lines("/f", ["abc", "defg"]).unwrap(); // "abc\ndefg\n" = 9 bytes
         let status = dfs.status("/f").unwrap();
         assert_eq!(status.len, 9);
-        assert_eq!(&dfs.read_range(Phase::Load, "/f", 4, 4).unwrap()[..], b"defg");
+        assert_eq!(
+            &dfs.read_range(Phase::Load, "/f", 4, 4).unwrap()[..],
+            b"defg"
+        );
         assert_eq!(dfs.read_range(Phase::Load, "/f", 9, 0).unwrap().len(), 0);
         assert!(matches!(
             dfs.read_range(Phase::Load, "/f", 8, 5),
@@ -626,13 +793,17 @@ mod tests {
         let dfs = dfs_with(16, 1);
         dfs.write_lines("/x", ["a"]).unwrap();
         assert!(matches!(dfs.create("/x"), Err(DfsError::FileExists(_))));
-        assert!(matches!(dfs.write_lines("/x", ["b"]), Err(DfsError::FileExists(_))));
+        assert!(matches!(
+            dfs.write_lines("/x", ["b"]),
+            Err(DfsError::FileExists(_))
+        ));
     }
 
     #[test]
     fn delete_frees_blocks_and_storage() {
         let dfs = dfs_with(8, 2);
-        dfs.write_lines("/x", (0..50).map(|i| i.to_string())).unwrap();
+        dfs.write_lines("/x", (0..50).map(|i| i.to_string()))
+            .unwrap();
         let total_before: u64 = dfs.cluster().nodes().iter().map(|n| n.stored_bytes()).sum();
         assert!(total_before > 0);
         dfs.delete("/x").unwrap();
@@ -645,13 +816,17 @@ mod tests {
     #[test]
     fn splits_cover_file_and_have_locations() {
         let dfs = dfs_with(32, 3);
-        dfs.write_lines("/s", (0..100).map(|i| format!("line{i}"))).unwrap();
+        dfs.write_lines("/s", (0..100).map(|i| format!("line{i}")))
+            .unwrap();
         let status = dfs.status("/s").unwrap();
         let splits = dfs.splits("/s", 64).unwrap();
         let covered: u64 = splits.iter().map(|s| s.length).sum();
         assert_eq!(covered, status.len);
         for s in &splits {
-            assert!(!s.locations.is_empty(), "splits should carry replica locations");
+            assert!(
+                !s.locations.is_empty(),
+                "splits should carry replica locations"
+            );
         }
         let default_splits = dfs.default_splits("/s").unwrap();
         assert!(!default_splits.is_empty());
@@ -660,13 +835,23 @@ mod tests {
     #[test]
     fn read_line_at_backtracks_to_line_start() {
         let dfs = dfs_with(64, 1);
-        dfs.write_lines("/l", ["alpha", "bravo", "charlie"]).unwrap();
+        dfs.write_lines("/l", ["alpha", "bravo", "charlie"])
+            .unwrap();
         // offset 0 → first line
-        assert_eq!(dfs.read_line_at(Phase::Load, "/l", 0).unwrap(), Some((0, "alpha".into())));
+        assert_eq!(
+            dfs.read_line_at(Phase::Load, "/l", 0).unwrap(),
+            Some((0, "alpha".into()))
+        );
         // offset in the middle of "alpha" → skip to "bravo" (starts at 6)
-        assert_eq!(dfs.read_line_at(Phase::Load, "/l", 2).unwrap(), Some((6, "bravo".into())));
+        assert_eq!(
+            dfs.read_line_at(Phase::Load, "/l", 2).unwrap(),
+            Some((6, "bravo".into()))
+        );
         // offset exactly at a line start → that line
-        assert_eq!(dfs.read_line_at(Phase::Load, "/l", 6).unwrap(), Some((6, "bravo".into())));
+        assert_eq!(
+            dfs.read_line_at(Phase::Load, "/l", 6).unwrap(),
+            Some((6, "bravo".into()))
+        );
         // offset inside the final line → no following line, but the trailing
         // newline means the scan lands exactly at EOF → None
         assert_eq!(dfs.read_line_at(Phase::Load, "/l", 15).unwrap(), None);
@@ -678,10 +863,21 @@ mod tests {
     fn metrics_account_reads() {
         let cluster = Cluster::with_nodes(2);
         let dfs = Dfs::new(cluster, DfsConfig::small_blocks(1024)).unwrap();
-        dfs.write_lines("/m", (0..100).map(|i| i.to_string())).unwrap();
-        let before = dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
+        dfs.write_lines("/m", (0..100).map(|i| i.to_string()))
+            .unwrap();
+        let before = dfs
+            .cluster()
+            .metrics()
+            .snapshot()
+            .phase(Phase::Load)
+            .disk_bytes_read;
         dfs.read_full(Phase::Load, "/m").unwrap();
-        let after = dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
+        let after = dfs
+            .cluster()
+            .metrics()
+            .snapshot()
+            .phase(Phase::Load)
+            .disk_bytes_read;
         assert_eq!(after - before, dfs.status("/m").unwrap().len);
         assert!(dfs.cluster().elapsed() > earl_cluster::SimDuration::ZERO);
     }
@@ -689,9 +885,22 @@ mod tests {
     #[test]
     fn failure_reconciliation_orphans_blocks() {
         // replication 1 so any node failure loses data
-        let cluster = Cluster::builder().nodes(2).cost_model(earl_cluster::CostModel::free()).build().unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 8, replication: 1, io_chunk: 8 }).unwrap();
-        dfs.write_lines("/ft", (0..40).map(|i| i.to_string())).unwrap();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .cost_model(earl_cluster::CostModel::free())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 8,
+                replication: 1,
+                io_chunk: 8,
+            },
+        )
+        .unwrap();
+        dfs.write_lines("/ft", (0..40).map(|i| i.to_string()))
+            .unwrap();
         assert!((dfs.readable_fraction("/ft").unwrap() - 1.0).abs() < 1e-12);
         // Fail node 0 and reconcile.
         dfs.cluster().fail_node(NodeId(0)).unwrap();
@@ -708,8 +917,20 @@ mod tests {
 
     #[test]
     fn replication_survives_single_failure() {
-        let cluster = Cluster::builder().nodes(3).cost_model(earl_cluster::CostModel::free()).build().unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 16, replication: 2, io_chunk: 16 }).unwrap();
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .cost_model(earl_cluster::CostModel::free())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 16,
+                replication: 2,
+                io_chunk: 16,
+            },
+        )
+        .unwrap();
         let lines: Vec<String> = (0..30).map(|i| format!("v{i}")).collect();
         dfs.write_lines("/r", &lines).unwrap();
         dfs.cluster().fail_node(NodeId(0)).unwrap();
@@ -734,7 +955,8 @@ mod tests {
     #[test]
     fn bytes_on_node_matches_cluster_accounting() {
         let dfs = dfs_with(8, 2);
-        dfs.write_lines("/acct", (0..20).map(|i| i.to_string())).unwrap();
+        dfs.write_lines("/acct", (0..20).map(|i| i.to_string()))
+            .unwrap();
         let from_dfs: u64 = (0..2).map(|i| dfs.bytes_on_node(NodeId(i))).sum();
         let from_cluster: u64 = dfs.cluster().nodes().iter().map(|n| n.stored_bytes()).sum();
         assert_eq!(from_dfs, from_cluster);

@@ -72,6 +72,8 @@ mod tests {
         use std::error::Error;
         assert!(c.source().is_some());
         assert!(e.source().is_none());
-        assert!(DfsError::OutOfBounds { offset: 10, len: 5 }.to_string().contains("offset 10"));
+        assert!(DfsError::OutOfBounds { offset: 10, len: 5 }
+            .to_string()
+            .contains("offset 10"));
     }
 }

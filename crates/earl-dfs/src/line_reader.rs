@@ -83,7 +83,12 @@ impl LineRecordReader {
                 // Skip the partial line that began in the previous split.
                 // (If the previous byte is '\n' the skip consumes zero bytes —
                 // we detect that by checking the byte before the split start.)
-                let prev = self.dfs.read_range(self.phase, self.split.path.clone(), self.split.start - 1, 1)?;
+                let prev = self.dfs.read_range(
+                    self.phase,
+                    self.split.path.clone(),
+                    self.split.start - 1,
+                    1,
+                )?;
                 self.bytes_read += 1;
                 if prev[0] != b'\n' {
                     // Consume up to and including the next newline.
@@ -117,7 +122,10 @@ impl LineRecordReader {
             self.pos += slice.len() as u64;
         }
         self.records_read += 1;
-        Ok(Some((line_start, String::from_utf8_lossy(&line).into_owned())))
+        Ok(Some((
+            line_start,
+            String::from_utf8_lossy(&line).into_owned(),
+        )))
     }
 
     /// Reads every remaining line of the split.
@@ -148,13 +156,16 @@ impl LineRecordReader {
 
     /// Ensures the buffer contains the byte at `self.pos`.
     fn fill_buffer(&mut self) -> Result<()> {
-        let within = self.pos >= self.buf_start && self.pos < self.buf_start + self.buf.len() as u64;
+        let within =
+            self.pos >= self.buf_start && self.pos < self.buf_start + self.buf.len() as u64;
         if within && !self.buf.is_empty() {
             return Ok(());
         }
         let chunk = self.dfs.config().io_chunk.max(16);
         let len = chunk.min(self.file_len - self.pos);
-        let data = self.dfs.read_range(self.phase, self.split.path.clone(), self.pos, len)?;
+        let data = self
+            .dfs
+            .read_range(self.phase, self.split.path.clone(), self.pos, len)?;
         self.bytes_read += data.len() as u64;
         self.buf_start = self.pos;
         self.buf = data.to_vec();
@@ -174,14 +185,24 @@ mod tests {
             .cost_model(earl_cluster::CostModel::free())
             .build()
             .unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size, replication: 1, io_chunk: 7 }).unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size,
+                replication: 1,
+                io_chunk: 7,
+            },
+        )
+        .unwrap();
         dfs.write_lines("/t", lines.iter().copied()).unwrap();
         dfs
     }
 
     #[test]
     fn every_line_belongs_to_exactly_one_split() {
-        let lines: Vec<String> = (0..57).map(|i| format!("row-{i:04}-{}", "x".repeat(i % 13))).collect();
+        let lines: Vec<String> = (0..57)
+            .map(|i| format!("row-{i:04}-{}", "x".repeat(i % 13)))
+            .collect();
         let line_refs: Vec<&str> = lines.iter().map(String::as_str).collect();
         let dfs = make_dfs(&line_refs, 64);
         for split_size in [10u64, 33, 64, 100, 10_000] {
@@ -204,7 +225,10 @@ mod tests {
         assert_eq!(splits.len(), 1);
         let mut reader = dfs.open_split(splits[0].clone(), Phase::Map);
         let all = reader.read_all().unwrap();
-        assert_eq!(all.iter().map(|(_, l)| l.as_str()).collect::<Vec<_>>(), vec!["a", "bb", "ccc"]);
+        assert_eq!(
+            all.iter().map(|(_, l)| l.as_str()).collect::<Vec<_>>(),
+            vec!["a", "bb", "ccc"]
+        );
         assert_eq!(all[0].0, 0);
         assert_eq!(all[1].0, 2);
         assert_eq!(all[2].0, 5);
@@ -234,12 +258,34 @@ mod tests {
     fn split_boundary_at_newline_keeps_next_line_in_next_split() {
         // "aa\nbb\ncc\n" = 9 bytes.  Split A = [0,6), split B = [6,9).
         let dfs = make_dfs(&["aa", "bb", "cc"], 1024);
-        let a = InputSplit { path: "/t".into(), start: 0, length: 6, locations: vec![], index: 0 };
-        let b = InputSplit { path: "/t".into(), start: 6, length: 3, locations: vec![], index: 1 };
-        let la: Vec<String> =
-            dfs.open_split(a, Phase::Map).read_all().unwrap().into_iter().map(|(_, l)| l).collect();
-        let lb: Vec<String> =
-            dfs.open_split(b, Phase::Map).read_all().unwrap().into_iter().map(|(_, l)| l).collect();
+        let a = InputSplit {
+            path: "/t".into(),
+            start: 0,
+            length: 6,
+            locations: vec![],
+            index: 0,
+        };
+        let b = InputSplit {
+            path: "/t".into(),
+            start: 6,
+            length: 3,
+            locations: vec![],
+            index: 1,
+        };
+        let la: Vec<String> = dfs
+            .open_split(a, Phase::Map)
+            .read_all()
+            .unwrap()
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect();
+        let lb: Vec<String> = dfs
+            .open_split(b, Phase::Map)
+            .read_all()
+            .unwrap()
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect();
         assert_eq!(la, vec!["aa", "bb"]);
         assert_eq!(lb, vec!["cc"]);
     }
@@ -248,22 +294,57 @@ mod tests {
     fn line_spanning_split_boundary_goes_to_the_split_it_starts_in() {
         // One long line straddling byte 5.
         let dfs = make_dfs(&["0123456789abcdef", "tail"], 1024);
-        let a = InputSplit { path: "/t".into(), start: 0, length: 5, locations: vec![], index: 0 };
-        let b = InputSplit { path: "/t".into(), start: 5, length: 17, locations: vec![], index: 1 };
-        let la: Vec<String> =
-            dfs.open_split(a, Phase::Map).read_all().unwrap().into_iter().map(|(_, l)| l).collect();
-        let lb: Vec<String> =
-            dfs.open_split(b, Phase::Map).read_all().unwrap().into_iter().map(|(_, l)| l).collect();
-        assert_eq!(la, vec!["0123456789abcdef"], "the long line starts in split A");
+        let a = InputSplit {
+            path: "/t".into(),
+            start: 0,
+            length: 5,
+            locations: vec![],
+            index: 0,
+        };
+        let b = InputSplit {
+            path: "/t".into(),
+            start: 5,
+            length: 17,
+            locations: vec![],
+            index: 1,
+        };
+        let la: Vec<String> = dfs
+            .open_split(a, Phase::Map)
+            .read_all()
+            .unwrap()
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect();
+        let lb: Vec<String> = dfs
+            .open_split(b, Phase::Map)
+            .read_all()
+            .unwrap()
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect();
+        assert_eq!(
+            la,
+            vec!["0123456789abcdef"],
+            "the long line starts in split A"
+        );
         assert_eq!(lb, vec!["tail"]);
     }
 
     #[test]
     fn empty_split_yields_nothing() {
         let dfs = make_dfs(&["x"], 1024);
-        let split = InputSplit { path: "/t".into(), start: 2, length: 0, locations: vec![], index: 9 };
+        let split = InputSplit {
+            path: "/t".into(),
+            start: 2,
+            length: 0,
+            locations: vec![],
+            index: 9,
+        };
         let mut reader = dfs.open_split(split, Phase::Map);
         assert!(reader.next_line().unwrap().is_none());
-        assert!(reader.next_line().unwrap().is_none(), "reader stays finished");
+        assert!(
+            reader.next_line().unwrap().is_none(),
+            "reader stays finished"
+        );
     }
 }

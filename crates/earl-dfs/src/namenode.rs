@@ -76,12 +76,17 @@ impl NameNode {
 
     /// Looks up a file's metadata.
     pub fn file(&self, path: &DfsPath) -> Result<&FileMeta> {
-        self.files.get(path).ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+        self.files
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
     }
 
     /// Removes a file, returning its block ids so the DataNodes can drop them.
     pub fn delete_file(&mut self, path: &DfsPath) -> Result<Vec<BlockId>> {
-        let meta = self.files.remove(path).ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        let meta = self
+            .files
+            .remove(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
         let ids: Vec<BlockId> = meta.blocks.iter().map(|b| b.id).collect();
         for id in &ids {
             self.locations.remove(id);
@@ -111,7 +116,10 @@ impl NameNode {
 
     /// Replica locations of a block (empty if unknown).
     pub fn locations(&self, block: BlockId) -> &[NodeId] {
-        self.locations.get(&block).map(|v| v.as_slice()).unwrap_or(&[])
+        self.locations
+            .get(&block)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Removes a node from every block's replica list (called when the node
@@ -149,7 +157,10 @@ impl NameNode {
         Ok(meta
             .blocks
             .iter()
-            .map(|b| BlockLocation { block: b.clone(), replicas: self.locations(b.id).to_vec() })
+            .map(|b| BlockLocation {
+                block: b.clone(),
+                replicas: self.locations(b.id).to_vec(),
+            })
             .collect())
     }
 
@@ -171,7 +182,13 @@ mod tests {
                 len: block_size,
             })
             .collect();
-        FileMeta { len: nblocks as u64 * block_size, blocks, block_size, replication: 3, num_records: None }
+        FileMeta {
+            len: nblocks as u64 * block_size,
+            blocks,
+            block_size,
+            replication: 3,
+            num_records: None,
+        }
     }
 
     #[test]
@@ -185,7 +202,10 @@ mod tests {
         assert_eq!(nn.file(&path).unwrap().blocks.len(), 3);
         assert_eq!(nn.list().len(), 1);
         let duplicate = meta_with_blocks(&mut nn, 1, 10);
-        assert!(matches!(nn.create_file(path.clone(), duplicate), Err(DfsError::FileExists(_))));
+        assert!(matches!(
+            nn.create_file(path.clone(), duplicate),
+            Err(DfsError::FileExists(_))
+        ));
         let deleted = nn.delete_file(&path).unwrap();
         assert_eq!(deleted, ids);
         assert!(!nn.exists(&path));

@@ -84,10 +84,18 @@ pub fn rebalance(dfs: &Dfs, threshold: f64) -> Result<RebalanceReport> {
         if mean <= 0.0 {
             0.0
         } else {
-            loads.iter().map(|(_, b)| (*b as f64 - mean).abs()).fold(0.0, f64::max) / mean
+            loads
+                .iter()
+                .map(|(_, b)| (*b as f64 - mean).abs())
+                .fold(0.0, f64::max)
+                / mean
         }
     };
-    Ok(RebalanceReport { blocks_moved, bytes_moved, final_imbalance })
+    Ok(RebalanceReport {
+        blocks_moved,
+        bytes_moved,
+        final_imbalance,
+    })
 }
 
 fn node_loads(dfs: &Dfs) -> Vec<(NodeId, u64)> {
@@ -107,12 +115,25 @@ mod tests {
     /// Builds a deliberately skewed DFS: replication 1 and a placement that ends
     /// up uneven because files are written while some nodes are "failed".
     fn skewed_dfs() -> Dfs {
-        let cluster = Cluster::builder().nodes(4).cost_model(CostModel::free()).build().unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 32, replication: 1, io_chunk: 32 }).unwrap();
+        let cluster = Cluster::builder()
+            .nodes(4)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 32,
+                replication: 1,
+                io_chunk: 32,
+            },
+        )
+        .unwrap();
         // Fail nodes 2 and 3 so all data lands on nodes 0 and 1...
         dfs.cluster().fail_node(NodeId(2)).unwrap();
         dfs.cluster().fail_node(NodeId(3)).unwrap();
-        dfs.write_lines("/skew", (0..200).map(|i| format!("record-{i:05}"))).unwrap();
+        dfs.write_lines("/skew", (0..200).map(|i| format!("record-{i:05}")))
+            .unwrap();
         // ...then repair them, leaving an imbalanced cluster.
         dfs.cluster().repair_node(NodeId(2)).unwrap();
         dfs.cluster().repair_node(NodeId(3)).unwrap();
@@ -122,26 +143,55 @@ mod tests {
     #[test]
     fn rebalance_reduces_imbalance() {
         let dfs = skewed_dfs();
-        let before: Vec<u64> =
-            dfs.cluster().available_nodes().iter().map(|n| dfs.bytes_on_node(*n)).collect();
+        let before: Vec<u64> = dfs
+            .cluster()
+            .available_nodes()
+            .iter()
+            .map(|n| dfs.bytes_on_node(*n))
+            .collect();
         assert_eq!(before[2], 0, "nodes repaired after writing start empty");
         let report = rebalance(&dfs, 0.25).unwrap();
         assert!(report.blocks_moved > 0);
         assert!(report.bytes_moved > 0);
-        let after: Vec<u64> =
-            dfs.cluster().available_nodes().iter().map(|n| dfs.bytes_on_node(*n)).collect();
+        let after: Vec<u64> = dfs
+            .cluster()
+            .available_nodes()
+            .iter()
+            .map(|n| dfs.bytes_on_node(*n))
+            .collect();
         let spread_before = before.iter().max().unwrap() - before.iter().min().unwrap();
         let spread_after = after.iter().max().unwrap() - after.iter().min().unwrap();
-        assert!(spread_after < spread_before, "rebalancing must narrow the spread");
+        assert!(
+            spread_after < spread_before,
+            "rebalancing must narrow the spread"
+        );
         // Data must still be intact.
-        assert_eq!(dfs.read_all_lines(earl_cluster::Phase::Load, "/skew").unwrap().len(), 200);
+        assert_eq!(
+            dfs.read_all_lines(earl_cluster::Phase::Load, "/skew")
+                .unwrap()
+                .len(),
+            200
+        );
     }
 
     #[test]
     fn balanced_cluster_is_a_noop() {
-        let cluster = Cluster::builder().nodes(2).cost_model(CostModel::free()).build().unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 16, replication: 1, io_chunk: 16 }).unwrap();
-        dfs.write_lines("/even", (0..64).map(|i| format!("{i:04}"))).unwrap();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 16,
+                replication: 1,
+                io_chunk: 16,
+            },
+        )
+        .unwrap();
+        dfs.write_lines("/even", (0..64).map(|i| format!("{i:04}")))
+            .unwrap();
         let report = rebalance(&dfs, 0.5).unwrap();
         // Placement already targets the least-loaded node, so little or nothing moves.
         assert!(report.final_imbalance <= 0.5 + 1e-9);

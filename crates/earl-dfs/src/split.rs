@@ -50,7 +50,11 @@ pub fn compute_split_ranges(file_len: u64, split_size: u64) -> Vec<(u64, u64)> {
     let mut start = 0;
     while start < file_len {
         let remaining = file_len - start;
-        let len = if remaining < split_size + split_size / 2 { remaining } else { split_size };
+        let len = if remaining < split_size + split_size / 2 {
+            remaining
+        } else {
+            split_size
+        };
         ranges.push((start, len));
         start += len;
     }
@@ -63,7 +67,8 @@ mod tests {
 
     #[test]
     fn ranges_cover_the_file_exactly_once() {
-        for (file_len, split_size) in [(1000u64, 100u64), (1050, 100), (149, 100), (1, 1), (0, 10)] {
+        for (file_len, split_size) in [(1000u64, 100u64), (1050, 100), (149, 100), (1, 1), (0, 10)]
+        {
             let ranges = compute_split_ranges(file_len, split_size);
             let mut cursor = 0;
             for (start, len) in &ranges {

@@ -62,7 +62,9 @@ mod tests {
         assert!(e.to_string().contains("/x"));
         let e: MrError = ClusterError::NoAvailableNodes.into();
         assert!(e.to_string().contains("cluster"));
-        assert!(MrError::InvalidJob("zero reducers".into()).to_string().contains("zero reducers"));
+        assert!(MrError::InvalidJob("zero reducers".into())
+            .to_string()
+            .contains("zero reducers"));
         assert!(MrError::ClusterLost.to_string().contains("failed"));
     }
 }

@@ -50,8 +50,11 @@ impl ErrorFeedback {
         while let Some(report) = self.queue.pop() {
             history.push(report);
         }
-        let recent: Vec<f64> =
-            history.iter().filter(|r| r.timestamp > since).map(|r| r.error).collect();
+        let recent: Vec<f64> = history
+            .iter()
+            .filter(|r| r.timestamp > since)
+            .map(|r| r.error)
+            .collect();
         if recent.is_empty() {
             None
         } else {
@@ -103,9 +106,21 @@ mod tests {
     #[test]
     fn average_filters_by_timestamp() {
         let fb = ErrorFeedback::new();
-        fb.post(ErrorReport { reducer: 0, error: 0.10, timestamp: at(10) });
-        fb.post(ErrorReport { reducer: 1, error: 0.20, timestamp: at(20) });
-        fb.post(ErrorReport { reducer: 0, error: 0.30, timestamp: at(30) });
+        fb.post(ErrorReport {
+            reducer: 0,
+            error: 0.10,
+            timestamp: at(10),
+        });
+        fb.post(ErrorReport {
+            reducer: 1,
+            error: 0.20,
+            timestamp: at(20),
+        });
+        fb.post(ErrorReport {
+            reducer: 0,
+            error: 0.30,
+            timestamp: at(30),
+        });
         // Everything after t=0.
         let avg = fb.average_error_since(SimInstant::EPOCH).unwrap();
         assert!((avg - 0.20).abs() < 1e-12);
@@ -127,7 +142,11 @@ mod tests {
                 let fb = Arc::clone(&fb);
                 std::thread::spawn(move || {
                     for i in 0..100 {
-                        fb.post(ErrorReport { reducer: r, error: i as f64, timestamp: at(i + 1) });
+                        fb.post(ErrorReport {
+                            reducer: r,
+                            error: i as f64,
+                            timestamp: at(i + 1),
+                        });
                     }
                 })
             })

@@ -74,6 +74,12 @@ pub struct JobConf {
     pub charge_job_startup: bool,
     /// Optional DFS path to which reducer output line-records are written.
     pub output_path: Option<DfsPath>,
+    /// Worker threads used to execute map tasks and reduce partitions
+    /// concurrently (`None` = one per available core).  Results are identical
+    /// for every value; only wall-clock time changes.  Jobs running under an
+    /// active failure schedule always execute sequentially so that failure
+    /// semantics stay deterministic.
+    pub parallelism: Option<usize>,
 }
 
 impl JobConf {
@@ -88,6 +94,7 @@ impl JobConf {
             local_mode: false,
             charge_job_startup: true,
             output_path: None,
+            parallelism: None,
         }
     }
 
@@ -126,6 +133,13 @@ impl JobConf {
     /// their `Display`-like conversion supplied to the runner.
     pub fn with_output_path(mut self, path: impl Into<DfsPath>) -> Self {
         self.output_path = Some(path.into());
+        self
+    }
+
+    /// Sets the worker-thread count for map/reduce execution (`None` = all
+    /// cores, `Some(1)` = sequential).
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -186,13 +200,15 @@ mod tests {
             .local()
             .without_job_startup()
             .with_avg_record_bytes(0)
-            .with_output_path("/out");
+            .with_output_path("/out")
+            .with_parallelism(Some(4));
         assert_eq!(conf.num_reducers, 1, "reducer count is clamped to ≥1");
         assert_eq!(conf.avg_record_bytes, 1, "record size is clamped to ≥1");
         assert_eq!(conf.failure_policy, FailurePolicy::Ignore);
         assert!(conf.local_mode);
         assert!(!conf.charge_job_startup);
         assert_eq!(conf.output_path, Some("/out".into()));
+        assert_eq!(conf.parallelism, Some(4));
     }
 
     #[test]

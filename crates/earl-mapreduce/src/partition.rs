@@ -66,7 +66,10 @@ mod tests {
         let expected = n as f64 / parts as f64;
         for c in counts {
             let deviation = (c as f64 - expected).abs() / expected;
-            assert!(deviation < 0.1, "partition skew too high: {c} vs {expected}");
+            assert!(
+                deviation < 0.1,
+                "partition skew too high: {c} vs {expected}"
+            );
         }
     }
 }

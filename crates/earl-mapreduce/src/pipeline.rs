@@ -34,7 +34,11 @@ pub struct PipelinedSession {
 impl PipelinedSession {
     /// Creates a session on the given DFS.
     pub fn new(dfs: Dfs) -> Self {
-        Self { dfs, feedback: Arc::new(ErrorFeedback::new()), iterations: 0 }
+        Self {
+            dfs,
+            feedback: Arc::new(ErrorFeedback::new()),
+            iterations: 0,
+        }
     }
 
     /// The feedback channel shared between the reduce side (posting error
@@ -90,8 +94,17 @@ mod tests {
 
     fn session() -> PipelinedSession {
         let cluster = Cluster::with_nodes(3);
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 1024, replication: 2, io_chunk: 256 }).unwrap();
-        dfs.write_lines("/pipe", (1..=500).map(|i| i.to_string())).unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 1024,
+                replication: 2,
+                io_chunk: 256,
+            },
+        )
+        .unwrap();
+        dfs.write_lines("/pipe", (1..=500).map(|i| i.to_string()))
+            .unwrap();
         PipelinedSession::new(dfs)
     }
 
@@ -101,11 +114,15 @@ mod tests {
         let conf = JobConf::new("mean", InputSource::Path("/pipe".into()));
 
         let t0 = session.dfs().cluster().elapsed();
-        session.run_iteration(&conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        session
+            .run_iteration(&conf, &ValueExtractMapper, &MeanReducer)
+            .unwrap();
         let first = session.dfs().cluster().elapsed() - t0;
 
         let t1 = session.dfs().cluster().elapsed();
-        session.run_iteration(&conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        session
+            .run_iteration(&conf, &ValueExtractMapper, &MeanReducer)
+            .unwrap();
         let second = session.dfs().cluster().elapsed() - t1;
 
         assert_eq!(session.iterations(), 2);
@@ -119,8 +136,12 @@ mod tests {
     fn results_are_identical_across_iterations() {
         let mut session = session();
         let conf = JobConf::new("mean", InputSource::Path("/pipe".into()));
-        let a = session.run_iteration(&conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
-        let b = session.run_iteration(&conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        let a = session
+            .run_iteration(&conf, &ValueExtractMapper, &MeanReducer)
+            .unwrap();
+        let b = session
+            .run_iteration(&conf, &ValueExtractMapper, &MeanReducer)
+            .unwrap();
         assert_eq!(a.outputs, b.outputs);
         assert!((a.outputs[0] - 250.5).abs() < 1e-9);
     }
@@ -129,7 +150,11 @@ mod tests {
     fn feedback_channel_is_shared() {
         let session = session();
         let fb = session.feedback();
-        fb.post(crate::feedback::ErrorReport { reducer: 0, error: 0.04, timestamp: SimInstant::EPOCH });
+        fb.post(crate::feedback::ErrorReport {
+            reducer: 0,
+            error: 0.04,
+            timestamp: SimInstant::EPOCH,
+        });
         assert_eq!(session.feedback().len(), 1);
     }
 }

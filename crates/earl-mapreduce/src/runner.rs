@@ -6,9 +6,28 @@
 //! This is the property the EARL reproduction needs: processing time is a
 //! deterministic function of bytes scanned and records processed, which is
 //! precisely what early approximation reduces.
+//!
+//! ## Execution model
+//!
+//! When the cluster's failure injector can still fire (`Restart` / `Ignore`
+//! experiments with a pending schedule), the job runs on the original
+//! sequential path so failure timing stays exactly reproducible.  Otherwise —
+//! the common case, and every benchmark — map tasks run concurrently across a
+//! scoped thread pool and reduce partitions are reduced in parallel:
+//!
+//! * task → node assignment is planned deterministically up front (locality
+//!   first, then round-robin over available nodes), never through the cluster
+//!   RNG, so the plan is independent of execution interleaving;
+//! * each task accumulates its own [`Counters`] and stats, merged after the
+//!   barrier in task-index order — `JobResult` is bit-identical for every
+//!   `parallelism` value;
+//! * cost-model charges are pure additions to the simulated clock and the
+//!   per-phase metrics, so the merged totals (and therefore `sim_time`) do
+//!   not depend on thread interleaving either.
 
-use earl_cluster::{NodeId, Phase};
+use earl_cluster::{ClusterError, NodeId, Phase};
 use earl_dfs::{Dfs, InputSplit};
+use earl_parallel::{indexed_map, resolve_parallelism};
 
 use crate::counters::{builtin, Counters};
 use crate::error::MrError;
@@ -23,7 +42,12 @@ use crate::Result;
 const MAX_TASK_ATTEMPTS: usize = 4;
 
 /// Runs a job without a combiner.
-pub fn run_job<M, R>(dfs: &Dfs, conf: &JobConf, mapper: &M, reducer: &R) -> Result<JobResult<R::Output>>
+pub fn run_job<M, R>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    mapper: &M,
+    reducer: &R,
+) -> Result<JobResult<R::Output>>
 where
     M: Mapper,
     R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
@@ -48,14 +72,17 @@ where
 }
 
 /// A combiner type used only to instantiate the generic runner when no
-/// combiner is supplied.
+/// combiner is supplied.  The runner short-circuits on the combiner `Option`
+/// before grouping or copying anything, so `combine` can never be reached —
+/// the previous implementation materialised `values.to_vec()` here for
+/// nothing.
 struct NeverCombiner<K, V>(std::marker::PhantomData<(K, V)>);
 
 impl<K: crate::types::MrKey, V: crate::types::MrValue> Combiner for NeverCombiner<K, V> {
     type Key = K;
     type Value = V;
-    fn combine(&self, _key: &K, values: &[V]) -> Vec<V> {
-        values.to_vec()
+    fn combine(&self, _key: &K, _values: &[V]) -> Vec<V> {
+        unreachable!("NeverCombiner is a type-level placeholder; the runner never invokes it")
     }
 }
 
@@ -82,9 +109,11 @@ where
 
     // ---- plan map tasks ----------------------------------------------------
     let map_inputs: Vec<MapInput> = match &conf.input {
-        InputSource::Path(path) => {
-            dfs.default_splits(path.clone())?.into_iter().map(MapInput::Split).collect()
-        }
+        InputSource::Path(path) => dfs
+            .default_splits(path.clone())?
+            .into_iter()
+            .map(MapInput::Split)
+            .collect(),
         InputSource::Splits(splits) => splits.iter().cloned().map(MapInput::Split).collect(),
         InputSource::Memory(records) => {
             if records.is_empty() {
@@ -96,14 +125,40 @@ where
     };
 
     // ---- map phase -----------------------------------------------------------
+    // Sequential execution is only needed while failures can still fire; a
+    // stable cluster runs tasks concurrently with identical results.
+    let failure_free = !cluster.failure_injection_pending();
+    let threads = resolve_parallelism(conf.parallelism);
+
     let mut all_pairs: Vec<(M::OutKey, M::OutValue)> = Vec::new();
-    for input in &map_inputs {
-        stats.map_tasks += 1;
-        match run_map_task(dfs, conf, mapper, combiner, input, &mut counters, &mut stats)? {
-            Some(pairs) => all_pairs.extend(pairs),
-            None => {
-                stats.lost_map_tasks += 1;
-                counters.increment(builtin::LOST_SPLITS);
+    if failure_free {
+        all_pairs = map_phase_parallel(
+            dfs,
+            conf,
+            mapper,
+            combiner,
+            &map_inputs,
+            &mut counters,
+            &mut stats,
+            threads,
+        )?;
+    } else {
+        for input in &map_inputs {
+            stats.map_tasks += 1;
+            match run_map_task(
+                dfs,
+                conf,
+                mapper,
+                combiner,
+                input,
+                &mut counters,
+                &mut stats,
+            )? {
+                Some(pairs) => all_pairs.extend(pairs),
+                None => {
+                    stats.lost_map_tasks += 1;
+                    counters.increment(builtin::LOST_SPLITS);
+                }
             }
         }
     }
@@ -117,7 +172,8 @@ where
         if nodes.len() >= 2 {
             // On average (n-1)/n of intermediate data crosses the network.
             let crossing =
-                all_pairs.len() as u64 * conf.avg_record_bytes * (nodes.len() as u64 - 1) / nodes.len() as u64;
+                all_pairs.len() as u64 * conf.avg_record_bytes * (nodes.len() as u64 - 1)
+                    / nodes.len() as u64;
             cluster.charge_net_transfer(Phase::Shuffle, nodes[0], nodes[1], crossing);
         }
     }
@@ -126,42 +182,54 @@ where
 
     // ---- reduce phase --------------------------------------------------------
     let mut outputs = Vec::new();
-    for partition in shuffled.into_partitions() {
-        if partition.is_empty() {
-            continue;
-        }
-        stats.reduce_tasks += 1;
-        let records_in: u64 = partition.values().map(|v| v.len() as u64).sum();
-        counters.add(builtin::REDUCE_INPUT_GROUPS, partition.len() as u64);
-        counters.add(builtin::REDUCE_INPUT_RECORDS, records_in);
+    if failure_free {
+        outputs = reduce_phase_parallel(
+            dfs,
+            conf,
+            reducer,
+            shuffled.into_partitions(),
+            &mut counters,
+            &mut stats,
+            threads,
+        )?;
+    } else {
+        for partition in shuffled.into_partitions() {
+            if partition.is_empty() {
+                continue;
+            }
+            stats.reduce_tasks += 1;
+            let records_in: u64 = partition.values().map(|v| v.len() as u64).sum();
+            counters.add(builtin::REDUCE_INPUT_GROUPS, partition.len() as u64);
+            counters.add(builtin::REDUCE_INPUT_RECORDS, records_in);
 
-        // Reduce tasks are always re-executed on failure (only map-side sample
-        // loss is tolerated by EARL's approximation mode).
-        let mut attempts = 0;
-        loop {
-            attempts += 1;
-            let node = pick_node(dfs, &[])?;
-            if !conf.local_mode {
-                cluster.charge_task_startup();
-                cluster.record_task_on(node)?;
-            }
-            let mut ctx = ReduceContext::new();
-            for (key, values) in &partition {
-                reducer.reduce(key, values, &mut ctx);
-            }
-            cluster.charge_reduce_cpu(Phase::Reduce, records_in, reducer.is_heavy());
-            let survived = conf.local_mode || node_alive(dfs, node);
-            if survived {
-                let (out, c) = ctx.into_parts();
-                outputs.extend(out);
-                counters.merge(&c);
-                break;
-            }
-            cluster.record_task_restart();
-            stats.restarted_tasks += 1;
-            counters.increment(builtin::RESTARTED_TASKS);
-            if attempts >= MAX_TASK_ATTEMPTS {
-                return Err(MrError::ClusterLost);
+            // Reduce tasks are always re-executed on failure (only map-side
+            // sample loss is tolerated by EARL's approximation mode).
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                let node = pick_node(dfs, &[])?;
+                if !conf.local_mode {
+                    cluster.charge_task_startup();
+                    cluster.record_task_on(node)?;
+                }
+                let mut ctx = ReduceContext::new();
+                for (key, values) in &partition {
+                    reducer.reduce(key, values, &mut ctx);
+                }
+                cluster.charge_reduce_cpu(Phase::Reduce, records_in, reducer.is_heavy());
+                let survived = conf.local_mode || node_alive(dfs, node);
+                if survived {
+                    let (out, c) = ctx.into_parts();
+                    outputs.extend(out);
+                    counters.merge(&c);
+                    break;
+                }
+                cluster.record_task_restart();
+                stats.restarted_tasks += 1;
+                counters.increment(builtin::RESTARTED_TASKS);
+                if attempts >= MAX_TASK_ATTEMPTS {
+                    return Err(MrError::ClusterLost);
+                }
             }
         }
     }
@@ -175,13 +243,231 @@ where
     }
 
     stats.sim_time = cluster.elapsed() - start;
-    Ok(JobResult { outputs, counters, stats })
+    Ok(JobResult {
+        outputs,
+        counters,
+        stats,
+    })
 }
 
 enum MapInput {
     Split(InputSplit),
     Memory(Vec<(u64, String)>),
 }
+
+/// Output of one failure-free map task: its pairs plus its private counters,
+/// merged into the job totals after the barrier in task-index order.
+struct MapTaskOutput<K, V> {
+    pairs: Vec<(K, V)>,
+    counters: Counters,
+}
+
+/// Plans the node of every task deterministically: first live preferred
+/// (data-local) node, otherwise round-robin over the available nodes.  Never
+/// consults the cluster RNG, so the plan is independent of both thread count
+/// and execution order.
+fn plan_nodes(dfs: &Dfs, preferred: &[&[NodeId]]) -> Result<Vec<NodeId>> {
+    let available = dfs.cluster().available_nodes();
+    if available.is_empty() {
+        return Err(ClusterError::NoAvailableNodes.into());
+    }
+    Ok(preferred
+        .iter()
+        .enumerate()
+        .map(|(i, candidates)| {
+            candidates
+                .iter()
+                .copied()
+                .find(|&n| node_alive(dfs, n))
+                .unwrap_or(available[i % available.len()])
+        })
+        .collect())
+}
+
+/// Runs all map tasks concurrently across `threads` scoped workers and merges
+/// their outputs in task-index order.  Requires a stable cluster (no pending
+/// failure injection): tasks cannot be lost mid-flight, so the only `None`
+/// outcome is data that was already missing under [`FailurePolicy::Ignore`].
+#[allow(clippy::too_many_arguments)]
+fn map_phase_parallel<M, C>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    mapper: &M,
+    combiner: Option<&C>,
+    inputs: &[MapInput],
+    counters: &mut Counters,
+    stats: &mut JobStats,
+    threads: usize,
+) -> Result<Vec<(M::OutKey, M::OutValue)>>
+where
+    M: Mapper,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+{
+    if inputs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let preferred: Vec<&[NodeId]> = inputs
+        .iter()
+        .map(|input| match input {
+            MapInput::Split(split) => split.locations.as_slice(),
+            MapInput::Memory(_) => &[][..],
+        })
+        .collect();
+    let plan = plan_nodes(dfs, &preferred)?;
+
+    let results = indexed_map(
+        inputs.len(),
+        threads,
+        || (),
+        |i, ()| run_map_task_failure_free(dfs, conf, mapper, combiner, &inputs[i], plan[i]),
+    );
+
+    let mut all_pairs = Vec::new();
+    for result in results {
+        stats.map_tasks += 1;
+        match result? {
+            Some(out) => {
+                counters.merge(&out.counters);
+                all_pairs.extend(out.pairs);
+            }
+            None => {
+                stats.lost_map_tasks += 1;
+                counters.increment(builtin::LOST_SPLITS);
+            }
+        }
+    }
+    Ok(all_pairs)
+}
+
+/// One map task on a stable cluster: no retry loop, no survival check.
+/// Returns `None` when the task's input blocks were already lost and the
+/// failure policy tolerates dropping them.
+fn run_map_task_failure_free<M, C>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    mapper: &M,
+    combiner: Option<&C>,
+    input: &MapInput,
+    node: NodeId,
+) -> Result<Option<MapTaskOutput<M::OutKey, M::OutValue>>>
+where
+    M: Mapper,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+{
+    let cluster = dfs.cluster();
+    if !conf.local_mode {
+        cluster.charge_task_startup();
+        cluster.record_task_on(node)?;
+    }
+
+    let mut ctx = MapContext::new();
+    let mut records = 0u64;
+    let read_result: Result<()> = (|| {
+        match input {
+            MapInput::Split(split) => {
+                let mut reader = dfs.open_split(split.clone(), Phase::Load);
+                while let Some((offset, line)) = reader.next_line()? {
+                    mapper.map(offset, &line, &mut ctx);
+                    records += 1;
+                }
+            }
+            MapInput::Memory(lines) => {
+                for (offset, line) in lines {
+                    mapper.map(*offset, line, &mut ctx);
+                    records += 1;
+                }
+            }
+        }
+        Ok(())
+    })();
+    match read_result {
+        Ok(()) => {}
+        Err(MrError::Dfs(earl_dfs::DfsError::BlockUnavailable(_)))
+            if conf.failure_policy == FailurePolicy::Ignore =>
+        {
+            return Ok(None);
+        }
+        Err(e) => return Err(e),
+    }
+
+    cluster.charge_map_cpu(records, mapper.is_heavy());
+
+    let mut task_counters = Counters::new();
+    task_counters.add(builtin::MAP_INPUT_RECORDS, records);
+    let (pairs, emitted) = ctx.into_parts();
+    task_counters.merge(&emitted);
+    let pairs = match combiner {
+        Some(cmb) => {
+            let combined = apply_combiner(pairs, cmb);
+            task_counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
+            combined
+        }
+        None => pairs,
+    };
+    Ok(Some(MapTaskOutput {
+        pairs,
+        counters: task_counters,
+    }))
+}
+
+/// Reduces all non-empty partitions concurrently across `threads` scoped
+/// workers and concatenates their outputs in partition order — exactly the
+/// order the sequential path produces.
+fn reduce_phase_parallel<R>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    reducer: &R,
+    partitions: Vec<std::collections::BTreeMap<R::InKey, Vec<R::InValue>>>,
+    counters: &mut Counters,
+    stats: &mut JobStats,
+    threads: usize,
+) -> Result<Vec<R::Output>>
+where
+    R: Reducer,
+{
+    let non_empty: Vec<_> = partitions.into_iter().filter(|p| !p.is_empty()).collect();
+    if non_empty.is_empty() {
+        return Ok(Vec::new());
+    }
+    let preferred: Vec<&[NodeId]> = non_empty.iter().map(|_| &[][..]).collect();
+    let plan = plan_nodes(dfs, &preferred)?;
+    let cluster = dfs.cluster();
+
+    let results = indexed_map(
+        non_empty.len(),
+        threads,
+        || (),
+        |i, ()| -> Result<_> {
+            let partition = &non_empty[i];
+            if !conf.local_mode {
+                cluster.charge_task_startup();
+                cluster.record_task_on(plan[i])?;
+            }
+            let records_in: u64 = partition.values().map(|v| v.len() as u64).sum();
+            let mut ctx = ReduceContext::new();
+            for (key, values) in partition {
+                reducer.reduce(key, values, &mut ctx);
+            }
+            cluster.charge_reduce_cpu(Phase::Reduce, records_in, reducer.is_heavy());
+            let (outputs, task_counters) = ctx.into_parts();
+            Ok((outputs, task_counters, partition.len() as u64, records_in))
+        },
+    );
+
+    let mut outputs = Vec::new();
+    for result in results {
+        let (out, task_counters, groups, records_in) = result?;
+        stats.reduce_tasks += 1;
+        counters.add(builtin::REDUCE_INPUT_GROUPS, groups);
+        counters.add(builtin::REDUCE_INPUT_RECORDS, records_in);
+        counters.merge(&task_counters);
+        outputs.extend(out);
+    }
+    Ok(outputs)
+}
+
+/// Intermediate pairs emitted by a mapper `M`.
+type MapperPairs<M> = Vec<(<M as Mapper>::OutKey, <M as Mapper>::OutValue)>;
 
 /// Runs one map task, retrying or dropping it according to the failure policy.
 /// Returns `None` when the task's output was lost under [`FailurePolicy::Ignore`].
@@ -193,7 +479,7 @@ fn run_map_task<M, C>(
     input: &MapInput,
     counters: &mut Counters,
     stats: &mut JobStats,
-) -> Result<Option<Vec<(M::OutKey, M::OutValue)>>>
+) -> Result<Option<MapperPairs<M>>>
 where
     M: Mapper,
     C: Combiner<Key = M::OutKey, Value = M::OutValue>,
@@ -290,14 +576,21 @@ fn pick_node(dfs: &Dfs, preferred: &[NodeId]) -> Result<NodeId> {
 }
 
 fn node_alive(dfs: &Dfs, node: NodeId) -> bool {
-    dfs.cluster().node(node).map(|n| n.is_available()).unwrap_or(false)
+    dfs.cluster()
+        .node(node)
+        .map(|n| n.is_available())
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::contrib::{CountCombiner, MeanReducer, TokenCountMapper, ValueExtractMapper, WordCountReducer};
-    use earl_cluster::{Cluster, CostModel, FailureEvent, FailureSchedule, SimDuration, SimInstant};
+    use crate::contrib::{
+        CountCombiner, MeanReducer, TokenCountMapper, ValueExtractMapper, WordCountReducer,
+    };
+    use earl_cluster::{
+        Cluster, CostModel, FailureEvent, FailureSchedule, SimDuration, SimInstant,
+    };
     use earl_dfs::DfsConfig;
 
     fn test_dfs(nodes: u32, free: bool) -> Dfs {
@@ -305,8 +598,15 @@ mod tests {
         if free {
             builder = builder.cost_model(CostModel::free());
         }
-        Dfs::new(builder.build().unwrap(), DfsConfig { block_size: 256, replication: 2, io_chunk: 64 })
-            .unwrap()
+        Dfs::new(
+            builder.build().unwrap(),
+            DfsConfig {
+                block_size: 256,
+                replication: 2,
+                io_chunk: 64,
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -333,12 +633,20 @@ mod tests {
     #[test]
     fn combiner_reduces_shuffle_volume_without_changing_results() {
         let dfs = test_dfs(2, true);
-        let lines: Vec<String> = (0..50).map(|i| format!("k{} k{} k{}", i % 3, i % 3, i % 5)).collect();
+        let lines: Vec<String> = (0..50)
+            .map(|i| format!("k{} k{} k{}", i % 3, i % 3, i % 5))
+            .collect();
         dfs.write_lines("/c", &lines).unwrap();
         let conf = JobConf::new("wc", InputSource::Path("/c".into())).with_reducers(2);
         let plain = run_job(&dfs, &conf, &TokenCountMapper, &WordCountReducer).unwrap();
-        let combined =
-            run_job_with_combiner(&dfs, &conf, &TokenCountMapper, &WordCountReducer, &CountCombiner).unwrap();
+        let combined = run_job_with_combiner(
+            &dfs,
+            &conf,
+            &TokenCountMapper,
+            &WordCountReducer,
+            &CountCombiner,
+        )
+        .unwrap();
         let mut a = plain.outputs.clone();
         let mut b = combined.outputs.clone();
         a.sort();
@@ -357,11 +665,14 @@ mod tests {
             "mean",
             InputSource::from_lines((1..=100).map(|i| i.to_string())),
         );
-        let result = run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        let result = run_job(&dfs, &conf, &ValueExtractMapper, &MeanReducer).unwrap();
         assert_eq!(result.outputs.len(), 1);
         assert!((result.outputs[0] - 50.5).abs() < 1e-9);
         let load = dfs.cluster().metrics().snapshot().phase(Phase::Load);
-        assert_eq!(load.disk_bytes_read, 0, "memory input must not touch the DFS");
+        assert_eq!(
+            load.disk_bytes_read, 0,
+            "memory input must not touch the DFS"
+        );
     }
 
     #[test]
@@ -372,12 +683,12 @@ mod tests {
 
         dfs.cluster().reset_accounting();
         let cluster_conf = JobConf::new("mean", InputSource::Path("/m".into()));
-        run_job(&dfs, &cluster_conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        run_job(&dfs, &cluster_conf, &ValueExtractMapper, &MeanReducer).unwrap();
         let cluster_time = dfs.cluster().elapsed();
 
         dfs.cluster().reset_accounting();
         let local_conf = JobConf::new("mean", InputSource::Path("/m".into())).local();
-        run_job(&dfs, &local_conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        run_job(&dfs, &local_conf, &ValueExtractMapper, &MeanReducer).unwrap();
         let local_time = dfs.cluster().elapsed();
 
         assert!(
@@ -390,7 +701,7 @@ mod tests {
     fn empty_input_produces_empty_result() {
         let dfs = test_dfs(1, true);
         let conf = JobConf::new("empty", InputSource::Memory(Vec::new()));
-        let result = run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        let result = run_job(&dfs, &conf, &ValueExtractMapper, &MeanReducer).unwrap();
         assert!(result.outputs.is_empty());
         assert_eq!(result.stats.map_tasks, 0);
         assert_eq!(result.stats.reduce_tasks, 0);
@@ -404,17 +715,31 @@ mod tests {
             node: NodeId(1),
             at: SimInstant::EPOCH + SimDuration::from_millis(100),
         }]);
-        let cluster = Cluster::builder().nodes(3).failure_schedule(schedule).build().unwrap();
-        let dfs =
-            Dfs::new(cluster, DfsConfig { block_size: 512, replication: 2, io_chunk: 128 }).unwrap();
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .failure_schedule(schedule)
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 512,
+                replication: 2,
+                io_chunk: 128,
+            },
+        )
+        .unwrap();
         let lines: Vec<String> = (1..=1000).map(|i| i.to_string()).collect();
         dfs.write_lines("/ft", &lines).unwrap();
         let conf = JobConf::new("mean", InputSource::Path("/ft".into()))
             .with_failure_policy(FailurePolicy::Restart);
-        let result = run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        let result = run_job(&dfs, &conf, &ValueExtractMapper, &MeanReducer).unwrap();
         assert_eq!(result.outputs.len(), 1);
         assert!((result.outputs[0] - 500.5).abs() < 1e-9);
-        assert!(!dfs.cluster().failed_nodes().is_empty(), "the failure must actually have fired");
+        assert!(
+            !dfs.cluster().failed_nodes().is_empty(),
+            "the failure must actually have fired"
+        );
     }
 
     #[test]
@@ -422,43 +747,76 @@ mod tests {
         // Every node except node 0 fails very early; with the Ignore policy the
         // job still completes, reporting lost map tasks.
         let schedule = FailureSchedule::Deterministic(vec![
-            FailureEvent { node: NodeId(1), at: SimInstant::EPOCH + SimDuration::from_millis(1) },
-            FailureEvent { node: NodeId(2), at: SimInstant::EPOCH + SimDuration::from_millis(1) },
+            FailureEvent {
+                node: NodeId(1),
+                at: SimInstant::EPOCH + SimDuration::from_millis(1),
+            },
+            FailureEvent {
+                node: NodeId(2),
+                at: SimInstant::EPOCH + SimDuration::from_millis(1),
+            },
         ]);
-        let cluster = Cluster::builder().nodes(3).failure_schedule(schedule).build().unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 256, replication: 1, io_chunk: 64 }).unwrap();
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .failure_schedule(schedule)
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 256,
+                replication: 1,
+                io_chunk: 64,
+            },
+        )
+        .unwrap();
         let lines: Vec<String> = (1..=2000).map(|i| i.to_string()).collect();
         dfs.write_lines("/loss", &lines).unwrap();
         dfs.cluster().reset_accounting();
         let conf = JobConf::new("mean", InputSource::Path("/loss".into()))
             .with_failure_policy(FailurePolicy::Ignore);
-        let result = run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        let result = run_job(&dfs, &conf, &ValueExtractMapper, &MeanReducer).unwrap();
         // The job must finish; depending on which blocks were lost the answer is
         // approximate but the surviving fraction must be reported.
         assert!(result.stats.map_tasks > 0);
         if result.stats.lost_map_tasks > 0 {
             assert!(result.stats.surviving_fraction() < 1.0);
-            assert_eq!(result.counters.get(builtin::LOST_SPLITS), result.stats.lost_map_tasks);
+            assert_eq!(
+                result.counters.get(builtin::LOST_SPLITS),
+                result.stats.lost_map_tasks
+            );
         }
     }
 
     #[test]
     fn output_path_charges_write_cost() {
         let dfs = test_dfs(2, false);
-        dfs.write_lines("/in", (1..=100).map(|i| i.to_string())).unwrap();
-        let before = dfs.cluster().metrics().snapshot().phase(Phase::Output).disk_bytes_written;
+        dfs.write_lines("/in", (1..=100).map(|i| i.to_string()))
+            .unwrap();
+        let before = dfs
+            .cluster()
+            .metrics()
+            .snapshot()
+            .phase(Phase::Output)
+            .disk_bytes_written;
         let conf = JobConf::new("mean", InputSource::Path("/in".into())).with_output_path("/out");
-        run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
-        let after = dfs.cluster().metrics().snapshot().phase(Phase::Output).disk_bytes_written;
+        run_job(&dfs, &conf, &ValueExtractMapper, &MeanReducer).unwrap();
+        let after = dfs
+            .cluster()
+            .metrics()
+            .snapshot()
+            .phase(Phase::Output)
+            .disk_bytes_written;
         assert!(after > before);
     }
 
     #[test]
     fn stats_record_sim_time_and_tasks() {
         let dfs = test_dfs(2, false);
-        dfs.write_lines("/t", (1..=500).map(|i| i.to_string())).unwrap();
+        dfs.write_lines("/t", (1..=500).map(|i| i.to_string()))
+            .unwrap();
         let conf = JobConf::new("mean", InputSource::Path("/t".into()));
-        let result = run_job(&dfs, &conf, &ValueExtractMapper::default(), &MeanReducer).unwrap();
+        let result = run_job(&dfs, &conf, &ValueExtractMapper, &MeanReducer).unwrap();
         assert!(result.stats.sim_time > SimDuration::ZERO);
         assert!(result.stats.map_tasks >= 1);
         assert_eq!(result.stats.map_input_records, 500);

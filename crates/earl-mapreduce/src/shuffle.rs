@@ -20,9 +20,12 @@ impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
         partitioner: &P,
     ) -> Self {
         let num_partitions = num_partitions.max(1);
-        let mut partitions: Vec<BTreeMap<K, Vec<V>>> = (0..num_partitions).map(|_| BTreeMap::new()).collect();
+        let mut partitions: Vec<BTreeMap<K, Vec<V>>> =
+            (0..num_partitions).map(|_| BTreeMap::new()).collect();
         for (key, value) in pairs {
-            let p = partitioner.partition(&key, num_partitions).min(num_partitions - 1);
+            let p = partitioner
+                .partition(&key, num_partitions)
+                .min(num_partitions - 1);
             partitions[p].entry(key).or_default().push(value);
         }
         Self { partitions }
@@ -35,7 +38,11 @@ impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
 
     /// Total number of records across all partitions.
     pub fn total_records(&self) -> u64 {
-        self.partitions.iter().flat_map(|p| p.values()).map(|v| v.len() as u64).sum()
+        self.partitions
+            .iter()
+            .flat_map(|p| p.values())
+            .map(|v| v.len() as u64)
+            .sum()
     }
 
     /// Total number of distinct keys across all partitions.

@@ -33,7 +33,10 @@ pub struct MapContext<K, V> {
 impl<K: MrKey, V: MrValue> MapContext<K, V> {
     /// Creates an empty context.
     pub fn new() -> Self {
-        Self { emitted: Vec::new(), counters: Counters::new() }
+        Self {
+            emitted: Vec::new(),
+            counters: Counters::new(),
+        }
     }
 
     /// Emits one intermediate `(key, value)` pair.
@@ -74,7 +77,10 @@ pub struct ReduceContext<O> {
 impl<O> ReduceContext<O> {
     /// Creates an empty context.
     pub fn new() -> Self {
-        Self { outputs: Vec::new(), counters: Counters::new() }
+        Self {
+            outputs: Vec::new(),
+            counters: Counters::new(),
+        }
     }
 
     /// Emits one output record.
@@ -127,7 +133,12 @@ pub trait Reducer: Send + Sync {
     type Output: Send + 'static;
 
     /// Processes one key group.
-    fn reduce(&self, key: &Self::InKey, values: &[Self::InValue], ctx: &mut ReduceContext<Self::Output>);
+    fn reduce(
+        &self,
+        key: &Self::InKey,
+        values: &[Self::InValue],
+        ctx: &mut ReduceContext<Self::Output>,
+    );
 
     /// Whether the reduce function is CPU-heavy.  Defaults to `false`.
     fn is_heavy(&self) -> bool {

@@ -1,0 +1,192 @@
+//! # earl-parallel
+//!
+//! The scoped fork-join executor the whole workspace runs on.
+//!
+//! All hot paths — Monte-Carlo bootstrap replicates, block bootstrap,
+//! jackknife, delta-maintained resample updates, and MapReduce map/reduce
+//! tasks — reduce to the same shape: evaluate `count` independent work items,
+//! each identified by its index, where every worker thread needs a private
+//! scratch state (reusable buffers and nothing else).  This crate provides
+//! that shape once, over `std::thread::scope` — no dependency on an external
+//! thread-pool crate, no per-item allocation, and results that are
+//! **bit-identical for every thread count** because item `i` depends only on
+//! `i` (statistical callers derive per-replicate RNG streams from
+//! `earl_bootstrap::rng::replicate_rng`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Resolves a requested worker count: `None` means all available cores.
+pub fn resolve_parallelism(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Below this many scalar operations a fork-join is slower than just doing the
+/// work; callers use it to fall back to single-threaded execution.
+pub const MIN_PARALLEL_WORK: usize = 1 << 15;
+
+/// The one gating policy for worker counts: single-threaded when the total
+/// scalar work is too small to amortise a fork-join, otherwise the requested
+/// parallelism (`None` = all cores).
+pub fn workers_for(total_work: usize, requested: Option<usize>) -> usize {
+    if total_work < MIN_PARALLEL_WORK {
+        1
+    } else {
+        resolve_parallelism(requested)
+    }
+}
+
+/// Evaluates `count` independent work items, splitting them into contiguous
+/// chunks over `threads` scoped workers.  Each worker builds one scratch state
+/// with `make_scratch` and reuses it for all of its items; `eval(i, scratch)`
+/// must depend only on `i` and the scratch contents it itself wrote.
+///
+/// Returns the results in index order.  With `threads <= 1` no thread is
+/// spawned at all.  This is the one fork-join primitive the whole workspace
+/// executes on — bootstrap replicates and MapReduce tasks alike.
+pub fn indexed_map<T, S, G, F>(count: usize, threads: usize, make_scratch: G, eval: F) -> Vec<T>
+where
+    T: Send,
+    S: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(count).collect();
+    let threads = threads.clamp(1, count.max(1));
+    if threads <= 1 {
+        let mut scratch = make_scratch();
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = Some(eval(i, &mut scratch));
+        }
+    } else {
+        let chunk_len = count.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, slots) in out.chunks_mut(chunk_len).enumerate() {
+                let make_scratch = &make_scratch;
+                let eval = &eval;
+                scope.spawn(move || {
+                    let base = chunk_idx * chunk_len;
+                    let mut scratch = make_scratch();
+                    for (offset, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(eval(base + offset, &mut scratch));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every work item was executed"))
+        .collect()
+}
+
+/// [`indexed_map`] specialised to replicate evaluation (one `f64` per
+/// replicate).
+pub fn replicate_map<S, G, F>(count: usize, threads: usize, make_scratch: G, eval: F) -> Vec<f64>
+where
+    S: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> f64 + Sync,
+{
+    indexed_map(count, threads, make_scratch, eval)
+}
+
+/// Like [`replicate_map`] but for in-place mutation of `count` existing items:
+/// `update(i, &mut items[i], scratch)`.  Used by delta maintenance, where each
+/// maintained resample is updated rather than recomputed.
+pub fn replicate_update<T, S, G, F>(items: &mut [T], threads: usize, make_scratch: G, update: F)
+where
+    T: Send,
+    S: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(usize, &mut T, &mut S) + Sync,
+{
+    let count = items.len();
+    let threads = threads.clamp(1, count.max(1));
+    if threads <= 1 {
+        let mut scratch = make_scratch();
+        for (i, item) in items.iter_mut().enumerate() {
+            update(i, item, &mut scratch);
+        }
+        return;
+    }
+    let chunk_len = count.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            let make_scratch = &make_scratch;
+            let update = &update;
+            scope.spawn(move || {
+                let base = chunk_idx * chunk_len;
+                let mut scratch = make_scratch();
+                for (offset, item) in chunk.iter_mut().enumerate() {
+                    update(base + offset, item, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_parallelism_bounds() {
+        assert_eq!(resolve_parallelism(Some(4)), 4);
+        assert_eq!(resolve_parallelism(Some(0)), 1);
+        assert!(resolve_parallelism(None) >= 1);
+    }
+
+    #[test]
+    fn workers_for_gates_small_work() {
+        assert_eq!(
+            workers_for(10, Some(8)),
+            1,
+            "tiny work stays single-threaded"
+        );
+        assert_eq!(workers_for(MIN_PARALLEL_WORK, Some(8)), 8);
+        assert!(workers_for(MIN_PARALLEL_WORK, None) >= 1);
+    }
+
+    #[test]
+    fn replicate_map_is_identical_across_thread_counts() {
+        let eval = |i: usize, _: &mut ()| (i as f64).sqrt();
+        let expected: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(replicate_map(1000, threads, || (), eval), expected);
+        }
+        assert!(replicate_map(0, 4, || (), eval).is_empty());
+    }
+
+    #[test]
+    fn replicate_update_touches_every_item_once() {
+        let mut items: Vec<u64> = (0..997).collect();
+        replicate_update(&mut items, 8, || (), |i, item, _| *item += i as u64);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn indexed_map_returns_non_copy_results_in_order() {
+        let out: Vec<String> = indexed_map(100, 5, || (), |i, ()| format!("item-{i}"));
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s == &format!("item-{i}")));
+    }
+
+    #[test]
+    fn scratch_is_per_worker() {
+        // Each worker's scratch accumulates only its own chunk; the sum across
+        // replicates must still cover every index exactly once.
+        let vals = replicate_map(100, 7, Vec::<usize>::new, |i, seen| {
+            seen.push(i);
+            i as f64
+        });
+        let total: f64 = vals.iter().sum();
+        assert_eq!(total, (0..100).sum::<usize>() as f64);
+    }
+}

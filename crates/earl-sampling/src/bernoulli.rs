@@ -26,7 +26,11 @@ pub struct BernoulliSampler {
 impl BernoulliSampler {
     /// Creates a sampler with inclusion probability `p` (clamped to `[0, 1]`).
     pub fn new(p: f64) -> Self {
-        Self { p: p.clamp(0.0, 1.0), offered: 0, included: 0 }
+        Self {
+            p: p.clamp(0.0, 1.0),
+            offered: 0,
+            included: 0,
+        }
     }
 
     /// Decides whether the next record is included.
@@ -78,7 +82,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         assert!(bernoulli_sample(&mut rng, 0..100u32, 0.0).is_empty());
         assert_eq!(bernoulli_sample(&mut rng, 0..100u32, 1.0).len(), 100);
-        assert_eq!(bernoulli_sample(&mut rng, 0..100u32, 7.0).len(), 100, "p is clamped");
+        assert_eq!(
+            bernoulli_sample(&mut rng, 0..100u32, 7.0).len(),
+            100,
+            "p is clamped"
+        );
     }
 
     #[test]

@@ -27,25 +27,43 @@ pub fn block_sample(
     seed: u64,
 ) -> Result<SampleBatch> {
     if num_splits == 0 {
-        return Err(SamplingError::InvalidConfig("must sample at least one split".into()));
+        return Err(SamplingError::InvalidConfig(
+            "must sample at least one split".into(),
+        ));
     }
     let path = path.into();
     let mut splits = dfs.splits(path, split_size)?;
     if splits.is_empty() {
-        return Ok(SampleBatch { records: Vec::new(), bytes_read: 0 });
+        return Ok(SampleBatch {
+            records: Vec::new(),
+            bytes_read: 0,
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed);
     splits.shuffle(&mut rng);
     splits.truncate(num_splits);
 
-    let before = dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
+    let before = dfs
+        .cluster()
+        .metrics()
+        .snapshot()
+        .phase(Phase::Load)
+        .disk_bytes_read;
     let mut records = Vec::new();
     for split in splits {
         let mut reader = dfs.open_split(split, Phase::Load);
         records.extend(reader.read_all()?);
     }
-    let after = dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
-    Ok(SampleBatch { records, bytes_read: after - before })
+    let after = dfs
+        .cluster()
+        .metrics()
+        .snapshot()
+        .phase(Phase::Load)
+        .disk_bytes_read;
+    Ok(SampleBatch {
+        records,
+        bytes_read: after - before,
+    })
 }
 
 #[cfg(test)]
@@ -58,17 +76,42 @@ mod tests {
     /// A file whose values are *clustered on disk*: the first half of the file
     /// holds small values, the second half large ones.
     fn clustered_dataset(n: usize) -> (Dfs, f64) {
-        let cluster = Cluster::builder().nodes(2).cost_model(CostModel::free()).build().unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 2048, replication: 1, io_chunk: 256 }).unwrap();
-        let values: Vec<f64> =
-            (0..n).map(|i| if i < n / 2 { 10.0 + (i % 7) as f64 } else { 1000.0 + (i % 7) as f64 }).collect();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 2048,
+                replication: 1,
+                io_chunk: 256,
+            },
+        )
+        .unwrap();
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                if i < n / 2 {
+                    10.0 + (i % 7) as f64
+                } else {
+                    1000.0 + (i % 7) as f64
+                }
+            })
+            .collect();
         let mean = values.iter().sum::<f64>() / n as f64;
-        dfs.write_lines("/clustered", values.iter().map(|v| format!("{v}"))).unwrap();
+        dfs.write_lines("/clustered", values.iter().map(|v| format!("{v}")))
+            .unwrap();
         (dfs, mean)
     }
 
     fn batch_mean(batch: &SampleBatch) -> f64 {
-        batch.records.iter().map(|(_, l)| l.parse::<f64>().unwrap()).sum::<f64>() / batch.len() as f64
+        batch
+            .records
+            .iter()
+            .map(|(_, l)| l.parse::<f64>().unwrap())
+            .sum::<f64>()
+            / batch.len() as f64
     }
 
     #[test]

@@ -24,8 +24,14 @@ impl fmt::Display for SamplingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SamplingError::Dfs(e) => write!(f, "dfs error: {e}"),
-            SamplingError::SampleTooLarge { requested, available } => {
-                write!(f, "requested sample of {requested} exceeds population of {available}")
+            SamplingError::SampleTooLarge {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested sample of {requested} exceeds population of {available}"
+                )
             }
             SamplingError::InvalidConfig(msg) => write!(f, "invalid sampler configuration: {msg}"),
         }
@@ -55,7 +61,14 @@ mod tests {
     fn display() {
         let e: SamplingError = DfsError::FileNotFound("/x".into()).into();
         assert!(e.to_string().contains("/x"));
-        assert!(SamplingError::SampleTooLarge { requested: 10, available: 5 }.to_string().contains("10"));
-        assert!(SamplingError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(SamplingError::SampleTooLarge {
+            requested: 10,
+            available: 5
+        }
+        .to_string()
+        .contains("10"));
+        assert!(SamplingError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

@@ -31,22 +31,37 @@ impl PostMapSampler {
     pub fn new(dfs: Dfs, path: impl Into<DfsPath>, seed: u64) -> Result<Self> {
         let path = path.into();
         let status = dfs.status(path.clone())?;
-        let before = dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
+        let before = dfs
+            .cluster()
+            .metrics()
+            .snapshot()
+            .phase(Phase::Load)
+            .disk_bytes_read;
         // Read and parse everything once — the defining cost of post-map sampling.
-        let mut shuffled: Vec<(u64, String)> = Vec::with_capacity(status.num_records.unwrap_or(0) as usize);
+        let mut shuffled: Vec<(u64, String)> =
+            Vec::with_capacity(status.num_records.unwrap_or(0) as usize);
         let mut offset = 0u64;
         for line in dfs.read_all_lines(Phase::Load, path)? {
             let len = line.len() as u64 + 1;
             shuffled.push((offset, line));
             offset += len;
         }
-        let after = dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
+        let after = dfs
+            .cluster()
+            .metrics()
+            .snapshot()
+            .phase(Phase::Load)
+            .disk_bytes_read;
         // "Random hashing that generates a pre-determined set of keys": a seeded
         // permutation gives every record a random position, and drawing from the
         // front is then drawing without replacement.
         let mut rng = StdRng::seed_from_u64(seed);
         shuffled.shuffle(&mut rng);
-        Ok(Self { shuffled, cursor: 0, initial_scan_bytes: after - before })
+        Ok(Self {
+            shuffled,
+            cursor: 0,
+            initial_scan_bytes: after - before,
+        })
     }
 
     /// Bytes read by the initial full scan.
@@ -66,9 +81,16 @@ impl SampleSource for PostMapSampler {
         let records = self.shuffled[self.cursor..end].to_vec();
         // The first batch carries the cost of the initial scan so that callers
         // comparing samplers see the full price of post-map sampling.
-        let bytes_read = if self.cursor == 0 { self.initial_scan_bytes } else { 0 };
+        let bytes_read = if self.cursor == 0 {
+            self.initial_scan_bytes
+        } else {
+            0
+        };
         self.cursor = end;
-        Ok(SampleBatch { records, bytes_read })
+        Ok(SampleBatch {
+            records,
+            bytes_read,
+        })
     }
 
     fn population_size(&self) -> Option<u64> {
@@ -88,9 +110,22 @@ mod tests {
     use std::collections::HashSet;
 
     fn dataset(n: usize) -> Dfs {
-        let cluster = Cluster::builder().nodes(2).cost_model(CostModel::free()).build().unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 4096, replication: 1, io_chunk: 256 }).unwrap();
-        dfs.write_lines("/data", (0..n).map(|i| format!("{}", i))).unwrap();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 4096,
+                replication: 1,
+                io_chunk: 256,
+            },
+        )
+        .unwrap();
+        dfs.write_lines("/data", (0..n).map(|i| format!("{}", i)))
+            .unwrap();
         dfs
     }
 
@@ -101,7 +136,11 @@ mod tests {
         let sampler = PostMapSampler::new(dfs, "/data", 1).unwrap();
         assert_eq!(sampler.exact_population(), 1_000);
         assert_eq!(sampler.population_size(), Some(1_000));
-        assert_eq!(sampler.initial_scan_bytes(), file_len, "post-map sampling scans everything");
+        assert_eq!(
+            sampler.initial_scan_bytes(),
+            file_len,
+            "post-map sampling scans everything"
+        );
     }
 
     #[test]
@@ -142,8 +181,16 @@ mod tests {
         let true_mean = (n as f64 - 1.0) / 2.0;
         let mut sampler = PostMapSampler::new(dfs, "/data", 4).unwrap();
         let batch = sampler.draw(1_000).unwrap();
-        let mean = batch.records.iter().map(|(_, l)| l.parse::<f64>().unwrap()).sum::<f64>() / 1_000.0;
-        assert!((mean - true_mean).abs() / true_mean < 0.1, "sample mean {mean} vs {true_mean}");
+        let mean = batch
+            .records
+            .iter()
+            .map(|(_, l)| l.parse::<f64>().unwrap())
+            .sum::<f64>()
+            / 1_000.0;
+        assert!(
+            (mean - true_mean).abs() / true_mean < 0.1,
+            "sample mean {mean} vs {true_mean}"
+        );
     }
 
     #[test]

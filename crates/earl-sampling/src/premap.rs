@@ -75,21 +75,35 @@ impl PreMapSampler {
 impl SampleSource for PreMapSampler {
     fn draw(&mut self, count: usize) -> Result<SampleBatch> {
         if self.file_len == 0 || count == 0 {
-            return Ok(SampleBatch { records: Vec::new(), bytes_read: 0 });
+            return Ok(SampleBatch {
+                records: Vec::new(),
+                bytes_read: 0,
+            });
         }
         if let Some(n) = self.population {
             if self.drawn >= n {
-                return Ok(SampleBatch { records: Vec::new(), bytes_read: 0 });
+                return Ok(SampleBatch {
+                    records: Vec::new(),
+                    bytes_read: 0,
+                });
             }
         }
-        let before = self.dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
+        let before = self
+            .dfs
+            .cluster()
+            .metrics()
+            .snapshot()
+            .phase(Phase::Load)
+            .disk_bytes_read;
         let mut records = Vec::with_capacity(count);
         let mut probes = 0usize;
         let max_probes = count.saturating_mul(self.max_probe_factor).max(1_000);
         while records.len() < count && probes < max_probes {
             probes += 1;
             let offset = self.rng.gen_range(0..self.file_len);
-            let Some((line_start, line)) = self.dfs.read_line_at(Phase::Load, self.path.clone(), offset)?
+            let Some((line_start, line)) =
+                self.dfs
+                    .read_line_at(Phase::Load, self.path.clone(), offset)?
             else {
                 continue;
             };
@@ -103,8 +117,17 @@ impl SampleSource for PreMapSampler {
             }
         }
         self.drawn += records.len() as u64;
-        let after = self.dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
-        Ok(SampleBatch { records, bytes_read: after - before })
+        let after = self
+            .dfs
+            .cluster()
+            .metrics()
+            .snapshot()
+            .phase(Phase::Load)
+            .disk_bytes_read;
+        Ok(SampleBatch {
+            records,
+            bytes_read: after - before,
+        })
     }
 
     fn population_size(&self) -> Option<u64> {
@@ -125,7 +148,9 @@ pub fn premap_sample(
     seed: u64,
 ) -> Result<SampleBatch> {
     if count == 0 {
-        return Err(SamplingError::InvalidConfig("sample size must be ≥ 1".into()));
+        return Err(SamplingError::InvalidConfig(
+            "sample size must be ≥ 1".into(),
+        ));
     }
     let mut sampler = PreMapSampler::new(dfs.clone(), path, seed)?;
     sampler.draw(count)
@@ -138,10 +163,23 @@ mod tests {
     use earl_dfs::DfsConfig;
 
     fn dataset(n: usize) -> (Dfs, Vec<f64>) {
-        let cluster = Cluster::builder().nodes(3).cost_model(CostModel::free()).build().unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 4096, replication: 2, io_chunk: 32 }).unwrap();
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 4096,
+                replication: 2,
+                io_chunk: 32,
+            },
+        )
+        .unwrap();
         let values: Vec<f64> = (0..n).map(|i| (i as f64 * 37.0) % 1000.0).collect();
-        dfs.write_lines("/data", values.iter().map(|v| format!("{v}"))).unwrap();
+        dfs.write_lines("/data", values.iter().map(|v| format!("{v}")))
+            .unwrap();
         (dfs, values)
     }
 
@@ -155,7 +193,10 @@ mod tests {
         assert_eq!(offsets.len(), 100, "no line may be sampled twice");
         assert_eq!(sampler.used_offsets(), 100);
         assert_eq!(sampler.drawn(), 100);
-        assert!(batch.bytes_read > 0, "pre-map sampling reads only what it touches");
+        assert!(
+            batch.bytes_read > 0,
+            "pre-map sampling reads only what it touches"
+        );
         assert_eq!(sampler.population_size(), Some(500));
         assert!((sampler.sampled_fraction().unwrap() - 0.2).abs() < 1e-12);
     }
@@ -206,7 +247,10 @@ mod tests {
             .sum::<f64>()
             / batch.len() as f64;
         let rel_err = (sample_mean - true_mean).abs() / true_mean;
-        assert!(rel_err < 0.1, "10% sample mean {sample_mean} vs population {true_mean}");
+        assert!(
+            rel_err < 0.1,
+            "10% sample mean {sample_mean} vs population {true_mean}"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct ReservoirSampler<T> {
 impl<T> ReservoirSampler<T> {
     /// Creates a reservoir holding at most `capacity` items.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, seen: 0, items: Vec::with_capacity(capacity.min(1 << 20)) }
+        Self {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity.min(1 << 20)),
+        }
     }
 
     /// Offers one item from the stream.
@@ -106,7 +110,10 @@ mod tests {
         let expected = trials as f64 * k as f64 / n as f64; // 200
         for (i, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.35, "item {i} included {c} times, expected ≈{expected}");
+            assert!(
+                dev < 0.35,
+                "item {i} included {c} times, expected ≈{expected}"
+            );
         }
     }
 

@@ -70,10 +70,14 @@ mod tests {
     impl SampleSource for FakeSource {
         fn draw(&mut self, count: usize) -> Result<SampleBatch> {
             let take = (count as u64).min(self.total - self.next);
-            let records =
-                (0..take).map(|i| (self.next + i, format!("r{}", self.next + i))).collect::<Vec<_>>();
+            let records = (0..take)
+                .map(|i| (self.next + i, format!("r{}", self.next + i)))
+                .collect::<Vec<_>>();
             self.next += take;
-            Ok(SampleBatch { records, bytes_read: take * 4 })
+            Ok(SampleBatch {
+                records,
+                bytes_read: take * 4,
+            })
         }
         fn population_size(&self) -> Option<u64> {
             Some(self.total)
@@ -85,7 +89,10 @@ mod tests {
 
     #[test]
     fn sampled_fraction_tracks_draws() {
-        let mut src = FakeSource { next: 0, total: 100 };
+        let mut src = FakeSource {
+            next: 0,
+            total: 100,
+        };
         assert_eq!(src.sampled_fraction(), Some(0.0));
         let batch = src.draw(25).unwrap();
         assert_eq!(batch.len(), 25);

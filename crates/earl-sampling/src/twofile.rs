@@ -44,9 +44,16 @@ pub struct TwoFileSampler {
 impl TwoFileSampler {
     /// Creates the sampler, loading roughly `memory_fraction` of the file's
     /// bytes into memory (charged as a sequential read).
-    pub fn new(dfs: Dfs, path: impl Into<DfsPath>, memory_fraction: f64, seed: u64) -> Result<Self> {
+    pub fn new(
+        dfs: Dfs,
+        path: impl Into<DfsPath>,
+        memory_fraction: f64,
+        seed: u64,
+    ) -> Result<Self> {
         if !(0.0..=1.0).contains(&memory_fraction) {
-            return Err(SamplingError::InvalidConfig("memory_fraction must be in [0, 1]".into()));
+            return Err(SamplingError::InvalidConfig(
+                "memory_fraction must be in [0, 1]".into(),
+            ));
         }
         let path = path.into();
         let status = dfs.status(path.clone())?;
@@ -88,10 +95,23 @@ impl TwoFileSampler {
     /// original ARHASH formulation).
     pub fn draw(&mut self, count: usize) -> Result<SampleBatch> {
         if self.file_len == 0 {
-            return Ok(SampleBatch { records: Vec::new(), bytes_read: 0 });
+            return Ok(SampleBatch {
+                records: Vec::new(),
+                bytes_read: 0,
+            });
         }
-        let before = self.dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
-        let memory_fraction = if self.file_len == 0 { 0.0 } else { self.disk_start as f64 / self.file_len as f64 };
+        let before = self
+            .dfs
+            .cluster()
+            .metrics()
+            .snapshot()
+            .phase(Phase::Load)
+            .disk_bytes_read;
+        let memory_fraction = if self.file_len == 0 {
+            0.0
+        } else {
+            self.disk_start as f64 / self.file_len as f64
+        };
         let mut records = Vec::with_capacity(count);
         while records.len() < count {
             if !self.memory.is_empty() && self.rng.gen::<f64>() < memory_fraction {
@@ -100,7 +120,10 @@ impl TwoFileSampler {
                 self.stats.memory_hits += 1;
             } else if self.disk_start < self.file_len {
                 let offset = self.rng.gen_range(self.disk_start..self.file_len);
-                if let Some(rec) = self.dfs.read_line_at(Phase::Load, self.path.clone(), offset)? {
+                if let Some(rec) = self
+                    .dfs
+                    .read_line_at(Phase::Load, self.path.clone(), offset)?
+                {
                     records.push(rec);
                 }
                 self.stats.disk_seeks += 1;
@@ -113,8 +136,17 @@ impl TwoFileSampler {
                 break;
             }
         }
-        let after = self.dfs.cluster().metrics().snapshot().phase(Phase::Load).disk_bytes_read;
-        Ok(SampleBatch { records, bytes_read: after - before })
+        let after = self
+            .dfs
+            .cluster()
+            .metrics()
+            .snapshot()
+            .phase(Phase::Load)
+            .disk_bytes_read;
+        Ok(SampleBatch {
+            records,
+            bytes_read: after - before,
+        })
     }
 }
 
@@ -125,9 +157,22 @@ mod tests {
     use earl_dfs::DfsConfig;
 
     fn dataset(n: usize) -> Dfs {
-        let cluster = Cluster::builder().nodes(2).cost_model(CostModel::free()).build().unwrap();
-        let dfs = Dfs::new(cluster, DfsConfig { block_size: 4096, replication: 1, io_chunk: 128 }).unwrap();
-        dfs.write_lines("/tf", (0..n).map(|i| format!("{i}"))).unwrap();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 4096,
+                replication: 1,
+                io_chunk: 128,
+            },
+        )
+        .unwrap();
+        dfs.write_lines("/tf", (0..n).map(|i| format!("{i}")))
+            .unwrap();
         dfs
     }
 
@@ -139,7 +184,10 @@ mod tests {
         cold.draw(500).unwrap();
         warm.draw(500).unwrap();
         assert_eq!(cold.stats().memory_hits, 0);
-        assert!(warm.stats().memory_hits > 100, "half the draws should be served from memory");
+        assert!(
+            warm.stats().memory_hits > 100,
+            "half the draws should be served from memory"
+        );
         assert!(warm.stats().disk_seeks < cold.stats().disk_seeks);
     }
 
@@ -157,9 +205,19 @@ mod tests {
         let dfs = dataset(1_000);
         let mut s = TwoFileSampler::new(dfs, "/tf", 0.3, 3).unwrap();
         let batch = s.draw(600).unwrap();
-        let values: Vec<u64> = batch.records.iter().map(|(_, l)| l.parse().unwrap()).collect();
-        assert!(values.iter().any(|&v| v < 300), "some draws from the memory region");
-        assert!(values.iter().any(|&v| v > 700), "some draws from the disk region");
+        let values: Vec<u64> = batch
+            .records
+            .iter()
+            .map(|(_, l)| l.parse().unwrap())
+            .collect();
+        assert!(
+            values.iter().any(|&v| v < 300),
+            "some draws from the memory region"
+        );
+        assert!(
+            values.iter().any(|&v| v > 700),
+            "some draws from the disk region"
+        );
     }
 
     #[test]

@@ -98,7 +98,11 @@ impl DatasetBuilder {
 
     /// Generates and writes the dataset to `path`, returning the materialised
     /// dataset with its ground-truth statistics.
-    pub fn build(&self, path: impl Into<DfsPath>, spec: &DatasetSpec) -> earl_dfs::Result<GeneratedDataset> {
+    pub fn build(
+        &self,
+        path: impl Into<DfsPath>,
+        spec: &DatasetSpec,
+    ) -> earl_dfs::Result<GeneratedDataset> {
         let path = path.into();
         let values = Self::generate_values(spec);
         let status = if spec.keyed {
@@ -107,7 +111,8 @@ impl DatasetBuilder {
                 values.iter().enumerate().map(|(i, v)| format!("k{i}\t{v}")),
             )?
         } else {
-            self.dfs.write_lines(path.clone(), values.iter().map(|v| format!("{v}")))?
+            self.dfs
+                .write_lines(path.clone(), values.iter().map(|v| format!("{v}")))?
         };
         let true_mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
         let mut sorted = values.clone();
@@ -122,7 +127,14 @@ impl DatasetBuilder {
         let true_std_dev = (values.iter().map(|v| (v - true_mean).powi(2)).sum::<f64>()
             / values.len().max(1) as f64)
             .sqrt();
-        Ok(GeneratedDataset { path, status, values, true_mean, true_median, true_std_dev })
+        Ok(GeneratedDataset {
+            path,
+            status,
+            values,
+            true_mean,
+            true_median,
+            true_std_dev,
+        })
     }
 }
 
@@ -133,8 +145,20 @@ mod tests {
     use earl_dfs::DfsConfig;
 
     fn dfs() -> Dfs {
-        let cluster = Cluster::builder().nodes(3).cost_model(CostModel::free()).build().unwrap();
-        Dfs::new(cluster, DfsConfig { block_size: 8192, replication: 2, io_chunk: 256 }).unwrap()
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 8192,
+                replication: 2,
+                io_chunk: 256,
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -174,6 +198,9 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let spec = DatasetSpec::normal(100, 0.0, 1.0, 9);
-        assert_eq!(DatasetBuilder::generate_values(&spec), DatasetBuilder::generate_values(&spec));
+        assert_eq!(
+            DatasetBuilder::generate_values(&spec),
+            DatasetBuilder::generate_values(&spec)
+        );
     }
 }

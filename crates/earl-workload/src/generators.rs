@@ -108,7 +108,11 @@ impl ValueGenerator {
             }
             _ => None,
         };
-        Self { distribution, rng: StdRng::seed_from_u64(seed), zipf_cdf }
+        Self {
+            distribution,
+            rng: StdRng::seed_from_u64(seed),
+            zipf_cdf,
+        }
     }
 
     /// The distribution being generated.
@@ -165,7 +169,10 @@ mod tests {
 
     #[test]
     fn uniform_matches_theory() {
-        let d = Distribution::Uniform { low: 10.0, high: 30.0 };
+        let d = Distribution::Uniform {
+            low: 10.0,
+            high: 30.0,
+        };
         let values = ValueGenerator::new(d, 1).take(50_000);
         assert!((empirical_mean(&values) - d.true_mean()).abs() < 0.2);
         assert!((empirical_sd(&values) - d.true_std_dev()).abs() < 0.2);
@@ -174,7 +181,10 @@ mod tests {
 
     #[test]
     fn normal_matches_theory() {
-        let d = Distribution::Normal { mean: 100.0, std_dev: 15.0 };
+        let d = Distribution::Normal {
+            mean: 100.0,
+            std_dev: 15.0,
+        };
         let values = ValueGenerator::new(d, 2).take(50_000);
         assert!((empirical_mean(&values) - 100.0).abs() < 0.5);
         assert!((empirical_sd(&values) - 15.0).abs() < 0.5);
@@ -183,7 +193,10 @@ mod tests {
 
     #[test]
     fn lognormal_matches_theory() {
-        let d = Distribution::LogNormal { mu: 3.0, sigma: 0.5 };
+        let d = Distribution::LogNormal {
+            mu: 3.0,
+            sigma: 0.5,
+        };
         let values = ValueGenerator::new(d, 3).take(100_000);
         let rel = (empirical_mean(&values) - d.true_mean()).abs() / d.true_mean();
         assert!(rel < 0.02, "lognormal mean off by {rel}");
@@ -212,8 +225,17 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_per_seed() {
-        let d = Distribution::Normal { mean: 0.0, std_dev: 1.0 };
-        assert_eq!(ValueGenerator::new(d, 7).take(100), ValueGenerator::new(d, 7).take(100));
-        assert_ne!(ValueGenerator::new(d, 7).take(100), ValueGenerator::new(d, 8).take(100));
+        let d = Distribution::Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        };
+        assert_eq!(
+            ValueGenerator::new(d, 7).take(100),
+            ValueGenerator::new(d, 7).take(100)
+        );
+        assert_ne!(
+            ValueGenerator::new(d, 7).take(100),
+            ValueGenerator::new(d, 8).take(100)
+        );
     }
 }

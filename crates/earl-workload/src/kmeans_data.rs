@@ -29,7 +29,14 @@ pub struct KmeansSpec {
 
 impl Default for KmeansSpec {
     fn default() -> Self {
-        Self { num_points: 10_000, k: 8, dims: 2, cluster_std_dev: 2.0, centroid_spread: 100.0, seed: 0xC1 }
+        Self {
+            num_points: 10_000,
+            k: 8,
+            dims: 2,
+            cluster_std_dev: 2.0,
+            centroid_spread: 100.0,
+            seed: 0xC1,
+        }
     }
 }
 
@@ -52,27 +59,48 @@ pub struct KmeansDataset {
 impl KmeansDataset {
     /// Generates the dataset and writes it to `path` as lines of
     /// space-separated coordinates.
-    pub fn generate(dfs: &Dfs, path: impl Into<DfsPath>, spec: &KmeansSpec) -> earl_dfs::Result<Self> {
+    pub fn generate(
+        dfs: &Dfs,
+        path: impl Into<DfsPath>,
+        spec: &KmeansSpec,
+    ) -> earl_dfs::Result<Self> {
         let path = path.into();
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let true_centroids: Vec<Vec<f64>> = (0..spec.k)
-            .map(|_| (0..spec.dims).map(|_| rng.gen_range(0.0..spec.centroid_spread)).collect())
+            .map(|_| {
+                (0..spec.dims)
+                    .map(|_| rng.gen_range(0.0..spec.centroid_spread))
+                    .collect()
+            })
             .collect();
         let mut points = Vec::with_capacity(spec.num_points as usize);
         let mut labels = Vec::with_capacity(spec.num_points as usize);
         for _ in 0..spec.num_points {
             let cluster = rng.gen_range(0..spec.k);
             let point: Vec<f64> = (0..spec.dims)
-                .map(|d| true_centroids[cluster][d] + spec.cluster_std_dev * standard_normal(&mut rng))
+                .map(|d| {
+                    true_centroids[cluster][d] + spec.cluster_std_dev * standard_normal(&mut rng)
+                })
                 .collect();
             points.push(point);
             labels.push(cluster);
         }
         let status = dfs.write_lines(
             path.clone(),
-            points.iter().map(|p| p.iter().map(|c| format!("{c:.6}")).collect::<Vec<_>>().join(" ")),
+            points.iter().map(|p| {
+                p.iter()
+                    .map(|c| format!("{c:.6}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }),
         )?;
-        Ok(Self { path, status, true_centroids, points, labels })
+        Ok(Self {
+            path,
+            status,
+            true_centroids,
+            points,
+            labels,
+        })
     }
 
     /// Parses a point from one line of the written format.
@@ -99,14 +127,33 @@ mod tests {
     use earl_dfs::DfsConfig;
 
     fn dfs() -> Dfs {
-        let cluster = Cluster::builder().nodes(2).cost_model(CostModel::free()).build().unwrap();
-        Dfs::new(cluster, DfsConfig { block_size: 1 << 16, replication: 1, io_chunk: 512 }).unwrap()
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 1 << 16,
+                replication: 1,
+                io_chunk: 512,
+            },
+        )
+        .unwrap()
     }
 
     #[test]
     fn generates_k_clusters_with_points_near_their_centroids() {
         let dfs = dfs();
-        let spec = KmeansSpec { num_points: 2_000, k: 4, dims: 2, cluster_std_dev: 1.0, centroid_spread: 200.0, seed: 7 };
+        let spec = KmeansSpec {
+            num_points: 2_000,
+            k: 4,
+            dims: 2,
+            cluster_std_dev: 1.0,
+            centroid_spread: 200.0,
+            seed: 7,
+        };
         let ds = KmeansDataset::generate(&dfs, "/km", &spec).unwrap();
         assert_eq!(ds.true_centroids.len(), 4);
         assert_eq!(ds.points.len(), 2_000);
@@ -114,15 +161,26 @@ mod tests {
         // Each point should be within a few std-devs of its generative centroid.
         for (point, &label) in ds.points.iter().zip(&ds.labels) {
             let c = &ds.true_centroids[label];
-            let dist: f64 = point.iter().zip(c).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
-            assert!(dist < 6.0, "point {point:?} too far from its centroid {c:?}");
+            let dist: f64 = point
+                .iter()
+                .zip(c)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(
+                dist < 6.0,
+                "point {point:?} too far from its centroid {c:?}"
+            );
         }
     }
 
     #[test]
     fn written_lines_parse_back_to_the_same_points() {
         let dfs = dfs();
-        let spec = KmeansSpec { num_points: 200, ..Default::default() };
+        let spec = KmeansSpec {
+            num_points: 200,
+            ..Default::default()
+        };
         let ds = KmeansDataset::generate(&dfs, "/km2", &spec).unwrap();
         let lines = dfs.read_all_lines(Phase::Load, "/km2").unwrap();
         assert_eq!(lines.len(), 200);
@@ -140,7 +198,11 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let dfs = dfs();
-        let spec = KmeansSpec { num_points: 50, seed: 3, ..Default::default() };
+        let spec = KmeansSpec {
+            num_points: 50,
+            seed: 3,
+            ..Default::default()
+        };
         let a = KmeansDataset::generate(&dfs, "/a", &spec).unwrap();
         let b = KmeansDataset::generate(&dfs, "/b", &spec).unwrap();
         assert_eq!(a.true_centroids, b.true_centroids);

@@ -64,7 +64,11 @@ mod tests {
     #[test]
     fn layouts_preserve_the_multiset() {
         let values: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
-        for layout in [Layout::Shuffled, Layout::ClusteredAscending, Layout::AsGenerated] {
+        for layout in [
+            Layout::Shuffled,
+            Layout::ClusteredAscending,
+            Layout::AsGenerated,
+        ] {
             let mut out = apply_layout(values.clone(), layout, 1);
             out.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let mut expected = values.clone();
@@ -86,10 +90,17 @@ mod tests {
     #[test]
     fn dispersion_separates_the_layouts() {
         let values: Vec<f64> = (0..2000).map(|i| ((i * 7919) % 2000) as f64).collect();
-        let clustered = adjacency_dispersion(&apply_layout(values.clone(), Layout::ClusteredAscending, 1));
+        let clustered =
+            adjacency_dispersion(&apply_layout(values.clone(), Layout::ClusteredAscending, 1));
         let shuffled = adjacency_dispersion(&apply_layout(values, Layout::Shuffled, 1));
-        assert!(clustered < 0.05, "sorted data has tiny adjacent differences: {clustered}");
-        assert!(shuffled > 0.5, "shuffled data has large adjacent differences: {shuffled}");
+        assert!(
+            clustered < 0.05,
+            "sorted data has tiny adjacent differences: {clustered}"
+        );
+        assert!(
+            shuffled > 0.5,
+            "shuffled data has large adjacent differences: {shuffled}"
+        );
         assert_eq!(adjacency_dispersion(&[1.0]), 0.0);
         assert_eq!(adjacency_dispersion(&[3.0, 3.0, 3.0]), 0.0);
     }

@@ -13,33 +13,52 @@ use earl_cluster::Cluster;
 use earl_core::tasks::{MedianTask, QuantileTask};
 use earl_core::{EarlConfig, EarlDriver};
 use earl_dfs::{Dfs, DfsConfig};
-use earl_workload::{DatasetBuilder, DatasetSpec, Distribution};
 use earl_workload::layout::Layout;
+use earl_workload::{DatasetBuilder, DatasetSpec, Distribution};
 
 fn main() {
     let cluster = Cluster::with_nodes(5);
-    let dfs = Dfs::new(cluster, DfsConfig { block_size: 1 << 16, replication: 2, io_chunk: 256 })
-        .expect("dfs config");
+    let dfs = Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1 << 16,
+            replication: 2,
+            io_chunk: 256,
+        },
+    )
+    .expect("dfs config");
 
     // A right-skewed (log-normal) data set: the mean is a poor summary, the
     // median is what an analyst would actually ask for.
     let spec = DatasetSpec {
         num_records: 80_000,
-        distribution: Distribution::LogNormal { mu: 4.0, sigma: 0.8 },
+        distribution: Distribution::LogNormal {
+            mu: 4.0,
+            sigma: 0.8,
+        },
         layout: Layout::Shuffled,
         seed: 7,
         keyed: false,
     };
-    let dataset = DatasetBuilder::new(dfs.clone()).build("/median/latencies", &spec).expect("dataset");
-    println!("true median = {:.3}, true mean = {:.3}", dataset.true_median, dataset.true_mean);
+    let dataset = DatasetBuilder::new(dfs.clone())
+        .build("/median/latencies", &spec)
+        .expect("dataset");
+    println!(
+        "true median = {:.3}, true mean = {:.3}",
+        dataset.true_median, dataset.true_mean
+    );
 
     for delta_maintenance in [true, false] {
-        let config = EarlConfig { sigma: 0.05, delta_maintenance, ..EarlConfig::default() };
+        let config = EarlConfig {
+            sigma: 0.05,
+            delta_maintenance,
+            ..EarlConfig::default()
+        };
         let driver = EarlDriver::new(dfs.clone(), config);
-        let report = driver.run("/median/latencies", &MedianTask).expect("median run");
-        println!(
-            "\n--- approximate median (delta maintenance: {delta_maintenance}) ---\n{report}"
-        );
+        let report = driver
+            .run("/median/latencies", &MedianTask)
+            .expect("median run");
+        println!("\n--- approximate median (delta maintenance: {delta_maintenance}) ---\n{report}");
         println!(
             "relative error vs true median: {:.3}%",
             report.relative_error_vs(dataset.true_median) * 100.0
@@ -47,7 +66,15 @@ fn main() {
     }
 
     // Tail quantiles work exactly the same way — here the 95th percentile.
-    let driver = EarlDriver::new(dfs, EarlConfig { sigma: 0.05, ..EarlConfig::default() });
-    let p95 = driver.run("/median/latencies", &QuantileTask::new(0.95)).expect("p95 run");
+    let driver = EarlDriver::new(
+        dfs,
+        EarlConfig {
+            sigma: 0.05,
+            ..EarlConfig::default()
+        },
+    );
+    let p95 = driver
+        .run("/median/latencies", &QuantileTask::new(0.95))
+        .expect("p95 run");
     println!("--- approximate 95th percentile ---\n{p95}");
 }

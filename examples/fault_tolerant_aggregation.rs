@@ -20,12 +20,26 @@ use earl_workload::{DatasetBuilder, DatasetSpec};
 fn main() {
     let cluster = Cluster::with_nodes(4);
     // Replication 1: losing a node genuinely loses data (worst case for Hadoop).
-    let dfs = Dfs::new(cluster, DfsConfig { block_size: 1 << 14, replication: 1, io_chunk: 256 })
-        .expect("dfs config");
+    let dfs = Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1 << 14,
+            replication: 1,
+            io_chunk: 256,
+        },
+    )
+    .expect("dfs config");
     let dataset = DatasetBuilder::new(dfs.clone())
-        .build("/sensors/readings", &DatasetSpec::normal(60_000, 250.0, 40.0, 3))
+        .build(
+            "/sensors/readings",
+            &DatasetSpec::normal(60_000, 250.0, 40.0, 3),
+        )
         .expect("dataset");
-    println!("true mean = {:.4} over {} records", dataset.true_mean, dataset.values.len());
+    println!(
+        "true mean = {:.4} over {} records",
+        dataset.true_mean,
+        dataset.values.len()
+    );
 
     // Disaster strikes: half the cluster goes down.
     dfs.cluster().fail_node(NodeId(0)).expect("fail node 0");
@@ -34,7 +48,9 @@ fn main() {
     println!(
         "nodes 0 and 1 failed; {} blocks lost, {:.1}% of the file still readable",
         orphaned.len(),
-        dfs.readable_fraction("/sensors/readings").expect("fraction") * 100.0
+        dfs.readable_fraction("/sensors/readings")
+            .expect("fraction")
+            * 100.0
     );
 
     // EARL: answer from the surviving data, with an error estimate.
@@ -48,10 +64,18 @@ fn main() {
 
     // Stock Hadoop with the ignore policy at the MapReduce level: the job
     // completes but reports how many map tasks were lost.
-    let conf = JobConf::new("mean-after-failure", InputSource::Path("/sensors/readings".into()))
-        .with_failure_policy(FailurePolicy::Ignore);
-    let job = earl_mapreduce::run_job(&dfs, &conf, &contrib::ValueExtractMapper, &contrib::MeanReducer)
-        .expect("MR job completes despite failures");
+    let conf = JobConf::new(
+        "mean-after-failure",
+        InputSource::Path("/sensors/readings".into()),
+    )
+    .with_failure_policy(FailurePolicy::Ignore);
+    let job = earl_mapreduce::run_job(
+        &dfs,
+        &conf,
+        &contrib::ValueExtractMapper,
+        &contrib::MeanReducer,
+    )
+    .expect("MR job completes despite failures");
     println!(
         "MapReduce job with Ignore policy: {} of {} map tasks survived, mean of survivors = {:.4}",
         job.stats.map_tasks - job.stats.lost_map_tasks,

@@ -9,15 +9,24 @@
 //! K-Means, and compares both against the generative truth.
 
 use earl_cluster::Cluster;
-use earl_core::tasks::{approximate_kmeans, centroid_match_error, exact_kmeans_mapreduce, KmeansConfig};
+use earl_core::tasks::{
+    approximate_kmeans, centroid_match_error, exact_kmeans_mapreduce, KmeansConfig,
+};
 use earl_core::EarlConfig;
 use earl_dfs::{Dfs, DfsConfig};
 use earl_workload::{KmeansDataset, KmeansSpec};
 
 fn main() {
     let cluster = Cluster::with_nodes(5);
-    let dfs = Dfs::new(cluster, DfsConfig { block_size: 1 << 17, replication: 2, io_chunk: 1024 })
-        .expect("dfs config");
+    let dfs = Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1 << 17,
+            replication: 2,
+            io_chunk: 1024,
+        },
+    )
+    .expect("dfs config");
 
     let spec = KmeansSpec {
         num_points: 30_000,
@@ -28,14 +37,26 @@ fn main() {
         seed: 11,
     };
     let dataset = KmeansDataset::generate(&dfs, "/kmeans/points", &spec).expect("point cloud");
-    println!("generated {} points around {} true centroids", spec.num_points, spec.k);
+    println!(
+        "generated {} points around {} true centroids",
+        spec.num_points, spec.k
+    );
 
-    let kconfig = KmeansConfig { k: 6, max_iterations: 20, ..Default::default() };
+    let kconfig = KmeansConfig {
+        k: 6,
+        max_iterations: 20,
+        ..Default::default()
+    };
 
     // EARL: K-Means on an adaptively sized sample.
     dfs.cluster().reset_accounting();
-    let earl_config = EarlConfig { sigma: 0.05, bootstraps: Some(8), ..EarlConfig::default() };
-    let approx = approximate_kmeans(&dfs, "/kmeans/points", &earl_config, &kconfig).expect("approx kmeans");
+    let earl_config = EarlConfig {
+        sigma: 0.05,
+        bootstraps: Some(8),
+        ..EarlConfig::default()
+    };
+    let approx =
+        approximate_kmeans(&dfs, "/kmeans/points", &earl_config, &kconfig).expect("approx kmeans");
     println!(
         "\nEARL  : {} of {} points sampled, cost cv {:.4}, {} simulated time",
         approx.sample_size, approx.population, approx.cost_cv, approx.sim_time
@@ -47,7 +68,8 @@ fn main() {
 
     // Stock Hadoop: one full MapReduce job per Lloyd iteration.
     dfs.cluster().reset_accounting();
-    let (exact_model, exact_time) = exact_kmeans_mapreduce(&dfs, "/kmeans/points", &kconfig).expect("exact");
+    let (exact_model, exact_time) =
+        exact_kmeans_mapreduce(&dfs, "/kmeans/points", &kconfig).expect("exact");
     println!(
         "\nHadoop: full scans for {} Lloyd iterations, {} simulated time",
         exact_model.iterations, exact_time

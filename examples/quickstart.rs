@@ -19,22 +19,46 @@ fn main() {
     // 1. A 5-node cluster (the paper's setup) with the default commodity cost
     //    model, and an HDFS-like file system on top of it.
     let cluster = Cluster::with_nodes(5);
-    let dfs = Dfs::new(cluster, DfsConfig { block_size: 1 << 16, replication: 2, io_chunk: 256 })
-        .expect("dfs config is valid");
+    let dfs = Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1 << 16,
+            replication: 2,
+            io_chunk: 256,
+        },
+    )
+    .expect("dfs config is valid");
 
     // 2. A synthetic data set with known ground truth: 100,000 normal values.
     let dataset = DatasetBuilder::new(dfs.clone())
-        .build("/quickstart/values", &DatasetSpec::normal(100_000, 500.0, 100.0, 42))
+        .build(
+            "/quickstart/values",
+            &DatasetSpec::normal(100_000, 500.0, 100.0, 42),
+        )
         .expect("dataset builds");
-    println!("wrote {} records, true mean = {:.4}", dataset.values.len(), dataset.true_mean);
+    println!(
+        "wrote {} records, true mean = {:.4}",
+        dataset.values.len(),
+        dataset.true_mean
+    );
 
     // 3. Ask EARL for the mean, accurate to within 5%.
-    let driver = EarlDriver::new(dfs, EarlConfig { sigma: 0.05, ..EarlConfig::default() });
-    let approx = driver.run("/quickstart/values", &MeanTask).expect("approximate run succeeds");
+    let driver = EarlDriver::new(
+        dfs,
+        EarlConfig {
+            sigma: 0.05,
+            ..EarlConfig::default()
+        },
+    );
+    let approx = driver
+        .run("/quickstart/values", &MeanTask)
+        .expect("approximate run succeeds");
     println!("\n--- EARL (early approximate result) ---\n{approx}");
 
     // 4. Compare against the exact stock-Hadoop-style execution.
-    let exact = driver.run_exact("/quickstart/values", &MeanTask).expect("exact run succeeds");
+    let exact = driver
+        .run_exact("/quickstart/values", &MeanTask)
+        .expect("exact run succeeds");
     println!("--- stock Hadoop (exact) ---\n{exact}");
 
     println!(

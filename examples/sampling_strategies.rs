@@ -23,13 +23,26 @@ fn mean_of(records: &[(u64, String)]) -> f64 {
 
 fn main() {
     let cluster = Cluster::with_nodes(4);
-    let dfs = Dfs::new(cluster, DfsConfig { block_size: 1 << 14, replication: 2, io_chunk: 256 })
-        .expect("dfs config");
+    let dfs = Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1 << 14,
+            replication: 2,
+            io_chunk: 256,
+        },
+    )
+    .expect("dfs config");
 
     // 40,000 uniform values written in ascending order — clustered on disk.
-    let spec = DatasetSpec::uniform(40_000, 0.0, 1_000.0, 5).with_layout(Layout::ClusteredAscending);
-    let dataset = DatasetBuilder::new(dfs.clone()).build("/clustered/values", &spec).expect("dataset");
-    println!("true mean = {:.3} (clustered-on-disk layout)\n", dataset.true_mean);
+    let spec =
+        DatasetSpec::uniform(40_000, 0.0, 1_000.0, 5).with_layout(Layout::ClusteredAscending);
+    let dataset = DatasetBuilder::new(dfs.clone())
+        .build("/clustered/values", &spec)
+        .expect("dataset");
+    println!(
+        "true mean = {:.3} (clustered-on-disk layout)\n",
+        dataset.true_mean
+    );
     let sample_size = 400;
 
     // Pre-map sampling: random lines straight from the splits.
@@ -69,7 +82,8 @@ fn main() {
 
     // Two-file (ARHASH-style) sampler with half the file memory-resident.
     dfs.cluster().reset_accounting();
-    let mut twofile = TwoFileSampler::new(dfs.clone(), "/clustered/values", 0.5, 1).expect("two-file");
+    let mut twofile =
+        TwoFileSampler::new(dfs.clone(), "/clustered/values", 0.5, 1).expect("two-file");
     let batch = twofile.draw(sample_size).expect("two-file draw");
     println!(
         "two-file : mean {:>8.3}  ({} records, {} memory hits, {} disk seeks)",
@@ -80,5 +94,8 @@ fn main() {
     );
 
     let load = dfs.cluster().metrics().snapshot().phase(Phase::Load);
-    println!("\ncumulative Load-phase bytes read this run: {}", load.disk_bytes_read);
+    println!(
+        "\ncumulative Load-phase bytes read this run: {}",
+        load.disk_bytes_read
+    );
 }

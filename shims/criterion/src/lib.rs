@@ -1,0 +1,270 @@
+//! Minimal stand-in for the `criterion` benchmarking harness.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's benches
+//! use — `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — over a
+//! simple adaptive wall-clock timer: each benchmark is warmed up once, then
+//! sampled until either `sample_size` samples are collected or a time budget
+//! is exhausted. Results (mean / min / max per iteration) are printed to
+//! stdout in a stable, grep-friendly format.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement backends (only wall time is provided).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Per-iteration timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleStats {
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Slowest observed iteration.
+    pub max: Duration,
+    /// Number of samples collected.
+    pub samples: usize,
+}
+
+/// Runs timed iterations of one benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    budget: Duration,
+    stats: Option<SampleStats>,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then adaptive sampling.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut samples = 0usize;
+        let started = Instant::now();
+        while samples < self.sample_size && (samples < 2 || started.elapsed() < self.budget) {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+            samples += 1;
+        }
+        self.stats = Some(SampleStats {
+            mean: total / samples.max(1) as u32,
+            min,
+            max,
+            samples,
+        });
+    }
+}
+
+fn run_one(full_name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        budget: Duration::from_secs(2),
+        stats: None,
+    };
+    f(&mut bencher);
+    match bencher.stats {
+        Some(s) => println!(
+            "{full_name:<60} time: [mean {:>12?}  min {:>12?}  max {:>12?}] ({} samples)",
+            s.mean, s.min, s.max, s.samples
+        ),
+        None => println!("{full_name:<60} (no iterations executed)"),
+    }
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types usable as a benchmark id (`&str`, `String`, or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Creates a driver honouring a substring filter passed on the command
+    /// line (`cargo bench -- <filter>`).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Self { filter }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.into_id();
+        if self.matches(&name) {
+            run_one(&name, 20, &mut f);
+        }
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        if self.criterion.matches(&full) {
+            run_one(&full, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.sample_size, &mut |b| f(b, input));
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_matching() {
+        let c = Criterion {
+            filter: Some("abc".into()),
+        };
+        assert!(c.matches("xx_abc_yy"));
+        assert!(!c.matches("def"));
+        assert!(Criterion::default().matches("anything"));
+    }
+}

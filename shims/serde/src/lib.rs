@@ -1,0 +1,30 @@
+//! Minimal stand-in for the `serde` facade.
+//!
+//! The build environment has no crates.io access and nothing in the workspace
+//! serialises through serde at runtime (reports are formatted by hand), so
+//! `Serialize` / `Deserialize` are blanket marker traits and the derives are
+//! no-ops. Swapping the real serde back in later is a one-line manifest change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait satisfied by every type (real serde: serialisable types).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait satisfied by every type (real serde: deserialisable types).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace mirroring `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirroring `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}

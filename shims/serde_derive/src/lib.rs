@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace's `serde` shim implements `Serialize` / `Deserialize` as
+//! blanket marker traits, so the derives have nothing to generate — they exist
+//! only so `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]` attributes)
+//! parse exactly as with the real crate.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

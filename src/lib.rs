@@ -1,0 +1,28 @@
+//! # earl
+//!
+//! Facade crate for the EARL reproduction (Laptev, Zeng, Zaniolo — "Early
+//! Accurate Results for Advanced Analytics on MapReduce", VLDB 2012).
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! ```
+//! use earl::core::{EarlConfig, EarlDriver};
+//! use earl::cluster::Cluster;
+//! use earl::dfs::{Dfs, DfsConfig};
+//!
+//! let cluster = Cluster::with_nodes(3);
+//! let dfs = Dfs::new(cluster, DfsConfig::default()).unwrap();
+//! dfs.write_lines("/data", (1..=1000).map(|i| i.to_string())).unwrap();
+//! let driver = EarlDriver::new(dfs, EarlConfig::default());
+//! let report = driver.run("/data", &earl::core::tasks::MeanTask).unwrap();
+//! assert!(report.result > 0.0);
+//! ```
+
+pub use earl_bootstrap as bootstrap;
+pub use earl_cluster as cluster;
+pub use earl_core as core;
+pub use earl_dfs as dfs;
+pub use earl_mapreduce as mapreduce;
+pub use earl_sampling as sampling;
+pub use earl_workload as workload;

@@ -1,7 +1,9 @@
 //! End-to-end integration tests spanning every crate: workload generation →
 //! DFS → sampling → MapReduce → bootstrap → EARL driver.
 
-use earl_cluster::{Cluster, CostModel, FailureEvent, FailureSchedule, NodeId, SimDuration, SimInstant};
+use earl_cluster::{
+    Cluster, CostModel, FailureEvent, FailureSchedule, NodeId, SimDuration, SimInstant,
+};
 use earl_core::fault::run_despite_failures;
 use earl_core::tasks::{CountTask, MeanTask, MedianTask, QuantileTask, SumTask, VarianceTask};
 use earl_core::{EarlConfig, EarlDriver, EarlError, SamplingMethod};
@@ -10,16 +12,30 @@ use earl_workload::layout::Layout;
 use earl_workload::{DatasetBuilder, DatasetSpec, Distribution};
 
 fn make_dfs(nodes: u32) -> Dfs {
-    let cluster =
-        Cluster::builder().nodes(nodes).cost_model(CostModel::commodity_2012()).build().unwrap();
-    Dfs::new(cluster, DfsConfig { block_size: 1 << 16, replication: 2, io_chunk: 256 }).unwrap()
+    let cluster = Cluster::builder()
+        .nodes(nodes)
+        .cost_model(CostModel::commodity_2012())
+        .build()
+        .unwrap();
+    Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1 << 16,
+            replication: 2,
+            io_chunk: 256,
+        },
+    )
+    .unwrap()
 }
 
 #[test]
 fn every_builtin_task_meets_its_bound_on_synthetic_ground_truth() {
     let dfs = make_dfs(5);
     let ds = DatasetBuilder::new(dfs.clone())
-        .build("/integration/values", &DatasetSpec::normal(60_000, 800.0, 120.0, 1))
+        .build(
+            "/integration/values",
+            &DatasetSpec::normal(60_000, 800.0, 120.0, 1),
+        )
         .unwrap();
     let driver = EarlDriver::new(dfs, EarlConfig::default());
 
@@ -36,12 +52,19 @@ fn every_builtin_task_meets_its_bound_on_synthetic_ground_truth() {
     // Sum and count are corrected by 1/p.
     let truth_sum: f64 = ds.values.iter().sum();
     let sum = driver.run("/integration/values", &SumTask).unwrap();
-    assert!(sum.relative_error_vs(truth_sum) < 0.08, "sum {} vs {}", sum.result, truth_sum);
+    assert!(
+        sum.relative_error_vs(truth_sum) < 0.08,
+        "sum {} vs {}",
+        sum.result,
+        truth_sum
+    );
     let count = driver.run("/integration/values", &CountTask).unwrap();
     assert!(count.relative_error_vs(ds.values.len() as f64) < 0.08);
 
     // A tail quantile.
-    let q9 = driver.run("/integration/values", &QuantileTask::new(0.9)).unwrap();
+    let q9 = driver
+        .run("/integration/values", &QuantileTask::new(0.9))
+        .unwrap();
     let mut sorted = ds.values.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let truth_q9 = sorted[(0.9 * (sorted.len() - 1) as f64) as usize];
@@ -50,7 +73,12 @@ fn every_builtin_task_meets_its_bound_on_synthetic_ground_truth() {
     // Variance (scale-free, no correction).
     let var = driver.run("/integration/values", &VarianceTask).unwrap();
     let truth_var = ds.true_std_dev * ds.true_std_dev;
-    assert!(var.relative_error_vs(truth_var) < 0.15, "variance {} vs {}", var.result, truth_var);
+    assert!(
+        var.relative_error_vs(truth_var) < 0.15,
+        "variance {} vs {}",
+        var.result,
+        truth_var
+    );
 }
 
 #[test]
@@ -58,12 +86,17 @@ fn skewed_data_still_respects_the_bound() {
     let dfs = make_dfs(5);
     let spec = DatasetSpec {
         num_records: 50_000,
-        distribution: Distribution::LogNormal { mu: 3.0, sigma: 1.0 },
+        distribution: Distribution::LogNormal {
+            mu: 3.0,
+            sigma: 1.0,
+        },
         layout: Layout::Shuffled,
         seed: 2,
         keyed: true,
     };
-    let ds = DatasetBuilder::new(dfs.clone()).build("/integration/skewed", &spec).unwrap();
+    let ds = DatasetBuilder::new(dfs.clone())
+        .build("/integration/skewed", &spec)
+        .unwrap();
     let driver = EarlDriver::new(dfs, EarlConfig::with_sigma(0.05));
     let report = driver.run("/integration/skewed", &MeanTask).unwrap();
     assert!(report.meets_bound());
@@ -80,13 +113,21 @@ fn skewed_data_still_respects_the_bound() {
 fn earl_reads_much_less_data_than_exact_execution_on_large_inputs() {
     let dfs = make_dfs(5);
     DatasetBuilder::new(dfs.clone())
-        .build("/integration/large", &DatasetSpec::normal(120_000, 100.0, 15.0, 3))
+        .build(
+            "/integration/large",
+            &DatasetSpec::normal(120_000, 100.0, 15.0, 3),
+        )
         .unwrap();
     let driver = EarlDriver::new(dfs, EarlConfig::default());
     let approx = driver.run("/integration/large", &MeanTask).unwrap();
     let exact = driver.run_exact("/integration/large", &MeanTask).unwrap();
     assert!(!approx.exact);
-    assert!(approx.bytes_read * 4 < exact.bytes_read, "{} vs {}", approx.bytes_read, exact.bytes_read);
+    assert!(
+        approx.bytes_read * 4 < exact.bytes_read,
+        "{} vs {}",
+        approx.bytes_read,
+        exact.bytes_read
+    );
     assert!((approx.result - exact.result).abs() / exact.result < 0.05);
 }
 
@@ -94,12 +135,20 @@ fn earl_reads_much_less_data_than_exact_execution_on_large_inputs() {
 fn pre_map_and_post_map_sampling_agree() {
     let dfs = make_dfs(4);
     let ds = DatasetBuilder::new(dfs.clone())
-        .build("/integration/sampling", &DatasetSpec::uniform(40_000, 0.0, 100.0, 4))
+        .build(
+            "/integration/sampling",
+            &DatasetSpec::uniform(40_000, 0.0, 100.0, 4),
+        )
         .unwrap();
-    let pre = EarlDriver::new(dfs.clone(), EarlConfig::default()).run("/integration/sampling", &MeanTask).unwrap();
+    let pre = EarlDriver::new(dfs.clone(), EarlConfig::default())
+        .run("/integration/sampling", &MeanTask)
+        .unwrap();
     let post = EarlDriver::new(
         dfs,
-        EarlConfig { sampling: SamplingMethod::PostMap, ..EarlConfig::default() },
+        EarlConfig {
+            sampling: SamplingMethod::PostMap,
+            ..EarlConfig::default()
+        },
     )
     .run("/integration/sampling", &MeanTask)
     .unwrap();
@@ -118,27 +167,66 @@ fn node_failures_during_the_run_do_not_break_the_driver() {
         node: NodeId(2),
         at: SimInstant::EPOCH + SimDuration::from_secs(2),
     }]);
-    let cluster = Cluster::builder().nodes(4).failure_schedule(schedule).build().unwrap();
-    let dfs = Dfs::new(cluster, DfsConfig { block_size: 1 << 15, replication: 2, io_chunk: 256 }).unwrap();
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .failure_schedule(schedule)
+        .build()
+        .unwrap();
+    let dfs = Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1 << 15,
+            replication: 2,
+            io_chunk: 256,
+        },
+    )
+    .unwrap();
     let ds = DatasetBuilder::new(dfs.clone())
-        .build("/integration/flaky", &DatasetSpec::normal(50_000, 70.0, 10.0, 5))
+        .build(
+            "/integration/flaky",
+            &DatasetSpec::normal(50_000, 70.0, 10.0, 5),
+        )
         .unwrap();
     let driver = EarlDriver::new(dfs.clone(), EarlConfig::default());
     let report = driver.run("/integration/flaky", &MeanTask).unwrap();
     assert!(report.meets_bound());
     assert!(report.relative_error_vs(ds.true_mean) < 0.05);
-    assert!(!dfs.cluster().failed_nodes().is_empty(), "the scheduled failure must have fired");
+    assert!(
+        !dfs.cluster().failed_nodes().is_empty(),
+        "the scheduled failure must have fired"
+    );
 }
 
 #[test]
 fn fault_tolerant_mode_bounds_the_error_after_data_loss() {
-    let cluster = Cluster::builder().nodes(4).cost_model(CostModel::free()).build().unwrap();
-    let dfs = Dfs::new(cluster, DfsConfig { block_size: 4096, replication: 1, io_chunk: 256 }).unwrap();
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .cost_model(CostModel::free())
+        .build()
+        .unwrap();
+    let dfs = Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 4096,
+            replication: 1,
+            io_chunk: 256,
+        },
+    )
+    .unwrap();
     let ds = DatasetBuilder::new(dfs.clone())
-        .build("/integration/lossy", &DatasetSpec::normal(30_000, 500.0, 60.0, 6))
+        .build(
+            "/integration/lossy",
+            &DatasetSpec::normal(30_000, 500.0, 60.0, 6),
+        )
         .unwrap();
     dfs.cluster().fail_node(NodeId(3)).unwrap();
-    let report = run_despite_failures(&dfs, "/integration/lossy", &MeanTask, &EarlConfig::default()).unwrap();
+    let report = run_despite_failures(
+        &dfs,
+        "/integration/lossy",
+        &MeanTask,
+        &EarlConfig::default(),
+    )
+    .unwrap();
     assert!(report.sample_fraction < 1.0);
     assert!(report.relative_error_vs(ds.true_mean) < 0.05);
     assert!(report.error_estimate > 0.0);
@@ -149,7 +237,10 @@ fn accuracy_not_reached_is_reported_with_a_partial_result() {
     let dfs = make_dfs(3);
     // Tiny iteration budget and an unreachably tight bound.
     DatasetBuilder::new(dfs.clone())
-        .build("/integration/impossible", &DatasetSpec::normal(50_000, 10.0, 40.0, 7))
+        .build(
+            "/integration/impossible",
+            &DatasetSpec::normal(50_000, 10.0, 40.0, 7),
+        )
         .unwrap();
     let config = EarlConfig {
         sigma: 0.0005,
@@ -173,11 +264,19 @@ fn simulated_cost_accounting_is_deterministic_across_runs() {
     let run = || {
         let dfs = make_dfs(5);
         DatasetBuilder::new(dfs.clone())
-            .build("/integration/deterministic", &DatasetSpec::normal(30_000, 500.0, 100.0, 8))
+            .build(
+                "/integration/deterministic",
+                &DatasetSpec::normal(30_000, 500.0, 100.0, 8),
+            )
             .unwrap();
         let driver = EarlDriver::new(dfs, EarlConfig::default());
         let report = driver.run("/integration/deterministic", &MeanTask).unwrap();
-        (report.result, report.sim_time, report.bytes_read, report.sample_size)
+        (
+            report.result,
+            report.sim_time,
+            report.bytes_read,
+            report.sample_size,
+        )
     };
     assert_eq!(run(), run());
 }

@@ -3,7 +3,9 @@
 
 use earl_cluster::{Cluster, CostModel, Phase};
 use earl_dfs::{rebalancer, Dfs, DfsConfig};
-use earl_mapreduce::contrib::{CountCombiner, TokenCountMapper, ValueExtractMapper, MeanReducer, WordCountReducer};
+use earl_mapreduce::contrib::{
+    CountCombiner, MeanReducer, TokenCountMapper, ValueExtractMapper, WordCountReducer,
+};
 use earl_mapreduce::{run_job, run_job_with_combiner, FailurePolicy, InputSource, JobConf};
 use earl_sampling::premap::premap_sample;
 use earl_sampling::{PostMapSampler, PreMapSampler, SampleSource};
@@ -11,8 +13,20 @@ use earl_workload::{DatasetBuilder, DatasetSpec};
 use std::collections::HashMap;
 
 fn make_dfs() -> Dfs {
-    let cluster = Cluster::builder().nodes(4).cost_model(CostModel::commodity_2012()).build().unwrap();
-    Dfs::new(cluster, DfsConfig { block_size: 1 << 14, replication: 2, io_chunk: 256 }).unwrap()
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .cost_model(CostModel::commodity_2012())
+        .build()
+        .unwrap();
+    Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1 << 14,
+            replication: 2,
+            io_chunk: 256,
+        },
+    )
+    .unwrap()
 }
 
 #[test]
@@ -20,7 +34,14 @@ fn word_count_pipeline_matches_an_independent_reference() {
     let dfs = make_dfs();
     let words = ["alpha", "beta", "gamma", "delta"];
     let lines: Vec<String> = (0..2_000)
-        .map(|i| format!("{} {} {}", words[i % 4], words[(i / 2) % 4], words[(i / 7) % 4]))
+        .map(|i| {
+            format!(
+                "{} {} {}",
+                words[i % 4],
+                words[(i / 2) % 4],
+                words[(i / 7) % 4]
+            )
+        })
         .collect();
     dfs.write_lines("/mr/words", &lines).unwrap();
 
@@ -34,14 +55,23 @@ fn word_count_pipeline_matches_an_independent_reference() {
 
     let conf = JobConf::new("wordcount", InputSource::Path("/mr/words".into())).with_reducers(3);
     let plain = run_job(&dfs, &conf, &TokenCountMapper, &WordCountReducer).unwrap();
-    let combined =
-        run_job_with_combiner(&dfs, &conf, &TokenCountMapper, &WordCountReducer, &CountCombiner).unwrap();
+    let combined = run_job_with_combiner(
+        &dfs,
+        &conf,
+        &TokenCountMapper,
+        &WordCountReducer,
+        &CountCombiner,
+    )
+    .unwrap();
 
     for result in [&plain, &combined] {
         let got: HashMap<String, u64> = result.outputs.iter().cloned().collect();
         assert_eq!(got, reference);
     }
-    assert!(combined.stats.sim_time <= plain.stats.sim_time, "combiner must not slow the job down");
+    assert!(
+        combined.stats.sim_time <= plain.stats.sim_time,
+        "combiner must not slow the job down"
+    );
 }
 
 #[test]
@@ -64,8 +94,20 @@ fn sampling_plus_mapreduce_estimates_the_mean_cheaply() {
 
 #[test]
 fn rebalanced_cluster_preserves_data_and_evens_load() {
-    let cluster = Cluster::builder().nodes(4).cost_model(CostModel::free()).build().unwrap();
-    let dfs = Dfs::new(cluster, DfsConfig { block_size: 1024, replication: 1, io_chunk: 256 }).unwrap();
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .cost_model(CostModel::free())
+        .build()
+        .unwrap();
+    let dfs = Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1024,
+            replication: 1,
+            io_chunk: 256,
+        },
+    )
+    .unwrap();
     // Write while two nodes are down to force imbalance, then repair.
     dfs.cluster().fail_node(earl_cluster::NodeId(2)).unwrap();
     dfs.cluster().fail_node(earl_cluster::NodeId(3)).unwrap();
@@ -76,7 +118,10 @@ fn rebalanced_cluster_preserves_data_and_evens_load() {
 
     let report = rebalancer::rebalance(&dfs, 0.3).unwrap();
     assert!(report.blocks_moved > 0);
-    assert_eq!(dfs.read_all_lines(Phase::Load, "/mr/skewed").unwrap(), lines);
+    assert_eq!(
+        dfs.read_all_lines(Phase::Load, "/mr/skewed").unwrap(),
+        lines
+    );
 
     // After rebalancing, a job over the file still produces the right answer.
     let conf = JobConf::new("mean", InputSource::Path("/mr/skewed".into()));
@@ -94,16 +139,36 @@ fn samplers_are_uniform_enough_for_downstream_statistics() {
     let mut post = PostMapSampler::new(dfs, "/mr/uniformity", 3).unwrap();
     for sampler in [&mut pre as &mut dyn SampleSource, &mut post] {
         let batch = sampler.draw(1_000).unwrap();
-        let mean: f64 =
-            batch.records.iter().filter_map(|(_, l)| l.parse::<f64>().ok()).sum::<f64>() / batch.len() as f64;
-        assert!((mean - ds.true_mean).abs() < 0.03, "sampler mean {mean} vs {}", ds.true_mean);
+        let mean: f64 = batch
+            .records
+            .iter()
+            .filter_map(|(_, l)| l.parse::<f64>().ok())
+            .sum::<f64>()
+            / batch.len() as f64;
+        assert!(
+            (mean - ds.true_mean).abs() < 0.03,
+            "sampler mean {mean} vs {}",
+            ds.true_mean
+        );
     }
 }
 
 #[test]
 fn ignore_policy_job_reports_surviving_fraction_after_losing_a_node() {
-    let cluster = Cluster::builder().nodes(3).cost_model(CostModel::free()).build().unwrap();
-    let dfs = Dfs::new(cluster, DfsConfig { block_size: 2048, replication: 1, io_chunk: 256 }).unwrap();
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .cost_model(CostModel::free())
+        .build()
+        .unwrap();
+    let dfs = Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 2048,
+            replication: 1,
+            io_chunk: 256,
+        },
+    )
+    .unwrap();
     DatasetBuilder::new(dfs.clone())
         .build("/mr/lossy", &DatasetSpec::normal(20_000, 10.0, 1.0, 4))
         .unwrap();

@@ -1,0 +1,243 @@
+//! Determinism contract of the parallel execution engine (PR 1).
+//!
+//! The engine's invariant: `parallelism` trades wall-clock time only — every
+//! result (bootstrap replicates, job outputs, counters, stats, full EARL
+//! reports) is bit-identical for every thread count, because replicate RNG
+//! streams derive from `(seed, replicate index)` and MapReduce task state is
+//! merged in deterministic task order after the barrier.
+
+use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig};
+use earl_bootstrap::estimators::{Mean, Median};
+use earl_bootstrap::rng::{seeded_rng, standard_normal};
+use earl_cluster::{
+    Cluster, CostModel, FailureEvent, FailureSchedule, NodeId, SimDuration, SimInstant,
+};
+use earl_core::tasks::MeanTask;
+use earl_core::{EarlConfig, EarlDriver};
+use earl_dfs::{Dfs, DfsConfig};
+use earl_mapreduce::{contrib, run_job, InputSource, JobConf};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|_| mean + sd * standard_normal(&mut rng))
+        .collect()
+}
+
+fn test_dfs(nodes: u32, seed: u64) -> Dfs {
+    let cluster = Cluster::builder()
+        .nodes(nodes)
+        .cost_model(CostModel::commodity_2012())
+        .seed(seed)
+        .build()
+        .unwrap();
+    Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1 << 12,
+            replication: 2,
+            io_chunk: 256,
+        },
+    )
+    .unwrap()
+}
+
+fn wordcount_lines() -> Vec<String> {
+    (0..5_000)
+        .map(|i| format!("w{} w{} shared tail-{}", i % 53, i % 17, i % 5))
+        .collect()
+}
+
+/// Property: `bootstrap_distribution` is a pure function of `(seed, data,
+/// config)` — identical to the last bit for thread counts {1, 2, 8}, across a
+/// spread of seeds, sample sizes and B values.
+#[test]
+fn bootstrap_distribution_is_identical_across_thread_counts() {
+    for case in 0u64..8 {
+        let n = 500 + (case as usize) * 700;
+        let b = 16 + (case as usize) * 9;
+        let data = normal_sample(n, 50.0, 8.0, 1000 + case);
+        let reference = bootstrap_distribution(
+            case,
+            &data,
+            &Median,
+            &BootstrapConfig::with_resamples(b).with_parallelism(Some(THREAD_COUNTS[0])),
+        )
+        .unwrap();
+        for &threads in &THREAD_COUNTS[1..] {
+            let result = bootstrap_distribution(
+                case,
+                &data,
+                &Median,
+                &BootstrapConfig::with_resamples(b).with_parallelism(Some(threads)),
+            )
+            .unwrap();
+            assert_eq!(reference, result, "case {case}, threads {threads}");
+        }
+    }
+}
+
+/// Property: `run_job` produces identical outputs, counters and stats for
+/// thread counts {1, 2, 8} with the same cluster seed.
+#[test]
+fn run_job_is_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let dfs = test_dfs(4, 7);
+        dfs.write_lines("/wc", wordcount_lines()).unwrap();
+        let conf = JobConf::new("wc", InputSource::Path("/wc".into()))
+            .with_reducers(4)
+            .with_parallelism(Some(threads));
+        run_job(
+            &dfs,
+            &conf,
+            &contrib::TokenCountMapper,
+            &contrib::WordCountReducer,
+        )
+        .unwrap()
+    };
+    let reference = run(THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let result = run(threads);
+        assert_eq!(reference.outputs, result.outputs, "threads {threads}");
+        assert_eq!(reference.counters, result.counters, "threads {threads}");
+        assert_eq!(reference.stats, result.stats, "threads {threads}");
+    }
+}
+
+/// Equivalence: the parallel reduce path emits outputs in exactly the order
+/// the sequential path does (partition order, sorted keys within each
+/// partition).  The sequential path is forced by arming a failure schedule
+/// whose only event lies far beyond the end of the job.
+#[test]
+fn parallel_reduce_matches_sequential_reduce_ordering() {
+    let lines = wordcount_lines();
+
+    // Sequential reference: a pending (but never-firing) failure schedule
+    // routes the job down the legacy sequential engine.
+    let sequential = {
+        let schedule = FailureSchedule::Deterministic(vec![FailureEvent {
+            node: NodeId(0),
+            at: SimInstant::EPOCH + SimDuration::from_secs(1_000_000),
+        }]);
+        let cluster = Cluster::builder()
+            .nodes(4)
+            .cost_model(CostModel::commodity_2012())
+            .failure_schedule(schedule)
+            .seed(7)
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 1 << 12,
+                replication: 2,
+                io_chunk: 256,
+            },
+        )
+        .unwrap();
+        dfs.write_lines("/wc", &lines).unwrap();
+        let conf = JobConf::new("wc", InputSource::Path("/wc".into())).with_reducers(4);
+        run_job(
+            &dfs,
+            &conf,
+            &contrib::TokenCountMapper,
+            &contrib::WordCountReducer,
+        )
+        .unwrap()
+    };
+
+    // Parallel run on an identical failure-free cluster.
+    let parallel = {
+        let dfs = test_dfs(4, 7);
+        dfs.write_lines("/wc", &lines).unwrap();
+        let conf = JobConf::new("wc", InputSource::Path("/wc".into()))
+            .with_reducers(4)
+            .with_parallelism(Some(8));
+        run_job(
+            &dfs,
+            &conf,
+            &contrib::TokenCountMapper,
+            &contrib::WordCountReducer,
+        )
+        .unwrap()
+    };
+
+    assert_eq!(
+        sequential.outputs, parallel.outputs,
+        "output records (and their order) must not depend on the execution engine"
+    );
+    assert_eq!(sequential.counters, parallel.counters);
+    assert_eq!(
+        sequential.stats.map_input_records,
+        parallel.stats.map_input_records
+    );
+    assert_eq!(sequential.stats.reduce_groups, parallel.stats.reduce_groups);
+    assert_eq!(sequential.stats.reduce_tasks, parallel.stats.reduce_tasks);
+}
+
+/// Property: a full EARL driver run (sampling + SSABE + pipelined jobs + AES)
+/// reports identical results for thread counts {1, 2, 8}.
+#[test]
+fn earl_driver_reports_are_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let dfs = test_dfs(3, 11);
+        earl_workload::DatasetBuilder::new(dfs.clone())
+            .build(
+                "/data",
+                &earl_workload::DatasetSpec::normal(20_000, 500.0, 100.0, 11),
+            )
+            .unwrap();
+        let config = EarlConfig {
+            parallelism: Some(threads),
+            ..EarlConfig::default()
+        };
+        EarlDriver::new(dfs, config)
+            .run("/data", &MeanTask)
+            .unwrap()
+    };
+    let reference = run(THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let report = run(threads);
+        assert_eq!(reference.result, report.result, "threads {threads}");
+        assert_eq!(
+            reference.error_estimate, report.error_estimate,
+            "threads {threads}"
+        );
+        assert_eq!(
+            reference.sample_size, report.sample_size,
+            "threads {threads}"
+        );
+        assert_eq!(reference.bootstraps, report.bootstraps, "threads {threads}");
+        assert_eq!(reference.iterations, report.iterations, "threads {threads}");
+    }
+}
+
+/// Property: the parallel engine and the `Mean` bootstrap agree with the
+/// sequential legacy estimate — exercised at the workspace level so a change
+/// in any layer that breaks the stream derivation fails loudly here.
+#[test]
+fn bootstrap_mean_replicates_match_at_every_parallelism() {
+    let data = normal_sample(10_000, 100.0, 10.0, 99);
+    let configs: Vec<BootstrapConfig> = THREAD_COUNTS
+        .iter()
+        .map(|&t| BootstrapConfig::with_resamples(64).with_parallelism(Some(t)))
+        .collect();
+    let results: Vec<_> = configs
+        .iter()
+        .map(|c| bootstrap_distribution(42, &data, &Mean, c).unwrap())
+        .collect();
+    for pair in results.windows(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
+    // And `None` (all cores) matches too — the default EarlConfig path.
+    let auto = bootstrap_distribution(
+        42,
+        &data,
+        &Mean,
+        &BootstrapConfig::with_resamples(64).with_parallelism(None),
+    )
+    .unwrap();
+    assert_eq!(results[0], auto);
+}
