@@ -1,0 +1,89 @@
+//! Benches for PR 2: sharded-shuffle thread scaling and the pipelined EARL
+//! schedule vs the sequential one.
+//!
+//! The committed perf baseline (`BENCH_PR2.json`) is produced by the
+//! `bench_pr2` binary; these benches track the same kernels under `cargo
+//! bench` for regression hunting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use earl_cluster::{Cluster, CostModel};
+use earl_core::tasks::MeanTask;
+use earl_core::{EarlConfig, EarlDriver};
+use earl_dfs::{Dfs, DfsConfig};
+use earl_mapreduce::{HashPartitioner, ShuffleOutput};
+use earl_workload::{DatasetBuilder, DatasetSpec};
+
+fn shuffle_pairs(n: u64) -> Vec<(u64, u64)> {
+    let key_space = (n / 16).max(1);
+    (0..n)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % key_space, i))
+        .collect()
+}
+
+/// Sharded shuffle of 1M pairs into 8 partitions at 1, 2, 4 and 8 threads.
+fn sharded_shuffle_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_shuffle_1m_pairs");
+    group.sample_size(10);
+    let pairs = shuffle_pairs(1_000_000);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    ShuffleOutput::shuffle_parallel(pairs.clone(), 8, &HashPartitioner, threads)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A full EARL run, sequential schedule vs pipelined schedule.
+fn pipelined_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("earl_driver_schedule");
+    group.sample_size(10);
+    for &depth in &[1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_depth", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let cluster = Cluster::builder()
+                        .nodes(4)
+                        .cost_model(CostModel::commodity_2012())
+                        .seed(2)
+                        .build()
+                        .unwrap();
+                    let dfs = Dfs::new(
+                        cluster,
+                        DfsConfig {
+                            block_size: 1 << 16,
+                            replication: 2,
+                            io_chunk: 1024,
+                        },
+                    )
+                    .unwrap();
+                    DatasetBuilder::new(dfs.clone())
+                        .build("/bench", &DatasetSpec::normal(60_000, 500.0, 400.0, 2))
+                        .unwrap();
+                    let config = EarlConfig {
+                        pipeline_depth: depth,
+                        sigma: 0.02,
+                        bootstraps: Some(60),
+                        sample_size: Some(400),
+                        ..EarlConfig::default()
+                    };
+                    EarlDriver::new(dfs, config)
+                        .run("/bench", &MeanTask)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sharded_shuffle_scaling, pipelined_driver);
+criterion_main!(benches);

@@ -61,6 +61,20 @@ pub struct EarlConfig {
     /// task execution (`None` = one per available core).  Any value produces
     /// bit-identical results; the knob only trades wall-clock time.
     pub parallelism: Option<usize>,
+    /// Iteration-stage overlap of the EARL loop.  `1` (the default) runs the
+    /// sequential schedule: sample → map/reduce → accuracy estimation, strictly
+    /// back to back.  `2` overlaps the accuracy-estimation stage of iteration
+    /// *i* with the sample draw + map phase of iteration *i+1*; the reducer→
+    /// mapper feedback channel (§3.3) cancels the speculative iteration before
+    /// its reduce phase when the error bound is met.  The delivered result
+    /// (estimate, error, sample size, iteration count) is identical to the
+    /// sequential schedule at every depth and thread count; only the simulated
+    /// time/IO accounting differs by the speculative map work that is charged
+    /// and then discarded on the final iteration.  Values above 2 behave as 2:
+    /// accuracy estimation of iteration *i+1* cannot start before its sample is
+    /// committed, so one iteration of lookahead is the maximum the dependence
+    /// structure allows.
+    pub pipeline_depth: usize,
 }
 
 impl Default for EarlConfig {
@@ -78,6 +92,7 @@ impl Default for EarlConfig {
             delta_maintenance: true,
             seed: 0xEA21,
             parallelism: None,
+            pipeline_depth: 1,
         }
     }
 }
@@ -120,6 +135,11 @@ impl EarlConfig {
                 return Err(EarlError::InvalidConfig("bootstraps must be ≥ 2".into()));
             }
         }
+        if self.pipeline_depth == 0 {
+            return Err(EarlError::InvalidConfig(
+                "pipeline_depth must be ≥ 1 (1 = sequential schedule)".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -136,6 +156,7 @@ mod tests {
         assert_eq!(c.sampling, SamplingMethod::PreMap);
         assert!(c.delta_maintenance);
         assert_eq!(c.parallelism, None, "default is one worker per core");
+        assert_eq!(c.pipeline_depth, 1, "default is the sequential schedule");
         assert!(c.validate().is_ok());
     }
 
@@ -191,6 +212,18 @@ mod tests {
         .is_err());
         assert!(EarlConfig {
             bootstraps: Some(30),
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
+        assert!(EarlConfig {
+            pipeline_depth: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EarlConfig {
+            pipeline_depth: 2,
             ..Default::default()
         }
         .validate()

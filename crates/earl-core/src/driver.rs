@@ -22,7 +22,8 @@ use earl_bootstrap::ssabe::{Ssabe, SsabeConfig};
 use earl_cluster::Phase;
 use earl_dfs::{Dfs, DfsPath};
 use earl_mapreduce::{
-    ErrorReport, InputSource, JobConf, MapContext, Mapper, PipelinedSession, ReduceContext, Reducer,
+    ErrorReport, InputSource, JobConf, MapContext, Mapper, PendingIteration, PipelinedSession,
+    ReduceContext, Reducer,
 };
 
 /// Sub-seed stream of the SSABE pilot estimation.
@@ -89,6 +90,75 @@ impl<T: EarlTask> Reducer for TaskReducer<'_, T> {
     }
 }
 
+/// The staged speculative iteration of the pipelined schedule (§2.1): its
+/// sample batch has been drawn and its **map phase** has already run —
+/// overlapped with the previous iteration's accuracy estimation — but nothing
+/// is committed to the driver's sample state yet.  The feedback channel either
+/// commits it (shuffle + reduce run, records/values extended) or cancels it.
+struct Staged {
+    pending: PendingIteration<u32, f64>,
+    batch_records: Vec<(u64, String)>,
+    delta_values: Vec<f64>,
+    /// `sampler.drawn()` right after this iteration's draw — committed to the
+    /// reported sample fraction only if the iteration itself commits.
+    drawn_after: u64,
+    exhausted: bool,
+}
+
+/// The pure computation of one iteration's accuracy-estimation stage: a fresh
+/// Monte-Carlo bootstrap, or a delta-maintained resample update (§4.1).
+/// Returns the bootstrap result plus the number of resample items touched.
+/// The function never touches the simulated clock — the caller charges the
+/// returned work — so the pipelined schedule can run it concurrently with the
+/// next iteration's map phase without racing on the cluster accounting.
+fn accuracy_stage<T: EarlTask>(
+    config: &EarlConfig,
+    estimator: &TaskEstimator<'_, T>,
+    values: &[f64],
+    delta_values: &[f64],
+    bootstraps: usize,
+    iteration: usize,
+    incremental: &mut Option<IncrementalBootstrap>,
+) -> Result<(BootstrapResult, u64)> {
+    if config.delta_maintenance {
+        match incremental.as_mut() {
+            None => {
+                let ib = IncrementalBootstrap::new(
+                    derive_seed(config.seed, DELTA_STREAM),
+                    values,
+                    bootstraps,
+                    SketchConfig::default(),
+                )
+                .map_err(EarlError::Stats)?
+                .with_parallelism(config.parallelism);
+                let touched = (bootstraps * values.len()) as u64;
+                let result = ib.evaluate(estimator);
+                *incremental = Some(ib);
+                Ok((result, touched))
+            }
+            Some(ib) => {
+                let touched = if delta_values.is_empty() {
+                    0
+                } else {
+                    ib.expand(delta_values)
+                        .map_err(EarlError::Stats)?
+                        .items_touched
+                };
+                Ok((ib.evaluate(estimator), touched))
+            }
+        }
+    } else {
+        let result = bootstrap_distribution(
+            derive_seed(config.seed, FRESH_STREAM + iteration as u64),
+            values,
+            estimator,
+            &BootstrapConfig::with_resamples(bootstraps).with_parallelism(config.parallelism),
+        )
+        .map_err(EarlError::Stats)?;
+        Ok((result, (bootstraps * values.len()) as u64))
+    }
+}
+
 enum Sampler {
     Pre(PreMapSampler),
     Post(PostMapSampler),
@@ -109,6 +179,41 @@ impl Sampler {
             Sampler::Post(s) => s.drawn(),
         }
     }
+}
+
+/// One sample expansion: up to `needed` freshly drawn records plus their
+/// extracted task values.  `exhausted` is set when the sampler cannot produce
+/// more records — whatever was drawn so far is effectively the whole usable
+/// population.  Shared by the sequential schedule, the pipelined commit path
+/// and the speculative draw, so exhaustion/extraction semantics cannot drift
+/// between them.
+struct DrawnBatch {
+    records: Vec<(u64, String)>,
+    values: Vec<f64>,
+    exhausted: bool,
+}
+
+fn draw_batch<T: EarlTask>(sampler: &mut Sampler, task: &T, needed: usize) -> Result<DrawnBatch> {
+    let mut out = DrawnBatch {
+        records: Vec::new(),
+        values: Vec::new(),
+        exhausted: false,
+    };
+    if needed == 0 {
+        return Ok(out);
+    }
+    let batch = sampler.draw(needed)?;
+    if batch.is_empty() {
+        out.exhausted = true;
+    } else {
+        out.values = batch
+            .records
+            .iter()
+            .filter_map(|(_, line)| task.extract(line))
+            .collect();
+        out.records = batch.records;
+    }
+    Ok(out)
 }
 
 /// The EARL driver.
@@ -231,108 +336,211 @@ impl EarlDriver {
         let mut iterations = 0usize;
         let mut last_bootstrap: Option<BootstrapResult> = None;
         let mut exact = false;
-
         let mut exhausted = false;
-        while iterations < self.config.max_iterations {
-            iterations += 1;
+        let mapper = TaskMapper::new(task);
+        let reducer = TaskReducer::new(task);
+        // Records drawn by the *delivered* schedule: a speculative draw that is
+        // cancelled must not count towards the reported sample fraction.
+        let mut committed_drawn = sampler.drawn();
 
-            // Expand the sample up to the current target.
-            let mut delta_values: Vec<f64> = Vec::new();
-            if (values.len() as u64) < target_n {
-                let needed = (target_n - values.len() as u64) as usize;
-                let batch = sampler.draw(needed)?;
-                if batch.is_empty() {
-                    // The sampler cannot produce more records: whatever we have
-                    // is effectively the whole usable population.
-                    exhausted = true;
-                } else {
-                    delta_values = batch
-                        .records
-                        .iter()
-                        .filter_map(|(_, line)| task.extract(line))
-                        .collect();
-                    records.extend(batch.records);
-                    values.extend(delta_values.iter().copied());
-                }
-            }
+        if self.config.pipeline_depth <= 1 {
+            // ---- sequential schedule: sample → job → AES, back to back ------
+            while iterations < self.config.max_iterations {
+                iterations += 1;
 
-            // Run the user's job on the current sample through the MapReduce
-            // engine (tasks are reused across iterations — pipelining §2.1).
-            let conf = JobConf::new(
-                format!("earl-{}", task.name()),
-                InputSource::Memory(records.clone()),
-            )
-            .with_parallelism(self.config.parallelism);
-            let mapper = TaskMapper::new(task);
-            let reducer = TaskReducer::new(task);
-            session.run_iteration(&conf, &mapper, &reducer)?;
+                // Expand the sample up to the current target.
+                let needed = target_n.saturating_sub(values.len() as u64) as usize;
+                let drawn = draw_batch(&mut sampler, task, needed)?;
+                exhausted |= drawn.exhausted;
+                let delta_values = drawn.values;
+                records.extend(drawn.records);
+                values.extend(delta_values.iter().copied());
 
-            // Accuracy estimation stage.
-            let (bootstrap_result, aes_records) = if self.config.delta_maintenance {
-                match incremental.as_mut() {
-                    None => {
-                        let ib = IncrementalBootstrap::new(
-                            derive_seed(seed, DELTA_STREAM),
-                            &values,
-                            bootstraps,
-                            SketchConfig::default(),
-                        )
-                        .map_err(EarlError::Stats)?
-                        .with_parallelism(self.config.parallelism);
-                        let touched = (bootstraps * values.len()) as u64;
-                        let result = ib.evaluate(&estimator);
-                        incremental = Some(ib);
-                        (result, touched)
-                    }
-                    Some(ib) => {
-                        let touched = if delta_values.is_empty() {
-                            0
-                        } else {
-                            ib.expand(&delta_values)
-                                .map_err(EarlError::Stats)?
-                                .items_touched
-                        };
-                        (ib.evaluate(&estimator), touched)
-                    }
-                }
-            } else {
-                let result = bootstrap_distribution(
-                    derive_seed(seed, FRESH_STREAM + iterations as u64),
-                    &values,
-                    &estimator,
-                    &BootstrapConfig::with_resamples(bootstraps)
-                        .with_parallelism(self.config.parallelism),
+                // Run the user's job on the current sample through the
+                // MapReduce engine (tasks are reused across iterations —
+                // pipelining §2.1).
+                let conf = JobConf::new(
+                    format!("earl-{}", task.name()),
+                    InputSource::Memory(records.clone()),
                 )
-                .map_err(EarlError::Stats)?;
-                (result, (bootstraps * values.len()) as u64)
-            };
-            cluster.charge_reduce_cpu(Phase::AccuracyEstimation, aes_records, task.is_heavy());
+                .with_parallelism(self.config.parallelism);
+                session.run_iteration(&conf, &mapper, &reducer)?;
 
-            // Post the error on the reducer→mapper feedback channel (§3.3).
-            feedback.post(ErrorReport {
-                reducer: 0,
-                error: bootstrap_result.cv,
-                timestamp: cluster.now(),
-            });
+                // Accuracy estimation stage.
+                let (bootstrap_result, aes_records) = accuracy_stage(
+                    &self.config,
+                    &estimator,
+                    &values,
+                    &delta_values,
+                    bootstraps,
+                    iterations,
+                    &mut incremental,
+                )?;
+                cluster.charge_reduce_cpu(Phase::AccuracyEstimation, aes_records, task.is_heavy());
 
-            let cv = bootstrap_result.cv;
-            last_bootstrap = Some(bootstrap_result);
+                // Post the error on the reducer→mapper feedback channel (§3.3).
+                feedback.post(ErrorReport {
+                    reducer: 0,
+                    error: bootstrap_result.cv,
+                    timestamp: cluster.now(),
+                });
 
-            if values.len() as u64 >= population {
-                exact = true;
-                break;
+                let cv = bootstrap_result.cv;
+                last_bootstrap = Some(bootstrap_result);
+
+                if values.len() as u64 >= population {
+                    exact = true;
+                    break;
+                }
+                if aes.meets_bound(cv) || exhausted {
+                    break;
+                }
+                // Expand and try again.
+                let next = ((values.len() as f64) * self.config.expansion_factor).ceil() as u64;
+                target_n = next.min(population);
             }
-            if aes.meets_bound(cv) || exhausted {
-                break;
+            committed_drawn = sampler.drawn();
+        } else {
+            // ---- pipelined schedule: AES of iteration i overlaps the sample
+            // draw + map phase of iteration i+1 (§2.1).  The speculative
+            // iteration is staged — nothing committed — until the feedback
+            // channel rules on iteration i's error estimate: bound met cancels
+            // it before its reduce phase, otherwise it commits and only its
+            // shuffle + reduce remain to run.  Delivered results (estimate,
+            // error, sample size, iteration count) are identical to the
+            // sequential schedule; the speculative map work is charged to the
+            // simulated clock and discarded on the final iteration.
+            let mut staged: Option<Staged> = None;
+            while iterations < self.config.max_iterations {
+                iterations += 1;
+
+                // ---- commit this iteration's sample + job -------------------
+                let delta_values: Vec<f64> = match staged.take() {
+                    Some(s) => {
+                        records.extend(s.batch_records);
+                        values.extend(s.delta_values.iter().copied());
+                        committed_drawn = s.drawn_after;
+                        exhausted |= s.exhausted;
+                        // The map phase already ran during the previous AES;
+                        // only shuffle + reduce are left.
+                        session.complete_iteration(s.pending, &reducer)?;
+                        s.delta_values
+                    }
+                    None => {
+                        let needed = target_n.saturating_sub(values.len() as u64) as usize;
+                        let drawn = draw_batch(&mut sampler, task, needed)?;
+                        exhausted |= drawn.exhausted;
+                        let delta_values = drawn.values;
+                        records.extend(drawn.records);
+                        values.extend(delta_values.iter().copied());
+                        committed_drawn = sampler.drawn();
+                        let conf = JobConf::new(
+                            format!("earl-{}", task.name()),
+                            InputSource::Memory(records.clone()),
+                        )
+                        .with_parallelism(self.config.parallelism);
+                        session.run_iteration(&conf, &mapper, &reducer)?;
+                        delta_values
+                    }
+                };
+
+                // ---- AES of iteration i ∥ draw + map of iteration i+1 -------
+                let next_target = (((values.len() as f64) * self.config.expansion_factor).ceil()
+                    as u64)
+                    .min(population);
+                let speculate = !exhausted
+                    && (values.len() as u64) < population
+                    && iterations < self.config.max_iterations;
+                let needed = next_target.saturating_sub(values.len() as u64) as usize;
+
+                let (aes_out, spec_out) = std::thread::scope(|scope| {
+                    let config = &self.config;
+                    let estimator_ref = &estimator;
+                    let values_ref = &values;
+                    let delta_ref = &delta_values;
+                    let incremental_ref = &mut incremental;
+                    // The accuracy stage is pure (the caller charges its work
+                    // below, at a deterministic point), so running it off-thread
+                    // cannot perturb the simulated accounting.
+                    let aes_handle = scope.spawn(move || {
+                        accuracy_stage(
+                            config,
+                            estimator_ref,
+                            values_ref,
+                            delta_ref,
+                            bootstraps,
+                            iterations,
+                            incremental_ref,
+                        )
+                    });
+                    let spec_out: Result<Option<Staged>> = if speculate {
+                        (|| {
+                            let drawn = draw_batch(&mut sampler, task, needed)?;
+                            let mut spec_records = records.clone();
+                            spec_records.extend(drawn.records.iter().cloned());
+                            let conf = JobConf::new(
+                                format!("earl-{}", task.name()),
+                                InputSource::Memory(spec_records),
+                            )
+                            .with_parallelism(self.config.parallelism);
+                            let pending = session.begin_iteration(&conf, &mapper)?;
+                            Ok(Some(Staged {
+                                pending,
+                                batch_records: drawn.records,
+                                delta_values: drawn.values,
+                                drawn_after: sampler.drawn(),
+                                exhausted: drawn.exhausted,
+                            }))
+                        })()
+                    } else {
+                        Ok(None)
+                    };
+                    (
+                        aes_handle.join().expect("accuracy stage thread panicked"),
+                        spec_out,
+                    )
+                });
+                let (bootstrap_result, aes_records) = aes_out?;
+                let speculative = spec_out?;
+                cluster.charge_reduce_cpu(Phase::AccuracyEstimation, aes_records, task.is_heavy());
+
+                // Post the error on the reducer→mapper feedback channel (§3.3).
+                feedback.post(ErrorReport {
+                    reducer: 0,
+                    error: bootstrap_result.cv,
+                    timestamp: cluster.now(),
+                });
+                last_bootstrap = Some(bootstrap_result);
+
+                if values.len() as u64 >= population {
+                    exact = true;
+                    if let Some(s) = speculative {
+                        session.cancel_iteration(s.pending);
+                    }
+                    break;
+                }
+                // The feedback channel — not a driver-local — carries the
+                // error estimate that cancels the speculative iteration when
+                // the bound is met (§2.1/§3.3); the bound predicate itself is
+                // the AES's, the same one the sequential schedule applies.
+                let channel_says_stop = session
+                    .latest_error()
+                    .map(|cv| aes.meets_bound(cv))
+                    .unwrap_or(false);
+                if channel_says_stop || exhausted {
+                    if let Some(s) = speculative {
+                        session.cancel_iteration(s.pending);
+                    }
+                    break;
+                }
+                target_n = next_target;
+                staged = speculative;
             }
-            // Expand and try again.
-            let next = ((values.len() as f64) * self.config.expansion_factor).ceil() as u64;
-            target_n = next.min(population);
         }
 
         // ---- report ----------------------------------------------------------
         let bootstrap_result = last_bootstrap.ok_or(EarlError::NoUsableRecords)?;
-        let sampled_fraction = (sampler.drawn() as f64 / population as f64).clamp(0.0, 1.0);
+        let sampled_fraction = (committed_drawn as f64 / population as f64).clamp(0.0, 1.0);
         let aes_report = aes.summarise(task, &bootstrap_result, sampled_fraction, values.len());
         let report = EarlReport {
             task: task.name().to_owned(),
@@ -616,6 +824,63 @@ mod tests {
             invalid.run("/text", &MeanTask),
             Err(EarlError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn pipelined_schedule_delivers_the_sequential_results() {
+        // Multiple expansion iterations (high dispersion + tight bound) so the
+        // overlap path commits at least one staged iteration AND cancels the
+        // final speculative one; both delta modes.
+        for (delta, sigma) in [(true, 0.02), (false, 0.02), (true, 0.05)] {
+            let run = |depth: usize| {
+                let dfs = dfs(4);
+                build_spread(&dfs, 60_000, 21);
+                let config = EarlConfig {
+                    pipeline_depth: depth,
+                    delta_maintenance: delta,
+                    sigma,
+                    ..EarlConfig::default()
+                };
+                EarlDriver::new(dfs, config)
+                    .run("/data", &MeanTask)
+                    .unwrap()
+            };
+            let sequential = run(1);
+            let pipelined = run(2);
+            assert_eq!(sequential.result, pipelined.result, "delta={delta}");
+            assert_eq!(sequential.error_estimate, pipelined.error_estimate);
+            assert_eq!(sequential.sample_size, pipelined.sample_size);
+            assert_eq!(sequential.iterations, pipelined.iterations);
+            assert_eq!(sequential.sample_fraction, pipelined.sample_fraction);
+            assert_eq!(sequential.bootstraps, pipelined.bootstraps);
+            assert_eq!(sequential.exact, pipelined.exact);
+        }
+    }
+
+    fn build_spread(dfs: &Dfs, records: u64, seed: u64) {
+        DatasetBuilder::new(dfs.clone())
+            .build("/data", &DatasetSpec::normal(records, 500.0, 400.0, seed))
+            .unwrap();
+    }
+
+    #[test]
+    fn deeper_pipelines_behave_as_depth_two() {
+        let run = |depth: usize| {
+            let dfs = dfs(3);
+            build(&dfs, 30_000, 23);
+            let config = EarlConfig {
+                pipeline_depth: depth,
+                ..EarlConfig::default()
+            };
+            EarlDriver::new(dfs, config)
+                .run("/data", &MeanTask)
+                .unwrap()
+        };
+        let two = run(2);
+        let eight = run(8);
+        assert_eq!(two.result, eight.result);
+        assert_eq!(two.iterations, eight.iterations);
+        assert_eq!(two.sim_time, eight.sim_time, "depth > 2 adds no lookahead");
     }
 
     #[test]

@@ -38,8 +38,9 @@ pub use error::MrError;
 pub use feedback::{ErrorFeedback, ErrorReport};
 pub use job::{FailurePolicy, InputSource, JobConf, JobResult, JobStats};
 pub use partition::{HashPartitioner, Partitioner};
-pub use pipeline::PipelinedSession;
-pub use runner::{run_job, run_job_with_combiner};
+pub use pipeline::{PendingIteration, PipelinedSession};
+pub use runner::{finish_job, run_job, run_job_with_combiner, run_map_phase, MapPhase};
+pub use shuffle::ShuffleOutput;
 pub use types::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 
 /// Crate-wide result alias.

@@ -17,8 +17,8 @@ use std::sync::Arc;
 use earl_dfs::Dfs;
 
 use crate::feedback::ErrorFeedback;
-use crate::job::{JobConf, JobResult};
-use crate::runner::run_job;
+use crate::job::{JobConf, JobResult, JobStats};
+use crate::runner::{finish_job, run_map_phase, MapPhase};
 use crate::types::{Mapper, Reducer};
 use crate::Result;
 
@@ -57,10 +57,21 @@ impl PipelinedSession {
         self.iterations
     }
 
-    /// Runs one iteration of the job.  The first iteration charges job and
+    /// Start-up charging for one iteration: the first iteration pays job and
     /// task start-up; later iterations reuse the live tasks and charge neither
-    /// the job start-up nor fresh task start-ups (the `local_mode` flag of the
-    /// iteration config is left untouched; only start-up charging changes).
+    /// (the `local_mode` flag of the iteration config only changes start-up
+    /// charging — I/O and CPU are still charged normally because the data
+    /// genuinely has to be read and processed).
+    fn iteration_conf(&self, conf: &JobConf) -> JobConf {
+        let mut conf = conf.clone();
+        if self.iterations > 0 {
+            conf.charge_job_startup = false;
+            conf.local_mode = true;
+        }
+        conf
+    }
+
+    /// Runs one iteration of the job to completion (map + shuffle + reduce).
     pub fn run_iteration<M, R>(
         &mut self,
         conf: &JobConf,
@@ -71,16 +82,74 @@ impl PipelinedSession {
         M: Mapper,
         R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
     {
-        let mut conf = conf.clone();
-        if self.iterations > 0 {
-            conf.charge_job_startup = false;
-            // Task re-use: model by running the iteration in "local" charging
-            // mode for start-up purposes only.  I/O and CPU are still charged
-            // normally because the data genuinely has to be read and processed.
-            conf.local_mode = true;
-        }
+        let pending = self.begin_iteration(conf, mapper)?;
+        self.complete_iteration(pending, reducer)
+    }
+
+    /// Runs only the **map half** of an iteration, returning the staged
+    /// intermediate state.  This is the speculative half of the pipelined
+    /// schedule: while the accuracy-estimation stage of iteration *i* runs,
+    /// the map phase of iteration *i+1* proceeds concurrently; the reducer→
+    /// mapper feedback channel then decides whether the staged iteration is
+    /// [completed](Self::complete_iteration) or
+    /// [cancelled](Self::cancel_iteration) before its reduce phase starts.
+    pub fn begin_iteration<M>(
+        &mut self,
+        conf: &JobConf,
+        mapper: &M,
+    ) -> Result<PendingIteration<M::OutKey, M::OutValue>>
+    where
+        M: Mapper,
+    {
+        let conf = self.iteration_conf(conf);
         self.iterations += 1;
-        run_job(&self.dfs, &conf, mapper, reducer)
+        let phase = run_map_phase(&self.dfs, &conf, mapper)?;
+        Ok(PendingIteration { phase, conf })
+    }
+
+    /// Completes a staged iteration: shuffle + reduce over its map output.
+    pub fn complete_iteration<R>(
+        &self,
+        pending: PendingIteration<R::InKey, R::InValue>,
+        reducer: &R,
+    ) -> Result<JobResult<R::Output>>
+    where
+        R: Reducer,
+    {
+        finish_job(&self.dfs, &pending.conf, pending.phase, reducer)
+    }
+
+    /// Cancels a staged iteration before its reduce phase: the map output is
+    /// dropped and the iteration is not counted.  Returns the map-phase stats
+    /// (the work that was speculatively performed and discarded).
+    pub fn cancel_iteration<K, V>(&mut self, pending: PendingIteration<K, V>) -> JobStats {
+        self.iterations = self.iterations.saturating_sub(1);
+        pending.phase.stats().clone()
+    }
+
+    /// The newest error estimate on the feedback channel — the reducer→mapper
+    /// termination signal (§3.3).  The driver compares it against its accuracy
+    /// bound (one predicate, owned by the accuracy-estimation stage) to decide
+    /// whether a speculative iteration is cancelled.  `None` while no estimate
+    /// has been posted.
+    pub fn latest_error(&self) -> Option<f64> {
+        self.feedback.latest().map(|report| report.error)
+    }
+}
+
+/// The staged map half of one pipelined iteration: created by
+/// [`PipelinedSession::begin_iteration`], then either completed (shuffle +
+/// reduce) or cancelled by the feedback channel.
+#[derive(Debug)]
+pub struct PendingIteration<K, V> {
+    phase: MapPhase<K, V>,
+    conf: JobConf,
+}
+
+impl<K, V> PendingIteration<K, V> {
+    /// Stats of the completed map phase (reduce fields still zero).
+    pub fn map_stats(&self) -> &JobStats {
+        self.phase.stats()
     }
 }
 
@@ -144,6 +213,62 @@ mod tests {
             .unwrap();
         assert_eq!(a.outputs, b.outputs);
         assert!((a.outputs[0] - 250.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staged_iteration_completes_like_a_plain_iteration() {
+        let mut plain = session();
+        let conf = JobConf::new("mean", InputSource::Path("/pipe".into()));
+        let reference = plain
+            .run_iteration(&conf, &ValueExtractMapper, &MeanReducer)
+            .unwrap();
+
+        let mut staged = session();
+        let pending = staged.begin_iteration(&conf, &ValueExtractMapper).unwrap();
+        assert!(pending.map_stats().map_tasks >= 1);
+        assert_eq!(pending.map_stats().reduce_tasks, 0);
+        let result = staged.complete_iteration(pending, &MeanReducer).unwrap();
+        assert_eq!(result.outputs, reference.outputs);
+        assert_eq!(result.counters, reference.counters);
+        assert_eq!(staged.iterations(), 1);
+    }
+
+    #[test]
+    fn cancelled_iteration_is_not_counted_and_restores_startup_charging() {
+        let mut session = session();
+        let conf = JobConf::new("mean", InputSource::Path("/pipe".into()));
+        session
+            .run_iteration(&conf, &ValueExtractMapper, &MeanReducer)
+            .unwrap();
+
+        // Speculative iteration 2: map phase runs, then the feedback channel
+        // reports the bound is met and the iteration is cancelled.
+        let pending = session.begin_iteration(&conf, &ValueExtractMapper).unwrap();
+        assert_eq!(session.iterations(), 2);
+        session.feedback().post(crate::feedback::ErrorReport {
+            reducer: 0,
+            error: 0.01,
+            timestamp: SimInstant::EPOCH,
+        });
+        assert_eq!(session.latest_error(), Some(0.01));
+        let wasted = session.cancel_iteration(pending);
+        assert!(wasted.map_tasks >= 1);
+        assert_eq!(session.iterations(), 1, "cancelled iterations do not count");
+
+        // The next real iteration still gets start-up suppression (it is not
+        // the first).
+        let before = session.dfs().cluster().elapsed();
+        session
+            .run_iteration(&conf, &ValueExtractMapper, &MeanReducer)
+            .unwrap();
+        let cost = session.dfs().cluster().elapsed() - before;
+        let mut fresh = super::tests::session();
+        let t0 = fresh.dfs().cluster().elapsed();
+        fresh
+            .run_iteration(&conf, &ValueExtractMapper, &MeanReducer)
+            .unwrap();
+        let first_cost = fresh.dfs().cluster().elapsed() - t0;
+        assert!(cost < first_cost, "reused tasks stay cheap after a cancel");
     }
 
     #[test]

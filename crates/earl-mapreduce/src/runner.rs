@@ -27,7 +27,7 @@
 
 use earl_cluster::{ClusterError, NodeId, Phase};
 use earl_dfs::{Dfs, InputSplit};
-use earl_parallel::{indexed_map, resolve_parallelism};
+use earl_parallel::{indexed_map, resolve_parallelism, workers_for};
 
 use crate::counters::{builtin, Counters};
 use crate::error::MrError;
@@ -98,6 +98,61 @@ where
     R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
     C: Combiner<Key = M::OutKey, Value = M::OutValue>,
 {
+    let phase = map_phase_inner(dfs, conf, mapper, combiner)?;
+    finish_job(dfs, conf, phase, reducer)
+}
+
+/// The completed map half of a job: all intermediate pairs plus the counters
+/// and stats accumulated so far.  Produced by [`run_map_phase`], consumed by
+/// [`finish_job`] (shuffle + reduce) — or dropped outright when a pipelined
+/// session cancels a speculative iteration before its reduce phase.
+#[derive(Debug)]
+pub struct MapPhase<K, V> {
+    pairs: Vec<(K, V)>,
+    counters: Counters,
+    stats: JobStats,
+    start: earl_cluster::SimDuration,
+    failure_free: bool,
+}
+
+impl<K, V> MapPhase<K, V> {
+    /// Stats accumulated by the map phase (map tasks, input records, shuffle
+    /// records; reduce fields still zero).
+    pub fn stats(&self) -> &JobStats {
+        &self.stats
+    }
+
+    /// Counters accumulated by the map phase.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+}
+
+/// Runs only the map half of a job (task planning + map tasks + combiner),
+/// leaving shuffle and reduce to [`finish_job`].  A pipelined session uses
+/// this to overlap the map phase of a speculative iteration with the accuracy
+/// estimation of the previous one.
+pub fn run_map_phase<M>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    mapper: &M,
+) -> Result<MapPhase<M::OutKey, M::OutValue>>
+where
+    M: Mapper,
+{
+    map_phase_inner::<M, NeverCombiner<M::OutKey, M::OutValue>>(dfs, conf, mapper, None)
+}
+
+fn map_phase_inner<M, C>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    mapper: &M,
+    combiner: Option<&C>,
+) -> Result<MapPhase<M::OutKey, M::OutValue>>
+where
+    M: Mapper,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+{
     let cluster = dfs.cluster();
     let start = cluster.elapsed();
     let mut counters = Counters::new();
@@ -126,7 +181,9 @@ where
 
     // ---- map phase -----------------------------------------------------------
     // Sequential execution is only needed while failures can still fire; a
-    // stable cluster runs tasks concurrently with identical results.
+    // stable cluster runs tasks concurrently with identical results.  The
+    // decision is recorded so the reduce half follows the same engine even if
+    // all scheduled failures fire mid-map.
     let failure_free = !cluster.failure_injection_pending();
     let threads = resolve_parallelism(conf.parallelism);
 
@@ -165,6 +222,37 @@ where
     stats.map_input_records = counters.get(builtin::MAP_INPUT_RECORDS);
     stats.shuffle_records = all_pairs.len() as u64;
 
+    Ok(MapPhase {
+        pairs: all_pairs,
+        counters,
+        stats,
+        start,
+        failure_free,
+    })
+}
+
+/// Completes a job from its finished map phase: shuffle (sharded across the
+/// worker pool on the failure-free path), reduce, output charging, final
+/// stats.
+pub fn finish_job<R>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    phase: MapPhase<R::InKey, R::InValue>,
+    reducer: &R,
+) -> Result<JobResult<R::Output>>
+where
+    R: Reducer,
+{
+    let cluster = dfs.cluster();
+    let MapPhase {
+        pairs: all_pairs,
+        mut counters,
+        mut stats,
+        start,
+        failure_free,
+    } = phase;
+    let threads = resolve_parallelism(conf.parallelism);
+
     // ---- shuffle -------------------------------------------------------------
     if !conf.local_mode && !all_pairs.is_empty() {
         cluster.charge_sort(all_pairs.len() as u64);
@@ -177,7 +265,17 @@ where
             cluster.charge_net_transfer(Phase::Shuffle, nodes[0], nodes[1], crossing);
         }
     }
-    let shuffled = ShuffleOutput::shuffle(all_pairs, conf.num_reducers, &HashPartitioner);
+    let shuffle_workers = if failure_free {
+        workers_for(all_pairs.len(), conf.parallelism).min(threads)
+    } else {
+        1
+    };
+    let shuffled = ShuffleOutput::shuffle_parallel(
+        all_pairs,
+        conf.num_reducers,
+        &HashPartitioner,
+        shuffle_workers,
+    );
     stats.reduce_groups = shuffled.total_groups();
 
     // ---- reduce phase --------------------------------------------------------

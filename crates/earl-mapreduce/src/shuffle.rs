@@ -1,6 +1,24 @@
 //! The shuffle: partitioning, grouping and sorting of intermediate pairs.
+//!
+//! Two execution paths produce the **same bits**:
+//!
+//! * [`ShuffleOutput::shuffle`] — the sequential reference: one pass over the
+//!   pairs into per-partition `BTreeMap`s.
+//! * [`ShuffleOutput::shuffle_parallel`] — the sharded path: map output is
+//!   bucketed into per-reducer hash shards by contiguous input chunks on the
+//!   `earl-parallel` pool ([`earl_parallel::shard_merge`]), then every reducer
+//!   merges + sorts its own shard independently.  Because each shard receives
+//!   its pairs in input order and grouping is per-shard, the result is
+//!   bit-identical to the sequential path at every thread count — the same
+//!   determinism contract as the `(seed, replicate)` RNG streams.
+//!
+//! Neither path ever clones a key or a value: pairs are moved from the map
+//! output into their group.  (`BTreeMap::entry` takes the key by value; for a
+//! key already present the duplicate key is dropped, not cloned.)
 
 use std::collections::BTreeMap;
+
+use earl_parallel::shard_merge;
 
 use crate::partition::Partitioner;
 use crate::types::{Combiner, MrKey, MrValue};
@@ -12,8 +30,20 @@ pub struct ShuffleOutput<K, V> {
     partitions: Vec<BTreeMap<K, Vec<V>>>,
 }
 
+/// Groups pairs (already routed to one partition, in input order) by key.
+/// Keys and values are moved, never cloned.
+fn group_pairs<K: MrKey, V: MrValue>(pairs: Vec<(K, V)>) -> BTreeMap<K, Vec<V>> {
+    let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for (key, value) in pairs {
+        grouped.entry(key).or_default().push(value);
+    }
+    grouped
+}
+
 impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
-    /// Groups `pairs` into `num_partitions` reduce partitions using `partitioner`.
+    /// Groups `pairs` into `num_partitions` reduce partitions using
+    /// `partitioner`, single-threaded.  This is the reference implementation
+    /// the sharded path must match bit for bit.
     pub fn shuffle<P: Partitioner<K> + ?Sized>(
         pairs: Vec<(K, V)>,
         num_partitions: usize,
@@ -28,6 +58,33 @@ impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
                 .min(num_partitions - 1);
             partitions[p].entry(key).or_default().push(value);
         }
+        Self { partitions }
+    }
+
+    /// Sharded shuffle: partition-parallel grouping over `threads` workers.
+    ///
+    /// Each worker buckets one contiguous chunk of `pairs` into per-reducer
+    /// shards; each reducer then merges + sorts its own shard.  Output is
+    /// bit-identical to [`ShuffleOutput::shuffle`] for every `threads` value;
+    /// with `threads <= 1` it falls back to the sequential path outright.
+    pub fn shuffle_parallel<P: Partitioner<K> + ?Sized>(
+        pairs: Vec<(K, V)>,
+        num_partitions: usize,
+        partitioner: &P,
+        threads: usize,
+    ) -> Self {
+        let num_partitions = num_partitions.max(1);
+        if threads <= 1 || num_partitions == 1 {
+            // One partition means one merger: sharding buys nothing.
+            return Self::shuffle(pairs, num_partitions, partitioner);
+        }
+        let partitions = shard_merge(
+            pairs,
+            num_partitions,
+            threads,
+            |(key, _)| partitioner.partition(key, num_partitions),
+            |_, shard| group_pairs(shard),
+        );
         Self { partitions }
     }
 
@@ -63,19 +120,24 @@ impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
 
 /// Applies a combiner to one mapper's local output, reducing the number of
 /// records that must cross the network.
+///
+/// Each group's key is cloned once per *extra* combined value only (combiners
+/// almost always emit exactly one value per key, in which case the key is
+/// moved) — not once per value as the previous implementation did.
 pub fn apply_combiner<C>(pairs: Vec<(C::Key, C::Value)>, combiner: &C) -> Vec<(C::Key, C::Value)>
 where
     C: Combiner + ?Sized,
 {
-    let mut grouped: BTreeMap<C::Key, Vec<C::Value>> = BTreeMap::new();
-    for (k, v) in pairs {
-        grouped.entry(k).or_default().push(v);
-    }
-    let mut combined = Vec::new();
-    for (k, values) in grouped {
-        for v in combiner.combine(&k, &values) {
-            combined.push((k.clone(), v));
+    let grouped = group_pairs(pairs);
+    let mut combined = Vec::with_capacity(grouped.len());
+    for (key, values) in grouped {
+        let mut out = combiner.combine(&key, &values);
+        let Some(last) = out.pop() else { continue };
+        for value in out {
+            combined.push((key.clone(), value));
         }
+        // The group's final value rides on the owned key — no clone.
+        combined.push((key, last));
     }
     combined
 }
@@ -84,6 +146,7 @@ where
 mod tests {
     use super::*;
     use crate::partition::HashPartitioner;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn shuffle_groups_by_key_in_sorted_order() {
@@ -119,6 +182,69 @@ mod tests {
     fn zero_partitions_is_clamped_to_one() {
         let out = ShuffleOutput::shuffle(vec![("k", 1)], 0, &HashPartitioner);
         assert_eq!(out.num_partitions(), 1);
+        let out = ShuffleOutput::shuffle_parallel(vec![("k", 1)], 0, &HashPartitioner, 8);
+        assert_eq!(out.num_partitions(), 1);
+    }
+
+    #[test]
+    fn sharded_shuffle_matches_sequential_at_every_thread_count() {
+        let pairs: Vec<(u64, u64)> = (0..5_000).map(|i| (i * 2_654_435_761 % 97, i)).collect();
+        for parts in [1usize, 2, 4, 7] {
+            let reference =
+                ShuffleOutput::shuffle(pairs.clone(), parts, &HashPartitioner).into_partitions();
+            for threads in [1usize, 2, 4, 8, 64] {
+                let sharded = ShuffleOutput::shuffle_parallel(
+                    pairs.clone(),
+                    parts,
+                    &HashPartitioner,
+                    threads,
+                )
+                .into_partitions();
+                assert_eq!(sharded, reference, "parts {parts}, threads {threads}");
+            }
+        }
+    }
+
+    /// A key that counts how many times it is cloned, to pin down the
+    /// shuffle's no-copy guarantee.
+    #[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct CountedKey(u64);
+
+    static KEY_CLONES: AtomicUsize = AtomicUsize::new(0);
+    /// Tests reading `KEY_CLONES` deltas hold this lock — the test harness
+    /// runs them on separate threads otherwise, racing the shared counter.
+    static CLONE_COUNT_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    impl Clone for CountedKey {
+        fn clone(&self) -> Self {
+            KEY_CLONES.fetch_add(1, Ordering::Relaxed);
+            CountedKey(self.0)
+        }
+    }
+
+    struct IdentityPartitioner;
+    impl Partitioner<CountedKey> for IdentityPartitioner {
+        fn partition(&self, key: &CountedKey, num_partitions: usize) -> usize {
+            (key.0 as usize) % num_partitions
+        }
+    }
+
+    #[test]
+    fn shuffle_paths_never_clone_keys() {
+        let _serial = CLONE_COUNT_LOCK.lock();
+        let pairs = |n: u64| -> Vec<(CountedKey, u64)> {
+            (0..n).map(|i| (CountedKey(i % 13), i)).collect()
+        };
+        let before = KEY_CLONES.load(Ordering::Relaxed);
+        let seq = ShuffleOutput::shuffle(pairs(2_000), 4, &IdentityPartitioner);
+        assert_eq!(seq.total_records(), 2_000);
+        let par = ShuffleOutput::shuffle_parallel(pairs(2_000), 4, &IdentityPartitioner, 8);
+        assert_eq!(par.total_records(), 2_000);
+        assert_eq!(
+            KEY_CLONES.load(Ordering::Relaxed),
+            before,
+            "shuffle must move keys, never clone them"
+        );
     }
 
     struct SumCombiner;
@@ -140,5 +266,66 @@ mod tests {
         ];
         let combined = apply_combiner(pairs, &SumCombiner);
         assert_eq!(combined, vec![("a".to_owned(), 7), ("b".to_owned(), 3)]);
+    }
+
+    struct EchoCombiner;
+    impl Combiner for EchoCombiner {
+        type Key = CountedKey;
+        type Value = u64;
+        fn combine(&self, _key: &CountedKey, values: &[u64]) -> Vec<u64> {
+            values.to_vec()
+        }
+    }
+
+    struct DropCombiner;
+    impl Combiner for DropCombiner {
+        type Key = CountedKey;
+        type Value = u64;
+        fn combine(&self, _key: &CountedKey, _values: &[u64]) -> Vec<u64> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn combiner_clones_keys_once_per_extra_value_only() {
+        let _serial = CLONE_COUNT_LOCK.lock();
+        struct OneCombiner;
+        impl Combiner for OneCombiner {
+            type Key = CountedKey;
+            type Value = u64;
+            fn combine(&self, _key: &CountedKey, values: &[u64]) -> Vec<u64> {
+                vec![values.iter().sum()]
+            }
+        }
+        let pairs =
+            |n: u64| -> Vec<(CountedKey, u64)> { (0..n).map(|i| (CountedKey(i % 5), 1)).collect() };
+
+        // 1 value per group: the key is moved, zero clones.
+        let before = KEY_CLONES.load(Ordering::Relaxed);
+        let out = apply_combiner(pairs(100), &OneCombiner);
+        assert_eq!(out.len(), 5);
+        assert_eq!(
+            KEY_CLONES.load(Ordering::Relaxed) - before,
+            0,
+            "single combined value must not clone its key"
+        );
+
+        // k values per group: k - 1 clones, and value order is preserved.
+        let before = KEY_CLONES.load(Ordering::Relaxed);
+        let out = apply_combiner(pairs(15), &EchoCombiner);
+        assert_eq!(out.len(), 15);
+        assert_eq!(KEY_CLONES.load(Ordering::Relaxed) - before, 15 - 5);
+        for group in out.chunks(3) {
+            assert!(group.iter().all(|(k, _)| k == &group[0].0));
+            assert_eq!(
+                group.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+                vec![1, 1, 1]
+            );
+        }
+
+        // 0 values per group: nothing emitted, nothing cloned.
+        let before = KEY_CLONES.load(Ordering::Relaxed);
+        assert!(apply_combiner(pairs(20), &DropCombiner).is_empty());
+        assert_eq!(KEY_CLONES.load(Ordering::Relaxed) - before, 0);
     }
 }

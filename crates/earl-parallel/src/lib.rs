@@ -95,6 +95,134 @@ where
     indexed_map(count, threads, make_scratch, eval)
 }
 
+/// Splits `items` into contiguous chunks of `chunk_len` (the last may be
+/// shorter), preserving input order — the one splitting policy behind both
+/// [`owned_indexed_map`] and [`shard_merge`], so their determinism contracts
+/// cannot diverge.
+fn split_into_chunks<I>(items: Vec<I>, chunk_len: usize) -> Vec<Vec<I>> {
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(items.len().div_ceil(chunk_len.max(1)));
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<I> = iter.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+/// Like [`indexed_map`] but takes ownership of the work items: `eval(i, item)`
+/// consumes `items[i]`.  Splitting is contiguous and chunk order is the input
+/// order, so results are in index order and identical at every thread count.
+/// The shuffle's shard/merge stages run on this (shards are moved, never
+/// cloned, into their merger).
+pub fn owned_indexed_map<I, T, F>(items: Vec<I>, threads: usize, eval: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let count = items.len();
+    let threads = threads.clamp(1, count.max(1));
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| eval(i, item))
+            .collect();
+    }
+    let chunk_len = count.div_ceil(threads);
+    let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(count).collect();
+    let chunks = split_into_chunks(items, chunk_len);
+    std::thread::scope(|scope| {
+        for ((chunk_idx, chunk), slots) in chunks
+            .into_iter()
+            .enumerate()
+            .zip(out.chunks_mut(chunk_len))
+        {
+            let eval = &eval;
+            scope.spawn(move || {
+                let base = chunk_idx * chunk_len;
+                for ((offset, item), slot) in chunk.into_iter().enumerate().zip(slots.iter_mut()) {
+                    *slot = Some(eval(base + offset, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every work item was executed"))
+        .collect()
+}
+
+/// Partition-parallel shard-and-merge: routes every item to the shard chosen
+/// by `assign`, then merges each shard with `merge(shard_index, shard_items)`.
+///
+/// Determinism contract: items are scanned in contiguous input chunks (one per
+/// worker) and each shard's items are concatenated in chunk order, so every
+/// shard sees its items **in input order** regardless of `threads` — the merge
+/// output is bit-identical at every thread count.  `assign` must return a
+/// value `< num_shards` (it is clamped defensively).  Items are moved, never
+/// cloned, end to end.
+///
+/// This is the sharded-shuffle primitive: map output pairs are the items,
+/// reduce partitions are the shards, and `merge` groups + sorts one reducer's
+/// shard.
+pub fn shard_merge<I, T, A, M>(
+    items: Vec<I>,
+    num_shards: usize,
+    threads: usize,
+    assign: A,
+    merge: M,
+) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    A: Fn(&I) -> usize + Sync,
+    M: Fn(usize, Vec<I>) -> T + Sync,
+{
+    let num_shards = num_shards.max(1);
+    let count = items.len();
+    let threads = threads.clamp(1, count.max(1));
+
+    // Phase 1: each worker buckets one contiguous chunk of the input into
+    // per-shard vectors, preserving input order within the chunk.
+    let chunk_len = count.div_ceil(threads);
+    let chunks = split_into_chunks(items, chunk_len);
+    let bucketed: Vec<Vec<Vec<I>>> = owned_indexed_map(chunks, threads, |_, chunk| {
+        let mut buckets: Vec<Vec<I>> = (0..num_shards).map(|_| Vec::new()).collect();
+        for item in chunk {
+            let shard = assign(&item).min(num_shards - 1);
+            buckets[shard].push(item);
+        }
+        buckets
+    });
+
+    // Transpose ownership chunk-major → shard-major.  Chunk order is input
+    // order, so concatenating a shard's buckets in this order restores the
+    // original relative order of its items.
+    let mut per_shard: Vec<Vec<Vec<I>>> = (0..num_shards)
+        .map(|_| Vec::with_capacity(bucketed.len()))
+        .collect();
+    for worker_buckets in bucketed {
+        for (shard, bucket) in worker_buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                per_shard[shard].push(bucket);
+            }
+        }
+    }
+
+    // Phase 2: merge each shard independently (one merger per shard).
+    owned_indexed_map(per_shard, threads, |shard, buckets| {
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        let mut shard_items = Vec::with_capacity(total);
+        for bucket in buckets {
+            shard_items.extend(bucket);
+        }
+        merge(shard, shard_items)
+    })
+}
+
 /// Like [`replicate_map`] but for in-place mutation of `count` existing items:
 /// `update(i, &mut items[i], scratch)`.  Used by delta maintenance, where each
 /// maintained resample is updated rather than recomputed.
@@ -176,6 +304,52 @@ mod tests {
             .iter()
             .enumerate()
             .all(|(i, s)| s == &format!("item-{i}")));
+    }
+
+    #[test]
+    fn owned_indexed_map_is_identical_across_thread_counts() {
+        let items: Vec<String> = (0..503).map(|i| format!("v{i}")).collect();
+        let expected: Vec<String> = items.iter().map(|s| format!("{s}!")).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = owned_indexed_map(items.clone(), threads, |_, s: String| format!("{s}!"));
+            assert_eq!(got, expected, "threads {threads}");
+        }
+        assert!(owned_indexed_map(Vec::<u8>::new(), 4, |_, b| b).is_empty());
+    }
+
+    #[test]
+    fn shard_merge_preserves_input_order_within_each_shard() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let reference = shard_merge(items.clone(), 7, 1, |&x| (x % 7) as usize, |s, v| (s, v));
+        for threads in [2, 3, 8, 64] {
+            let sharded = shard_merge(
+                items.clone(),
+                7,
+                threads,
+                |&x| (x % 7) as usize,
+                |s, v| (s, v),
+            );
+            assert_eq!(sharded, reference, "threads {threads}");
+        }
+        // Within every shard, items appear in input (ascending) order.
+        for (shard, values) in &reference {
+            assert!(values.windows(2).all(|w| w[0] < w[1]));
+            assert!(values.iter().all(|v| (*v % 7) as usize == *shard));
+        }
+        let total: usize = reference.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn shard_merge_clamps_out_of_range_shards_and_empty_input() {
+        let out = shard_merge(vec![1u8, 2, 3], 2, 4, |_| 99, |s, v: Vec<u8>| (s, v.len()));
+        assert_eq!(
+            out,
+            vec![(0, 0), (1, 3)],
+            "out-of-range assign clamps to last shard"
+        );
+        let empty = shard_merge(Vec::<u8>::new(), 3, 4, |_| 0, |s, v: Vec<u8>| (s, v.len()));
+        assert_eq!(empty, vec![(0, 0), (1, 0), (2, 0)]);
     }
 
     #[test]

@@ -17,7 +17,16 @@ use earl_core::{EarlConfig, EarlDriver};
 use earl_dfs::{Dfs, DfsConfig};
 use earl_mapreduce::{contrib, run_job, InputSource, JobConf};
 
-const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+/// Non-reference thread counts under test: the `EARL_THREADS` matrix value
+/// when set (the CI thread-matrix job runs this file at 1, 2, 4 and 8), the
+/// {2, 8} ladder otherwise.  Every property compares against a 1-thread
+/// reference run.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("EARL_THREADS") {
+        Ok(v) => vec![v.parse().expect("EARL_THREADS must be a positive integer")],
+        Err(_) => vec![2, 8],
+    }
+}
 
 fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
     let mut rng = seeded_rng(seed);
@@ -63,10 +72,10 @@ fn bootstrap_distribution_is_identical_across_thread_counts() {
             case,
             &data,
             &Median,
-            &BootstrapConfig::with_resamples(b).with_parallelism(Some(THREAD_COUNTS[0])),
+            &BootstrapConfig::with_resamples(b).with_parallelism(Some(1)),
         )
         .unwrap();
-        for &threads in &THREAD_COUNTS[1..] {
+        for &threads in &thread_counts() {
             let result = bootstrap_distribution(
                 case,
                 &data,
@@ -97,8 +106,8 @@ fn run_job_is_identical_across_thread_counts() {
         )
         .unwrap()
     };
-    let reference = run(THREAD_COUNTS[0]);
-    for &threads in &THREAD_COUNTS[1..] {
+    let reference = run(1);
+    for &threads in &thread_counts() {
         let result = run(threads);
         assert_eq!(reference.outputs, result.outputs, "threads {threads}");
         assert_eq!(reference.counters, result.counters, "threads {threads}");
@@ -197,8 +206,8 @@ fn earl_driver_reports_are_identical_across_thread_counts() {
             .run("/data", &MeanTask)
             .unwrap()
     };
-    let reference = run(THREAD_COUNTS[0]);
-    for &threads in &THREAD_COUNTS[1..] {
+    let reference = run(1);
+    for &threads in &thread_counts() {
         let report = run(threads);
         assert_eq!(reference.result, report.result, "threads {threads}");
         assert_eq!(
@@ -220,9 +229,9 @@ fn earl_driver_reports_are_identical_across_thread_counts() {
 #[test]
 fn bootstrap_mean_replicates_match_at_every_parallelism() {
     let data = normal_sample(10_000, 100.0, 10.0, 99);
-    let configs: Vec<BootstrapConfig> = THREAD_COUNTS
-        .iter()
-        .map(|&t| BootstrapConfig::with_resamples(64).with_parallelism(Some(t)))
+    let configs: Vec<BootstrapConfig> = std::iter::once(1)
+        .chain(thread_counts())
+        .map(|t| BootstrapConfig::with_resamples(64).with_parallelism(Some(t)))
         .collect();
     let results: Vec<_> = configs
         .iter()
