@@ -1,0 +1,454 @@
+//! PR 3 perf baseline: bootstrap replicate-evaluation kernels.
+//!
+//! Measures replicates/s for each kernel × estimator × sample size on a single
+//! worker thread (the kernel comparison must not be confounded by fork-join
+//! scaling; `host_cores` is recorded so cross-host gates can tell hosts
+//! apart):
+//!
+//! * **gather** — materialise each resample and rescan it (the PR 1 engine);
+//! * **streaming** — feed sampled indices straight into an accumulator
+//!   (no gather buffer, no second pass);
+//! * **count-based** — resample-free multinomial section counts for linear
+//!   statistics, O(√n) per replicate instead of O(n).
+//!
+//! Writes `BENCH_PR3.json`.  Usage:
+//!
+//! ```text
+//! bench_pr3 [--quick] [--check BASELINE.json] [output.json]
+//! ```
+//!
+//! `--quick` shrinks B for CI smoke runs (sample sizes stay honest).
+//! `--check` enforces the kernel gates and exits non-zero if any trips:
+//!
+//! 1. **routing** (always-on, host-free): `Auto` must resolve every linear
+//!    estimator/task to the count-based kernel — never silently to gather;
+//! 2. **ordering** (same-run, host-neutral): streaming ≥ 1.0× gather and
+//!    count-based ≥ 1.0× streaming replicates/s on the mean (10 % tolerance);
+//! 3. **headline** (same-run, host-neutral): count-based ≥ 5× gather
+//!    replicates/s on the mean at n = 100 000;
+//! 4. **cross-host**: count-based mean-at-100k replicates/s vs the checked-in
+//!    baseline (20 % tolerance) — skipped with a notice when the baseline was
+//!    recorded on a host with a different core count.
+
+use std::time::Instant;
+
+use earl_bootstrap::bootstrap::{
+    bootstrap_distribution, BootstrapConfig, BootstrapKernel, ResolvedKernel,
+};
+use earl_bootstrap::estimators::{Estimator, Mean, Sum, Variance};
+use earl_bootstrap::rng::{seeded_rng, standard_normal};
+use earl_core::task::TaskEstimator;
+use earl_core::tasks::{CountTask, MeanTask, SumTask};
+
+/// Tolerance of the same-run kernel-ordering gates (streaming vs gather,
+/// count-based vs streaming).
+const ORDERING_TOLERANCE: f64 = 0.10;
+/// The headline requirement: count-based ≥ this × gather on Mean at n = 100k.
+const HEADLINE_SPEEDUP: f64 = 5.0;
+/// Tolerated cross-host throughput regression vs. the checked-in baseline.
+const MAX_REGRESSION: f64 = 0.20;
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn time_n<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = None;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    (median_secs(samples), out.expect("at least one rep"))
+}
+
+/// Extracts the number following `"key":` in a flat-enough JSON document
+/// (the build has no serde_json; this binary only reads back its own output).
+fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Gate 1: `Auto` must never route a linear statistic to the gather kernel.
+/// Checked at both the estimator layer and the task layer the driver uses.
+fn check_auto_routing() {
+    let estimator_cases: Vec<(&str, &dyn Estimator)> = vec![
+        ("Mean", &Mean),
+        ("Sum", &Sum),
+        ("Count", &earl_bootstrap::estimators::Count),
+    ];
+    for (name, est) in estimator_cases {
+        let resolved = BootstrapKernel::Auto.resolve_for(est);
+        if resolved != ResolvedKernel::CountBased {
+            eprintln!(
+                "FAIL: linear estimator {name} resolved to {resolved:?} under Auto — \
+                 must be CountBased"
+            );
+            std::process::exit(1);
+        }
+    }
+    let mean_task = TaskEstimator::new(&MeanTask);
+    let sum_task = TaskEstimator::new(&SumTask);
+    let count_task = TaskEstimator::new(&CountTask);
+    let task_cases: Vec<(&str, &dyn Estimator)> = vec![
+        ("MeanTask", &mean_task),
+        ("SumTask", &sum_task),
+        ("CountTask", &count_task),
+    ];
+    for (name, est) in task_cases {
+        let resolved = BootstrapKernel::Auto.resolve_for(est);
+        if resolved != ResolvedKernel::CountBased {
+            eprintln!(
+                "FAIL: linear task {name} resolved to {resolved:?} under Auto — \
+                 the driver would silently run the slow kernel"
+            );
+            std::process::exit(1);
+        }
+    }
+    eprintln!("routing: every linear estimator/task resolves to CountBased under Auto");
+}
+
+struct Measurement {
+    estimator: &'static str,
+    kernel: &'static str,
+    n: usize,
+    b: usize,
+    seconds: f64,
+    replicates_per_s: f64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check_baseline: Option<String> = None;
+    let mut out_path = "BENCH_PR3.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => {
+                check_baseline = Some(args.next().expect("--check needs a baseline path"));
+            }
+            other => out_path = other.to_owned(),
+        }
+    }
+    // Writing happens before the gate reads the baseline: the same path for
+    // both would clobber the committed baseline and turn the cross-host gate
+    // into a self-comparison that always passes.
+    if check_baseline.as_deref() == Some(out_path.as_str()) {
+        eprintln!(
+            "error: output path {out_path:?} equals the --check baseline — pass a distinct \
+             output path (e.g. BENCH_PR3_CI.json) so the baseline is not overwritten"
+        );
+        std::process::exit(2);
+    }
+
+    // Gate 1 runs unconditionally — a silent Auto misroute must fail even a
+    // plain measurement run.
+    check_auto_routing();
+
+    let reps = if quick { 3 } else { 5 };
+    // The headline config (Mean, n = 100k, B = 1000) is measured in both
+    // modes; --quick only trims B on the secondary rows.
+    let headline_n = 100_000usize;
+    let headline_b = 1_000usize;
+    let secondary_b = if quick { 200 } else { 1_000 };
+    let sizes = [10_000usize, headline_n];
+
+    let mut rng = seeded_rng(0xEA21_0003);
+    let data_max: Vec<f64> = (0..headline_n)
+        .map(|_| 500.0 + 100.0 * standard_normal(&mut rng))
+        .collect();
+
+    let single = BootstrapConfig {
+        parallelism: Some(1),
+        ..BootstrapConfig::default()
+    };
+    let mut rows: Vec<Measurement> = Vec::new();
+    let mut measure = |estimator: &'static str,
+                       est: &dyn Estimator,
+                       kernel_name: &'static str,
+                       kernel: BootstrapKernel,
+                       n: usize,
+                       b: usize,
+                       data: &[f64]| {
+        let config = BootstrapConfig {
+            num_resamples: b,
+            kernel,
+            ..single
+        };
+        let (seconds, result) = time_n(reps, || {
+            bootstrap_distribution(7, data, est, &config).unwrap()
+        });
+        assert_eq!(result.replicates.len(), b);
+        let replicates_per_s = b as f64 / seconds;
+        eprintln!(
+            "  {estimator:8} {kernel_name:11} n={n:>6} B={b:>5}: {seconds:8.4}s  \
+             ({replicates_per_s:>12.1} replicates/s)"
+        );
+        rows.push(Measurement {
+            estimator,
+            kernel: kernel_name,
+            n,
+            b,
+            seconds,
+            replicates_per_s,
+        });
+        replicates_per_s
+    };
+
+    eprintln!("kernel × estimator × size (single thread, median of {reps} runs):");
+    let mut mean_100k = (0.0f64, 0.0f64, 0.0f64); // (gather, streaming, count) rps
+    for &n in &sizes {
+        let data = &data_max[..n];
+        let b = if n == headline_n {
+            headline_b
+        } else {
+            secondary_b
+        };
+        // Mean: all three kernels.
+        let g = measure("mean", &Mean, "gather", BootstrapKernel::Gather, n, b, data);
+        let s = measure(
+            "mean",
+            &Mean,
+            "streaming",
+            BootstrapKernel::Streaming,
+            n,
+            b,
+            data,
+        );
+        let c = measure(
+            "mean",
+            &Mean,
+            "count_based",
+            BootstrapKernel::CountBased,
+            n,
+            b,
+            data,
+        );
+        if n == headline_n {
+            mean_100k = (g, s, c);
+        }
+        // Sum: all three kernels.
+        measure("sum", &Sum, "gather", BootstrapKernel::Gather, n, b, data);
+        measure(
+            "sum",
+            &Sum,
+            "streaming",
+            BootstrapKernel::Streaming,
+            n,
+            b,
+            data,
+        );
+        measure(
+            "sum",
+            &Sum,
+            "count_based",
+            BootstrapKernel::CountBased,
+            n,
+            b,
+            data,
+        );
+        // Variance: not linear — gather vs streaming only.
+        measure(
+            "variance",
+            &Variance,
+            "gather",
+            BootstrapKernel::Gather,
+            n,
+            b,
+            data,
+        );
+        measure(
+            "variance",
+            &Variance,
+            "streaming",
+            BootstrapKernel::Streaming,
+            n,
+            b,
+            data,
+        );
+    }
+
+    // Same-run sanity: the kernels answer the same statistical question.
+    {
+        let data = &data_max[..10_000];
+        let gather = bootstrap_distribution(
+            11,
+            data,
+            &Mean,
+            &BootstrapConfig {
+                num_resamples: 400,
+                kernel: BootstrapKernel::Gather,
+                ..single
+            },
+        )
+        .unwrap();
+        let streaming = bootstrap_distribution(
+            11,
+            data,
+            &Mean,
+            &BootstrapConfig {
+                num_resamples: 400,
+                kernel: BootstrapKernel::Streaming,
+                ..single
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            gather, streaming,
+            "streaming must be bit-identical to gather for the mean"
+        );
+        let counts = bootstrap_distribution(
+            11,
+            data,
+            &Mean,
+            &BootstrapConfig {
+                num_resamples: 400,
+                kernel: BootstrapKernel::CountBased,
+                ..single
+            },
+        )
+        .unwrap();
+        let se_ratio = counts.std_error / gather.std_error;
+        assert!(
+            (0.8..1.25).contains(&se_ratio),
+            "count-based SE {} vs gather SE {} diverged",
+            counts.std_error,
+            gather.std_error
+        );
+        eprintln!(
+            "equivalence: streaming bit-identical; count-based SE ratio {se_ratio:.3} (n=10k, B=400)"
+        );
+    }
+
+    let (g100, s100, c100) = mean_100k;
+    let count_vs_gather = c100 / g100;
+    let streaming_vs_gather = s100 / g100;
+    let count_vs_streaming = c100 / s100;
+    eprintln!(
+        "mean @ n=100k, B={headline_b}: streaming/gather {streaming_vs_gather:.2}x, \
+         count/streaming {count_vs_streaming:.2}x, count/gather {count_vs_gather:.2}x"
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|m| {
+            format!(
+                r#"      {{ "estimator": "{}", "kernel": "{}", "n": {}, "b": {}, "seconds": {:.5}, "replicates_per_s": {:.1} }}"#,
+                m.estimator, m.kernel, m.n, m.b, m.seconds, m.replicates_per_s
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "pr": 3,
+  "description": "Bootstrap replicate-evaluation kernels: gather vs streaming vs count-based (single thread, median of {reps} runs, release build)",
+  "note": "rows are single-thread by design (kernel comparison, not scaling). mean_100k_* are the same-run gates: streaming >= 1.0x gather and count_based >= 1.0x streaming ({ordering}% tolerance), count_based >= {headline}x gather (headline). count_based_mean_100k_rps is the cross-host gate ({gate}% tolerance), skipped when host_cores differs from the baseline's.",
+  "host_cores": {cores},
+  "quick": {quick},
+  "headline": {{
+    "estimator": "mean",
+    "n": {headline_n},
+    "b": {headline_b},
+    "gather_rps": {g100:.1},
+    "streaming_rps": {s100:.1},
+    "count_based_rps": {c100:.1},
+    "streaming_vs_gather": {streaming_vs_gather:.3},
+    "count_vs_streaming": {count_vs_streaming:.3},
+    "count_vs_gather": {count_vs_gather:.3}
+  }},
+  "count_based_mean_100k_rps": {c100:.1},
+  "kernels": {{
+    "rows": [
+{rows}
+    ]
+  }}
+}}
+"#,
+        ordering = (ORDERING_TOLERANCE * 100.0) as u32,
+        headline = HEADLINE_SPEEDUP as u32,
+        gate = (MAX_REGRESSION * 100.0) as u32,
+        rows = row_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline file");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+
+    // ---- gates ------------------------------------------------------------
+    if let Some(baseline_path) = check_baseline {
+        let mut failed = false;
+
+        // Gate 2 (same run, host-neutral): kernel ordering on the mean.
+        let ordering_floor = 1.0 - ORDERING_TOLERANCE;
+        eprintln!(
+            "check: streaming/gather {streaming_vs_gather:.3} and count/streaming \
+             {count_vs_streaming:.3} vs floor {ordering_floor:.2} (same run)"
+        );
+        if streaming_vs_gather < ordering_floor {
+            eprintln!("FAIL: streaming kernel slower than gather on the mean (same run)");
+            failed = true;
+        }
+        if count_vs_streaming < ordering_floor {
+            eprintln!("FAIL: count-based kernel slower than streaming on the mean (same run)");
+            failed = true;
+        }
+
+        // Gate 3 (same run, host-neutral): the headline O(n) → O(√n) payoff.
+        eprintln!(
+            "check: count/gather {count_vs_gather:.2}x vs required {HEADLINE_SPEEDUP:.0}x \
+             at n={headline_n}, B={headline_b} (same run)"
+        );
+        if count_vs_gather < HEADLINE_SPEEDUP {
+            eprintln!(
+                "FAIL: count-based kernel below {HEADLINE_SPEEDUP:.0}x gather on the mean at n=100k"
+            );
+            failed = true;
+        }
+
+        // Gate 4 (cross-host): absolute throughput vs the checked-in baseline —
+        // only meaningful when the recorded and current core counts match.
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline_cores = extract_f64(&baseline, "host_cores").map(|c| c as usize);
+        match baseline_cores {
+            Some(bc) if bc != cores => {
+                eprintln!(
+                    "check: skipping cross-host throughput gate — baseline recorded on a \
+                     {bc}-core host, this run has {cores} cores (same-run gates above still \
+                     enforced; re-baseline to re-arm)"
+                );
+            }
+            _ => {
+                let baseline_rps = extract_f64(&baseline, "count_based_mean_100k_rps")
+                    .expect("baseline missing count_based_mean_100k_rps");
+                let floor = baseline_rps * (1.0 - MAX_REGRESSION);
+                eprintln!(
+                    "check: count-based mean@100k {c100:.1} replicates/s vs baseline \
+                     {baseline_rps:.1} (floor {floor:.1})"
+                );
+                if c100 < floor {
+                    eprintln!(
+                        "FAIL: count-based throughput regressed more than {}% vs {baseline_path}",
+                        (MAX_REGRESSION * 100.0) as u32
+                    );
+                    failed = true;
+                }
+            }
+        }
+
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check: OK");
+    }
+}

@@ -9,8 +9,8 @@
 
 use rand::Rng;
 
-use crate::bootstrap::{summarise, BootstrapResult};
-use crate::estimators::Estimator;
+use crate::bootstrap::{summarise, BootstrapKernel, BootstrapResult, ResolvedKernel};
+use crate::estimators::{Accumulator, Estimator};
 use crate::parallel::{replicate_map, workers_for};
 use crate::rng::replicate_rng;
 use crate::{Result, StatsError};
@@ -55,10 +55,46 @@ pub fn moving_block_resample_into<R: Rng + ?Sized>(
     out.truncate(n);
 }
 
+/// Streams one moving-block resample straight into `acc` — the gather-free
+/// twin of [`moving_block_resample_into`]: identical block-start RNG draws,
+/// identical value order (truncation included), but no scratch buffer and no
+/// second pass.  Single-pass statistics therefore produce bit-identical
+/// replicates on both paths.
+fn moving_block_accumulate<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[f64],
+    block_len: usize,
+    acc: &mut dyn Accumulator,
+) -> f64 {
+    acc.reset();
+    let n = data.len();
+    if n == 0 {
+        return acc.finalize();
+    }
+    let block_len = block_len.clamp(1, n);
+    let max_start = n - block_len;
+    let mut filled = 0usize;
+    while filled < n {
+        let start = if max_start == 0 {
+            0
+        } else {
+            rng.gen_range(0..=max_start)
+        };
+        let take = block_len.min(n - filled);
+        acc.push_slice(&data[start..start + take]);
+        filled += take;
+    }
+    acc.finalize()
+}
+
 /// Runs a moving-block bootstrap of `estimator` over `data` with `b` resamples
 /// evaluated across a scoped thread pool (`parallelism` workers, `None` = all
 /// cores).  Replicate `i` draws from the RNG stream `(seed, i)`, so the result
 /// is bit-identical for every thread count.
+///
+/// Uses the [`BootstrapKernel::Auto`] kernel choice — the streaming
+/// accumulator when the estimator has one, the gather path otherwise; see
+/// [`block_bootstrap_with_kernel`] to pin the kernel.
 pub fn block_bootstrap_distribution(
     seed: u64,
     data: &[f64],
@@ -66,6 +102,31 @@ pub fn block_bootstrap_distribution(
     block_len: usize,
     b: usize,
     parallelism: Option<usize>,
+) -> Result<BootstrapResult> {
+    block_bootstrap_with_kernel(
+        seed,
+        data,
+        estimator,
+        block_len,
+        b,
+        parallelism,
+        BootstrapKernel::Auto,
+    )
+}
+
+/// [`block_bootstrap_distribution`] with an explicit replicate-evaluation
+/// kernel.  Block resamples are dependent-data structures that must be walked
+/// block by block, so the count-based kernel does not apply: `CountBased` and
+/// `Auto` resolve to the streaming accumulator when the estimator has one,
+/// and to the gather path otherwise.
+pub fn block_bootstrap_with_kernel(
+    seed: u64,
+    data: &[f64],
+    estimator: &dyn Estimator,
+    block_len: usize,
+    b: usize,
+    parallelism: Option<usize>,
+    kernel: BootstrapKernel,
 ) -> Result<BootstrapResult> {
     if data.is_empty() {
         return Err(StatsError::EmptySample);
@@ -81,16 +142,31 @@ pub fn block_bootstrap_distribution(
         ));
     }
     let threads = workers_for(b.saturating_mul(data.len()), parallelism);
-    let replicates = replicate_map(
-        b,
-        threads,
-        || Vec::with_capacity(data.len() + block_len.min(data.len())),
-        |i, scratch: &mut Vec<f64>| {
-            let mut rng = replicate_rng(seed, i as u64);
-            moving_block_resample_into(&mut rng, data, block_len, scratch);
-            estimator.estimate(scratch)
-        },
-    );
+    let replicates = match kernel.resolve_materialised(estimator) {
+        ResolvedKernel::Streaming => replicate_map(
+            b,
+            threads,
+            || {
+                estimator
+                    .accumulator()
+                    .expect("Streaming resolution implies an accumulator")
+            },
+            |i, acc| {
+                let mut rng = replicate_rng(seed, i as u64);
+                moving_block_accumulate(&mut rng, data, block_len, &mut **acc)
+            },
+        ),
+        _ => replicate_map(
+            b,
+            threads,
+            || Vec::with_capacity(data.len() + block_len.min(data.len())),
+            |i, scratch: &mut Vec<f64>| {
+                let mut rng = replicate_rng(seed, i as u64);
+                moving_block_resample_into(&mut rng, data, block_len, scratch);
+                estimator.estimate(scratch)
+            },
+        ),
+    };
     Ok(summarise(estimator.estimate(data), replicates))
 }
 
@@ -196,6 +272,38 @@ mod tests {
             let parallel =
                 block_bootstrap_distribution(11, &data, &Mean, 20, 64, Some(threads)).unwrap();
             assert_eq!(reference, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn streaming_kernel_is_bit_identical_to_gather_for_block_resamples() {
+        let data = ar1(1_500, 0.6, 12);
+        for block_len in [1usize, 7, 50, 5_000] {
+            let gather = block_bootstrap_with_kernel(
+                13,
+                &data,
+                &Mean,
+                block_len,
+                40,
+                None,
+                crate::bootstrap::BootstrapKernel::Gather,
+            )
+            .unwrap();
+            let streaming = block_bootstrap_with_kernel(
+                13,
+                &data,
+                &Mean,
+                block_len,
+                40,
+                None,
+                crate::bootstrap::BootstrapKernel::Streaming,
+            )
+            .unwrap();
+            assert_eq!(gather, streaming, "block_len = {block_len}");
+            // Auto resolves to streaming for the mean — also identical, and
+            // never to the (i.i.d.-only) count-based kernel.
+            let auto = block_bootstrap_distribution(13, &data, &Mean, block_len, 40, None).unwrap();
+            assert_eq!(gather, auto, "block_len = {block_len}");
         }
     }
 

@@ -17,20 +17,129 @@
 //! The `B` replicates are embarrassingly parallel, and EARL's whole value
 //! proposition depends on the error-estimation overhead staying small relative
 //! to the job.  [`bootstrap_distribution`] therefore evaluates replicates
-//! across a scoped thread pool, with each worker owning a [`Resampler`] — a
-//! pair of reusable index/value buffers, so the steady state performs **zero
-//! allocations per replicate**.  Replicate `b` draws from an RNG stream derived
-//! deterministically from `(seed, b)` via SplitMix64
-//! ([`crate::rng::replicate_rng`]), which makes results bit-identical for
-//! every thread count.
+//! across a scoped thread pool with per-worker reusable scratch state, so the
+//! steady state performs **zero allocations per replicate**.  Replicate `b`
+//! draws from an RNG stream derived deterministically from `(seed, b)` via
+//! SplitMix64 ([`crate::rng::replicate_rng`]), which makes results
+//! bit-identical for every thread count.
+//!
+//! ## Replicate-evaluation kernels
+//!
+//! How a replicate is evaluated is a [`BootstrapKernel`] choice:
+//!
+//! * **Gather** — materialise the resample into a scratch buffer
+//!   ([`Resampler::resample_into`]) and run [`Estimator::estimate`] over it.
+//!   Two passes over memory; the only kernel that supports order statistics.
+//! * **Streaming** — feed each sampled value straight into the estimator's
+//!   [`Accumulator`]: no value buffer, no second pass.  Consumes the *same*
+//!   RNG stream as the gather kernel, so single-pass statistics
+//!   (mean/sum/count/min/max) are **bit-identical** to gather and the moment
+//!   statistics agree to within reassociation error.
+//! * **CountBased** — resample-free evaluation for *linear* statistics
+//!   (`θ = g(Σ cᵢxᵢ, Σ cᵢ)`): draw one multinomial count vector over `O(√n)`
+//!   sections of the base sample per replicate and evaluate from section
+//!   summaries in `O(√n)` — no per-element draws at all, the O(n) → O(√n·B)
+//!   reduction of the roadmap.  Section counts come from sequential
+//!   conditional binomials ([`crate::rng::binomial_sample`]: exact Bernoulli
+//!   sums at ≤64 trials, the paper's Eq. 3 Gaussian approximation above);
+//!   within a section the contribution applies the same Gaussian move to the
+//!   value sum.  In the idealised scheme (exact binomials) the bootstrap
+//!   result distribution's mean and variance — and hence EARL's error
+//!   measure, the cv — are reproduced *exactly*; the Eq. 3 count
+//!   approximation perturbs them only by its rounding/clamping, and higher
+//!   moments converge at `O(1/√n)`.  The `tests/kernel_equivalence.rs` suite
+//!   pins the realised moments against the gather kernel's.
+//! * **Auto** (default) — per-estimator: CountBased when
+//!   [`Estimator::linear_form`] is declared, Streaming when an accumulator
+//!   exists, Gather otherwise.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::estimators::{coefficient_of_variation, Estimator, Mean, StdDev};
+use crate::estimators::{
+    coefficient_of_variation, Accumulator, Estimator, LinearForm, Mean, StdDev,
+};
 use crate::parallel::{replicate_map, workers_for};
-use crate::rng::{replicate_rng, sample_indices_with_replacement_into};
+use crate::rng::{
+    binomial_sample, replicate_rng, sample_indices_with_replacement_into, standard_normal,
+};
 use crate::{Result, StatsError};
+
+/// Which per-replicate evaluation kernel the bootstrap machinery uses.
+///
+/// Every kernel derives replicate `b`'s randomness from the same
+/// `(seed, b)` SplitMix64 stream, so each kernel's output is a pure function
+/// of the seed — bit-identical at every thread count, with `B`-growth
+/// preserving the replicate prefix.  See the module docs for the kernel
+/// semantics and the README for guidance on choosing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BootstrapKernel {
+    /// Pick per estimator: [`CountBased`](Self::CountBased) for linear
+    /// statistics, [`Streaming`](Self::Streaming) when the estimator exposes
+    /// an accumulator, [`Gather`](Self::Gather) otherwise.
+    #[default]
+    Auto,
+    /// Materialise every resample into a scratch buffer and re-scan it.
+    Gather,
+    /// Feed sampled values straight into a streaming accumulator.
+    Streaming,
+    /// Resample-free multinomial-count evaluation (linear statistics only;
+    /// non-linear estimators degrade to `Streaming`/`Gather`).
+    CountBased,
+}
+
+/// The kernel actually executed after resolving [`BootstrapKernel`] against an
+/// estimator's declared capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedKernel {
+    /// Gather-and-rescan.
+    Gather,
+    /// Single-pass accumulator evaluation.
+    Streaming,
+    /// Resample-free count-vector evaluation.
+    CountBased,
+}
+
+impl BootstrapKernel {
+    /// Resolves the kernel for i.i.d. resampling of `estimator`: requests
+    /// degrade along `CountBased → Streaming → Gather` when the estimator does
+    /// not declare the required capability ([`Estimator::linear_form`] /
+    /// [`Estimator::accumulator`]).  Under `Auto` a linear estimator always
+    /// lands on `CountBased` — never silently on the gather kernel.
+    pub fn resolve_for(self, estimator: &(impl Estimator + ?Sized)) -> ResolvedKernel {
+        match self {
+            BootstrapKernel::Gather => ResolvedKernel::Gather,
+            BootstrapKernel::Streaming => self.streaming_or_gather(estimator),
+            BootstrapKernel::Auto | BootstrapKernel::CountBased => {
+                if estimator.linear_form().is_some() {
+                    ResolvedKernel::CountBased
+                } else {
+                    self.streaming_or_gather(estimator)
+                }
+            }
+        }
+    }
+
+    /// Resolves the kernel for evaluation over *already materialised* items
+    /// (delta-maintained resamples, moving-block resamples, jackknife
+    /// leave-one-out sets) where count-based evaluation does not apply:
+    /// `CountBased`/`Auto` degrade to `Streaming` when possible, `Gather`
+    /// otherwise.
+    pub fn resolve_materialised(self, estimator: &(impl Estimator + ?Sized)) -> ResolvedKernel {
+        match self {
+            BootstrapKernel::Gather => ResolvedKernel::Gather,
+            _ => self.streaming_or_gather(estimator),
+        }
+    }
+
+    fn streaming_or_gather(self, estimator: &(impl Estimator + ?Sized)) -> ResolvedKernel {
+        if estimator.accumulator().is_some() {
+            ResolvedKernel::Streaming
+        } else {
+            ResolvedKernel::Gather
+        }
+    }
+}
 
 /// Configuration of a bootstrap run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +153,9 @@ pub struct BootstrapConfig {
     /// available core.  Any value yields bit-identical results — replicate RNG
     /// streams depend only on `(seed, replicate index)`.
     pub parallelism: Option<usize>,
+    /// Replicate-evaluation kernel (see [`BootstrapKernel`]; the default
+    /// `Auto` picks the fastest kernel each estimator supports).
+    pub kernel: BootstrapKernel,
 }
 
 impl Default for BootstrapConfig {
@@ -54,6 +166,7 @@ impl Default for BootstrapConfig {
             num_resamples: 30,
             resample_size: None,
             parallelism: None,
+            kernel: BootstrapKernel::Auto,
         }
     }
 }
@@ -70,6 +183,12 @@ impl BootstrapConfig {
     /// Sets the worker-thread count (`None` = all cores).
     pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the replicate-evaluation kernel.
+    pub fn with_kernel(mut self, kernel: BootstrapKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -146,29 +265,61 @@ impl BootstrapResult {
     }
 }
 
-/// Reusable scratch state for drawing bootstrap resamples: one index buffer
-/// and one value buffer.  After warm-up, [`Resampler::resample_into`] performs
-/// no allocation at all — both buffers retain their capacity across replicates.
+/// Reusable scratch state for evaluating bootstrap replicates.  The gather
+/// kernel uses the index/value buffer pair ([`Resampler::resample_into`]); the
+/// streaming kernel replaces both with one [`Accumulator`] fed directly from
+/// the sampled indices.  Either way, after warm-up the scratch performs no
+/// allocation at all across replicates.
 ///
 /// Each worker thread owns exactly one `Resampler`.
 #[derive(Debug, Default)]
 pub struct Resampler {
     indices: Vec<usize>,
     values: Vec<f64>,
+    accumulator: Option<Box<dyn Accumulator>>,
 }
 
 impl Resampler {
-    /// Creates an empty resampler (buffers grow on first use).
+    /// Creates an empty gather-kernel resampler (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates a resampler with buffers pre-sized for `size`-element resamples.
+    /// Creates a gather-kernel resampler with buffers pre-sized for
+    /// `size`-element resamples.
     pub fn with_capacity(size: usize) -> Self {
         Self {
             indices: Vec::with_capacity(size),
             values: Vec::with_capacity(size),
+            accumulator: None,
         }
+    }
+
+    /// Creates the scratch state for evaluating `estimator` replicates under
+    /// `kernel`: a streaming accumulator when the kernel resolves to
+    /// [`ResolvedKernel::Streaming`], gather buffers otherwise.  (A
+    /// [`ResolvedKernel::CountBased`] resolution is driven by
+    /// [`LinearSections`], not by a `Resampler` — this constructor then also
+    /// yields the streaming scratch, which every linear statistic supports.)
+    pub fn for_kernel(
+        size: usize,
+        estimator: &(impl Estimator + ?Sized),
+        kernel: BootstrapKernel,
+    ) -> Self {
+        match kernel.resolve_materialised(estimator) {
+            ResolvedKernel::Streaming => Self {
+                indices: Vec::new(),
+                values: Vec::new(),
+                accumulator: estimator.accumulator(),
+            },
+            _ => Self::with_capacity(size),
+        }
+    }
+
+    /// Whether this scratch evaluates replicates through a streaming
+    /// accumulator (no gather buffer) rather than the gather path.
+    pub fn is_streaming(&self) -> bool {
+        self.accumulator.is_some()
     }
 
     /// Draws one resample of `size` elements from `data` (with replacement)
@@ -188,6 +339,11 @@ impl Resampler {
 
     /// Evaluates `estimator` on one freshly drawn resample of the replicate
     /// stream `(seed, replicate)` — the unit of work the thread pool executes.
+    ///
+    /// With a streaming scratch ([`Resampler::for_kernel`]) each sampled index
+    /// is fed straight into the accumulator — no value gather, no second pass
+    /// — consuming exactly the RNG stream the gather path would, so
+    /// single-pass statistics produce bit-identical replicates on both paths.
     pub fn replicate<E: Estimator + ?Sized>(
         &mut self,
         seed: u64,
@@ -197,25 +353,157 @@ impl Resampler {
         estimator: &E,
     ) -> f64 {
         let mut rng = replicate_rng(seed, replicate);
-        estimator.estimate(self.resample_into(&mut rng, data, size))
+        match &mut self.accumulator {
+            Some(acc) if !data.is_empty() => {
+                acc.reset();
+                let n = data.len();
+                for _ in 0..size {
+                    acc.push(data[rng.gen_range(0..n)], 1);
+                }
+                acc.finalize()
+            }
+            _ => estimator.estimate(self.resample_into(&mut rng, data, size)),
+        }
+    }
+}
+
+/// One section of the count-based kernel's base-sample summary: enough to
+/// reconstruct its contribution to any linear statistic from a resample count.
+#[derive(Debug, Clone, Copy)]
+struct Section {
+    len: u64,
+    mean: f64,
+    /// Population (within-section) standard deviation.
+    sd: f64,
+}
+
+/// The count-based kernel's precomputed view of a base sample: `O(√n)`
+/// contiguous sections, each summarised by its length, mean and within-section
+/// standard deviation.  Built once per bootstrap run in a single O(n) pass.
+///
+/// A replicate is then evaluated **without drawing a single element**: the
+/// per-section resample counts `(m₁, …, m_k)` form a multinomial draw via
+/// sequential conditional binomials (exact at ≤64 remaining trials,
+/// Eq. 3-Gaussian above — see [`crate::rng::binomial_sample`]), and section
+/// `j` contributes `mⱼ·μⱼ + σⱼ·√mⱼ·z` to the weighted sum — the Gaussian
+/// approximation of a size-`mⱼ` with-replacement sum, the same move as the
+/// paper's Eq. 3.  The resulting replicate distribution matches the gather
+/// bootstrap's mean and variance up to that count approximation (exactly, in
+/// the idealised exact-binomial scheme — see the module docs), at `O(√n)`
+/// cost per replicate instead of `O(n)`.
+#[derive(Debug, Clone)]
+pub struct LinearSections {
+    sections: Vec<Section>,
+    total: u64,
+}
+
+impl LinearSections {
+    /// Summarises `data` into `⌈√n⌉` sections (single O(n) pass).
+    pub fn build(data: &[f64]) -> Self {
+        let n = data.len();
+        let k = (n as f64).sqrt().ceil().max(1.0) as usize;
+        let chunk = n.div_ceil(k).max(1);
+        let sections = data
+            .chunks(chunk)
+            .map(|c| {
+                let len = c.len() as f64;
+                let mean = c.iter().sum::<f64>() / len;
+                let var = c.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / len;
+                Section {
+                    len: c.len() as u64,
+                    mean,
+                    sd: var.max(0.0).sqrt(),
+                }
+            })
+            .collect();
+        Self {
+            sections,
+            total: n as u64,
+        }
+    }
+
+    /// Number of sections (the per-replicate cost of the count-based kernel).
+    pub fn num_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Number of sections [`LinearSections::build`] creates for an `n`-item
+    /// sample, without building them — used by cost accounting.
+    pub fn section_count(n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let k = (n as f64).sqrt().ceil().max(1.0) as usize;
+        let chunk = n.div_ceil(k).max(1);
+        n.div_ceil(chunk)
+    }
+
+    /// Items summarised.
+    pub fn total_items(&self) -> u64 {
+        self.total
+    }
+
+    /// Evaluates one `size`-element bootstrap replicate of the linear
+    /// statistic `form` from this summary — `O(num_sections)` RNG draws and
+    /// arithmetic, no element access.
+    pub fn replicate<R: Rng + ?Sized>(&self, rng: &mut R, size: usize, form: LinearForm) -> f64 {
+        let mut remaining_draws = size as u64;
+        let mut remaining_items = self.total;
+        let mut sum = 0.0;
+        for s in &self.sections {
+            if remaining_draws == 0 {
+                break;
+            }
+            // Multinomial via sequential conditional binomials (exact for
+            // small remaining draw counts, Eq. 3-Gaussian above 64 trials):
+            // the count landing in this section, given what earlier sections
+            // took.
+            let m = if s.len >= remaining_items {
+                remaining_draws
+            } else {
+                binomial_sample(rng, remaining_draws, s.len as f64 / remaining_items as f64)
+            };
+            remaining_items -= s.len;
+            remaining_draws -= m;
+            if m > 0 {
+                sum += m as f64 * s.mean;
+                if s.sd > 0.0 {
+                    // Gaussian approximation of the sum of m with-replacement
+                    // draws from this section (paper Eq. 3 at section level).
+                    sum += s.sd * (m as f64).sqrt() * standard_normal(rng);
+                }
+            }
+        }
+        form.finalize(sum, size as f64)
     }
 }
 
 /// Draws one bootstrap resample (with replacement) of `size` elements from
-/// `data` as a fresh allocation.  Hot paths should hold a [`Resampler`] and
-/// use [`Resampler::resample_into`] instead.
+/// `data` as a fresh allocation.
+///
+/// **Tests-only convenience.**  Hot paths never materialise resamples this
+/// way: they hold a per-worker [`Resampler`] (gather kernel), stream through
+/// an [`Accumulator`], or skip materialisation entirely ([`LinearSections`]).
+/// This helper is a plain draw loop for test setup and examples.
+#[doc(hidden)]
 pub fn draw_resample<R: Rng + ?Sized>(rng: &mut R, data: &[f64], size: usize) -> Vec<f64> {
-    let mut scratch = Resampler::new();
-    scratch.resample_into(rng, data, size);
-    scratch.values
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(size);
+    for _ in 0..size {
+        out.push(data[rng.gen_range(0..data.len())]);
+    }
+    out
 }
 
 /// Runs the Monte-Carlo bootstrap: `config.num_resamples` resamples of `data`,
-/// each pushed through `estimator`, evaluated across a scoped thread pool.
+/// each pushed through `estimator`, evaluated across a scoped thread pool
+/// using the configured [`BootstrapKernel`].
 ///
 /// Replicate `b` draws from the RNG stream `(seed, b)`, so the result is a
-/// pure function of `(seed, data, estimator, B, size)` — the thread count
-/// changes wall-clock time only, never the result.
+/// pure function of `(seed, data, estimator, B, size, kernel)` — the thread
+/// count changes wall-clock time only, never the result.
 pub fn bootstrap_distribution(
     seed: u64,
     data: &[f64],
@@ -238,12 +526,37 @@ pub fn bootstrap_distribution(
     }
     let point_estimate = estimator.estimate(data);
     let threads = config.effective_parallelism(size);
-    let replicates = replicate_map(
-        config.num_resamples,
-        threads,
-        || Resampler::with_capacity(size),
-        |b, scratch| scratch.replicate(seed, b as u64, data, size, estimator),
-    );
+    let replicates = match config.kernel.resolve_for(estimator) {
+        ResolvedKernel::CountBased => {
+            let form = estimator
+                .linear_form()
+                .expect("CountBased resolution implies a linear form");
+            let sections = LinearSections::build(data);
+            replicate_map(
+                config.num_resamples,
+                threads,
+                || (),
+                |b, ()| {
+                    let mut rng = replicate_rng(seed, b as u64);
+                    sections.replicate(&mut rng, size, form)
+                },
+            )
+        }
+        // Streaming and gather share the Resampler entry point; for_kernel
+        // holds an accumulator exactly when the resolution is Streaming.
+        resolved => {
+            let kernel = match resolved {
+                ResolvedKernel::Streaming => BootstrapKernel::Streaming,
+                _ => BootstrapKernel::Gather,
+            };
+            replicate_map(
+                config.num_resamples,
+                threads,
+                || Resampler::for_kernel(size, estimator, kernel),
+                |b, scratch| scratch.replicate(seed, b as u64, data, size, estimator),
+            )
+        }
+    };
     Ok(summarise(point_estimate, replicates))
 }
 
@@ -441,6 +754,184 @@ mod tests {
             vcap,
             "value buffer must not reallocate"
         );
+    }
+
+    #[test]
+    fn kernel_resolution_matches_estimator_capabilities() {
+        use crate::estimators::{Count, StdDev, Sum, Variance};
+        // Auto: linear → CountBased, accumulator-only → Streaming, else Gather.
+        for est in [&Mean as &dyn Estimator, &Sum, &Count] {
+            assert_eq!(
+                BootstrapKernel::Auto.resolve_for(est),
+                ResolvedKernel::CountBased,
+                "linear estimator {} must not silently route to gather",
+                Estimator::name(est)
+            );
+        }
+        assert_eq!(
+            BootstrapKernel::Auto.resolve_for(&Variance),
+            ResolvedKernel::Streaming
+        );
+        assert_eq!(
+            BootstrapKernel::Auto.resolve_for(&StdDev),
+            ResolvedKernel::Streaming
+        );
+        assert_eq!(
+            BootstrapKernel::Auto.resolve_for(&Median),
+            ResolvedKernel::Gather
+        );
+        // Requests degrade, never upgrade past a missing capability.
+        assert_eq!(
+            BootstrapKernel::CountBased.resolve_for(&Variance),
+            ResolvedKernel::Streaming
+        );
+        assert_eq!(
+            BootstrapKernel::CountBased.resolve_for(&Median),
+            ResolvedKernel::Gather
+        );
+        assert_eq!(
+            BootstrapKernel::Streaming.resolve_for(&Mean),
+            ResolvedKernel::Streaming
+        );
+        assert_eq!(
+            BootstrapKernel::Gather.resolve_for(&Mean),
+            ResolvedKernel::Gather
+        );
+        // Materialised evaluation never yields CountBased.
+        assert_eq!(
+            BootstrapKernel::Auto.resolve_materialised(&Mean),
+            ResolvedKernel::Streaming
+        );
+        assert_eq!(
+            BootstrapKernel::CountBased.resolve_materialised(&Median),
+            ResolvedKernel::Gather
+        );
+    }
+
+    #[test]
+    fn streaming_kernel_is_bit_identical_to_gather_for_single_pass_statistics() {
+        use crate::estimators::{Count, Max, Min, Sum};
+        let data = normal_sample(777, 10.0, 4.0, 31);
+        for est in [&Mean as &dyn Estimator, &Sum, &Count, &Min, &Max] {
+            let gather = bootstrap_distribution(
+                41,
+                &data,
+                est,
+                &BootstrapConfig::with_resamples(50).with_kernel(BootstrapKernel::Gather),
+            )
+            .unwrap();
+            let streaming = bootstrap_distribution(
+                41,
+                &data,
+                est,
+                &BootstrapConfig::with_resamples(50).with_kernel(BootstrapKernel::Streaming),
+            )
+            .unwrap();
+            assert_eq!(gather, streaming, "{}", Estimator::name(est));
+        }
+    }
+
+    #[test]
+    fn count_based_kernel_matches_gather_distribution_moments() {
+        let data = normal_sample(4_000, 120.0, 25.0, 33);
+        let gather = bootstrap_distribution(
+            43,
+            &data,
+            &Mean,
+            &BootstrapConfig::with_resamples(400).with_kernel(BootstrapKernel::Gather),
+        )
+        .unwrap();
+        let counts = bootstrap_distribution(
+            43,
+            &data,
+            &Mean,
+            &BootstrapConfig::with_resamples(400).with_kernel(BootstrapKernel::CountBased),
+        )
+        .unwrap();
+        assert_eq!(counts.point_estimate, gather.point_estimate);
+        assert!(
+            (counts.replicate_mean - gather.replicate_mean).abs() / gather.replicate_mean.abs()
+                < 1e-3,
+            "replicate means: count {} vs gather {}",
+            counts.replicate_mean,
+            gather.replicate_mean
+        );
+        let se_ratio = counts.std_error / gather.std_error;
+        assert!(
+            (0.8..1.25).contains(&se_ratio),
+            "standard errors: count {} vs gather {}",
+            counts.std_error,
+            gather.std_error
+        );
+    }
+
+    #[test]
+    fn count_based_kernel_is_deterministic_and_thread_invariant() {
+        let data = normal_sample(2_048, 7.0, 2.0, 35);
+        let config = BootstrapConfig::with_resamples(64)
+            .with_kernel(BootstrapKernel::CountBased)
+            .with_parallelism(Some(1));
+        let reference = bootstrap_distribution(45, &data, &Mean, &config).unwrap();
+        for threads in [2usize, 3, 8] {
+            let parallel =
+                bootstrap_distribution(45, &data, &Mean, &config.with_parallelism(Some(threads)))
+                    .unwrap();
+            assert_eq!(reference, parallel, "threads = {threads}");
+        }
+        // Growing B preserves the prefix on the count-based kernel too.
+        let grown = BootstrapConfig {
+            num_resamples: 96,
+            ..config
+        };
+        let larger = bootstrap_distribution(45, &data, &Mean, &grown).unwrap();
+        assert_eq!(reference.replicates[..], larger.replicates[..64]);
+    }
+
+    #[test]
+    fn linear_sections_cover_the_sample_in_sqrt_n_sections() {
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let sections = LinearSections::build(&data);
+        assert_eq!(sections.total_items(), 10_000);
+        assert_eq!(sections.num_sections(), 100, "⌈√10000⌉ sections");
+        for n in [0usize, 1, 2, 100, 101, 9_999, 10_000, 100_000] {
+            assert_eq!(
+                LinearSections::section_count(n),
+                LinearSections::build(&vec![1.0; n]).num_sections(),
+                "section_count must agree with build at n = {n}"
+            );
+        }
+        // A full-size replicate of Count is exactly n — the multinomial counts
+        // always sum to the requested resample size.
+        use crate::estimators::Count;
+        let form = Count.linear_form().unwrap();
+        let mut rng = seeded_rng(9);
+        for _ in 0..10 {
+            assert_eq!(sections.replicate(&mut rng, data.len(), form), 10_000.0);
+        }
+        // A constant sample has zero within-section sd: every Mean replicate
+        // is exactly the constant.
+        let flat = vec![5.0; 1_000];
+        let flat_sections = LinearSections::build(&flat);
+        let mean_form = Mean.linear_form().unwrap();
+        for _ in 0..5 {
+            assert_eq!(
+                flat_sections.replicate(&mut rng, flat.len(), mean_form),
+                5.0
+            );
+        }
+    }
+
+    #[test]
+    fn draw_resample_matches_the_gather_kernel_stream() {
+        // The tests-only helper must keep consuming the RNG stream exactly as
+        // the gather kernel does (one gen_range per element, in order).
+        let data: Vec<f64> = (0..100).map(|i| i as f64 * 1.5).collect();
+        let direct = draw_resample(&mut seeded_rng(4), &data, 64);
+        let mut scratch = Resampler::new();
+        let mut rng = seeded_rng(4);
+        let gathered = scratch.resample_into(&mut rng, &data, 64).to_vec();
+        assert_eq!(direct, gathered);
+        assert!(draw_resample(&mut seeded_rng(4), &[], 10).is_empty());
     }
 
     #[test]

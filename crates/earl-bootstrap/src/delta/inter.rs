@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use rand::Rng;
 
-use crate::bootstrap::{summarise, BootstrapResult};
+use crate::bootstrap::{summarise, BootstrapKernel, BootstrapResult, ResolvedKernel};
 use crate::estimators::Estimator;
 use crate::parallel::{replicate_map, replicate_update, workers_for};
 use crate::rng::{binomial_sample, derive_seed, replicate_rng};
@@ -101,6 +101,7 @@ pub struct IncrementalBootstrap {
     expansions: u64,
     seed: u64,
     parallelism: Option<usize>,
+    kernel: BootstrapKernel,
 }
 
 impl IncrementalBootstrap {
@@ -131,6 +132,7 @@ impl IncrementalBootstrap {
             expansions: 0,
             seed,
             parallelism: None,
+            kernel: BootstrapKernel::Auto,
         };
         // Expansion stream 0 is the initial draw; each resample fills itself
         // from its own (seed, 0, i) stream.
@@ -158,6 +160,17 @@ impl IncrementalBootstrap {
     /// (`None` = all cores).
     pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the kernel used by `evaluate` over the maintained resamples.
+    /// Maintained resamples are materialised, so `CountBased`/`Auto` resolve
+    /// to the streaming accumulator at best, gather otherwise.  (For linear
+    /// statistics the resample-free count-based kernel supersedes delta
+    /// maintenance entirely — callers route those to
+    /// [`crate::bootstrap::bootstrap_distribution`] instead.)
+    pub fn with_kernel(mut self, kernel: BootstrapKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -280,15 +293,29 @@ impl IncrementalBootstrap {
 
     /// Evaluates `estimator` on every maintained resample in parallel and
     /// summarises the result distribution (point estimate taken on the full
-    /// current sample).
+    /// current sample).  With the streaming kernel (the `Auto` resolution for
+    /// any estimator exposing an accumulator) each resample is consumed in a
+    /// single pass instead of `estimate`'s potentially two.
     pub fn evaluate(&self, estimator: &dyn Estimator) -> BootstrapResult {
         let threads = self.threads_for(self.sample.len());
-        let replicates = replicate_map(
-            self.resamples.len(),
-            threads,
-            || (),
-            |i, ()| estimator.estimate(&self.resamples[i].items),
-        );
+        let replicates = match self.kernel.resolve_materialised(estimator) {
+            ResolvedKernel::Streaming => replicate_map(
+                self.resamples.len(),
+                threads,
+                || {
+                    estimator
+                        .accumulator()
+                        .expect("Streaming resolution implies an accumulator")
+                },
+                |i, acc| acc.accumulate_slice(&self.resamples[i].items),
+            ),
+            _ => replicate_map(
+                self.resamples.len(),
+                threads,
+                || (),
+                |i, ()| estimator.estimate(&self.resamples[i].items),
+            ),
+        };
         summarise(estimator.estimate(&self.sample), replicates)
     }
 }
@@ -442,6 +469,25 @@ mod tests {
         for threads in [2, 8] {
             assert_eq!(run(threads), reference, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn streaming_evaluate_is_bit_identical_to_gather_evaluate() {
+        let initial = normal(1_000, 30.0, 6.0, 40);
+        let delta = normal(400, 30.0, 6.0, 41);
+        let mut ib = IncrementalBootstrap::new(42, &initial, 25, SketchConfig::default()).unwrap();
+        ib.expand(&delta).unwrap();
+        let gather = ib
+            .clone()
+            .with_kernel(BootstrapKernel::Gather)
+            .evaluate(&Mean);
+        let streaming = ib
+            .clone()
+            .with_kernel(BootstrapKernel::Streaming)
+            .evaluate(&Mean);
+        let auto = ib.evaluate(&Mean);
+        assert_eq!(gather, streaming);
+        assert_eq!(gather, auto, "Auto picks streaming for the mean");
     }
 
     #[test]

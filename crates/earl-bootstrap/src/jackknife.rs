@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bootstrap::{BootstrapKernel, ResolvedKernel};
 use crate::estimators::{Estimator, Mean};
 use crate::parallel::{replicate_map, workers_for};
 use crate::{Result, StatsError};
@@ -38,14 +39,33 @@ pub fn jackknife(data: &[f64], estimator: &dyn Estimator) -> Result<JackknifeRes
 
 /// [`jackknife`] with an explicit worker-thread count (`None` = all cores).
 ///
-/// The `n` leave-one-out replicates are evaluated across a scoped thread pool;
-/// each worker reuses one scratch buffer, so the steady state allocates
-/// nothing per replicate.  The result is identical for every thread count —
-/// replicate `i` is a pure function of `(data, i)`.
+/// Uses the [`BootstrapKernel::Auto`] kernel choice; see
+/// [`jackknife_with_kernel`] to pin the kernel.
 pub fn jackknife_with_parallelism(
     data: &[f64],
     estimator: &dyn Estimator,
     parallelism: Option<usize>,
+) -> Result<JackknifeResult> {
+    jackknife_with_kernel(data, estimator, parallelism, BootstrapKernel::Auto)
+}
+
+/// The delete-1 jackknife with explicit parallelism and replicate-evaluation
+/// kernel.
+///
+/// The `n` leave-one-out replicates are evaluated across a scoped thread pool.
+/// When the estimator exposes a streaming accumulator (and the kernel allows
+/// it), each replicate streams the two slices around the left-out element
+/// straight into the accumulator — no leave-one-out copy at all; otherwise
+/// each worker reuses one scratch buffer.  Either way the steady state
+/// allocates nothing per replicate, and the result is identical for every
+/// thread count — replicate `i` is a pure function of `(data, i)`.  Leave-
+/// one-out sets are materialised subsets, so `CountBased`/`Auto` resolve to
+/// streaming at best.
+pub fn jackknife_with_kernel(
+    data: &[f64],
+    estimator: &dyn Estimator,
+    parallelism: Option<usize>,
+    kernel: BootstrapKernel,
 ) -> Result<JackknifeResult> {
     let n = data.len();
     if n < 2 {
@@ -53,17 +73,34 @@ pub fn jackknife_with_parallelism(
     }
     let point_estimate = estimator.estimate(data);
     let threads = workers_for(n.saturating_mul(n), parallelism);
-    let replicates = replicate_map(
-        n,
-        threads,
-        || Vec::with_capacity(n - 1),
-        |leave_out, scratch: &mut Vec<f64>| {
-            scratch.clear();
-            scratch.extend_from_slice(&data[..leave_out]);
-            scratch.extend_from_slice(&data[leave_out + 1..]);
-            estimator.estimate(scratch)
-        },
-    );
+    let replicates = match kernel.resolve_materialised(estimator) {
+        ResolvedKernel::Streaming => replicate_map(
+            n,
+            threads,
+            || {
+                estimator
+                    .accumulator()
+                    .expect("Streaming resolution implies an accumulator")
+            },
+            |leave_out, acc| {
+                acc.reset();
+                acc.push_slice(&data[..leave_out]);
+                acc.push_slice(&data[leave_out + 1..]);
+                acc.finalize()
+            },
+        ),
+        _ => replicate_map(
+            n,
+            threads,
+            || Vec::with_capacity(n - 1),
+            |leave_out, scratch: &mut Vec<f64>| {
+                scratch.clear();
+                scratch.extend_from_slice(&data[..leave_out]);
+                scratch.extend_from_slice(&data[leave_out + 1..]);
+                estimator.estimate(scratch)
+            },
+        ),
+    };
     let replicate_mean = Mean.estimate(&replicates);
     // Jackknife variance: (n-1)/n * Σ (θ̂_(i) − θ̄_(.))²
     let var = (n as f64 - 1.0) / n as f64
@@ -151,6 +188,19 @@ mod tests {
             let parallel = jackknife_with_parallelism(&data, &Mean, Some(threads)).unwrap();
             assert_eq!(sequential, parallel, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn streaming_jackknife_is_bit_identical_to_the_gather_path() {
+        use crate::bootstrap::BootstrapKernel;
+        let data = normal_sample(800, 12.0, 3.0, 17);
+        let gather = jackknife_with_kernel(&data, &Mean, Some(2), BootstrapKernel::Gather).unwrap();
+        let streaming =
+            jackknife_with_kernel(&data, &Mean, Some(2), BootstrapKernel::Streaming).unwrap();
+        assert_eq!(gather, streaming);
+        // Auto picks the streaming path for the mean.
+        let auto = jackknife(&data, &Mean).unwrap();
+        assert_eq!(gather, auto);
     }
 
     #[test]

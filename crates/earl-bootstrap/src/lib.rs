@@ -4,11 +4,15 @@
 //! VLDB 2012, §3–§4):
 //!
 //! * [`estimators`] — the functions of interest `f` (mean, median, quantiles,
-//!   variance, correlation, …) evaluated over numeric samples, plus streaming
-//!   moment accumulators;
+//!   variance, correlation, …) evaluated over numeric samples, their
+//!   single-pass [`estimators::Accumulator`] forms and linear-statistic
+//!   contracts, plus streaming moment accumulators;
 //! * [`bootstrap`] — Monte-Carlo bootstrap resampling producing a result
 //!   distribution, point estimate, standard error, bias, coefficient of
-//!   variation and percentile confidence intervals;
+//!   variation and percentile confidence intervals, evaluated through one of
+//!   three replicate kernels ([`bootstrap::BootstrapKernel`]): gather,
+//!   gather-free streaming, or resample-free count-based for linear
+//!   statistics;
 //! * [`jackknife`] — the leave-one-out jackknife, for comparison (the paper
 //!   notes it fails for the median);
 //! * [`exact`] — exact bootstrap enumeration for tiny samples, quantifying why
@@ -49,8 +53,11 @@ pub mod ssabe;
 /// The shared fork-join executor (re-exported from `earl-parallel`).
 pub use earl_parallel as parallel;
 
-pub use bootstrap::{bootstrap_distribution, BootstrapConfig, BootstrapResult, Resampler};
-pub use estimators::{Estimator, StreamingStats};
+pub use bootstrap::{
+    bootstrap_distribution, BootstrapConfig, BootstrapKernel, BootstrapResult, LinearSections,
+    Resampler, ResolvedKernel,
+};
+pub use estimators::{Accumulator, Estimator, LinearForm, StreamingStats};
 pub use jackknife::jackknife;
 pub use ssabe::{Ssabe, SsabeConfig, SsabeEstimate};
 

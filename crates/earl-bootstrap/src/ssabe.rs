@@ -18,7 +18,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::bootstrap::{bootstrap_distribution, BootstrapConfig, Resampler};
+use crate::bootstrap::{
+    bootstrap_distribution, BootstrapConfig, BootstrapKernel, LinearSections, Resampler,
+    ResolvedKernel,
+};
 use crate::estimators::{coefficient_of_variation, Estimator, Mean, StdDev};
 use crate::least_squares::{fit_power_law, PowerLawFit};
 use crate::rng::derive_seed;
@@ -47,6 +50,8 @@ pub struct SsabeConfig {
     /// Worker threads for the ladder bootstraps (`None` = all cores; small
     /// pilots fall back to single-threaded execution automatically).
     pub parallelism: Option<usize>,
+    /// Replicate-evaluation kernel for both phases (see [`BootstrapKernel`]).
+    pub kernel: BootstrapKernel,
 }
 
 impl Default for SsabeConfig {
@@ -58,6 +63,7 @@ impl Default for SsabeConfig {
             min_b: 5,
             max_b: 200,
             parallelism: None,
+            kernel: BootstrapKernel::Auto,
         }
     }
 }
@@ -157,9 +163,29 @@ impl Ssabe {
         // extends the replicate set without redrawing the prefix — the same
         // streams a full parallel bootstrap at any thread count would use.
         let b_seed = derive_seed(seed, B_PHASE);
-        let mut scratch = Resampler::with_capacity(pilot.len());
-        let mut replicate =
-            |i: usize| scratch.replicate(b_seed, i as u64, pilot, pilot.len(), estimator);
+        let sections = match self.config.kernel.resolve_for(estimator) {
+            ResolvedKernel::CountBased => Some((
+                LinearSections::build(pilot),
+                estimator
+                    .linear_form()
+                    .expect("CountBased resolution implies a linear form"),
+            )),
+            _ => None,
+        };
+        // The sections path never touches the Resampler — leave it empty
+        // (zero allocation) rather than building unused scratch.
+        let mut scratch = if sections.is_some() {
+            Resampler::new()
+        } else {
+            Resampler::for_kernel(pilot.len(), estimator, self.config.kernel)
+        };
+        let mut replicate = |i: usize| match &sections {
+            Some((sections, form)) => {
+                let mut rng = crate::rng::replicate_rng(b_seed, i as u64);
+                sections.replicate(&mut rng, pilot.len(), *form)
+            }
+            None => scratch.replicate(b_seed, i as u64, pilot, pilot.len(), estimator),
+        };
         // Seed with two replicates (cv needs at least two points).
         let mut replicates: Vec<f64> = vec![replicate(0), replicate(1)];
         let mut trace = vec![coefficient_of_variation(&replicates)];
@@ -197,8 +223,9 @@ impl Ssabe {
         }
         let l = self.config.ladder_levels;
         let mut ladder = Vec::with_capacity(l);
-        let config =
-            BootstrapConfig::with_resamples(b.max(2)).with_parallelism(self.config.parallelism);
+        let config = BootstrapConfig::with_resamples(b.max(2))
+            .with_parallelism(self.config.parallelism)
+            .with_kernel(self.config.kernel);
         for i in 1..=l {
             // n_i = n0 / 2^(l - i): the smallest subsample first, the full pilot last.
             let ni = n0 >> (l - i);
@@ -219,8 +246,13 @@ impl Ssabe {
         }
         let points: Vec<(f64, f64)> = ladder.iter().map(|(n, cv)| (*n as f64, *cv)).collect();
         let fit = fit_power_law(&points)?;
+        let smallest_measured = ladder[0].0;
         let n = match fit.solve_for_x(self.config.sigma) {
-            Some(x) if x.is_finite() && x >= 1.0 => x.ceil() as u64,
+            // Only trust the fitted curve inside the measured range: solving
+            // to a size below the smallest ladder point would extrapolate from
+            // pure Monte-Carlo noise, and the bound is already empirically
+            // verified at every measured size.
+            Some(x) if x.is_finite() && x >= smallest_measured as f64 => x.ceil() as u64,
             // The pilot already satisfies σ (or the curve is flat): the smallest
             // ladder size that met the bound, else the pilot size.
             _ => ladder

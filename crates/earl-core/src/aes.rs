@@ -55,20 +55,21 @@ impl AccuracyEstimationStage {
 
     /// Runs a fresh Monte-Carlo bootstrap of `task` over `sample` and
     /// summarises it.  `p` is the sampled fraction used for result correction;
-    /// `parallelism` is the replicate worker count (`None` = all cores, any
-    /// value gives bit-identical results).
+    /// `bootstrap` carries the resample count, worker-thread count (`None` =
+    /// all cores) and the replicate-evaluation kernel
+    /// ([`earl_bootstrap::BootstrapKernel`]; `Auto` picks the fastest one the
+    /// task supports).  Any worker count gives bit-identical results for a
+    /// fixed kernel.
     pub fn estimate<T: EarlTask>(
         &self,
         seed: u64,
         task: &T,
         sample: &[f64],
         p: f64,
-        bootstraps: usize,
-        parallelism: Option<usize>,
+        bootstrap: &BootstrapConfig,
     ) -> Result<AesReport> {
         let estimator = TaskEstimator::new(task);
-        let config = BootstrapConfig::with_resamples(bootstraps).with_parallelism(parallelism);
-        let result = bootstrap_distribution(seed, sample, &estimator, &config)?;
+        let result = bootstrap_distribution(seed, sample, &estimator, bootstrap)?;
         Ok(self.summarise(task, &result, p, sample.len()))
     }
 
@@ -111,7 +112,15 @@ mod tests {
     fn estimate_reports_cv_and_corrected_result() {
         let aes = AccuracyEstimationStage::new(0.05);
         let data = sample(1_000, 200.0, 20.0, 1);
-        let report = aes.estimate(2, &MeanTask, &data, 0.01, 40, None).unwrap();
+        let report = aes
+            .estimate(
+                2,
+                &MeanTask,
+                &data,
+                0.01,
+                &BootstrapConfig::with_resamples(40),
+            )
+            .unwrap();
         assert_eq!(report.bootstraps, 40);
         assert_eq!(report.sample_size, 1_000);
         assert!((report.result - 200.0).abs() < 3.0);
@@ -128,7 +137,15 @@ mod tests {
     fn sum_task_is_scaled_by_one_over_p() {
         let aes = AccuracyEstimationStage::new(0.05);
         let data = sample(500, 10.0, 1.0, 3);
-        let report = aes.estimate(4, &SumTask, &data, 0.1, 30, None).unwrap();
+        let report = aes
+            .estimate(
+                4,
+                &SumTask,
+                &data,
+                0.1,
+                &BootstrapConfig::with_resamples(30),
+            )
+            .unwrap();
         assert!((report.corrected_result - report.result * 10.0).abs() < 1e-6);
         assert!(report.ci.1 > report.ci.0);
     }
@@ -138,7 +155,15 @@ mod tests {
         let aes = AccuracyEstimationStage::new(0.01);
         // A tiny, highly dispersed sample cannot achieve a 1% bound.
         let data = sample(20, 10.0, 8.0, 5);
-        let report = aes.estimate(6, &MedianTask, &data, 1.0, 50, None).unwrap();
+        let report = aes
+            .estimate(
+                6,
+                &MedianTask,
+                &data,
+                1.0,
+                &BootstrapConfig::with_resamples(50),
+            )
+            .unwrap();
         assert!(
             !aes.meets_bound(report.cv),
             "cv {} should exceed 0.01",
@@ -150,6 +175,8 @@ mod tests {
     #[test]
     fn empty_sample_is_an_error() {
         let aes = AccuracyEstimationStage::new(0.05);
-        assert!(aes.estimate(7, &MeanTask, &[], 1.0, 30, None).is_err());
+        assert!(aes
+            .estimate(7, &MeanTask, &[], 1.0, &BootstrapConfig::with_resamples(30))
+            .is_err());
     }
 }

@@ -11,6 +11,7 @@
 //! | p      | percentage of the data contained in a sample | [`EarlConfig::pilot_fraction`] (pilot) / reported per run |
 //! | N      | total data size                           | read from the DFS file      |
 
+use earl_bootstrap::BootstrapKernel;
 use serde::{Deserialize, Serialize};
 
 use crate::error::EarlError;
@@ -53,8 +54,20 @@ pub struct EarlConfig {
     /// Sampling technique.
     pub sampling: SamplingMethod,
     /// Whether inter-iteration delta maintenance is used to update resamples
-    /// incrementally (§4.1) instead of redrawing them.
+    /// incrementally (§4.1) instead of redrawing them.  Applies to estimators
+    /// that need materialised resamples; when `bootstrap_kernel` resolves a
+    /// task to the resample-free count-based kernel (linear statistics under
+    /// `Auto`), that kernel supersedes delta maintenance — re-evaluating every
+    /// replicate from O(√n) section counts is cheaper than maintaining
+    /// resamples at all.
     pub delta_maintenance: bool,
+    /// Replicate-evaluation kernel for the accuracy-estimation bootstraps and
+    /// the SSABE pilot (see [`BootstrapKernel`]).  `Auto` (default) picks per
+    /// task: resample-free count-based for linear statistics (mean, sum,
+    /// count), gather-free streaming when the task exposes an accumulator
+    /// (variance, stddev), gather otherwise (median, quantiles).  Every
+    /// kernel is deterministic given the seed at any thread count.
+    pub bootstrap_kernel: BootstrapKernel,
     /// RNG seed controlling sampling and resampling.
     pub seed: u64,
     /// Worker threads used for bootstrap replicate evaluation and MapReduce
@@ -90,6 +103,7 @@ impl Default for EarlConfig {
             expansion_factor: 2.0,
             sampling: SamplingMethod::PreMap,
             delta_maintenance: true,
+            bootstrap_kernel: BootstrapKernel::Auto,
             seed: 0xEA21,
             parallelism: None,
             pipeline_depth: 1,
@@ -155,6 +169,11 @@ mod tests {
         assert_eq!(c.pilot_fraction, 0.01);
         assert_eq!(c.sampling, SamplingMethod::PreMap);
         assert!(c.delta_maintenance);
+        assert_eq!(
+            c.bootstrap_kernel,
+            BootstrapKernel::Auto,
+            "default picks the fastest kernel each task supports"
+        );
         assert_eq!(c.parallelism, None, "default is one worker per core");
         assert_eq!(c.pipeline_depth, 1, "default is the sequential schedule");
         assert!(c.validate().is_ok());

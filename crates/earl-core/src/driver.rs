@@ -15,7 +15,9 @@
 //! 4. expand the sample and repeat until the bound is met, the data is
 //!    exhausted, or the iteration budget runs out.
 
-use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig, BootstrapResult};
+use earl_bootstrap::bootstrap::{
+    bootstrap_distribution, BootstrapConfig, BootstrapResult, LinearSections, ResolvedKernel,
+};
 use earl_bootstrap::delta::{IncrementalBootstrap, SketchConfig};
 use earl_bootstrap::rng::derive_seed;
 use earl_bootstrap::ssabe::{Ssabe, SsabeConfig};
@@ -105,12 +107,20 @@ struct Staged {
     exhausted: bool,
 }
 
-/// The pure computation of one iteration's accuracy-estimation stage: a fresh
-/// Monte-Carlo bootstrap, or a delta-maintained resample update (§4.1).
-/// Returns the bootstrap result plus the number of resample items touched.
-/// The function never touches the simulated clock — the caller charges the
-/// returned work — so the pipelined schedule can run it concurrently with the
-/// next iteration's map phase without racing on the cluster accounting.
+/// The pure computation of one iteration's accuracy-estimation stage: a
+/// resample-free count-based bootstrap for linear tasks, a fresh Monte-Carlo
+/// bootstrap, or a delta-maintained resample update (§4.1).  Returns the
+/// bootstrap result plus the number of resample items touched.  The function
+/// never touches the simulated clock — the caller charges the returned work —
+/// so the pipelined schedule can run it concurrently with the next iteration's
+/// map phase without racing on the cluster accounting.
+///
+/// Kernel routing: when `config.bootstrap_kernel` resolves the task to the
+/// count-based kernel (linear statistics under `Auto`), the fresh bootstrap
+/// path is taken even with delta maintenance enabled — one O(n) section-build
+/// scan plus O(√n) per replicate per iteration is strictly cheaper than
+/// maintaining materialised resamples (whose per-iteration *evaluation* alone
+/// is O(B·n)), so there is no state worth maintaining.
 fn accuracy_stage<T: EarlTask>(
     config: &EarlConfig,
     estimator: &TaskEstimator<'_, T>,
@@ -120,7 +130,8 @@ fn accuracy_stage<T: EarlTask>(
     iteration: usize,
     incremental: &mut Option<IncrementalBootstrap>,
 ) -> Result<(BootstrapResult, u64)> {
-    if config.delta_maintenance {
+    let resolved = config.bootstrap_kernel.resolve_for(estimator);
+    if config.delta_maintenance && resolved != ResolvedKernel::CountBased {
         match incremental.as_mut() {
             None => {
                 let ib = IncrementalBootstrap::new(
@@ -130,7 +141,8 @@ fn accuracy_stage<T: EarlTask>(
                     SketchConfig::default(),
                 )
                 .map_err(EarlError::Stats)?
-                .with_parallelism(config.parallelism);
+                .with_parallelism(config.parallelism)
+                .with_kernel(config.bootstrap_kernel);
                 let touched = (bootstraps * values.len()) as u64;
                 let result = ib.evaluate(estimator);
                 *incremental = Some(ib);
@@ -152,10 +164,21 @@ fn accuracy_stage<T: EarlTask>(
             derive_seed(config.seed, FRESH_STREAM + iteration as u64),
             values,
             estimator,
-            &BootstrapConfig::with_resamples(bootstraps).with_parallelism(config.parallelism),
+            &BootstrapConfig::with_resamples(bootstraps)
+                .with_parallelism(config.parallelism)
+                .with_kernel(config.bootstrap_kernel),
         )
         .map_err(EarlError::Stats)?;
-        Ok((result, (bootstraps * values.len()) as u64))
+        let touched = match resolved {
+            // The count-based kernel scans the sample once to build the
+            // section summaries, then touches one summary per section per
+            // replicate — the O(n + √n·B) accounting the roadmap targets.
+            ResolvedKernel::CountBased => {
+                (values.len() + bootstraps * LinearSections::section_count(values.len())) as u64
+            }
+            _ => (bootstraps * values.len()) as u64,
+        };
+        Ok((result, touched))
     }
 }
 
@@ -295,6 +318,7 @@ impl EarlDriver {
                 _ => {
                     let ssabe_config = SsabeConfig {
                         parallelism: self.config.parallelism,
+                        kernel: self.config.bootstrap_kernel,
                         ..SsabeConfig::new(self.config.sigma, self.config.tau)
                     };
                     let ssabe = Ssabe::new(ssabe_config).map_err(EarlError::Stats)?;
@@ -306,10 +330,22 @@ impl EarlDriver {
                     ) {
                         Ok(est) => {
                             // SSABE runs in local mode on one machine: charge its
-                            // resampling CPU to the accuracy-estimation phase.
+                            // resampling CPU to the accuracy-estimation phase
+                            // (per-replicate cost depends on the kernel the
+                            // pilot bootstraps resolved to; the count-based
+                            // kernel additionally pays one O(n) section-build
+                            // scan of the pilot).
+                            let aes_pilot_cost =
+                                match self.config.bootstrap_kernel.resolve_for(&estimator) {
+                                    ResolvedKernel::CountBased => {
+                                        values.len()
+                                            + est.b * LinearSections::section_count(values.len())
+                                    }
+                                    _ => est.b * values.len(),
+                                };
                             cluster.charge_reduce_cpu(
                                 Phase::AccuracyEstimation,
-                                (est.b * values.len()) as u64,
+                                aes_pilot_cost as u64,
                                 task.is_heavy(),
                             );
                             let b = self.config.bootstraps.unwrap_or(est.b);

@@ -15,7 +15,7 @@
 //! the same task can be run by the sampling driver or by an exact MapReduce
 //! job.
 
-use earl_bootstrap::Estimator;
+use earl_bootstrap::{Accumulator, Estimator, LinearForm};
 
 /// A user analytics task in EARL's incremental-reduce form.
 pub trait EarlTask: Send + Sync {
@@ -55,6 +55,21 @@ pub trait EarlTask: Send + Sync {
         false
     }
 
+    /// The task's linear form `θ = g(Σ wᵢ·xᵢ, Σ wᵢ)`, if its statistic is
+    /// linear.  Declaring one opts the task into the resample-free
+    /// count-based bootstrap kernel; the contract is `evaluate(values) ==
+    /// form.finalize(Σ values, values.len())` for every value multiset.
+    fn linear_form(&self) -> Option<LinearForm> {
+        None
+    }
+
+    /// A streaming accumulator replaying `evaluate` in one pass over `(value,
+    /// weight)` pairs, if the task supports one — opting the task into the
+    /// gather-free streaming bootstrap kernel.
+    fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
+        None
+    }
+
     /// Convenience: evaluate the task end-to-end on a slice of values.
     fn evaluate(&self, values: &[f64]) -> f64 {
         self.finalize(&self.initialize(values))
@@ -81,6 +96,12 @@ impl<T: EarlTask> Estimator for TaskEstimator<'_, T> {
     }
     fn name(&self) -> &'static str {
         self.task.name()
+    }
+    fn accumulator(&self) -> Option<Box<dyn Accumulator>> {
+        self.task.streaming_accumulator()
+    }
+    fn linear_form(&self) -> Option<LinearForm> {
+        self.task.linear_form()
     }
 }
 

@@ -6,6 +6,8 @@
 //! are the canonical examples of tasks that *need* the `correct()` hook: a
 //! value computed from a `p`-fraction sample must be scaled by `1/p`.
 
+use earl_bootstrap::estimators::{self, Estimator};
+use earl_bootstrap::{Accumulator, LinearForm};
 use serde::{Deserialize, Serialize};
 
 use crate::task::EarlTask;
@@ -55,6 +57,14 @@ impl EarlTask for MeanTask {
             state.sum / state.count as f64
         }
     }
+    // The mean is linear: the same arithmetic as the estimator-side `Mean`,
+    // so the accuracy-estimation bootstrap can run resample-free.
+    fn linear_form(&self) -> Option<LinearForm> {
+        estimators::Mean.linear_form()
+    }
+    fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
+        estimators::Mean.accumulator()
+    }
 }
 
 /// The sum of all values.  Requires the `1/p` correction the paper uses as its
@@ -82,6 +92,12 @@ impl EarlTask for SumTask {
         } else {
             result
         }
+    }
+    fn linear_form(&self) -> Option<LinearForm> {
+        estimators::Sum.linear_form()
+    }
+    fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
+        estimators::Sum.accumulator()
     }
 }
 
@@ -117,6 +133,12 @@ impl EarlTask for CountTask {
         } else {
             result
         }
+    }
+    fn linear_form(&self) -> Option<LinearForm> {
+        estimators::Count.linear_form()
+    }
+    fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
+        estimators::Count.accumulator()
     }
 }
 

@@ -4,7 +4,8 @@
 //! Chan/Welford, so `update()` is O(1) regardless of how many values each
 //! partial state absorbed.
 
-use earl_bootstrap::StreamingStats;
+use earl_bootstrap::estimators::{self, Estimator};
+use earl_bootstrap::{Accumulator, StreamingStats};
 
 use crate::task::EarlTask;
 
@@ -34,6 +35,11 @@ impl EarlTask for VarianceTask {
     fn finalize(&self, state: &StreamingStats) -> f64 {
         state.variance()
     }
+    // Second moments are not linear, but they are single-pass: the streaming
+    // bootstrap kernel applies (Welford), the count-based one does not.
+    fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
+        estimators::Variance.accumulator()
+    }
 }
 
 /// The sample standard deviation.
@@ -53,6 +59,9 @@ impl EarlTask for StdDevTask {
     }
     fn finalize(&self, state: &StreamingStats) -> f64 {
         state.std_dev()
+    }
+    fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
+        estimators::StdDev.accumulator()
     }
 }
 

@@ -1,0 +1,296 @@
+//! Kernel-equivalence contract of the bootstrap evaluation kernels (PR 3).
+//!
+//! Three replicate-evaluation kernels can answer the same bootstrap question —
+//! gather (materialise + rescan), streaming (accumulator fed straight from
+//! sampled indices) and count-based (resample-free multinomial section
+//! counts, linear statistics only).  This suite pins their equivalence:
+//!
+//! * streaming ≡ gather **bit-identically** for single-pass statistics
+//!   (mean/sum/count) — both kernels consume the identical `(seed, replicate)`
+//!   RNG stream and perform the identical arithmetic in the same order;
+//! * streaming ≈ gather within 1e-9 *relative* per replicate for the moment
+//!   statistics (variance/stddev) — single-pass shifted Youngs–Cramer versus
+//!   two-pass;
+//! * count-based reproduces the gather replicate *distribution*'s moments
+//!   (replicate mean, standard error, cv) within seeded tolerance — by
+//!   construction the kernel matches them exactly in expectation;
+//! * every kernel is a pure function of the seed: bit-identical at every
+//!   worker count, with `B`-growth preserving the replicate prefix.
+//!
+//! The CI thread-matrix job runs this file with `EARL_THREADS` ∈ {1, 2, 4, 8}
+//! on a multi-core runner; locally the {2, 8} ladder is used.
+
+use earl_bootstrap::bootstrap::{
+    bootstrap_distribution, BootstrapConfig, BootstrapKernel, ResolvedKernel,
+};
+use earl_bootstrap::estimators::{Count, Estimator, Mean, Median, StdDev, Sum, Variance};
+use earl_bootstrap::rng::{seeded_rng, standard_normal};
+use earl_core::task::TaskEstimator;
+use earl_core::tasks::{CountTask, MeanTask, MedianTask, StdDevTask, SumTask, VarianceTask};
+
+/// Thread counts under test: the `EARL_THREADS` matrix value when set, the
+/// {2, 8} ladder otherwise.  Every property compares against a 1-thread
+/// reference run.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("EARL_THREADS") {
+        Ok(v) => vec![v.parse().expect("EARL_THREADS must be a positive integer")],
+        Err(_) => vec![2, 8],
+    }
+}
+
+fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|_| mean + sd * standard_normal(&mut rng))
+        .collect()
+}
+
+fn run(
+    seed: u64,
+    data: &[f64],
+    estimator: &dyn Estimator,
+    b: usize,
+    kernel: BootstrapKernel,
+    threads: usize,
+) -> earl_bootstrap::BootstrapResult {
+    bootstrap_distribution(
+        seed,
+        data,
+        estimator,
+        &BootstrapConfig::with_resamples(b)
+            .with_kernel(kernel)
+            .with_parallelism(Some(threads)),
+    )
+    .expect("bootstrap")
+}
+
+/// Property: for single-pass statistics the streaming kernel is bit-identical
+/// to the gather kernel — every replicate, at every thread count, across a
+/// spread of seeds, sample sizes and B values.
+#[test]
+fn streaming_replicates_are_bit_identical_to_gather_for_linear_statistics() {
+    for case in 0u64..6 {
+        let n = 300 + (case as usize) * 777;
+        let b = 20 + (case as usize) * 13;
+        let data = normal_sample(n, 40.0, 9.0, 2000 + case);
+        for est in [&Mean as &dyn Estimator, &Sum, &Count] {
+            let gather = run(case, &data, est, b, BootstrapKernel::Gather, 1);
+            for &threads in &thread_counts() {
+                let streaming = run(case, &data, est, b, BootstrapKernel::Streaming, threads);
+                assert_eq!(
+                    gather,
+                    streaming,
+                    "{} must be bit-identical (case {case}, threads {threads})",
+                    Estimator::name(est)
+                );
+            }
+        }
+    }
+}
+
+/// Property: the single-pass shifted Youngs–Cramer update (streaming) agrees
+/// with the two-pass gather evaluation within 1e-9 relative, per replicate,
+/// for variance and stddev.
+#[test]
+fn streaming_moment_replicates_match_gather_within_1e9_relative() {
+    for case in 0u64..4 {
+        let n = 500 + (case as usize) * 900;
+        let data = normal_sample(n, 25.0, 6.0, 3000 + case);
+        for est in [&Variance as &dyn Estimator, &StdDev] {
+            let gather = run(case, &data, est, 40, BootstrapKernel::Gather, 1);
+            for &threads in &thread_counts() {
+                let streaming = run(case, &data, est, 40, BootstrapKernel::Streaming, threads);
+                assert_eq!(gather.replicates.len(), streaming.replicates.len());
+                for (g, s) in gather.replicates.iter().zip(&streaming.replicates) {
+                    assert!(
+                        ((g - s) / g).abs() < 1e-9,
+                        "{}: replicate {g} vs {s} (case {case})",
+                        Estimator::name(est)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Property: the count-based kernel reproduces the gather kernel's replicate
+/// *distribution* moments within seeded tolerance — the same replicate mean,
+/// standard error and cv a materialising bootstrap measures, at O(√n) per
+/// replicate.  (By construction the kernel's distribution matches the
+/// multinomial bootstrap's mean and variance exactly; the tolerance below is
+/// pure Monte-Carlo noise at B = 400.)
+#[test]
+fn count_based_distribution_moments_match_gather_within_seeded_tolerance() {
+    for (case, n) in [(0u64, 2_000usize), (1, 8_000), (2, 30_000)] {
+        let data = normal_sample(n, 150.0, 35.0, 4000 + case);
+        for est in [&Mean as &dyn Estimator, &Sum] {
+            let gather = run(case, &data, est, 400, BootstrapKernel::Gather, 1);
+            let counts = run(case, &data, est, 400, BootstrapKernel::CountBased, 1);
+            assert_eq!(
+                counts.point_estimate, gather.point_estimate,
+                "the point estimate never depends on the kernel"
+            );
+            let rel_mean =
+                ((counts.replicate_mean - gather.replicate_mean) / gather.replicate_mean).abs();
+            assert!(
+                rel_mean < 2e-3,
+                "{} n={n}: replicate means {} vs {}",
+                Estimator::name(est),
+                counts.replicate_mean,
+                gather.replicate_mean
+            );
+            let se_ratio = counts.std_error / gather.std_error;
+            assert!(
+                (0.8..1.25).contains(&se_ratio),
+                "{} n={n}: standard errors {} vs {}",
+                Estimator::name(est),
+                counts.std_error,
+                gather.std_error
+            );
+            let cv_ratio = counts.cv / gather.cv;
+            assert!(
+                (0.8..1.25).contains(&cv_ratio),
+                "{} n={n}: cv {} vs {}",
+                Estimator::name(est),
+                counts.cv,
+                gather.cv
+            );
+        }
+        // Count is the degenerate linear statistic: every replicate is exactly
+        // the resample size on both kernels.
+        let gather = run(case, &data, &Count, 50, BootstrapKernel::Gather, 1);
+        let counts = run(case, &data, &Count, 50, BootstrapKernel::CountBased, 1);
+        assert_eq!(gather, counts);
+    }
+}
+
+/// Property: the count-based kernel is a pure function of the seed — replicate
+/// `b` depends only on `(seed, b)`, so results are bit-identical at every
+/// thread count and growing B preserves the prefix.
+#[test]
+fn count_based_kernel_is_thread_invariant_with_prefix_stability() {
+    let data = normal_sample(5_000, 60.0, 12.0, 77);
+    let reference = run(9, &data, &Mean, 64, BootstrapKernel::CountBased, 1);
+    for &threads in &thread_counts() {
+        let parallel = run(9, &data, &Mean, 64, BootstrapKernel::CountBased, threads);
+        assert_eq!(reference, parallel, "threads = {threads}");
+    }
+    let grown = run(9, &data, &Mean, 96, BootstrapKernel::CountBased, 1);
+    assert_eq!(reference.replicates[..], grown.replicates[..64]);
+}
+
+/// Property: `Auto` never routes a linear estimator to the gather kernel —
+/// at both the estimator layer and the task layer the driver uses.
+#[test]
+fn auto_routes_every_linear_statistic_to_the_count_based_kernel() {
+    for est in [&Mean as &dyn Estimator, &Sum, &Count] {
+        assert_eq!(
+            BootstrapKernel::Auto.resolve_for(est),
+            ResolvedKernel::CountBased,
+            "estimator {}",
+            Estimator::name(est)
+        );
+    }
+    assert_eq!(
+        BootstrapKernel::Auto.resolve_for(&TaskEstimator::new(&MeanTask)),
+        ResolvedKernel::CountBased
+    );
+    assert_eq!(
+        BootstrapKernel::Auto.resolve_for(&TaskEstimator::new(&SumTask)),
+        ResolvedKernel::CountBased
+    );
+    assert_eq!(
+        BootstrapKernel::Auto.resolve_for(&TaskEstimator::new(&CountTask)),
+        ResolvedKernel::CountBased
+    );
+    // Second moments stream, order statistics gather.
+    assert_eq!(
+        BootstrapKernel::Auto.resolve_for(&TaskEstimator::new(&VarianceTask)),
+        ResolvedKernel::Streaming
+    );
+    assert_eq!(
+        BootstrapKernel::Auto.resolve_for(&TaskEstimator::new(&StdDevTask)),
+        ResolvedKernel::Streaming
+    );
+    assert_eq!(
+        BootstrapKernel::Auto.resolve_for(&TaskEstimator::new(&MedianTask)),
+        ResolvedKernel::Gather
+    );
+    assert_eq!(
+        BootstrapKernel::Auto.resolve_for(&Median),
+        ResolvedKernel::Gather
+    );
+}
+
+/// Property: the full EARL driver delivers identical reports whichever of the
+/// schedule variants runs, with the kernel threaded end-to-end — and pinning
+/// the kernel to `Gather` still meets the accuracy bound (the kernels answer
+/// the same statistical question).
+#[test]
+fn driver_reports_meet_the_bound_under_every_kernel() {
+    use earl_cluster::{Cluster, CostModel};
+    use earl_core::{EarlConfig, EarlDriver};
+    use earl_dfs::{Dfs, DfsConfig};
+    use earl_workload::{DatasetBuilder, DatasetSpec};
+
+    let build = || {
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .cost_model(CostModel::commodity_2012())
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 1 << 16,
+                replication: 2,
+                io_chunk: 128,
+            },
+        )
+        .unwrap();
+        DatasetBuilder::new(dfs.clone())
+            .build("/data", &DatasetSpec::normal(30_000, 500.0, 100.0, 5))
+            .unwrap();
+        dfs
+    };
+    for kernel in [
+        BootstrapKernel::Auto,
+        BootstrapKernel::CountBased,
+        BootstrapKernel::Streaming,
+        BootstrapKernel::Gather,
+    ] {
+        for &threads in &thread_counts() {
+            let config = EarlConfig {
+                bootstrap_kernel: kernel,
+                parallelism: Some(threads),
+                ..EarlConfig::default()
+            };
+            let report = EarlDriver::new(build(), config)
+                .run("/data", &MeanTask)
+                .unwrap();
+            assert!(report.meets_bound(), "kernel {kernel:?}");
+            assert!(
+                (report.result - 500.0).abs() < 15.0,
+                "kernel {kernel:?}: result {}",
+                report.result
+            );
+            // Same kernel, any thread count → identical report.
+            let reference = EarlDriver::new(
+                build(),
+                EarlConfig {
+                    bootstrap_kernel: kernel,
+                    parallelism: Some(1),
+                    ..EarlConfig::default()
+                },
+            )
+            .run("/data", &MeanTask)
+            .unwrap();
+            assert_eq!(reference.result, report.result, "kernel {kernel:?}");
+            assert_eq!(
+                reference.error_estimate, report.error_estimate,
+                "kernel {kernel:?}"
+            );
+            assert_eq!(reference.sample_size, report.sample_size);
+        }
+    }
+}
