@@ -1,0 +1,355 @@
+//! PR 4 perf baseline: map-side streaming shuffle + grouped per-key EARL
+//! workloads.
+//!
+//! Measures, at threads ∈ {1, 2, 4, 8}:
+//!
+//! 1. **shuffle engines over the same map output** — the gather design
+//!    (materialise an all-pairs vector, then `ShuffleOutput::shuffle_parallel`
+//!    / `shard_merge`) vs the streaming design (mappers emit straight into
+//!    per-shard buffers via `sharded_emit`, then
+//!    `ShuffleOutput::shuffle_streaming`).  Both are timed end to end from the
+//!    same pair generator and verified bit-identical to the sequential
+//!    BTreeMap reference;
+//! 2. **grouped EARL workloads** — `run_grouped` (per-key means with
+//!    per-group bootstrap CIs) and the categorical `ProportionTask`, end to
+//!    end through the driver.
+//!
+//! Writes `BENCH_PR4.json`.  Usage:
+//!
+//! ```text
+//! bench_pr4 [--quick] [--check BASELINE.json] [output.json]
+//! ```
+//!
+//! `--check` enforces (a) the same-run ordering gate — streaming throughput
+//! at t=1 must be ≥ the gather/shard_merge design's at t=1, with a 10%
+//! tolerance for timer noise (host-neutral: both timed moments apart on the
+//! same machine) — and (b) a cross-host absolute-throughput gate vs the
+//! checked-in baseline that self-disarms when the baseline's recorded
+//! `host_cores` differs from the runner's.
+
+use std::time::Instant;
+
+use earl_cluster::{Cluster, CostModel};
+use earl_core::tasks::ProportionTask;
+use earl_core::{EarlConfig, EarlDriver, GroupedAggregate};
+use earl_dfs::{Dfs, DfsConfig};
+use earl_mapreduce::partition::Partitioner;
+use earl_mapreduce::{HashPartitioner, ShuffleOutput};
+use earl_parallel::sharded_emit;
+use earl_workload::{CategoricalSpec, DatasetBuilder, GroupedSpec};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Same-run ordering-gate tolerance: streaming must be ≥ 0.9× gather at t=1.
+const ORDERING_TOLERANCE: f64 = 0.10;
+/// Cross-host throughput-gate tolerance vs the committed baseline.
+const MAX_REGRESSION: f64 = 0.20;
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn time_n<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = None;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    (median_secs(samples), out.expect("at least one rep"))
+}
+
+/// Extracts the number following `"key":` in a flat-enough JSON document (no
+/// serde_json in the build).
+fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check_baseline: Option<String> = None;
+    let mut out_path = "BENCH_PR4.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => {
+                check_baseline = Some(args.next().expect("--check needs a baseline path"));
+            }
+            other => out_path = other.to_owned(),
+        }
+    }
+    if check_baseline.as_deref() == Some(out_path.as_str()) {
+        eprintln!(
+            "error: output path {out_path:?} equals the --check baseline — pass a distinct \
+             output path (e.g. BENCH_PR4_CI.json) so the baseline is not overwritten"
+        );
+        std::process::exit(2);
+    }
+
+    let reps = if quick { 3 } else { 5 };
+    let tasks: usize = if quick { 64 } else { 128 };
+    let pairs_per_task: usize = if quick { 6_250 } else { 15_625 };
+    let grouped_records: u64 = if quick { 10_000 } else { 25_000 };
+    let partitions = 8usize;
+    let n = tasks * pairs_per_task;
+    let key_space = (n / 16).max(1) as u64;
+
+    // One pair generator feeds every engine: pair j of task t is a pure
+    // function of (t, j), so the gather and streaming designs process the
+    // exact same logical map output.
+    let gen = |task: usize, j: usize| -> (u64, u64) {
+        let i = (task * pairs_per_task + j) as u64;
+        (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % key_space, i)
+    };
+
+    eprintln!("shuffle: {tasks} map tasks x {pairs_per_task} pairs, {key_space} keys, {partitions} partitions");
+
+    // Sequential BTreeMap reference: the correctness oracle.
+    let (seq_secs, reference_out) = time_n(reps, || {
+        let mut all_pairs = Vec::new();
+        for t in 0..tasks {
+            for j in 0..pairs_per_task {
+                all_pairs.push(gen(t, j));
+            }
+        }
+        ShuffleOutput::shuffle(all_pairs, partitions, &HashPartitioner)
+    });
+    let reference = reference_out.into_partitions();
+    eprintln!(
+        "  sequential reference: {seq_secs:.3}s ({:.2} Mpairs/s)",
+        n as f64 / seq_secs / 1e6
+    );
+
+    let mut rows = Vec::new();
+    let mut sharded_t1 = f64::INFINITY;
+    let mut streaming_t1 = f64::INFINITY;
+    for &threads in &THREADS {
+        // Gather design: concatenate all tasks' pairs, then shard + merge.
+        let (sharded_s, out) = time_n(reps, || {
+            let mut all_pairs = Vec::new();
+            for t in 0..tasks {
+                for j in 0..pairs_per_task {
+                    all_pairs.push(gen(t, j));
+                }
+            }
+            ShuffleOutput::shuffle_parallel(all_pairs, partitions, &HashPartitioner, threads)
+        });
+        assert_eq!(
+            out.into_partitions(),
+            reference,
+            "sharded shuffle must be bit-identical at {threads} threads"
+        );
+
+        // Streaming design: each task emits straight into per-shard buffers.
+        let (streaming_s, out) = time_n(reps, || {
+            let (_, buffers) = sharded_emit(tasks, partitions, threads, |t, buf| {
+                for j in 0..pairs_per_task {
+                    let (key, value) = gen(t, j);
+                    let shard = HashPartitioner.partition(&key, partitions);
+                    buf.emit(shard, (key, value));
+                }
+            });
+            ShuffleOutput::shuffle_streaming(buffers, threads)
+        });
+        assert_eq!(
+            out.into_partitions(),
+            reference,
+            "streaming shuffle must be bit-identical at {threads} threads"
+        );
+
+        if threads == 1 {
+            sharded_t1 = sharded_s;
+            streaming_t1 = streaming_s;
+        }
+        let ratio = sharded_s / streaming_s;
+        eprintln!(
+            "  {threads} thread(s): gather+shard {sharded_s:.3}s, streaming {streaming_s:.3}s ({ratio:.2}x, bit-identical)"
+        );
+        rows.push(format!(
+            r#"      {{ "threads": {threads}, "sharded_s": {sharded_s:.4}, "streaming_s": {streaming_s:.4}, "streaming_speedup": {ratio:.3} }}"#
+        ));
+    }
+    let streaming_t1_mpairs = n as f64 / streaming_t1 / 1e6;
+
+    // ---- kernel 2: grouped EARL workloads ---------------------------------
+    eprintln!("grouped: per-key means over 5 groups x {grouped_records} records + proportion over 3 categories");
+    let make_dfs = || {
+        let cluster = Cluster::builder()
+            .nodes(4)
+            .cost_model(CostModel::commodity_2012())
+            .seed(4)
+            .build()
+            .unwrap();
+        Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 1 << 16,
+                replication: 2,
+                io_chunk: 1024,
+            },
+        )
+        .unwrap()
+    };
+
+    let (grouped_s, grouped_report) = time_n(reps, || {
+        let dfs = make_dfs();
+        DatasetBuilder::new(dfs.clone())
+            .build_grouped(
+                "/bench-grouped",
+                &GroupedSpec::normal_groups(5, grouped_records, 100.0, 0.3, 4),
+            )
+            .unwrap();
+        let config = EarlConfig {
+            bootstraps: Some(100),
+            ..EarlConfig::default()
+        };
+        EarlDriver::new(dfs, config)
+            .run_grouped("/bench-grouped", &GroupedAggregate::mean())
+            .unwrap()
+    });
+    assert!(grouped_report.meets_bound());
+    eprintln!(
+        "  grouped mean: {grouped_s:.3}s ({} groups, {} iteration(s), all bounds met)",
+        grouped_report.groups.len(),
+        grouped_report.iterations
+    );
+
+    let (proportion_s, proportion_report) = time_n(reps, || {
+        let dfs = make_dfs();
+        DatasetBuilder::new(dfs.clone())
+            .build_categorical(
+                "/bench-cat",
+                &CategoricalSpec {
+                    categories: vec![("a".into(), 0.5), ("b".into(), 0.3), ("c".into(), 0.2)],
+                    num_records: grouped_records * 5,
+                    seed: 4,
+                },
+            )
+            .unwrap();
+        let config = EarlConfig {
+            bootstraps: Some(100),
+            ..EarlConfig::default()
+        };
+        EarlDriver::new(dfs, config)
+            .run("/bench-cat", &ProportionTask::new("b"))
+            .unwrap()
+    });
+    assert!(proportion_report.meets_bound());
+    eprintln!(
+        "  proportion: {proportion_s:.3}s (cv {:.4}, {:.1}% sample)",
+        proportion_report.error_estimate,
+        100.0 * proportion_report.sample_fraction
+    );
+
+    // ---- baseline file ----------------------------------------------------
+    let json = format!(
+        r#"{{
+  "pr": 4,
+  "description": "Map-side streaming shuffle vs gather+shard_merge, plus grouped per-key EARL workloads (median of {reps} runs, release build)",
+  "note": "shuffle rows time the full path from one pair generator: gather = build all-pairs vector then shard_merge; streaming = emit into per-shard buffers then merge. rows are verified bit-identical to the sequential BTreeMap reference before timing. streaming_t1_mpairs_per_s is the cross-host gate ({gate}% tolerance, host_cores-aware); the same-run gate requires streaming >= gather at t=1 within {ord}%.",
+  "host_cores": {cores},
+  "quick": {quick},
+  "shuffle": {{
+    "tasks": {tasks},
+    "pairs_per_task": {pairs_per_task},
+    "pairs": {n},
+    "keys": {key_space},
+    "partitions": {partitions},
+    "sequential_reference_s": {seq_secs:.4},
+    "streaming_t1_mpairs_per_s": {streaming_t1_mpairs:.3},
+    "scaling": [
+{rows}
+    ],
+    "bit_identical": true
+  }},
+  "grouped": {{
+    "groups": {ngroups},
+    "records_per_group": {grouped_records},
+    "grouped_mean_s": {grouped_s:.4},
+    "grouped_iterations": {grouped_iters},
+    "proportion_s": {proportion_s:.4},
+    "proportion_cv": {prop_cv:.6},
+    "all_bounds_met": true
+  }}
+}}
+"#,
+        gate = (MAX_REGRESSION * 100.0) as u32,
+        ord = (ORDERING_TOLERANCE * 100.0) as u32,
+        cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        rows = rows.join(",\n"),
+        ngroups = grouped_report.groups.len(),
+        grouped_iters = grouped_report.iterations,
+        prop_cv = proportion_report.error_estimate,
+    );
+    std::fs::write(&out_path, &json).expect("write baseline file");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+
+    // ---- regression gates -------------------------------------------------
+    if let Some(baseline_path) = check_baseline {
+        let mut failed = false;
+
+        // Gate 1 (host-neutral, same run): the streaming design must not be
+        // slower than the gather design it replaces — it does strictly less
+        // work (no all-pairs vector).  10% tolerance for timer noise.
+        let ceiling = sharded_t1 * (1.0 + ORDERING_TOLERANCE);
+        eprintln!(
+            "check: t=1 streaming {streaming_t1:.4}s vs gather+shard {sharded_t1:.4}s (ceiling {ceiling:.4}s, same machine)"
+        );
+        if streaming_t1 > ceiling {
+            eprintln!(
+                "FAIL: streaming shuffle is more than {}% slower than the gather design at t=1",
+                (ORDERING_TOLERANCE * 100.0) as u32
+            );
+            failed = true;
+        }
+
+        // Gate 2 (cross-host): absolute streaming throughput vs the committed
+        // baseline, armed only when the recorded host_cores matches.
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let current_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let baseline_cores = extract_f64(&baseline, "host_cores").map(|c| c as usize);
+        match baseline_cores {
+            Some(bc) if bc != current_cores => {
+                eprintln!(
+                    "check: skipping cross-host throughput gate — baseline recorded on a \
+                     {bc}-core host, this run has {current_cores} cores (same-run gate above \
+                     still enforced; re-baseline to re-arm)"
+                );
+            }
+            _ => {
+                let baseline_mpairs = extract_f64(&baseline, "streaming_t1_mpairs_per_s")
+                    .expect("baseline missing streaming_t1_mpairs_per_s");
+                let floor = baseline_mpairs * (1.0 - MAX_REGRESSION);
+                eprintln!(
+                    "check: t=1 streaming {streaming_t1_mpairs:.3} Mpairs/s vs baseline {baseline_mpairs:.3} (floor {floor:.3})"
+                );
+                if streaming_t1_mpairs < floor {
+                    eprintln!(
+                        "FAIL: streaming shuffle throughput regressed more than {}% vs {baseline_path}",
+                        (MAX_REGRESSION * 100.0) as u32
+                    );
+                    failed = true;
+                }
+            }
+        }
+
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check: OK");
+    }
+}

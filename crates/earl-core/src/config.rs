@@ -74,17 +74,18 @@ pub struct EarlConfig {
     /// task execution (`None` = one per available core).  Any value produces
     /// bit-identical results; the knob only trades wall-clock time.
     pub parallelism: Option<usize>,
-    /// Iteration-stage overlap of the EARL loop.  `1` (the default) runs the
-    /// sequential schedule: sample → map/reduce → accuracy estimation, strictly
-    /// back to back.  `2` overlaps the accuracy-estimation stage of iteration
-    /// *i* with the sample draw + map phase of iteration *i+1*; the reducer→
-    /// mapper feedback channel (§3.3) cancels the speculative iteration before
-    /// its reduce phase when the error bound is met.  The delivered result
-    /// (estimate, error, sample size, iteration count) is identical to the
-    /// sequential schedule at every depth and thread count; only the simulated
-    /// time/IO accounting differs by the speculative map work that is charged
-    /// and then discarded on the final iteration.  Values above 2 behave as 2:
-    /// accuracy estimation of iteration *i+1* cannot start before its sample is
+    /// Iteration-stage overlap of the EARL loop.  `2` (the default) overlaps
+    /// the accuracy-estimation stage of iteration *i* with the sample draw +
+    /// map phase of iteration *i+1*; the reducer→mapper feedback channel
+    /// (§3.3) cancels the speculative iteration before its reduce phase when
+    /// the error bound is met.  `1` runs the sequential schedule: sample →
+    /// map/reduce → accuracy estimation, strictly back to back.  The delivered
+    /// result (estimate, error, sample size, iteration count) is identical at
+    /// every depth and thread count; only the simulated time/IO accounting
+    /// differs by the speculative map work that is charged and then discarded
+    /// on the final iteration (`tests/pipeline_depth_default.rs` pins the
+    /// depth-1 accounting bit-for-bit).  Values above 2 behave as 2: accuracy
+    /// estimation of iteration *i+1* cannot start before its sample is
     /// committed, so one iteration of lookahead is the maximum the dependence
     /// structure allows.
     pub pipeline_depth: usize,
@@ -106,7 +107,7 @@ impl Default for EarlConfig {
             bootstrap_kernel: BootstrapKernel::Auto,
             seed: 0xEA21,
             parallelism: None,
-            pipeline_depth: 1,
+            pipeline_depth: 2,
         }
     }
 }
@@ -175,7 +176,10 @@ mod tests {
             "default picks the fastest kernel each task supports"
         );
         assert_eq!(c.parallelism, None, "default is one worker per core");
-        assert_eq!(c.pipeline_depth, 1, "default is the sequential schedule");
+        assert_eq!(
+            c.pipeline_depth, 2,
+            "default overlaps AES i with the map phase of i+1"
+        );
         assert!(c.validate().is_ok());
     }
 

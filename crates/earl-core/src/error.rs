@@ -25,6 +25,9 @@ pub enum EarlError {
     /// The requested accuracy could not be reached within the configured
     /// iteration budget; the partial report is attached.
     AccuracyNotReached(Box<crate::report::EarlReport>),
+    /// A grouped run could not bring every group's error under the bound
+    /// within the iteration budget; the partial per-group report is attached.
+    GroupedAccuracyNotReached(Box<crate::grouped::GroupedEarlReport>),
 }
 
 impl fmt::Display for EarlError {
@@ -41,6 +44,14 @@ impl fmt::Display for EarlError {
                 "requested error bound {} not reached (achieved {:.4} with a {:.1}% sample)",
                 report.target_sigma,
                 report.error_estimate,
+                report.sample_fraction * 100.0
+            ),
+            EarlError::GroupedAccuracyNotReached(report) => write!(
+                f,
+                "requested error bound {} not reached by every group (worst cv {:.4} across {} groups, {:.1}% sample)",
+                report.target_sigma,
+                report.worst_cv(),
+                report.groups.len(),
                 report.sample_fraction * 100.0
             ),
         }

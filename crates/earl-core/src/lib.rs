@@ -51,6 +51,7 @@ pub mod config;
 pub mod driver;
 pub mod error;
 pub mod fault;
+pub mod grouped;
 pub mod report;
 pub mod task;
 pub mod tasks;
@@ -59,6 +60,7 @@ pub use aes::{AccuracyEstimationStage, AesReport};
 pub use config::{EarlConfig, SamplingMethod};
 pub use driver::EarlDriver;
 pub use error::EarlError;
+pub use grouped::{GroupReport, GroupedAggregate, GroupedEarlReport, GroupedStat};
 pub use report::EarlReport;
 pub use task::{EarlTask, TaskEstimator};
 

@@ -6,11 +6,13 @@
 //! correction, quantiles, variance, extrema).
 
 pub mod basic;
+pub mod categorical;
 pub mod kmeans;
 pub mod moments;
 pub mod order;
 
 pub use basic::{CountTask, MeanTask, SumTask};
+pub use categorical::ProportionTask;
 pub use kmeans::{
     approximate_kmeans, centroid_match_error, exact_kmeans_mapreduce, lloyd, parse_point,
     ApproxKmeansReport, KmeansConfig, KmeansModel,

@@ -24,15 +24,30 @@
 //! * cost-model charges are pure additions to the simulated clock and the
 //!   per-phase metrics, so the merged totals (and therefore `sim_time`) do
 //!   not depend on thread interleaving either.
+//!
+//! ## Streaming shuffle (M3R-style)
+//!
+//! On the failure-free path the shuffle is **map-side**: every map task routes
+//! its (combined) output pairs straight into per-shard buffers as it finishes
+//! ([`earl_parallel::sharded_emit`]), so the job-wide all-pairs vector the old
+//! gather design concatenated between map and shuffle never exists.  At the
+//! reducer-ready barrier each reduce shard already holds exactly its pairs in
+//! emission order; [`ShuffleOutput::shuffle_streaming`] only concatenates and
+//! groups per shard.  The sequential failure path keeps the gather design
+//! (pairs → [`ShuffleOutput::shuffle_parallel`]); both deliver the same bits,
+//! and all cost-model charges are driven by the same record counts, so
+//! `sim_time` is unchanged too.
 
 use earl_cluster::{ClusterError, NodeId, Phase};
 use earl_dfs::{Dfs, InputSplit};
-use earl_parallel::{indexed_map, resolve_parallelism, workers_for};
+use earl_parallel::{
+    indexed_map, resolve_parallelism, sharded_emit, workers_for, ShardBuffers, ShardedBuffers,
+};
 
 use crate::counters::{builtin, Counters};
 use crate::error::MrError;
 use crate::job::{FailurePolicy, InputSource, JobConf, JobResult, JobStats};
-use crate::partition::HashPartitioner;
+use crate::partition::{HashPartitioner, Partitioner};
 use crate::shuffle::{apply_combiner, ShuffleOutput};
 use crate::types::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 use crate::Result;
@@ -102,13 +117,35 @@ where
     finish_job(dfs, conf, phase, reducer)
 }
 
-/// The completed map half of a job: all intermediate pairs plus the counters
-/// and stats accumulated so far.  Produced by [`run_map_phase`], consumed by
-/// [`finish_job`] (shuffle + reduce) — or dropped outright when a pipelined
-/// session cancels a speculative iteration before its reduce phase.
+/// Intermediate map output, in one of two shapes:
+///
+/// * `Pairs` — the gather design: all pairs concatenated in task-index order
+///   (sequential / failure-schedule path only);
+/// * `Sharded` — the streaming design: pairs already routed into per-reduce-
+///   shard buffers during the map phase, the all-pairs vector never built.
+#[derive(Debug)]
+enum MapOutput<K, V> {
+    Pairs(Vec<(K, V)>),
+    Sharded(ShardedBuffers<(K, V)>),
+}
+
+impl<K, V> MapOutput<K, V> {
+    fn records(&self) -> u64 {
+        match self {
+            MapOutput::Pairs(pairs) => pairs.len() as u64,
+            MapOutput::Sharded(buffers) => buffers.total_items(),
+        }
+    }
+}
+
+/// The completed map half of a job: all intermediate pairs (gathered or
+/// already sharded map-side) plus the counters and stats accumulated so far.
+/// Produced by [`run_map_phase`], consumed by [`finish_job`] (shuffle +
+/// reduce) — or dropped outright when a pipelined session cancels a
+/// speculative iteration before its reduce phase.
 #[derive(Debug)]
 pub struct MapPhase<K, V> {
-    pairs: Vec<(K, V)>,
+    output: MapOutput<K, V>,
     counters: Counters,
     stats: JobStats,
     start: earl_cluster::SimDuration,
@@ -183,13 +220,14 @@ where
     // Sequential execution is only needed while failures can still fire; a
     // stable cluster runs tasks concurrently with identical results.  The
     // decision is recorded so the reduce half follows the same engine even if
-    // all scheduled failures fire mid-map.
+    // all scheduled failures fire mid-map.  On the failure-free path mappers
+    // emit straight into per-reduce-shard buffers (streaming shuffle) — the
+    // all-pairs vector below exists only for the sequential failure path.
     let failure_free = !cluster.failure_injection_pending();
     let threads = resolve_parallelism(conf.parallelism);
 
-    let mut all_pairs: Vec<(M::OutKey, M::OutValue)> = Vec::new();
-    if failure_free {
-        all_pairs = map_phase_parallel(
+    let output = if failure_free {
+        MapOutput::Sharded(map_phase_streaming(
             dfs,
             conf,
             mapper,
@@ -198,8 +236,9 @@ where
             &mut counters,
             &mut stats,
             threads,
-        )?;
+        )?)
     } else {
+        let mut all_pairs: Vec<(M::OutKey, M::OutValue)> = Vec::new();
         for input in &map_inputs {
             stats.map_tasks += 1;
             match run_map_task(
@@ -218,12 +257,13 @@ where
                 }
             }
         }
-    }
+        MapOutput::Pairs(all_pairs)
+    };
     stats.map_input_records = counters.get(builtin::MAP_INPUT_RECORDS);
-    stats.shuffle_records = all_pairs.len() as u64;
+    stats.shuffle_records = output.records();
 
     Ok(MapPhase {
-        pairs: all_pairs,
+        output,
         counters,
         stats,
         start,
@@ -245,7 +285,7 @@ where
 {
     let cluster = dfs.cluster();
     let MapPhase {
-        pairs: all_pairs,
+        output,
         mut counters,
         mut stats,
         start,
@@ -254,28 +294,37 @@ where
     let threads = resolve_parallelism(conf.parallelism);
 
     // ---- shuffle -------------------------------------------------------------
-    if !conf.local_mode && !all_pairs.is_empty() {
-        cluster.charge_sort(all_pairs.len() as u64);
+    // Cost charges are driven by the record count, which is identical whether
+    // the pairs were gathered or streamed — so sim_time cannot depend on the
+    // shuffle engine.
+    let shuffle_records = output.records();
+    if !conf.local_mode && shuffle_records > 0 {
+        cluster.charge_sort(shuffle_records);
         let nodes = cluster.available_nodes();
         if nodes.len() >= 2 {
             // On average (n-1)/n of intermediate data crosses the network.
-            let crossing =
-                all_pairs.len() as u64 * conf.avg_record_bytes * (nodes.len() as u64 - 1)
-                    / nodes.len() as u64;
+            let crossing = shuffle_records * conf.avg_record_bytes * (nodes.len() as u64 - 1)
+                / nodes.len() as u64;
             cluster.charge_net_transfer(Phase::Shuffle, nodes[0], nodes[1], crossing);
         }
     }
     let shuffle_workers = if failure_free {
-        workers_for(all_pairs.len(), conf.parallelism).min(threads)
+        workers_for(shuffle_records as usize, conf.parallelism).min(threads)
     } else {
         1
     };
-    let shuffled = ShuffleOutput::shuffle_parallel(
-        all_pairs,
-        conf.num_reducers,
-        &HashPartitioner,
-        shuffle_workers,
-    );
+    let shuffled = match output {
+        // Streaming path: the pairs are already in their shards; only the
+        // per-shard concatenate + group remains.
+        MapOutput::Sharded(buffers) => ShuffleOutput::shuffle_streaming(buffers, shuffle_workers),
+        // Gather path (sequential failure schedule): shard then merge.
+        MapOutput::Pairs(all_pairs) => ShuffleOutput::shuffle_parallel(
+            all_pairs,
+            conf.num_reducers,
+            &HashPartitioner,
+            shuffle_workers,
+        ),
+    };
     stats.reduce_groups = shuffled.total_groups();
 
     // ---- reduce phase --------------------------------------------------------
@@ -353,13 +402,6 @@ enum MapInput {
     Memory(Vec<(u64, String)>),
 }
 
-/// Output of one failure-free map task: its pairs plus its private counters,
-/// merged into the job totals after the barrier in task-index order.
-struct MapTaskOutput<K, V> {
-    pairs: Vec<(K, V)>,
-    counters: Counters,
-}
-
 /// Plans the node of every task deterministically: first live preferred
 /// (data-local) node, otherwise round-robin over the available nodes.  Never
 /// consults the cluster RNG, so the plan is independent of both thread count
@@ -382,12 +424,17 @@ fn plan_nodes(dfs: &Dfs, preferred: &[&[NodeId]]) -> Result<Vec<NodeId>> {
         .collect())
 }
 
-/// Runs all map tasks concurrently across `threads` scoped workers and merges
-/// their outputs in task-index order.  Requires a stable cluster (no pending
-/// failure injection): tasks cannot be lost mid-flight, so the only `None`
-/// outcome is data that was already missing under [`FailurePolicy::Ignore`].
+/// Runs all map tasks concurrently across `threads` scoped workers, each task
+/// emitting its (combined) output pairs **directly into per-reduce-shard
+/// buffers** as it finishes — the map-side streaming shuffle.  Per-task
+/// counters are merged after the barrier in task-index order, exactly like the
+/// gather design, so `JobResult` stays bit-identical at every thread count.
+///
+/// Requires a stable cluster (no pending failure injection): tasks cannot be
+/// lost mid-flight, so the only `None` outcome is data that was already
+/// missing under [`FailurePolicy::Ignore`] — which emits nothing.
 #[allow(clippy::too_many_arguments)]
-fn map_phase_parallel<M, C>(
+fn map_phase_streaming<M, C>(
     dfs: &Dfs,
     conf: &JobConf,
     mapper: &M,
@@ -396,13 +443,14 @@ fn map_phase_parallel<M, C>(
     counters: &mut Counters,
     stats: &mut JobStats,
     threads: usize,
-) -> Result<Vec<(M::OutKey, M::OutValue)>>
+) -> Result<ShardedBuffers<(M::OutKey, M::OutValue)>>
 where
     M: Mapper,
     C: Combiner<Key = M::OutKey, Value = M::OutValue>,
 {
+    let num_shards = conf.num_reducers.max(1);
     if inputs.is_empty() {
-        return Ok(Vec::new());
+        return Ok(ShardedBuffers::empty(num_shards));
     }
     let preferred: Vec<&[NodeId]> = inputs
         .iter()
@@ -413,41 +461,50 @@ where
         .collect();
     let plan = plan_nodes(dfs, &preferred)?;
 
-    let results = indexed_map(
-        inputs.len(),
-        threads,
-        || (),
-        |i, ()| run_map_task_failure_free(dfs, conf, mapper, combiner, &inputs[i], plan[i]),
-    );
+    let (results, buffers) = sharded_emit(inputs.len(), num_shards, threads, |i, shard_buffers| {
+        run_map_task_streaming(
+            dfs,
+            conf,
+            mapper,
+            combiner,
+            &inputs[i],
+            plan[i],
+            num_shards,
+            shard_buffers,
+        )
+    });
 
-    let mut all_pairs = Vec::new();
     for result in results {
         stats.map_tasks += 1;
         match result? {
-            Some(out) => {
-                counters.merge(&out.counters);
-                all_pairs.extend(out.pairs);
-            }
+            Some(task_counters) => counters.merge(&task_counters),
             None => {
                 stats.lost_map_tasks += 1;
                 counters.increment(builtin::LOST_SPLITS);
             }
         }
     }
-    Ok(all_pairs)
+    Ok(buffers)
 }
 
-/// One map task on a stable cluster: no retry loop, no survival check.
-/// Returns `None` when the task's input blocks were already lost and the
-/// failure policy tolerates dropping them.
-fn run_map_task_failure_free<M, C>(
+/// One map task on a stable cluster: no retry loop, no survival check.  The
+/// task's pairs are routed straight into `shard_buffers` with the same
+/// partitioner arithmetic the reduce-side shuffle uses; only the per-task
+/// counters are returned.  Returns `None` (emitting nothing) when the task's
+/// input blocks were already lost and the failure policy tolerates dropping
+/// them; a task that errors has emitted nothing either (emission happens only
+/// after a successful read).
+#[allow(clippy::too_many_arguments)]
+fn run_map_task_streaming<M, C>(
     dfs: &Dfs,
     conf: &JobConf,
     mapper: &M,
     combiner: Option<&C>,
     input: &MapInput,
     node: NodeId,
-) -> Result<Option<MapTaskOutput<M::OutKey, M::OutValue>>>
+    num_shards: usize,
+    shard_buffers: &mut ShardBuffers<(M::OutKey, M::OutValue)>,
+) -> Result<Option<Counters>>
 where
     M: Mapper,
     C: Combiner<Key = M::OutKey, Value = M::OutValue>,
@@ -502,10 +559,13 @@ where
         }
         None => pairs,
     };
-    Ok(Some(MapTaskOutput {
-        pairs,
-        counters: task_counters,
-    }))
+    // Map-side shuffle: route each pair to its reduce shard now — these pairs
+    // are never concatenated with any other task's.
+    for (key, value) in pairs {
+        let shard = HashPartitioner.partition(&key, num_shards);
+        shard_buffers.emit(shard, (key, value));
+    }
+    Ok(Some(task_counters))
 }
 
 /// Reduces all non-empty partitions concurrently across `threads` scoped

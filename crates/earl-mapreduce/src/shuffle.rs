@@ -1,6 +1,6 @@
 //! The shuffle: partitioning, grouping and sorting of intermediate pairs.
 //!
-//! Two execution paths produce the **same bits**:
+//! Three execution paths produce the **same bits**:
 //!
 //! * [`ShuffleOutput::shuffle`] — the sequential reference: one pass over the
 //!   pairs into per-partition `BTreeMap`s.
@@ -11,14 +11,24 @@
 //!   its pairs in input order and grouping is per-shard, the result is
 //!   bit-identical to the sequential path at every thread count — the same
 //!   determinism contract as the `(seed, replicate)` RNG streams.
+//! * [`ShuffleOutput::shuffle_streaming`] — the map-side streaming path: the
+//!   pairs were never materialised into one vector at all.  Mappers emitted
+//!   them straight into per-shard buffers ([`earl_parallel::sharded_emit`]);
+//!   this constructor runs only the reduce-side half — per-shard concatenation
+//!   (in emission order) + grouping — via [`ShardedBuffers::merge`], the exact
+//!   code path `shuffle_parallel` merges through, so the two cannot diverge.
 //!
-//! Neither path ever clones a key or a value: pairs are moved from the map
+//! No path ever clones a key or a value: pairs are moved from the map
 //! output into their group.  (`BTreeMap::entry` takes the key by value; for a
 //! key already present the duplicate key is dropped, not cloned.)
+//!
+//! `total_records` / `total_groups` are cached at build time — they are read
+//! on every job (stats, reduce planning) and recomputing them meant an
+//! all-partitions walk per call.
 
 use std::collections::BTreeMap;
 
-use earl_parallel::shard_merge;
+use earl_parallel::{shard_merge, ShardedBuffers};
 
 use crate::partition::Partitioner;
 use crate::types::{Combiner, MrKey, MrValue};
@@ -28,6 +38,10 @@ use crate::types::{Combiner, MrKey, MrValue};
 #[derive(Debug)]
 pub struct ShuffleOutput<K, V> {
     partitions: Vec<BTreeMap<K, Vec<V>>>,
+    /// Total records across all partitions, cached at build time.
+    total_records: u64,
+    /// Total distinct keys across all partitions, cached at build time.
+    total_groups: u64,
 }
 
 /// Groups pairs (already routed to one partition, in input order) by key.
@@ -41,15 +55,28 @@ fn group_pairs<K: MrKey, V: MrValue>(pairs: Vec<(K, V)>) -> BTreeMap<K, Vec<V>> 
 }
 
 impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
+    /// Wraps grouped partitions, caching the record/group totals once.
+    /// `total_records` is passed in by the construction path (which always
+    /// knows it without a values walk: pair count or emitted count).
+    fn from_partitions(partitions: Vec<BTreeMap<K, Vec<V>>>, total_records: u64) -> Self {
+        let total_groups = partitions.iter().map(|p| p.len() as u64).sum();
+        Self {
+            partitions,
+            total_records,
+            total_groups,
+        }
+    }
+
     /// Groups `pairs` into `num_partitions` reduce partitions using
     /// `partitioner`, single-threaded.  This is the reference implementation
-    /// the sharded path must match bit for bit.
+    /// the sharded and streaming paths must match bit for bit.
     pub fn shuffle<P: Partitioner<K> + ?Sized>(
         pairs: Vec<(K, V)>,
         num_partitions: usize,
         partitioner: &P,
     ) -> Self {
         let num_partitions = num_partitions.max(1);
+        let total_records = pairs.len() as u64;
         let mut partitions: Vec<BTreeMap<K, Vec<V>>> =
             (0..num_partitions).map(|_| BTreeMap::new()).collect();
         for (key, value) in pairs {
@@ -58,7 +85,7 @@ impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
                 .min(num_partitions - 1);
             partitions[p].entry(key).or_default().push(value);
         }
-        Self { partitions }
+        Self::from_partitions(partitions, total_records)
     }
 
     /// Sharded shuffle: partition-parallel grouping over `threads` workers.
@@ -78,6 +105,7 @@ impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
             // One partition means one merger: sharding buys nothing.
             return Self::shuffle(pairs, num_partitions, partitioner);
         }
+        let total_records = pairs.len() as u64;
         let partitions = shard_merge(
             pairs,
             num_partitions,
@@ -85,7 +113,25 @@ impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
             |(key, _)| partitioner.partition(key, num_partitions),
             |_, shard| group_pairs(shard),
         );
-        Self { partitions }
+        Self::from_partitions(partitions, total_records)
+    }
+
+    /// Streaming shuffle: completes a **map-side** shuffle whose pairs were
+    /// emitted directly into per-shard buffers during the map phase
+    /// ([`earl_parallel::sharded_emit`]) — the intermediate all-pairs vector
+    /// of the gather paths never existed.  Only the reduce-side half runs
+    /// here: each shard's buckets are concatenated in emission order and
+    /// grouped, one merger per reducer across `threads` workers.
+    ///
+    /// The caller routed each pair with the **same partitioner arithmetic**
+    /// the gather paths use (shard = `partitioner.partition(key, num_shards)`,
+    /// clamped); under that contract the output is bit-identical to
+    /// [`ShuffleOutput::shuffle`] / [`shuffle_parallel`](Self::shuffle_parallel)
+    /// over the same pairs in the same emission order, at every thread count.
+    pub fn shuffle_streaming(buffers: ShardedBuffers<(K, V)>, threads: usize) -> Self {
+        let total_records = buffers.total_items();
+        let partitions = buffers.merge(threads, |_, shard| group_pairs(shard));
+        Self::from_partitions(partitions, total_records)
     }
 
     /// Number of reduce partitions.
@@ -93,18 +139,15 @@ impl<K: MrKey, V: MrValue> ShuffleOutput<K, V> {
         self.partitions.len()
     }
 
-    /// Total number of records across all partitions.
+    /// Total number of records across all partitions (cached at build time).
     pub fn total_records(&self) -> u64 {
-        self.partitions
-            .iter()
-            .flat_map(|p| p.values())
-            .map(|v| v.len() as u64)
-            .sum()
+        self.total_records
     }
 
-    /// Total number of distinct keys across all partitions.
+    /// Total number of distinct keys across all partitions (cached at build
+    /// time).
     pub fn total_groups(&self) -> u64 {
-        self.partitions.iter().map(|p| p.len() as u64).sum()
+        self.total_groups
     }
 
     /// Iterates over partitions.
@@ -203,6 +246,69 @@ mod tests {
                 assert_eq!(sharded, reference, "parts {parts}, threads {threads}");
             }
         }
+    }
+
+    /// Emulates a map phase emitting `pairs[i]` straight into shard buffers —
+    /// the streaming path over the same pairs in the same order.
+    fn stream<K: MrKey, V: MrValue, P: Partitioner<K>>(
+        pairs: &[(K, V)],
+        partitions: usize,
+        partitioner: &P,
+        threads: usize,
+    ) -> ShuffleOutput<K, V> {
+        let partitions = partitions.max(1);
+        let (_, buffers) =
+            earl_parallel::sharded_emit(pairs.len(), partitions, threads, |i, buf| {
+                let (key, value) = pairs[i].clone();
+                let shard = partitioner.partition(&key, partitions);
+                buf.emit(shard, (key, value));
+            });
+        ShuffleOutput::shuffle_streaming(buffers, threads)
+    }
+
+    #[test]
+    fn streaming_shuffle_matches_sequential_at_every_thread_count() {
+        let pairs: Vec<(u64, u64)> = (0..5_000).map(|i| (i * 2_654_435_761 % 97, i)).collect();
+        for parts in [1usize, 2, 4, 7] {
+            let reference = ShuffleOutput::shuffle(pairs.clone(), parts, &HashPartitioner);
+            for threads in [1usize, 2, 4, 8, 64] {
+                let streamed = stream(&pairs, parts, &HashPartitioner, threads);
+                assert_eq!(
+                    streamed.total_records(),
+                    reference.total_records(),
+                    "parts {parts}, threads {threads}"
+                );
+                assert_eq!(streamed.total_groups(), reference.total_groups());
+                assert_eq!(
+                    streamed.into_partitions(),
+                    reference.partitions.clone(),
+                    "parts {parts}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_counts_are_identical_across_all_three_paths() {
+        let pairs: Vec<(u64, u64)> = (0..2_500).map(|i| (i % 83, i)).collect();
+        let seq = ShuffleOutput::shuffle(pairs.clone(), 4, &HashPartitioner);
+        let par = ShuffleOutput::shuffle_parallel(pairs.clone(), 4, &HashPartitioner, 8);
+        let streamed = stream(&pairs, 4, &HashPartitioner, 8);
+        // The cached counts agree with a manual walk and with each other.
+        let manual_records: u64 = seq
+            .partitions()
+            .flat_map(|p| p.values())
+            .map(|v| v.len() as u64)
+            .sum();
+        let manual_groups: u64 = seq.partitions().map(|p| p.len() as u64).sum();
+        for out in [&seq, &par, &streamed] {
+            assert_eq!(out.total_records(), manual_records);
+            assert_eq!(out.total_groups(), manual_groups);
+            // Repeated calls return the same cached values.
+            assert_eq!(out.total_records(), out.total_records());
+        }
+        assert_eq!(manual_records, 2_500);
+        assert_eq!(manual_groups, 83);
     }
 
     /// A key that counts how many times it is cloned, to pin down the

@@ -155,19 +155,200 @@ where
         .collect()
 }
 
+/// One worker's per-shard output buffers: the map-side half of the streaming
+/// shuffle.  `emit(shard, item)` appends the item to that shard's bucket —
+/// items are moved, never cloned, and emission order within a bucket is
+/// preserved.
+#[derive(Debug)]
+pub struct ShardBuffers<I> {
+    buckets: Vec<Vec<I>>,
+    emitted: u64,
+}
+
+impl<I> ShardBuffers<I> {
+    fn new(num_shards: usize) -> Self {
+        Self {
+            buckets: (0..num_shards.max(1)).map(|_| Vec::new()).collect(),
+            emitted: 0,
+        }
+    }
+
+    /// Routes `item` to `shard` (clamped defensively to the last shard, the
+    /// same policy as [`shard_merge`]'s `assign`).
+    pub fn emit(&mut self, shard: usize, item: I) {
+        let shard = shard.min(self.buckets.len() - 1);
+        self.buckets[shard].push(item);
+        self.emitted += 1;
+    }
+
+    /// Number of shards this buffer set routes into.
+    pub fn num_shards(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total items emitted into this buffer set.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// The chunk-major output of a [`sharded_emit`] map phase: one
+/// [`ShardBuffers`] per worker chunk, in input (chunk) order.  This is the
+/// reducer-ready barrier state of the streaming shuffle — every mapper has
+/// finished, nothing has been concatenated yet, and [`merge`](Self::merge)
+/// hands each shard its items in input order.
+#[derive(Debug)]
+pub struct ShardedBuffers<I> {
+    num_shards: usize,
+    workers: Vec<ShardBuffers<I>>,
+}
+
+impl<I> ShardedBuffers<I> {
+    /// An empty buffer set (no work items were evaluated).
+    pub fn empty(num_shards: usize) -> Self {
+        Self {
+            num_shards: num_shards.max(1),
+            workers: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Total items emitted across all workers.
+    pub fn total_items(&self) -> u64 {
+        self.workers.iter().map(ShardBuffers::emitted).sum()
+    }
+
+    /// Merges each shard independently with `merge(shard_index, shard_items)`
+    /// across `threads` scoped workers — the reduce-side half shared by
+    /// [`shard_merge`] and the streaming shuffle, so their determinism
+    /// contracts cannot diverge.
+    ///
+    /// Determinism contract: a shard's items are concatenated in worker-chunk
+    /// order, and chunk order is input order, so every shard sees its items
+    /// **in input (emission) order** regardless of `threads` — merge output is
+    /// bit-identical at every thread count.  Items are moved, never cloned.
+    pub fn merge<T, M>(self, threads: usize, merge: M) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        M: Fn(usize, Vec<I>) -> T + Sync,
+    {
+        // Transpose ownership chunk-major → shard-major.  Chunk order is input
+        // order, so concatenating a shard's buckets in this order restores the
+        // original relative order of its items.
+        let mut per_shard: Vec<Vec<Vec<I>>> = (0..self.num_shards)
+            .map(|_| Vec::with_capacity(self.workers.len()))
+            .collect();
+        for worker in self.workers {
+            for (shard, bucket) in worker.buckets.into_iter().enumerate() {
+                if !bucket.is_empty() {
+                    per_shard[shard].push(bucket);
+                }
+            }
+        }
+        owned_indexed_map(per_shard, threads, |shard, buckets| {
+            let total: usize = buckets.iter().map(Vec::len).sum();
+            let mut shard_items = Vec::with_capacity(total);
+            for bucket in buckets {
+                shard_items.extend(bucket);
+            }
+            merge(shard, shard_items)
+        })
+    }
+}
+
+/// Map-side streaming emission: evaluates `count` independent work items like
+/// [`indexed_map`], but gives every worker a private [`ShardBuffers`] so
+/// `eval(i, buffers)` can route its outputs straight into per-shard buckets —
+/// no intermediate all-items vector ever exists.  Returns the per-item results
+/// (in index order) plus the chunk-major buffers, ready for
+/// [`ShardedBuffers::merge`] once all mappers have finished.
+///
+/// Determinism contract: workers process contiguous index chunks and the
+/// buffers are kept in chunk order, so after the merge every shard sees its
+/// items in `(item index, emission order)` order — identical at every thread
+/// count, and identical to routing the concatenated outputs through
+/// [`shard_merge`].
+pub fn sharded_emit<I, R, E>(
+    count: usize,
+    num_shards: usize,
+    threads: usize,
+    eval: E,
+) -> (Vec<R>, ShardedBuffers<I>)
+where
+    I: Send,
+    R: Send,
+    E: Fn(usize, &mut ShardBuffers<I>) -> R + Sync,
+{
+    let num_shards = num_shards.max(1);
+    let threads = threads.clamp(1, count.max(1));
+    if count == 0 {
+        return (Vec::new(), ShardedBuffers::empty(num_shards));
+    }
+    if threads <= 1 {
+        let mut buffers = ShardBuffers::new(num_shards);
+        let results = (0..count).map(|i| eval(i, &mut buffers)).collect();
+        return (
+            results,
+            ShardedBuffers {
+                num_shards,
+                workers: vec![buffers],
+            },
+        );
+    }
+    let chunk_len = count.div_ceil(threads);
+    let num_chunks = count.div_ceil(chunk_len);
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(count).collect();
+    let mut worker_slots: Vec<Option<ShardBuffers<I>>> = (0..num_chunks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for ((chunk_idx, slots), worker_slot) in out
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .zip(worker_slots.iter_mut())
+        {
+            let eval = &eval;
+            scope.spawn(move || {
+                let base = chunk_idx * chunk_len;
+                let mut buffers = ShardBuffers::new(num_shards);
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(eval(base + offset, &mut buffers));
+                }
+                *worker_slot = Some(buffers);
+            });
+        }
+    });
+    (
+        out.into_iter()
+            .map(|slot| slot.expect("every work item was executed"))
+            .collect(),
+        ShardedBuffers {
+            num_shards,
+            workers: worker_slots
+                .into_iter()
+                .map(|slot| slot.expect("every worker chunk produced buffers"))
+                .collect(),
+        },
+    )
+}
+
 /// Partition-parallel shard-and-merge: routes every item to the shard chosen
 /// by `assign`, then merges each shard with `merge(shard_index, shard_items)`.
 ///
 /// Determinism contract: items are scanned in contiguous input chunks (one per
-/// worker) and each shard's items are concatenated in chunk order, so every
-/// shard sees its items **in input order** regardless of `threads` — the merge
-/// output is bit-identical at every thread count.  `assign` must return a
-/// value `< num_shards` (it is clamped defensively).  Items are moved, never
-/// cloned, end to end.
+/// worker) into [`ShardBuffers`] and merged through [`ShardedBuffers::merge`]
+/// — the same back half the streaming shuffle uses — so every shard sees its
+/// items **in input order** regardless of `threads` and the merge output is
+/// bit-identical at every thread count.  `assign` must return a value
+/// `< num_shards` (it is clamped defensively).  Items are moved, never cloned,
+/// end to end.
 ///
-/// This is the sharded-shuffle primitive: map output pairs are the items,
-/// reduce partitions are the shards, and `merge` groups + sorts one reducer's
-/// shard.
+/// This is the gather-side sharding primitive (map output already materialised
+/// into one vector); [`sharded_emit`] is the streaming variant that never
+/// materialises that vector.
 pub fn shard_merge<I, T, A, M>(
     items: Vec<I>,
     num_shards: usize,
@@ -185,42 +366,25 @@ where
     let count = items.len();
     let threads = threads.clamp(1, count.max(1));
 
-    // Phase 1: each worker buckets one contiguous chunk of the input into
-    // per-shard vectors, preserving input order within the chunk.
+    // Phase 1: each worker buckets one contiguous chunk of the input into its
+    // private ShardBuffers, preserving input order within the chunk.
     let chunk_len = count.div_ceil(threads);
     let chunks = split_into_chunks(items, chunk_len);
-    let bucketed: Vec<Vec<Vec<I>>> = owned_indexed_map(chunks, threads, |_, chunk| {
-        let mut buckets: Vec<Vec<I>> = (0..num_shards).map(|_| Vec::new()).collect();
+    let workers: Vec<ShardBuffers<I>> = owned_indexed_map(chunks, threads, |_, chunk| {
+        let mut buffers = ShardBuffers::new(num_shards);
         for item in chunk {
-            let shard = assign(&item).min(num_shards - 1);
-            buckets[shard].push(item);
+            let shard = assign(&item);
+            buffers.emit(shard, item);
         }
-        buckets
+        buffers
     });
 
-    // Transpose ownership chunk-major → shard-major.  Chunk order is input
-    // order, so concatenating a shard's buckets in this order restores the
-    // original relative order of its items.
-    let mut per_shard: Vec<Vec<Vec<I>>> = (0..num_shards)
-        .map(|_| Vec::with_capacity(bucketed.len()))
-        .collect();
-    for worker_buckets in bucketed {
-        for (shard, bucket) in worker_buckets.into_iter().enumerate() {
-            if !bucket.is_empty() {
-                per_shard[shard].push(bucket);
-            }
-        }
+    // Phase 2: the shared reducer-ready barrier + per-shard merge.
+    ShardedBuffers {
+        num_shards,
+        workers,
     }
-
-    // Phase 2: merge each shard independently (one merger per shard).
-    owned_indexed_map(per_shard, threads, |shard, buckets| {
-        let total: usize = buckets.iter().map(Vec::len).sum();
-        let mut shard_items = Vec::with_capacity(total);
-        for bucket in buckets {
-            shard_items.extend(bucket);
-        }
-        merge(shard, shard_items)
-    })
+    .merge(threads, merge)
 }
 
 /// Like [`replicate_map`] but for in-place mutation of `count` existing items:
@@ -350,6 +514,59 @@ mod tests {
         );
         let empty = shard_merge(Vec::<u8>::new(), 3, 4, |_| 0, |s, v: Vec<u8>| (s, v.len()));
         assert_eq!(empty, vec![(0, 0), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn sharded_emit_matches_shard_merge_at_every_thread_count() {
+        // The same logical routing through both primitives must agree bitwise:
+        // shard_merge over the materialised items vs sharded_emit generating
+        // the items in place.
+        let n = 9_973usize;
+        let gen = |i: usize| -> (u64, String) { ((i as u64) % 11, format!("v{i}")) };
+        let items: Vec<(u64, String)> = (0..n).map(gen).collect();
+        let reference = shard_merge(items, 5, 1, |(k, _)| (*k % 5) as usize, |s, v| (s, v));
+        for threads in [1usize, 2, 3, 8, 64] {
+            let (results, buffers) = sharded_emit(n, 5, threads, |i, buf| {
+                let (k, v) = gen(i);
+                buf.emit((k % 5) as usize, (k, v));
+                i
+            });
+            assert_eq!(results, (0..n).collect::<Vec<_>>(), "threads {threads}");
+            assert_eq!(buffers.num_shards(), 5);
+            assert_eq!(buffers.total_items(), n as u64);
+            let merged = buffers.merge(threads, |s, v| (s, v));
+            assert_eq!(merged, reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_emit_handles_empty_work_and_clamps_shards() {
+        let (results, buffers) = sharded_emit::<u8, (), _>(0, 3, 4, |_, _| ());
+        assert!(results.is_empty());
+        assert_eq!(buffers.total_items(), 0);
+        assert_eq!(buffers.merge(4, |s, v: Vec<u8>| (s, v.len())).len(), 3);
+
+        // Out-of-range emission clamps to the last shard, like shard_merge.
+        let (_, buffers) = sharded_emit(3, 2, 1, |i, buf: &mut ShardBuffers<usize>| {
+            buf.emit(99, i);
+        });
+        let merged = buffers.merge(1, |s, v: Vec<usize>| (s, v));
+        assert_eq!(merged, vec![(0, vec![]), (1, vec![0, 1, 2])]);
+    }
+
+    #[test]
+    fn sharded_emit_items_not_multiple_of_threads() {
+        // count not divisible by threads: trailing short chunk still produces
+        // its buffers and ordering holds.
+        let (results, buffers) = sharded_emit(10, 3, 4, |i, buf| {
+            buf.emit(i % 3, i);
+            i * 2
+        });
+        assert_eq!(results, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        let merged = buffers.merge(2, |s, v: Vec<usize>| (s, v));
+        assert_eq!(merged[0], (0, vec![0, 3, 6, 9]));
+        assert_eq!(merged[1], (1, vec![1, 4, 7]));
+        assert_eq!(merged[2], (2, vec![2, 5, 8]));
     }
 
     #[test]

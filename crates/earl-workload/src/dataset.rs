@@ -89,6 +89,11 @@ impl DatasetBuilder {
         Self { dfs }
     }
 
+    /// The DFS this builder writes into.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
     /// Generates the values for `spec` without writing them anywhere.
     pub fn generate_values(spec: &DatasetSpec) -> Vec<f64> {
         let mut generator = ValueGenerator::new(spec.distribution, spec.seed);

@@ -1,0 +1,387 @@
+//! Grouped (`key<TAB>value`) and categorical (label-per-line) dataset
+//! generators with known per-group / per-category ground truth — the inputs
+//! of the grouped per-key and proportion workloads.
+
+use std::collections::BTreeMap;
+
+use earl_dfs::{DfsPath, FileStatus};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::DatasetBuilder;
+use crate::generators::{Distribution, ValueGenerator};
+
+/// One group of a [`GroupedSpec`]: its key, record count and value
+/// distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSpec {
+    /// The group key written in front of every value.
+    pub key: String,
+    /// Records generated for this group.
+    pub num_records: u64,
+    /// The group's value distribution.
+    pub distribution: Distribution,
+}
+
+/// Specification of a grouped `key<TAB>value` dataset.  Records of all groups
+/// are interleaved by a seeded shuffle so uniform record sampling sees every
+/// group at its population share.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupedSpec {
+    /// The groups.
+    pub groups: Vec<GroupSpec>,
+    /// RNG seed driving value generation and the interleaving shuffle.
+    pub seed: u64,
+}
+
+impl GroupedSpec {
+    /// `num_groups` groups `g0 … g{n-1}` of `records_per_group` normal values;
+    /// group `i` has mean `base_mean * (i + 1)` and the given relative spread.
+    pub fn normal_groups(
+        num_groups: usize,
+        records_per_group: u64,
+        base_mean: f64,
+        relative_sd: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            groups: (0..num_groups)
+                .map(|i| {
+                    let mean = base_mean * (i + 1) as f64;
+                    GroupSpec {
+                        key: format!("g{i}"),
+                        num_records: records_per_group,
+                        distribution: Distribution::Normal {
+                            mean,
+                            std_dev: mean * relative_sd,
+                        },
+                    }
+                })
+                .collect(),
+            seed,
+        }
+    }
+
+    /// Total records across all groups.
+    pub fn total_records(&self) -> u64 {
+        self.groups.iter().map(|g| g.num_records).sum()
+    }
+}
+
+/// Exact per-group ground truth of a generated grouped dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupTruth {
+    /// Records written for the group.
+    pub count: u64,
+    /// Exact mean of the group's written values.
+    pub mean: f64,
+    /// Exact sum of the group's written values.
+    pub sum: f64,
+}
+
+/// A grouped dataset materialised in the DFS with its ground truth.
+#[derive(Debug, Clone)]
+pub struct GroupedDataset {
+    /// Where the data lives.
+    pub path: DfsPath,
+    /// The DFS file status after writing.
+    pub status: FileStatus,
+    /// Exact ground truth per group key.
+    pub truth: BTreeMap<String, GroupTruth>,
+}
+
+/// Specification of a categorical dataset: one label per line, drawn from
+/// weighted categories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoricalSpec {
+    /// `(label, weight)` pairs; weights are normalised internally.
+    pub categories: Vec<(String, f64)>,
+    /// Number of records.
+    pub num_records: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A categorical dataset materialised in the DFS with its exact label counts.
+#[derive(Debug, Clone)]
+pub struct CategoricalDataset {
+    /// Where the data lives.
+    pub path: DfsPath,
+    /// The DFS file status after writing.
+    pub status: FileStatus,
+    /// Exact count of records written per label.
+    pub counts: BTreeMap<String, u64>,
+}
+
+impl CategoricalDataset {
+    /// The exact proportion of `label` among the written records.
+    pub fn true_proportion(&self, label: &str) -> f64 {
+        let total: u64 = self.counts.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(label).unwrap_or(&0) as f64 / total as f64
+    }
+}
+
+impl DatasetBuilder {
+    /// Generates and writes a grouped `key<TAB>value` dataset, interleaving
+    /// all groups' records with a seeded shuffle, and returns the exact
+    /// per-group ground truth.
+    pub fn build_grouped(
+        &self,
+        path: impl Into<DfsPath>,
+        spec: &GroupedSpec,
+    ) -> earl_dfs::Result<GroupedDataset> {
+        let path = path.into();
+        let mut lines: Vec<String> = Vec::with_capacity(spec.total_records() as usize);
+        let mut truth: BTreeMap<String, GroupTruth> = BTreeMap::new();
+        for (i, group) in spec.groups.iter().enumerate() {
+            let mut generator =
+                ValueGenerator::new(group.distribution, spec.seed.wrapping_add(i as u64));
+            let values = generator.take(group.num_records as usize);
+            let sum: f64 = values.iter().sum();
+            // Specs may repeat a key (e.g. two distributions feeding one
+            // group): the ground truth merges, matching what the file holds.
+            let entry = truth.entry(group.key.clone()).or_insert(GroupTruth {
+                count: 0,
+                mean: f64::NAN,
+                sum: 0.0,
+            });
+            entry.count += group.num_records;
+            entry.sum += sum;
+            entry.mean = if entry.count == 0 {
+                f64::NAN
+            } else {
+                entry.sum / entry.count as f64
+            };
+            lines.extend(values.iter().map(|v| format!("{}\t{v}", group.key)));
+        }
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x6e7e_11ea_7e5e_eded);
+        lines.shuffle(&mut rng);
+        let status = self.dfs().write_lines(path.clone(), lines)?;
+        Ok(GroupedDataset {
+            path,
+            status,
+            truth,
+        })
+    }
+
+    /// Generates and writes a categorical dataset (one label per line) and
+    /// returns the exact per-label counts.
+    pub fn build_categorical(
+        &self,
+        path: impl Into<DfsPath>,
+        spec: &CategoricalSpec,
+    ) -> earl_dfs::Result<CategoricalDataset> {
+        let path = path.into();
+        assert!(
+            !spec.categories.is_empty(),
+            "CategoricalSpec needs at least one category"
+        );
+        let total_weight: f64 = spec.categories.iter().map(|(_, w)| w.max(0.0)).sum();
+        assert!(
+            total_weight > 0.0 && total_weight.is_finite(),
+            "CategoricalSpec needs a positive, finite total weight (got {total_weight})"
+        );
+        let mut cdf = Vec::with_capacity(spec.categories.len());
+        let mut acc = 0.0;
+        for (label, weight) in &spec.categories {
+            acc += weight.max(0.0) / total_weight;
+            cdf.push((label.clone(), acc));
+        }
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut counts: BTreeMap<String, u64> = spec
+            .categories
+            .iter()
+            .map(|(label, _)| (label.clone(), 0))
+            .collect();
+        let lines: Vec<String> = (0..spec.num_records)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let label = cdf
+                    .iter()
+                    .find(|(_, c)| u < *c)
+                    .map(|(l, _)| l.clone())
+                    .unwrap_or_else(|| cdf.last().expect("at least one category").0.clone());
+                *counts.get_mut(&label).expect("label registered") += 1;
+                label
+            })
+            .collect();
+        let status = self.dfs().write_lines(path.clone(), lines)?;
+        Ok(CategoricalDataset {
+            path,
+            status,
+            counts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earl_cluster::{Cluster, CostModel, Phase};
+    use earl_dfs::{Dfs, DfsConfig};
+
+    fn dfs() -> Dfs {
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 8192,
+                replication: 2,
+                io_chunk: 256,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grouped_dataset_interleaves_groups_with_exact_truth() {
+        let builder = DatasetBuilder::new(dfs());
+        let spec = GroupedSpec::normal_groups(4, 500, 100.0, 0.1, 7);
+        assert_eq!(spec.total_records(), 2_000);
+        let ds = builder.build_grouped("/grouped", &spec).unwrap();
+        assert_eq!(ds.status.num_records, Some(2_000));
+        assert_eq!(ds.truth.len(), 4);
+
+        // Read back: every line is key\tvalue, per-group counts/means match.
+        let lines = builder
+            .dfs()
+            .read_all_lines(Phase::Load, "/grouped")
+            .unwrap();
+        let mut counts: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+        for line in &lines {
+            let (key, value) = line.split_once('\t').expect("keyed line");
+            let entry = counts.entry(key.to_owned()).or_default();
+            entry.0 += 1;
+            entry.1 += value.parse::<f64>().unwrap();
+        }
+        for (key, truth) in &ds.truth {
+            let (count, sum) = counts[key];
+            assert_eq!(count, truth.count, "group {key}");
+            assert!((sum - truth.sum).abs() < 1e-6 * truth.sum.abs().max(1.0));
+            assert!((truth.mean - truth.sum / truth.count as f64).abs() < 1e-9);
+        }
+
+        // Interleaved, not clustered: the first group's records must not all
+        // sit at the front.
+        let first_key = lines[0].split_once('\t').unwrap().0.to_owned();
+        let head_same = lines
+            .iter()
+            .take(500)
+            .filter(|l| l.starts_with(&format!("{first_key}\t")))
+            .count();
+        assert!(head_same < 400, "shuffle must interleave groups");
+    }
+
+    #[test]
+    fn grouped_generation_is_deterministic_per_seed() {
+        let builder = DatasetBuilder::new(dfs());
+        let spec = GroupedSpec::normal_groups(3, 100, 50.0, 0.2, 9);
+        let a = builder.build_grouped("/a", &spec).unwrap();
+        let b = builder.build_grouped("/b", &spec).unwrap();
+        assert_eq!(a.truth, b.truth);
+        let la = builder.dfs().read_all_lines(Phase::Load, "/a").unwrap();
+        let lb = builder.dfs().read_all_lines(Phase::Load, "/b").unwrap();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn duplicate_group_keys_merge_their_ground_truth() {
+        let builder = DatasetBuilder::new(dfs());
+        let spec = GroupedSpec {
+            groups: vec![
+                GroupSpec {
+                    key: "a".into(),
+                    num_records: 300,
+                    distribution: crate::Distribution::Normal {
+                        mean: 10.0,
+                        std_dev: 1.0,
+                    },
+                },
+                GroupSpec {
+                    key: "a".into(),
+                    num_records: 200,
+                    distribution: crate::Distribution::Normal {
+                        mean: 50.0,
+                        std_dev: 1.0,
+                    },
+                },
+            ],
+            seed: 13,
+        };
+        let ds = builder.build_grouped("/dup", &spec).unwrap();
+        let truth = &ds.truth["a"];
+        assert_eq!(truth.count, 500, "both groups' records are counted");
+        // The merged mean is the record-weighted mixture, matching the file.
+        let lines = builder.dfs().read_all_lines(Phase::Load, "/dup").unwrap();
+        let sum: f64 = lines
+            .iter()
+            .map(|l| l.split_once('\t').unwrap().1.parse::<f64>().unwrap())
+            .sum();
+        assert_eq!(lines.len(), 500);
+        assert!((truth.sum - sum).abs() < 1e-6 * sum.abs());
+        assert!((truth.mean - sum / 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive, finite total weight")]
+    fn categorical_rejects_non_positive_weights() {
+        DatasetBuilder::new(dfs())
+            .build_categorical(
+                "/bad",
+                &CategoricalSpec {
+                    categories: vec![("a".into(), 0.0), ("b".into(), -1.0)],
+                    num_records: 10,
+                    seed: 1,
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn categorical_rejects_empty_categories() {
+        DatasetBuilder::new(dfs())
+            .build_categorical(
+                "/bad",
+                &CategoricalSpec {
+                    categories: vec![],
+                    num_records: 10,
+                    seed: 1,
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn categorical_dataset_matches_requested_weights() {
+        let builder = DatasetBuilder::new(dfs());
+        let spec = CategoricalSpec {
+            categories: vec![
+                ("red".into(), 0.5),
+                ("green".into(), 0.3),
+                ("blue".into(), 0.2),
+            ],
+            num_records: 20_000,
+            seed: 11,
+        };
+        let ds = builder.build_categorical("/cat", &spec).unwrap();
+        assert_eq!(ds.counts.values().sum::<u64>(), 20_000);
+        assert!((ds.true_proportion("red") - 0.5).abs() < 0.02);
+        assert!((ds.true_proportion("green") - 0.3).abs() < 0.02);
+        assert!((ds.true_proportion("blue") - 0.2).abs() < 0.02);
+        assert_eq!(ds.true_proportion("missing"), 0.0);
+        let lines = builder.dfs().read_all_lines(Phase::Load, "/cat").unwrap();
+        assert!(lines
+            .iter()
+            .all(|l| ["red", "green", "blue"].contains(&l.as_str())));
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`dataset`] — builders that materialise generated records as
 //!   newline-delimited files in the simulated DFS (plain values, key\tvalue
 //!   pairs, K-Means points);
+//! * [`grouped`] — grouped (`key<TAB>value`, interleaved groups with exact
+//!   per-group truth) and categorical (weighted labels with exact counts)
+//!   datasets for the grouped-aggregate and proportion workloads;
 //! * [`kmeans_data`] — Gaussian-mixture point clouds with known centroids for
 //!   the Fig. 7 experiment;
 //! * [`scaling`] — helpers for the "nominal data size" mode used to reproduce
@@ -22,11 +25,15 @@
 
 pub mod dataset;
 pub mod generators;
+pub mod grouped;
 pub mod kmeans_data;
 pub mod layout;
 pub mod scaling;
 
 pub use dataset::{DatasetBuilder, DatasetSpec};
 pub use generators::{Distribution, ValueGenerator};
+pub use grouped::{
+    CategoricalDataset, CategoricalSpec, GroupSpec, GroupTruth, GroupedDataset, GroupedSpec,
+};
 pub use kmeans_data::{KmeansDataset, KmeansSpec};
 pub use scaling::NominalSize;

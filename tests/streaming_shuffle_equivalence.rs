@@ -1,0 +1,472 @@
+//! Equivalence and resource-contract suite for the map-side streaming shuffle
+//! (PR 4), companion to `shuffle_pipeline_determinism.rs`.
+//!
+//! Contracts enforced here:
+//!
+//! * **three-way equivalence** — `shuffle_streaming` ≡ `shuffle_parallel` ≡
+//!   the sequential `BTreeMap` reference over random key/value/partitioner
+//!   combinations, at every thread count;
+//! * **no clones** — keys and values are moved from the mapper's `emit` into
+//!   their reduce group, never cloned;
+//! * **no all-pairs vector** — the streaming path's largest single heap
+//!   allocation stays at per-shard scale, while the gather design's is the
+//!   job-wide all-pairs vector (asserted with a counting global allocator);
+//! * **pipelined-cancel interaction** — a staged iteration whose map output is
+//!   already sharded map-side cancels cleanly and leaves later iterations
+//!   bit-identical;
+//! * **cached counts** — `total_records` / `total_groups` are identical on
+//!   every path.
+//!
+//! The CI thread-matrix job runs this file with `EARL_THREADS` ∈ {1, 2, 4, 8};
+//! when the variable is unset, every count is covered in-process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use earl_mapreduce::partition::{HashPartitioner, Partitioner};
+use earl_mapreduce::{contrib, run_job, InputSource, JobConf, PipelinedSession, ShuffleOutput};
+use earl_parallel::sharded_emit;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// Thread-local allocation tracking: installed binary-wide, but only counting
+// on the thread that opted in — the test harness's other threads never touch
+// the counters.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+    static TOTAL_BYTES: Cell<u64> = const { Cell::new(0) };
+    static MAX_SINGLE: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+impl CountingAllocator {
+    fn record(size: usize) {
+        let _ = TRACKING.try_with(|t| {
+            if t.get() {
+                let size = size as u64;
+                let _ = TOTAL_BYTES.try_with(|c| c.set(c.get() + size));
+                let _ = MAX_SINGLE.try_with(|m| {
+                    if size > m.get() {
+                        m.set(size);
+                    }
+                });
+            }
+        });
+    }
+}
+
+// SAFETY: delegates every operation to `System`; the bookkeeping touches only
+// `Cell`s in this thread's TLS and never allocates.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::record(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::record(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with allocation tracking on this thread, returning
+/// `(result, total_bytes_allocated, largest_single_allocation)`.
+fn measure_allocations<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+    TRACKING.with(|t| t.set(true));
+    TOTAL_BYTES.with(|c| c.set(0));
+    MAX_SINGLE.with(|m| m.set(0));
+    let out = f();
+    TRACKING.with(|t| t.set(false));
+    (out, TOTAL_BYTES.with(Cell::get), MAX_SINGLE.with(Cell::get))
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Thread counts under test: the `EARL_THREADS` matrix value when set, the
+/// full {1, 2, 4, 8} ladder otherwise.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("EARL_THREADS") {
+        Ok(v) => vec![v.parse().expect("EARL_THREADS must be a positive integer")],
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn seeded(seed: u64) -> StdRng {
+    earl_bootstrap::rng::seeded_rng(seed)
+}
+
+fn rand_word(rng: &mut StdRng, max_len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+    let len = rng.gen_range(1..=max_len);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+/// A deliberately skewed partitioner: everything below the pivot goes to
+/// partition 0.
+struct PivotPartitioner(u64);
+
+impl Partitioner<u64> for PivotPartitioner {
+    fn partition(&self, key: &u64, num_partitions: usize) -> usize {
+        if *key < self.0 {
+            0
+        } else {
+            (*key % num_partitions as u64) as usize
+        }
+    }
+}
+
+/// The streaming path over `pairs` in input order: every pair emitted into its
+/// shard map-side, then the reduce-side merge — no all-pairs handoff.
+fn stream_pairs<K, V, P>(
+    pairs: &[(K, V)],
+    partitions: usize,
+    partitioner: &P,
+    threads: usize,
+) -> ShuffleOutput<K, V>
+where
+    K: Ord + std::hash::Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    P: Partitioner<K> + Sync,
+{
+    let partitions = partitions.max(1);
+    let (_, buffers) = sharded_emit(pairs.len(), partitions, threads, |i, buf| {
+        let (key, value) = pairs[i].clone();
+        buf.emit(partitioner.partition(&key, partitions), (key, value));
+    });
+    ShuffleOutput::shuffle_streaming(buffers, threads)
+}
+
+// ---------------------------------------------------------------------------
+// Property: three-way equivalence on arbitrary inputs
+// ---------------------------------------------------------------------------
+
+/// streaming ≡ sharded ≡ sequential over arbitrary key/value/partitioner
+/// combinations at every thread count (32 randomized cases; the case seed
+/// reproduces a failure).
+#[test]
+fn streaming_matches_sharded_and_sequential_on_arbitrary_inputs() {
+    for case in 0u64..32 {
+        let mut rng = seeded(0x57E4_0000 + case);
+        let n = rng.gen_range(0..4_000usize);
+        let key_space = rng.gen_range(1..200u64);
+        let partitions = rng.gen_range(1..12usize);
+
+        // u64 keys, String values, skewed partitioner.
+        let pairs: Vec<(u64, String)> = (0..n)
+            .map(|_| (rng.gen_range(0..key_space), rand_word(&mut rng, 12)))
+            .collect();
+        let pivot = PivotPartitioner(key_space / 2);
+        let reference = ShuffleOutput::shuffle(pairs.clone(), partitions, &pivot).into_partitions();
+        for &threads in &thread_counts() {
+            let sharded =
+                ShuffleOutput::shuffle_parallel(pairs.clone(), partitions, &pivot, threads)
+                    .into_partitions();
+            assert_eq!(
+                sharded, reference,
+                "sharded: case {case}, threads {threads}"
+            );
+            let streamed = stream_pairs(&pairs, partitions, &pivot, threads).into_partitions();
+            assert_eq!(
+                streamed, reference,
+                "streaming: case {case}, threads {threads}"
+            );
+        }
+
+        // String keys, u64 values, hash partitioner.
+        let pairs: Vec<(String, u64)> = (0..n)
+            .map(|_| (rand_word(&mut rng, 6), rng.gen_range(0..u64::MAX)))
+            .collect();
+        let reference =
+            ShuffleOutput::shuffle(pairs.clone(), partitions, &HashPartitioner).into_partitions();
+        for &threads in &thread_counts() {
+            let streamed =
+                stream_pairs(&pairs, partitions, &HashPartitioner, threads).into_partitions();
+            assert_eq!(
+                streamed, reference,
+                "streaming: case {case}, threads {threads}"
+            );
+        }
+    }
+}
+
+/// The cached `total_records` / `total_groups` agree across all three paths
+/// and with a manual walk of the partitions.
+#[test]
+fn cached_counts_agree_on_every_path() {
+    let pairs: Vec<(u64, u64)> = (0..6_000).map(|i| (i % 113, i)).collect();
+    let seq = ShuffleOutput::shuffle(pairs.clone(), 5, &HashPartitioner);
+    assert_eq!(seq.total_records(), 6_000);
+    assert_eq!(seq.total_groups(), 113);
+    for &threads in &thread_counts() {
+        let par = ShuffleOutput::shuffle_parallel(pairs.clone(), 5, &HashPartitioner, threads);
+        let streamed = stream_pairs(&pairs, 5, &HashPartitioner, threads);
+        for out in [&par, &streamed] {
+            assert_eq!(out.total_records(), 6_000, "threads {threads}");
+            assert_eq!(out.total_groups(), 113, "threads {threads}");
+        }
+        let manual_records: u64 = streamed
+            .partitions()
+            .flat_map(|p| p.values())
+            .map(|v| v.len() as u64)
+            .sum();
+        assert_eq!(manual_records, 6_000);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Move semantics: keys are never cloned
+// ---------------------------------------------------------------------------
+
+static KEY_CLONES: AtomicUsize = AtomicUsize::new(0);
+
+/// A key that counts clones (only this test touches the counter).
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct CountedKey(u64);
+
+impl Clone for CountedKey {
+    fn clone(&self) -> Self {
+        KEY_CLONES.fetch_add(1, Ordering::Relaxed);
+        CountedKey(self.0)
+    }
+}
+
+struct IdentityPartitioner;
+impl Partitioner<CountedKey> for IdentityPartitioner {
+    fn partition(&self, key: &CountedKey, num_partitions: usize) -> usize {
+        (key.0 as usize) % num_partitions
+    }
+}
+
+/// Pairs emitted map-side are moved through emit → shard bucket → concat →
+/// group; zero key clones on the whole streaming path, at every thread count.
+#[test]
+fn streaming_path_never_clones_keys() {
+    for &threads in &thread_counts() {
+        let before = KEY_CLONES.load(Ordering::Relaxed);
+        let (_, buffers) = sharded_emit(2_000usize, 4, threads, |i, buf| {
+            // The pair is *constructed* here, exactly like a mapper emitting:
+            // no source collection to clone from.
+            let key = CountedKey((i as u64) % 13);
+            let shard = IdentityPartitioner.partition(&key, 4);
+            buf.emit(shard, (key, i as u64));
+        });
+        let out = ShuffleOutput::shuffle_streaming(buffers, threads);
+        assert_eq!(out.total_records(), 2_000);
+        assert_eq!(out.total_groups(), 13);
+        assert_eq!(
+            KEY_CLONES.load(Ordering::Relaxed),
+            before,
+            "streaming shuffle must move keys, never clone them (threads {threads})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation contract: the all-pairs vector is gone
+// ---------------------------------------------------------------------------
+
+/// The gather design's largest allocation is the job-wide all-pairs vector;
+/// the streaming design's largest allocation stays at per-shard scale.  Both
+/// run single-threaded on this thread so the thread-local counters see every
+/// allocation.
+#[test]
+fn streaming_path_never_materialises_an_all_pairs_vector() {
+    const TASKS: usize = 64;
+    const PAIRS_PER_TASK: usize = 1_024;
+    const SHARDS: usize = 8;
+    let n = TASKS * PAIRS_PER_TASK; // 65_536 pairs × 16 bytes = 1 MiB
+    let pair_bytes = (n * std::mem::size_of::<(u64, u64)>()) as u64;
+    let gen = |task: usize, j: usize| -> (u64, u64) {
+        let i = (task * PAIRS_PER_TASK + j) as u64;
+        (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 4_096, i)
+    };
+
+    // Gather design (the old engine): every task's pairs concatenated into one
+    // all-pairs vector, then sharded.
+    let ((), _, gather_max) = measure_allocations(|| {
+        let mut all_pairs: Vec<(u64, u64)> = Vec::new();
+        for task in 0..TASKS {
+            for j in 0..PAIRS_PER_TASK {
+                all_pairs.push(gen(task, j));
+            }
+        }
+        let out = ShuffleOutput::shuffle_parallel(all_pairs, SHARDS, &HashPartitioner, 1);
+        assert_eq!(out.total_records(), n as u64);
+    });
+
+    // Streaming design: each task emits straight into shard buffers.
+    let ((), _, streaming_max) = measure_allocations(|| {
+        let (_, buffers) = sharded_emit(TASKS, SHARDS, 1, |task, buf| {
+            for j in 0..PAIRS_PER_TASK {
+                let (key, value) = gen(task, j);
+                let shard = HashPartitioner.partition(&key, SHARDS);
+                buf.emit(shard, (key, value));
+            }
+        });
+        let out = ShuffleOutput::shuffle_streaming(buffers, 1);
+        assert_eq!(out.total_records(), n as u64);
+    });
+
+    assert!(
+        gather_max >= pair_bytes,
+        "gather must have materialised the all-pairs vector ({gather_max} < {pair_bytes})"
+    );
+    assert!(
+        streaming_max <= pair_bytes / 4,
+        "streaming max single allocation {streaming_max} should stay at per-shard scale \
+         (≤ {} for {SHARDS} shards), not the all-pairs {pair_bytes}",
+        pair_bytes / 4
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined-cancel interaction
+// ---------------------------------------------------------------------------
+
+fn pipeline_session(lines: &[String]) -> PipelinedSession {
+    let cluster = earl_cluster::Cluster::builder()
+        .nodes(3)
+        .cost_model(earl_cluster::CostModel::commodity_2012())
+        .seed(5)
+        .build()
+        .unwrap();
+    let dfs = earl_dfs::Dfs::new(
+        cluster,
+        earl_dfs::DfsConfig {
+            block_size: 1 << 12,
+            replication: 2,
+            io_chunk: 256,
+        },
+    )
+    .unwrap();
+    dfs.write_lines("/pipe", lines).unwrap();
+    PipelinedSession::new(dfs)
+}
+
+/// A staged iteration holds map output that is already sharded map-side;
+/// cancelling it must drop those buffers cleanly and leave the next
+/// iterations bit-identical to a schedule that never speculated.
+#[test]
+fn cancelling_a_staged_streaming_iteration_leaves_later_iterations_identical() {
+    let lines: Vec<String> = (0..5_000)
+        .map(|i| format!("k{} k{} v{}", i % 97, i % 7, i))
+        .collect();
+    let conf = |threads: usize| {
+        JobConf::new("wc", InputSource::Path("/pipe".into()))
+            .with_reducers(6)
+            .with_parallelism(Some(threads))
+    };
+
+    for &threads in &thread_counts() {
+        // Reference: plain schedule, two committed iterations.
+        let mut plain = pipeline_session(&lines);
+        let first_ref = plain
+            .run_iteration(
+                &conf(1),
+                &contrib::TokenCountMapper,
+                &contrib::WordCountReducer,
+            )
+            .unwrap();
+        let second_ref = plain
+            .run_iteration(
+                &conf(1),
+                &contrib::TokenCountMapper,
+                &contrib::WordCountReducer,
+            )
+            .unwrap();
+
+        // Speculative schedule: iteration 2 is staged (its map phase — and
+        // with it the map-side sharding — already ran), then cancelled, then
+        // re-run for real.
+        let mut spec = pipeline_session(&lines);
+        let first = spec
+            .run_iteration(
+                &conf(threads),
+                &contrib::TokenCountMapper,
+                &contrib::WordCountReducer,
+            )
+            .unwrap();
+        assert_eq!(first.outputs, first_ref.outputs, "threads {threads}");
+        assert_eq!(first.counters, first_ref.counters);
+
+        let pending = spec
+            .begin_iteration(&conf(threads), &contrib::TokenCountMapper)
+            .unwrap();
+        assert!(pending.map_stats().map_tasks >= 1);
+        assert_eq!(
+            pending.map_stats().shuffle_records,
+            first_ref.stats.shuffle_records,
+            "the staged map phase counted its sharded records"
+        );
+        let wasted = spec.cancel_iteration(pending);
+        assert_eq!(wasted.reduce_tasks, 0, "cancelled before its reduce phase");
+
+        let second = spec
+            .run_iteration(
+                &conf(threads),
+                &contrib::TokenCountMapper,
+                &contrib::WordCountReducer,
+            )
+            .unwrap();
+        assert_eq!(second.outputs, second_ref.outputs, "threads {threads}");
+        assert_eq!(second.counters, second_ref.counters, "threads {threads}");
+    }
+}
+
+/// A full job through the runner (map-side streaming shuffle → reduce) stays
+/// bit-identical at every thread count — outputs, counters and stats.
+#[test]
+fn full_job_with_streaming_shuffle_is_identical_across_thread_counts() {
+    let lines: Vec<String> = (0..20_000)
+        .map(|i| format!("k{} k{} v-{}", i % 211, i % 13, i % 7))
+        .collect();
+    let run = |threads: usize| {
+        let cluster = earl_cluster::Cluster::builder()
+            .nodes(4)
+            .cost_model(earl_cluster::CostModel::commodity_2012())
+            .seed(3)
+            .build()
+            .unwrap();
+        let dfs = earl_dfs::Dfs::new(
+            cluster,
+            earl_dfs::DfsConfig {
+                block_size: 1 << 12,
+                replication: 2,
+                io_chunk: 256,
+            },
+        )
+        .unwrap();
+        dfs.write_lines("/shuf", &lines).unwrap();
+        let conf = JobConf::new("wc", InputSource::Path("/shuf".into()))
+            .with_reducers(8)
+            .with_parallelism(Some(threads));
+        run_job(
+            &dfs,
+            &conf,
+            &contrib::TokenCountMapper,
+            &contrib::WordCountReducer,
+        )
+        .unwrap()
+    };
+    let reference = run(1);
+    for &threads in &thread_counts() {
+        let result = run(threads);
+        assert_eq!(reference.outputs, result.outputs, "threads {threads}");
+        assert_eq!(reference.counters, result.counters, "threads {threads}");
+        assert_eq!(reference.stats, result.stats, "threads {threads}");
+    }
+}
