@@ -1,0 +1,70 @@
+//! Benches for the k-ary count-based kernel introduced in PR 5: the
+//! resample-free ratio/covariance/correlation bootstraps vs the gather path.
+//!
+//! The committed perf baseline (`BENCH_PR5.json`) is produced by the
+//! `bench_pr5` binary; these benches track the same kernels under `cargo
+//! bench` for regression hunting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig, BootstrapKernel};
+use earl_bootstrap::rng::{seeded_rng, standard_normal};
+use earl_core::task::TaskEstimator;
+use earl_core::tasks::{CorrelationTask, RatioTask, WeightedMeanTask};
+use rand::Rng;
+
+fn paired_records(n: usize) -> Vec<f64> {
+    let mut rng = seeded_rng(0xEA21_5001);
+    (0..n)
+        .flat_map(|_| {
+            let a = 500.0 + 100.0 * standard_normal(&mut rng);
+            let b = 0.4 * a + 50.0 + 20.0 * rng.gen::<f64>();
+            [a, b]
+        })
+        .collect()
+}
+
+/// Ratio bootstrap (B = 500) over 100k records: gather vs count-based.
+fn kary_kernels_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kary_ratio_b500_n100k");
+    group.sample_size(10);
+    let data = paired_records(100_000);
+    let task = RatioTask;
+    let est = TaskEstimator::new(&task);
+    for (name, kernel) in [
+        ("gather", BootstrapKernel::Gather),
+        ("count_based", BootstrapKernel::CountBased),
+    ] {
+        group.bench_with_input(BenchmarkId::new("kernel", name), &kernel, |b, &kernel| {
+            let config = BootstrapConfig::with_resamples(500)
+                .with_parallelism(Some(1))
+                .with_kernel(kernel);
+            b.iter(|| bootstrap_distribution(1, &data, &est, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Count-based replicate cost across the k-ary task arities (k = 2 and 5).
+fn kary_arity_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kary_count_based_arity_n100k");
+    group.sample_size(10);
+    let data = paired_records(100_000);
+    let wm = WeightedMeanTask;
+    let corr = CorrelationTask;
+    let weighted = TaskEstimator::new(&wm);
+    let correlation = TaskEstimator::new(&corr);
+    let config = BootstrapConfig::with_resamples(500)
+        .with_parallelism(Some(1))
+        .with_kernel(BootstrapKernel::CountBased);
+    group.bench_function("weighted_mean_k2", |b| {
+        b.iter(|| bootstrap_distribution(1, &data, &weighted, &config).unwrap())
+    });
+    group.bench_function("correlation_k5", |b| {
+        b.iter(|| bootstrap_distribution(1, &data, &correlation, &config).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, kary_kernels_ratio, kary_arity_sweep);
+criterion_main!(benches);

@@ -1,0 +1,387 @@
+//! PR 5 perf baseline: the k-ary count-based kernel vs gather on
+//! ratio-of-linear statistics.
+//!
+//! Measures replicates/s for each kernel × k-ary task × sample size on a
+//! single worker thread (kernel comparison, not scaling; `host_cores` is
+//! recorded so cross-host gates can tell hosts apart):
+//!
+//! * **gather** — materialise each record resample and re-evaluate the
+//!   statistic over it (whole `(a, b)` records, pairs never split);
+//! * **count_based** — resample-free multivariate section counts
+//!   ([`earl_bootstrap::KarySections`]): one multinomial draw reconstructs all
+//!   k component sums per replicate, O(k·√n) instead of O(n).
+//!
+//! Writes `BENCH_PR5.json`.  Usage:
+//!
+//! ```text
+//! bench_pr5 [--quick] [--check BASELINE.json] [output.json]
+//! ```
+//!
+//! `--quick` shrinks B on the secondary rows (headline stays honest).
+//! `--check` enforces the gates and exits non-zero if any trips:
+//!
+//! 1. **routing** (always-on, host-free): `Auto` must resolve every k-ary
+//!    task to the count-based kernel — never silently to gather;
+//! 2. **headline** (same-run, host-neutral): count-based ≥ 5× gather
+//!    replicates/s on the Ratio task at n = 100 000, B = 1000;
+//! 3. **cross-host**: count-based ratio-at-100k replicates/s vs the
+//!    checked-in baseline (20 % tolerance) — skipped with a notice when the
+//!    baseline was recorded on a host with a different core count.
+
+use std::time::Instant;
+
+use earl_bootstrap::bootstrap::{
+    bootstrap_distribution, BootstrapConfig, BootstrapKernel, ResolvedKernel,
+};
+use earl_bootstrap::estimators::Estimator;
+use earl_bootstrap::rng::{seeded_rng, standard_normal};
+use earl_core::task::TaskEstimator;
+use earl_core::tasks::{CorrelationTask, CovarianceTask, RatioTask, WeightedMeanTask};
+use rand::Rng;
+
+/// The headline requirement: count-based ≥ this × gather on Ratio at n=100k.
+const HEADLINE_SPEEDUP: f64 = 5.0;
+/// Tolerated cross-host throughput regression vs. the checked-in baseline.
+const MAX_REGRESSION: f64 = 0.20;
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn time_n<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = None;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    (median_secs(samples), out.expect("at least one rep"))
+}
+
+/// Extracts the number following `"key":` in a flat-enough JSON document
+/// (the build has no serde_json; this binary only reads back its own output).
+fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Gate 1: `Auto` must never route a k-ary task to the gather kernel.
+fn check_auto_routing() {
+    let wm = WeightedMeanTask;
+    let ratio = RatioTask;
+    let cov = CovarianceTask;
+    let corr = CorrelationTask;
+    let wm_est = TaskEstimator::new(&wm);
+    let ratio_est = TaskEstimator::new(&ratio);
+    let cov_est = TaskEstimator::new(&cov);
+    let corr_est = TaskEstimator::new(&corr);
+    let cases: Vec<(&str, &dyn Estimator)> = vec![
+        ("WeightedMeanTask", &wm_est),
+        ("RatioTask", &ratio_est),
+        ("CovarianceTask", &cov_est),
+        ("CorrelationTask", &corr_est),
+    ];
+    for (name, est) in cases {
+        let resolved = BootstrapKernel::Auto.resolve_for(est);
+        if resolved != ResolvedKernel::CountBased {
+            eprintln!(
+                "FAIL: k-ary task {name} resolved to {resolved:?} under Auto — \
+                 the driver would silently run the slow kernel"
+            );
+            std::process::exit(1);
+        }
+    }
+    eprintln!("routing: every k-ary task resolves to CountBased under Auto");
+}
+
+struct Measurement {
+    task: &'static str,
+    kernel: &'static str,
+    n: usize,
+    b: usize,
+    seconds: f64,
+    replicates_per_s: f64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check_baseline: Option<String> = None;
+    let mut out_path = "BENCH_PR5.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => {
+                check_baseline = Some(args.next().expect("--check needs a baseline path"));
+            }
+            other => out_path = other.to_owned(),
+        }
+    }
+    if check_baseline.as_deref() == Some(out_path.as_str()) {
+        eprintln!(
+            "error: output path {out_path:?} equals the --check baseline — pass a distinct \
+             output path (e.g. BENCH_PR5_CI.json) so the baseline is not overwritten"
+        );
+        std::process::exit(2);
+    }
+
+    // Gate 1 runs unconditionally.
+    check_auto_routing();
+
+    let reps = if quick { 3 } else { 5 };
+    let headline_n = 100_000usize;
+    let headline_b = 1_000usize;
+    let secondary_b = if quick { 200 } else { 1_000 };
+    let sizes = [10_000usize, headline_n];
+
+    // Interleaved (a, b) records: positive numerator and denominator columns
+    // with cross-column correlation — the realistic ratio workload shape.
+    let mut rng = seeded_rng(0xEA21_0005);
+    let data_max: Vec<f64> = (0..headline_n)
+        .flat_map(|_| {
+            let a = 500.0 + 100.0 * standard_normal(&mut rng);
+            let b = 0.4 * a + 50.0 + 20.0 * rng.gen::<f64>();
+            [a, b]
+        })
+        .collect();
+
+    let single = BootstrapConfig {
+        parallelism: Some(1),
+        ..BootstrapConfig::default()
+    };
+    let mut rows: Vec<Measurement> = Vec::new();
+    let mut measure = |task: &'static str,
+                       est: &dyn Estimator,
+                       kernel_name: &'static str,
+                       kernel: BootstrapKernel,
+                       n: usize,
+                       b: usize,
+                       data: &[f64]| {
+        let config = BootstrapConfig {
+            num_resamples: b,
+            kernel,
+            ..single
+        };
+        let (seconds, result) = time_n(reps, || {
+            bootstrap_distribution(7, data, est, &config).unwrap()
+        });
+        assert_eq!(result.replicates.len(), b);
+        let replicates_per_s = b as f64 / seconds;
+        eprintln!(
+            "  {task:14} {kernel_name:11} n={n:>6} B={b:>5}: {seconds:8.4}s  \
+             ({replicates_per_s:>12.1} replicates/s)"
+        );
+        rows.push(Measurement {
+            task,
+            kernel: kernel_name,
+            n,
+            b,
+            seconds,
+            replicates_per_s,
+        });
+        replicates_per_s
+    };
+
+    let ratio_task = RatioTask;
+    let wm_task = WeightedMeanTask;
+    let cov_task = CovarianceTask;
+    let corr_task = CorrelationTask;
+    let ratio = TaskEstimator::new(&ratio_task);
+    let weighted = TaskEstimator::new(&wm_task);
+    let covariance = TaskEstimator::new(&cov_task);
+    let correlation = TaskEstimator::new(&corr_task);
+
+    eprintln!("kernel × k-ary task × records (single thread, median of {reps} runs):");
+    let mut ratio_100k = (0.0f64, 0.0f64); // (gather, count) rps
+    for &n in &sizes {
+        let data = &data_max[..n * 2];
+        let b = if n == headline_n {
+            headline_b
+        } else {
+            secondary_b
+        };
+        let g = measure(
+            "ratio",
+            &ratio,
+            "gather",
+            BootstrapKernel::Gather,
+            n,
+            b,
+            data,
+        );
+        let c = measure(
+            "ratio",
+            &ratio,
+            "count_based",
+            BootstrapKernel::CountBased,
+            n,
+            b,
+            data,
+        );
+        if n == headline_n {
+            ratio_100k = (g, c);
+        }
+        let secondary: [(&'static str, &dyn Estimator); 3] = [
+            ("weighted_mean", &weighted),
+            ("covariance", &covariance),
+            ("correlation", &correlation),
+        ];
+        for (name, est) in secondary {
+            measure(name, est, "gather", BootstrapKernel::Gather, n, b, data);
+            measure(
+                name,
+                est,
+                "count_based",
+                BootstrapKernel::CountBased,
+                n,
+                b,
+                data,
+            );
+        }
+    }
+
+    // Same-run sanity: the kernels answer the same statistical question.
+    {
+        let data = &data_max[..10_000 * 2];
+        let gather = bootstrap_distribution(
+            11,
+            data,
+            &ratio,
+            &BootstrapConfig {
+                num_resamples: 400,
+                kernel: BootstrapKernel::Gather,
+                ..single
+            },
+        )
+        .unwrap();
+        let counts = bootstrap_distribution(
+            11,
+            data,
+            &ratio,
+            &BootstrapConfig {
+                num_resamples: 400,
+                kernel: BootstrapKernel::CountBased,
+                ..single
+            },
+        )
+        .unwrap();
+        let se_ratio = counts.std_error / gather.std_error;
+        assert!(
+            (0.7..1.4).contains(&se_ratio),
+            "count-based SE {} vs gather SE {} diverged",
+            counts.std_error,
+            gather.std_error
+        );
+        eprintln!("equivalence: count-based SE ratio {se_ratio:.3} on Ratio (n=10k, B=400)");
+    }
+
+    let (g100, c100) = ratio_100k;
+    let count_vs_gather = c100 / g100;
+    eprintln!(
+        "ratio @ n=100k, B={headline_b}: count/gather {count_vs_gather:.2}x \
+         (gather {g100:.1} rps, count {c100:.1} rps)"
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|m| {
+            format!(
+                r#"      {{ "task": "{}", "kernel": "{}", "n": {}, "b": {}, "seconds": {:.5}, "replicates_per_s": {:.1} }}"#,
+                m.task, m.kernel, m.n, m.b, m.seconds, m.replicates_per_s
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "pr": 5,
+  "description": "K-ary count-based kernel vs gather on ratio-of-linear statistics (single thread, median of {reps} runs, release build)",
+  "note": "rows are single-thread by design (kernel comparison, not scaling). headline is the same-run gate: count_based >= {headline}x gather replicates/s on Ratio at n=100k B=1000. count_based_ratio_100k_rps is the cross-host gate ({gate}% tolerance), skipped when host_cores differs from the baseline's.",
+  "host_cores": {cores},
+  "quick": {quick},
+  "headline": {{
+    "task": "ratio",
+    "n": {headline_n},
+    "b": {headline_b},
+    "gather_rps": {g100:.1},
+    "count_based_rps": {c100:.1},
+    "count_vs_gather": {count_vs_gather:.3}
+  }},
+  "count_based_ratio_100k_rps": {c100:.1},
+  "kernels": {{
+    "rows": [
+{rows}
+    ]
+  }}
+}}
+"#,
+        headline = HEADLINE_SPEEDUP as u32,
+        gate = (MAX_REGRESSION * 100.0) as u32,
+        rows = row_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline file");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+
+    // ---- gates ------------------------------------------------------------
+    if let Some(baseline_path) = check_baseline {
+        let mut failed = false;
+
+        // Gate 2 (same run, host-neutral): the headline O(n) → O(k·√n) payoff.
+        eprintln!(
+            "check: count/gather {count_vs_gather:.2}x vs required {HEADLINE_SPEEDUP:.0}x \
+             on Ratio at n={headline_n}, B={headline_b} (same run)"
+        );
+        if count_vs_gather < HEADLINE_SPEEDUP {
+            eprintln!(
+                "FAIL: count-based kernel below {HEADLINE_SPEEDUP:.0}x gather on Ratio at n=100k"
+            );
+            failed = true;
+        }
+
+        // Gate 3 (cross-host): absolute throughput vs the checked-in baseline —
+        // only meaningful when the recorded and current core counts match.
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline_cores = extract_f64(&baseline, "host_cores").map(|c| c as usize);
+        match baseline_cores {
+            Some(bc) if bc != cores => {
+                eprintln!(
+                    "check: skipping cross-host throughput gate — baseline recorded on a \
+                     {bc}-core host, this run has {cores} cores (same-run gate above still \
+                     enforced; re-baseline to re-arm)"
+                );
+            }
+            _ => {
+                let baseline_rps = extract_f64(&baseline, "count_based_ratio_100k_rps")
+                    .expect("baseline missing count_based_ratio_100k_rps");
+                let floor = baseline_rps * (1.0 - MAX_REGRESSION);
+                eprintln!(
+                    "check: count-based ratio@100k {c100:.1} replicates/s vs baseline \
+                     {baseline_rps:.1} (floor {floor:.1})"
+                );
+                if c100 < floor {
+                    eprintln!(
+                        "FAIL: count-based throughput regressed more than {}% vs {baseline_path}",
+                        (MAX_REGRESSION * 100.0) as u32
+                    );
+                    failed = true;
+                }
+            }
+        }
+
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check: OK");
+    }
+}

@@ -131,6 +131,18 @@ pub fn block_bootstrap_with_kernel(
     if data.is_empty() {
         return Err(StatsError::EmptySample);
     }
+    // Blocks are contiguous runs of *values* modelling serial dependence in a
+    // scalar series; a multi-column estimator's records would be split at
+    // arbitrary offsets.  Record-aware blocks are a different statistical
+    // design (dependence between records), so reject rather than silently
+    // misalign.
+    if estimator.record_stride() > 1 {
+        return Err(StatsError::InvalidParameter(
+            "the moving-block bootstrap resamples a scalar series; multi-column \
+             (record stride > 1) estimators are not supported"
+                .into(),
+        ));
+    }
     if b < 2 {
         return Err(StatsError::InvalidParameter(
             "need at least 2 block-bootstrap resamples".into(),
@@ -212,6 +224,17 @@ mod tests {
             "most adjacent pairs should come from the same block"
         );
         assert!(moving_block_resample(&mut rng, &[], 5).is_empty());
+    }
+
+    #[test]
+    fn multi_column_estimators_are_rejected() {
+        // Value-level blocks would split (a, b) records at odd offsets, so the
+        // block bootstrap refuses record-structured statistics outright.
+        let pairs: Vec<f64> = (1..=50).flat_map(|i| [i as f64, 2.0 * i as f64]).collect();
+        assert!(matches!(
+            block_bootstrap_distribution(1, &pairs, &crate::estimators::Ratio, 5, 20, None),
+            Err(StatsError::InvalidParameter(_))
+        ));
     }
 
     #[test]

@@ -49,6 +49,15 @@
 //!   approximation perturbs them only by its rounding/clamping, and higher
 //!   moments converge at `O(1/√n)`.  The `tests/kernel_equivalence.rs` suite
 //!   pins the realised moments against the gather kernel's.
+//!
+//!   The same kernel also serves **k-ary linear forms**
+//!   ([`crate::estimators::KaryForm`]): statistics that are smooth combiners
+//!   of a tuple of per-record linear sums (weighted mean, ratio, paired
+//!   covariance, correlation, regression slope).  [`KarySections`] draws one
+//!   multinomial count per replicate and reconstructs *all* `k` section-sums
+//!   from per-section mean vectors and covariance Cholesky factors, so the
+//!   cross-component correlation that a ratio's variance depends on is
+//!   preserved — `O(k·√n)` draws per replicate instead of `O(n)`.
 //! * **Auto** (default) — per-estimator: CountBased when
 //!   [`Estimator::linear_form`] is declared, Streaming when an accumulator
 //!   exists, Gather otherwise.
@@ -57,7 +66,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::estimators::{
-    coefficient_of_variation, Accumulator, Estimator, LinearForm, Mean, StdDev,
+    coefficient_of_variation, Accumulator, Estimator, KaryComponents, KaryForm, LinearForm, Mean,
+    StdDev, MAX_KARY_COMPONENTS,
 };
 use crate::parallel::{replicate_map, workers_for};
 use crate::rng::{
@@ -104,14 +114,15 @@ impl BootstrapKernel {
     /// Resolves the kernel for i.i.d. resampling of `estimator`: requests
     /// degrade along `CountBased → Streaming → Gather` when the estimator does
     /// not declare the required capability ([`Estimator::linear_form`] /
-    /// [`Estimator::accumulator`]).  Under `Auto` a linear estimator always
-    /// lands on `CountBased` — never silently on the gather kernel.
+    /// [`Estimator::kary_form`] / [`Estimator::accumulator`]).  Under `Auto`
+    /// a linear or k-ary-linear estimator always lands on `CountBased` —
+    /// never silently on the gather kernel.
     pub fn resolve_for(self, estimator: &(impl Estimator + ?Sized)) -> ResolvedKernel {
         match self {
             BootstrapKernel::Gather => ResolvedKernel::Gather,
             BootstrapKernel::Streaming => self.streaming_or_gather(estimator),
             BootstrapKernel::Auto | BootstrapKernel::CountBased => {
-                if estimator.linear_form().is_some() {
+                if estimator.linear_form().is_some() || estimator.kary_form().is_some() {
                     ResolvedKernel::CountBased
                 } else {
                     self.streaming_or_gather(estimator)
@@ -344,6 +355,12 @@ impl Resampler {
     /// is fed straight into the accumulator — no value gather, no second pass
     /// — consuming exactly the RNG stream the gather path would, so
     /// single-pass statistics produce bit-identical replicates on both paths.
+    ///
+    /// For estimators whose [`Estimator::record_stride`] exceeds 1 the gather
+    /// path resamples **whole records** (`size` is a record count): one index
+    /// draw copies the record's `stride` consecutive values, so paired columns
+    /// are never split.  Stride-1 estimators take the original scalar path
+    /// unchanged (identical RNG stream, identical results).
     pub fn replicate<E: Estimator + ?Sized>(
         &mut self,
         seed: u64,
@@ -353,6 +370,25 @@ impl Resampler {
         estimator: &E,
     ) -> f64 {
         let mut rng = replicate_rng(seed, replicate);
+        let stride = estimator.record_stride().max(1);
+        if stride > 1 {
+            debug_assert!(
+                self.accumulator.is_none(),
+                "streaming accumulators are scalar; multi-column estimators gather"
+            );
+            let n_records = data.len() / stride;
+            if n_records == 0 {
+                return f64::NAN;
+            }
+            self.values.clear();
+            self.values.reserve(size * stride);
+            for _ in 0..size {
+                let r = rng.gen_range(0..n_records);
+                self.values
+                    .extend_from_slice(&data[r * stride..(r + 1) * stride]);
+            }
+            return estimator.estimate(&self.values);
+        }
         match &mut self.accumulator {
             Some(acc) if !data.is_empty() => {
                 acc.reset();
@@ -478,6 +514,205 @@ impl LinearSections {
     }
 }
 
+/// One section of the k-ary count-based kernel's summary: the per-component
+/// mean vector plus the lower-triangular Cholesky factor of the within-section
+/// component covariance, so a section's contribution to *all* `k` sums can be
+/// reconstructed — with the right cross-component correlation — from one
+/// resample count.
+#[derive(Debug, Clone)]
+struct KarySection {
+    len: u64,
+    mean: KaryComponents,
+    /// Lower-triangular Cholesky factor `L` with `L·Lᵀ = Σ` (within-section
+    /// population covariance of the component vector).  Degenerate directions
+    /// (zero-variance components, exact collinearity) get zeroed columns, so
+    /// no noise is injected where the section has none.
+    chol: [KaryComponents; MAX_KARY_COMPONENTS],
+}
+
+/// The k-ary count-based kernel's precomputed view of a base sample: `O(√n)`
+/// contiguous *record* sections, each summarised by its length, component-mean
+/// vector and the Cholesky factor of its within-section component covariance.
+/// Built once per bootstrap run in a single pass over the records.
+///
+/// A replicate evaluates **all `k` component sums from one multinomial count
+/// draw**: section `j`'s resample count `mⱼ` comes from the same sequential
+/// conditional binomials as the scalar [`LinearSections`] kernel, and its
+/// contribution to the sum vector is `mⱼ·μⱼ + √mⱼ·Lⱼ·z` with `z ~ N(0, I_k)`
+/// — the multivariate Eq. 3 move, preserving the joint distribution of the
+/// section's sums including their cross-component covariance (which is what a
+/// ratio/correlation combiner's variance depends on).  The combiner then maps
+/// the sums to the statistic: `O(k·√n)` RNG draws and `O(k²·√n)` arithmetic
+/// per replicate, never touching a record.
+#[derive(Debug, Clone)]
+pub struct KarySections {
+    arity: usize,
+    stride: usize,
+    sections: Vec<KarySection>,
+    total_records: u64,
+}
+
+impl KarySections {
+    /// Summarises the interleaved sample `data` (records of `form.stride()`
+    /// consecutive values) into `⌈√n_records⌉` sections.
+    ///
+    /// Returns an error when `data` is not a whole number of records.
+    pub fn build(data: &[f64], form: &KaryForm) -> Result<Self> {
+        let stride = form.stride();
+        if data.len() % stride != 0 {
+            return Err(StatsError::InvalidParameter(format!(
+                "sample of {} values is not a whole number of {stride}-column records",
+                data.len()
+            )));
+        }
+        let arity = form.arity();
+        let n = data.len() / stride;
+        let k = (n as f64).sqrt().ceil().max(1.0) as usize;
+        let records_per_section = n.div_ceil(k).max(1);
+        let mut sections = Vec::with_capacity(n.div_ceil(records_per_section.max(1)).max(1));
+        let mut scratch = [0.0; MAX_KARY_COMPONENTS];
+        for chunk in data.chunks(records_per_section * stride) {
+            let len = chunk.len() / stride;
+            // First pass: component means.
+            let mut mean = [0.0; MAX_KARY_COMPONENTS];
+            for record in chunk.chunks_exact(stride) {
+                form.components_of(record, &mut scratch);
+                for c in 0..arity {
+                    mean[c] += scratch[c];
+                }
+            }
+            for m in mean.iter_mut().take(arity) {
+                *m /= len as f64;
+            }
+            // Second pass: centered outer products → within-section population
+            // covariance.  Sections hold O(√n) records, so the extra pass costs
+            // the same O(n·k²) as the accumulation itself.
+            let mut cov = [[0.0; MAX_KARY_COMPONENTS]; MAX_KARY_COMPONENTS];
+            for record in chunk.chunks_exact(stride) {
+                form.components_of(record, &mut scratch);
+                for i in 0..arity {
+                    let di = scratch[i] - mean[i];
+                    for j in 0..=i {
+                        cov[i][j] += di * (scratch[j] - mean[j]);
+                    }
+                }
+            }
+            for row in cov.iter_mut().take(arity) {
+                for v in row.iter_mut().take(arity) {
+                    *v /= len as f64;
+                }
+            }
+            sections.push(KarySection {
+                len: len as u64,
+                mean,
+                chol: cholesky_lower(&cov, arity),
+            });
+        }
+        Ok(Self {
+            arity,
+            stride,
+            sections,
+            total_records: n as u64,
+        })
+    }
+
+    /// Number of sections (the per-replicate cost factor).  Identical to
+    /// [`LinearSections::section_count`] of the record count.
+    pub fn num_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Records summarised.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Values per record in the interleaved sample this summary was built
+    /// from.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Evaluates one `size`-record bootstrap replicate of the k-ary statistic
+    /// `form` from this summary — `O(arity)` RNG draws per section and no
+    /// record access.
+    pub fn replicate<R: Rng + ?Sized>(&self, rng: &mut R, size: usize, form: &KaryForm) -> f64 {
+        let arity = self.arity;
+        let mut remaining_draws = size as u64;
+        let mut remaining_records = self.total_records;
+        let mut sums = [0.0; MAX_KARY_COMPONENTS];
+        let mut z = [0.0; MAX_KARY_COMPONENTS];
+        for s in &self.sections {
+            if remaining_draws == 0 {
+                break;
+            }
+            // The same sequential conditional binomial as the scalar kernel:
+            // the count landing in this section, given what earlier sections
+            // took.
+            let m = if s.len >= remaining_records {
+                remaining_draws
+            } else {
+                binomial_sample(
+                    rng,
+                    remaining_draws,
+                    s.len as f64 / remaining_records as f64,
+                )
+            };
+            remaining_records -= s.len;
+            remaining_draws -= m;
+            if m > 0 {
+                let mf = m as f64;
+                let root = mf.sqrt();
+                // One z per component, always drawn — the stream length per
+                // section is data-independent, so degenerate sections cannot
+                // shift later sections' randomness.
+                for zi in z.iter_mut().take(arity) {
+                    *zi = standard_normal(rng);
+                }
+                for (i, ((sum, mean), row)) in sums
+                    .iter_mut()
+                    .zip(&s.mean)
+                    .zip(&s.chol)
+                    .enumerate()
+                    .take(arity)
+                {
+                    let noise: f64 = row.iter().zip(&z).take(i + 1).map(|(l, zj)| l * zj).sum();
+                    *sum += mf * mean + root * noise;
+                }
+            }
+        }
+        form.combine(&sums, size as f64)
+    }
+}
+
+/// Cholesky factorisation of the leading `arity×arity` block of a symmetric
+/// positive *semi*-definite matrix (lower triangle of `cov` filled).
+/// Zero/negative pivots — constant components, exact collinearity, rounding —
+/// zero out their column instead of failing, dropping the (non-existent)
+/// noise in that direction.
+fn cholesky_lower(
+    cov: &[[f64; MAX_KARY_COMPONENTS]; MAX_KARY_COMPONENTS],
+    arity: usize,
+) -> [KaryComponents; MAX_KARY_COMPONENTS] {
+    let mut l = [[0.0; MAX_KARY_COMPONENTS]; MAX_KARY_COMPONENTS];
+    for j in 0..arity {
+        let d = cov[j][j] - l[j][..j].iter().map(|v| v * v).sum::<f64>();
+        // Tolerance scaled to the diagonal magnitude: semidefinite inputs can
+        // land a hair below zero after the subtractions.
+        if d <= 1e-12 * cov[j][j].abs().max(1e-300) {
+            continue; // column stays zero
+        }
+        let root = d.sqrt();
+        l[j][j] = root;
+        let row_j = l[j];
+        for i in (j + 1)..arity {
+            let dot: f64 = l[i][..j].iter().zip(&row_j[..j]).map(|(a, b)| a * b).sum();
+            l[i][j] = (cov[i][j] - dot) / root;
+        }
+    }
+    l
+}
+
 /// Draws one bootstrap resample (with replacement) of `size` elements from
 /// `data` as a fresh allocation.
 ///
@@ -518,19 +753,32 @@ pub fn bootstrap_distribution(
             "need at least 2 bootstrap resamples".into(),
         ));
     }
-    let size = config.resample_size.unwrap_or(data.len());
+    // Multi-column estimators resample whole records: `size`, `resample_size`
+    // and the section summaries all count records, not values.
+    let stride = estimator.record_stride().max(1);
+    if data.len() % stride != 0 {
+        return Err(StatsError::InvalidParameter(format!(
+            "sample of {} values is not a whole number of {stride}-column records",
+            data.len()
+        )));
+    }
+    let n_records = data.len() / stride;
+    if n_records == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    let size = config.resample_size.unwrap_or(n_records);
     if size == 0 {
         return Err(StatsError::InvalidParameter(
             "resample size must be ≥ 1".into(),
         ));
     }
     let point_estimate = estimator.estimate(data);
-    let threads = config.effective_parallelism(size);
+    let threads = config.effective_parallelism(size * stride);
     let replicates = match config.kernel.resolve_for(estimator) {
-        ResolvedKernel::CountBased => {
-            let form = estimator
-                .linear_form()
-                .expect("CountBased resolution implies a linear form");
+        // The unary linear form is the cheaper special case and wins when an
+        // estimator declares both.
+        ResolvedKernel::CountBased if estimator.linear_form().is_some() => {
+            let form = estimator.linear_form().expect("checked by the match guard");
             let sections = LinearSections::build(data);
             replicate_map(
                 config.num_resamples,
@@ -539,6 +787,21 @@ pub fn bootstrap_distribution(
                 |b, ()| {
                     let mut rng = replicate_rng(seed, b as u64);
                     sections.replicate(&mut rng, size, form)
+                },
+            )
+        }
+        ResolvedKernel::CountBased => {
+            let form = estimator
+                .kary_form()
+                .expect("CountBased resolution implies a linear or k-ary form");
+            let sections = KarySections::build(data, &form)?;
+            replicate_map(
+                config.num_resamples,
+                threads,
+                || (),
+                |b, ()| {
+                    let mut rng = replicate_rng(seed, b as u64);
+                    sections.replicate(&mut rng, size, &form)
                 },
             )
         }
@@ -918,6 +1181,160 @@ mod tests {
                 flat_sections.replicate(&mut rng, flat.len(), mean_form),
                 5.0
             );
+        }
+    }
+
+    fn paired_sample(n: usize, seed: u64) -> Vec<f64> {
+        // (x, w) pairs: positive values, weights in (0.5, 1.5).
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .flat_map(|_| {
+                let x = 100.0 + 20.0 * crate::rng::standard_normal(&mut rng);
+                let w = 1.0 + 0.5 * (2.0 * rng.gen::<f64>() - 1.0);
+                [x, w]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kary_resolution_and_stride_validation() {
+        use crate::estimators::{PairedCovariance, Ratio, WeightedMean};
+        for est in [&WeightedMean as &dyn Estimator, &Ratio, &PairedCovariance] {
+            assert_eq!(
+                BootstrapKernel::Auto.resolve_for(est),
+                ResolvedKernel::CountBased,
+                "{} must run resample-free under Auto",
+                Estimator::name(est)
+            );
+            assert_eq!(
+                BootstrapKernel::CountBased.resolve_for(est),
+                ResolvedKernel::CountBased
+            );
+            // No accumulator: streaming degrades to gather for paired records.
+            assert_eq!(
+                BootstrapKernel::Streaming.resolve_for(est),
+                ResolvedKernel::Gather
+            );
+        }
+        // An odd number of values is not a whole number of pairs.
+        let odd = [1.0, 2.0, 3.0];
+        assert!(matches!(
+            bootstrap_distribution(0, &odd, &Ratio, &BootstrapConfig::with_resamples(10)),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn kary_count_based_matches_gather_distribution_moments() {
+        use crate::estimators::{Ratio, WeightedMean};
+        let data = paired_sample(4_000, 51);
+        for est in [&WeightedMean as &dyn Estimator, &Ratio] {
+            let gather = bootstrap_distribution(
+                47,
+                &data,
+                est,
+                &BootstrapConfig::with_resamples(400).with_kernel(BootstrapKernel::Gather),
+            )
+            .unwrap();
+            let counts = bootstrap_distribution(
+                47,
+                &data,
+                est,
+                &BootstrapConfig::with_resamples(400).with_kernel(BootstrapKernel::CountBased),
+            )
+            .unwrap();
+            assert_eq!(counts.point_estimate, gather.point_estimate);
+            assert!(
+                (counts.replicate_mean - gather.replicate_mean).abs() / gather.replicate_mean.abs()
+                    < 1e-3,
+                "{}: replicate means {} vs {}",
+                Estimator::name(est),
+                counts.replicate_mean,
+                gather.replicate_mean
+            );
+            let se_ratio = counts.std_error / gather.std_error;
+            assert!(
+                (0.8..1.25).contains(&se_ratio),
+                "{}: standard errors {} vs {}",
+                Estimator::name(est),
+                counts.std_error,
+                gather.std_error
+            );
+        }
+    }
+
+    #[test]
+    fn kary_kernel_is_deterministic_and_thread_invariant() {
+        use crate::estimators::Ratio;
+        let data = paired_sample(2_048, 53);
+        let config = BootstrapConfig::with_resamples(64)
+            .with_kernel(BootstrapKernel::CountBased)
+            .with_parallelism(Some(1));
+        let reference = bootstrap_distribution(55, &data, &Ratio, &config).unwrap();
+        for threads in [2usize, 3, 8] {
+            let parallel =
+                bootstrap_distribution(55, &data, &Ratio, &config.with_parallelism(Some(threads)))
+                    .unwrap();
+            assert_eq!(reference, parallel, "threads = {threads}");
+        }
+        let grown = BootstrapConfig {
+            num_resamples: 96,
+            ..config
+        };
+        let larger = bootstrap_distribution(55, &data, &Ratio, &grown).unwrap();
+        assert_eq!(reference.replicates[..], larger.replicates[..64]);
+    }
+
+    #[test]
+    fn kary_sections_handle_degenerate_components() {
+        use crate::estimators::WeightedMean;
+        // Constant value, constant weight: every component is degenerate, the
+        // Cholesky columns zero out, and every replicate is exactly the value.
+        let flat: Vec<f64> = (0..500).flat_map(|_| [7.0, 2.0]).collect();
+        let form = WeightedMean.kary_form().unwrap();
+        let sections = KarySections::build(&flat, &form).unwrap();
+        assert_eq!(sections.total_records(), 500);
+        assert_eq!(sections.stride(), 2);
+        assert_eq!(
+            sections.num_sections(),
+            LinearSections::section_count(500),
+            "record sectioning matches the scalar policy"
+        );
+        let mut rng = seeded_rng(3);
+        for _ in 0..5 {
+            assert_eq!(sections.replicate(&mut rng, 500, &form), 7.0);
+        }
+        // Gather agrees: a constant weighted mean bootstraps to the constant.
+        let result = bootstrap_distribution(
+            1,
+            &flat,
+            &WeightedMean,
+            &BootstrapConfig::with_resamples(16).with_kernel(BootstrapKernel::Gather),
+        )
+        .unwrap();
+        assert!(result.replicates.iter().all(|&r| r == 7.0));
+    }
+
+    #[test]
+    fn gather_resamples_whole_records_for_paired_estimators() {
+        use crate::estimators::Ratio;
+        // Records are (a, 2a): any whole-record resample has ratio exactly
+        // 0.5; splitting pairs would scramble it.
+        let data: Vec<f64> = (1..=100)
+            .flat_map(|i| {
+                let a = i as f64;
+                [a, 2.0 * a]
+            })
+            .collect();
+        let result = bootstrap_distribution(
+            9,
+            &data,
+            &Ratio,
+            &BootstrapConfig::with_resamples(32).with_kernel(BootstrapKernel::Gather),
+        )
+        .unwrap();
+        for r in &result.replicates {
+            assert_eq!(*r, 0.5, "pairs must never be split");
         }
     }
 

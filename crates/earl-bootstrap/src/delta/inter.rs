@@ -296,7 +296,23 @@ impl IncrementalBootstrap {
     /// current sample).  With the streaming kernel (the `Auto` resolution for
     /// any estimator exposing an accumulator) each resample is consumed in a
     /// single pass instead of `estimate`'s potentially two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `estimator` is multi-column
+    /// ([`Estimator::record_stride`] > 1): maintained resamples are per-value
+    /// multisets, so evaluating a record-structured statistic over them would
+    /// silently pair columns across records.  Those statistics run
+    /// resample-free through [`crate::bootstrap::bootstrap_distribution`]
+    /// instead (the driver routes them there and never reaches this path).
     pub fn evaluate(&self, estimator: &dyn Estimator) -> BootstrapResult {
+        assert_eq!(
+            estimator.record_stride(),
+            1,
+            "IncrementalBootstrap maintains value-level resamples; a multi-column \
+             estimator's records would be split — use bootstrap_distribution's \
+             count-based kernel instead"
+        );
         let threads = self.threads_for(self.sample.len());
         let replicates = match self.kernel.resolve_materialised(estimator) {
             ResolvedKernel::Streaming => replicate_map(
@@ -488,6 +504,16 @@ mod tests {
         let auto = ib.evaluate(&Mean);
         assert_eq!(gather, streaming);
         assert_eq!(gather, auto, "Auto picks streaming for the mean");
+    }
+
+    #[test]
+    #[should_panic(expected = "value-level resamples")]
+    fn evaluating_a_multi_column_estimator_panics_instead_of_misaligning() {
+        // Maintained resamples are per-value multisets; evaluating a stride-2
+        // statistic over them would silently pair columns across records.
+        let pairs: Vec<f64> = (1..=40).flat_map(|i| [i as f64, 2.0 * i as f64]).collect();
+        let ib = IncrementalBootstrap::new(1, &pairs, 10, SketchConfig::default()).unwrap();
+        let _ = ib.evaluate(&crate::estimators::Ratio);
     }
 
     #[test]

@@ -25,6 +25,23 @@
 //! Statistics that are *linear* — `f = g(Σ wᵢ·xᵢ, Σ wᵢ)` — additionally expose
 //! a [`LinearForm`] via [`Estimator::linear_form`], which is the contract the
 //! resample-free count-based bootstrap kernel builds on.
+//!
+//! ## K-ary linear forms
+//!
+//! A wider class of statistics is a **smooth function of a tuple of linear
+//! sums**: the weighted mean `Σwx / Σw`, a ratio `Σa / Σb`, the paired
+//! covariance, Pearson correlation and the regression slope all decompose as
+//! `θ = g(Σφ₁(rᵢ), …, Σφ_k(rᵢ), m)` where `rᵢ` is one *record* (possibly a
+//! tuple of columns, e.g. an `(x, y)` pair) and `m` is the resample record
+//! count.  Such statistics declare a [`KaryForm`] via [`Estimator::kary_form`]
+//! — the per-record component map `φ` plus the combiner `g` — which opts them
+//! into the resample-free count-based kernel: one multinomial count draw per
+//! replicate evaluates *all* `k` section-sums at once
+//! ([`crate::bootstrap::KarySections`]).  Multi-column records are encoded
+//! column-interleaved in the flat `&[f64]` sample (`[x₀, y₀, x₁, y₁, …]`);
+//! [`Estimator::record_stride`] tells every kernel how many consecutive values
+//! form one resampling unit, so the gather kernel resamples whole records and
+//! never splits a pair.
 
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +79,26 @@ pub trait Estimator: Send + Sync {
     /// value multiset.
     fn linear_form(&self) -> Option<LinearForm> {
         None
+    }
+
+    /// The statistic's k-ary linear form `θ = g(Σφ₁(r), …, Σφ_k(r), m)`, or
+    /// `None` when the statistic is not an aggregate of per-record linear
+    /// sums.  Declaring one opts the estimator into the resample-free
+    /// count-based kernel ([`crate::bootstrap::KarySections`]); the contract
+    /// is `estimate(data) == form.evaluate(data)` up to floating-point
+    /// reassociation for every record multiset.  Estimators whose unary
+    /// [`Estimator::linear_form`] exists need not declare a k-ary form — the
+    /// unary path is the cheaper special case and takes precedence.
+    fn kary_form(&self) -> Option<KaryForm> {
+        None
+    }
+
+    /// How many consecutive values of the flat sample slice form one logical
+    /// record — the unit every resampling kernel draws.  `1` for plain scalar
+    /// samples; paired statistics (ratio, covariance, correlation, …) use
+    /// column-interleaved records and report their interleave width here.
+    fn record_stride(&self) -> usize {
+        self.kary_form().map(|f| f.stride()).unwrap_or(1)
     }
 }
 
@@ -120,6 +157,97 @@ impl LinearForm {
     /// Evaluates the statistic from the weighted sum and the total weight.
     pub fn finalize(&self, weighted_sum: f64, total_weight: f64) -> f64 {
         (self.finalize)(weighted_sum, total_weight)
+    }
+}
+
+/// Maximum number of linear components a [`KaryForm`] may declare.  Fixed so
+/// component sums live in a stack array — no allocation anywhere on the
+/// count-based kernel's replicate path.
+pub const MAX_KARY_COMPONENTS: usize = 8;
+
+/// A fixed-size component buffer: the first `arity` slots are meaningful.
+pub type KaryComponents = [f64; MAX_KARY_COMPONENTS];
+
+/// The k-ary linear form of a statistic: `θ = g(Σφ₁(r), …, Σφ_k(r), m)`.
+///
+/// * `stride` — values per record in the flat column-interleaved sample (a
+///   record is `&data[i*stride .. (i+1)*stride]`);
+/// * `components` — the per-record map `φ`: fills `out[0..arity]` from one
+///   record (e.g. `(x, y, x·y, x²)` for the regression slope);
+/// * `combine` — the smooth combiner `g` over the component sums and the
+///   resample record count `m`.
+///
+/// This is the whole interface the count-based kernel needs for ratio-of-sums
+/// statistics: a replicate is evaluated from the `k` section-sums of one
+/// multinomial count draw, without materialising the resample
+/// ([`crate::bootstrap::KarySections`]).
+#[derive(Debug, Clone, Copy)]
+pub struct KaryForm {
+    stride: usize,
+    arity: usize,
+    components: fn(record: &[f64], out: &mut KaryComponents),
+    combine: fn(sums: &KaryComponents, draws: f64) -> f64,
+}
+
+impl KaryForm {
+    /// Wraps the component map and combiner.  `stride ≥ 1`, `1 ≤ arity ≤`
+    /// [`MAX_KARY_COMPONENTS`].
+    pub fn new(
+        stride: usize,
+        arity: usize,
+        components: fn(&[f64], &mut KaryComponents),
+        combine: fn(&KaryComponents, f64) -> f64,
+    ) -> Self {
+        assert!(stride >= 1, "a record holds at least one value");
+        assert!(
+            (1..=MAX_KARY_COMPONENTS).contains(&arity),
+            "arity must be in 1..={MAX_KARY_COMPONENTS}"
+        );
+        Self {
+            stride,
+            arity,
+            components,
+            combine,
+        }
+    }
+
+    /// Values per record in the flat interleaved sample.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of linear components `k`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Fills `out[0..arity]` with the components of one record.
+    pub fn components_of(&self, record: &[f64], out: &mut KaryComponents) {
+        debug_assert_eq!(record.len(), self.stride);
+        (self.components)(record, out)
+    }
+
+    /// Evaluates the statistic from component sums and the record count `m`.
+    pub fn combine(&self, sums: &KaryComponents, draws: f64) -> f64 {
+        (self.combine)(sums, draws)
+    }
+
+    /// Evaluates the statistic over a full interleaved sample by summing the
+    /// components record by record — the reference evaluation the count-based
+    /// kernel's section sums approximate, and the arithmetic ratio/weighted
+    /// statistics use for [`Estimator::estimate`] itself.
+    pub fn evaluate(&self, data: &[f64]) -> f64 {
+        let mut sums = [0.0; MAX_KARY_COMPONENTS];
+        let mut scratch = [0.0; MAX_KARY_COMPONENTS];
+        let mut records = 0u64;
+        for record in data.chunks_exact(self.stride) {
+            (self.components)(record, &mut scratch);
+            for c in 0..self.arity {
+                sums[c] += scratch[c];
+            }
+            records += 1;
+        }
+        (self.combine)(&sums, records as f64)
     }
 }
 
@@ -565,6 +693,225 @@ impl Estimator for PairedCorrelation {
     fn name(&self) -> &'static str {
         "correlation"
     }
+    // Correlation is a smooth combiner of five linear sums over (x, y) records:
+    // (Σx, Σy, Σxy, Σx², Σy²).  Declaring the form routes its bootstrap to the
+    // resample-free count-based kernel and makes every kernel resample whole
+    // pairs (stride 2) instead of splitting them.
+    fn kary_form(&self) -> Option<KaryForm> {
+        Some(KaryForm::new(
+            2,
+            5,
+            |r, out| {
+                out[0] = r[0];
+                out[1] = r[1];
+                out[2] = r[0] * r[1];
+                out[3] = r[0] * r[0];
+                out[4] = r[1] * r[1];
+            },
+            |s, m| {
+                if m < 2.0 {
+                    return f64::NAN;
+                }
+                let cov = s[2] - s[0] * s[1] / m;
+                let vx = s[3] - s[0] * s[0] / m;
+                let vy = s[4] - s[1] * s[1] / m;
+                if vx <= 0.0 || vy <= 0.0 {
+                    return f64::NAN;
+                }
+                cov / (vx.sqrt() * vy.sqrt())
+            },
+        ))
+    }
+}
+
+/// The weighted mean `Σwᵢxᵢ / Σwᵢ` over interleaved `[x0, w0, x1, w1, …]`
+/// records.
+///
+/// The canonical *ratio-of-linear* statistic: not linear in the single-sum
+/// sense (no [`LinearForm`] exists), but a smooth combiner of the two linear
+/// sums `(Σwx, Σw)` — exactly the shape the k-ary count-based kernel serves
+/// resample-free.  Scale-free under sampling (both sums scale by `p`), so no
+/// `1/p` correction is needed.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct WeightedMean;
+
+fn weighted_mean_form() -> KaryForm {
+    KaryForm::new(
+        2,
+        2,
+        |r, out| {
+            out[0] = r[0] * r[1];
+            out[1] = r[1];
+        },
+        |s, _| {
+            if s[1] == 0.0 {
+                f64::NAN
+            } else {
+                s[0] / s[1]
+            }
+        },
+    )
+}
+
+impl Estimator for WeightedMean {
+    // Evaluating through the form keeps the k-ary contract exact: the same
+    // record-order accumulation the reference path performs.
+    fn estimate(&self, data: &[f64]) -> f64 {
+        weighted_mean_form().evaluate(data)
+    }
+    fn name(&self) -> &'static str {
+        "weighted_mean"
+    }
+    fn kary_form(&self) -> Option<KaryForm> {
+        Some(weighted_mean_form())
+    }
+}
+
+/// The ratio of sums `Σaᵢ / Σbᵢ` over interleaved `[a0, b0, a1, b1, …]`
+/// records (e.g. revenue per click, bytes per request).
+///
+/// Like [`WeightedMean`] this is a smooth combiner of two linear sums, and
+/// scale-free under sampling.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Ratio;
+
+fn ratio_form() -> KaryForm {
+    KaryForm::new(
+        2,
+        2,
+        |r, out| {
+            out[0] = r[0];
+            out[1] = r[1];
+        },
+        |s, _| {
+            if s[1] == 0.0 {
+                f64::NAN
+            } else {
+                s[0] / s[1]
+            }
+        },
+    )
+}
+
+impl Estimator for Ratio {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        ratio_form().evaluate(data)
+    }
+    fn name(&self) -> &'static str {
+        "ratio"
+    }
+    fn kary_form(&self) -> Option<KaryForm> {
+        Some(ratio_form())
+    }
+}
+
+/// The sample covariance (n−1 denominator) over interleaved `[x0, y0, …]`
+/// pairs.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PairedCovariance;
+
+impl Estimator for PairedCovariance {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        let n = data.len() / 2;
+        if n < 2 {
+            return f64::NAN;
+        }
+        // Centered two-pass evaluation for the point estimate; the k-ary
+        // combiner below reproduces it up to reassociation error from raw
+        // sums, which is what the count-based kernel's section sums feed.
+        let mx = data.iter().step_by(2).sum::<f64>() / n as f64;
+        let my = data.iter().skip(1).step_by(2).sum::<f64>() / n as f64;
+        let mut cov = 0.0;
+        for pair in data.chunks_exact(2) {
+            cov += (pair[0] - mx) * (pair[1] - my);
+        }
+        cov / (n - 1) as f64
+    }
+    fn name(&self) -> &'static str {
+        "covariance"
+    }
+    fn kary_form(&self) -> Option<KaryForm> {
+        Some(KaryForm::new(
+            2,
+            3,
+            |r, out| {
+                out[0] = r[0];
+                out[1] = r[1];
+                out[2] = r[0] * r[1];
+            },
+            |s, m| {
+                if m < 2.0 {
+                    f64::NAN
+                } else {
+                    (s[2] - s[0] * s[1] / m) / (m - 1.0)
+                }
+            },
+        ))
+    }
+}
+
+/// The ordinary-least-squares slope of `y` on `x` over interleaved
+/// `[x0, y0, …]` pairs — `(m·Σxy − Σx·Σy) / (m·Σx² − (Σx)²)`.
+///
+/// The same statistic [`crate::least_squares::linear_fit`] computes with
+/// centered sums; declaring it here as a k-ary form lets a slope's accuracy
+/// estimation run resample-free, and `least_squares::slope_via_kary_form`
+/// cross-checks the two arithmetics against each other.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RegressionSlope;
+
+/// The OLS slope combiner shared by [`RegressionSlope`] and
+/// [`crate::least_squares::slope_via_kary_form`]: component sums are
+/// `(Σx, Σy, Σxy, Σx²)`, `m` the record count.
+pub fn regression_slope_form() -> KaryForm {
+    KaryForm::new(
+        2,
+        4,
+        |r, out| {
+            out[0] = r[0];
+            out[1] = r[1];
+            out[2] = r[0] * r[1];
+            out[3] = r[0] * r[0];
+        },
+        |s, m| {
+            if m < 2.0 {
+                return f64::NAN;
+            }
+            let sxx = s[3] - s[0] * s[0] / m;
+            if sxx <= 0.0 {
+                return f64::NAN;
+            }
+            (s[2] - s[0] * s[1] / m) / sxx
+        },
+    )
+}
+
+impl Estimator for RegressionSlope {
+    fn estimate(&self, data: &[f64]) -> f64 {
+        let n = data.len() / 2;
+        if n < 2 {
+            return f64::NAN;
+        }
+        let mx = data.iter().step_by(2).sum::<f64>() / n as f64;
+        let my = data.iter().skip(1).step_by(2).sum::<f64>() / n as f64;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        for pair in data.chunks_exact(2) {
+            let dx = pair[0] - mx;
+            sxy += dx * (pair[1] - my);
+            sxx += dx * dx;
+        }
+        if sxx <= 0.0 {
+            return f64::NAN;
+        }
+        sxy / sxx
+    }
+    fn name(&self) -> &'static str {
+        "slope"
+    }
+    fn kary_form(&self) -> Option<KaryForm> {
+        Some(regression_slope_form())
+    }
 }
 
 /// The coefficient of variation of a set of values: `std-dev / |mean|`.
@@ -910,6 +1257,80 @@ mod tests {
         let closure = |data: &[f64]| data.len() as f64;
         assert!(Estimator::linear_form(&closure).is_none());
         assert!(Estimator::accumulator(&closure).is_none());
+    }
+
+    #[test]
+    fn kary_forms_reproduce_their_estimators() {
+        // Interleaved (x, y) pairs with a known linear relationship + kink.
+        let pairs: Vec<f64> = (0..60)
+            .flat_map(|i| {
+                let x = i as f64;
+                [x, 3.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 }]
+            })
+            .collect();
+        for est in [
+            &WeightedMean as &dyn Estimator,
+            &Ratio,
+            &PairedCovariance,
+            &PairedCorrelation,
+            &RegressionSlope,
+        ] {
+            let form = est.kary_form().expect("k-ary estimator");
+            assert_eq!(form.stride(), 2);
+            assert_eq!(Estimator::record_stride(est), 2);
+            let direct = est.estimate(&pairs);
+            let via_form = form.evaluate(&pairs);
+            assert!(
+                ((direct - via_form) / direct).abs() < 1e-9,
+                "{}: {direct} vs {via_form}",
+                Estimator::name(est)
+            );
+        }
+        // Scalar estimators stay stride-1 with no k-ary form.
+        assert!(Estimator::kary_form(&Mean).is_none());
+        assert_eq!(Estimator::record_stride(&Mean), 1);
+        assert!(Estimator::kary_form(&Median).is_none());
+    }
+
+    #[test]
+    fn weighted_mean_and_ratio_values() {
+        // (x, w): 10 with weight 1, 20 with weight 3 → (10 + 60) / 4 = 17.5.
+        let data = [10.0, 1.0, 20.0, 3.0];
+        assert!((WeightedMean.estimate(&data) - 17.5).abs() < 1e-12);
+        // Equal weights degrade to the plain mean.
+        let flat = [4.0, 1.0, 8.0, 1.0];
+        assert_eq!(WeightedMean.estimate(&flat), 6.0);
+        // All-zero weights are undefined, not a crash or an Inf.
+        assert!(WeightedMean.estimate(&[5.0, 0.0, 7.0, 0.0]).is_nan());
+        assert!(WeightedMean.estimate(&[]).is_nan());
+
+        // (a, b): Σa = 30, Σb = 6.
+        let ratio = [10.0, 2.0, 20.0, 4.0];
+        assert_eq!(Ratio.estimate(&ratio), 5.0);
+        assert!(Ratio.estimate(&[1.0, 0.0, -1.0, 0.0]).is_nan());
+    }
+
+    #[test]
+    fn covariance_and_slope_match_closed_forms() {
+        // y = 2x + 1 exactly: slope 2, correlation 1, cov = 2·var(x).
+        let pairs: Vec<f64> = (0..50)
+            .flat_map(|i| [i as f64, 2.0 * i as f64 + 1.0])
+            .collect();
+        assert!((RegressionSlope.estimate(&pairs) - 2.0).abs() < 1e-9);
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let var_x = Variance.estimate(&xs);
+        assert!((PairedCovariance.estimate(&pairs) - 2.0 * var_x).abs() < 1e-9);
+        // Degenerate inputs.
+        assert!(PairedCovariance.estimate(&[1.0, 2.0]).is_nan());
+        assert!(RegressionSlope.estimate(&[1.0, 2.0]).is_nan());
+        let const_x: Vec<f64> = (0..10).flat_map(|i| [5.0, i as f64]).collect();
+        assert!(RegressionSlope.estimate(&const_x).is_nan(), "vertical line");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn kary_form_rejects_excess_arity() {
+        KaryForm::new(2, MAX_KARY_COMPONENTS + 1, |_, _| {}, |_, _| 0.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! and, for very small `n`, the exact enumeration itself — used in tests to
 //! validate that the Monte-Carlo estimate converges to the exact value.
 
-use crate::estimators::Estimator;
+use crate::estimators::{Estimator, KaryForm, MAX_KARY_COMPONENTS};
 use crate::{Result, StatsError};
 
 /// Number of distinct bootstrap resamples (multisets) of a sample of size `n`:
@@ -89,6 +89,110 @@ fn enumerate_compositions(
     }
 }
 
+/// The exact bootstrap distribution of a k-ary linear-form statistic
+/// ([`KaryForm`]) over all equally likely *record* resamples of an interleaved
+/// sample — the record-aware twin of [`exact_bootstrap_moments`], with the
+/// same tiny-`n` contract the scalar path gives Mean/Sum/Count: every
+/// multiset of records is enumerated with its multinomial weight and the
+/// combiner is evaluated on the multiset's component sums.  Only feasible for
+/// ≤ 10 records; returns the exact mean and variance of the bootstrap
+/// distribution.
+///
+/// This is the ground truth the Monte-Carlo and count-based kernels converge
+/// to for the weighted mean, ratios, covariance and friends at tiny `n`.
+pub fn exact_kary_bootstrap_moments(data: &[f64], form: &KaryForm) -> Result<(f64, f64)> {
+    let stride = form.stride();
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if data.len() % stride != 0 {
+        return Err(StatsError::InvalidParameter(format!(
+            "sample of {} values is not a whole number of {stride}-column records",
+            data.len()
+        )));
+    }
+    let n = data.len() / stride;
+    if n > 10 {
+        return Err(StatsError::InvalidParameter(format!(
+            "exact bootstrap enumeration is infeasible for n = {n} (the paper's point)"
+        )));
+    }
+    // Per-record component vectors, computed once.
+    let mut components = Vec::with_capacity(n);
+    let mut scratch = [0.0; MAX_KARY_COMPONENTS];
+    for record in data.chunks_exact(stride) {
+        form.components_of(record, &mut scratch);
+        components.push(scratch);
+    }
+    let mut mean = 0.0;
+    let mut second = 0.0;
+    let mut counts = vec![0usize; n];
+    enumerate_kary(&mut counts, 0, n, &components, form, &mut mean, &mut second);
+    let variance = second - mean * mean;
+    Ok((mean, variance.max(0.0)))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_kary(
+    counts: &mut Vec<usize>,
+    index: usize,
+    remaining: usize,
+    components: &[[f64; MAX_KARY_COMPONENTS]],
+    form: &KaryForm,
+    mean: &mut f64,
+    second: &mut f64,
+) {
+    let n = components.len();
+    if index == n - 1 {
+        counts[index] = remaining;
+        let weight = multinomial_probability(counts, n);
+        let mut sums = [0.0; MAX_KARY_COMPONENTS];
+        for (record, &c) in components.iter().zip(counts.iter()) {
+            for k in 0..form.arity() {
+                sums[k] += c as f64 * record[k];
+            }
+        }
+        let value = form.combine(&sums, n as f64);
+        *mean += weight * value;
+        *second += weight * value * value;
+        return;
+    }
+    for c in 0..=remaining {
+        counts[index] = c;
+        enumerate_kary(
+            counts,
+            index + 1,
+            remaining - c,
+            components,
+            form,
+            mean,
+            second,
+        );
+    }
+}
+
+/// Exact bootstrap moments of the **weighted mean** over interleaved
+/// `[x0, w0, …]` pairs at tiny record counts — the closed-shape fallback the
+/// exact-path contract gives Mean/Sum/Count, extended to the first k-ary
+/// statistic.
+pub fn exact_weighted_mean_moments(pairs: &[f64]) -> Result<(f64, f64)> {
+    exact_kary_bootstrap_moments(
+        pairs,
+        &crate::estimators::Estimator::kary_form(&crate::estimators::WeightedMean)
+            .expect("WeightedMean declares a k-ary form"),
+    )
+}
+
+/// Exact bootstrap moments of the **ratio of sums** `Σa/Σb` over interleaved
+/// `[a0, b0, …]` pairs at tiny record counts.
+pub fn exact_ratio_moments(pairs: &[f64]) -> Result<(f64, f64)> {
+    exact_kary_bootstrap_moments(
+        pairs,
+        &crate::estimators::Estimator::kary_form(&crate::estimators::Ratio)
+            .expect("Ratio declares a k-ary form"),
+    )
+}
+
 fn multinomial_probability(counts: &[usize], n: usize) -> f64 {
     // n! / (prod c_i!) / n^n computed in log space for stability.
     let mut log_p = ln_factorial(n) - n as f64 * (n as f64).ln();
@@ -141,6 +245,64 @@ mod tests {
             (0.9..1.1).contains(&ratio),
             "MC variance {mc_var} vs exact {exact_var}"
         );
+    }
+
+    #[test]
+    fn exact_weighted_mean_with_unit_weights_matches_the_scalar_mean_path() {
+        // With all weights 1 the weighted mean *is* the mean, and the k-ary
+        // enumeration must reproduce the scalar enumeration exactly.
+        let values = [1.0, 4.0, 7.0, 10.0];
+        let pairs: Vec<f64> = values.iter().flat_map(|&x| [x, 1.0]).collect();
+        let (scalar_mean, scalar_var) = exact_bootstrap_moments(&values, &Mean).unwrap();
+        let (kary_mean, kary_var) = exact_weighted_mean_moments(&pairs).unwrap();
+        assert!((scalar_mean - kary_mean).abs() < 1e-12);
+        assert!((scalar_var - kary_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_kernels_converge_to_the_exact_kary_moments() {
+        use crate::bootstrap::BootstrapKernel;
+        use crate::estimators::Ratio;
+        // 6 (a, b) records with spread in both columns.
+        let pairs = [3.0, 1.0, 5.0, 2.0, 8.0, 3.0, 2.0, 1.5, 9.0, 2.5, 4.0, 1.0];
+        let (exact_mean, exact_var) = exact_ratio_moments(&pairs).unwrap();
+        assert!(exact_mean.is_finite() && exact_var > 0.0);
+        for kernel in [BootstrapKernel::Gather, BootstrapKernel::CountBased] {
+            let mc = bootstrap_distribution(
+                2,
+                &pairs,
+                &Ratio,
+                &BootstrapConfig::with_resamples(20_000).with_kernel(kernel),
+            )
+            .unwrap();
+            let mc_var = mc.std_error * mc.std_error;
+            assert!(
+                (mc.replicate_mean - exact_mean).abs() / exact_mean.abs() < 0.05,
+                "{kernel:?}: MC mean {} vs exact {exact_mean}",
+                mc.replicate_mean
+            );
+            assert!(
+                (0.7..1.4).contains(&(mc_var / exact_var)),
+                "{kernel:?}: MC variance {mc_var} vs exact {exact_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn kary_enumeration_rejects_bad_inputs() {
+        assert!(matches!(
+            exact_weighted_mean_moments(&[]),
+            Err(StatsError::EmptySample)
+        ));
+        assert!(matches!(
+            exact_weighted_mean_moments(&[1.0, 2.0, 3.0]),
+            Err(StatsError::InvalidParameter(_)),
+        ));
+        let big: Vec<f64> = (0..24).map(|i| i as f64 + 1.0).collect();
+        assert!(matches!(
+            exact_ratio_moments(&big),
+            Err(StatsError::InvalidParameter(_))
+        ));
     }
 
     #[test]

@@ -61,23 +61,37 @@ pub fn jackknife_with_parallelism(
 /// thread count — replicate `i` is a pure function of `(data, i)`.  Leave-
 /// one-out sets are materialised subsets, so `CountBased`/`Auto` resolve to
 /// streaming at best.
+///
+/// Deletion is per **record**: a multi-column estimator
+/// ([`Estimator::record_stride`] > 1) leaves out its `stride` consecutive
+/// values together, so replicate `i` is the statistic without record `i` —
+/// never a misaligned sample.  `n` (the replicate count and the variance
+/// formula's `n`) is then the record count.
 pub fn jackknife_with_kernel(
     data: &[f64],
     estimator: &dyn Estimator,
     parallelism: Option<usize>,
     kernel: BootstrapKernel,
 ) -> Result<JackknifeResult> {
-    let n = data.len();
+    let stride = estimator.record_stride().max(1);
+    if data.len() % stride != 0 {
+        return Err(StatsError::InvalidParameter(format!(
+            "sample of {} values is not a whole number of {stride}-column records",
+            data.len()
+        )));
+    }
+    let n = data.len() / stride;
     if n < 2 {
         return Err(StatsError::EmptySample);
     }
     let point_estimate = estimator.estimate(data);
-    let threads = workers_for(n.saturating_mul(n), parallelism);
+    let threads = workers_for(data.len().saturating_mul(n), parallelism);
     let replicates = match kernel.resolve_materialised(estimator) {
         ResolvedKernel::Streaming => replicate_map(
             n,
             threads,
             || {
+                debug_assert_eq!(stride, 1, "streaming accumulators are scalar");
                 estimator
                     .accumulator()
                     .expect("Streaming resolution implies an accumulator")
@@ -92,11 +106,11 @@ pub fn jackknife_with_kernel(
         _ => replicate_map(
             n,
             threads,
-            || Vec::with_capacity(n - 1),
+            || Vec::with_capacity(data.len() - stride),
             |leave_out, scratch: &mut Vec<f64>| {
                 scratch.clear();
-                scratch.extend_from_slice(&data[..leave_out]);
-                scratch.extend_from_slice(&data[leave_out + 1..]);
+                scratch.extend_from_slice(&data[..leave_out * stride]);
+                scratch.extend_from_slice(&data[(leave_out + 1) * stride..]);
                 estimator.estimate(scratch)
             },
         ),
@@ -201,6 +215,35 @@ mod tests {
         // Auto picks the streaming path for the mean.
         let auto = jackknife(&data, &Mean).unwrap();
         assert_eq!(gather, auto);
+    }
+
+    #[test]
+    fn jackknife_deletes_whole_records_for_paired_estimators() {
+        use crate::estimators::Ratio;
+        // Records are (a, 2a): every leave-one-out set still has ratio exactly
+        // 0.5 — any pair-splitting misalignment would scramble it.
+        let data: Vec<f64> = (1..=40)
+            .flat_map(|i| {
+                let a = i as f64;
+                [a, 2.0 * a]
+            })
+            .collect();
+        let result = jackknife(&data, &Ratio).unwrap();
+        assert_eq!(result.replicates.len(), 40, "one replicate per record");
+        for r in &result.replicates {
+            assert_eq!(*r, 0.5, "pairs must never be split");
+        }
+        assert_eq!(result.std_error, 0.0);
+        // An odd value count is not a whole number of pairs.
+        assert!(matches!(
+            jackknife(&[1.0, 2.0, 3.0], &Ratio),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        // A single record cannot be jackknifed.
+        assert!(matches!(
+            jackknife(&[1.0, 2.0], &Ratio),
+            Err(StatsError::EmptySample)
+        ));
     }
 
     #[test]

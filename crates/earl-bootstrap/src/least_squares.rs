@@ -44,6 +44,31 @@ impl PowerLawFit {
     }
 }
 
+/// The OLS slope of `y` on `x`, evaluated through the **k-ary linear form**
+/// the count-based bootstrap kernel uses
+/// ([`crate::estimators::regression_slope_form`]: raw sums
+/// `(Σx, Σy, Σxy, Σx²)` + combiner) — the same statistic [`linear_fit`]
+/// computes with centered sums.  The two arithmetics agree up to floating-
+/// point reassociation; keeping both lets the suite cross-check the combiner
+/// the resample-free kernel relies on against the numerically independent
+/// centered path.
+pub fn slope_via_kary_form(points: &[(f64, f64)]) -> Result<f64> {
+    if points.len() < 2 {
+        return Err(StatsError::InvalidParameter(
+            "need at least 2 points to fit a line".into(),
+        ));
+    }
+    let interleaved: Vec<f64> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
+    let form = crate::estimators::regression_slope_form();
+    let slope = form.evaluate(&interleaved);
+    if slope.is_nan() {
+        return Err(StatsError::InvalidParameter(
+            "all x values are identical".into(),
+        ));
+    }
+    Ok(slope)
+}
+
 /// Ordinary least-squares fit of a straight line `y = intercept + slope · x`.
 pub fn linear_fit(points: &[(f64, f64)]) -> Result<(f64, f64, f64)> {
     if points.len() < 2 {
@@ -149,6 +174,28 @@ mod tests {
         let fit = fit_power_law(&points).unwrap();
         assert!((fit.b + 0.5).abs() < 0.1, "exponent {}", fit.b);
         assert!(fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn kary_slope_cross_checks_the_centered_fit() {
+        // Noisy-but-deterministic points: the raw-sums combiner (the one the
+        // count-based kernel evaluates) and the centered linear_fit arithmetic
+        // must agree to reassociation error.
+        let points: Vec<(f64, f64)> = (0..40)
+            .map(|i| {
+                let x = 5.0 + i as f64 * 0.75;
+                (x, 3.0 - 2.0 * x + 0.3 * ((i % 7) as f64 - 3.0))
+            })
+            .collect();
+        let (_, centered_slope, _) = linear_fit(&points).unwrap();
+        let kary_slope = slope_via_kary_form(&points).unwrap();
+        assert!(
+            ((centered_slope - kary_slope) / centered_slope).abs() < 1e-9,
+            "centered {centered_slope} vs kary {kary_slope}"
+        );
+        // Both paths reject the same degenerate inputs.
+        assert!(slope_via_kary_form(&[(1.0, 2.0)]).is_err());
+        assert!(slope_via_kary_form(&[(1.0, 2.0), (1.0, 3.0)]).is_err());
     }
 
     #[test]

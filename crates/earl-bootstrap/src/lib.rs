@@ -54,10 +54,13 @@ pub mod ssabe;
 pub use earl_parallel as parallel;
 
 pub use bootstrap::{
-    bootstrap_distribution, BootstrapConfig, BootstrapKernel, BootstrapResult, LinearSections,
-    Resampler, ResolvedKernel,
+    bootstrap_distribution, BootstrapConfig, BootstrapKernel, BootstrapResult, KarySections,
+    LinearSections, Resampler, ResolvedKernel,
 };
-pub use estimators::{Accumulator, Estimator, LinearForm, StreamingStats};
+pub use estimators::{
+    Accumulator, Estimator, KaryComponents, KaryForm, LinearForm, StreamingStats,
+    MAX_KARY_COMPONENTS,
+};
 pub use jackknife::jackknife;
 pub use ssabe::{Ssabe, SsabeConfig, SsabeEstimate};
 

@@ -19,8 +19,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bootstrap::{
-    bootstrap_distribution, BootstrapConfig, BootstrapKernel, LinearSections, Resampler,
-    ResolvedKernel,
+    bootstrap_distribution, BootstrapConfig, BootstrapKernel, KarySections, LinearSections,
+    Resampler, ResolvedKernel,
 };
 use crate::estimators::{coefficient_of_variation, Estimator, Mean, StdDev};
 use crate::least_squares::{fit_power_law, PowerLawFit};
@@ -156,20 +156,37 @@ impl Ssabe {
         pilot: &[f64],
         estimator: &dyn Estimator,
     ) -> Result<(usize, Vec<f64>)> {
-        if pilot.len() < 2 {
+        // Multi-column estimators resample whole records; every size below is
+        // a record count.
+        let stride = estimator.record_stride().max(1);
+        if pilot.len() % stride != 0 {
+            return Err(StatsError::InvalidParameter(format!(
+                "pilot of {} values is not a whole number of {stride}-column records",
+                pilot.len()
+            )));
+        }
+        let pilot_records = pilot.len() / stride;
+        if pilot_records < 2 {
             return Err(StatsError::EmptySample);
         }
         // Replicate i always draws from the stream (b_seed, i), so growing B
         // extends the replicate set without redrawing the prefix — the same
         // streams a full parallel bootstrap at any thread count would use.
         let b_seed = derive_seed(seed, B_PHASE);
+        enum Sections {
+            Linear(LinearSections, crate::estimators::LinearForm),
+            Kary(KarySections, crate::estimators::KaryForm),
+        }
         let sections = match self.config.kernel.resolve_for(estimator) {
-            ResolvedKernel::CountBased => Some((
-                LinearSections::build(pilot),
-                estimator
-                    .linear_form()
-                    .expect("CountBased resolution implies a linear form"),
-            )),
+            ResolvedKernel::CountBased => Some(match estimator.linear_form() {
+                Some(form) => Sections::Linear(LinearSections::build(pilot), form),
+                None => {
+                    let form = estimator
+                        .kary_form()
+                        .expect("CountBased resolution implies a linear or k-ary form");
+                    Sections::Kary(KarySections::build(pilot, &form)?, form)
+                }
+            }),
             _ => None,
         };
         // The sections path never touches the Resampler — leave it empty
@@ -180,11 +197,15 @@ impl Ssabe {
             Resampler::for_kernel(pilot.len(), estimator, self.config.kernel)
         };
         let mut replicate = |i: usize| match &sections {
-            Some((sections, form)) => {
+            Some(Sections::Linear(sections, form)) => {
                 let mut rng = crate::rng::replicate_rng(b_seed, i as u64);
-                sections.replicate(&mut rng, pilot.len(), *form)
+                sections.replicate(&mut rng, pilot_records, *form)
             }
-            None => scratch.replicate(b_seed, i as u64, pilot, pilot.len(), estimator),
+            Some(Sections::Kary(sections, form)) => {
+                let mut rng = crate::rng::replicate_rng(b_seed, i as u64);
+                sections.replicate(&mut rng, pilot_records, form)
+            }
+            None => scratch.replicate(b_seed, i as u64, pilot, pilot_records, estimator),
         };
         // Seed with two replicates (cv needs at least two points).
         let mut replicates: Vec<f64> = vec![replicate(0), replicate(1)];
@@ -214,7 +235,16 @@ impl Ssabe {
         estimator: &dyn Estimator,
         b: usize,
     ) -> Result<NEstimate> {
-        let n0 = pilot.len();
+        // Ladder sizes count *records*: a multi-column pilot is never cut in
+        // the middle of a record.
+        let stride = estimator.record_stride().max(1);
+        let n0 = pilot.len() / stride;
+        if pilot.len() % stride != 0 {
+            return Err(StatsError::InvalidParameter(format!(
+                "pilot of {} values is not a whole number of {stride}-column records",
+                pilot.len()
+            )));
+        }
         if n0 < (1 << self.config.ladder_levels) {
             return Err(StatsError::InvalidParameter(format!(
                 "pilot of {n0} items is too small for {} ladder levels",
@@ -232,7 +262,7 @@ impl Ssabe {
             if ni < 2 {
                 continue;
             }
-            let subsample = &pilot[..ni];
+            let subsample = &pilot[..ni * stride];
             let level_seed = derive_seed(seed, LADDER_PHASE + i as u64);
             let result = bootstrap_distribution(level_seed, subsample, estimator, &config)?;
             if result.cv.is_finite() && result.cv > 0.0 {

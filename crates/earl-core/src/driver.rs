@@ -21,6 +21,7 @@ use earl_bootstrap::bootstrap::{
 use earl_bootstrap::delta::{IncrementalBootstrap, SketchConfig};
 use earl_bootstrap::rng::derive_seed;
 use earl_bootstrap::ssabe::{Ssabe, SsabeConfig};
+use earl_bootstrap::Estimator;
 use earl_cluster::Phase;
 use earl_dfs::{Dfs, DfsPath};
 use earl_mapreduce::{
@@ -59,8 +60,28 @@ impl<T: EarlTask> Mapper for TaskMapper<'_, T> {
     type OutKey = u32;
     type OutValue = f64;
     fn map(&self, _offset: u64, line: &str, ctx: &mut MapContext<u32, f64>) {
-        if let Some(value) = self.task.extract(line) {
-            ctx.emit(0, value);
+        if self.task.record_stride() == 1 {
+            if let Some(value) = self.task.extract(line) {
+                ctx.emit(0, value);
+            }
+        } else {
+            // Multi-column record: emit every column in order.  Emission order
+            // is preserved per key through the (deterministic) shuffle, so the
+            // reducer sees whole records back to back.  The scratch buffer is
+            // thread-local — one allocation per worker, not one per line.
+            thread_local! {
+                static RECORD: std::cell::RefCell<Vec<f64>> =
+                    const { std::cell::RefCell::new(Vec::new()) };
+            }
+            RECORD.with(|cell| {
+                let mut record = cell.borrow_mut();
+                record.clear();
+                if self.task.extract_record(line, &mut record) {
+                    for &value in record.iter() {
+                        ctx.emit(0, value);
+                    }
+                }
+            });
         }
     }
     fn is_heavy(&self) -> bool {
@@ -116,11 +137,14 @@ struct Staged {
 /// map phase without racing on the cluster accounting.
 ///
 /// Kernel routing: when `config.bootstrap_kernel` resolves the task to the
-/// count-based kernel (linear statistics under `Auto`), the fresh bootstrap
-/// path is taken even with delta maintenance enabled — one O(n) section-build
-/// scan plus O(√n) per replicate per iteration is strictly cheaper than
-/// maintaining materialised resamples (whose per-iteration *evaluation* alone
-/// is O(B·n)), so there is no state worth maintaining.
+/// count-based kernel (linear and k-ary-linear statistics under `Auto`), the
+/// fresh bootstrap path is taken even with delta maintenance enabled — one
+/// O(n) section-build scan plus O(√n) per replicate per iteration is strictly
+/// cheaper than maintaining materialised resamples (whose per-iteration
+/// *evaluation* alone is O(B·n)), so there is no state worth maintaining.
+/// Multi-column tasks (record stride > 1) always take the fresh path too:
+/// the maintained-resample structure adds and deletes individual *values*,
+/// which would split a record's columns apart.
 fn accuracy_stage<T: EarlTask>(
     config: &EarlConfig,
     estimator: &TaskEstimator<'_, T>,
@@ -131,7 +155,8 @@ fn accuracy_stage<T: EarlTask>(
     incremental: &mut Option<IncrementalBootstrap>,
 ) -> Result<(BootstrapResult, u64)> {
     let resolved = config.bootstrap_kernel.resolve_for(estimator);
-    if config.delta_maintenance && resolved != ResolvedKernel::CountBased {
+    let stride = estimator.record_stride().max(1);
+    if config.delta_maintenance && resolved != ResolvedKernel::CountBased && stride == 1 {
         match incremental.as_mut() {
             None => {
                 let ib = IncrementalBootstrap::new(
@@ -169,14 +194,16 @@ fn accuracy_stage<T: EarlTask>(
                 .with_kernel(config.bootstrap_kernel),
         )
         .map_err(EarlError::Stats)?;
+        // Work is accounted in records (identical to values for stride 1).
+        let records = values.len() / stride;
         let touched = match resolved {
             // The count-based kernel scans the sample once to build the
             // section summaries, then touches one summary per section per
             // replicate — the O(n + √n·B) accounting the roadmap targets.
             ResolvedKernel::CountBased => {
-                (values.len() + bootstraps * LinearSections::section_count(values.len())) as u64
+                (records + bootstraps * LinearSections::section_count(records)) as u64
             }
-            _ => (bootstraps * values.len()) as u64,
+            _ => (bootstraps * records) as u64,
         };
         Ok((result, touched))
     }
@@ -229,11 +256,11 @@ fn draw_batch<T: EarlTask>(sampler: &mut Sampler, task: &T, needed: usize) -> Re
     if batch.is_empty() {
         out.exhausted = true;
     } else {
-        out.values = batch
-            .records
-            .iter()
-            .filter_map(|(_, line)| task.extract(line))
-            .collect();
+        for (_, line) in &batch.records {
+            // All-or-nothing per record: multi-column tasks never leave the
+            // flat sample mid-record.
+            task.extract_record(line, &mut out.values);
+        }
         out.records = batch.records;
     }
     Ok(out)
@@ -303,10 +330,14 @@ impl EarlDriver {
             .min(population) as usize;
         let pilot_batch = sampler.draw(pilot_target)?;
         let mut records: Vec<(u64, String)> = pilot_batch.records;
-        let mut values: Vec<f64> = records
-            .iter()
-            .filter_map(|(_, line)| task.extract(line))
-            .collect();
+        // `values` is the flat extracted sample: `stride` consecutive values
+        // per usable record.  All sample-size arithmetic below counts records
+        // (`values.len() / stride`), which for scalar tasks is values.len().
+        let stride = task.record_stride().max(1);
+        let mut values: Vec<f64> = Vec::new();
+        for (_, line) in &records {
+            task.extract_record(line, &mut values);
+        }
         if values.is_empty() {
             return Err(EarlError::NoUsableRecords);
         }
@@ -335,13 +366,14 @@ impl EarlDriver {
                             // pilot bootstraps resolved to; the count-based
                             // kernel additionally pays one O(n) section-build
                             // scan of the pilot).
+                            let pilot_records = values.len() / stride;
                             let aes_pilot_cost =
                                 match self.config.bootstrap_kernel.resolve_for(&estimator) {
                                     ResolvedKernel::CountBased => {
-                                        values.len()
-                                            + est.b * LinearSections::section_count(values.len())
+                                        pilot_records
+                                            + est.b * LinearSections::section_count(pilot_records)
                                     }
-                                    _ => est.b * values.len(),
+                                    _ => est.b * pilot_records,
                                 };
                             cluster.charge_reduce_cpu(
                                 Phase::AccuracyEstimation,
@@ -384,8 +416,8 @@ impl EarlDriver {
             while iterations < self.config.max_iterations {
                 iterations += 1;
 
-                // Expand the sample up to the current target.
-                let needed = target_n.saturating_sub(values.len() as u64) as usize;
+                // Expand the sample up to the current target (record counts).
+                let needed = target_n.saturating_sub((values.len() / stride) as u64) as usize;
                 let drawn = draw_batch(&mut sampler, task, needed)?;
                 exhausted |= drawn.exhausted;
                 let delta_values = drawn.values;
@@ -424,7 +456,7 @@ impl EarlDriver {
                 let cv = bootstrap_result.cv;
                 last_bootstrap = Some(bootstrap_result);
 
-                if values.len() as u64 >= population {
+                if (values.len() / stride) as u64 >= population {
                     exact = true;
                     break;
                 }
@@ -432,7 +464,8 @@ impl EarlDriver {
                     break;
                 }
                 // Expand and try again.
-                let next = ((values.len() as f64) * self.config.expansion_factor).ceil() as u64;
+                let next =
+                    (((values.len() / stride) as f64) * self.config.expansion_factor).ceil() as u64;
                 target_n = next.min(population);
             }
             committed_drawn = sampler.drawn();
@@ -463,7 +496,8 @@ impl EarlDriver {
                         s.delta_values
                     }
                     None => {
-                        let needed = target_n.saturating_sub(values.len() as u64) as usize;
+                        let needed =
+                            target_n.saturating_sub((values.len() / stride) as u64) as usize;
                         let drawn = draw_batch(&mut sampler, task, needed)?;
                         exhausted |= drawn.exhausted;
                         let delta_values = drawn.values;
@@ -481,13 +515,14 @@ impl EarlDriver {
                 };
 
                 // ---- AES of iteration i ∥ draw + map of iteration i+1 -------
-                let next_target = (((values.len() as f64) * self.config.expansion_factor).ceil()
+                let sample_records = (values.len() / stride) as u64;
+                let next_target = (((sample_records as f64) * self.config.expansion_factor).ceil()
                     as u64)
                     .min(population);
                 let speculate = !exhausted
-                    && (values.len() as u64) < population
+                    && sample_records < population
                     && iterations < self.config.max_iterations;
-                let needed = next_target.saturating_sub(values.len() as u64) as usize;
+                let needed = next_target.saturating_sub(sample_records) as usize;
 
                 let (aes_out, spec_out) = std::thread::scope(|scope| {
                     let config = &self.config;
@@ -548,7 +583,7 @@ impl EarlDriver {
                 });
                 last_bootstrap = Some(bootstrap_result);
 
-                if values.len() as u64 >= population {
+                if (values.len() / stride) as u64 >= population {
                     exact = true;
                     if let Some(s) = speculative {
                         session.cancel_iteration(s.pending);
@@ -577,7 +612,12 @@ impl EarlDriver {
         // ---- report ----------------------------------------------------------
         let bootstrap_result = last_bootstrap.ok_or(EarlError::NoUsableRecords)?;
         let sampled_fraction = (committed_drawn as f64 / population as f64).clamp(0.0, 1.0);
-        let aes_report = aes.summarise(task, &bootstrap_result, sampled_fraction, values.len());
+        let aes_report = aes.summarise(
+            task,
+            &bootstrap_result,
+            sampled_fraction,
+            values.len() / stride,
+        );
         let report = EarlReport {
             task: task.name().to_owned(),
             result: if exact {
@@ -590,7 +630,7 @@ impl EarlDriver {
             target_sigma: self.config.sigma,
             ci_low: aes_report.ci.0,
             ci_high: aes_report.ci.1,
-            sample_size: values.len() as u64,
+            sample_size: (values.len() / stride) as u64,
             population,
             sample_fraction: sampled_fraction,
             bootstraps: aes_report.bootstraps,

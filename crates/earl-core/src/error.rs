@@ -28,6 +28,10 @@ pub enum EarlError {
     /// A grouped run could not bring every group's error under the bound
     /// within the iteration budget; the partial per-group report is attached.
     GroupedAccuracyNotReached(Box<crate::grouped::GroupedEarlReport>),
+    /// A weighted grouped statistic was undefined for the named group — its
+    /// observed weights sum to zero — so the run cannot report a number for
+    /// it (a NaN result would otherwise slip through the bound predicate).
+    DegenerateGroupWeight(String),
 }
 
 impl fmt::Display for EarlError {
@@ -53,6 +57,10 @@ impl fmt::Display for EarlError {
                 report.worst_cv(),
                 report.groups.len(),
                 report.sample_fraction * 100.0
+            ),
+            EarlError::DegenerateGroupWeight(key) => write!(
+                f,
+                "group `{key}` has a degenerate (all-zero) weight sum — its weighted statistic is undefined"
             ),
         }
     }

@@ -42,7 +42,11 @@ pub fn run_despite_failures<T: EarlTask>(
         return Err(EarlError::NoUsableRecords);
     }
 
-    // Read every split that still has a live replica; skip the rest.
+    // Read every split that still has a live replica; skip the rest.  The
+    // surviving sample is extracted record by record (all-or-nothing), so
+    // multi-column tasks keep whole records — `surviving` holds
+    // `record_stride()` consecutive values per usable line.
+    let stride = task.record_stride().max(1);
     let mut surviving: Vec<f64> = Vec::new();
     let mut lost_splits = 0usize;
     let splits = dfs.default_splits(path.clone())?;
@@ -50,7 +54,9 @@ pub fn run_despite_failures<T: EarlTask>(
         let mut reader = dfs.open_split(split, Phase::Load);
         match reader.read_all() {
             Ok(lines) => {
-                surviving.extend(lines.iter().filter_map(|(_, l)| task.extract(l)));
+                for (_, line) in &lines {
+                    task.extract_record(line, &mut surviving);
+                }
             }
             Err(_) => lost_splits += 1,
         }
@@ -58,9 +64,10 @@ pub fn run_despite_failures<T: EarlTask>(
     if surviving.is_empty() {
         return Err(EarlError::NoUsableRecords);
     }
+    let surviving_records = (surviving.len() / stride) as u64;
 
     // Treat the surviving records as the sample and estimate the error.
-    let p = (surviving.len() as f64 / population as f64).clamp(0.0, 1.0);
+    let p = (surviving_records as f64 / population as f64).clamp(0.0, 1.0);
     let bootstraps = config.bootstraps.unwrap_or(30).max(2);
     let estimator = TaskEstimator::new(task);
     let bootstrap_config =
@@ -69,11 +76,11 @@ pub fn run_despite_failures<T: EarlTask>(
         .map_err(EarlError::Stats)?;
     cluster.charge_reduce_cpu(
         Phase::AccuracyEstimation,
-        (bootstraps * surviving.len()) as u64,
+        bootstraps as u64 * surviving_records,
         task.is_heavy(),
     );
 
-    let exact = lost_splits == 0 && surviving.len() as u64 >= population;
+    let exact = lost_splits == 0 && surviving_records >= population;
     let (ci_low, ci_high) = bootstrap.percentile_ci(0.05);
     Ok(EarlReport {
         task: task.name().to_owned(),
@@ -83,7 +90,7 @@ pub fn run_despite_failures<T: EarlTask>(
         target_sigma: config.sigma,
         ci_low: task.correct(ci_low, p),
         ci_high: task.correct(ci_high, p),
-        sample_size: surviving.len() as u64,
+        sample_size: surviving_records,
         population,
         sample_fraction: p,
         bootstraps,

@@ -40,7 +40,7 @@ use crate::config::SamplingMethod;
 use crate::driver::EarlDriver;
 use crate::error::EarlError;
 use crate::task::{EarlTask, TaskEstimator};
-use crate::tasks::{CountTask, MeanTask, SumTask};
+use crate::tasks::{CountTask, MeanTask, SumTask, WeightedMeanTask};
 use crate::Result;
 use earl_sampling::{PostMapSampler, PreMapSampler, SampleSource};
 
@@ -70,6 +70,11 @@ pub enum GroupedStat {
     Sum,
     /// Per-group record count, corrected by `1/p`.
     Count,
+    /// Per-group weighted mean `Σwx / Σw` over `key<TAB>value<TAB>weight`
+    /// lines (scale-free: both sums shrink by the same `p`).  A k-ary linear
+    /// statistic — its per-group bootstraps run resample-free under `Auto`,
+    /// and every kernel resamples whole `(value, weight)` records.
+    WeightedMean,
 }
 
 /// The deterministic RNG seed of one group's accuracy-estimation bootstrap:
@@ -113,6 +118,11 @@ impl GroupedAggregate {
         Self::new(GroupedStat::Count)
     }
 
+    /// Per-group weighted mean over `key<TAB>value<TAB>weight` lines.
+    pub fn weighted_mean() -> Self {
+        Self::new(GroupedStat::WeightedMean)
+    }
+
     /// The statistic computed per group.
     pub fn stat(&self) -> GroupedStat {
         self.stat
@@ -124,48 +134,78 @@ impl GroupedAggregate {
             GroupedStat::Mean => "grouped-mean",
             GroupedStat::Sum => "grouped-sum",
             GroupedStat::Count => "grouped-count",
+            GroupedStat::WeightedMean => "grouped-weighted-mean",
+        }
+    }
+
+    /// Values per record in a group's flat value buffer: 1 for the scalar
+    /// statistics, 2 (`value`, `weight` interleaved) for the weighted mean.
+    pub fn value_stride(&self) -> usize {
+        match self.stat {
+            GroupedStat::WeightedMean => 2,
+            _ => 1,
         }
     }
 
     /// Parses one `key<TAB>value` line into its `(key, value)` pair, or `None`
     /// for lines without a key or (except for `Count`) without a parsable
     /// numeric value.  `Count` only needs the key: every keyed record counts
-    /// as `1.0`.
+    /// as `1.0`.  For the weighted mean (a two-column record) this returns the
+    /// *value* column only — use [`extract_record`](Self::extract_record),
+    /// which every engine path does, to get the full record.
     pub fn extract(&self, line: &str) -> Option<(String, f64)> {
+        let (key, record) = self.extract_record(line)?;
+        Some((key, record.values()[0]))
+    }
+
+    /// Parses one line into its key and full record (`value_stride()`
+    /// components, all-or-nothing).  `key<TAB>value` for the scalar
+    /// statistics, `key<TAB>value<TAB>weight` for the weighted mean.
+    pub fn extract_record(&self, line: &str) -> Option<(String, GroupedRecord)> {
         let (key, rest) = line.split_once('\t')?;
         if key.is_empty() {
             return None;
         }
-        let value = match self.stat {
-            GroupedStat::Count => 1.0,
-            _ => rest.rsplit('\t').next()?.trim().parse().ok()?,
+        let record = match self.stat {
+            GroupedStat::Count => GroupedRecord::scalar(1.0),
+            GroupedStat::WeightedMean => {
+                let mut fields = rest.rsplit('\t');
+                let weight: f64 = fields.next()?.trim().parse().ok()?;
+                let value: f64 = fields.next()?.trim().parse().ok()?;
+                GroupedRecord::pair(value, weight)
+            }
+            _ => GroupedRecord::scalar(rest.rsplit('\t').next()?.trim().parse().ok()?),
         };
-        Some((key.to_owned(), value))
+        Some((key.to_owned(), record))
     }
 
-    /// Evaluates the statistic over one group's values.
+    /// Evaluates the statistic over one group's (flat, possibly interleaved)
+    /// values.
     pub fn evaluate(&self, values: &[f64]) -> f64 {
         match self.stat {
             GroupedStat::Mean => MeanTask.evaluate(values),
             GroupedStat::Sum => SumTask.evaluate(values),
             GroupedStat::Count => CountTask.evaluate(values),
+            GroupedStat::WeightedMean => WeightedMeanTask.evaluate(values),
         }
     }
 
     /// Corrects a per-group result computed from a fraction `p` of the data —
-    /// the same `correct()` semantics as the scalar tasks (mean is scale-free,
-    /// sum and count scale by `1/p`).
+    /// the same `correct()` semantics as the scalar tasks (mean and weighted
+    /// mean are scale-free, sum and count scale by `1/p`).
     pub fn correct(&self, result: f64, p: f64) -> f64 {
         match self.stat {
             GroupedStat::Mean => MeanTask.correct(result, p),
             GroupedStat::Sum => SumTask.correct(result, p),
             GroupedStat::Count => CountTask.correct(result, p),
+            GroupedStat::WeightedMean => WeightedMeanTask.correct(result, p),
         }
     }
 
-    /// Runs the statistic's bootstrap over one group's values.  All three
-    /// statistics declare a linear form, so `BootstrapKernel::Auto` resolves
-    /// them to the resample-free count-based kernel.
+    /// Runs the statistic's bootstrap over one group's values.  All four
+    /// statistics declare a (unary or k-ary) linear form, so
+    /// `BootstrapKernel::Auto` resolves them to the resample-free count-based
+    /// kernel.
     pub fn bootstrap_group(
         &self,
         seed: u64,
@@ -182,19 +222,53 @@ impl GroupedAggregate {
             GroupedStat::Count => {
                 bootstrap_distribution(seed, values, &TaskEstimator::new(&CountTask), config)
             }
+            GroupedStat::WeightedMean => {
+                bootstrap_distribution(seed, values, &TaskEstimator::new(&WeightedMeanTask), config)
+            }
         }
         .map_err(EarlError::Stats)
     }
 
     /// The kernel the statistic's AES resolves to under `kernel` — used for
-    /// deterministic work accounting (all three statistics resolve `Auto` to
+    /// deterministic work accounting (all four statistics resolve `Auto` to
     /// `CountBased`).
     pub fn resolved_kernel(&self, kernel: BootstrapKernel) -> ResolvedKernel {
         match self.stat {
             GroupedStat::Mean => kernel.resolve_for(&TaskEstimator::new(&MeanTask)),
             GroupedStat::Sum => kernel.resolve_for(&TaskEstimator::new(&SumTask)),
             GroupedStat::Count => kernel.resolve_for(&TaskEstimator::new(&CountTask)),
+            GroupedStat::WeightedMean => kernel.resolve_for(&TaskEstimator::new(&WeightedMeanTask)),
         }
+    }
+}
+
+/// One extracted grouped record: up to two value components (the weighted
+/// mean's `(value, weight)` pair), pushed into the group's flat buffer in
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupedRecord {
+    buf: [f64; 2],
+    len: usize,
+}
+
+impl GroupedRecord {
+    fn scalar(value: f64) -> Self {
+        Self {
+            buf: [value, 0.0],
+            len: 1,
+        }
+    }
+
+    fn pair(value: f64, weight: f64) -> Self {
+        Self {
+            buf: [value, weight],
+            len: 2,
+        }
+    }
+
+    /// The record's components, in emission order.
+    pub fn values(&self) -> &[f64] {
+        &self.buf[..self.len]
     }
 }
 
@@ -216,8 +290,15 @@ impl Mapper for GroupedTaskMapper<'_> {
     type OutKey = String;
     type OutValue = f64;
     fn map(&self, _offset: u64, line: &str, ctx: &mut MapContext<String, f64>) {
-        if let Some((key, value)) = self.agg.extract(line) {
-            ctx.emit(key, value);
+        if let Some((key, record)) = self.agg.extract_record(line) {
+            // Multi-column records emit every component in order under the
+            // same key; per-key emission order survives the shuffle, so the
+            // reducer sees whole records back to back.
+            let components = record.values();
+            for value in &components[..components.len() - 1] {
+                ctx.emit(key.clone(), *value);
+            }
+            ctx.emit(key, components[components.len() - 1]);
         }
     }
 }
@@ -448,11 +529,14 @@ impl EarlDriver {
             .min(population) as usize;
         let pilot = sampler.draw(pilot_target)?;
         let mut records: Vec<(u64, String)> = pilot.records;
+        // Group buffers are flat interleaved samples: `stride` consecutive
+        // values per record (1 for the scalar stats, 2 for the weighted mean).
+        let stride = agg.value_stride();
         let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         let extend_groups = |groups: &mut BTreeMap<String, Vec<f64>>, batch: &[(u64, String)]| {
             for (_, line) in batch {
-                if let Some((key, value)) = agg.extract(line) {
-                    groups.entry(key).or_default().push(value);
+                if let Some((key, record)) = agg.extract_record(line) {
+                    groups.entry(key).or_default().extend(record.values());
                 }
             }
         };
@@ -515,12 +599,14 @@ impl EarlDriver {
             group_bootstraps = grouped_accuracy(config.seed, &groups, agg, &bcfg)?;
             let aes_records: u64 = groups
                 .values()
-                .map(|values| match resolved {
-                    ResolvedKernel::CountBased => {
-                        (values.len() + bootstraps * LinearSections::section_count(values.len()))
-                            as u64
+                .map(|values| {
+                    let n = values.len() / stride;
+                    match resolved {
+                        ResolvedKernel::CountBased => {
+                            (n + bootstraps * LinearSections::section_count(n)) as u64
+                        }
+                        _ => (bootstraps * n) as u64,
                     }
-                    _ => (bootstraps * values.len()) as u64,
                 })
                 .sum();
             cluster.charge_reduce_cpu(Phase::AccuracyEstimation, aes_records, false);
@@ -553,9 +639,9 @@ impl EarlDriver {
             // A group converges only with a usable sample behind it: tiny
             // groups report cv ≈ 0 (identical replicates) while their real
             // error is unbounded.
-            let all_met = group_bootstraps
-                .iter()
-                .all(|(key, b)| groups[key].len() >= MIN_GROUP_SAMPLE && aes.meets_bound(b.cv));
+            let all_met = group_bootstraps.iter().all(|(key, b)| {
+                groups[key].len() / stride >= MIN_GROUP_SAMPLE && aes.meets_bound(b.cv)
+            });
             if all_met || exhausted {
                 break;
             }
@@ -576,7 +662,10 @@ impl EarlDriver {
                     .unwrap_or(bootstrap.point_estimate);
                 debug_assert_eq!(point.to_bits(), bootstrap.point_estimate.to_bits());
                 let (lo, hi) = bootstrap.percentile_ci(0.05);
-                let n = groups.get(key).map(|v| v.len() as u64).unwrap_or(0);
+                let n = groups
+                    .get(key)
+                    .map(|v| (v.len() / stride) as u64)
+                    .unwrap_or(0);
                 if exact {
                     GroupReport {
                         key: key.clone(),
@@ -600,6 +689,19 @@ impl EarlDriver {
                 }
             })
             .collect();
+
+        // A weighted group whose weights sum to zero has no defined statistic:
+        // surface a typed error instead of a NaN result the caller would have
+        // to sniff out of the report (the bound predicate would also wave an
+        // exact run's NaN through).
+        if agg.stat() == GroupedStat::WeightedMean {
+            if let Some(g) = group_reports
+                .iter()
+                .find(|g| !g.uncorrected_result.is_finite())
+            {
+                return Err(EarlError::DegenerateGroupWeight(g.key.clone()));
+            }
+        }
 
         let report = GroupedEarlReport {
             task: agg.name().to_owned(),
@@ -663,6 +765,47 @@ mod tests {
                 agg.name()
             );
         }
+    }
+
+    #[test]
+    fn weighted_mean_extracts_value_weight_records() {
+        let wm = GroupedAggregate::weighted_mean();
+        assert_eq!(wm.value_stride(), 2);
+        let (key, record) = wm.extract_record("a\t10.0\t2.0").unwrap();
+        assert_eq!(key, "a");
+        assert_eq!(record.values(), &[10.0, 2.0]);
+        // Missing weight column → no record at all.
+        assert_eq!(wm.extract_record("a\t10.0"), None);
+        assert_eq!(wm.extract_record("a\tx\t2.0"), None);
+        assert_eq!(wm.extract_record("\t1\t2"), None, "empty key is unusable");
+        // Scalar extract surfaces the value column for compatibility.
+        assert_eq!(wm.extract("a\t10.0\t2.0"), Some(("a".into(), 10.0)));
+        // Scalar stats keep their stride and extraction unchanged.
+        assert_eq!(GroupedAggregate::mean().value_stride(), 1);
+        let (_, rec) = GroupedAggregate::mean().extract_record("a\t2.5").unwrap();
+        assert_eq!(rec.values(), &[2.5]);
+    }
+
+    #[test]
+    fn weighted_mean_evaluates_and_corrects() {
+        let wm = GroupedAggregate::weighted_mean();
+        // (10, w1), (20, w3): (10 + 60) / 4 = 17.5.
+        let interleaved = [10.0, 1.0, 20.0, 3.0];
+        assert_eq!(wm.evaluate(&interleaved), 17.5);
+        assert_eq!(
+            wm.correct(17.5, 0.01),
+            17.5,
+            "ratio statistics are scale-free"
+        );
+        assert!(
+            wm.evaluate(&[5.0, 0.0]).is_nan(),
+            "zero weight sum is undefined"
+        );
+        assert_eq!(
+            wm.resolved_kernel(BootstrapKernel::Auto),
+            ResolvedKernel::CountBased,
+            "weighted mean must run resample-free under Auto"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! the same task can be run by the sampling driver or by an exact MapReduce
 //! job.
 
-use earl_bootstrap::{Accumulator, Estimator, LinearForm};
+use earl_bootstrap::{Accumulator, Estimator, KaryForm, LinearForm};
 
 /// A user analytics task in EARL's incremental-reduce form.
 pub trait EarlTask: Send + Sync {
@@ -31,6 +31,22 @@ pub trait EarlTask: Send + Sync {
     /// tab-separated field and parses it as `f64`.
     fn extract(&self, line: &str) -> Option<f64> {
         line.rsplit('\t').next().and_then(|f| f.trim().parse().ok())
+    }
+
+    /// Parses one input line into its full record — [`record_stride`]
+    /// consecutive values appended to `out` — returning whether the line
+    /// carried a record.  Multi-column tasks (weighted mean, ratios, paired
+    /// statistics) override this to push all of a record's columns in order,
+    /// **all or nothing**, so the flat sample stays a whole number of records.
+    /// The default delegates to [`extract`](Self::extract) for scalar tasks.
+    fn extract_record(&self, line: &str, out: &mut Vec<f64>) -> bool {
+        match self.extract(line) {
+            Some(value) => {
+                out.push(value);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Reduces a set of values into a state.
@@ -70,6 +86,22 @@ pub trait EarlTask: Send + Sync {
         None
     }
 
+    /// The task's k-ary linear form `θ = g(Σφ₁(r), …, Σφ_k(r), m)`, if the
+    /// statistic is an aggregate of per-record linear sums (weighted mean,
+    /// ratio, covariance, correlation, slope).  Declaring one opts the task
+    /// into the resample-free count-based kernel and makes every kernel
+    /// resample whole records of [`record_stride`](Self::record_stride)
+    /// columns.
+    fn kary_form(&self) -> Option<KaryForm> {
+        None
+    }
+
+    /// Values per logical record in the flat extracted sample (1 for scalar
+    /// tasks; the interleave width for multi-column tasks).
+    fn record_stride(&self) -> usize {
+        self.kary_form().map(|f| f.stride()).unwrap_or(1)
+    }
+
     /// Convenience: evaluate the task end-to-end on a slice of values.
     fn evaluate(&self, values: &[f64]) -> f64 {
         self.finalize(&self.initialize(values))
@@ -102,6 +134,12 @@ impl<T: EarlTask> Estimator for TaskEstimator<'_, T> {
     }
     fn linear_form(&self) -> Option<LinearForm> {
         self.task.linear_form()
+    }
+    fn kary_form(&self) -> Option<KaryForm> {
+        self.task.kary_form()
+    }
+    fn record_stride(&self) -> usize {
+        self.task.record_stride()
     }
 }
 

@@ -1,0 +1,268 @@
+//! Ratio-of-linear tasks: weighted mean, ratio of sums, paired covariance and
+//! Pearson correlation.
+//!
+//! These statistics are not linear in the single-sum sense, but each is a
+//! smooth combiner of a *tuple* of per-record linear sums — the k-ary linear
+//! forms of [`earl_bootstrap::KaryForm`].  Declaring the form routes their
+//! accuracy-estimation bootstraps to the resample-free count-based kernel
+//! under [`BootstrapKernel::Auto`](earl_bootstrap::BootstrapKernel), exactly
+//! like Mean/Sum/Count before them, and makes every kernel resample **whole
+//! records** so a pair's columns are never split.
+//!
+//! Input lines carry two columns: the task takes the *last two* tab-separated
+//! fields of a line, so `value<TAB>weight`, `x<TAB>y` and
+//! `key<TAB>x<TAB>y` all parse.  A line whose two columns do not both parse
+//! contributes nothing (all-or-nothing extraction keeps the flat sample a
+//! whole number of records).
+//!
+//! All four statistics are **scale-free under sampling** — numerator and
+//! denominator sums shrink by the same factor `p`, covariance/correlation are
+//! per-record moments — so `correct()` stays the identity.
+
+use earl_bootstrap::estimators::{
+    Estimator, PairedCorrelation, PairedCovariance, Ratio, WeightedMean,
+};
+use earl_bootstrap::KaryForm;
+use serde::{Deserialize, Serialize};
+
+use crate::task::EarlTask;
+
+/// Parses the last two tab-separated fields of `line` as `(f64, f64)`.
+fn extract_pair(line: &str) -> Option<(f64, f64)> {
+    let mut fields = line.rsplit('\t');
+    let second: f64 = fields.next()?.trim().parse().ok()?;
+    let first: f64 = fields.next()?.trim().parse().ok()?;
+    Some((first, second))
+}
+
+/// Mergeable state of the pair tasks: component sums plus the record count —
+/// the same sums the k-ary combiner consumes, so `update()` is exact
+/// incremental merging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PairState {
+    /// Number of records absorbed.
+    pub records: u64,
+    /// Component sums (first `arity` slots meaningful).
+    pub sums: [f64; earl_bootstrap::MAX_KARY_COMPONENTS],
+}
+
+fn init_state(form: &KaryForm, values: &[f64]) -> PairState {
+    let mut state = PairState::default();
+    let mut scratch = [0.0; earl_bootstrap::MAX_KARY_COMPONENTS];
+    for record in values.chunks_exact(form.stride()) {
+        form.components_of(record, &mut scratch);
+        for (sum, component) in state.sums.iter_mut().zip(&scratch).take(form.arity()) {
+            *sum += component;
+        }
+        state.records += 1;
+    }
+    state
+}
+
+fn merge_state(state: &mut PairState, other: &PairState) {
+    state.records += other.records;
+    for c in 0..state.sums.len() {
+        state.sums[c] += other.sums[c];
+    }
+}
+
+macro_rules! pair_task {
+    ($(#[$doc:meta])* $task:ident, $estimator:ty, $name:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $task;
+
+        impl EarlTask for $task {
+            type State = PairState;
+
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            /// The record's *first* column (the value / numerator / x), for
+            /// callers that want one representative number per line — the
+            /// same convention as
+            /// [`GroupedAggregate::extract`](crate::grouped::GroupedAggregate).
+            /// Engine paths always use
+            /// [`extract_record`](EarlTask::extract_record), which carries the
+            /// whole record.
+            fn extract(&self, line: &str) -> Option<f64> {
+                extract_pair(line).map(|(a, _)| a)
+            }
+
+            fn extract_record(&self, line: &str, out: &mut Vec<f64>) -> bool {
+                match extract_pair(line) {
+                    Some((a, b)) => {
+                        out.push(a);
+                        out.push(b);
+                        true
+                    }
+                    None => false,
+                }
+            }
+
+            fn initialize(&self, values: &[f64]) -> PairState {
+                init_state(&self.kary_form().expect("pair tasks declare a form"), values)
+            }
+
+            fn update(&self, state: &mut PairState, other: &PairState) {
+                merge_state(state, other);
+            }
+
+            fn finalize(&self, state: &PairState) -> f64 {
+                self.kary_form()
+                    .expect("pair tasks declare a form")
+                    .combine(&state.sums, state.records as f64)
+            }
+
+            fn kary_form(&self) -> Option<KaryForm> {
+                Estimator::kary_form(&<$estimator>::default())
+            }
+        }
+    };
+}
+
+pair_task!(
+    /// The weighted mean `Σwx / Σw` over `value<TAB>weight` lines.
+    ///
+    /// The canonical grouped-analytics aggregate (`SUM(price*qty)/SUM(qty)`).
+    /// All-zero weights leave the statistic undefined (`NaN`); the grouped
+    /// driver turns that into
+    /// [`EarlError::DegenerateGroupWeight`](crate::EarlError) instead of
+    /// reporting a NaN result.
+    WeightedMeanTask,
+    WeightedMean,
+    "weighted_mean"
+);
+
+pair_task!(
+    /// The ratio of sums `Σa / Σb` over `numerator<TAB>denominator` lines
+    /// (revenue per click, bytes per request, …).
+    RatioTask,
+    Ratio,
+    "ratio"
+);
+
+pair_task!(
+    /// The sample covariance (n−1 denominator) over `x<TAB>y` lines.
+    CovarianceTask,
+    PairedCovariance,
+    "covariance"
+);
+
+pair_task!(
+    /// Pearson correlation over `x<TAB>y` lines — the paper's §3.3 example of
+    /// a structure-capturing statistic sampling still serves.
+    CorrelationTask,
+    PairedCorrelation,
+    "correlation"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskEstimator;
+    use earl_bootstrap::bootstrap::{BootstrapKernel, ResolvedKernel};
+
+    #[test]
+    fn extraction_takes_the_last_two_columns_all_or_nothing() {
+        let task = RatioTask;
+        let mut out = Vec::new();
+        assert!(task.extract_record("3.0\t1.5", &mut out));
+        assert!(task.extract_record("key\t4.0\t2.0", &mut out));
+        assert_eq!(out, vec![3.0, 1.5, 4.0, 2.0]);
+        // One parsable column is not a record: nothing is pushed.
+        assert!(!task.extract_record("junk\t2.0", &mut out));
+        assert!(!task.extract_record("5.0", &mut out));
+        assert!(!task.extract_record("", &mut out));
+        assert_eq!(out.len(), 4, "failed extractions must push nothing");
+        assert_eq!(task.record_stride(), 2);
+    }
+
+    #[test]
+    fn evaluate_matches_the_estimators() {
+        let pairs: Vec<f64> = (1..=30)
+            .flat_map(|i| [i as f64, 1.0 + (i % 5) as f64])
+            .collect();
+        let wm = WeightedMeanTask.evaluate(&pairs);
+        let wm_ref = earl_bootstrap::estimators::WeightedMean.estimate(&pairs);
+        assert!(((wm - wm_ref) / wm_ref).abs() < 1e-12, "{wm} vs {wm_ref}");
+        let ratio = RatioTask.evaluate(&pairs);
+        let ratio_ref = earl_bootstrap::estimators::Ratio.estimate(&pairs);
+        assert!(
+            ((ratio - ratio_ref) / ratio_ref).abs() < 1e-12,
+            "{ratio} vs {ratio_ref}"
+        );
+        // Covariance/correlation finalize from raw sums; the estimators use
+        // centered arithmetic — equality is to reassociation error (on data
+        // whose covariance is well away from zero).
+        let sloped: Vec<f64> = (1..=30)
+            .flat_map(|i| [i as f64, 2.0 * i as f64 + (i % 3) as f64])
+            .collect();
+        let cov = CovarianceTask.evaluate(&sloped);
+        let cov_ref = earl_bootstrap::estimators::PairedCovariance.estimate(&sloped);
+        assert!(
+            ((cov - cov_ref) / cov_ref).abs() < 1e-9,
+            "{cov} vs {cov_ref}"
+        );
+        let corr = CorrelationTask.evaluate(&sloped);
+        let corr_ref = earl_bootstrap::estimators::PairedCorrelation.estimate(&sloped);
+        assert!(
+            ((corr - corr_ref) / corr_ref).abs() < 1e-9,
+            "{corr} vs {corr_ref}"
+        );
+    }
+
+    #[test]
+    fn update_merges_exactly() {
+        let pairs: Vec<f64> = (1..=40).flat_map(|i| [i as f64, (i * i) as f64]).collect();
+        let task = WeightedMeanTask;
+        let batch = task.evaluate(&pairs);
+        let mut state = task.initialize(&pairs[..20]);
+        let rest = task.initialize(&pairs[20..]);
+        task.update(&mut state, &rest);
+        assert_eq!(task.finalize(&state).to_bits(), batch.to_bits());
+    }
+
+    #[test]
+    fn auto_routes_every_pair_task_to_the_count_based_kernel() {
+        let wm = WeightedMeanTask;
+        let ratio = RatioTask;
+        let cov = CovarianceTask;
+        let corr = CorrelationTask;
+        let wm_est = TaskEstimator::new(&wm);
+        let ratio_est = TaskEstimator::new(&ratio);
+        let cov_est = TaskEstimator::new(&cov);
+        let corr_est = TaskEstimator::new(&corr);
+        for (name, est) in [
+            ("weighted_mean", &wm_est as &dyn earl_bootstrap::Estimator),
+            ("ratio", &ratio_est),
+            ("covariance", &cov_est),
+            ("correlation", &corr_est),
+        ] {
+            assert_eq!(
+                BootstrapKernel::Auto.resolve_for(est),
+                ResolvedKernel::CountBased,
+                "{name} must run resample-free under Auto"
+            );
+            assert_eq!(est.record_stride(), 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn pair_tasks_are_scale_free() {
+        assert_eq!(WeightedMeanTask.correct(17.5, 0.01), 17.5);
+        assert_eq!(RatioTask.correct(0.5, 0.25), 0.5);
+        assert_eq!(CovarianceTask.correct(3.0, 0.1), 3.0);
+        assert_eq!(CorrelationTask.correct(0.9, 0.1), 0.9);
+    }
+
+    #[test]
+    fn degenerate_inputs_finalize_to_nan() {
+        assert!(WeightedMeanTask.evaluate(&[]).is_nan());
+        assert!(WeightedMeanTask.evaluate(&[5.0, 0.0, 9.0, 0.0]).is_nan());
+        assert!(RatioTask.evaluate(&[1.0, 0.0]).is_nan());
+        assert!(CovarianceTask.evaluate(&[1.0, 2.0]).is_nan());
+        assert!(CorrelationTask.evaluate(&[1.0, 2.0, 1.0, 3.0]).is_nan());
+    }
+}

@@ -7,12 +7,14 @@
 
 pub mod basic;
 pub mod categorical;
+pub mod kary;
 pub mod kmeans;
 pub mod moments;
 pub mod order;
 
 pub use basic::{CountTask, MeanTask, SumTask};
 pub use categorical::ProportionTask;
+pub use kary::{CorrelationTask, CovarianceTask, PairState, RatioTask, WeightedMeanTask};
 pub use kmeans::{
     approximate_kmeans, centroid_match_error, exact_kmeans_mapreduce, lloyd, parse_point,
     ApproxKmeansReport, KmeansConfig, KmeansModel,

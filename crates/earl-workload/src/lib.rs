@@ -15,6 +15,10 @@
 //! * [`grouped`] — grouped (`key<TAB>value`, interleaved groups with exact
 //!   per-group truth) and categorical (weighted labels with exact counts)
 //!   datasets for the grouped-aggregate and proportion workloads;
+//! * [`paired`] — paired `x<TAB>y`, weighted `value<TAB>weight` and grouped
+//!   `key<TAB>value<TAB>weight` datasets with exact truth (covariance,
+//!   correlation, slope, ratio, weighted means) for the k-ary linear-form
+//!   workloads;
 //! * [`kmeans_data`] — Gaussian-mixture point clouds with known centroids for
 //!   the Fig. 7 experiment;
 //! * [`scaling`] — helpers for the "nominal data size" mode used to reproduce
@@ -28,6 +32,7 @@ pub mod generators;
 pub mod grouped;
 pub mod kmeans_data;
 pub mod layout;
+pub mod paired;
 pub mod scaling;
 
 pub use dataset::{DatasetBuilder, DatasetSpec};
@@ -36,4 +41,8 @@ pub use grouped::{
     CategoricalDataset, CategoricalSpec, GroupSpec, GroupTruth, GroupedDataset, GroupedSpec,
 };
 pub use kmeans_data::{KmeansDataset, KmeansSpec};
+pub use paired::{
+    paired_truth, GroupedWeightedDataset, GroupedWeightedSpec, PairedDataset, PairedSpec,
+    PairedTruth, WeightedDataset, WeightedGroupSpec, WeightedSpec, WeightedTruth,
+};
 pub use scaling::NominalSize;

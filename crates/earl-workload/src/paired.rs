@@ -1,0 +1,492 @@
+//! Paired-column (`x<TAB>y`) and weighted (`value<TAB>weight`) dataset
+//! generators with exact ground truth — the inputs of the k-ary linear-form
+//! workloads (weighted mean, ratio, covariance, correlation, regression
+//! slope).
+//!
+//! Truth is computed from the **written values**, not the distribution
+//! parameters, so a test can demand tight agreement regardless of sampling
+//! noise in the generator.
+
+use std::collections::BTreeMap;
+
+use earl_dfs::{DfsPath, FileStatus};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::DatasetBuilder;
+use crate::generators::{Distribution, ValueGenerator};
+
+/// Specification of a paired `x<TAB>y` dataset: `x` is drawn from a
+/// distribution and `y = slope·x + intercept + noise`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairedSpec {
+    /// Number of `(x, y)` records.
+    pub num_records: u64,
+    /// Distribution of the `x` column.
+    pub x: Distribution,
+    /// True slope of the generating line.
+    pub slope: f64,
+    /// True intercept of the generating line.
+    pub intercept: f64,
+    /// Standard deviation of the Gaussian noise added to `y`.
+    pub noise_sd: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PairedSpec {
+    /// A linear `y = slope·x + intercept + N(0, noise_sd²)` over normal `x`.
+    pub fn linear(num_records: u64, slope: f64, intercept: f64, noise_sd: f64, seed: u64) -> Self {
+        Self {
+            num_records,
+            x: Distribution::Normal {
+                mean: 50.0,
+                std_dev: 10.0,
+            },
+            slope,
+            intercept,
+            noise_sd,
+            seed,
+        }
+    }
+}
+
+/// Exact statistics of the written `(x, y)` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairedTruth {
+    /// Records written.
+    pub count: u64,
+    /// Exact mean of the `x` column.
+    pub mean_x: f64,
+    /// Exact mean of the `y` column.
+    pub mean_y: f64,
+    /// Exact sample covariance (n−1 denominator).
+    pub covariance: f64,
+    /// Exact Pearson correlation.
+    pub correlation: f64,
+    /// Exact OLS slope of `y` on `x`.
+    pub slope: f64,
+    /// Exact ratio of sums `Σx / Σy`.
+    pub ratio: f64,
+}
+
+/// A paired dataset materialised in the DFS with its exact truth.
+#[derive(Debug, Clone)]
+pub struct PairedDataset {
+    /// Where the data lives.
+    pub path: DfsPath,
+    /// The DFS file status after writing.
+    pub status: FileStatus,
+    /// Exact statistics of the written pairs.
+    pub truth: PairedTruth,
+}
+
+/// Computes [`PairedTruth`] from interleaved `[x0, y0, …]` values with
+/// centered (numerically stable) sums.
+pub fn paired_truth(interleaved: &[f64]) -> PairedTruth {
+    let n = interleaved.len() / 2;
+    let mean_x = interleaved.iter().step_by(2).sum::<f64>() / n as f64;
+    let mean_y = interleaved.iter().skip(1).step_by(2).sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for pair in interleaved.chunks_exact(2) {
+        let dx = pair[0] - mean_x;
+        let dy = pair[1] - mean_y;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    PairedTruth {
+        count: n as u64,
+        mean_x,
+        mean_y,
+        covariance: sxy / (n as f64 - 1.0),
+        correlation: sxy / (sxx.sqrt() * syy.sqrt()),
+        slope: sxy / sxx,
+        ratio: (mean_x * n as f64) / (mean_y * n as f64),
+    }
+}
+
+/// Specification of a weighted `value<TAB>weight` dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSpec {
+    /// Number of `(value, weight)` records.
+    pub num_records: u64,
+    /// Distribution of the value column.
+    pub value: Distribution,
+    /// Distribution of the weight column (use `Normal { mean: 0.0, std_dev:
+    /// 0.0 }` to build a degenerate all-zero-weight column).
+    pub weight: Distribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Exact statistics of the written `(value, weight)` records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedTruth {
+    /// Records written.
+    pub count: u64,
+    /// Exact `Σw·x`.
+    pub weighted_sum: f64,
+    /// Exact `Σw`.
+    pub weight_sum: f64,
+    /// Exact weighted mean `Σwx / Σw` (NaN when the weights sum to zero).
+    pub weighted_mean: f64,
+}
+
+/// A weighted dataset materialised in the DFS with its exact truth.
+#[derive(Debug, Clone)]
+pub struct WeightedDataset {
+    /// Where the data lives.
+    pub path: DfsPath,
+    /// The DFS file status after writing.
+    pub status: FileStatus,
+    /// Exact statistics of the written records.
+    pub truth: WeightedTruth,
+}
+
+/// One group of a [`GroupedWeightedSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedGroupSpec {
+    /// The group key.
+    pub key: String,
+    /// Records generated for the group.
+    pub num_records: u64,
+    /// Value distribution.
+    pub value: Distribution,
+    /// Weight distribution.
+    pub weight: Distribution,
+}
+
+/// Specification of a grouped `key<TAB>value<TAB>weight` dataset; groups are
+/// interleaved by a seeded shuffle like [`crate::grouped::GroupedSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupedWeightedSpec {
+    /// The groups.
+    pub groups: Vec<WeightedGroupSpec>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GroupedWeightedSpec {
+    /// `num_groups` groups of normal values (group `i` has mean
+    /// `base_mean·(i+1)`) with uniform `[0.5, 1.5)` weights.
+    pub fn normal_groups(
+        num_groups: usize,
+        records_per_group: u64,
+        base_mean: f64,
+        relative_sd: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            groups: (0..num_groups)
+                .map(|i| {
+                    let mean = base_mean * (i + 1) as f64;
+                    WeightedGroupSpec {
+                        key: format!("g{i}"),
+                        num_records: records_per_group,
+                        value: Distribution::Normal {
+                            mean,
+                            std_dev: mean * relative_sd,
+                        },
+                        weight: Distribution::Uniform {
+                            low: 0.5,
+                            high: 1.5,
+                        },
+                    }
+                })
+                .collect(),
+            seed,
+        }
+    }
+
+    /// Total records across all groups.
+    pub fn total_records(&self) -> u64 {
+        self.groups.iter().map(|g| g.num_records).sum()
+    }
+}
+
+/// A grouped weighted dataset materialised in the DFS with per-group truth.
+#[derive(Debug, Clone)]
+pub struct GroupedWeightedDataset {
+    /// Where the data lives.
+    pub path: DfsPath,
+    /// The DFS file status after writing.
+    pub status: FileStatus,
+    /// Exact per-group truth.
+    pub truth: BTreeMap<String, WeightedTruth>,
+}
+
+fn weighted_truth_of(values: &[f64], weights: &[f64]) -> WeightedTruth {
+    let weighted_sum: f64 = values.iter().zip(weights).map(|(x, w)| x * w).sum();
+    let weight_sum: f64 = weights.iter().sum();
+    WeightedTruth {
+        count: values.len() as u64,
+        weighted_sum,
+        weight_sum,
+        weighted_mean: if weight_sum == 0.0 {
+            f64::NAN
+        } else {
+            weighted_sum / weight_sum
+        },
+    }
+}
+
+impl DatasetBuilder {
+    /// Generates and writes a paired `x<TAB>y` dataset and returns the exact
+    /// statistics of the written pairs.
+    pub fn build_paired(
+        &self,
+        path: impl Into<DfsPath>,
+        spec: &PairedSpec,
+    ) -> earl_dfs::Result<PairedDataset> {
+        let path = path.into();
+        let mut xs = ValueGenerator::new(spec.x, spec.seed);
+        let mut noise = ValueGenerator::new(
+            Distribution::Normal {
+                mean: 0.0,
+                std_dev: spec.noise_sd.max(0.0),
+            },
+            spec.seed.wrapping_add(0x9a1f),
+        );
+        let mut interleaved = Vec::with_capacity(spec.num_records as usize * 2);
+        let mut lines = Vec::with_capacity(spec.num_records as usize);
+        for _ in 0..spec.num_records {
+            let x = xs.next_value();
+            let eps = if spec.noise_sd > 0.0 {
+                noise.next_value()
+            } else {
+                0.0
+            };
+            let y = spec.slope * x + spec.intercept + eps;
+            interleaved.push(x);
+            interleaved.push(y);
+            lines.push(format!("{x}\t{y}"));
+        }
+        let status = self.dfs().write_lines(path.clone(), lines)?;
+        Ok(PairedDataset {
+            path,
+            status,
+            truth: paired_truth(&interleaved),
+        })
+    }
+
+    /// Generates and writes a weighted `value<TAB>weight` dataset and returns
+    /// the exact weighted-mean truth of the written records.
+    pub fn build_weighted(
+        &self,
+        path: impl Into<DfsPath>,
+        spec: &WeightedSpec,
+    ) -> earl_dfs::Result<WeightedDataset> {
+        let path = path.into();
+        let mut values = ValueGenerator::new(spec.value, spec.seed);
+        let mut weights = ValueGenerator::new(spec.weight, spec.seed.wrapping_add(0x77ed));
+        let n = spec.num_records as usize;
+        let vs = values.take(n);
+        let ws = weights.take(n);
+        let lines: Vec<String> = vs
+            .iter()
+            .zip(&ws)
+            .map(|(x, w)| format!("{x}\t{w}"))
+            .collect();
+        let status = self.dfs().write_lines(path.clone(), lines)?;
+        Ok(WeightedDataset {
+            path,
+            status,
+            truth: weighted_truth_of(&vs, &ws),
+        })
+    }
+
+    /// Generates and writes a grouped `key<TAB>value<TAB>weight` dataset
+    /// (groups interleaved by a seeded shuffle) and returns the exact
+    /// per-group weighted-mean truth.
+    pub fn build_grouped_weighted(
+        &self,
+        path: impl Into<DfsPath>,
+        spec: &GroupedWeightedSpec,
+    ) -> earl_dfs::Result<GroupedWeightedDataset> {
+        let path = path.into();
+        let mut lines: Vec<String> = Vec::with_capacity(spec.total_records() as usize);
+        let mut truth: BTreeMap<String, WeightedTruth> = BTreeMap::new();
+        for (i, group) in spec.groups.iter().enumerate() {
+            let mut values = ValueGenerator::new(group.value, spec.seed.wrapping_add(2 * i as u64));
+            let mut weights =
+                ValueGenerator::new(group.weight, spec.seed.wrapping_add(2 * i as u64 + 1));
+            let n = group.num_records as usize;
+            let vs = values.take(n);
+            let ws = weights.take(n);
+            let group_truth = weighted_truth_of(&vs, &ws);
+            let entry = truth.entry(group.key.clone()).or_insert(WeightedTruth {
+                count: 0,
+                weighted_sum: 0.0,
+                weight_sum: 0.0,
+                weighted_mean: f64::NAN,
+            });
+            entry.count += group_truth.count;
+            entry.weighted_sum += group_truth.weighted_sum;
+            entry.weight_sum += group_truth.weight_sum;
+            entry.weighted_mean = if entry.weight_sum == 0.0 {
+                f64::NAN
+            } else {
+                entry.weighted_sum / entry.weight_sum
+            };
+            lines.extend(
+                vs.iter()
+                    .zip(&ws)
+                    .map(|(x, w)| format!("{}\t{x}\t{w}", group.key)),
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5e1f_7a1e_9d0c_4b3a);
+        lines.shuffle(&mut rng);
+        let status = self.dfs().write_lines(path.clone(), lines)?;
+        Ok(GroupedWeightedDataset {
+            path,
+            status,
+            truth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earl_cluster::{Cluster, CostModel, Phase};
+    use earl_dfs::{Dfs, DfsConfig};
+
+    fn dfs() -> Dfs {
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 8192,
+                replication: 2,
+                io_chunk: 256,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paired_dataset_truth_matches_the_file() {
+        let builder = DatasetBuilder::new(dfs());
+        let spec = PairedSpec::linear(2_000, 2.5, 10.0, 4.0, 7);
+        let ds = builder.build_paired("/pairs", &spec).unwrap();
+        assert_eq!(ds.status.num_records, Some(2_000));
+        assert_eq!(ds.truth.count, 2_000);
+        // The written data follows the generating line closely.
+        assert!(
+            (ds.truth.slope - 2.5).abs() < 0.1,
+            "slope {}",
+            ds.truth.slope
+        );
+        assert!(ds.truth.correlation > 0.95);
+        // Truth is recomputed from the file contents exactly.
+        let lines = builder.dfs().read_all_lines(Phase::Load, "/pairs").unwrap();
+        let interleaved: Vec<f64> = lines
+            .iter()
+            .flat_map(|l| {
+                let (x, y) = l.split_once('\t').unwrap();
+                [x.parse().unwrap(), y.parse().unwrap()]
+            })
+            .collect();
+        let recomputed = paired_truth(&interleaved);
+        assert!((recomputed.slope - ds.truth.slope).abs() < 1e-9);
+        assert!((recomputed.covariance - ds.truth.covariance).abs() < 1e-6);
+        assert!((recomputed.ratio - ds.truth.ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_dataset_truth_matches_the_file() {
+        let builder = DatasetBuilder::new(dfs());
+        let spec = WeightedSpec {
+            num_records: 1_500,
+            value: Distribution::Normal {
+                mean: 200.0,
+                std_dev: 30.0,
+            },
+            weight: Distribution::Uniform {
+                low: 0.5,
+                high: 1.5,
+            },
+            seed: 9,
+        };
+        let ds = builder.build_weighted("/weighted", &spec).unwrap();
+        assert_eq!(ds.truth.count, 1_500);
+        assert!(ds.truth.weighted_mean.is_finite());
+        let lines = builder
+            .dfs()
+            .read_all_lines(Phase::Load, "/weighted")
+            .unwrap();
+        let mut wx = 0.0;
+        let mut w = 0.0;
+        for line in &lines {
+            let (x, wt) = line.split_once('\t').unwrap();
+            let x: f64 = x.parse().unwrap();
+            let wt: f64 = wt.parse().unwrap();
+            wx += x * wt;
+            w += wt;
+        }
+        assert!((wx / w - ds.truth.weighted_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_spec_builds_a_degenerate_column() {
+        let builder = DatasetBuilder::new(dfs());
+        let spec = WeightedSpec {
+            num_records: 100,
+            value: Distribution::Uniform {
+                low: 1.0,
+                high: 2.0,
+            },
+            weight: Distribution::Normal {
+                mean: 0.0,
+                std_dev: 0.0,
+            },
+            seed: 3,
+        };
+        let ds = builder.build_weighted("/zero", &spec).unwrap();
+        assert_eq!(ds.truth.weight_sum, 0.0);
+        assert!(ds.truth.weighted_mean.is_nan());
+    }
+
+    #[test]
+    fn grouped_weighted_dataset_interleaves_with_per_group_truth() {
+        let builder = DatasetBuilder::new(dfs());
+        let spec = GroupedWeightedSpec::normal_groups(3, 400, 100.0, 0.1, 11);
+        assert_eq!(spec.total_records(), 1_200);
+        let ds = builder.build_grouped_weighted("/gw", &spec).unwrap();
+        assert_eq!(ds.truth.len(), 3);
+        let lines = builder.dfs().read_all_lines(Phase::Load, "/gw").unwrap();
+        let mut sums: BTreeMap<String, (f64, f64, u64)> = BTreeMap::new();
+        for line in &lines {
+            let mut parts = line.splitn(3, '\t');
+            let key = parts.next().unwrap().to_owned();
+            let x: f64 = parts.next().unwrap().parse().unwrap();
+            let w: f64 = parts.next().unwrap().parse().unwrap();
+            let e = sums.entry(key).or_default();
+            e.0 += x * w;
+            e.1 += w;
+            e.2 += 1;
+        }
+        for (key, truth) in &ds.truth {
+            let (wx, w, count) = sums[key];
+            assert_eq!(count, truth.count, "group {key}");
+            assert!((wx / w - truth.weighted_mean).abs() < 1e-9, "group {key}");
+        }
+        // Interleaved, not clustered.
+        let first_key = lines[0].split_once('\t').unwrap().0.to_owned();
+        let head_same = lines
+            .iter()
+            .take(400)
+            .filter(|l| l.starts_with(&format!("{first_key}\t")))
+            .count();
+        assert!(head_same < 300, "shuffle must interleave groups");
+    }
+}

@@ -26,7 +26,10 @@ use earl_bootstrap::bootstrap::{
 use earl_bootstrap::estimators::{Count, Estimator, Mean, Median, StdDev, Sum, Variance};
 use earl_bootstrap::rng::{seeded_rng, standard_normal};
 use earl_core::task::TaskEstimator;
-use earl_core::tasks::{CountTask, MeanTask, MedianTask, StdDevTask, SumTask, VarianceTask};
+use earl_core::tasks::{
+    CorrelationTask, CountTask, CovarianceTask, MeanTask, MedianTask, RatioTask, StdDevTask,
+    SumTask, VarianceTask, WeightedMeanTask,
+};
 
 /// Thread counts under test: the `EARL_THREADS` matrix value when set, the
 /// {2, 8} ladder otherwise.  Every property compares against a 1-thread
@@ -220,6 +223,155 @@ fn auto_routes_every_linear_statistic_to_the_count_based_kernel() {
         BootstrapKernel::Auto.resolve_for(&Median),
         ResolvedKernel::Gather
     );
+}
+
+// ---------------------------------------------------------------------------
+// K-ary conformance: the count-based kernel serving ratio-of-linear tasks
+// (weighted mean, ratio, covariance, correlation) must reproduce the gather
+// kernel's replicate distribution, stay bitwise thread-invariant, and never
+// silently degrade to gather under Auto.
+// ---------------------------------------------------------------------------
+
+/// Interleaved (x, y) pairs with genuine cross-column correlation and
+/// positive columns — every k-ary task is well defined on them.
+fn kary_sample(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .flat_map(|_| {
+            let x = 100.0 + 20.0 * standard_normal(&mut rng);
+            let y = 0.6 * x + 30.0 + 10.0 * standard_normal(&mut rng);
+            [x, y]
+        })
+        .collect()
+}
+
+struct KaryCase {
+    name: &'static str,
+    estimator: Box<dyn Estimator>,
+}
+
+fn kary_cases() -> Vec<KaryCase> {
+    static WEIGHTED_MEAN: WeightedMeanTask = WeightedMeanTask;
+    static RATIO: RatioTask = RatioTask;
+    static COVARIANCE: CovarianceTask = CovarianceTask;
+    static CORRELATION: CorrelationTask = CorrelationTask;
+    vec![
+        KaryCase {
+            name: "weighted_mean",
+            estimator: Box::new(TaskEstimator::new(&WEIGHTED_MEAN)),
+        },
+        KaryCase {
+            name: "ratio",
+            estimator: Box::new(TaskEstimator::new(&RATIO)),
+        },
+        KaryCase {
+            name: "covariance",
+            estimator: Box::new(TaskEstimator::new(&COVARIANCE)),
+        },
+        KaryCase {
+            name: "correlation",
+            estimator: Box::new(TaskEstimator::new(&CORRELATION)),
+        },
+    ]
+}
+
+/// Property: for every k-ary task the count-based kernel reproduces the gather
+/// kernel's replicate *distribution* moments within seeded tolerance — same
+/// replicate mean, standard error and cv, at O(k·√n) per replicate.  The
+/// correlation's cv is minuscule (ρ ≈ 0.8 resamples barely move), so its
+/// standard-error ratio gets the one looser band.
+#[test]
+fn kary_count_based_distribution_moments_match_gather_within_seeded_tolerance() {
+    for (case, n) in [(0u64, 2_000usize), (1, 8_000)] {
+        let data = kary_sample(n, 6000 + case);
+        for kc in kary_cases() {
+            let est = kc.estimator.as_ref();
+            let gather = run(case, &data, est, 400, BootstrapKernel::Gather, 1);
+            let counts = run(case, &data, est, 400, BootstrapKernel::CountBased, 1);
+            assert_eq!(
+                counts.point_estimate, gather.point_estimate,
+                "the point estimate never depends on the kernel ({})",
+                kc.name
+            );
+            // Two independent B=400 Monte-Carlo means each wobble by
+            // se/√B around the ideal bootstrap expectation; 6 combined
+            // standard errors (with a 2e-3 relative floor for the
+            // nearly-degenerate statistics) is a seeded-tolerance band that
+            // only a genuinely biased kernel escapes.
+            let mc_se = gather.std_error / (400f64).sqrt();
+            let tolerance = (6.0 * mc_se).max(2e-3 * gather.replicate_mean.abs());
+            assert!(
+                (counts.replicate_mean - gather.replicate_mean).abs() < tolerance,
+                "{} n={n}: replicate means {} vs {} (tolerance {tolerance})",
+                kc.name,
+                counts.replicate_mean,
+                gather.replicate_mean
+            );
+            let se_ratio = counts.std_error / gather.std_error;
+            assert!(
+                (0.7..1.4).contains(&se_ratio),
+                "{} n={n}: standard errors {} vs {}",
+                kc.name,
+                counts.std_error,
+                gather.std_error
+            );
+        }
+    }
+}
+
+/// Property: every k-ary task's count-based bootstrap is a pure function of
+/// the seed — bit-identical at every thread count of the `EARL_THREADS`
+/// matrix, with `B`-growth preserving the replicate prefix.
+#[test]
+fn kary_count_based_kernel_is_thread_invariant_with_prefix_stability() {
+    let data = kary_sample(3_000, 88);
+    for kc in kary_cases() {
+        let est = kc.estimator.as_ref();
+        let reference = run(17, &data, est, 64, BootstrapKernel::CountBased, 1);
+        for &threads in &thread_counts() {
+            let parallel = run(17, &data, est, 64, BootstrapKernel::CountBased, threads);
+            assert_eq!(reference, parallel, "{} threads = {threads}", kc.name);
+        }
+        let grown = run(17, &data, est, 96, BootstrapKernel::CountBased, 1);
+        assert_eq!(
+            reference.replicates[..],
+            grown.replicates[..64],
+            "{} prefix",
+            kc.name
+        );
+        // The gather kernel resamples whole records and is thread-invariant
+        // too (it shares the per-replicate RNG stream contract).
+        let gather_ref = run(17, &data, est, 32, BootstrapKernel::Gather, 1);
+        for &threads in &thread_counts() {
+            let gather_par = run(17, &data, est, 32, BootstrapKernel::Gather, threads);
+            assert_eq!(gather_ref, gather_par, "{} gather threads", kc.name);
+        }
+    }
+}
+
+/// Property: `Auto` never routes a k-ary-capable task to the gather kernel —
+/// the exact assertion the bench gate enforces, pinned here for every new
+/// task at the estimator layer the driver uses.
+#[test]
+fn auto_routes_every_kary_task_to_the_count_based_kernel() {
+    for kc in kary_cases() {
+        assert_eq!(
+            BootstrapKernel::Auto.resolve_for(kc.estimator.as_ref()),
+            ResolvedKernel::CountBased,
+            "{} must never silently reach the gather kernel under Auto",
+            kc.name
+        );
+        // Explicitly requesting CountBased holds too; only an explicit Gather
+        // request lands on gather.
+        assert_eq!(
+            BootstrapKernel::CountBased.resolve_for(kc.estimator.as_ref()),
+            ResolvedKernel::CountBased
+        );
+        assert_eq!(
+            BootstrapKernel::Gather.resolve_for(kc.estimator.as_ref()),
+            ResolvedKernel::Gather
+        );
+    }
 }
 
 /// Property: the full EARL driver delivers identical reports whichever of the
