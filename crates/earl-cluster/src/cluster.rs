@@ -13,6 +13,7 @@
 //! first-order model the paper uses when reasoning about why sampling reduces
 //! response time (the job finishes when its slowest wave of tasks finishes).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -23,7 +24,7 @@ use rand::{Rng, SeedableRng};
 use crate::clock::{SimClock, SimDuration, SimInstant};
 use crate::cost::CostModel;
 use crate::error::ClusterError;
-use crate::failure::{FailureInjector, FailureSchedule};
+use crate::failure::{FailureEvent, FailureInjector, FailureSchedule};
 use crate::metrics::{Metrics, Phase};
 use crate::node::{Node, NodeId, NodeState};
 use crate::Result;
@@ -45,6 +46,27 @@ struct ClusterInner {
     metrics: Metrics,
     failures: parking_lot::Mutex<FailureInjector>,
     rng: parking_lot::Mutex<StdRng>,
+    /// Depth of [`Cluster::suppress_failure_polling`] guards currently alive.
+    /// While non-zero, `charge_*` calls do not implicitly poll the injector —
+    /// the engine arbitrates failures explicitly at deterministic instants.
+    poll_suppressed: AtomicUsize,
+}
+
+/// RAII guard returned by [`Cluster::suppress_failure_polling`]: while alive,
+/// `charge_*` calls advance the clock and metrics but do **not** poll the
+/// failure injector.  Dropping the guard re-enables implicit polling; the
+/// holder is expected to arbitrate the covered window explicitly via
+/// [`Cluster::arbitrate_failures_at`].
+#[derive(Debug)]
+#[must_use = "polling resumes when the guard is dropped"]
+pub struct FailurePollingPause {
+    inner: Arc<ClusterInner>,
+}
+
+impl Drop for FailurePollingPause {
+    fn drop(&mut self) {
+        self.inner.poll_suppressed.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl Cluster {
@@ -378,7 +400,49 @@ impl Cluster {
             .collect()
     }
 
+    /// All failure events the injector has fired so far.
+    pub fn failure_events(&self) -> Vec<FailureEvent> {
+        self.inner.failures.lock().fired_events().to_vec()
+    }
+
+    /// Pauses implicit failure polling for the lifetime of the returned
+    /// guard.  Parallel phases hold this while worker threads charge costs,
+    /// so failures are never decided by execution interleaving; the phase
+    /// then calls [`Self::arbitrate_failures_at`] at plan-derived instants.
+    pub fn suppress_failure_polling(&self) -> FailurePollingPause {
+        self.inner.poll_suppressed.fetch_add(1, Ordering::SeqCst);
+        FailurePollingPause {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Polls the injector at an explicit instant `at` (which may run ahead of
+    /// the charged clock), fails the returned nodes, and reports the events.
+    /// Unlike the implicit polling in `charge_*`, this works even while a
+    /// [`FailurePollingPause`] is held — it *is* the replacement for the
+    /// suppressed polls.  The injector's poll window is monotonic, so calling
+    /// this with non-decreasing instants partitions time deterministically.
+    pub fn arbitrate_failures_at(&self, at: SimInstant) -> Vec<FailureEvent> {
+        let available = self.available_nodes();
+        if available.is_empty() {
+            return Vec::new();
+        }
+        let fired = self.inner.failures.lock().poll(at, &available);
+        if !fired.is_empty() {
+            let mut nodes = self.inner.nodes.write();
+            for ev in &fired {
+                if let Some(n) = nodes.get_mut(ev.node.index()) {
+                    n.fail();
+                }
+            }
+        }
+        fired
+    }
+
     fn poll_failures(&self) {
+        if self.inner.poll_suppressed.load(Ordering::SeqCst) > 0 {
+            return;
+        }
         let now = self.inner.clock.now();
         let available = self.available_nodes();
         if available.is_empty() {
@@ -389,8 +453,8 @@ impl Cluster {
             return;
         }
         let mut nodes = self.inner.nodes.write();
-        for id in newly_failed {
-            if let Some(n) = nodes.get_mut(id.index()) {
+        for ev in newly_failed {
+            if let Some(n) = nodes.get_mut(ev.node.index()) {
                 n.fail();
             }
         }
@@ -483,6 +547,7 @@ impl ClusterBuilder {
                 metrics: Metrics::new(),
                 failures: parking_lot::Mutex::new(FailureInjector::new(self.failure_schedule)),
                 rng: parking_lot::Mutex::new(StdRng::seed_from_u64(self.seed)),
+                poll_suppressed: AtomicUsize::new(0),
             }),
         })
     }
@@ -590,6 +655,54 @@ mod tests {
         c.charge_disk_read(Phase::Load, 200 * 1024 * 1024);
         assert!(c.elapsed() > SimDuration::from_millis(500));
         assert_eq!(c.failed_nodes(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn suppressed_polling_defers_failures_to_explicit_arbitration() {
+        let schedule = FailureSchedule::Deterministic(vec![FailureEvent {
+            node: NodeId(1),
+            at: SimInstant::EPOCH + SimDuration::from_millis(500),
+        }]);
+        let c = Cluster::builder()
+            .nodes(3)
+            .failure_schedule(schedule)
+            .build()
+            .unwrap();
+        {
+            let _pause = c.suppress_failure_polling();
+            c.charge_disk_read(Phase::Load, 200 * 1024 * 1024);
+            assert!(c.elapsed() > SimDuration::from_millis(500));
+            assert!(
+                c.failed_nodes().is_empty(),
+                "implicit polling is paused while the guard is held"
+            );
+        }
+        let fired = c.arbitrate_failures_at(c.now());
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].node, NodeId(1));
+        assert_eq!(c.failed_nodes(), vec![NodeId(1)]);
+        assert_eq!(c.failure_events(), fired);
+    }
+
+    #[test]
+    fn arbitration_may_run_ahead_of_the_charged_clock() {
+        let schedule = FailureSchedule::Deterministic(vec![FailureEvent {
+            node: NodeId(2),
+            at: SimInstant::EPOCH + SimDuration::from_secs(10),
+        }]);
+        let c = Cluster::builder()
+            .nodes(3)
+            .failure_schedule(schedule)
+            .build()
+            .unwrap();
+        // Arbitrating at an estimated boundary beyond the charged clock fires
+        // the event; the later implicit poll at the (smaller) real clock must
+        // not rewind the injector's window.
+        let fired = c.arbitrate_failures_at(SimInstant::EPOCH + SimDuration::from_secs(11));
+        assert_eq!(fired.len(), 1);
+        c.charge_disk_read(Phase::Load, 1 << 20);
+        assert_eq!(c.failed_nodes(), vec![NodeId(2)]);
+        assert!(!c.failure_injection_pending());
     }
 
     #[test]

@@ -38,10 +38,10 @@ pub mod metrics;
 pub mod node;
 
 pub use clock::{SimClock, SimDuration, SimInstant};
-pub use cluster::{Cluster, ClusterBuilder};
+pub use cluster::{Cluster, ClusterBuilder, FailurePollingPause};
 pub use cost::{CostModel, CostModelBuilder};
 pub use error::ClusterError;
-pub use failure::{FailureEvent, FailureInjector, FailureSchedule};
+pub use failure::{FailureEvent, FailureInjector, FailureSchedule, FaultLog};
 pub use metrics::{Metrics, MetricsSnapshot, Phase};
 pub use node::{Node, NodeId, NodeState};
 

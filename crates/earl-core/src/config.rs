@@ -12,6 +12,7 @@
 //! | N      | total data size                           | read from the DFS file      |
 
 use earl_bootstrap::BootstrapKernel;
+use earl_mapreduce::FailurePolicy;
 use serde::{Deserialize, Serialize};
 
 use crate::error::EarlError;
@@ -68,6 +69,14 @@ pub struct EarlConfig {
     /// (variance, stddev), gather otherwise (median, quantiles).  Every
     /// kernel is deterministic given the seed at any thread count.
     pub bootstrap_kernel: BootstrapKernel,
+    /// What the MapReduce jobs launched by the driver do when a node fails
+    /// mid-task.  The EARL default is [`FailurePolicy::Degrade`] (§3.4): lost
+    /// input splits are dropped, the effective sample shrinks, and the
+    /// accuracy-estimation stage widens the error estimate accordingly —
+    /// surviving records are still a random sample of the data.  Use
+    /// [`FailurePolicy::Retry`] (or [`FailurePolicy::retry`]) for stock
+    /// Hadoop-style recovery that re-runs lost tasks on survivors.
+    pub failure_policy: FailurePolicy,
     /// RNG seed controlling sampling and resampling.
     pub seed: u64,
     /// Worker threads used for bootstrap replicate evaluation and MapReduce
@@ -105,6 +114,7 @@ impl Default for EarlConfig {
             sampling: SamplingMethod::PreMap,
             delta_maintenance: true,
             bootstrap_kernel: BootstrapKernel::Auto,
+            failure_policy: FailurePolicy::Degrade,
             seed: 0xEA21,
             parallelism: None,
             pipeline_depth: 2,
@@ -176,6 +186,11 @@ mod tests {
             "default picks the fastest kernel each task supports"
         );
         assert_eq!(c.parallelism, None, "default is one worker per core");
+        assert_eq!(
+            c.failure_policy,
+            FailurePolicy::Degrade,
+            "EARL degrades gracefully on node failure (§3.4) instead of retrying"
+        );
         assert_eq!(
             c.pipeline_depth, 2,
             "default overlaps AES i with the map phase of i+1"

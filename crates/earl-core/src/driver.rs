@@ -22,12 +22,13 @@ use earl_bootstrap::delta::{IncrementalBootstrap, SketchConfig};
 use earl_bootstrap::rng::derive_seed;
 use earl_bootstrap::ssabe::{Ssabe, SsabeConfig};
 use earl_bootstrap::Estimator;
-use earl_cluster::Phase;
-use earl_dfs::{Dfs, DfsPath};
+use earl_cluster::{FaultLog, Phase};
+use earl_dfs::{Dfs, DfsError, DfsPath};
 use earl_mapreduce::{
-    ErrorReport, InputSource, JobConf, MapContext, Mapper, PendingIteration, PipelinedSession,
-    ReduceContext, Reducer,
+    ErrorReport, InputSource, JobConf, MapContext, Mapper, MrError, PendingIteration,
+    PipelinedSession, ReduceContext, Reducer,
 };
+use earl_sampling::SamplingError;
 
 /// Sub-seed stream of the SSABE pilot estimation.
 const SSABE_STREAM: u64 = 1;
@@ -243,6 +244,58 @@ struct DrawnBatch {
     exhausted: bool,
 }
 
+/// Whether an error means *input data died with a node* — the one condition
+/// the degrade policy (§3.4) absorbs instead of propagating.
+fn is_data_loss(err: &EarlError) -> bool {
+    matches!(
+        err,
+        EarlError::Dfs(DfsError::BlockUnavailable(_))
+            | EarlError::MapReduce(MrError::Dfs(DfsError::BlockUnavailable(_)))
+            | EarlError::Sampling(SamplingError::Dfs(DfsError::BlockUnavailable(_)))
+    )
+}
+
+/// [`draw_batch`], degrading on data loss: under [`FailurePolicy::Degrade`] a
+/// sample draw that hits blocks lost to a node failure does not abort the run
+/// — the DFS metadata is re-synced (dropping the dead node's splits from the
+/// file, so redraws touch only survivors), the loss is logged, and the draw is
+/// retried against the surviving data; what comes back remains a uniform
+/// sample of what survived, and the accuracy-estimation stage prices it
+/// (§3.4).  If loss strikes again after the re-sync the sample is treated as
+/// exhausted at its current size.  Under `Retry` the error propagates
+/// unchanged.
+///
+/// [`FailurePolicy::Degrade`]: earl_mapreduce::FailurePolicy::Degrade
+fn draw_degrading<T: EarlTask>(
+    dfs: &Dfs,
+    config: &EarlConfig,
+    sampler: &mut Sampler,
+    task: &T,
+    needed: usize,
+    fault_log: &mut FaultLog,
+) -> Result<DrawnBatch> {
+    let mut reconciled = false;
+    loop {
+        match draw_batch(sampler, task, needed) {
+            Err(err) if config.failure_policy.is_degrade() && is_data_loss(&err) => {
+                if reconciled {
+                    // Loss persists even after re-syncing metadata: stop
+                    // growing the sample and let the bound widen.
+                    return Ok(DrawnBatch {
+                        records: Vec::new(),
+                        values: Vec::new(),
+                        exhausted: true,
+                    });
+                }
+                let orphaned = dfs.reconcile_failures();
+                fault_log.splits_lost += orphaned.len().max(1) as u64;
+                reconciled = true;
+            }
+            other => return other,
+        }
+    }
+}
+
 fn draw_batch<T: EarlTask>(sampler: &mut Sampler, task: &T, needed: usize) -> Result<DrawnBatch> {
     let mut out = DrawnBatch {
         records: Vec::new(),
@@ -290,6 +343,18 @@ impl EarlDriver {
         &self.config
     }
 
+    /// Under the degrade policy, writes off data that died with failed nodes:
+    /// re-syncs DFS metadata (so later reads touch only survivors) and logs
+    /// the orphaned splits.  A no-op under `Retry` or while every node lives,
+    /// so a run that never sees a failure is bit-identical to one on an
+    /// unarmed cluster.
+    fn write_off_losses(&self, fault_log: &mut FaultLog) {
+        if self.config.failure_policy.is_degrade() && !self.dfs.cluster().failed_nodes().is_empty()
+        {
+            fault_log.splits_lost += self.dfs.reconcile_failures().len() as u64;
+        }
+    }
+
     /// Runs `task` over `path` with early approximation, returning a report
     /// whose error estimate satisfies the configured bound σ.
     ///
@@ -308,15 +373,21 @@ impl EarlDriver {
         let cluster = self.dfs.cluster().clone();
         let start_time = cluster.elapsed();
         let start_bytes = cluster.metrics().snapshot().total_disk_bytes_read();
+        // Failure events that fire from here on (including via implicit polls
+        // during sampling or job charges) belong to this run's fault log.
+        let events_seen = cluster.failure_events().len();
+        let mut fault_log = FaultLog::default();
         let seed = self.config.seed;
 
         // ---- sampler --------------------------------------------------------
+        // Under the degrade policy the pre-map sampler treats probes into
+        // failure-orphaned blocks as misses: draws stay uniform over whatever
+        // data survives (§3.4) instead of aborting the run.
         let mut sampler = match self.config.sampling {
-            SamplingMethod::PreMap => Sampler::Pre(PreMapSampler::new(
-                self.dfs.clone(),
-                path.clone(),
-                self.config.seed,
-            )?),
+            SamplingMethod::PreMap => Sampler::Pre(
+                PreMapSampler::new(self.dfs.clone(), path.clone(), self.config.seed)?
+                    .skip_unavailable(self.config.failure_policy.is_degrade()),
+            ),
             SamplingMethod::PostMap => Sampler::Post(PostMapSampler::new(
                 self.dfs.clone(),
                 path.clone(),
@@ -328,7 +399,18 @@ impl EarlDriver {
         let pilot_target = ((population as f64 * self.config.pilot_fraction).ceil() as u64)
             .max(self.config.min_pilot)
             .min(population) as usize;
-        let pilot_batch = sampler.draw(pilot_target)?;
+        // Even the pilot survives data loss under the degrade policy: a
+        // cluster that lost nodes *before* the run starts (the §3.4 scenario)
+        // writes the loss off up front and draws the pilot from survivors.
+        self.write_off_losses(&mut fault_log);
+        let pilot_batch = match sampler.draw(pilot_target) {
+            Err(err) if self.config.failure_policy.is_degrade() && is_data_loss(&err) => {
+                let orphaned = self.dfs.reconcile_failures();
+                fault_log.splits_lost += orphaned.len().max(1) as u64;
+                sampler.draw(pilot_target)?
+            }
+            other => other?,
+        };
         let mut records: Vec<(u64, String)> = pilot_batch.records;
         // `values` is the flat extracted sample: `stride` consecutive values
         // per usable record.  All sample-size arithmetic below counts records
@@ -415,10 +497,20 @@ impl EarlDriver {
             // ---- sequential schedule: sample → job → AES, back to back ------
             while iterations < self.config.max_iterations {
                 iterations += 1;
+                // A node may have died during the previous iteration's
+                // charges: write the loss off before expanding the sample.
+                self.write_off_losses(&mut fault_log);
 
                 // Expand the sample up to the current target (record counts).
                 let needed = target_n.saturating_sub((values.len() / stride) as u64) as usize;
-                let drawn = draw_batch(&mut sampler, task, needed)?;
+                let drawn = draw_degrading(
+                    &self.dfs,
+                    &self.config,
+                    &mut sampler,
+                    task,
+                    needed,
+                    &mut fault_log,
+                )?;
                 exhausted |= drawn.exhausted;
                 let delta_values = drawn.values;
                 records.extend(drawn.records);
@@ -431,8 +523,10 @@ impl EarlDriver {
                     format!("earl-{}", task.name()),
                     InputSource::Memory(records.clone()),
                 )
+                .with_failure_policy(self.config.failure_policy)
                 .with_parallelism(self.config.parallelism);
-                session.run_iteration(&conf, &mapper, &reducer)?;
+                let job = session.run_iteration(&conf, &mapper, &reducer)?;
+                fault_log.merge(&job.stats.fault_log);
 
                 // Accuracy estimation stage.
                 let (bootstrap_result, aes_records) = accuracy_stage(
@@ -482,6 +576,7 @@ impl EarlDriver {
             let mut staged: Option<Staged> = None;
             while iterations < self.config.max_iterations {
                 iterations += 1;
+                self.write_off_losses(&mut fault_log);
 
                 // ---- commit this iteration's sample + job -------------------
                 let delta_values: Vec<f64> = match staged.take() {
@@ -492,13 +587,21 @@ impl EarlDriver {
                         exhausted |= s.exhausted;
                         // The map phase already ran during the previous AES;
                         // only shuffle + reduce are left.
-                        session.complete_iteration(s.pending, &reducer)?;
+                        let job = session.complete_iteration(s.pending, &reducer)?;
+                        fault_log.merge(&job.stats.fault_log);
                         s.delta_values
                     }
                     None => {
                         let needed =
                             target_n.saturating_sub((values.len() / stride) as u64) as usize;
-                        let drawn = draw_batch(&mut sampler, task, needed)?;
+                        let drawn = draw_degrading(
+                            &self.dfs,
+                            &self.config,
+                            &mut sampler,
+                            task,
+                            needed,
+                            &mut fault_log,
+                        )?;
                         exhausted |= drawn.exhausted;
                         let delta_values = drawn.values;
                         records.extend(drawn.records);
@@ -508,8 +611,10 @@ impl EarlDriver {
                             format!("earl-{}", task.name()),
                             InputSource::Memory(records.clone()),
                         )
+                        .with_failure_policy(self.config.failure_policy)
                         .with_parallelism(self.config.parallelism);
-                        session.run_iteration(&conf, &mapper, &reducer)?;
+                        let job = session.run_iteration(&conf, &mapper, &reducer)?;
+                        fault_log.merge(&job.stats.fault_log);
                         delta_values
                     }
                 };
@@ -546,13 +651,21 @@ impl EarlDriver {
                     });
                     let spec_out: Result<Option<Staged>> = if speculate {
                         (|| {
-                            let drawn = draw_batch(&mut sampler, task, needed)?;
+                            let drawn = draw_degrading(
+                                &self.dfs,
+                                &self.config,
+                                &mut sampler,
+                                task,
+                                needed,
+                                &mut fault_log,
+                            )?;
                             let mut spec_records = records.clone();
                             spec_records.extend(drawn.records.iter().cloned());
                             let conf = JobConf::new(
                                 format!("earl-{}", task.name()),
                                 InputSource::Memory(spec_records),
                             )
+                            .with_failure_policy(self.config.failure_policy)
                             .with_parallelism(self.config.parallelism);
                             let pending = session.begin_iteration(&conf, &mapper)?;
                             Ok(Some(Staged {
@@ -586,7 +699,7 @@ impl EarlDriver {
                 if (values.len() / stride) as u64 >= population {
                     exact = true;
                     if let Some(s) = speculative {
-                        session.cancel_iteration(s.pending);
+                        fault_log.merge(&session.cancel_iteration(s.pending).fault_log);
                     }
                     break;
                 }
@@ -600,7 +713,7 @@ impl EarlDriver {
                     .unwrap_or(false);
                 if channel_says_stop || exhausted {
                     if let Some(s) = speculative {
-                        session.cancel_iteration(s.pending);
+                        fault_log.merge(&session.cancel_iteration(s.pending).fault_log);
                     }
                     break;
                 }
@@ -610,6 +723,15 @@ impl EarlDriver {
         }
 
         // ---- report ----------------------------------------------------------
+        // A death during the final iteration's charges still counts: write off
+        // whatever it orphaned before closing the books.
+        self.write_off_losses(&mut fault_log);
+        // Sweep events that fired during the run into the log (some fire via
+        // implicit polls the job-level logs never see, e.g. during sampling).
+        let all_events = cluster.failure_events();
+        if all_events.len() > events_seen {
+            fault_log.record_events(&all_events[events_seen..]);
+        }
         let bootstrap_result = last_bootstrap.ok_or(EarlError::NoUsableRecords)?;
         let sampled_fraction = (committed_drawn as f64 / population as f64).clamp(0.0, 1.0);
         let aes_report = aes.summarise(
@@ -639,8 +761,20 @@ impl EarlDriver {
             sim_time: cluster.elapsed() - start_time,
             bytes_read: cluster.metrics().snapshot().total_disk_bytes_read() - start_bytes,
             resample_work: incremental.as_ref().map(|ib| ib.work()),
+            fault_log: (!fault_log.is_empty()).then_some(fault_log),
         };
         if report.meets_bound() {
+            Ok(report)
+        } else if self.config.failure_policy.is_degrade()
+            && report
+                .fault_log
+                .as_ref()
+                .is_some_and(|log| log.splits_lost > 0)
+        {
+            // Input data genuinely died with a node and the degrade policy is
+            // in force (§3.4): the widened error estimate over the surviving
+            // sample IS the answer — the caller reads the achieved accuracy
+            // from the report instead of the run aborting.
             Ok(report)
         } else {
             Err(EarlError::AccuracyNotReached(Box::new(report)))
@@ -659,6 +793,7 @@ impl EarlDriver {
         let start_bytes = cluster.metrics().snapshot().total_disk_bytes_read();
 
         let conf = JobConf::new(format!("exact-{}", task.name()), InputSource::Path(path))
+            .with_failure_policy(self.config.failure_policy)
             .with_parallelism(self.config.parallelism);
         let mapper = TaskMapper::new(task);
         let reducer = TaskReducer::new(task);
@@ -686,6 +821,7 @@ impl EarlDriver {
             sim_time: cluster.elapsed() - start_time,
             bytes_read: cluster.metrics().snapshot().total_disk_bytes_read() - start_bytes,
             resample_work: None,
+            fault_log: (!result.stats.fault_log.is_empty()).then(|| result.stats.fault_log.clone()),
         })
     }
 }

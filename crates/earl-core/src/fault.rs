@@ -10,7 +10,7 @@
 //! the paper.)
 
 use earl_bootstrap::bootstrap::{bootstrap_distribution, BootstrapConfig};
-use earl_cluster::Phase;
+use earl_cluster::{FaultLog, Phase};
 use earl_dfs::{Dfs, DfsPath};
 
 use crate::config::EarlConfig;
@@ -70,8 +70,9 @@ pub fn run_despite_failures<T: EarlTask>(
     let p = (surviving_records as f64 / population as f64).clamp(0.0, 1.0);
     let bootstraps = config.bootstraps.unwrap_or(30).max(2);
     let estimator = TaskEstimator::new(task);
-    let bootstrap_config =
-        BootstrapConfig::with_resamples(bootstraps).with_parallelism(config.parallelism);
+    let bootstrap_config = BootstrapConfig::with_resamples(bootstraps)
+        .with_parallelism(config.parallelism)
+        .with_kernel(config.bootstrap_kernel);
     let bootstrap = bootstrap_distribution(config.seed, &surviving, &estimator, &bootstrap_config)
         .map_err(EarlError::Stats)?;
     cluster.charge_reduce_cpu(
@@ -82,6 +83,11 @@ pub fn run_despite_failures<T: EarlTask>(
 
     let exact = lost_splits == 0 && surviving_records >= population;
     let (ci_low, ci_high) = bootstrap.percentile_ci(0.05);
+    let fault_log = FaultLog {
+        events: cluster.failure_events(),
+        splits_lost: lost_splits as u64,
+        ..FaultLog::default()
+    };
     Ok(EarlReport {
         task: task.name().to_owned(),
         result: task.correct(bootstrap.point_estimate, p),
@@ -99,6 +105,7 @@ pub fn run_despite_failures<T: EarlTask>(
         sim_time: cluster.elapsed() - start_time,
         bytes_read: cluster.metrics().snapshot().total_disk_bytes_read() - start_bytes,
         resample_work: None,
+        fault_log: (!fault_log.is_empty()).then_some(fault_log),
     })
 }
 
@@ -159,6 +166,34 @@ mod tests {
         let rel = (report.result - truth).abs() / truth;
         assert!(rel < 0.05, "mean from surviving data off by {rel}");
         assert!(report.ci_low < truth && truth < report.ci_high);
+        let log = report.fault_log.expect("data loss must be logged");
+        assert!(log.splits_lost > 0);
+    }
+
+    #[test]
+    fn the_configured_bootstrap_kernel_is_respected() {
+        use earl_bootstrap::BootstrapKernel;
+        let (dfs, _) = setup(1);
+        dfs.cluster().fail_node(NodeId(0)).unwrap();
+        dfs.cluster().fail_node(NodeId(1)).unwrap();
+        let with_kernel = |kernel| {
+            let config = EarlConfig {
+                bootstrap_kernel: kernel,
+                ..EarlConfig::default()
+            };
+            run_despite_failures(&dfs, "/ft", &MeanTask, &config).unwrap()
+        };
+        let gather = with_kernel(BootstrapKernel::Gather);
+        let counts = with_kernel(BootstrapKernel::CountBased);
+        let auto = with_kernel(BootstrapKernel::Auto);
+        // The kernels draw replicates from different RNG streams, so on lossy
+        // data their error estimates must differ bit-for-bit — which pins that
+        // `config.bootstrap_kernel` actually reaches the bootstrap (it used to
+        // be silently ignored here).
+        assert_ne!(gather.error_estimate, counts.error_estimate);
+        // `Auto` resolves the mean to the count-based kernel.
+        assert_eq!(auto.error_estimate, counts.error_estimate);
+        assert_eq!(auto.result, counts.result);
     }
 
     #[test]

@@ -591,6 +591,7 @@ impl EarlDriver {
                 InputSource::Memory(records.clone()),
             )
             .with_reducers(groups.len().clamp(1, 8))
+            .with_failure_policy(config.failure_policy)
             .with_parallelism(config.parallelism);
             let job = session.run_iteration(&conf, &mapper, &reducer)?;
             engine_results = job.outputs.into_iter().collect();

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use earl_bootstrap::delta::UpdateWork;
-use earl_cluster::SimDuration;
+use earl_cluster::{FaultLog, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// Everything EARL knows about an answer it produced: the (corrected) result,
@@ -44,6 +44,10 @@ pub struct EarlReport {
     pub bytes_read: u64,
     /// Resample-maintenance work accounting, when delta maintenance was used.
     pub resample_work: Option<UpdateWork>,
+    /// Failure events and recovery work observed during the run; `None` when
+    /// no failure fired and no recovery work was performed (so a report from
+    /// an armed-but-quiet schedule is bit-identical to an unarmed one).
+    pub fault_log: Option<FaultLog>,
 }
 
 impl EarlReport {
@@ -102,6 +106,16 @@ impl fmt::Display for EarlReport {
                 work.savings() * 100.0
             )?;
         }
+        if let Some(log) = &self.fault_log {
+            writeln!(
+                f,
+                "  failures survived : {} event(s), {} split(s) lost, {} retri(es), {} record(s) salvaged",
+                log.events.len(),
+                log.splits_lost,
+                log.task_retries,
+                log.records_salvaged
+            )?;
+        }
         Ok(())
     }
 }
@@ -128,6 +142,7 @@ mod tests {
             sim_time: SimDuration::from_millis(1234),
             bytes_read: 4096,
             resample_work: None,
+            fault_log: None,
         }
     }
 
@@ -165,5 +180,18 @@ mod tests {
         let mut exact = report();
         exact.exact = true;
         assert!(exact.to_string().contains("exact"));
+    }
+
+    #[test]
+    fn display_reports_survived_failures() {
+        let mut r = report();
+        assert!(!r.to_string().contains("failures survived"));
+        r.fault_log = Some(FaultLog {
+            splits_lost: 2,
+            ..FaultLog::default()
+        });
+        let text = r.to_string();
+        assert!(text.contains("failures survived"));
+        assert!(text.contains("2 split(s) lost"));
     }
 }

@@ -19,10 +19,20 @@ pub mod builtin {
     pub const REDUCE_INPUT_RECORDS: &str = "reduce.input.records";
     /// Records emitted by reducers.
     pub const REDUCE_OUTPUT_RECORDS: &str = "reduce.output.records";
-    /// Input splits whose output was lost to node failures (ignore policy).
+    /// Input splits whose output was lost to node failures (degrade policy).
     pub const LOST_SPLITS: &str = "job.lost.splits";
-    /// Tasks restarted after node failures (restart policy).
+    /// Tasks restarted after node failures (retry policy).
     pub const RESTARTED_TASKS: &str = "job.restarted.tasks";
+    /// Failure events that struck the cluster while the job ran.
+    pub const FAILURE_EVENTS: &str = "job.failure.events";
+    /// Records from completed tasks kept (not re-computed) after a failure.
+    pub const SALVAGED_RECORDS: &str = "job.salvaged.records";
+    /// Simulated microseconds of retry back-off charged to the job.
+    pub const BACKOFF_MICROS: &str = "job.backoff.micros";
+    /// Intermediate records routed through the sharded streaming shuffle —
+    /// positive whenever the map phase produced output, proving the gather
+    /// path was not taken.
+    pub const SHARDED_SHUFFLE_RECORDS: &str = "shuffle.sharded.records";
 }
 
 /// A set of named monotonically increasing counters.

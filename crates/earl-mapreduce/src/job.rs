@@ -1,7 +1,8 @@
 //! Job configuration and results.
 
-use earl_cluster::SimDuration;
+use earl_cluster::{FaultLog, SimDuration};
 use earl_dfs::{DfsPath, InputSplit};
+use serde::{Deserialize, Serialize};
 
 use crate::counters::Counters;
 
@@ -41,15 +42,67 @@ impl InputSource {
 }
 
 /// What to do when a node fails while running one of the job's tasks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Failures are arbitrated at deterministic sim-instants derived from the
+/// task plan, so either policy yields the same outcome at every thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FailurePolicy {
-    /// Stock Hadoop behaviour: restart the task on another node.
-    #[default]
-    Restart,
-    /// EARL's fault-tolerant approximation mode (§3.4): drop the lost task's
-    /// output and keep going; the accuracy-estimation stage will account for
-    /// the smaller effective sample.
-    Ignore,
+    /// Stock Hadoop behaviour: re-plan the dead node's tasks onto survivors
+    /// (re-syncing DFS metadata first), keeping — *salvaging* — the output of
+    /// tasks that had already completed.  Each retry round charges `backoff`
+    /// of simulated wall-clock before re-running; a task that fails
+    /// `max_attempts` times aborts the job.
+    Retry {
+        /// Maximum executions of any one task before the job gives up.
+        max_attempts: u32,
+        /// Simulated delay charged before each retry round.
+        backoff: SimDuration,
+    },
+    /// EARL's fault-tolerant approximation mode (§3.4): drop the lost splits
+    /// and keep going; the accuracy-estimation stage accounts for the smaller
+    /// effective sample.  Only map-side *input* data is ever abandoned —
+    /// driver-held (in-memory) map tasks and reduce partitions are always
+    /// re-run, since their data still exists.
+    Degrade,
+}
+
+impl FailurePolicy {
+    /// The default retry policy: up to 4 attempts per task with no back-off,
+    /// matching the engine's historical restart behaviour.
+    pub const fn retry() -> Self {
+        FailurePolicy::Retry {
+            max_attempts: 4,
+            backoff: SimDuration::ZERO,
+        }
+    }
+
+    /// Whether this is the degrade (§3.4) policy.
+    pub const fn is_degrade(&self) -> bool {
+        matches!(self, FailurePolicy::Degrade)
+    }
+
+    /// Attempt cap for tasks that must be re-run regardless of policy
+    /// (in-memory map tasks, reduce partitions).
+    pub const fn max_attempts(&self) -> u32 {
+        match self {
+            FailurePolicy::Retry { max_attempts, .. } => *max_attempts,
+            FailurePolicy::Degrade => 4,
+        }
+    }
+
+    /// Simulated back-off charged before each retry round.
+    pub const fn backoff(&self) -> SimDuration {
+        match self {
+            FailurePolicy::Retry { backoff, .. } => *backoff,
+            FailurePolicy::Degrade => SimDuration::ZERO,
+        }
+    }
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        Self::retry()
+    }
 }
 
 /// Configuration of one MapReduce job.
@@ -76,9 +129,10 @@ pub struct JobConf {
     pub output_path: Option<DfsPath>,
     /// Worker threads used to execute map tasks and reduce partitions
     /// concurrently (`None` = one per available core).  Results are identical
-    /// for every value; only wall-clock time changes.  Jobs running under an
-    /// active failure schedule always execute sequentially so that failure
-    /// semantics stay deterministic.
+    /// for every value; only wall-clock time changes.  An active failure
+    /// schedule does not force sequential execution: failures are arbitrated
+    /// at plan-derived sim-instants, so the parallel engine keeps the
+    /// sequential schedule's deterministic failure semantics.
     pub parallelism: Option<usize>,
 }
 
@@ -90,7 +144,7 @@ impl JobConf {
             input,
             num_reducers: 1,
             avg_record_bytes: 16,
-            failure_policy: FailurePolicy::Restart,
+            failure_policy: FailurePolicy::default(),
             local_mode: false,
             charge_job_startup: true,
             output_path: None,
@@ -158,12 +212,14 @@ pub struct JobStats {
     /// Reduce tasks executed.
     pub reduce_tasks: u64,
     /// Map tasks whose output was dropped because their node failed under the
-    /// [`FailurePolicy::Ignore`] policy.
+    /// [`FailurePolicy::Degrade`] policy.
     pub lost_map_tasks: u64,
     /// Tasks restarted after node failures.
     pub restarted_tasks: u64,
     /// Simulated time elapsed on the cluster during this job.
     pub sim_time: SimDuration,
+    /// Failure events observed and recovery work performed during this job.
+    pub fault_log: FaultLog,
 }
 
 impl JobStats {
@@ -196,7 +252,7 @@ mod tests {
     fn builder_methods_compose() {
         let conf = JobConf::new("test", InputSource::from_lines(["a", "b"]))
             .with_reducers(0)
-            .with_failure_policy(FailurePolicy::Ignore)
+            .with_failure_policy(FailurePolicy::Degrade)
             .local()
             .without_job_startup()
             .with_avg_record_bytes(0)
@@ -204,7 +260,8 @@ mod tests {
             .with_parallelism(Some(4));
         assert_eq!(conf.num_reducers, 1, "reducer count is clamped to ≥1");
         assert_eq!(conf.avg_record_bytes, 1, "record size is clamped to ≥1");
-        assert_eq!(conf.failure_policy, FailurePolicy::Ignore);
+        assert_eq!(conf.failure_policy, FailurePolicy::Degrade);
+        assert!(conf.failure_policy.is_degrade());
         assert!(conf.local_mode);
         assert!(!conf.charge_job_startup);
         assert_eq!(conf.output_path, Some("/out".into()));

@@ -6,9 +6,12 @@
 //!
 //! * the classic `map : (k1, v1) → list(k2, v2)` / `reduce : (k2, list(v2)) →
 //!   (k3, v3)` programming model with combiners, partitioners and counters;
-//! * locality-aware task scheduling over input splits, with task restart on
-//!   node failure (stock Hadoop behaviour) or *ignore-and-continue* (the
-//!   fault-tolerant approximation mode of EARL §3.4);
+//! * locality-aware task scheduling over input splits, with node failures
+//!   arbitrated deterministically on the simulated clock and handled per
+//!   [`FailurePolicy`]: *retry* re-plans lost tasks onto survivors (stock
+//!   Hadoop behaviour), *degrade* drops the lost splits and lets the accuracy
+//!   stage bound the error (the fault-tolerant approximation mode of EARL
+//!   §3.4) — both on the parallel engine, at every thread count;
 //! * a **local mode** that runs a job in-process without task start-up costs,
 //!   used by EARL's SSABE parameter-estimation phase (§3.2);
 //! * a **pipelined session** (Hadoop-Online-style) that keeps mapper/reducer

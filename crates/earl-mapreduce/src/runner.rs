@@ -9,11 +9,10 @@
 //!
 //! ## Execution model
 //!
-//! When the cluster's failure injector can still fire (`Restart` / `Ignore`
-//! experiments with a pending schedule), the job runs on the original
-//! sequential path so failure timing stays exactly reproducible.  Otherwise —
-//! the common case, and every benchmark — map tasks run concurrently across a
-//! scoped thread pool and reduce partitions are reduced in parallel:
+//! Map tasks run concurrently across a scoped thread pool and reduce
+//! partitions are reduced in parallel — always, even while a failure schedule
+//! is armed (the old engine fell back to a fully sequential gather path the
+//! moment the injector *might* fire):
 //!
 //! * task → node assignment is planned deterministically up front (locality
 //!   first, then round-robin over available nodes), never through the cluster
@@ -25,20 +24,44 @@
 //!   per-phase metrics, so the merged totals (and therefore `sim_time`) do
 //!   not depend on thread interleaving either.
 //!
+//! ## Deterministic failure arbitration
+//!
+//! While a schedule is armed, implicit failure polling is suppressed for the
+//! duration of each parallel phase ([`Cluster::suppress_failure_polling`]);
+//! after the barrier the injector is polled at **plan-derived task-boundary
+//! instants** — the completion times the tasks would have under a serial
+//! replay of the plan through the cost model — via
+//! [`Cluster::arbitrate_failures_at`].  A task is lost iff its planned node
+//! is dead at its estimated boundary.  The outcome is therefore a pure
+//! function of `(schedule, plan, cost model)`: identical at every
+//! `EARL_THREADS`, and — because arbitration itself charges nothing — an
+//! armed schedule that never fires produces reports bit-identical (including
+//! `sim_time`) to an unarmed cluster.
+//!
+//! Lost tasks are handled per [`FailurePolicy`]: `Retry` re-plans them onto
+//! survivors (re-syncing DFS metadata, charging per-round back-off, keeping —
+//! *salvaging* — the shard buffers of tasks that completed); `Degrade` (§3.4)
+//! abandons lost input splits and lets the accuracy-estimation stage account
+//! for the smaller sample.  In-memory map tasks and reduce partitions are
+//! always re-run under either policy: their data still exists, so dropping
+//! them would discard computation, not lost data.
+//!
 //! ## Streaming shuffle (M3R-style)
 //!
-//! On the failure-free path the shuffle is **map-side**: every map task routes
-//! its (combined) output pairs straight into per-shard buffers as it finishes
-//! ([`earl_parallel::sharded_emit`]), so the job-wide all-pairs vector the old
-//! gather design concatenated between map and shuffle never exists.  At the
-//! reducer-ready barrier each reduce shard already holds exactly its pairs in
-//! emission order; [`ShuffleOutput::shuffle_streaming`] only concatenates and
-//! groups per shard.  The sequential failure path keeps the gather design
-//! (pairs → [`ShuffleOutput::shuffle_parallel`]); both deliver the same bits,
-//! and all cost-model charges are driven by the same record counts, so
-//! `sim_time` is unchanged too.
+//! The shuffle is **map-side**: every map task routes its (combined) output
+//! pairs straight into per-shard buffers as it finishes
+//! ([`earl_parallel::sharded_emit`], or one [`ShardBuffers`] per task on the
+//! armed path — reassembled in task order, which merges to the same bits), so
+//! the job-wide all-pairs vector the old gather design concatenated between
+//! map and shuffle never exists.  At the reducer-ready barrier each reduce
+//! shard already holds exactly its pairs in emission order;
+//! [`ShuffleOutput::shuffle_streaming`] only concatenates and groups per
+//! shard.
+//!
+//! [`Cluster::suppress_failure_polling`]: earl_cluster::Cluster::suppress_failure_polling
+//! [`Cluster::arbitrate_failures_at`]: earl_cluster::Cluster::arbitrate_failures_at
 
-use earl_cluster::{ClusterError, NodeId, Phase};
+use earl_cluster::{ClusterError, NodeId, Phase, SimDuration, SimInstant};
 use earl_dfs::{Dfs, InputSplit};
 use earl_parallel::{
     indexed_map, resolve_parallelism, sharded_emit, workers_for, ShardBuffers, ShardedBuffers,
@@ -46,15 +69,13 @@ use earl_parallel::{
 
 use crate::counters::{builtin, Counters};
 use crate::error::MrError;
-use crate::job::{FailurePolicy, InputSource, JobConf, JobResult, JobStats};
+#[cfg(any(doc, test))]
+use crate::job::FailurePolicy;
+use crate::job::{InputSource, JobConf, JobResult, JobStats};
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::shuffle::{apply_combiner, ShuffleOutput};
 use crate::types::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 use crate::Result;
-
-/// Maximum number of attempts for a single task before the job is declared
-/// lost (mirrors Hadoop's `mapred.map.max.attempts` default of 4).
-const MAX_TASK_ATTEMPTS: usize = 4;
 
 /// Runs a job without a combiner.
 pub fn run_job<M, R>(
@@ -117,39 +138,21 @@ where
     finish_job(dfs, conf, phase, reducer)
 }
 
-/// Intermediate map output, in one of two shapes:
-///
-/// * `Pairs` — the gather design: all pairs concatenated in task-index order
-///   (sequential / failure-schedule path only);
-/// * `Sharded` — the streaming design: pairs already routed into per-reduce-
-///   shard buffers during the map phase, the all-pairs vector never built.
-#[derive(Debug)]
-enum MapOutput<K, V> {
-    Pairs(Vec<(K, V)>),
-    Sharded(ShardedBuffers<(K, V)>),
-}
-
-impl<K, V> MapOutput<K, V> {
-    fn records(&self) -> u64 {
-        match self {
-            MapOutput::Pairs(pairs) => pairs.len() as u64,
-            MapOutput::Sharded(buffers) => buffers.total_items(),
-        }
-    }
-}
-
-/// The completed map half of a job: all intermediate pairs (gathered or
-/// already sharded map-side) plus the counters and stats accumulated so far.
-/// Produced by [`run_map_phase`], consumed by [`finish_job`] (shuffle +
-/// reduce) — or dropped outright when a pipelined session cancels a
-/// speculative iteration before its reduce phase.
+/// The completed map half of a job: all intermediate pairs already sharded
+/// map-side, plus the counters and stats accumulated so far.  Produced by
+/// [`run_map_phase`], consumed by [`finish_job`] (shuffle + reduce) — or
+/// dropped outright when a pipelined session cancels a speculative iteration
+/// before its reduce phase.
 #[derive(Debug)]
 pub struct MapPhase<K, V> {
-    output: MapOutput<K, V>,
+    output: ShardedBuffers<(K, V)>,
     counters: Counters,
     stats: JobStats,
-    start: earl_cluster::SimDuration,
-    failure_free: bool,
+    start: SimDuration,
+    /// How many injector events had fired before this job started — the tail
+    /// of `cluster.failure_events()` beyond this index is what fired *during*
+    /// the job and belongs in its fault log.
+    events_seen: usize,
 }
 
 impl<K, V> MapPhase<K, V> {
@@ -192,6 +195,7 @@ where
 {
     let cluster = dfs.cluster();
     let start = cluster.elapsed();
+    let events_seen = cluster.failure_events().len();
     let mut counters = Counters::new();
     let mut stats = JobStats::default();
 
@@ -217,17 +221,15 @@ where
     };
 
     // ---- map phase -----------------------------------------------------------
-    // Sequential execution is only needed while failures can still fire; a
-    // stable cluster runs tasks concurrently with identical results.  The
-    // decision is recorded so the reduce half follows the same engine even if
-    // all scheduled failures fire mid-map.  On the failure-free path mappers
-    // emit straight into per-reduce-shard buffers (streaming shuffle) — the
-    // all-pairs vector below exists only for the sequential failure path.
-    let failure_free = !cluster.failure_injection_pending();
+    // The streaming fast path needs no arbitration bookkeeping; the armed path
+    // is the same parallel engine plus deterministic failure arbitration and
+    // the recovery round loop.  An armed schedule that never fires charges
+    // exactly the same costs, so the two produce bit-identical results.
+    let armed = cluster.failure_injection_pending();
     let threads = resolve_parallelism(conf.parallelism);
 
-    let output = if failure_free {
-        MapOutput::Sharded(map_phase_streaming(
+    let output = if armed {
+        map_phase_armed(
             dfs,
             conf,
             mapper,
@@ -236,44 +238,34 @@ where
             &mut counters,
             &mut stats,
             threads,
-        )?)
+        )?
     } else {
-        let mut all_pairs: Vec<(M::OutKey, M::OutValue)> = Vec::new();
-        for input in &map_inputs {
-            stats.map_tasks += 1;
-            match run_map_task(
-                dfs,
-                conf,
-                mapper,
-                combiner,
-                input,
-                &mut counters,
-                &mut stats,
-            )? {
-                Some(pairs) => all_pairs.extend(pairs),
-                None => {
-                    stats.lost_map_tasks += 1;
-                    counters.increment(builtin::LOST_SPLITS);
-                }
-            }
-        }
-        MapOutput::Pairs(all_pairs)
+        map_phase_streaming(
+            dfs,
+            conf,
+            mapper,
+            combiner,
+            &map_inputs,
+            &mut counters,
+            &mut stats,
+            threads,
+        )?
     };
     stats.map_input_records = counters.get(builtin::MAP_INPUT_RECORDS);
-    stats.shuffle_records = output.records();
+    stats.shuffle_records = output.total_items();
+    record_new_failure_events(dfs, events_seen, &mut stats);
 
     Ok(MapPhase {
         output,
         counters,
         stats,
         start,
-        failure_free,
+        events_seen,
     })
 }
 
 /// Completes a job from its finished map phase: shuffle (sharded across the
-/// worker pool on the failure-free path), reduce, output charging, final
-/// stats.
+/// worker pool), reduce, output charging, final stats.
 pub fn finish_job<R>(
     dfs: &Dfs,
     conf: &JobConf,
@@ -289,15 +281,14 @@ where
         mut counters,
         mut stats,
         start,
-        failure_free,
+        events_seen,
     } = phase;
     let threads = resolve_parallelism(conf.parallelism);
 
     // ---- shuffle -------------------------------------------------------------
-    // Cost charges are driven by the record count, which is identical whether
-    // the pairs were gathered or streamed — so sim_time cannot depend on the
-    // shuffle engine.
-    let shuffle_records = output.records();
+    // Cost charges are driven by the record count, so sim_time cannot depend
+    // on the shuffle worker count.
+    let shuffle_records = output.total_items();
     if !conf.local_mode && shuffle_records > 0 {
         cluster.charge_sort(shuffle_records);
         let nodes = cluster.available_nodes();
@@ -308,78 +299,22 @@ where
             cluster.charge_net_transfer(Phase::Shuffle, nodes[0], nodes[1], crossing);
         }
     }
-    let shuffle_workers = if failure_free {
-        workers_for(shuffle_records as usize, conf.parallelism).min(threads)
-    } else {
-        1
-    };
-    let shuffled = match output {
-        // Streaming path: the pairs are already in their shards; only the
-        // per-shard concatenate + group remains.
-        MapOutput::Sharded(buffers) => ShuffleOutput::shuffle_streaming(buffers, shuffle_workers),
-        // Gather path (sequential failure schedule): shard then merge.
-        MapOutput::Pairs(all_pairs) => ShuffleOutput::shuffle_parallel(
-            all_pairs,
-            conf.num_reducers,
-            &HashPartitioner,
-            shuffle_workers,
-        ),
-    };
+    let shuffle_workers = workers_for(shuffle_records as usize, conf.parallelism).min(threads);
+    // Streaming shuffle always: the pairs are already in their shards; only
+    // the per-shard concatenate + group remains.
+    let shuffled = ShuffleOutput::shuffle_streaming(output, shuffle_workers);
     stats.reduce_groups = shuffled.total_groups();
 
     // ---- reduce phase --------------------------------------------------------
-    let mut outputs = Vec::new();
-    if failure_free {
-        outputs = reduce_phase_parallel(
-            dfs,
-            conf,
-            reducer,
-            shuffled.into_partitions(),
-            &mut counters,
-            &mut stats,
-            threads,
-        )?;
-    } else {
-        for partition in shuffled.into_partitions() {
-            if partition.is_empty() {
-                continue;
-            }
-            stats.reduce_tasks += 1;
-            let records_in: u64 = partition.values().map(|v| v.len() as u64).sum();
-            counters.add(builtin::REDUCE_INPUT_GROUPS, partition.len() as u64);
-            counters.add(builtin::REDUCE_INPUT_RECORDS, records_in);
-
-            // Reduce tasks are always re-executed on failure (only map-side
-            // sample loss is tolerated by EARL's approximation mode).
-            let mut attempts = 0;
-            loop {
-                attempts += 1;
-                let node = pick_node(dfs, &[])?;
-                if !conf.local_mode {
-                    cluster.charge_task_startup();
-                    cluster.record_task_on(node)?;
-                }
-                let mut ctx = ReduceContext::new();
-                for (key, values) in &partition {
-                    reducer.reduce(key, values, &mut ctx);
-                }
-                cluster.charge_reduce_cpu(Phase::Reduce, records_in, reducer.is_heavy());
-                let survived = conf.local_mode || node_alive(dfs, node);
-                if survived {
-                    let (out, c) = ctx.into_parts();
-                    outputs.extend(out);
-                    counters.merge(&c);
-                    break;
-                }
-                cluster.record_task_restart();
-                stats.restarted_tasks += 1;
-                counters.increment(builtin::RESTARTED_TASKS);
-                if attempts >= MAX_TASK_ATTEMPTS {
-                    return Err(MrError::ClusterLost);
-                }
-            }
-        }
-    }
+    let outputs = reduce_phase_parallel(
+        dfs,
+        conf,
+        reducer,
+        shuffled.into_partitions(),
+        &mut counters,
+        &mut stats,
+        threads,
+    )?;
 
     // ---- output --------------------------------------------------------------
     if let Some(_path) = &conf.output_path {
@@ -389,12 +324,37 @@ where
         cluster.charge_disk_write(Phase::Output, outputs.len() as u64 * conf.avg_record_bytes);
     }
 
+    record_new_failure_events(dfs, events_seen, &mut stats);
+    // Fault counters are added only when non-zero: a zero-valued entry would
+    // make an armed-but-quiet run's counters differ from an unarmed run's.
+    if shuffle_records > 0 {
+        counters.add(builtin::SHARDED_SHUFFLE_RECORDS, shuffle_records);
+    }
+    if !stats.fault_log.events.is_empty() {
+        counters.add(builtin::FAILURE_EVENTS, stats.fault_log.events.len() as u64);
+    }
+    if stats.fault_log.records_salvaged > 0 {
+        counters.add(builtin::SALVAGED_RECORDS, stats.fault_log.records_salvaged);
+    }
+    if stats.fault_log.backoff > SimDuration::ZERO {
+        counters.add(builtin::BACKOFF_MICROS, stats.fault_log.backoff.as_micros());
+    }
+
     stats.sim_time = cluster.elapsed() - start;
     Ok(JobResult {
         outputs,
         counters,
         stats,
     })
+}
+
+/// Folds the injector events that fired since `events_seen` into the job's
+/// fault log (idempotent: already-recorded events are skipped).
+fn record_new_failure_events(dfs: &Dfs, events_seen: usize, stats: &mut JobStats) {
+    let events = dfs.cluster().failure_events();
+    if events.len() > events_seen {
+        stats.fault_log.record_events(&events[events_seen..]);
+    }
 }
 
 enum MapInput {
@@ -424,6 +384,81 @@ fn plan_nodes(dfs: &Dfs, preferred: &[&[NodeId]]) -> Result<Vec<NodeId>> {
         .collect())
 }
 
+/// Estimated completion boundaries of `tasks` replayed serially from
+/// `phase_start` through the cost model.  These are the instants at which the
+/// injector is polled after a parallel phase — a pure function of the plan,
+/// so failure outcomes cannot depend on execution interleaving.  The real
+/// (makespan-charged) clock generally lags these serial estimates; the
+/// injector's monotonic poll window makes the two composable.
+fn estimated_boundaries(
+    phase_start: SimInstant,
+    durations: impl Iterator<Item = SimDuration>,
+) -> Vec<SimInstant> {
+    let mut acc = SimDuration::ZERO;
+    durations
+        .map(|d| {
+            acc += d;
+            phase_start + acc
+        })
+        .collect()
+}
+
+/// Arbitration for one executed round: polls the injector at each estimated
+/// task boundary (then catches up to the charged clock) and marks which tasks
+/// were lost — a task is lost iff its planned node is dead at its boundary.
+fn arbitrate_round(
+    dfs: &Dfs,
+    conf: &JobConf,
+    plan: &[NodeId],
+    boundaries: &[SimInstant],
+) -> Vec<bool> {
+    let cluster = dfs.cluster();
+    let mut dead: Vec<NodeId> = Vec::new();
+    let mut lost = vec![false; plan.len()];
+    for (j, boundary) in boundaries.iter().enumerate() {
+        for ev in cluster.arbitrate_failures_at(*boundary) {
+            if !dead.contains(&ev.node) {
+                dead.push(ev.node);
+            }
+        }
+        // Local-mode tasks run in the driver process and cannot be killed by
+        // a node failure; the arbitration still advances the injector window.
+        lost[j] = !conf.local_mode && dead.contains(&plan[j]);
+    }
+    cluster.arbitrate_failures_at(cluster.now());
+    lost
+}
+
+/// Charges the policy back-off before a retry round and re-syncs DFS metadata
+/// so retried reads avoid dead nodes.
+fn charge_retry_round(dfs: &Dfs, conf: &JobConf, stats: &mut JobStats) {
+    let backoff = conf.failure_policy.backoff();
+    if backoff > SimDuration::ZERO {
+        dfs.cluster().charge_parallel(Phase::Other, &[backoff]);
+        stats.fault_log.backoff += backoff;
+    }
+    dfs.reconcile_failures();
+}
+
+/// Books one task retry (cluster metric, stats, counters, fault log) and
+/// errors with [`MrError::ClusterLost`] once the attempt cap is reached.
+fn book_task_retry(
+    dfs: &Dfs,
+    conf: &JobConf,
+    attempts: u32,
+    counters: &mut Counters,
+    stats: &mut JobStats,
+) -> Result<()> {
+    if attempts >= conf.failure_policy.max_attempts().max(1) {
+        return Err(MrError::ClusterLost);
+    }
+    dfs.cluster().record_task_restart();
+    stats.restarted_tasks += 1;
+    counters.increment(builtin::RESTARTED_TASKS);
+    stats.fault_log.task_retries += 1;
+    Ok(())
+}
+
 /// Runs all map tasks concurrently across `threads` scoped workers, each task
 /// emitting its (combined) output pairs **directly into per-reduce-shard
 /// buffers** as it finishes — the map-side streaming shuffle.  Per-task
@@ -432,7 +467,7 @@ fn plan_nodes(dfs: &Dfs, preferred: &[&[NodeId]]) -> Result<Vec<NodeId>> {
 ///
 /// Requires a stable cluster (no pending failure injection): tasks cannot be
 /// lost mid-flight, so the only `None` outcome is data that was already
-/// missing under [`FailurePolicy::Ignore`] — which emits nothing.
+/// missing under [`FailurePolicy::Degrade`] — which emits nothing.
 #[allow(clippy::too_many_arguments)]
 fn map_phase_streaming<M, C>(
     dfs: &Dfs,
@@ -481,19 +516,175 @@ where
             None => {
                 stats.lost_map_tasks += 1;
                 counters.increment(builtin::LOST_SPLITS);
+                stats.fault_log.splits_lost += 1;
             }
         }
     }
     Ok(buffers)
 }
 
-/// One map task on a stable cluster: no retry loop, no survival check.  The
-/// task's pairs are routed straight into `shard_buffers` with the same
-/// partitioner arithmetic the reduce-side shuffle uses; only the per-task
-/// counters are returned.  Returns `None` (emitting nothing) when the task's
-/// input blocks were already lost and the failure policy tolerates dropping
-/// them; a task that errors has emitted nothing either (emission happens only
-/// after a successful read).
+/// The armed-schedule map phase: the same parallel engine as
+/// [`map_phase_streaming`] (identical plan, identical charges — an armed
+/// schedule that never fires is bit-identical to the unarmed path), plus
+/// deterministic failure arbitration and a recovery round loop.
+///
+/// Each round runs the pending tasks concurrently with implicit polling
+/// suppressed, each task streaming into its own [`ShardBuffers`]; after the
+/// barrier the round is arbitrated at the plan's estimated task boundaries.
+/// Surviving tasks commit their buffers/counters into slots indexed by the
+/// original task position, so the reassembled [`ShardedBuffers`] merges to
+/// the same bits as the single-pass fast path.  Lost tasks are re-queued
+/// (`Retry`, and always for in-memory inputs) or abandoned (`Degrade` on DFS
+/// splits, §3.4).
+#[allow(clippy::too_many_arguments)]
+fn map_phase_armed<M, C>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    mapper: &M,
+    combiner: Option<&C>,
+    inputs: &[MapInput],
+    counters: &mut Counters,
+    stats: &mut JobStats,
+    threads: usize,
+) -> Result<ShardedBuffers<(M::OutKey, M::OutValue)>>
+where
+    M: Mapper,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+{
+    let cluster = dfs.cluster();
+    let num_shards = conf.num_reducers.max(1);
+    if inputs.is_empty() {
+        return Ok(ShardedBuffers::empty(num_shards));
+    }
+    // Apply any failure already due (e.g. fired during job start-up charges)
+    // before planning, so the plan sees the true live set.
+    if !cluster.arbitrate_failures_at(cluster.now()).is_empty() {
+        dfs.reconcile_failures();
+    }
+
+    let heavy = mapper.is_heavy();
+    let cost = cluster.cost_model().clone();
+    let estimate = |input: &MapInput| -> SimDuration {
+        let startup = if conf.local_mode {
+            SimDuration::ZERO
+        } else {
+            cost.task_startup
+        };
+        startup
+            + match input {
+                MapInput::Split(split) => cost.disk_read(split.length),
+                MapInput::Memory(records) => cost.map_cpu(records.len() as u64, heavy),
+            }
+    };
+
+    type BufferSlots<K, V> = Vec<Option<ShardBuffers<(K, V)>>>;
+    let mut buffer_slots: BufferSlots<M::OutKey, M::OutValue> =
+        (0..inputs.len()).map(|_| None).collect();
+    let mut counter_slots: Vec<Option<Counters>> = (0..inputs.len()).map(|_| None).collect();
+    let mut dropped = vec![false; inputs.len()];
+    let mut attempts = vec![0u32; inputs.len()];
+    let mut pending: Vec<usize> = (0..inputs.len()).collect();
+    let mut first_round = true;
+
+    while !pending.is_empty() {
+        if !first_round {
+            charge_retry_round(dfs, conf, stats);
+        }
+        first_round = false;
+        for &i in &pending {
+            attempts[i] += 1;
+        }
+
+        let preferred: Vec<&[NodeId]> = pending
+            .iter()
+            .map(|&i| match &inputs[i] {
+                MapInput::Split(split) => split.locations.as_slice(),
+                MapInput::Memory(_) => &[][..],
+            })
+            .collect();
+        let plan = plan_nodes(dfs, &preferred)?;
+        let boundaries =
+            estimated_boundaries(cluster.now(), pending.iter().map(|&i| estimate(&inputs[i])));
+
+        let results = {
+            let _pause = cluster.suppress_failure_polling();
+            indexed_map(
+                pending.len(),
+                threads,
+                || (),
+                |j, ()| {
+                    let mut buffers = ShardBuffers::new(num_shards);
+                    let outcome = run_map_task_streaming(
+                        dfs,
+                        conf,
+                        mapper,
+                        combiner,
+                        &inputs[pending[j]],
+                        plan[j],
+                        num_shards,
+                        &mut buffers,
+                    );
+                    (outcome, buffers)
+                },
+            )
+        };
+        let lost = arbitrate_round(dfs, conf, &plan, &boundaries);
+
+        let mut next_pending = Vec::new();
+        let mut round_salvaged = 0u64;
+        let mut round_lost = false;
+        for (j, (outcome, buffers)) in results.into_iter().enumerate() {
+            let i = pending[j];
+            match outcome? {
+                // The task's input blocks were already gone (§3.4 drop).
+                None => dropped[i] = true,
+                Some(task_counters) if !lost[j] => {
+                    round_salvaged += buffers.emitted();
+                    buffer_slots[i] = Some(buffers);
+                    counter_slots[i] = Some(task_counters);
+                }
+                Some(_) => {
+                    round_lost = true;
+                    // Lost DFS splits are abandoned under Degrade; in-memory
+                    // inputs are driver-held (nothing was lost but work) and
+                    // are always re-run.
+                    if conf.failure_policy.is_degrade() && matches!(inputs[i], MapInput::Split(_)) {
+                        dropped[i] = true;
+                    } else {
+                        book_task_retry(dfs, conf, attempts[i], counters, stats)?;
+                        next_pending.push(i);
+                    }
+                }
+            }
+        }
+        if round_lost {
+            stats.fault_log.records_salvaged += round_salvaged;
+        }
+        pending = next_pending;
+    }
+
+    for i in 0..inputs.len() {
+        stats.map_tasks += 1;
+        if dropped[i] {
+            stats.lost_map_tasks += 1;
+            counters.increment(builtin::LOST_SPLITS);
+            stats.fault_log.splits_lost += 1;
+        } else if let Some(task_counters) = &counter_slots[i] {
+            counters.merge(task_counters);
+        }
+    }
+    let workers: Vec<_> = buffer_slots.into_iter().flatten().collect();
+    Ok(ShardedBuffers::from_workers(num_shards, workers))
+}
+
+/// One map task on a stable-for-this-round cluster: no retry loop, no
+/// survival check (the armed path decides survival by arbitration after the
+/// barrier).  The task's pairs are routed straight into `shard_buffers` with
+/// the same partitioner arithmetic the reduce-side shuffle uses; only the
+/// per-task counters are returned.  Returns `None` (emitting nothing) when
+/// the task's input blocks were already lost and the failure policy tolerates
+/// dropping them; a task that errors has emitted nothing either (emission
+/// happens only after a successful read).
 #[allow(clippy::too_many_arguments)]
 fn run_map_task_streaming<M, C>(
     dfs: &Dfs,
@@ -538,7 +729,7 @@ where
     match read_result {
         Ok(()) => {}
         Err(MrError::Dfs(earl_dfs::DfsError::BlockUnavailable(_)))
-            if conf.failure_policy == FailurePolicy::Ignore =>
+            if conf.failure_policy.is_degrade() =>
         {
             return Ok(None);
         }
@@ -569,8 +760,11 @@ where
 }
 
 /// Reduces all non-empty partitions concurrently across `threads` scoped
-/// workers and concatenates their outputs in partition order — exactly the
-/// order the sequential path produces.
+/// workers and concatenates their outputs in partition order.  While the
+/// failure injector can still fire, each round is arbitrated like the map
+/// phase; lost partitions are **always** re-run (under either policy — only
+/// map-side sample loss is tolerated by §3.4; the partition data is
+/// driver-held and still exists).
 fn reduce_phase_parallel<R>(
     dfs: &Dfs,
     conf: &JobConf,
@@ -587,150 +781,108 @@ where
     if non_empty.is_empty() {
         return Ok(Vec::new());
     }
-    let preferred: Vec<&[NodeId]> = non_empty.iter().map(|_| &[][..]).collect();
-    let plan = plan_nodes(dfs, &preferred)?;
     let cluster = dfs.cluster();
+    let armed = cluster.failure_injection_pending();
+    let records_in: Vec<u64> = non_empty
+        .iter()
+        .map(|p| p.values().map(|v| v.len() as u64).sum())
+        .collect();
+    let cost = cluster.cost_model().clone();
+    let heavy = reducer.is_heavy();
+    let estimate = |records: u64| -> SimDuration {
+        let startup = if conf.local_mode {
+            SimDuration::ZERO
+        } else {
+            cost.task_startup
+        };
+        startup + cost.reduce_cpu(records, heavy)
+    };
 
-    let results = indexed_map(
-        non_empty.len(),
-        threads,
-        || (),
-        |i, ()| -> Result<_> {
-            let partition = &non_empty[i];
-            if !conf.local_mode {
-                cluster.charge_task_startup();
-                cluster.record_task_on(plan[i])?;
+    type ReduceSlot<O> = (Vec<O>, Counters, u64, u64);
+    let mut slots: Vec<Option<ReduceSlot<R::Output>>> =
+        (0..non_empty.len()).map(|_| None).collect();
+    let mut attempts = vec![0u32; non_empty.len()];
+    let mut pending: Vec<usize> = (0..non_empty.len()).collect();
+    let mut first_round = true;
+
+    while !pending.is_empty() {
+        if !first_round {
+            charge_retry_round(dfs, conf, stats);
+        }
+        first_round = false;
+        for &i in &pending {
+            attempts[i] += 1;
+        }
+
+        let preferred: Vec<&[NodeId]> = pending.iter().map(|_| &[][..]).collect();
+        let plan = plan_nodes(dfs, &preferred)?;
+        let boundaries = if armed {
+            estimated_boundaries(
+                cluster.now(),
+                pending.iter().map(|&i| estimate(records_in[i])),
+            )
+        } else {
+            Vec::new()
+        };
+
+        let results = {
+            let _pause = cluster.suppress_failure_polling();
+            indexed_map(
+                pending.len(),
+                threads,
+                || (),
+                |j, ()| -> Result<_> {
+                    let i = pending[j];
+                    let partition = &non_empty[i];
+                    if !conf.local_mode {
+                        cluster.charge_task_startup();
+                        cluster.record_task_on(plan[j])?;
+                    }
+                    let mut ctx = ReduceContext::new();
+                    for (key, values) in partition {
+                        reducer.reduce(key, values, &mut ctx);
+                    }
+                    cluster.charge_reduce_cpu(Phase::Reduce, records_in[i], reducer.is_heavy());
+                    let (outputs, task_counters) = ctx.into_parts();
+                    Ok((
+                        outputs,
+                        task_counters,
+                        partition.len() as u64,
+                        records_in[i],
+                    ))
+                },
+            )
+        };
+        let lost = if armed {
+            arbitrate_round(dfs, conf, &plan, &boundaries)
+        } else {
+            vec![false; pending.len()]
+        };
+
+        let mut next_pending = Vec::new();
+        for (j, result) in results.into_iter().enumerate() {
+            let i = pending[j];
+            let value = result?;
+            if lost[j] {
+                book_task_retry(dfs, conf, attempts[i], counters, stats)?;
+                next_pending.push(i);
+            } else {
+                slots[i] = Some(value);
             }
-            let records_in: u64 = partition.values().map(|v| v.len() as u64).sum();
-            let mut ctx = ReduceContext::new();
-            for (key, values) in partition {
-                reducer.reduce(key, values, &mut ctx);
-            }
-            cluster.charge_reduce_cpu(Phase::Reduce, records_in, reducer.is_heavy());
-            let (outputs, task_counters) = ctx.into_parts();
-            Ok((outputs, task_counters, partition.len() as u64, records_in))
-        },
-    );
+        }
+        pending = next_pending;
+    }
 
     let mut outputs = Vec::new();
-    for result in results {
-        let (out, task_counters, groups, records_in) = result?;
+    for slot in slots {
+        let (out, task_counters, groups, records) = slot.expect("every partition was reduced");
         stats.reduce_tasks += 1;
         counters.add(builtin::REDUCE_INPUT_GROUPS, groups);
-        counters.add(builtin::REDUCE_INPUT_RECORDS, records_in);
+        counters.add(builtin::REDUCE_INPUT_RECORDS, records);
         counters.merge(&task_counters);
         outputs.extend(out);
     }
     Ok(outputs)
-}
-
-/// Intermediate pairs emitted by a mapper `M`.
-type MapperPairs<M> = Vec<(<M as Mapper>::OutKey, <M as Mapper>::OutValue)>;
-
-/// Runs one map task, retrying or dropping it according to the failure policy.
-/// Returns `None` when the task's output was lost under [`FailurePolicy::Ignore`].
-fn run_map_task<M, C>(
-    dfs: &Dfs,
-    conf: &JobConf,
-    mapper: &M,
-    combiner: Option<&C>,
-    input: &MapInput,
-    counters: &mut Counters,
-    stats: &mut JobStats,
-) -> Result<Option<MapperPairs<M>>>
-where
-    M: Mapper,
-    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
-{
-    let cluster = dfs.cluster();
-    let preferred = match input {
-        MapInput::Split(split) => split.locations.clone(),
-        MapInput::Memory(_) => Vec::new(),
-    };
-    let mut attempts = 0;
-    loop {
-        attempts += 1;
-        let node = pick_node(dfs, &preferred)?;
-        if !conf.local_mode {
-            cluster.charge_task_startup();
-            cluster.record_task_on(node)?;
-        }
-
-        let mut ctx = MapContext::new();
-        let mut records = 0u64;
-        let read_result: Result<()> = (|| {
-            match input {
-                MapInput::Split(split) => {
-                    let mut reader = dfs.open_split(split.clone(), Phase::Load);
-                    while let Some((offset, line)) = reader.next_line()? {
-                        mapper.map(offset, &line, &mut ctx);
-                        records += 1;
-                    }
-                }
-                MapInput::Memory(lines) => {
-                    for (offset, line) in lines {
-                        mapper.map(*offset, line, &mut ctx);
-                        records += 1;
-                    }
-                }
-            }
-            Ok(())
-        })();
-
-        match read_result {
-            Ok(()) => {}
-            Err(MrError::Dfs(earl_dfs::DfsError::BlockUnavailable(_)))
-                if conf.failure_policy == FailurePolicy::Ignore =>
-            {
-                // The data itself is gone; under the approximation policy the
-                // task is simply dropped.
-                return Ok(None);
-            }
-            Err(e) => return Err(e),
-        }
-
-        cluster.charge_map_cpu(records, mapper.is_heavy());
-
-        let survived = conf.local_mode || node_alive(dfs, node);
-        if survived {
-            counters.add(builtin::MAP_INPUT_RECORDS, records);
-            let (pairs, c) = ctx.into_parts();
-            counters.merge(&c);
-            let pairs = match combiner {
-                Some(cmb) => {
-                    let combined = apply_combiner(pairs, cmb);
-                    counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
-                    combined
-                }
-                None => pairs,
-            };
-            return Ok(Some(pairs));
-        }
-
-        // The node running this task failed while it was working.
-        match conf.failure_policy {
-            FailurePolicy::Ignore => return Ok(None),
-            FailurePolicy::Restart => {
-                cluster.record_task_restart();
-                stats.restarted_tasks += 1;
-                counters.increment(builtin::RESTARTED_TASKS);
-                if attempts >= MAX_TASK_ATTEMPTS {
-                    return Err(MrError::ClusterLost);
-                }
-                // Re-sync DFS metadata so the retry does not read from the dead node.
-                dfs.reconcile_failures();
-            }
-        }
-    }
-}
-
-fn pick_node(dfs: &Dfs, preferred: &[NodeId]) -> Result<NodeId> {
-    for node in preferred {
-        if node_alive(dfs, *node) {
-            return Ok(*node);
-        }
-    }
-    Ok(dfs.cluster().random_available_node()?)
 }
 
 fn node_alive(dfs: &Dfs, node: NodeId) -> bool {
@@ -746,9 +898,7 @@ mod tests {
     use crate::contrib::{
         CountCombiner, MeanReducer, TokenCountMapper, ValueExtractMapper, WordCountReducer,
     };
-    use earl_cluster::{
-        Cluster, CostModel, FailureEvent, FailureSchedule, SimDuration, SimInstant,
-    };
+    use earl_cluster::{Cluster, CostModel, FailureEvent, FailureSchedule, SimInstant};
     use earl_dfs::DfsConfig;
 
     fn test_dfs(nodes: u32, free: bool) -> Dfs {
@@ -786,6 +936,7 @@ mod tests {
         assert!(result.stats.reduce_tasks >= 1);
         assert_eq!(result.stats.lost_map_tasks, 0);
         assert_eq!(result.stats.surviving_fraction(), 1.0);
+        assert!(result.stats.fault_log.is_empty());
     }
 
     #[test]
@@ -866,9 +1017,10 @@ mod tests {
     }
 
     #[test]
-    fn restart_policy_recovers_from_node_failure() {
+    fn retry_policy_recovers_from_node_failure() {
         // Node 1 fails shortly after the job starts; with replication 2 the
-        // data survives and the restart policy must deliver the exact answer.
+        // data survives and the retry policy must deliver the exact answer —
+        // on the parallel engine, not a sequential fallback.
         let schedule = FailureSchedule::Deterministic(vec![FailureEvent {
             node: NodeId(1),
             at: SimInstant::EPOCH + SimDuration::from_millis(100),
@@ -890,7 +1042,7 @@ mod tests {
         let lines: Vec<String> = (1..=1000).map(|i| i.to_string()).collect();
         dfs.write_lines("/ft", &lines).unwrap();
         let conf = JobConf::new("mean", InputSource::Path("/ft".into()))
-            .with_failure_policy(FailurePolicy::Restart);
+            .with_failure_policy(FailurePolicy::retry());
         let result = run_job(&dfs, &conf, &ValueExtractMapper, &MeanReducer).unwrap();
         assert_eq!(result.outputs.len(), 1);
         assert!((result.outputs[0] - 500.5).abs() < 1e-9);
@@ -898,12 +1050,62 @@ mod tests {
             !dfs.cluster().failed_nodes().is_empty(),
             "the failure must actually have fired"
         );
+        assert!(
+            !result.stats.fault_log.events.is_empty() || !dfs.cluster().failure_events().is_empty(),
+            "the firing must be observable"
+        );
     }
 
     #[test]
-    fn ignore_policy_drops_lost_tasks_but_completes() {
-        // Every node except node 0 fails very early; with the Ignore policy the
-        // job still completes, reporting lost map tasks.
+    fn retry_backoff_is_charged_to_the_clock() {
+        // Kill a node mid-map under Retry with a visible back-off; if any task
+        // retries, the back-off must appear in the fault log and counters.
+        let schedule = FailureSchedule::Deterministic(vec![FailureEvent {
+            node: NodeId(1),
+            at: SimInstant::EPOCH + SimDuration::from_secs(2),
+        }]);
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .failure_schedule(schedule)
+            .build()
+            .unwrap();
+        let dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                block_size: 512,
+                replication: 2,
+                io_chunk: 128,
+            },
+        )
+        .unwrap();
+        let lines: Vec<String> = (1..=3000).map(|i| i.to_string()).collect();
+        dfs.write_lines("/bk", &lines).unwrap();
+        dfs.cluster().reset_accounting();
+        let conf = JobConf::new("mean", InputSource::Path("/bk".into())).with_failure_policy(
+            FailurePolicy::Retry {
+                max_attempts: 4,
+                backoff: SimDuration::from_millis(250),
+            },
+        );
+        let result = run_job(&dfs, &conf, &ValueExtractMapper, &MeanReducer).unwrap();
+        assert!((result.outputs[0] - 1500.5).abs() < 1e-9, "answer is exact");
+        if result.stats.restarted_tasks > 0 {
+            assert!(result.stats.fault_log.backoff >= SimDuration::from_millis(250));
+            assert_eq!(
+                result.counters.get(builtin::BACKOFF_MICROS),
+                result.stats.fault_log.backoff.as_micros()
+            );
+            assert_eq!(
+                result.stats.fault_log.task_retries,
+                result.stats.restarted_tasks
+            );
+        }
+    }
+
+    #[test]
+    fn degrade_policy_drops_lost_tasks_but_completes() {
+        // Every node except node 0 fails very early; with the Degrade policy
+        // the job still completes, reporting lost map tasks.
         let schedule = FailureSchedule::Deterministic(vec![
             FailureEvent {
                 node: NodeId(1),
@@ -932,15 +1134,19 @@ mod tests {
         dfs.write_lines("/loss", &lines).unwrap();
         dfs.cluster().reset_accounting();
         let conf = JobConf::new("mean", InputSource::Path("/loss".into()))
-            .with_failure_policy(FailurePolicy::Ignore);
+            .with_failure_policy(FailurePolicy::Degrade);
         let result = run_job(&dfs, &conf, &ValueExtractMapper, &MeanReducer).unwrap();
-        // The job must finish; depending on which blocks were lost the answer is
-        // approximate but the surviving fraction must be reported.
+        // The job must finish; depending on which blocks were lost the answer
+        // is approximate but the surviving fraction must be reported.
         assert!(result.stats.map_tasks > 0);
         if result.stats.lost_map_tasks > 0 {
             assert!(result.stats.surviving_fraction() < 1.0);
             assert_eq!(
                 result.counters.get(builtin::LOST_SPLITS),
+                result.stats.lost_map_tasks
+            );
+            assert_eq!(
+                result.stats.fault_log.splits_lost,
                 result.stats.lost_map_tasks
             );
         }
@@ -978,5 +1184,10 @@ mod tests {
         assert!(result.stats.sim_time > SimDuration::ZERO);
         assert!(result.stats.map_tasks >= 1);
         assert_eq!(result.stats.map_input_records, 500);
+        assert_eq!(
+            result.counters.get(builtin::SHARDED_SHUFFLE_RECORDS),
+            result.stats.shuffle_records,
+            "all intermediate records travel through the sharded shuffle"
+        );
     }
 }

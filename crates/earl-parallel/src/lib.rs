@@ -166,7 +166,12 @@ pub struct ShardBuffers<I> {
 }
 
 impl<I> ShardBuffers<I> {
-    fn new(num_shards: usize) -> Self {
+    /// An empty buffer set routing into `num_shards` shards (clamped to at
+    /// least one).  Callers that evaluate tasks outside [`sharded_emit`] —
+    /// e.g. a fault-tolerant round loop that must retry individual tasks —
+    /// build one buffer set per task and reassemble them with
+    /// [`ShardedBuffers::from_workers`].
+    pub fn new(num_shards: usize) -> Self {
         Self {
             buckets: (0..num_shards.max(1)).map(|_| Vec::new()).collect(),
             emitted: 0,
@@ -209,6 +214,26 @@ impl<I> ShardedBuffers<I> {
         Self {
             num_shards: num_shards.max(1),
             workers: Vec::new(),
+        }
+    }
+
+    /// Assembles the barrier state from externally evaluated per-producer
+    /// buffers, in producer order.  [`merge`](Self::merge) concatenates each
+    /// shard's buckets in this order, so passing producers in input order
+    /// yields output bit-identical to [`sharded_emit`] over the same items.
+    /// Every producer must route into the same `num_shards`.
+    pub fn from_workers(num_shards: usize, workers: Vec<ShardBuffers<I>>) -> Self {
+        let num_shards = num_shards.max(1);
+        for worker in &workers {
+            assert_eq!(
+                worker.num_shards(),
+                num_shards,
+                "every producer must route into the same shard count"
+            );
+        }
+        Self {
+            num_shards,
+            workers,
         }
     }
 
@@ -567,6 +592,33 @@ mod tests {
         assert_eq!(merged[0], (0, vec![0, 3, 6, 9]));
         assert_eq!(merged[1], (1, vec![1, 4, 7]));
         assert_eq!(merged[2], (2, vec![2, 5, 8]));
+    }
+
+    #[test]
+    fn from_workers_matches_sharded_emit_per_task_buffers() {
+        // One buffer set per task (the fault-tolerant round loop's shape)
+        // reassembled in task order merges bit-identically to sharded_emit.
+        let (_, reference) = sharded_emit(10, 3, 4, |i, buf: &mut ShardBuffers<usize>| {
+            buf.emit(i % 3, i);
+        });
+        let per_task: Vec<ShardBuffers<usize>> = (0..10)
+            .map(|i| {
+                let mut buf = ShardBuffers::new(3);
+                buf.emit(i % 3, i);
+                buf
+            })
+            .collect();
+        let rebuilt = ShardedBuffers::from_workers(3, per_task);
+        assert_eq!(rebuilt.total_items(), 10);
+        let a = reference.merge(2, |s, v: Vec<usize>| (s, v));
+        let b = rebuilt.merge(2, |s, v: Vec<usize>| (s, v));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "same shard count")]
+    fn from_workers_rejects_mismatched_shard_counts() {
+        let _ = ShardedBuffers::from_workers(3, vec![ShardBuffers::<u8>::new(2)]);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::collections::HashSet;
 
 use earl_cluster::Phase;
-use earl_dfs::{Dfs, DfsPath};
+use earl_dfs::{Dfs, DfsError, DfsPath};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,6 +42,12 @@ pub struct PreMapSampler {
     /// Upper bound on wasted probes per requested record before giving up
     /// (protects against pathological near-exhaustion loops).
     max_probe_factor: usize,
+    /// When set, probes that land in blocks lost to node failures are skipped
+    /// (like a used offset) instead of aborting the draw: the sampler then
+    /// draws uniformly from the *surviving* data, which is exactly the sample
+    /// EARL's degrade mode (§3.4) prices.  Off by default so callers that
+    /// expect loss to be loud (stock retry semantics) still see the error.
+    skip_unavailable: bool,
 }
 
 impl PreMapSampler {
@@ -58,7 +64,18 @@ impl PreMapSampler {
             drawn: 0,
             rng: StdRng::seed_from_u64(seed),
             max_probe_factor: 64,
+            skip_unavailable: false,
         })
+    }
+
+    /// Makes probes into failure-orphaned blocks count as misses instead of
+    /// errors, so draws are uniform over the surviving data (§3.4).  Skipping
+    /// consumes exactly one RNG value per probe regardless, so draws stay a
+    /// pure function of `(seed, dead set)` — deterministic at every thread
+    /// count.
+    pub fn skip_unavailable(mut self, skip: bool) -> Self {
+        self.skip_unavailable = skip;
+        self
     }
 
     /// The file being sampled.
@@ -101,10 +118,14 @@ impl SampleSource for PreMapSampler {
         while records.len() < count && probes < max_probes {
             probes += 1;
             let offset = self.rng.gen_range(0..self.file_len);
-            let Some((line_start, line)) =
-                self.dfs
-                    .read_line_at(Phase::Load, self.path.clone(), offset)?
-            else {
+            let probe = match self
+                .dfs
+                .read_line_at(Phase::Load, self.path.clone(), offset)
+            {
+                Err(DfsError::BlockUnavailable(_)) if self.skip_unavailable => continue,
+                other => other?,
+            };
+            let Some((line_start, line)) = probe else {
                 continue;
             };
             if self.used_offsets.insert(line_start) {

@@ -62,13 +62,13 @@ fn main() {
         report.relative_error_vs(dataset.true_mean) * 100.0
     );
 
-    // Stock Hadoop with the ignore policy at the MapReduce level: the job
-    // completes but reports how many map tasks were lost.
+    // The same survival at the MapReduce level with the Degrade policy: the
+    // job completes, reporting how many map tasks were lost.
     let conf = JobConf::new(
         "mean-after-failure",
         InputSource::Path("/sensors/readings".into()),
     )
-    .with_failure_policy(FailurePolicy::Ignore);
+    .with_failure_policy(FailurePolicy::Degrade);
     let job = earl_mapreduce::run_job(
         &dfs,
         &conf,
@@ -77,9 +77,13 @@ fn main() {
     )
     .expect("MR job completes despite failures");
     println!(
-        "MapReduce job with Ignore policy: {} of {} map tasks survived, mean of survivors = {:.4}",
+        "MapReduce job with Degrade policy: {} of {} map tasks survived, mean of survivors = {:.4}",
         job.stats.map_tasks - job.stats.lost_map_tasks,
         job.stats.map_tasks,
         job.outputs.first().copied().unwrap_or(f64::NAN)
+    );
+    println!(
+        "fault log: {} split(s) lost, {} record(s) salvaged",
+        job.stats.fault_log.splits_lost, job.stats.fault_log.records_salvaged
     );
 }

@@ -8,10 +8,10 @@
 //! * **driver accuracy** — every k-ary task meets its bound against exact
 //!   ground truth computed from the written records;
 //! * **fault-path equivalence** — an armed (never-firing) failure schedule
-//!   forces the engine's sequential fallback; its delivered reports must be
-//!   bit-identical to the failure-free streaming-shuffle run, for every k-ary
-//!   task at every thread count (previously only scalar tasks were pinned
-//!   under failures);
+//!   runs the same parallel engine with deterministic failure arbitration;
+//!   its delivered reports must be bit-identical to the failure-free
+//!   streaming-shuffle run, for every k-ary task at every thread count
+//!   (previously only scalar tasks were pinned under failures);
 //! * **grouped weighted means** — `run_grouped` per-group replicates are
 //!   bitwise identical to a standalone weighted bootstrap on the same
 //!   `group_seed(seed, key)` stream, reports are thread- and kernel-invariant,
@@ -60,8 +60,9 @@ fn make_dfs(nodes: u32) -> Dfs {
 }
 
 /// A DFS whose cluster has an armed failure schedule that never fires — the
-/// engine must take its sequential fallback for every phase while the
-/// schedule is pending, without any failure actually occurring.
+/// engine must keep its parallel execution (arbitrating failures at
+/// deterministic instants) while the schedule is pending, without any failure
+/// actually occurring.
 fn make_armed_dfs(nodes: u32) -> Dfs {
     let schedule = FailureSchedule::Deterministic(vec![FailureEvent {
         node: NodeId(0),
@@ -167,16 +168,16 @@ fn weighted_mean_meets_its_bound_on_weighted_truth() {
 }
 
 // ---------------------------------------------------------------------------
-// Fault-path equivalence: armed schedule (sequential fallback) ≡ failure-free
-// (streaming shuffle), bit-identical delivered reports
+// Fault-path equivalence: armed schedule ≡ failure-free, bit-identical
+// delivered reports on the same parallel engine
 // ---------------------------------------------------------------------------
 
 #[test]
 fn armed_failure_schedules_deliver_bit_identical_kary_reports() {
-    // Thread counts × pipeline depths × every k-ary task: the sequential
-    // fallback and the streaming-shuffle engine must deliver the same report
-    // to the last bit.  (A never-firing deterministic event keeps the failure
-    // injector armed for the whole run.)
+    // Thread counts × pipeline depths × every k-ary task: the armed engine
+    // (deterministic failure arbitration) and the unarmed fast path must
+    // deliver the same report to the last bit.  (A never-firing deterministic
+    // event keeps the failure injector armed for the whole run.)
     let build = |dfs: &Dfs| {
         DatasetBuilder::new(dfs.clone())
             .build_paired("/pairs", &PairedSpec::linear(30_000, -1.5, 90.0, 20.0, 31))

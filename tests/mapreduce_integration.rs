@@ -154,7 +154,7 @@ fn samplers_are_uniform_enough_for_downstream_statistics() {
 }
 
 #[test]
-fn ignore_policy_job_reports_surviving_fraction_after_losing_a_node() {
+fn degrade_policy_job_reports_surviving_fraction_after_losing_a_node() {
     let cluster = Cluster::builder()
         .nodes(3)
         .cost_model(CostModel::free())
@@ -175,7 +175,7 @@ fn ignore_policy_job_reports_surviving_fraction_after_losing_a_node() {
     dfs.cluster().fail_node(earl_cluster::NodeId(1)).unwrap();
     dfs.reconcile_failures();
     let conf = JobConf::new("mean", InputSource::Path("/mr/lossy".into()))
-        .with_failure_policy(FailurePolicy::Ignore);
+        .with_failure_policy(FailurePolicy::Degrade);
     let result = run_job(&dfs, &conf, &ValueExtractMapper, &MeanReducer).unwrap();
     assert!(result.stats.surviving_fraction() <= 1.0);
     if result.stats.lost_map_tasks > 0 {
