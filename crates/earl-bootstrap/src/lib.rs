@@ -13,7 +13,7 @@
 //!   three replicate kernels ([`bootstrap::BootstrapKernel`]): gather,
 //!   gather-free streaming, or resample-free count-based for linear
 //!   statistics;
-//! * [`jackknife`] — the leave-one-out jackknife, for comparison (the paper
+//! * [`mod@jackknife`] — the leave-one-out jackknife, for comparison (the paper
 //!   notes it fails for the median);
 //! * [`exact`] — exact bootstrap enumeration for tiny samples, quantifying why
 //!   Monte-Carlo approximation is necessary (`C(2n-1, n-1)` resamples);

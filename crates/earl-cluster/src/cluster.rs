@@ -362,6 +362,25 @@ impl Cluster {
         Ok(())
     }
 
+    /// Reports a node failure observed *outside* the failure injector — the
+    /// hook real transports use when a worker process dies (heartbeat timeout
+    /// or connection reset on its socket, `earl-net`).  The node is failed
+    /// immediately and a [`FailureEvent`] stamped with the current simulated
+    /// instant joins the injector's fired list, so the existing observability
+    /// chain ([`Self::failure_events`] → job fault logs → `EarlReport`)
+    /// records the death exactly like a scheduled one.  Reporting the same
+    /// node twice is idempotent for the event list; the returned event is the
+    /// one recorded (or previously recorded at the same instant).
+    pub fn report_external_failure(&self, id: NodeId) -> Result<FailureEvent> {
+        let event = FailureEvent {
+            node: id,
+            at: self.now(),
+        };
+        self.fail_node(id)?;
+        self.inner.failures.lock().record_external(event);
+        Ok(event)
+    }
+
     /// Administratively decommissions a node: it stops serving blocks and
     /// running tasks and cannot be repaired back into service.
     pub fn decommission_node(&self, id: NodeId) -> Result<()> {

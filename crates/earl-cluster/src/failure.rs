@@ -244,6 +244,19 @@ impl FailureInjector {
         &self.fired
     }
 
+    /// Records a failure that was observed *outside* the schedule — e.g. a
+    /// real remote worker process dying, detected by a heartbeat timeout on
+    /// its connection (`earl-net`).  The event joins the fired list so every
+    /// consumer of [`fired_events`](Self::fired_events) (job fault logs, the
+    /// driver's end-of-run sweep) sees externally reported deaths exactly
+    /// like scheduled ones.  The schedule itself is untouched: `may_fail`
+    /// still answers for the *injector's* future only.
+    pub fn record_external(&mut self, event: FailureEvent) {
+        if !self.fired.contains(&event) {
+            self.fired.push(event);
+        }
+    }
+
     /// The schedule driving this injector.
     pub fn schedule(&self) -> &FailureSchedule {
         &self.schedule

@@ -15,6 +15,8 @@
 //! 4. expand the sample and repeat until the bound is met, the data is
 //!    exhausted, or the iteration budget runs out.
 
+use std::sync::Arc;
+
 use earl_bootstrap::bootstrap::{
     bootstrap_distribution, BootstrapConfig, BootstrapResult, LinearSections, ResolvedKernel,
 };
@@ -24,9 +26,10 @@ use earl_bootstrap::ssabe::{Ssabe, SsabeConfig};
 use earl_bootstrap::Estimator;
 use earl_cluster::{FaultLog, Phase};
 use earl_dfs::{Dfs, DfsError, DfsPath};
+use earl_mapreduce::transport::default_transport;
 use earl_mapreduce::{
     ErrorReport, InputSource, JobConf, MapContext, Mapper, MrError, PendingIteration,
-    PipelinedSession, ReduceContext, Reducer,
+    PipelinedSession, ReduceContext, Reducer, TaskSpec, TaskTransport,
 };
 use earl_sampling::SamplingError;
 
@@ -88,6 +91,9 @@ impl<T: EarlTask> Mapper for TaskMapper<'_, T> {
     fn is_heavy(&self) -> bool {
         self.task.is_heavy()
     }
+    fn remote_spec(&self) -> Option<TaskSpec> {
+        self.task.wire_spec()
+    }
 }
 
 /// A [`Reducer`] that evaluates a task over all values of its key.
@@ -111,6 +117,9 @@ impl<T: EarlTask> Reducer for TaskReducer<'_, T> {
     }
     fn is_heavy(&self) -> bool {
         self.task.is_heavy()
+    }
+    fn remote_spec(&self) -> Option<TaskSpec> {
+        self.task.wire_spec()
     }
 }
 
@@ -324,13 +333,29 @@ fn draw_batch<T: EarlTask>(sampler: &mut Sampler, task: &T, needed: usize) -> Re
 pub struct EarlDriver {
     dfs: Dfs,
     config: EarlConfig,
+    transport: Arc<dyn TaskTransport>,
 }
 
 impl EarlDriver {
     /// Creates a driver over the given DFS.  The configuration is validated on
-    /// each run.
+    /// each run.  Tasks execute in-process; use [`EarlDriver::with_transport`]
+    /// to ship wire-portable tasks to real worker processes instead.
     pub fn new(dfs: Dfs, config: EarlConfig) -> Self {
-        Self { dfs, config }
+        Self {
+            dfs,
+            config,
+            transport: default_transport(),
+        }
+    }
+
+    /// Points the driver's per-iteration jobs at a task transport (e.g.
+    /// `earl-net`'s `TcpTransport` over real worker processes).  All planning,
+    /// sampling and cost accounting stay with this driver; only the user
+    /// compute of wire-portable tasks moves — reports are bit-identical to the
+    /// in-process engine.
+    pub fn with_transport(mut self, transport: Arc<dyn TaskTransport>) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// The DFS this driver operates on.
@@ -524,7 +549,9 @@ impl EarlDriver {
                     InputSource::Memory(records.clone()),
                 )
                 .with_failure_policy(self.config.failure_policy)
-                .with_parallelism(self.config.parallelism);
+                .with_parallelism(self.config.parallelism)
+                .with_transport(self.transport.clone())
+                .with_source_path(path.clone());
                 let job = session.run_iteration(&conf, &mapper, &reducer)?;
                 fault_log.merge(&job.stats.fault_log);
 
@@ -612,7 +639,9 @@ impl EarlDriver {
                             InputSource::Memory(records.clone()),
                         )
                         .with_failure_policy(self.config.failure_policy)
-                        .with_parallelism(self.config.parallelism);
+                        .with_parallelism(self.config.parallelism)
+                        .with_transport(self.transport.clone())
+                        .with_source_path(path.clone());
                         let job = session.run_iteration(&conf, &mapper, &reducer)?;
                         fault_log.merge(&job.stats.fault_log);
                         delta_values
@@ -666,7 +695,9 @@ impl EarlDriver {
                                 InputSource::Memory(spec_records),
                             )
                             .with_failure_policy(self.config.failure_policy)
-                            .with_parallelism(self.config.parallelism);
+                            .with_parallelism(self.config.parallelism)
+                            .with_transport(self.transport.clone())
+                            .with_source_path(path.clone());
                             let pending = session.begin_iteration(&conf, &mapper)?;
                             Ok(Some(Staged {
                                 pending,

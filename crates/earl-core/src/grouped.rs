@@ -1,7 +1,7 @@
 //! Grouped per-key EARL workloads: per-group aggregates with per-group error
 //! bounds.
 //!
-//! The scalar [`EarlTask`](crate::task::EarlTask) interface computes **one**
+//! The scalar [`EarlTask`] interface computes **one**
 //! statistic over all extracted values.  Real analytics queries group first
 //! (`SELECT key, AVG(value) … GROUP BY key`); this module opens that workload
 //! for EARL:
@@ -79,7 +79,7 @@ pub enum GroupedStat {
 
 /// The deterministic RNG seed of one group's accuracy-estimation bootstrap:
 /// a function of `(seed, key)` only.  FNV-1a folds the key bytes into the
-/// [`GROUPED_STREAM`] sub-seed space, so every group gets an independent
+/// `GROUPED_STREAM` sub-seed space, so every group gets an independent
 /// `(group_seed, replicate)` stream — the same stream a standalone
 /// [`bootstrap_distribution`] call over that group's values would consume.
 pub fn group_seed(seed: u64, key: &str) -> u64 {

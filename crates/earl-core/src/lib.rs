@@ -43,7 +43,7 @@
 //! assert!(report.sample_fraction <= 1.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod aes;

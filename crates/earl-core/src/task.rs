@@ -33,7 +33,7 @@ pub trait EarlTask: Send + Sync {
         line.rsplit('\t').next().and_then(|f| f.trim().parse().ok())
     }
 
-    /// Parses one input line into its full record — [`record_stride`]
+    /// Parses one input line into its full record — [`record_stride`](Self::record_stride)
     /// consecutive values appended to `out` — returning whether the line
     /// carried a record.  Multi-column tasks (weighted mean, ratios, paired
     /// statistics) override this to push all of a record's columns in order,
@@ -90,7 +90,7 @@ pub trait EarlTask: Send + Sync {
     /// statistic is an aggregate of per-record linear sums (weighted mean,
     /// ratio, covariance, correlation, slope).  Declaring one opts the task
     /// into the resample-free count-based kernel and makes every kernel
-    /// resample whole records of [`record_stride`](Self::record_stride)
+    /// resample whole records of [`record_stride`](Self::record_stride)(Self::record_stride)
     /// columns.
     fn kary_form(&self) -> Option<KaryForm> {
         None
@@ -105,6 +105,17 @@ pub trait EarlTask: Send + Sync {
     /// Convenience: evaluate the task end-to-end on a slice of values.
     fn evaluate(&self, values: &[f64]) -> f64 {
         self.finalize(&self.initialize(values))
+    }
+
+    /// A wire-portable spec of this task for remote (multi-process) execution,
+    /// or `None` (the default) to always run in-process.  A task may declare
+    /// one when a remote worker can reconstruct it from the spec's name and
+    /// numeric parameters alone *and* its map/reduce behaviour is exactly the
+    /// standard scalar pipeline (extract each line's value, evaluate the value
+    /// multiset) with no custom counters or side effects — the registry in
+    /// `earl-net` is the authoritative list.
+    fn wire_spec(&self) -> Option<earl_mapreduce::TaskSpec> {
+        None
     }
 }
 

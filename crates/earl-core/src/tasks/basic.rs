@@ -65,6 +65,9 @@ impl EarlTask for MeanTask {
     fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
         estimators::Mean.accumulator()
     }
+    fn wire_spec(&self) -> Option<earl_mapreduce::TaskSpec> {
+        Some(earl_mapreduce::TaskSpec::named("mean"))
+    }
 }
 
 /// The sum of all values.  Requires the `1/p` correction the paper uses as its
@@ -98,6 +101,9 @@ impl EarlTask for SumTask {
     }
     fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
         estimators::Sum.accumulator()
+    }
+    fn wire_spec(&self) -> Option<earl_mapreduce::TaskSpec> {
+        Some(earl_mapreduce::TaskSpec::named("sum"))
     }
 }
 
@@ -139,6 +145,9 @@ impl EarlTask for CountTask {
     }
     fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
         estimators::Count.accumulator()
+    }
+    fn wire_spec(&self) -> Option<earl_mapreduce::TaskSpec> {
+        Some(earl_mapreduce::TaskSpec::named("count"))
     }
 }
 

@@ -40,6 +40,9 @@ impl EarlTask for VarianceTask {
     fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
         estimators::Variance.accumulator()
     }
+    fn wire_spec(&self) -> Option<earl_mapreduce::TaskSpec> {
+        Some(earl_mapreduce::TaskSpec::named("variance"))
+    }
 }
 
 /// The sample standard deviation.
@@ -62,6 +65,9 @@ impl EarlTask for StdDevTask {
     }
     fn streaming_accumulator(&self) -> Option<Box<dyn Accumulator>> {
         estimators::StdDev.accumulator()
+    }
+    fn wire_spec(&self) -> Option<earl_mapreduce::TaskSpec> {
+        Some(earl_mapreduce::TaskSpec::named("stddev"))
     }
 }
 

@@ -56,6 +56,9 @@ macro_rules! buffer_task {
             fn finalize(&self, $state: &BufferState) -> f64 {
                 $finalize
             }
+            fn wire_spec(&self) -> Option<earl_mapreduce::TaskSpec> {
+                Some(earl_mapreduce::TaskSpec::named($task_name))
+            }
         }
     };
 }
@@ -116,6 +119,12 @@ impl EarlTask for QuantileTask {
     }
     fn finalize(&self, state: &BufferState) -> f64 {
         quantile_of(&state.values, self.q)
+    }
+    fn wire_spec(&self) -> Option<earl_mapreduce::TaskSpec> {
+        Some(earl_mapreduce::TaskSpec {
+            name: "quantile".to_owned(),
+            params: vec![self.q],
+        })
     }
 }
 

@@ -295,6 +295,48 @@ impl Dfs {
         Ok(text.lines().map(str::to_owned).collect())
     }
 
+    /// Exports a file's `(line-start byte offset, line)` records without
+    /// charging the cost model or moving stream cursors — the provisioning
+    /// read used to ship a dataset to remote workers **once at set-up time**
+    /// (modelling DFS block placement, which happens before any job runs).
+    /// Job-time messages then address these records by offset only; shipping
+    /// raw input at job time would both distort the simulated accounting and
+    /// defeat the point of early approximation.
+    pub fn export_records(&self, path: impl Into<DfsPath>) -> Result<Vec<(u64, String)>> {
+        let path = path.into();
+        let blocks = {
+            let nn = self.inner.namenode.read();
+            let mut blocks = nn.file(&path)?.blocks.clone();
+            blocks.sort_by_key(|b| b.file_offset);
+            blocks
+        };
+        let mut bytes = Vec::new();
+        {
+            let store = self.inner.store.read();
+            for block in &blocks {
+                bytes.extend_from_slice(&store.get(block.id)?);
+            }
+        }
+        let mut records = Vec::new();
+        let mut line_start = 0usize;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                records.push((
+                    line_start as u64,
+                    String::from_utf8_lossy(&bytes[line_start..i]).into_owned(),
+                ));
+                line_start = i + 1;
+            }
+        }
+        if line_start < bytes.len() {
+            records.push((
+                line_start as u64,
+                String::from_utf8_lossy(&bytes[line_start..]).into_owned(),
+            ));
+        }
+        Ok(records)
+    }
+
     /// Reads the single line containing or starting after `offset`, mirroring
     /// Hadoop's `LineRecordReader` behaviour used by pre-map sampling
     /// (Algorithm 2): if `offset` is not at a line boundary the reader skips

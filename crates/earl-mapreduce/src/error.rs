@@ -17,6 +17,9 @@ pub enum MrError {
     /// Every node failed before the job could finish and the failure policy
     /// required completion.
     ClusterLost,
+    /// A task transport (e.g. the TCP worker pool) failed in a way the job
+    /// could not recover from.
+    Transport(String),
 }
 
 impl fmt::Display for MrError {
@@ -26,6 +29,7 @@ impl fmt::Display for MrError {
             MrError::Cluster(e) => write!(f, "cluster error: {e}"),
             MrError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
             MrError::ClusterLost => write!(f, "all nodes failed before the job completed"),
+            MrError::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }
 }

@@ -1,10 +1,13 @@
 //! Job configuration and results.
 
+use std::sync::Arc;
+
 use earl_cluster::{FaultLog, SimDuration};
 use earl_dfs::{DfsPath, InputSplit};
 use serde::{Deserialize, Serialize};
 
 use crate::counters::Counters;
+use crate::transport::{default_transport, TaskTransport};
 
 /// Where a job's input records come from.
 #[derive(Debug, Clone)]
@@ -134,6 +137,16 @@ pub struct JobConf {
     /// at plan-derived sim-instants, so the parallel engine keeps the
     /// sequential schedule's deterministic failure semantics.
     pub parallelism: Option<usize>,
+    /// Where user compute executes (in-process by default).  A remote
+    /// transport is consulted only for tasks whose mapper *and* reducer
+    /// declare a wire-portable [`TaskSpec`](crate::TaskSpec); everything else
+    /// keeps running in-process.
+    pub transport: Arc<dyn TaskTransport>,
+    /// The DFS path remote workers were provisioned with for this job's
+    /// in-memory input (the driver holds resamples of this dataset in memory;
+    /// remote map tasks address it by record offsets).  `None` disables
+    /// remote map execution for [`InputSource::Memory`] jobs.
+    pub source_path: Option<DfsPath>,
 }
 
 impl JobConf {
@@ -149,6 +162,8 @@ impl JobConf {
             charge_job_startup: true,
             output_path: None,
             parallelism: None,
+            transport: default_transport(),
+            source_path: None,
         }
     }
 
@@ -194,6 +209,19 @@ impl JobConf {
     /// cores, `Some(1)` = sequential).
     pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the task transport (where user compute executes).
+    pub fn with_transport(mut self, transport: Arc<dyn TaskTransport>) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the DFS path remote workers were provisioned with for this job's
+    /// in-memory input.
+    pub fn with_source_path(mut self, path: impl Into<DfsPath>) -> Self {
+        self.source_path = Some(path.into());
         self
     }
 }

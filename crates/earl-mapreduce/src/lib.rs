@@ -34,6 +34,7 @@ pub mod partition;
 pub mod pipeline;
 pub mod runner;
 pub mod shuffle;
+pub mod transport;
 pub mod types;
 
 pub use counters::Counters;
@@ -44,6 +45,10 @@ pub use partition::{HashPartitioner, Partitioner};
 pub use pipeline::{PendingIteration, PipelinedSession};
 pub use runner::{finish_job, run_job, run_job_with_combiner, run_map_phase, MapPhase};
 pub use shuffle::ShuffleOutput;
+pub use transport::{
+    InProcess, RemoteMapOutcome, RemoteMapRequest, RemoteReduceOutcome, RemoteReduceRequest,
+    TaskSpec, TaskTransport,
+};
 pub use types::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 
 /// Crate-wide result alias.

@@ -61,6 +61,8 @@
 //! [`Cluster::suppress_failure_polling`]: earl_cluster::Cluster::suppress_failure_polling
 //! [`Cluster::arbitrate_failures_at`]: earl_cluster::Cluster::arbitrate_failures_at
 
+use std::any::{Any, TypeId};
+
 use earl_cluster::{ClusterError, NodeId, Phase, SimDuration, SimInstant};
 use earl_dfs::{Dfs, InputSplit};
 use earl_parallel::{
@@ -74,8 +76,12 @@ use crate::job::FailurePolicy;
 use crate::job::{InputSource, JobConf, JobResult, JobStats};
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::shuffle::{apply_combiner, ShuffleOutput};
+use crate::transport::{RemoteMapRequest, RemoteReduceRequest};
 use crate::types::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 use crate::Result;
+
+/// The sharded intermediate buffers a map phase produces for a mapper `M`.
+type MapperShards<M> = ShardedBuffers<(<M as Mapper>::OutKey, <M as Mapper>::OutValue)>;
 
 /// Runs a job without a combiner.
 pub fn run_job<M, R>(
@@ -228,7 +234,27 @@ where
     let armed = cluster.failure_injection_pending();
     let threads = resolve_parallelism(conf.parallelism);
 
-    let output = if armed {
+    // Remote transports handle only stable-cluster memory-input jobs whose
+    // mapper is wire-portable; an armed simulated failure schedule (or any
+    // gate miss, or a total transport failure) falls through to the local
+    // paths untouched.
+    let remote = if armed {
+        None
+    } else {
+        map_phase_remote(
+            dfs,
+            conf,
+            mapper,
+            combiner.is_some(),
+            &map_inputs,
+            &mut counters,
+            &mut stats,
+        )?
+    };
+
+    let output = if let Some(output) = remote {
+        output
+    } else if armed {
         map_phase_armed(
             dfs,
             conf,
@@ -459,6 +485,212 @@ fn book_task_retry(
     Ok(())
 }
 
+/// Whether the intermediate pair type is the `(u32, f64)` wire pair every
+/// remote transport speaks.
+fn is_wire_pair<K: 'static, V: 'static>() -> bool {
+    TypeId::of::<K>() == TypeId::of::<u32>() && TypeId::of::<V>() == TypeId::of::<f64>()
+}
+
+/// Moves a value between two types already proven identical by `TypeId`
+/// (e.g. `Vec<(u32, f64)>` → `Vec<(M::OutKey, M::OutValue)>` once
+/// [`is_wire_pair`] held).  Returns `None` if they were not the same type.
+fn cast_owned<S: 'static, T: 'static>(value: S) -> Option<T> {
+    let boxed: Box<dyn Any> = Box::new(value);
+    boxed.downcast::<T>().ok().map(|b| *b)
+}
+
+/// Books the chunk re-dispatches a remote transport performed after worker
+/// deaths: each is one retry round (back-off charge + DFS re-sync) plus one
+/// task restart, mirroring what the local armed path books per lost task.
+fn book_remote_retries(
+    dfs: &Dfs,
+    conf: &JobConf,
+    retries: u64,
+    counters: &mut Counters,
+    stats: &mut JobStats,
+) {
+    for _ in 0..retries {
+        charge_retry_round(dfs, conf, stats);
+        dfs.cluster().record_task_restart();
+        stats.restarted_tasks += 1;
+        counters.increment(builtin::RESTARTED_TASKS);
+        stats.fault_log.task_retries += 1;
+    }
+}
+
+/// Runs the map phase on a remote transport when every gate holds: non-local
+/// transport, cluster mode, no combiner, a wire-portable mapper spec, a
+/// provisioned source path, memory-only inputs and the `(u32, f64)` wire pair
+/// type.  Returns `Ok(None)` — leaving the simulation completely untouched —
+/// when any gate misses or the transport fails outright, so the caller can
+/// fall back to the in-process paths (memory inputs are driver-held; nothing
+/// is lost but remote work).
+///
+/// All remote calls complete *before* the first cluster charge; the
+/// coordinator then replays the exact per-task charge/counter sequence of
+/// [`map_phase_streaming`], so a remote run is bit-identical to an in-process
+/// run, including `sim_time`.
+fn map_phase_remote<M>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    mapper: &M,
+    has_combiner: bool,
+    inputs: &[MapInput],
+    counters: &mut Counters,
+    stats: &mut JobStats,
+) -> Result<Option<MapperShards<M>>>
+where
+    M: Mapper,
+{
+    if conf.transport.is_local() || conf.local_mode || has_combiner || inputs.is_empty() {
+        return Ok(None);
+    }
+    if !is_wire_pair::<M::OutKey, M::OutValue>() {
+        return Ok(None);
+    }
+    let Some(spec) = mapper.remote_spec() else {
+        return Ok(None);
+    };
+    let Some(source_path) = &conf.source_path else {
+        return Ok(None);
+    };
+    let mut tasks: Vec<Vec<u64>> = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        match input {
+            MapInput::Memory(records) => tasks.push(records.iter().map(|&(o, _)| o).collect()),
+            MapInput::Split(_) => return Ok(None),
+        }
+    }
+
+    let num_shards = conf.num_reducers.max(1);
+    let mut outcomes = Vec::with_capacity(tasks.len());
+    for offsets in &tasks {
+        let request = RemoteMapRequest {
+            spec: &spec,
+            source_path: source_path.as_str(),
+            offsets,
+            num_shards,
+            max_attempts: conf.failure_policy.max_attempts().max(1),
+        };
+        match conf.transport.remote_map(&request) {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(_) => return Ok(None),
+        }
+    }
+
+    // User compute is done; now replay the in-process accounting.  The plan is
+    // computed on the post-run live set so tasks are never booked on a node a
+    // worker death already removed (on a quiet run the live set — and hence
+    // the plan — matches the in-process one exactly).
+    let cluster = dfs.cluster();
+    let preferred: Vec<&[NodeId]> = inputs.iter().map(|_| &[][..]).collect();
+    let plan = plan_nodes(dfs, &preferred)?;
+    let heavy = mapper.is_heavy();
+    let mut workers = Vec::with_capacity(outcomes.len());
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        book_remote_retries(dfs, conf, outcome.retries, counters, stats);
+        cluster.charge_task_startup();
+        cluster.record_task_on(plan[i])?;
+        cluster.charge_map_cpu(outcome.records, heavy);
+
+        let mut task_counters = Counters::new();
+        task_counters.add(builtin::MAP_INPUT_RECORDS, outcome.records);
+        let mut buffers = ShardBuffers::new(num_shards);
+        let mut emitted = 0u64;
+        for (shard, pairs) in outcome.shards.into_iter().enumerate() {
+            emitted += pairs.len() as u64;
+            let pairs: Vec<(M::OutKey, M::OutValue)> = cast_owned(pairs)
+                .ok_or_else(|| MrError::Transport("wire pair cast failed".into()))?;
+            for pair in pairs {
+                buffers.emit(shard, pair);
+            }
+        }
+        if emitted > 0 {
+            task_counters.add(builtin::MAP_OUTPUT_RECORDS, emitted);
+        }
+        stats.map_tasks += 1;
+        counters.merge(&task_counters);
+        workers.push(buffers);
+    }
+    Ok(Some(ShardedBuffers::from_workers(num_shards, workers)))
+}
+
+/// Runs the reduce phase on a remote transport when every gate holds (the
+/// reduce-side analogue of [`map_phase_remote`]: non-local transport, cluster
+/// mode, wire-portable reducer spec, `(u32, f64)` groups and `f64` outputs).
+/// Returns `Ok(None)` without touching the simulation when a gate misses or
+/// the transport fails, so [`reduce_phase_parallel`] runs the partitions
+/// in-process instead — partition data is driver-held, so nothing is lost.
+fn reduce_phase_remote<R>(
+    dfs: &Dfs,
+    conf: &JobConf,
+    reducer: &R,
+    non_empty: &[std::collections::BTreeMap<R::InKey, Vec<R::InValue>>],
+    records_in: &[u64],
+    counters: &mut Counters,
+    stats: &mut JobStats,
+) -> Result<Option<Vec<R::Output>>>
+where
+    R: Reducer,
+{
+    if conf.transport.is_local() || conf.local_mode {
+        return Ok(None);
+    }
+    if !is_wire_pair::<R::InKey, R::InValue>() || TypeId::of::<R::Output>() != TypeId::of::<f64>() {
+        return Ok(None);
+    }
+    let Some(spec) = reducer.remote_spec() else {
+        return Ok(None);
+    };
+
+    let mut all_groups: Vec<Vec<(u32, Vec<f64>)>> = Vec::with_capacity(non_empty.len());
+    for partition in non_empty {
+        let any: &dyn Any = partition;
+        let Some(partition) = any.downcast_ref::<std::collections::BTreeMap<u32, Vec<f64>>>()
+        else {
+            return Ok(None);
+        };
+        all_groups.push(partition.iter().map(|(&k, v)| (k, v.clone())).collect());
+    }
+
+    let mut outcomes = Vec::with_capacity(all_groups.len());
+    for groups in &all_groups {
+        let request = RemoteReduceRequest {
+            spec: &spec,
+            groups,
+            max_attempts: conf.failure_policy.max_attempts().max(1),
+        };
+        match conf.transport.remote_reduce(&request) {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(_) => return Ok(None),
+        }
+    }
+
+    let cluster = dfs.cluster();
+    let preferred: Vec<&[NodeId]> = non_empty.iter().map(|_| &[][..]).collect();
+    let plan = plan_nodes(dfs, &preferred)?;
+    let heavy = reducer.is_heavy();
+    let mut outputs: Vec<R::Output> = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        book_remote_retries(dfs, conf, outcome.retries, counters, stats);
+        cluster.charge_task_startup();
+        cluster.record_task_on(plan[i])?;
+        cluster.charge_reduce_cpu(Phase::Reduce, records_in[i], heavy);
+
+        let emitted = outcome.outputs.len() as u64;
+        let out: Vec<R::Output> = cast_owned(outcome.outputs)
+            .ok_or_else(|| MrError::Transport("wire output cast failed".into()))?;
+        stats.reduce_tasks += 1;
+        counters.add(builtin::REDUCE_INPUT_GROUPS, non_empty[i].len() as u64);
+        counters.add(builtin::REDUCE_INPUT_RECORDS, records_in[i]);
+        if emitted > 0 {
+            counters.add(builtin::REDUCE_OUTPUT_RECORDS, emitted);
+        }
+        outputs.extend(out);
+    }
+    Ok(Some(outputs))
+}
+
 /// Runs all map tasks concurrently across `threads` scoped workers, each task
 /// emitting its (combined) output pairs **directly into per-reduce-shard
 /// buffers** as it finishes — the map-side streaming shuffle.  Per-task
@@ -478,7 +710,7 @@ fn map_phase_streaming<M, C>(
     counters: &mut Counters,
     stats: &mut JobStats,
     threads: usize,
-) -> Result<ShardedBuffers<(M::OutKey, M::OutValue)>>
+) -> Result<MapperShards<M>>
 where
     M: Mapper,
     C: Combiner<Key = M::OutKey, Value = M::OutValue>,
@@ -546,7 +778,7 @@ fn map_phase_armed<M, C>(
     counters: &mut Counters,
     stats: &mut JobStats,
     threads: usize,
-) -> Result<ShardedBuffers<(M::OutKey, M::OutValue)>>
+) -> Result<MapperShards<M>>
 where
     M: Mapper,
     C: Combiner<Key = M::OutKey, Value = M::OutValue>,
@@ -787,6 +1019,13 @@ where
         .iter()
         .map(|p| p.values().map(|v| v.len() as u64).sum())
         .collect();
+    if !armed {
+        if let Some(outputs) =
+            reduce_phase_remote(dfs, conf, reducer, &non_empty, &records_in, counters, stats)?
+        {
+            return Ok(outputs);
+        }
+    }
     let cost = cluster.cost_model().clone();
     let heavy = reducer.is_heavy();
     let estimate = |records: u64| -> SimDuration {

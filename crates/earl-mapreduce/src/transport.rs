@@ -1,0 +1,185 @@
+//! Task transports: where a job's map tasks and reduce partitions execute.
+//!
+//! The runner plans, charges and accounts every task on the simulated cluster
+//! regardless of transport; the transport only decides *which process runs
+//! the user compute*:
+//!
+//! * [`InProcess`] (the default) — tasks run on the caller's threads, exactly
+//!   as the engine always has.
+//! * A remote transport (`earl-net`'s `TcpTransport`) — tasks whose mapper and
+//!   reducer declare a wire-portable [`TaskSpec`] are shipped to real worker
+//!   processes over TCP.  Only compact payloads travel: record *offsets* into
+//!   data the workers were provisioned with out of band (map side) and shuffle
+//!   shard pairs / per-group outputs (reduce side) — never raw input data at
+//!   job time.
+//!
+//! Because every simulated charge stays with the coordinator and the wire
+//! carries the same pairs in the same order the in-process engine would emit,
+//! a remote run's `JobResult` — and the `EarlReport` built from it — is
+//! bit-identical to the in-process run, including `sim_time` and byte
+//! counters.  `docs/WIRE_PROTOCOL.md` specifies the frame format; this module
+//! only defines the transport-neutral request/outcome types.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::MrError;
+use crate::Result;
+
+/// A wire-portable description of an EARL task: enough for a remote worker to
+/// reconstruct the task (and therefore its mapper/reducer) from a registry of
+/// known task names.  Tasks whose semantics cannot be captured this way simply
+/// do not provide a spec and keep executing in-process.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TaskSpec {
+    /// Registry name of the task (e.g. `"mean"`, `"quantile"`).
+    pub name: String,
+    /// Numeric parameters of the task (e.g. the quantile level), empty for
+    /// parameter-free tasks.
+    pub params: Vec<f64>,
+}
+
+impl TaskSpec {
+    /// A parameter-free spec.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            params: Vec::new(),
+        }
+    }
+}
+
+/// One remote map task: run the spec's mapper over the records addressed by
+/// `offsets` (resolved against data provisioned under `source_path`), routing
+/// output pairs into `num_shards` reduce shards.
+#[derive(Debug)]
+pub struct RemoteMapRequest<'a> {
+    /// The task to run.
+    pub spec: &'a TaskSpec,
+    /// Provisioned dataset the offsets address.
+    pub source_path: &'a str,
+    /// Line-start byte offsets of the task's input records, in record order.
+    pub offsets: &'a [u64],
+    /// Number of reduce shards to partition output pairs into.
+    pub num_shards: usize,
+    /// Maximum executions of any one chunk of this task before the transport
+    /// gives up (mirrors [`FailurePolicy::max_attempts`]).
+    ///
+    /// [`FailurePolicy::max_attempts`]: crate::FailurePolicy::max_attempts
+    pub max_attempts: u32,
+}
+
+/// What a remote map task produced: the per-shard intermediate pairs in
+/// emission order, plus bookkeeping the coordinator folds into the job's
+/// counters and fault log.
+#[derive(Debug, Clone)]
+pub struct RemoteMapOutcome {
+    /// Intermediate pairs per reduce shard, in the exact order a single
+    /// in-process pass over the records would have emitted them.
+    pub shards: Vec<Vec<(u32, f64)>>,
+    /// Input records consumed (drives the coordinator's CPU charge and the
+    /// `MAP_INPUT_RECORDS` counter).
+    pub records: u64,
+    /// Chunk re-dispatches performed after worker deaths (each is booked as
+    /// one task retry by the runner).
+    pub retries: u64,
+}
+
+/// One remote reduce partition: run the spec's reducer over `groups` (already
+/// grouped and key-ordered by the coordinator's shuffle).
+#[derive(Debug)]
+pub struct RemoteReduceRequest<'a> {
+    /// The task to run.
+    pub spec: &'a TaskSpec,
+    /// `(key, values)` groups in ascending key order, values in shuffle
+    /// emission order.
+    pub groups: &'a [(u32, Vec<f64>)],
+    /// Maximum executions of the partition before the transport gives up.
+    pub max_attempts: u32,
+}
+
+/// What a remote reduce partition produced.
+#[derive(Debug, Clone)]
+pub struct RemoteReduceOutcome {
+    /// Reducer outputs in group order.
+    pub outputs: Vec<f64>,
+    /// Re-dispatches performed after worker deaths.
+    pub retries: u64,
+}
+
+/// Where the user compute of map tasks and reduce partitions runs.
+///
+/// Implementations must be deterministic in *content*: the pairs/outputs they
+/// return must match what the in-process engine would produce for the same
+/// inputs, in the same order (real-world wall-clock and retry behaviour are
+/// free to vary — they are invisible to the simulated accounting except
+/// through the explicit `retries` field and externally reported node deaths).
+pub trait TaskTransport: fmt::Debug + Send + Sync {
+    /// Whether tasks execute in the coordinator process.  Local transports
+    /// never receive `remote_map`/`remote_reduce` calls.
+    fn is_local(&self) -> bool {
+        true
+    }
+
+    /// Executes one map task remotely.
+    fn remote_map(&self, request: &RemoteMapRequest<'_>) -> Result<RemoteMapOutcome> {
+        let _ = request;
+        Err(MrError::Transport(
+            "this transport cannot execute remote map tasks".into(),
+        ))
+    }
+
+    /// Executes one reduce partition remotely.
+    fn remote_reduce(&self, request: &RemoteReduceRequest<'_>) -> Result<RemoteReduceOutcome> {
+        let _ = request;
+        Err(MrError::Transport(
+            "this transport cannot execute remote reduce partitions".into(),
+        ))
+    }
+}
+
+/// The default transport: every task runs on the caller's threads, exactly as
+/// the engine always has.  Carries no state and never receives remote calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InProcess;
+
+impl TaskTransport for InProcess {}
+
+/// The default transport handle used by [`JobConf`](crate::JobConf).
+pub fn default_transport() -> Arc<dyn TaskTransport> {
+    Arc::new(InProcess)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_is_local_and_refuses_remote_calls() {
+        let t = InProcess;
+        assert!(t.is_local());
+        let spec = TaskSpec::named("mean");
+        let req = RemoteMapRequest {
+            spec: &spec,
+            source_path: "/data",
+            offsets: &[0, 4],
+            num_shards: 1,
+            max_attempts: 4,
+        };
+        assert!(matches!(t.remote_map(&req), Err(MrError::Transport(_))));
+        let req = RemoteReduceRequest {
+            spec: &spec,
+            groups: &[(0, vec![1.0])],
+            max_attempts: 4,
+        };
+        assert!(matches!(t.remote_reduce(&req), Err(MrError::Transport(_))));
+    }
+
+    #[test]
+    fn task_spec_named_is_parameter_free() {
+        let spec = TaskSpec::named("median");
+        assert_eq!(spec.name, "median");
+        assert!(spec.params.is_empty());
+        assert_eq!(spec, spec.clone());
+    }
+}

@@ -121,6 +121,13 @@ pub trait Mapper: Send + Sync {
     fn is_heavy(&self) -> bool {
         false
     }
+
+    /// A wire-portable spec of this mapper for remote execution, or `None`
+    /// (the default) to always run in-process.  A remote transport is only
+    /// consulted when both the job's mapper and reducer return a spec.
+    fn remote_spec(&self) -> Option<crate::transport::TaskSpec> {
+        None
+    }
 }
 
 /// A reduce function over `(key, values)` groups.
@@ -143,6 +150,12 @@ pub trait Reducer: Send + Sync {
     /// Whether the reduce function is CPU-heavy.  Defaults to `false`.
     fn is_heavy(&self) -> bool {
         false
+    }
+
+    /// A wire-portable spec of this reducer for remote execution, or `None`
+    /// (the default) to always run in-process.
+    fn remote_spec(&self) -> Option<crate::transport::TaskSpec> {
+        None
     }
 }
 

@@ -1,0 +1,69 @@
+//! The EARL worker binary: binds a TCP listener and serves coordinator
+//! connections until killed.
+//!
+//! ```text
+//! earl-worker [--listen ADDR]
+//! ```
+//!
+//! `ADDR` defaults to `127.0.0.1:0` (an OS-assigned port).  The worker prints
+//! one line — `LISTENING <addr>` — to stdout once it is accepting
+//! connections, so a launcher (or the integration tests) can discover the
+//! bound address.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use earl_net::run_worker;
+
+fn main() -> ExitCode {
+    let mut listen = "127.0.0.1:0".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => {
+                    eprintln!("error: --listen requires an address");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: earl-worker [--listen ADDR]");
+                println!();
+                println!("Serves EARL map/reduce tasks over the framed TCP wire protocol.");
+                println!("Prints `LISTENING <addr>` to stdout once accepting connections.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("error: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => {
+            println!("LISTENING {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match run_worker(listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: worker accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every protocol message travels as one frame: a little-endian `u32` payload
+//! length followed by exactly that many payload bytes.  Frames make message
+//! boundaries explicit on a TCP stream (which has none of its own) and let a
+//! reader reject oversized or garbage input before allocating for it.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload (64 MiB).  Provisioning a large
+/// dataset ships multiple record batches rather than one giant frame; anything
+/// claiming more than this is a corrupt or hostile peer.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Writes one frame: `u32` LE length prefix + payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, returning its payload.  Errors with `UnexpectedEof` on a
+/// half-closed stream and `InvalidData` on an oversized length prefix.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"third frame").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"first");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"third frame");
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_an_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"complete").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+}

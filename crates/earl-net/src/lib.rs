@@ -1,0 +1,82 @@
+//! # earl-net
+//!
+//! Real multi-process EARL execution: worker processes speaking a
+//! length-prefixed binary wire protocol over TCP, and the coordinator-side
+//! [`TcpTransport`] that plugs them into the MapReduce engine as a
+//! [`TaskTransport`](earl_mapreduce::TaskTransport).
+//!
+//! ## Division of labour
+//!
+//! The architectural rule (see `docs/ARCHITECTURE.md`) is that **the
+//! simulation never leaves the coordinator**.  Workers execute only real user
+//! compute — mapping provisioned records and reducing shuffle groups through
+//! the same `TaskMapper`/`TaskReducer` code the in-process engine runs — while
+//! every simulated charge, counter and failure arbitration happens in the
+//! driver process.  Consequently a job run against real workers produces an
+//! `EarlReport` **bit-identical** to the in-process run, including
+//! `sim_time`, byte counters and fault-log contents.
+//!
+//! ## What travels on the wire
+//!
+//! Never raw input data at job time.  Datasets are shipped once at set-up via
+//! [`TcpTransport::provision`] (modelling DFS block placement); map tasks then
+//! carry only record *offsets*, and reduce tasks carry the compact shuffle
+//! groups.  `docs/WIRE_PROTOCOL.md` specifies every frame byte-for-byte.
+//!
+//! ## Failure handling
+//!
+//! A socket error or heartbeat timeout on a worker connection is treated as a
+//! node death: the transport reports it to the simulated cluster
+//! ([`Cluster::report_external_failure`](earl_cluster::Cluster::report_external_failure)),
+//! where the existing `FailurePolicy` retry/degrade machinery and `FaultLog`
+//! observability from the fault-tolerance layer apply unchanged.  Lost chunks
+//! are re-dispatched to surviving workers, bounded by the job's
+//! `max_attempts`.
+//!
+//! ## Quick start
+//!
+//! Start workers (`cargo run --bin earl-worker -- --listen 127.0.0.1:0`),
+//! collect the addresses they print, then:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! use earl_cluster::Cluster;
+//! use earl_dfs::{Dfs, DfsConfig};
+//! use earl_net::TcpTransport;
+//!
+//! let cluster = Cluster::with_nodes(4);
+//! let dfs = Dfs::new(cluster.clone(), DfsConfig::default()).unwrap();
+//! dfs.write_lines("/data/values", ["1.0", "2.0", "3.0"]).unwrap();
+//!
+//! let addrs: Vec<std::net::SocketAddr> =
+//!     vec!["127.0.0.1:4021".parse().unwrap(), "127.0.0.1:4022".parse().unwrap()];
+//! let transport = Arc::new(
+//!     TcpTransport::connect(cluster.clone(), &addrs, Duration::from_secs(2)).unwrap(),
+//! );
+//! transport.provision(&dfs, "/data/values").unwrap();
+//!
+//! let driver = earl_core::EarlDriver::new(dfs, earl_core::EarlConfig::default())
+//!     .with_transport(transport.clone());
+//! let report = driver.run("/data/values", &earl_core::tasks::MeanTask).unwrap();
+//! println!("mean ≈ {} (sim time {:?})", report.result, report.sim_time);
+//! transport.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod frame;
+pub mod messages;
+pub mod registry;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use messages::{Message, WIRE_VERSION};
+pub use registry::WireTask;
+pub use transport::TcpTransport;
+pub use wire::{WireError, WireReader, WireWriter};
+pub use worker::{run_worker, serve_connection};

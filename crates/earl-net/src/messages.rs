@@ -1,0 +1,383 @@
+//! The framed message catalog: every payload the coordinator and a worker can
+//! exchange, with its binary encoding.
+//!
+//! The catalog, byte layouts and compatibility rules are specified in
+//! `docs/WIRE_PROTOCOL.md`; this module is the normative implementation (the
+//! spec is written alongside it so the two cannot drift).  Key properties:
+//!
+//! * **Strict request/response**: the coordinator sends one request frame and
+//!   reads exactly one response frame; workers never push unsolicited frames.
+//! * **No raw data at job time**: `MapTask` carries record *offsets* into a
+//!   dataset shipped once via `Provision` at set-up; `ReduceTask` carries the
+//!   compact shuffle groups.  Payloads stay proportional to the sample, not
+//!   the input.
+//! * **Lossless floats**: every `f64` travels as its IEEE-754 bit pattern, so
+//!   remote results are bit-identical to in-process ones.
+
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Protocol version carried in the handshake.  A worker refuses to serve a
+/// coordinator speaking a different version (there is no negotiation — both
+/// sides come from the same build in the intended deployment).
+pub const WIRE_VERSION: u32 = 1;
+
+/// One protocol message (the payload of one frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Coordinator → worker: opens a connection.
+    Hello {
+        /// The coordinator's [`WIRE_VERSION`].
+        version: u32,
+    },
+    /// Worker → coordinator: accepts the handshake.
+    HelloAck {
+        /// The worker's [`WIRE_VERSION`] (equal to the coordinator's, or the
+        /// worker replies [`Message::Error`] instead).
+        version: u32,
+    },
+    /// Coordinator → worker: ships a batch of a dataset's records at set-up
+    /// time.  Repeated `Provision` frames for one path append, so large
+    /// datasets stream in bounded frames.
+    Provision {
+        /// Dataset identifier later referenced by [`Message::MapTask`].
+        path: String,
+        /// `(line-start byte offset, line)` records of this batch.
+        records: Vec<(u64, String)>,
+    },
+    /// Worker → coordinator: acknowledges a `Provision` batch.
+    ProvisionAck {
+        /// Total records the worker now holds for the path.
+        records: u64,
+    },
+    /// Coordinator → worker: one map task chunk over provisioned records.
+    MapTask {
+        /// Registry name of the task (e.g. `"mean"`).
+        name: String,
+        /// Numeric task parameters (e.g. the quantile level).
+        params: Vec<f64>,
+        /// Provisioned dataset the offsets address.
+        path: String,
+        /// Record offsets to map, in record order.
+        offsets: Vec<u64>,
+        /// Number of reduce shards to partition output pairs into.
+        num_shards: u32,
+    },
+    /// Worker → coordinator: a map chunk's output.
+    MapOk {
+        /// Intermediate `(key, value)` pairs per reduce shard, in emission
+        /// order.
+        shards: Vec<Vec<(u32, f64)>>,
+        /// Input records consumed.
+        records: u64,
+    },
+    /// Coordinator → worker: one reduce partition.
+    ReduceTask {
+        /// Registry name of the task.
+        name: String,
+        /// Numeric task parameters.
+        params: Vec<f64>,
+        /// `(key, values)` groups in ascending key order.
+        groups: Vec<(u32, Vec<f64>)>,
+    },
+    /// Worker → coordinator: a reduce partition's outputs, in group order.
+    ReduceOk {
+        /// Reducer outputs.
+        outputs: Vec<f64>,
+    },
+    /// Coordinator → worker: liveness probe (the heartbeat).
+    Ping,
+    /// Worker → coordinator: liveness answer.
+    Pong,
+    /// Coordinator → worker: drain and exit the connection loop.
+    Shutdown,
+    /// Worker → coordinator: the request could not be served (unknown task,
+    /// missing provision, version mismatch, …).  The connection stays usable.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+mod tag {
+    pub const HELLO: u8 = 0x01;
+    pub const HELLO_ACK: u8 = 0x02;
+    pub const PROVISION: u8 = 0x03;
+    pub const PROVISION_ACK: u8 = 0x04;
+    pub const MAP_TASK: u8 = 0x05;
+    pub const MAP_OK: u8 = 0x06;
+    pub const REDUCE_TASK: u8 = 0x07;
+    pub const REDUCE_OK: u8 = 0x08;
+    pub const PING: u8 = 0x09;
+    pub const PONG: u8 = 0x0A;
+    pub const SHUTDOWN: u8 = 0x0B;
+    pub const ERROR: u8 = 0x0C;
+}
+
+fn put_params(w: &mut WireWriter, params: &[f64]) {
+    w.put_u32(params.len() as u32);
+    for &p in params {
+        w.put_f64(p);
+    }
+}
+
+fn get_params(r: &mut WireReader<'_>) -> Result<Vec<f64>, WireError> {
+    let n = r.get_u32()? as usize;
+    let mut params = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        params.push(r.get_f64()?);
+    }
+    Ok(params)
+}
+
+impl Message {
+    /// Encodes the message into one frame payload (tag byte + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Message::Hello { version } => {
+                w.put_u8(tag::HELLO);
+                w.put_u32(*version);
+            }
+            Message::HelloAck { version } => {
+                w.put_u8(tag::HELLO_ACK);
+                w.put_u32(*version);
+            }
+            Message::Provision { path, records } => {
+                w.put_u8(tag::PROVISION);
+                w.put_str(path);
+                w.put_u32(records.len() as u32);
+                for (offset, line) in records {
+                    w.put_u64(*offset);
+                    w.put_str(line);
+                }
+            }
+            Message::ProvisionAck { records } => {
+                w.put_u8(tag::PROVISION_ACK);
+                w.put_u64(*records);
+            }
+            Message::MapTask {
+                name,
+                params,
+                path,
+                offsets,
+                num_shards,
+            } => {
+                w.put_u8(tag::MAP_TASK);
+                w.put_str(name);
+                put_params(&mut w, params);
+                w.put_str(path);
+                w.put_u32(*num_shards);
+                w.put_u32(offsets.len() as u32);
+                for &offset in offsets {
+                    w.put_u64(offset);
+                }
+            }
+            Message::MapOk { shards, records } => {
+                w.put_u8(tag::MAP_OK);
+                w.put_u64(*records);
+                w.put_u32(shards.len() as u32);
+                for shard in shards {
+                    w.put_u32(shard.len() as u32);
+                    for (key, value) in shard {
+                        w.put_u32(*key);
+                        w.put_f64(*value);
+                    }
+                }
+            }
+            Message::ReduceTask {
+                name,
+                params,
+                groups,
+            } => {
+                w.put_u8(tag::REDUCE_TASK);
+                w.put_str(name);
+                put_params(&mut w, params);
+                w.put_u32(groups.len() as u32);
+                for (key, values) in groups {
+                    w.put_u32(*key);
+                    w.put_u32(values.len() as u32);
+                    for &v in values {
+                        w.put_f64(v);
+                    }
+                }
+            }
+            Message::ReduceOk { outputs } => {
+                w.put_u8(tag::REDUCE_OK);
+                w.put_u32(outputs.len() as u32);
+                for &v in outputs {
+                    w.put_f64(v);
+                }
+            }
+            Message::Ping => w.put_u8(tag::PING),
+            Message::Pong => w.put_u8(tag::PONG),
+            Message::Shutdown => w.put_u8(tag::SHUTDOWN),
+            Message::Error { message } => {
+                w.put_u8(tag::ERROR);
+                w.put_str(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = WireReader::new(payload);
+        let msg = match r.get_u8()? {
+            tag::HELLO => Message::Hello {
+                version: r.get_u32()?,
+            },
+            tag::HELLO_ACK => Message::HelloAck {
+                version: r.get_u32()?,
+            },
+            tag::PROVISION => {
+                let path = r.get_str()?;
+                let n = r.get_u32()? as usize;
+                let mut records = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let offset = r.get_u64()?;
+                    let line = r.get_str()?;
+                    records.push((offset, line));
+                }
+                Message::Provision { path, records }
+            }
+            tag::PROVISION_ACK => Message::ProvisionAck {
+                records: r.get_u64()?,
+            },
+            tag::MAP_TASK => {
+                let name = r.get_str()?;
+                let params = get_params(&mut r)?;
+                let path = r.get_str()?;
+                let num_shards = r.get_u32()?;
+                let n = r.get_u32()? as usize;
+                let mut offsets = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    offsets.push(r.get_u64()?);
+                }
+                Message::MapTask {
+                    name,
+                    params,
+                    path,
+                    offsets,
+                    num_shards,
+                }
+            }
+            tag::MAP_OK => {
+                let records = r.get_u64()?;
+                let num_shards = r.get_u32()? as usize;
+                let mut shards = Vec::with_capacity(num_shards.min(1 << 16));
+                for _ in 0..num_shards {
+                    let n = r.get_u32()? as usize;
+                    let mut shard = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        let key = r.get_u32()?;
+                        let value = r.get_f64()?;
+                        shard.push((key, value));
+                    }
+                    shards.push(shard);
+                }
+                Message::MapOk { shards, records }
+            }
+            tag::REDUCE_TASK => {
+                let name = r.get_str()?;
+                let params = get_params(&mut r)?;
+                let n = r.get_u32()? as usize;
+                let mut groups = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let key = r.get_u32()?;
+                    let m = r.get_u32()? as usize;
+                    let mut values = Vec::with_capacity(m.min(1 << 20));
+                    for _ in 0..m {
+                        values.push(r.get_f64()?);
+                    }
+                    groups.push((key, values));
+                }
+                Message::ReduceTask {
+                    name,
+                    params,
+                    groups,
+                }
+            }
+            tag::REDUCE_OK => {
+                let n = r.get_u32()? as usize;
+                let mut outputs = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    outputs.push(r.get_f64()?);
+                }
+                Message::ReduceOk { outputs }
+            }
+            tag::PING => Message::Ping,
+            tag::PONG => Message::Pong,
+            tag::SHUTDOWN => Message::Shutdown,
+            tag::ERROR => Message::Error {
+                message: r.get_str()?,
+            },
+            other => return Err(WireError(format!("unknown message tag 0x{other:02X}"))),
+        };
+        if r.remaining() > 0 {
+            return Err(WireError(format!(
+                "{} trailing bytes after message",
+                r.remaining()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        round_trip(Message::Hello {
+            version: WIRE_VERSION,
+        });
+        round_trip(Message::HelloAck {
+            version: WIRE_VERSION,
+        });
+        round_trip(Message::Provision {
+            path: "/data".into(),
+            records: vec![(0, "1.5".into()), (4, "2.5".into())],
+        });
+        round_trip(Message::ProvisionAck { records: 2 });
+        round_trip(Message::MapTask {
+            name: "quantile".into(),
+            params: vec![0.95],
+            path: "/data".into(),
+            offsets: vec![0, 4, 9],
+            num_shards: 2,
+        });
+        round_trip(Message::MapOk {
+            shards: vec![vec![(0, 1.5), (0, -0.0)], vec![]],
+            records: 3,
+        });
+        round_trip(Message::ReduceTask {
+            name: "mean".into(),
+            params: vec![],
+            groups: vec![(0, vec![1.0, 2.0]), (7, vec![])],
+        });
+        round_trip(Message::ReduceOk {
+            outputs: vec![1.5, f64::INFINITY],
+        });
+        round_trip(Message::Ping);
+        round_trip(Message::Pong);
+        round_trip(Message::Shutdown);
+        round_trip(Message::Error {
+            message: "unknown task".into(),
+        });
+    }
+
+    #[test]
+    fn trailing_garbage_and_unknown_tags_are_rejected() {
+        let mut bytes = Message::Ping.encode();
+        bytes.push(0);
+        assert!(Message::decode(&bytes).is_err());
+        assert!(Message::decode(&[0xFF]).is_err());
+        assert!(Message::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Worker-side task registry: reconstructing an [`EarlTask`] from its wire
+//! spec and running the *real* mapper/reducer on it.
+//!
+//! [`earl_core::task::EarlTask`] is not object-safe (it has an associated
+//! estimator `State`), so tasks cannot travel as trait objects.  Instead a
+//! task whose `wire_spec()` returns `Some` names itself here, and the worker
+//! rebuilds the concrete task from `(name, params)`.  Both sides of the wire
+//! execute the same `TaskMapper`/`TaskReducer`/`HashPartitioner` code paths,
+//! which is what makes remote output byte-for-byte equal to in-process output.
+//!
+//! This enum is the authoritative list of wire-portable tasks; adding a task
+//! here (plus its `wire_spec()` override in `earl-core`) is all it takes to
+//! run it on a real cluster.
+
+use earl_core::driver::{TaskMapper, TaskReducer};
+use earl_core::task::EarlTask;
+use earl_core::tasks::{
+    CountTask, MaxTask, MeanTask, MedianTask, MinTask, QuantileTask, StdDevTask, SumTask,
+    VarianceTask,
+};
+use earl_mapreduce::{
+    HashPartitioner, MapContext, Mapper, Partitioner, ReduceContext, Reducer, TaskSpec,
+};
+
+/// A task reconstructed from a [`TaskSpec`], ready to execute worker-side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireTask {
+    /// Arithmetic mean ([`MeanTask`]).
+    Mean,
+    /// Sum ([`SumTask`]).
+    Sum,
+    /// Non-empty record count ([`CountTask`]).
+    Count,
+    /// Population variance ([`VarianceTask`]).
+    Variance,
+    /// Population standard deviation ([`StdDevTask`]).
+    StdDev,
+    /// Median ([`MedianTask`]).
+    Median,
+    /// Minimum ([`MinTask`]).
+    Min,
+    /// Maximum ([`MaxTask`]).
+    Max,
+    /// Quantile at the given level ([`QuantileTask`]).
+    Quantile(f64),
+}
+
+impl WireTask {
+    /// Reconstructs a task from its wire spec, or `None` for an unknown name
+    /// or malformed parameter list.
+    pub fn from_spec(spec: &TaskSpec) -> Option<Self> {
+        match (spec.name.as_str(), spec.params.as_slice()) {
+            ("mean", []) => Some(WireTask::Mean),
+            ("sum", []) => Some(WireTask::Sum),
+            ("count", []) => Some(WireTask::Count),
+            ("variance", []) => Some(WireTask::Variance),
+            ("stddev", []) => Some(WireTask::StdDev),
+            ("median", []) => Some(WireTask::Median),
+            ("min", []) => Some(WireTask::Min),
+            ("max", []) => Some(WireTask::Max),
+            ("quantile", [q]) => Some(WireTask::Quantile(*q)),
+            _ => None,
+        }
+    }
+
+    /// Runs the task's real mapper over `(offset, line)` records, partitioning
+    /// emitted pairs into `num_shards` shard vectors exactly as the in-process
+    /// engine does.  Returns per-shard pairs in emission order.
+    pub fn run_map(&self, records: &[(u64, &str)], num_shards: usize) -> Vec<Vec<(u32, f64)>> {
+        match self {
+            WireTask::Mean => map_with(&MeanTask, records, num_shards),
+            WireTask::Sum => map_with(&SumTask, records, num_shards),
+            WireTask::Count => map_with(&CountTask, records, num_shards),
+            WireTask::Variance => map_with(&VarianceTask, records, num_shards),
+            WireTask::StdDev => map_with(&StdDevTask, records, num_shards),
+            WireTask::Median => map_with(&MedianTask, records, num_shards),
+            WireTask::Min => map_with(&MinTask, records, num_shards),
+            WireTask::Max => map_with(&MaxTask, records, num_shards),
+            WireTask::Quantile(q) => map_with(&QuantileTask::new(*q), records, num_shards),
+        }
+    }
+
+    /// Runs the task's real reducer over `(key, values)` groups, returning one
+    /// output list in group order.
+    pub fn run_reduce(&self, groups: &[(u32, Vec<f64>)]) -> Vec<f64> {
+        match self {
+            WireTask::Mean => reduce_with(&MeanTask, groups),
+            WireTask::Sum => reduce_with(&SumTask, groups),
+            WireTask::Count => reduce_with(&CountTask, groups),
+            WireTask::Variance => reduce_with(&VarianceTask, groups),
+            WireTask::StdDev => reduce_with(&StdDevTask, groups),
+            WireTask::Median => reduce_with(&MedianTask, groups),
+            WireTask::Min => reduce_with(&MinTask, groups),
+            WireTask::Max => reduce_with(&MaxTask, groups),
+            WireTask::Quantile(q) => reduce_with(&QuantileTask::new(*q), groups),
+        }
+    }
+}
+
+fn map_with<T: EarlTask>(
+    task: &T,
+    records: &[(u64, &str)],
+    num_shards: usize,
+) -> Vec<Vec<(u32, f64)>> {
+    let mapper = TaskMapper::new(task);
+    let mut ctx = MapContext::new();
+    for &(offset, line) in records {
+        mapper.map(offset, line, &mut ctx);
+    }
+    let (pairs, _counters) = ctx.into_parts();
+    let mut shards = vec![Vec::new(); num_shards.max(1)];
+    for (key, value) in pairs {
+        let shard = HashPartitioner.partition(&key, num_shards.max(1));
+        shards[shard].push((key, value));
+    }
+    shards
+}
+
+fn reduce_with<T: EarlTask>(task: &T, groups: &[(u32, Vec<f64>)]) -> Vec<f64> {
+    let reducer = TaskReducer::new(task);
+    let mut ctx = ReduceContext::new();
+    for (key, values) in groups {
+        reducer.reduce(key, values, &mut ctx);
+    }
+    let (outputs, _counters) = ctx.into_parts();
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_the_registry() {
+        let known = [
+            "mean", "sum", "count", "variance", "stddev", "median", "min", "max",
+        ];
+        for name in known {
+            assert!(
+                WireTask::from_spec(&TaskSpec::named(name)).is_some(),
+                "{name} should resolve"
+            );
+        }
+        assert_eq!(
+            WireTask::from_spec(&TaskSpec {
+                name: "quantile".into(),
+                params: vec![0.9],
+            }),
+            Some(WireTask::Quantile(0.9))
+        );
+        assert!(WireTask::from_spec(&TaskSpec::named("quantile")).is_none());
+        assert!(WireTask::from_spec(&TaskSpec::named("no-such-task")).is_none());
+    }
+
+    #[test]
+    fn every_core_task_wire_spec_resolves() {
+        let specs = [
+            MeanTask.wire_spec(),
+            SumTask.wire_spec(),
+            CountTask.wire_spec(),
+            VarianceTask.wire_spec(),
+            StdDevTask.wire_spec(),
+            MedianTask.wire_spec(),
+            MinTask.wire_spec(),
+            MaxTask.wire_spec(),
+            QuantileTask::new(0.5).wire_spec(),
+        ];
+        for spec in specs {
+            let spec = spec.expect("task advertises a wire spec");
+            assert!(
+                WireTask::from_spec(&spec).is_some(),
+                "spec {spec:?} must resolve in the registry"
+            );
+        }
+    }
+
+    #[test]
+    fn map_matches_the_in_process_mapper() {
+        let records = [(0u64, "1.5"), (4, "2.5"), (8, "not a number"), (22, "3.0")];
+        let shards = WireTask::Mean.run_map(&records, 2);
+        assert_eq!(shards.len(), 2);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 3, "three parsable records emit one pair each");
+        // All pairs share key 0 so they land in a single shard deterministically.
+        let expected_shard = HashPartitioner.partition(&0u32, 2);
+        assert_eq!(shards[expected_shard].len(), 3);
+        let values: Vec<f64> = shards[expected_shard].iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![1.5, 2.5, 3.0], "emission order preserved");
+    }
+
+    #[test]
+    fn reduce_matches_the_in_process_reducer() {
+        let groups = vec![(0u32, vec![1.0, 2.0, 3.0])];
+        assert_eq!(WireTask::Mean.run_reduce(&groups), vec![2.0]);
+        assert_eq!(WireTask::Sum.run_reduce(&groups), vec![6.0]);
+        assert_eq!(WireTask::Max.run_reduce(&groups), vec![3.0]);
+        assert_eq!(WireTask::Quantile(0.5).run_reduce(&groups), vec![2.0]);
+    }
+}

@@ -1,0 +1,377 @@
+//! The TCP task transport: the coordinator side of the wire.
+//!
+//! [`TcpTransport`] implements [`TaskTransport`] over a pool of worker
+//! connections.  It plays two roles:
+//!
+//! * **Dispatcher** — a remote map task's record offsets are split into
+//!   contiguous chunks, one per live worker; per-shard results concatenated in
+//!   chunk order reproduce the exact emission order of a single in-process
+//!   pass, so results stay bit-identical.  Reduce partitions go to one worker,
+//!   round-robin.
+//! * **Failure detector** — a socket error or heartbeat (read) timeout on a
+//!   worker connection is that worker's death.  The transport marks the
+//!   connection dead, reports the mapped simulated node to the cluster via
+//!   [`Cluster::report_external_failure`] (so PR 6's arbitration, retry
+//!   booking and [`FaultLog`](earl_cluster::FaultLog) observability apply
+//!   unchanged) and re-dispatches the lost chunk to a survivor, bounded by the
+//!   job's `max_attempts`.
+//!
+//! If every worker is lost — or a worker answers with a protocol error — the
+//! transport returns `Err`, which the runner receives *before any simulated
+//! charge*; the job then falls back to the in-process engine with nothing
+//! perturbed (all inputs are driver-held).
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use earl_cluster::{Cluster, NodeId};
+use earl_dfs::{Dfs, DfsPath};
+use earl_mapreduce::{
+    MrError, RemoteMapOutcome, RemoteMapRequest, RemoteReduceOutcome, RemoteReduceRequest,
+    TaskTransport,
+};
+use parking_lot::Mutex;
+
+use crate::frame::{read_frame, write_frame};
+use crate::messages::{Message, WIRE_VERSION};
+
+/// Records per `Provision` frame: keeps frames far below `MAX_FRAME_LEN` even
+/// for long lines, and exercises the multi-batch path in ordinary tests.
+const PROVISION_BATCH: usize = 4096;
+
+#[derive(Debug)]
+struct WorkerConn {
+    addr: SocketAddr,
+    node: NodeId,
+    /// `None` once the worker is considered dead.
+    stream: Option<TcpStream>,
+}
+
+/// A [`TaskTransport`] speaking the framed wire protocol to real worker
+/// processes over TCP.
+#[derive(Debug)]
+pub struct TcpTransport {
+    cluster: Cluster,
+    workers: Mutex<Vec<WorkerConn>>,
+    /// Round-robin cursor for reduce partitions.
+    next_reducer: AtomicUsize,
+    /// Map tasks + reduce partitions served remotely (observability: proves a
+    /// job actually exercised the wire rather than falling back in-process).
+    remote_calls: AtomicUsize,
+}
+
+impl TcpTransport {
+    /// Connects to workers at `addrs`, performing the version handshake with
+    /// each.  Every connection gets `heartbeat` as its read *and* write
+    /// timeout: a worker that stays silent for a heartbeat interval is dead.
+    ///
+    /// Each worker is mapped onto a simulated node of `cluster`
+    /// (`available_nodes()[i % available]`), so a real worker's death can be
+    /// reported as that node's failure.
+    pub fn connect(
+        cluster: Cluster,
+        addrs: &[SocketAddr],
+        heartbeat: Duration,
+    ) -> io::Result<Self> {
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "at least one worker address is required",
+            ));
+        }
+        let available = cluster.available_nodes();
+        if available.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cluster has no available nodes to map workers onto",
+            ));
+        }
+        let mut workers = Vec::with_capacity(addrs.len());
+        for (i, &addr) in addrs.iter().enumerate() {
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(heartbeat))?;
+            stream.set_write_timeout(Some(heartbeat))?;
+            match call(
+                &mut stream,
+                &Message::Hello {
+                    version: WIRE_VERSION,
+                },
+            )? {
+                Message::HelloAck { version } if version == WIRE_VERSION => {}
+                Message::Error { message } => {
+                    return Err(io::Error::new(io::ErrorKind::ConnectionRefused, message))
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected handshake reply: {other:?}"),
+                    ))
+                }
+            }
+            workers.push(WorkerConn {
+                addr,
+                node: available[i % available.len()],
+                stream: Some(stream),
+            });
+        }
+        Ok(Self {
+            cluster,
+            workers: Mutex::new(workers),
+            next_reducer: AtomicUsize::new(0),
+            remote_calls: AtomicUsize::new(0),
+        })
+    }
+
+    /// Ships a DFS dataset to every connected worker, in batches.  This is the
+    /// set-up-time analogue of DFS block placement — it is *not* charged to
+    /// the simulation, and job-time messages only ever reference the data by
+    /// offset.
+    pub fn provision(&self, dfs: &Dfs, path: impl Into<DfsPath>) -> io::Result<()> {
+        let path = path.into();
+        let records = dfs
+            .export_records(path.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::NotFound, e.to_string()))?;
+        let total = records.len() as u64;
+        let mut workers = self.workers.lock();
+        for worker in workers.iter_mut() {
+            let Some(stream) = worker.stream.as_mut() else {
+                continue;
+            };
+            let mut sent = false;
+            let mut outcome = Ok(());
+            for batch in records.chunks(PROVISION_BATCH.max(1)) {
+                sent = true;
+                let msg = Message::Provision {
+                    path: path.as_str().to_owned(),
+                    records: batch.to_vec(),
+                };
+                match call(stream, &msg) {
+                    Ok(Message::ProvisionAck { .. }) => {}
+                    Ok(other) => {
+                        outcome = Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected provision reply: {other:?}"),
+                        ));
+                        break;
+                    }
+                    Err(e) => {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+            }
+            if !sent && total == 0 {
+                // Empty dataset: still register the path so MapTask lookups
+                // succeed.
+                let msg = Message::Provision {
+                    path: path.as_str().to_owned(),
+                    records: Vec::new(),
+                };
+                outcome = match call(stream, &msg) {
+                    Ok(Message::ProvisionAck { .. }) => Ok(()),
+                    Ok(other) => Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected provision reply: {other:?}"),
+                    )),
+                    Err(e) => Err(e),
+                };
+            }
+            outcome?;
+        }
+        Ok(())
+    }
+
+    /// Heartbeats every live worker.  A worker that fails the ping is marked
+    /// dead and its node failure is reported to the cluster.  Returns the
+    /// number of workers still alive.
+    pub fn ping_all(&self) -> usize {
+        let mut workers = self.workers.lock();
+        for i in 0..workers.len() {
+            let Some(stream) = workers[i].stream.as_mut() else {
+                continue;
+            };
+            match call(stream, &Message::Ping) {
+                Ok(Message::Pong) => {}
+                _ => mark_dead(&self.cluster, &mut workers[i]),
+            }
+        }
+        workers.iter().filter(|w| w.stream.is_some()).count()
+    }
+
+    /// Number of map tasks and reduce partitions served over the wire so far.
+    pub fn remote_calls(&self) -> usize {
+        self.remote_calls.load(Ordering::Relaxed)
+    }
+
+    /// Number of workers still considered alive.
+    pub fn live_workers(&self) -> usize {
+        self.workers
+            .lock()
+            .iter()
+            .filter(|w| w.stream.is_some())
+            .count()
+    }
+
+    /// The simulated node each worker is mapped onto, dead or alive.
+    pub fn worker_nodes(&self) -> Vec<NodeId> {
+        self.workers.lock().iter().map(|w| w.node).collect()
+    }
+
+    /// The address each worker was connected at, dead or alive.
+    pub fn worker_addrs(&self) -> Vec<SocketAddr> {
+        self.workers.lock().iter().map(|w| w.addr).collect()
+    }
+
+    /// Sends `Shutdown` to every live worker and drops the connections.
+    pub fn shutdown(&self) {
+        let mut workers = self.workers.lock();
+        for worker in workers.iter_mut() {
+            if let Some(stream) = worker.stream.as_mut() {
+                let _ = write_frame(stream, &Message::Shutdown.encode());
+            }
+            worker.stream = None;
+        }
+    }
+
+    /// Dispatches one request to a live worker, retrying on worker death until
+    /// `max_attempts` executions or no workers remain.  Returns the successful
+    /// reply and the number of re-dispatches performed.
+    fn dispatch(
+        &self,
+        workers: &mut [WorkerConn],
+        preferred: usize,
+        request: &Message,
+        max_attempts: u32,
+    ) -> Result<(Message, u64), MrError> {
+        let mut retries = 0u64;
+        let mut attempts = 0u32;
+        loop {
+            let n = workers.len();
+            let Some(wi) = (0..n)
+                .map(|d| (preferred + d) % n)
+                .find(|&i| workers[i].stream.is_some())
+            else {
+                return Err(MrError::Transport("all workers are dead".into()));
+            };
+            attempts += 1;
+            let stream = workers[wi].stream.as_mut().expect("worker just found live");
+            match call(stream, request) {
+                Ok(Message::Error { message }) => {
+                    // A semantic refusal, not a death: fail the request so the
+                    // runner falls back to the in-process engine.
+                    return Err(MrError::Transport(message));
+                }
+                Ok(reply) => return Ok((reply, retries)),
+                Err(_) => {
+                    mark_dead(&self.cluster, &mut workers[wi]);
+                    if attempts >= max_attempts.max(1) {
+                        return Err(MrError::Transport(format!(
+                            "request abandoned after {attempts} attempts",
+                        )));
+                    }
+                    retries += 1;
+                }
+            }
+        }
+    }
+}
+
+impl TaskTransport for TcpTransport {
+    fn is_local(&self) -> bool {
+        false
+    }
+
+    fn remote_map(
+        &self,
+        request: &RemoteMapRequest<'_>,
+    ) -> earl_mapreduce::Result<RemoteMapOutcome> {
+        self.remote_calls.fetch_add(1, Ordering::Relaxed);
+        let mut workers = self.workers.lock();
+        let live = workers.iter().filter(|w| w.stream.is_some()).count();
+        if live == 0 {
+            return Err(MrError::Transport("no live workers".into()));
+        }
+        let num_shards = request.num_shards.max(1);
+        let mut shards = vec![Vec::new(); num_shards];
+        let mut records = 0u64;
+        let mut retries = 0u64;
+        // Contiguous chunks, one per live worker; concatenating per-shard
+        // results in chunk order reproduces single-pass emission order.
+        let chunk_len = request.offsets.len().div_ceil(live.max(1)).max(1);
+        for (ci, chunk) in request.offsets.chunks(chunk_len).enumerate() {
+            let msg = Message::MapTask {
+                name: request.spec.name.clone(),
+                params: request.spec.params.clone(),
+                path: request.source_path.to_owned(),
+                offsets: chunk.to_vec(),
+                num_shards: num_shards as u32,
+            };
+            let (reply, r) = self.dispatch(&mut workers, ci, &msg, request.max_attempts)?;
+            retries += r;
+            let Message::MapOk {
+                shards: chunk_shards,
+                records: chunk_records,
+            } = reply
+            else {
+                return Err(MrError::Transport(format!(
+                    "unexpected map reply: {reply:?}"
+                )));
+            };
+            if chunk_shards.len() != num_shards {
+                return Err(MrError::Transport(format!(
+                    "worker returned {} shards, expected {num_shards}",
+                    chunk_shards.len()
+                )));
+            }
+            records += chunk_records;
+            for (shard, pairs) in shards.iter_mut().zip(chunk_shards) {
+                shard.extend(pairs);
+            }
+        }
+        Ok(RemoteMapOutcome {
+            shards,
+            records,
+            retries,
+        })
+    }
+
+    fn remote_reduce(
+        &self,
+        request: &RemoteReduceRequest<'_>,
+    ) -> earl_mapreduce::Result<RemoteReduceOutcome> {
+        self.remote_calls.fetch_add(1, Ordering::Relaxed);
+        let mut workers = self.workers.lock();
+        let msg = Message::ReduceTask {
+            name: request.spec.name.clone(),
+            params: request.spec.params.clone(),
+            groups: request.groups.to_vec(),
+        };
+        let preferred = self.next_reducer.fetch_add(1, Ordering::Relaxed);
+        let (reply, retries) =
+            self.dispatch(&mut workers, preferred, &msg, request.max_attempts)?;
+        let Message::ReduceOk { outputs } = reply else {
+            return Err(MrError::Transport(format!(
+                "unexpected reduce reply: {reply:?}"
+            )));
+        };
+        Ok(RemoteReduceOutcome { outputs, retries })
+    }
+}
+
+/// One request/response round-trip on a worker connection.
+fn call(stream: &mut TcpStream, request: &Message) -> io::Result<Message> {
+    write_frame(stream, &request.encode())?;
+    let payload = read_frame(stream)?;
+    Message::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Marks a worker dead and reports its simulated node's failure so the
+/// existing arbitration/fault-log machinery observes the death.  Reporting can
+/// fail only if the node was already down — that is fine to ignore.
+fn mark_dead(cluster: &Cluster, worker: &mut WorkerConn) {
+    worker.stream = None;
+    let _ = cluster.report_external_failure(worker.node);
+}

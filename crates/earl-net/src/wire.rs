@@ -1,0 +1,159 @@
+//! Primitive wire codec: fixed-width little-endian integers, `f64` as IEEE-754
+//! bit patterns, and length-prefixed UTF-8 strings.
+//!
+//! Everything on the wire is built from these five primitives (see
+//! `docs/WIRE_PROTOCOL.md`); the message layer composes them and the frame
+//! layer adds the outer length prefix.  No varints, no padding, no alignment:
+//! a field's byte width is a constant of the protocol version.
+
+/// Encoder appending primitives to a byte buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern, little-endian.  Encoding
+    /// via `to_bits` is lossless for every value including negative zero, so
+    /// round-tripping cannot perturb bit-identical results.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a string as a `u32` byte length followed by its UTF-8 bytes.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// Decoder consuming primitives from a byte slice.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+/// Error raised when a payload is shorter than its fields claim or carries
+/// invalid UTF-8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError(format!(
+                "need {n} bytes, {} remain",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| WireError(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_payloads_error() {
+        let mut w = WireWriter::new();
+        w.put_u32(4);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes[..2]);
+        assert!(r.get_u32().is_err());
+        let mut r = WireReader::new(&bytes);
+        assert!(r.get_str().is_err(), "claims 4 bytes, none follow");
+    }
+}

@@ -1,0 +1,266 @@
+//! The worker process: a TCP accept loop serving framed protocol requests.
+//!
+//! A worker is deliberately dumb.  It holds no simulation state, no cost
+//! model, no clock — only datasets the coordinator provisioned it with and the
+//! task registry.  Every frame it receives is a pure-compute request; every
+//! frame it sends is the deterministic result.  All scheduling, charging and
+//! failure arbitration stay with the coordinator, which is what keeps remote
+//! reports bit-identical to in-process ones.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+
+use crate::frame::{read_frame, write_frame};
+use crate::messages::{Message, WIRE_VERSION};
+use crate::registry::WireTask;
+
+/// Datasets provisioned on one connection: path → (offset → line).
+type Store = HashMap<String, HashMap<u64, String>>;
+
+/// Computes the reply for one request frame.  Pure: no I/O, so it is unit
+/// testable without sockets.
+pub fn handle_message(store: &mut Store, msg: Message) -> Option<Message> {
+    match msg {
+        Message::Hello { version } => {
+            if version == WIRE_VERSION {
+                Some(Message::HelloAck {
+                    version: WIRE_VERSION,
+                })
+            } else {
+                Some(Message::Error {
+                    message: format!(
+                        "wire version mismatch: coordinator speaks {version}, worker speaks {WIRE_VERSION}"
+                    ),
+                })
+            }
+        }
+        Message::Provision { path, records } => {
+            let dataset = store.entry(path).or_default();
+            for (offset, line) in records {
+                dataset.insert(offset, line);
+            }
+            Some(Message::ProvisionAck {
+                records: dataset.len() as u64,
+            })
+        }
+        Message::MapTask {
+            name,
+            params,
+            path,
+            offsets,
+            num_shards,
+        } => {
+            let spec = earl_mapreduce::TaskSpec { name, params };
+            let Some(task) = WireTask::from_spec(&spec) else {
+                return Some(Message::Error {
+                    message: format!("unknown task spec {spec:?}"),
+                });
+            };
+            let Some(dataset) = store.get(&path) else {
+                return Some(Message::Error {
+                    message: format!("dataset {path:?} was never provisioned"),
+                });
+            };
+            let mut records = Vec::with_capacity(offsets.len());
+            for offset in &offsets {
+                match dataset.get(offset) {
+                    Some(line) => records.push((*offset, line.as_str())),
+                    None => {
+                        return Some(Message::Error {
+                            message: format!("no record at offset {offset} in {path:?}"),
+                        })
+                    }
+                }
+            }
+            let shards = task.run_map(&records, num_shards as usize);
+            Some(Message::MapOk {
+                shards,
+                records: offsets.len() as u64,
+            })
+        }
+        Message::ReduceTask {
+            name,
+            params,
+            groups,
+        } => {
+            let spec = earl_mapreduce::TaskSpec { name, params };
+            let Some(task) = WireTask::from_spec(&spec) else {
+                return Some(Message::Error {
+                    message: format!("unknown task spec {spec:?}"),
+                });
+            };
+            Some(Message::ReduceOk {
+                outputs: task.run_reduce(&groups),
+            })
+        }
+        Message::Ping => Some(Message::Pong),
+        Message::Shutdown => None,
+        // Worker-to-coordinator messages arriving at a worker are protocol
+        // violations; answer with an error but keep the connection alive.
+        other => Some(Message::Error {
+            message: format!("unexpected message at worker: {other:?}"),
+        }),
+    }
+}
+
+/// Serves one coordinator connection until `Shutdown` or EOF.
+pub fn serve_connection(mut stream: TcpStream) -> io::Result<()> {
+    let mut store = Store::new();
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(payload) => payload,
+            // Coordinator hung up (or died): the connection is done.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let reply = match Message::decode(&payload) {
+            Ok(msg) => handle_message(&mut store, msg),
+            Err(e) => Some(Message::Error {
+                message: e.to_string(),
+            }),
+        };
+        match reply {
+            Some(reply) => write_frame(&mut stream, &reply.encode())?,
+            None => return Ok(()),
+        }
+    }
+}
+
+/// Runs the worker accept loop forever, serving each coordinator connection on
+/// its own thread.
+pub fn run_worker(listener: TcpListener) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        std::thread::spawn(move || {
+            // A dropped connection is the coordinator's business, not ours.
+            let _ = serve_connection(stream);
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_checks_the_wire_version() {
+        let mut store = Store::new();
+        assert_eq!(
+            handle_message(
+                &mut store,
+                Message::Hello {
+                    version: WIRE_VERSION
+                }
+            ),
+            Some(Message::HelloAck {
+                version: WIRE_VERSION
+            })
+        );
+        assert!(matches!(
+            handle_message(&mut store, Message::Hello { version: 999 }),
+            Some(Message::Error { .. })
+        ));
+    }
+
+    #[test]
+    fn provision_then_map_then_reduce() {
+        let mut store = Store::new();
+        let ack = handle_message(
+            &mut store,
+            Message::Provision {
+                path: "/data".into(),
+                records: vec![(0, "1.0".into()), (4, "3.0".into())],
+            },
+        );
+        assert_eq!(ack, Some(Message::ProvisionAck { records: 2 }));
+
+        let reply = handle_message(
+            &mut store,
+            Message::MapTask {
+                name: "mean".into(),
+                params: vec![],
+                path: "/data".into(),
+                offsets: vec![0, 4],
+                num_shards: 1,
+            },
+        );
+        let Some(Message::MapOk { shards, records }) = reply else {
+            panic!("expected MapOk, got {reply:?}");
+        };
+        assert_eq!(records, 2);
+        assert_eq!(shards, vec![vec![(0, 1.0), (0, 3.0)]]);
+
+        let reply = handle_message(
+            &mut store,
+            Message::ReduceTask {
+                name: "mean".into(),
+                params: vec![],
+                groups: vec![(0, vec![1.0, 3.0])],
+            },
+        );
+        assert_eq!(reply, Some(Message::ReduceOk { outputs: vec![2.0] }));
+    }
+
+    #[test]
+    fn unknown_tasks_missing_datasets_and_bad_offsets_error() {
+        let mut store = Store::new();
+        assert!(matches!(
+            handle_message(
+                &mut store,
+                Message::MapTask {
+                    name: "nope".into(),
+                    params: vec![],
+                    path: "/data".into(),
+                    offsets: vec![],
+                    num_shards: 1,
+                }
+            ),
+            Some(Message::Error { .. })
+        ));
+        assert!(matches!(
+            handle_message(
+                &mut store,
+                Message::MapTask {
+                    name: "mean".into(),
+                    params: vec![],
+                    path: "/missing".into(),
+                    offsets: vec![0],
+                    num_shards: 1,
+                }
+            ),
+            Some(Message::Error { .. })
+        ));
+        handle_message(
+            &mut store,
+            Message::Provision {
+                path: "/data".into(),
+                records: vec![(0, "1.0".into())],
+            },
+        );
+        assert!(matches!(
+            handle_message(
+                &mut store,
+                Message::MapTask {
+                    name: "mean".into(),
+                    params: vec![],
+                    path: "/data".into(),
+                    offsets: vec![99],
+                    num_shards: 1,
+                }
+            ),
+            Some(Message::Error { .. })
+        ));
+    }
+
+    #[test]
+    fn shutdown_ends_the_session_and_ping_answers_pong() {
+        let mut store = Store::new();
+        assert_eq!(
+            handle_message(&mut store, Message::Ping),
+            Some(Message::Pong)
+        );
+        assert_eq!(handle_message(&mut store, Message::Shutdown), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! End-to-end tests against *real* worker subprocesses over TCP.
+//!
+//! These tests spawn the `earl-worker` binary (via `CARGO_BIN_EXE_earl-worker`),
+//! provision it with a DFS dataset, and run the full EARL driver against it.
+//! The headline assertion is the transport's core contract: a remote run's
+//! `EarlReport` is **bit-identical** — result, sample size, `sim_time`, byte
+//! counters, fault log and all — to the in-process run, at several simulated
+//! node counts.  A second test kills a worker mid-flight and checks the death
+//! is recovered from and recorded through the standard failure machinery.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use earl_cluster::{Cluster, CostModel};
+use earl_core::tasks::{MeanTask, QuantileTask};
+use earl_core::{EarlConfig, EarlDriver};
+use earl_dfs::{Dfs, DfsConfig};
+use earl_net::TcpTransport;
+use earl_workload::{DatasetBuilder, DatasetSpec};
+
+const HEARTBEAT: Duration = Duration::from_secs(10);
+
+struct WorkerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_worker() -> WorkerProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_earl-worker"))
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn earl-worker");
+    let stdout = child.stdout.take().expect("worker stdout is piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read LISTENING line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected worker banner: {line:?}"))
+        .parse()
+        .expect("parse worker address");
+    WorkerProc { child, addr }
+}
+
+/// A fresh simulated cluster + DFS + deterministic dataset.  Building this
+/// twice with the same `nodes` yields byte-identical state, which is what
+/// makes the in-process and remote runs comparable.
+fn make_dfs(nodes: u32) -> Dfs {
+    let cluster = Cluster::builder()
+        .nodes(nodes)
+        .cost_model(CostModel::commodity_2012())
+        .build()
+        .unwrap();
+    Dfs::new(
+        cluster,
+        DfsConfig {
+            block_size: 1 << 16,
+            replication: nodes.min(2),
+            io_chunk: 256,
+        },
+    )
+    .unwrap()
+}
+
+fn build_dataset(dfs: &Dfs) {
+    DatasetBuilder::new(dfs.clone())
+        .build("/net/values", &DatasetSpec::normal(4_000, 100.0, 15.0, 7))
+        .unwrap();
+}
+
+#[test]
+fn remote_report_is_bit_identical_to_in_process_at_every_node_count() {
+    let workers = [spawn_worker(), spawn_worker()];
+    let addrs: Vec<SocketAddr> = workers.iter().map(|w| w.addr).collect();
+
+    for nodes in [1u32, 2, 4] {
+        // In-process baseline.
+        let dfs = make_dfs(nodes);
+        build_dataset(&dfs);
+        let local = EarlDriver::new(dfs, EarlConfig::default())
+            .run("/net/values", &MeanTask)
+            .unwrap();
+
+        // Same job against real worker subprocesses.
+        let dfs = make_dfs(nodes);
+        build_dataset(&dfs);
+        let transport =
+            Arc::new(TcpTransport::connect(dfs.cluster().clone(), &addrs, HEARTBEAT).unwrap());
+        transport.provision(&dfs, "/net/values").unwrap();
+        let remote = EarlDriver::new(dfs, EarlConfig::default())
+            .with_transport(transport.clone())
+            .run("/net/values", &MeanTask)
+            .unwrap();
+
+        assert_eq!(
+            local, remote,
+            "remote report must be bit-identical at {nodes} nodes"
+        );
+        assert_eq!(
+            transport.live_workers(),
+            2,
+            "a quiet run must not kill any worker"
+        );
+        assert!(
+            transport.remote_calls() > 0,
+            "the job must actually exercise the wire, not fall back in-process"
+        );
+        transport.shutdown();
+    }
+}
+
+#[test]
+fn remote_runs_match_for_parameterised_tasks_too() {
+    let workers = [spawn_worker(), spawn_worker()];
+    let addrs: Vec<SocketAddr> = workers.iter().map(|w| w.addr).collect();
+
+    let dfs = make_dfs(4);
+    build_dataset(&dfs);
+    let local = EarlDriver::new(dfs, EarlConfig::default())
+        .run("/net/values", &QuantileTask::new(0.9))
+        .unwrap();
+
+    let dfs = make_dfs(4);
+    build_dataset(&dfs);
+    let transport =
+        Arc::new(TcpTransport::connect(dfs.cluster().clone(), &addrs, HEARTBEAT).unwrap());
+    transport.provision(&dfs, "/net/values").unwrap();
+    let remote = EarlDriver::new(dfs, EarlConfig::default())
+        .with_transport(transport)
+        .run("/net/values", &QuantileTask::new(0.9))
+        .unwrap();
+
+    assert_eq!(local, remote);
+}
+
+#[test]
+fn killing_a_worker_mid_run_recovers_and_records_the_death() {
+    let mut doomed = spawn_worker();
+    let survivor = spawn_worker();
+    let addrs = vec![doomed.addr, survivor.addr];
+
+    let dfs = make_dfs(4);
+    build_dataset(&dfs);
+    let cluster = dfs.cluster().clone();
+    let transport = Arc::new(TcpTransport::connect(cluster.clone(), &addrs, HEARTBEAT).unwrap());
+    transport.provision(&dfs, "/net/values").unwrap();
+
+    // Kill the first worker *after* provisioning, so its death is discovered
+    // by a job-time dispatch — the socket error synthesizes a FailureEvent on
+    // the mapped simulated node and the chunk is re-dispatched.
+    doomed.child.kill().unwrap();
+    doomed.child.wait().unwrap();
+
+    let report = EarlDriver::new(dfs, EarlConfig::default())
+        .with_transport(transport.clone())
+        .run("/net/values", &MeanTask)
+        .unwrap();
+
+    assert!(
+        report.result.is_finite(),
+        "job must complete on the surviving worker"
+    );
+    assert_eq!(transport.live_workers(), 1, "the killed worker is detected");
+    let failed = cluster.failed_nodes();
+    assert_eq!(
+        failed,
+        vec![transport.worker_nodes()[0]],
+        "the death maps onto the dead worker's simulated node"
+    );
+    let events = cluster.failure_events();
+    assert!(
+        !events.is_empty() && events.iter().any(|e| e.node == failed[0]),
+        "the death is recorded as a standard FailureEvent"
+    );
+
+    // A quiet baseline on identical state differs only through the failure:
+    // the remote run still completes with a sane estimate.
+    let dfs = make_dfs(4);
+    build_dataset(&dfs);
+    let local = EarlDriver::new(dfs, EarlConfig::default())
+        .run("/net/values", &MeanTask)
+        .unwrap();
+    assert!((report.result - local.result).abs() / local.result < 0.25);
+}
+
+#[test]
+fn ping_all_detects_a_silent_worker_death() {
+    let mut doomed = spawn_worker();
+    let survivor = spawn_worker();
+    let addrs = vec![doomed.addr, survivor.addr];
+
+    let cluster = Cluster::with_nodes(4);
+    let transport = Arc::new(TcpTransport::connect(cluster.clone(), &addrs, HEARTBEAT).unwrap());
+    assert_eq!(transport.ping_all(), 2);
+
+    doomed.child.kill().unwrap();
+    doomed.child.wait().unwrap();
+
+    assert_eq!(transport.ping_all(), 1, "heartbeat notices the death");
+    assert_eq!(cluster.failed_nodes(), vec![transport.worker_nodes()[0]]);
+    drop(survivor);
+}

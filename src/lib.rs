@@ -18,11 +18,44 @@
 //! let report = driver.run("/data", &earl::core::tasks::MeanTask).unwrap();
 //! assert!(report.result > 0.0);
 //! ```
+//!
+//! ## Choosing a bootstrap kernel
+//!
+//! The accuracy-estimation stage can evaluate its bootstrap replicates three
+//! ways (`Gather`, `Streaming`, `CountBased` — see the README's kernel table);
+//! `Auto` picks the cheapest sound kernel per estimator, and pinning one is a
+//! one-field config change:
+//!
+//! ```
+//! use earl::bootstrap::BootstrapKernel;
+//! use earl::cluster::Cluster;
+//! use earl::core::{tasks::MeanTask, EarlConfig, EarlDriver};
+//! use earl::dfs::{Dfs, DfsConfig};
+//!
+//! // Pin the resample-free count-based kernel (e.g. to A/B error estimates).
+//! let config = EarlConfig {
+//!     bootstrap_kernel: BootstrapKernel::CountBased,
+//!     ..EarlConfig::default()
+//! };
+//!
+//! let cluster = Cluster::with_nodes(3);
+//! let dfs = Dfs::new(cluster, DfsConfig::default()).unwrap();
+//! dfs.write_lines("/data", (1..=1000).map(|i| i.to_string())).unwrap();
+//! let report = EarlDriver::new(dfs, config).run("/data", &MeanTask).unwrap();
+//! assert!(report.error_estimate <= report.target_sigma);
+//! ```
+//!
+//! ## Running against real workers
+//!
+//! [`net`] (`earl-net`) runs the same jobs on real worker subprocesses over
+//! TCP with bit-identical reports; see `docs/ARCHITECTURE.md`,
+//! `docs/WIRE_PROTOCOL.md` and the README's "Running a real cluster" section.
 
 pub use earl_bootstrap as bootstrap;
 pub use earl_cluster as cluster;
 pub use earl_core as core;
 pub use earl_dfs as dfs;
 pub use earl_mapreduce as mapreduce;
+pub use earl_net as net;
 pub use earl_sampling as sampling;
 pub use earl_workload as workload;
