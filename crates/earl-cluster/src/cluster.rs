@@ -381,6 +381,19 @@ impl Cluster {
         Ok(event)
     }
 
+    /// Returns a node previously reported dead back to service — the hook
+    /// real transports use when a dead worker redials, re-handshakes and is
+    /// re-provisioned (`earl-net` worker rejoin).  The node is repaired in
+    /// place (it comes back empty, exactly like [`Self::repair_node`]) and
+    /// immediately rejoins [`Self::available_nodes`], so the next phase's
+    /// planning picks it back up.  No fault-log entry is written: the *death*
+    /// was the observable event, and recovery restores capacity without
+    /// rewriting history.  Recovering a decommissioned node leaves it out of
+    /// service; recovering a healthy node is a no-op.
+    pub fn report_recovery(&self, id: NodeId) -> Result<()> {
+        self.repair_node(id)
+    }
+
     /// Administratively decommissions a node: it stops serving blocks and
     /// running tasks and cannot be repaired back into service.
     pub fn decommission_node(&self, id: NodeId) -> Result<()> {
@@ -657,6 +670,28 @@ mod tests {
         ));
         c.repair_node(NodeId(1)).unwrap();
         assert_eq!(c.available_nodes().len(), 2);
+    }
+
+    #[test]
+    fn reported_recovery_restores_service_but_keeps_the_death_on_record() {
+        let c = Cluster::with_nodes(3);
+        c.report_external_failure(NodeId(1)).unwrap();
+        assert_eq!(c.available_nodes(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(c.failure_events().len(), 1);
+
+        c.report_recovery(NodeId(1)).unwrap();
+        assert_eq!(c.available_nodes().len(), 3, "the node is back in service");
+        assert_eq!(
+            c.failure_events().len(),
+            1,
+            "recovery must not rewrite the failure history"
+        );
+        // Recovering a healthy node is a no-op; decommissioned nodes stay out.
+        c.report_recovery(NodeId(0)).unwrap();
+        assert_eq!(c.available_nodes().len(), 3);
+        c.decommission_node(NodeId(2)).unwrap();
+        c.report_recovery(NodeId(2)).unwrap();
+        assert_eq!(c.available_nodes(), vec![NodeId(0), NodeId(1)]);
     }
 
     #[test]

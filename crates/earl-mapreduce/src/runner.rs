@@ -502,6 +502,11 @@ fn cast_owned<S: 'static, T: 'static>(value: S) -> Option<T> {
 /// Books the chunk re-dispatches a remote transport performed after worker
 /// deaths: each is one retry round (back-off charge + DFS re-sync) plus one
 /// task restart, mirroring what the local armed path books per lost task.
+/// This is the unification point for wire-level failures: a call-deadline
+/// expiry or socket death on the transport surfaces as a `retries` increment
+/// and lands in the same `FaultLog` counters as simulated-failure retries.
+/// Transparent revives never reach here (the transport's `retries` field
+/// excludes them by contract), so a fully-recovered run books nothing.
 fn book_remote_retries(
     dfs: &Dfs,
     conf: &JobConf,

@@ -80,8 +80,12 @@ pub struct RemoteMapOutcome {
     /// Input records consumed (drives the coordinator's CPU charge and the
     /// `MAP_INPUT_RECORDS` counter).
     pub records: u64,
-    /// Chunk re-dispatches performed after worker deaths (each is booked as
-    /// one task retry by the runner).
+    /// Chunk re-dispatches performed after *reported* worker deaths (each is
+    /// booked as one task retry by the runner).  Transparent recoveries — a
+    /// transport that redials, re-provisions and resends to the same worker
+    /// within one call — must NOT be counted here: they are invisible to the
+    /// simulation, which is what keeps fault-free-looking remote reports
+    /// bit-identical to in-process ones.
     pub retries: u64,
 }
 
@@ -103,7 +107,9 @@ pub struct RemoteReduceRequest<'a> {
 pub struct RemoteReduceOutcome {
     /// Reducer outputs in group order.
     pub outputs: Vec<f64>,
-    /// Re-dispatches performed after worker deaths.
+    /// Re-dispatches performed after *reported* worker deaths.  Like
+    /// [`RemoteMapOutcome::retries`], transparent same-worker recoveries are
+    /// excluded.
     pub retries: u64,
 }
 

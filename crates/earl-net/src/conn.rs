@@ -1,0 +1,110 @@
+//! Pluggable worker-connection primitives: the [`Conn`] byte stream and the
+//! [`Dialer`] that produces one.
+//!
+//! [`TcpTransport`](crate::TcpTransport) never touches `TcpStream` directly —
+//! it dials through a `Dialer` and speaks frames over the `Conn` it returns.
+//! Production uses [`TcpDialer`]; the chaos layer
+//! ([`ChaosDialer`](crate::chaos::ChaosDialer)) wraps any inner dialer and
+//! hands back fault-injecting streams, which is how the whole failure path —
+//! detection, transparent revive, rejoin, deadlines — is exercised
+//! deterministically without leaving the process.
+
+use std::fmt::Debug;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A bidirectional byte stream to one worker, with socket-style timeouts.
+///
+/// The read timeout doubles as the transport's liveness signal: a peer that
+/// stays silent past it is treated as dead.  Implementations must honour
+/// `set_read_timeout`/`set_write_timeout` by failing blocked operations with a
+/// timeout-flavoured [`io::Error`] (`TimedOut` or `WouldBlock`).
+pub trait Conn: Read + Write + Send + Debug {
+    /// Sets the timeout for blocking reads (`None` blocks forever).
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()>;
+    /// Sets the timeout for blocking writes (`None` blocks forever).
+    fn set_write_timeout(&mut self, dur: Option<Duration>) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, dur)
+    }
+
+    fn set_write_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, dur)
+    }
+}
+
+impl Conn for Box<dyn Conn> {
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        (**self).set_read_timeout(dur)
+    }
+
+    fn set_write_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        (**self).set_write_timeout(dur)
+    }
+}
+
+/// Opens a [`Conn`] to a worker.  `worker` is the stable worker index (its
+/// position in the transport's pool), which fault-injecting dialers use to key
+/// their per-worker schedules; redials of the same worker keep the same index.
+pub trait Dialer: Send + Sync + Debug {
+    /// Dials `addr`, bounded by `timeout`.
+    fn dial(&self, worker: usize, addr: SocketAddr, timeout: Duration)
+        -> io::Result<Box<dyn Conn>>;
+}
+
+/// The production dialer: a plain `TcpStream` with Nagle disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TcpDialer;
+
+impl Dialer for TcpDialer {
+    fn dial(
+        &self,
+        _worker: usize,
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> io::Result<Box<dyn Conn>> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Box::new(stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn tcp_dialer_connects_and_honours_timeouts() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut conn = TcpDialer.dial(0, addr, Duration::from_secs(5)).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        conn.set_write_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let (_peer, _) = listener.accept().unwrap();
+        let mut byte = [0u8; 1];
+        // Nothing was sent: the read must fail with a timeout, not block.
+        let err = conn.read(&mut byte).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "expected a timeout error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn dialing_a_closed_port_fails_cleanly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        assert!(TcpDialer.dial(0, addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -25,8 +25,14 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Upper bound on the up-front allocation for an incoming frame (1 MiB).
+/// Anything larger grows as bytes actually arrive, so a hostile length prefix
+/// can never reserve more memory than the peer is willing to send.
+const READ_CHUNK_CAP: u32 = 1 << 20;
+
 /// Reads one frame, returning its payload.  Errors with `UnexpectedEof` on a
-/// half-closed stream and `InvalidData` on an oversized length prefix.
+/// half-closed stream (including one truncated mid-payload) and `InvalidData`
+/// on an oversized length prefix.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     let mut len_bytes = [0u8; 4];
     r.read_exact(&mut len_bytes)?;
@@ -37,8 +43,14 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
             format!("frame length {len} exceeds MAX_FRAME_LEN"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK_CAP) as usize);
+    let got = r.by_ref().take(u64::from(len)).read_to_end(&mut payload)?;
+    if got < len as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("frame truncated: {got} of {len} payload bytes"),
+        ));
+    }
     Ok(payload)
 }
 

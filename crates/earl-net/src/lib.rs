@@ -25,13 +25,23 @@
 //!
 //! ## Failure handling
 //!
-//! A socket error or heartbeat timeout on a worker connection is treated as a
-//! node death: the transport reports it to the simulated cluster
+//! A socket error, heartbeat timeout or call-deadline expiry on a worker
+//! connection first triggers a bounded **transparent revive** — redial,
+//! re-handshake, re-provision, resend, invisible to the simulation.  Only
+//! when revival fails is the event a node death: the transport reports it to
+//! the simulated cluster
 //! ([`Cluster::report_external_failure`](earl_cluster::Cluster::report_external_failure)),
 //! where the existing `FailurePolicy` retry/degrade machinery and `FaultLog`
-//! observability from the fault-tolerance layer apply unchanged.  Lost chunks
-//! are re-dispatched to surviving workers, bounded by the job's
-//! `max_attempts`.
+//! observability from the fault-tolerance layer apply unchanged, and the lost
+//! chunk is re-dispatched to a surviving worker, bounded by the job's
+//! `max_attempts`.  Dead workers are not gone for good: a rejoin supervisor
+//! redials them with capped exponential backoff at every remote-call
+//! boundary (optionally respawning the process via
+//! [`TcpTransport::set_respawn`]) and returns recovered nodes to service via
+//! [`Cluster::report_recovery`](earl_cluster::Cluster::report_recovery).
+//! `docs/WIRE_PROTOCOL.md` § "Failure model" specifies what every fault looks
+//! like on the wire; the [`chaos`] module injects each of them
+//! deterministically for the chaos test suite.
 //!
 //! ## Quick start
 //!
@@ -67,6 +77,8 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
+pub mod conn;
 pub mod frame;
 pub mod messages;
 pub mod registry;
@@ -74,9 +86,11 @@ pub mod transport;
 pub mod wire;
 pub mod worker;
 
+pub use chaos::{ChaosDialer, ChaosProxy, ChaosStream, Fault, FaultPlan};
+pub use conn::{Conn, Dialer, TcpDialer};
 pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
 pub use messages::{Message, WIRE_VERSION};
 pub use registry::WireTask;
-pub use transport::TcpTransport;
+pub use transport::{RespawnFn, TcpTransport, TcpTransportConfig};
 pub use wire::{WireError, WireReader, WireWriter};
 pub use worker::{run_worker, serve_connection};

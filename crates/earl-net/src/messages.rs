@@ -122,11 +122,19 @@ fn put_params(w: &mut WireWriter, params: &[f64]) {
 
 fn get_params(r: &mut WireReader<'_>) -> Result<Vec<f64>, WireError> {
     let n = r.get_u32()? as usize;
-    let mut params = Vec::with_capacity(n.min(1024));
+    let mut params = Vec::with_capacity(cap(n, r.remaining(), 8));
     for _ in 0..n {
         params.push(r.get_f64()?);
     }
     Ok(params)
+}
+
+/// Caps a claimed element count by what the remaining payload bytes could
+/// actually hold (at `min_elem_bytes` each), so `Vec::with_capacity` on a
+/// hostile or corrupted frame never reserves more memory than the frame
+/// itself delivers.
+fn cap(claimed: usize, remaining: usize, min_elem_bytes: usize) -> usize {
+    claimed.min(remaining / min_elem_bytes.max(1) + 1)
 }
 
 impl Message {
@@ -232,7 +240,7 @@ impl Message {
             tag::PROVISION => {
                 let path = r.get_str()?;
                 let n = r.get_u32()? as usize;
-                let mut records = Vec::with_capacity(n.min(1 << 20));
+                let mut records = Vec::with_capacity(cap(n, r.remaining(), 12));
                 for _ in 0..n {
                     let offset = r.get_u64()?;
                     let line = r.get_str()?;
@@ -249,7 +257,7 @@ impl Message {
                 let path = r.get_str()?;
                 let num_shards = r.get_u32()?;
                 let n = r.get_u32()? as usize;
-                let mut offsets = Vec::with_capacity(n.min(1 << 20));
+                let mut offsets = Vec::with_capacity(cap(n, r.remaining(), 8));
                 for _ in 0..n {
                     offsets.push(r.get_u64()?);
                 }
@@ -264,10 +272,10 @@ impl Message {
             tag::MAP_OK => {
                 let records = r.get_u64()?;
                 let num_shards = r.get_u32()? as usize;
-                let mut shards = Vec::with_capacity(num_shards.min(1 << 16));
+                let mut shards = Vec::with_capacity(cap(num_shards, r.remaining(), 4));
                 for _ in 0..num_shards {
                     let n = r.get_u32()? as usize;
-                    let mut shard = Vec::with_capacity(n.min(1 << 20));
+                    let mut shard = Vec::with_capacity(cap(n, r.remaining(), 12));
                     for _ in 0..n {
                         let key = r.get_u32()?;
                         let value = r.get_f64()?;
@@ -281,11 +289,11 @@ impl Message {
                 let name = r.get_str()?;
                 let params = get_params(&mut r)?;
                 let n = r.get_u32()? as usize;
-                let mut groups = Vec::with_capacity(n.min(1 << 20));
+                let mut groups = Vec::with_capacity(cap(n, r.remaining(), 8));
                 for _ in 0..n {
                     let key = r.get_u32()?;
                     let m = r.get_u32()? as usize;
-                    let mut values = Vec::with_capacity(m.min(1 << 20));
+                    let mut values = Vec::with_capacity(cap(m, r.remaining(), 8));
                     for _ in 0..m {
                         values.push(r.get_f64()?);
                     }
@@ -299,7 +307,7 @@ impl Message {
             }
             tag::REDUCE_OK => {
                 let n = r.get_u32()? as usize;
-                let mut outputs = Vec::with_capacity(n.min(1 << 20));
+                let mut outputs = Vec::with_capacity(cap(n, r.remaining(), 8));
                 for _ in 0..n {
                     outputs.push(r.get_f64()?);
                 }

@@ -1,30 +1,42 @@
 //! The TCP task transport: the coordinator side of the wire.
 //!
 //! [`TcpTransport`] implements [`TaskTransport`] over a pool of worker
-//! connections.  It plays two roles:
+//! connections.  It plays three roles:
 //!
 //! * **Dispatcher** — a remote map task's record offsets are split into
 //!   contiguous chunks, one per live worker; per-shard results concatenated in
 //!   chunk order reproduce the exact emission order of a single in-process
 //!   pass, so results stay bit-identical.  Reduce partitions go to one worker,
 //!   round-robin.
-//! * **Failure detector** — a socket error or heartbeat (read) timeout on a
-//!   worker connection is that worker's death.  The transport marks the
-//!   connection dead, reports the mapped simulated node to the cluster via
-//!   [`Cluster::report_external_failure`] (so PR 6's arbitration, retry
-//!   booking and [`FaultLog`](earl_cluster::FaultLog) observability apply
-//!   unchanged) and re-dispatches the lost chunk to a survivor, bounded by the
-//!   job's `max_attempts`.
+//! * **Failure detector** — a socket error, heartbeat (read) timeout or call
+//!   deadline on a worker connection is that worker's death.  The transport
+//!   first attempts a bounded **transparent revive** (redial the same worker,
+//!   re-handshake, re-provision, resend — invisible to the simulation); only
+//!   when that fails does it report the mapped simulated node to the cluster
+//!   via [`Cluster::report_external_failure`] (so the fault-tolerance layer's
+//!   arbitration, retry booking and [`FaultLog`](earl_cluster::FaultLog)
+//!   observability apply unchanged) and re-dispatch the lost chunk to a
+//!   survivor, bounded by the job's `max_attempts`.
+//! * **Rejoin supervisor** — a worker declared dead is redialled (and, with a
+//!   [`TcpTransport::set_respawn`] hook, respawned) with capped exponential
+//!   backoff at every remote-call boundary.  A successful rejoin re-handshakes,
+//!   re-provisions every dataset the worker missed, and returns its node to
+//!   service via [`Cluster::report_recovery`] — a transient blip no longer
+//!   permanently shrinks the cluster.  Because remote calls are issued
+//!   serially by the runner, rejoin decisions land at deterministic positions
+//!   in the call sequence, independent of `EARL_THREADS`.
 //!
 //! If every worker is lost — or a worker answers with a protocol error — the
 //! transport returns `Err`, which the runner receives *before any simulated
 //! charge*; the job then falls back to the in-process engine with nothing
 //! perturbed (all inputs are driver-held).
 
+use std::fmt;
 use std::io;
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use earl_cluster::{Cluster, NodeId};
 use earl_dfs::{Dfs, DfsPath};
@@ -34,6 +46,7 @@ use earl_mapreduce::{
 };
 use parking_lot::Mutex;
 
+use crate::conn::{Conn, Dialer, TcpDialer};
 use crate::frame::{read_frame, write_frame};
 use crate::messages::{Message, WIRE_VERSION};
 
@@ -41,31 +54,128 @@ use crate::messages::{Message, WIRE_VERSION};
 /// for long lines, and exercises the multi-batch path in ordinary tests.
 const PROVISION_BATCH: usize = 4096;
 
+/// Cap on the backoff between dial attempts inside [`TcpTransport::connect`].
+const CONNECT_BACKOFF_CAP: Duration = Duration::from_secs(1);
+
+/// Hook invoked when a dead worker's redial fails: given the worker index and
+/// its last known address, start a replacement process and return the address
+/// to dial instead.
+pub type RespawnFn = dyn Fn(usize, SocketAddr) -> io::Result<SocketAddr> + Send + Sync;
+
+/// Tuning knobs for [`TcpTransport`]: liveness, deadlines and recovery.
+#[derive(Debug, Clone)]
+pub struct TcpTransportConfig {
+    /// Read *and* write timeout on every worker connection: a worker that
+    /// stays silent for a heartbeat interval is dead.  Also bounds each dial.
+    pub heartbeat: Duration,
+    /// Optional per-attempt deadline budget, tighter than the heartbeat: each
+    /// execution attempt of a request (including any transparent revive it
+    /// needs) must produce a reply within this budget or the worker is
+    /// declared dead and the request re-dispatched — each re-dispatch is a
+    /// retry the runner books through `FailurePolicy` into the `FaultLog`.
+    /// `None` means the heartbeat is the only liveness bound.
+    pub call_deadline: Option<Duration>,
+    /// Dial attempts per worker during [`TcpTransport::connect`], so a worker
+    /// that is still binding its listener (the `LISTENING` startup race) does
+    /// not fail the whole cluster with one `ECONNREFUSED`.
+    pub connect_attempts: u32,
+    /// Backoff before the second connect dial attempt; doubles per attempt,
+    /// capped at one second.
+    pub connect_backoff: Duration,
+    /// Transparent same-worker revives allowed per failing request before the
+    /// worker is declared dead.  A revive redials, re-handshakes,
+    /// re-provisions and resends without the simulation ever noticing — `0`
+    /// disables revival, making every socket error an immediate death.
+    pub redials_per_call: u32,
+    /// Base backoff before a dead worker's first rejoin attempt; doubles per
+    /// failed attempt up to [`TcpTransportConfig::rejoin_backoff_cap`].
+    /// `Duration::ZERO` retries the rejoin at every remote-call boundary,
+    /// which keeps rejoin timing deterministic with respect to the call
+    /// sequence (the chaos suite relies on this).
+    pub rejoin_backoff: Duration,
+    /// Upper bound on the exponential rejoin backoff.
+    pub rejoin_backoff_cap: Duration,
+}
+
+impl TcpTransportConfig {
+    /// The default knobs with the given heartbeat: one transparent revive per
+    /// call, connect-time dial retries, 50 ms rejoin backoff capped at 5 s,
+    /// and no call deadline.
+    pub fn with_heartbeat(heartbeat: Duration) -> Self {
+        Self {
+            heartbeat,
+            call_deadline: None,
+            connect_attempts: 10,
+            connect_backoff: Duration::from_millis(20),
+            redials_per_call: 1,
+            rejoin_backoff: Duration::from_millis(50),
+            rejoin_backoff_cap: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Default for TcpTransportConfig {
+    fn default() -> Self {
+        Self::with_heartbeat(Duration::from_secs(10))
+    }
+}
+
+/// One provisioned dataset as shipped on the wire: `(path, records)`.
+type ProvisionedDataset = (String, Vec<(u64, String)>);
+
 #[derive(Debug)]
 struct WorkerConn {
     addr: SocketAddr,
     node: NodeId,
-    /// `None` once the worker is considered dead.
-    stream: Option<TcpStream>,
+    /// `None` while the worker is disconnected (reviving or dead).
+    conn: Option<Box<dyn Conn>>,
+    /// The current outage has been reported to the cluster as a node failure
+    /// (cleared again when the worker rejoins).
+    dead_reported: bool,
+    /// Failed rejoin attempts since death — drives the exponential backoff.
+    rejoin_attempts: u32,
+    /// Earliest instant of the next rejoin attempt.
+    next_rejoin: Instant,
 }
 
 /// A [`TaskTransport`] speaking the framed wire protocol to real worker
 /// processes over TCP.
-#[derive(Debug)]
 pub struct TcpTransport {
     cluster: Cluster,
+    dialer: Arc<dyn Dialer>,
+    config: TcpTransportConfig,
     workers: Mutex<Vec<WorkerConn>>,
+    /// Every dataset shipped via [`TcpTransport::provision`], kept so a
+    /// rejoining worker (whose per-connection store starts empty) can be
+    /// re-provisioned with everything it missed.
+    provisioned: Mutex<Vec<ProvisionedDataset>>,
+    respawn: Mutex<Option<Box<RespawnFn>>>,
     /// Round-robin cursor for reduce partitions.
     next_reducer: AtomicUsize,
     /// Map tasks + reduce partitions served remotely (observability: proves a
     /// job actually exercised the wire rather than falling back in-process).
     remote_calls: AtomicUsize,
+    /// Transparent same-call revives (reconnects invisible to the simulation).
+    revives: AtomicUsize,
+    /// Reported-dead workers returned to service at a call boundary.
+    rejoins: AtomicUsize,
+}
+
+impl fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("config", &self.config)
+            .field("workers", &self.workers)
+            .field("remote_calls", &self.remote_calls)
+            .field("revives", &self.revives)
+            .field("rejoins", &self.rejoins)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TcpTransport {
-    /// Connects to workers at `addrs`, performing the version handshake with
-    /// each.  Every connection gets `heartbeat` as its read *and* write
-    /// timeout: a worker that stays silent for a heartbeat interval is dead.
+    /// Connects to workers at `addrs` with the default knobs and the given
+    /// heartbeat, performing the version handshake with each.
     ///
     /// Each worker is mapped onto a simulated node of `cluster`
     /// (`available_nodes()[i % available]`), so a real worker's death can be
@@ -74,6 +184,31 @@ impl TcpTransport {
         cluster: Cluster,
         addrs: &[SocketAddr],
         heartbeat: Duration,
+    ) -> io::Result<Self> {
+        Self::connect_with(
+            cluster,
+            addrs,
+            TcpTransportConfig::with_heartbeat(heartbeat),
+        )
+    }
+
+    /// [`TcpTransport::connect`] with explicit [`TcpTransportConfig`] knobs.
+    pub fn connect_with(
+        cluster: Cluster,
+        addrs: &[SocketAddr],
+        config: TcpTransportConfig,
+    ) -> io::Result<Self> {
+        Self::connect_via(cluster, addrs, config, Arc::new(TcpDialer))
+    }
+
+    /// [`TcpTransport::connect_with`] through a custom [`Dialer`] — the hook
+    /// the chaos layer uses to wrap every worker connection in a fault
+    /// injector.
+    pub fn connect_via(
+        cluster: Cluster,
+        addrs: &[SocketAddr],
+        config: TcpTransportConfig,
+        dialer: Arc<dyn Dialer>,
     ) -> io::Result<Self> {
         if addrs.is_empty() {
             return Err(io::Error::new(
@@ -88,117 +223,117 @@ impl TcpTransport {
                 "cluster has no available nodes to map workers onto",
             ));
         }
-        let mut workers = Vec::with_capacity(addrs.len());
-        for (i, &addr) in addrs.iter().enumerate() {
-            let mut stream = TcpStream::connect(addr)?;
-            stream.set_nodelay(true)?;
-            stream.set_read_timeout(Some(heartbeat))?;
-            stream.set_write_timeout(Some(heartbeat))?;
-            match call(
-                &mut stream,
-                &Message::Hello {
-                    version: WIRE_VERSION,
-                },
-            )? {
-                Message::HelloAck { version } if version == WIRE_VERSION => {}
-                Message::Error { message } => {
-                    return Err(io::Error::new(io::ErrorKind::ConnectionRefused, message))
-                }
-                other => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected handshake reply: {other:?}"),
-                    ))
-                }
-            }
-            workers.push(WorkerConn {
-                addr,
-                node: available[i % available.len()],
-                stream: Some(stream),
-            });
-        }
-        Ok(Self {
+        let transport = Self {
             cluster,
-            workers: Mutex::new(workers),
+            dialer,
+            config,
+            workers: Mutex::new(Vec::with_capacity(addrs.len())),
+            provisioned: Mutex::new(Vec::new()),
+            respawn: Mutex::new(None),
             next_reducer: AtomicUsize::new(0),
             remote_calls: AtomicUsize::new(0),
-        })
+            revives: AtomicUsize::new(0),
+            rejoins: AtomicUsize::new(0),
+        };
+        {
+            let mut workers = transport.workers.lock();
+            for (i, &addr) in addrs.iter().enumerate() {
+                let mut conn = transport.dial_retrying(i, addr)?;
+                conn.set_read_timeout(Some(transport.config.heartbeat))?;
+                conn.set_write_timeout(Some(transport.config.heartbeat))?;
+                handshake(&mut conn)?;
+                workers.push(WorkerConn {
+                    addr,
+                    node: available[i % available.len()],
+                    conn: Some(conn),
+                    dead_reported: false,
+                    rejoin_attempts: 0,
+                    next_rejoin: Instant::now(),
+                });
+            }
+        }
+        Ok(transport)
+    }
+
+    /// Installs the respawn hook the rejoin supervisor calls when a dead
+    /// worker's redial fails: start a replacement process, return its address.
+    pub fn set_respawn(
+        &self,
+        hook: impl Fn(usize, SocketAddr) -> io::Result<SocketAddr> + Send + Sync + 'static,
+    ) {
+        *self.respawn.lock() = Some(Box::new(hook));
     }
 
     /// Ships a DFS dataset to every connected worker, in batches.  This is the
     /// set-up-time analogue of DFS block placement — it is *not* charged to
     /// the simulation, and job-time messages only ever reference the data by
-    /// offset.
+    /// offset.  The dataset is also retained coordinator-side so rejoining
+    /// workers can be re-provisioned.
+    ///
+    /// A worker that drops mid-provision gets one transparent revive (which
+    /// replays every retained dataset); if that fails too it is declared dead
+    /// and provisioning continues with the rest of the pool.  Only when *no*
+    /// worker holds the dataset does this return `Err`.
     pub fn provision(&self, dfs: &Dfs, path: impl Into<DfsPath>) -> io::Result<()> {
         let path = path.into();
         let records = dfs
             .export_records(path.clone())
             .map_err(|e| io::Error::new(io::ErrorKind::NotFound, e.to_string()))?;
-        let total = records.len() as u64;
+        let path = path.as_str().to_owned();
+        self.provisioned
+            .lock()
+            .push((path.clone(), records.clone()));
         let mut workers = self.workers.lock();
-        for worker in workers.iter_mut() {
-            let Some(stream) = worker.stream.as_mut() else {
+        let mut delivered = 0usize;
+        let mut last_err: Option<io::Error> = None;
+        for wi in 0..workers.len() {
+            if workers[wi].conn.is_none() {
                 continue;
-            };
-            let mut sent = false;
-            let mut outcome = Ok(());
-            for batch in records.chunks(PROVISION_BATCH.max(1)) {
-                sent = true;
-                let msg = Message::Provision {
-                    path: path.as_str().to_owned(),
-                    records: batch.to_vec(),
-                };
-                match call(stream, &msg) {
-                    Ok(Message::ProvisionAck { .. }) => {}
-                    Ok(other) => {
-                        outcome = Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("unexpected provision reply: {other:?}"),
-                        ));
-                        break;
-                    }
-                    Err(e) => {
-                        outcome = Err(e);
-                        break;
+            }
+            match self.provision_conn(&mut workers[wi], &path, &records) {
+                Ok(()) => delivered += 1,
+                Err(e) => {
+                    workers[wi].conn = None;
+                    // One transparent revive; it replays every retained
+                    // dataset, including the one that just failed mid-ship.
+                    if self.config.redials_per_call > 0
+                        && self.revive(wi, &mut workers, None).is_ok()
+                    {
+                        delivered += 1;
+                    } else {
+                        self.declare_dead(&mut workers[wi]);
+                        last_err = Some(e);
                     }
                 }
             }
-            if !sent && total == 0 {
-                // Empty dataset: still register the path so MapTask lookups
-                // succeed.
-                let msg = Message::Provision {
-                    path: path.as_str().to_owned(),
-                    records: Vec::new(),
-                };
-                outcome = match call(stream, &msg) {
-                    Ok(Message::ProvisionAck { .. }) => Ok(()),
-                    Ok(other) => Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected provision reply: {other:?}"),
-                    )),
-                    Err(e) => Err(e),
-                };
-            }
-            outcome?;
+        }
+        if delivered == 0 {
+            return Err(last_err.unwrap_or_else(|| {
+                io::Error::new(io::ErrorKind::NotConnected, "no live workers to provision")
+            }));
         }
         Ok(())
     }
 
-    /// Heartbeats every live worker.  A worker that fails the ping is marked
-    /// dead and its node failure is reported to the cluster.  Returns the
-    /// number of workers still alive.
+    /// Heartbeats every live worker.  A worker that fails the ping is declared
+    /// dead and its node failure is reported to the cluster through
+    /// [`Cluster::report_external_failure`], exactly like a job-time death —
+    /// a silent death found by ping lands in the `FaultLog` like any other.
+    /// Returns the number of workers still alive.  (A pure liveness probe:
+    /// pings never trigger revival; dead workers rejoin at the next
+    /// remote-call boundary.)
     pub fn ping_all(&self) -> usize {
         let mut workers = self.workers.lock();
-        for i in 0..workers.len() {
-            let Some(stream) = workers[i].stream.as_mut() else {
+        for worker in workers.iter_mut() {
+            if worker.conn.is_none() {
                 continue;
-            };
-            match call(stream, &Message::Ping) {
+            }
+            match self.call_on(worker, &Message::Ping, None) {
                 Ok(Message::Pong) => {}
-                _ => mark_dead(&self.cluster, &mut workers[i]),
+                _ => self.declare_dead(worker),
             }
         }
-        workers.iter().filter(|w| w.stream.is_some()).count()
+        workers.iter().filter(|w| w.conn.is_some()).count()
     }
 
     /// Number of map tasks and reduce partitions served over the wire so far.
@@ -206,12 +341,24 @@ impl TcpTransport {
         self.remote_calls.load(Ordering::Relaxed)
     }
 
-    /// Number of workers still considered alive.
+    /// Transparent revives performed: reconnects that resent the in-flight
+    /// request on the same worker without the simulation observing anything.
+    pub fn revives(&self) -> usize {
+        self.revives.load(Ordering::Relaxed)
+    }
+
+    /// Workers returned to service after having been reported dead (each one
+    /// also repaired its simulated node via [`Cluster::report_recovery`]).
+    pub fn rejoins(&self) -> usize {
+        self.rejoins.load(Ordering::Relaxed)
+    }
+
+    /// Number of workers currently connected.
     pub fn live_workers(&self) -> usize {
         self.workers
             .lock()
             .iter()
-            .filter(|w| w.stream.is_some())
+            .filter(|w| w.conn.is_some())
             .count()
     }
 
@@ -220,7 +367,7 @@ impl TcpTransport {
         self.workers.lock().iter().map(|w| w.node).collect()
     }
 
-    /// The address each worker was connected at, dead or alive.
+    /// The address each worker was last dialled at, dead or alive.
     pub fn worker_addrs(&self) -> Vec<SocketAddr> {
         self.workers.lock().iter().map(|w| w.addr).collect()
     }
@@ -229,16 +376,231 @@ impl TcpTransport {
     pub fn shutdown(&self) {
         let mut workers = self.workers.lock();
         for worker in workers.iter_mut() {
-            if let Some(stream) = worker.stream.as_mut() {
-                let _ = write_frame(stream, &Message::Shutdown.encode());
+            if let Some(conn) = worker.conn.as_mut() {
+                let _ = write_frame(conn, &Message::Shutdown.encode());
             }
-            worker.stream = None;
+            worker.conn = None;
         }
     }
 
+    /// Dials `addr` up to `connect_attempts` times with doubling backoff, so
+    /// the connect-time race with a worker still binding its listener does not
+    /// fail the whole cluster.
+    fn dial_retrying(&self, worker: usize, addr: SocketAddr) -> io::Result<Box<dyn Conn>> {
+        let attempts = self.config.connect_attempts.max(1);
+        let mut backoff = self.config.connect_backoff;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            match self.dialer.dial(worker, addr, self.config.heartbeat) {
+                Ok(conn) => return Ok(conn),
+                Err(e) => last_err = Some(e),
+            }
+            if attempt + 1 < attempts && !backoff.is_zero() {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(CONNECT_BACKOFF_CAP);
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "worker dial failed")))
+    }
+
+    /// The timeout for the next blocking operation: the heartbeat, shrunk to
+    /// the remaining deadline budget.  Errors with `TimedOut` once the budget
+    /// is exhausted.
+    fn op_timeout(&self, deadline: Option<Instant>) -> io::Result<Duration> {
+        let mut timeout = self.config.heartbeat;
+        if let Some(deadline) = deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "call deadline exhausted",
+                ));
+            }
+            timeout = timeout.min(remaining);
+        }
+        Ok(timeout)
+    }
+
+    /// One request/response round-trip on a worker's connection, bounded by
+    /// the heartbeat and the call deadline.  Any failure drops the connection
+    /// (the stream can no longer be trusted to carry frame boundaries).
+    fn call_on(
+        &self,
+        worker: &mut WorkerConn,
+        request: &Message,
+        deadline: Option<Instant>,
+    ) -> io::Result<Message> {
+        let outcome = (|| {
+            let timeout = self.op_timeout(deadline)?;
+            let conn = worker.conn.as_mut().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotConnected, "worker not connected")
+            })?;
+            conn.set_read_timeout(Some(timeout))?;
+            conn.set_write_timeout(Some(timeout))?;
+            call(conn, request)
+        })();
+        if outcome.is_err() {
+            worker.conn = None;
+        }
+        outcome
+    }
+
+    /// Reconnects worker `wi`: dial (respawning through the hook if the dial
+    /// fails), re-handshake, re-provision every retained dataset.  On success
+    /// the worker is connected again; if it had been reported dead its node
+    /// returns to service via [`Cluster::report_recovery`].
+    fn revive(
+        &self,
+        wi: usize,
+        workers: &mut [WorkerConn],
+        deadline: Option<Instant>,
+    ) -> io::Result<()> {
+        let worker = &mut workers[wi];
+        let mut conn = match self
+            .dialer
+            .dial(wi, worker.addr, self.op_timeout(deadline)?)
+        {
+            Ok(conn) => conn,
+            Err(e) => {
+                let respawn = self.respawn.lock();
+                let Some(respawn) = respawn.as_ref() else {
+                    return Err(e);
+                };
+                let new_addr = respawn(wi, worker.addr)?;
+                let conn = self.dialer.dial(wi, new_addr, self.op_timeout(deadline)?)?;
+                worker.addr = new_addr;
+                conn
+            }
+        };
+        let timeout = self.op_timeout(deadline)?;
+        conn.set_read_timeout(Some(timeout))?;
+        conn.set_write_timeout(Some(timeout))?;
+        handshake(&mut conn)?;
+        worker.conn = Some(conn);
+        // A fresh connection starts with an empty worker-side store: replay
+        // every dataset so job-time offsets keep resolving.
+        let provisioned = self.provisioned.lock();
+        for (path, records) in provisioned.iter() {
+            let outcome = self.provision_conn(worker, path, records);
+            if outcome.is_err() {
+                worker.conn = None;
+                return outcome;
+            }
+        }
+        drop(provisioned);
+        if worker.dead_reported {
+            let _ = self.cluster.report_recovery(worker.node);
+            worker.dead_reported = false;
+            self.rejoins.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.revives.fetch_add(1, Ordering::Relaxed);
+        }
+        worker.rejoin_attempts = 0;
+        Ok(())
+    }
+
+    /// Ships one dataset over one worker connection, in batches.
+    fn provision_conn(
+        &self,
+        worker: &mut WorkerConn,
+        path: &str,
+        records: &[(u64, String)],
+    ) -> io::Result<()> {
+        let conn = worker
+            .conn
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "worker not connected"))?;
+        conn.set_read_timeout(Some(self.config.heartbeat))?;
+        conn.set_write_timeout(Some(self.config.heartbeat))?;
+        let mut batches: Vec<&[(u64, String)]> = records.chunks(PROVISION_BATCH.max(1)).collect();
+        if batches.is_empty() {
+            // Empty dataset: still register the path so MapTask lookups
+            // succeed.
+            batches.push(&[]);
+        }
+        for batch in batches {
+            let msg = Message::Provision {
+                path: path.to_owned(),
+                records: batch.to_vec(),
+            };
+            match call(conn, &msg)? {
+                Message::ProvisionAck { .. } => {}
+                Message::Error { message } => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, message))
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected provision reply: {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares a worker dead: drops its connection, reports its simulated
+    /// node's failure (once per outage) so the existing arbitration/fault-log
+    /// machinery observes the death, and schedules the first rejoin attempt.
+    fn declare_dead(&self, worker: &mut WorkerConn) {
+        worker.conn = None;
+        if !worker.dead_reported {
+            worker.dead_reported = true;
+            // Reporting can fail only if the node was already down — fine.
+            let _ = self.cluster.report_external_failure(worker.node);
+        }
+        worker.rejoin_attempts = 0;
+        worker.next_rejoin = Instant::now() + self.config.rejoin_backoff;
+    }
+
+    /// The deadline budget for a rejoin attempt: the call deadline when one
+    /// is configured (a misbehaving worker must not hold a call boundary
+    /// hostage for a whole heartbeat), otherwise unbounded-but-for-heartbeat.
+    fn rejoin_deadline(&self) -> Option<Instant> {
+        self.config.call_deadline.map(|d| Instant::now() + d)
+    }
+
+    /// The rejoin supervisor, run at every remote-call boundary: attempts to
+    /// revive each disconnected worker whose backoff window has elapsed.  A
+    /// failed attempt doubles the worker's backoff, capped by the config.
+    fn try_rejoins(&self, workers: &mut [WorkerConn]) {
+        for wi in 0..workers.len() {
+            if workers[wi].conn.is_some() || Instant::now() < workers[wi].next_rejoin {
+                continue;
+            }
+            if self.revive(wi, workers, self.rejoin_deadline()).is_err() {
+                let worker = &mut workers[wi];
+                worker.rejoin_attempts = worker.rejoin_attempts.saturating_add(1);
+                let backoff = exp_backoff(
+                    self.config.rejoin_backoff,
+                    worker.rejoin_attempts,
+                    self.config.rejoin_backoff_cap,
+                );
+                worker.next_rejoin = Instant::now() + backoff;
+            }
+        }
+    }
+
+    /// Last-resort rejoin when no live worker remains: tries every
+    /// disconnected worker immediately, ignoring backoff.  Returns whether any
+    /// came back.
+    fn force_rejoin_any(&self, workers: &mut [WorkerConn]) -> bool {
+        for wi in 0..workers.len() {
+            if workers[wi].conn.is_none()
+                && self.revive(wi, workers, self.rejoin_deadline()).is_ok()
+            {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Dispatches one request to a live worker, retrying on worker death until
-    /// `max_attempts` executions or no workers remain.  Returns the successful
-    /// reply and the number of re-dispatches performed.
+    /// `max_attempts` executions or no workers remain.  Each execution attempt
+    /// gets a fresh deadline budget and up to `redials_per_call` transparent
+    /// revives of the same worker; only exhausted attempts count as retries.
+    /// Returns the successful reply and the number of re-dispatches performed.
     fn dispatch(
         &self,
         workers: &mut [WorkerConn],
@@ -252,21 +614,41 @@ impl TcpTransport {
             let n = workers.len();
             let Some(wi) = (0..n)
                 .map(|d| (preferred + d) % n)
-                .find(|&i| workers[i].stream.is_some())
+                .find(|&i| workers[i].conn.is_some())
             else {
-                return Err(MrError::Transport("all workers are dead".into()));
+                if !self.force_rejoin_any(workers) {
+                    return Err(MrError::Transport("all workers are dead".into()));
+                }
+                continue;
             };
             attempts += 1;
-            let stream = workers[wi].stream.as_mut().expect("worker just found live");
-            match call(stream, request) {
-                Ok(Message::Error { message }) => {
+            let deadline = self.config.call_deadline.map(|d| Instant::now() + d);
+            let mut redials = 0u32;
+            let reply = loop {
+                match self.call_on(&mut workers[wi], request, deadline) {
+                    Ok(reply) => break Some(reply),
+                    Err(_) => {
+                        let expired = deadline.is_some_and(|d| Instant::now() >= d);
+                        if redials < self.config.redials_per_call
+                            && !expired
+                            && self.revive(wi, workers, deadline).is_ok()
+                        {
+                            redials += 1;
+                            continue;
+                        }
+                        break None;
+                    }
+                }
+            };
+            match reply {
+                Some(Message::Error { message }) => {
                     // A semantic refusal, not a death: fail the request so the
                     // runner falls back to the in-process engine.
                     return Err(MrError::Transport(message));
                 }
-                Ok(reply) => return Ok((reply, retries)),
-                Err(_) => {
-                    mark_dead(&self.cluster, &mut workers[wi]);
+                Some(reply) => return Ok((reply, retries)),
+                None => {
+                    self.declare_dead(&mut workers[wi]);
                     if attempts >= max_attempts.max(1) {
                         return Err(MrError::Transport(format!(
                             "request abandoned after {attempts} attempts",
@@ -290,7 +672,11 @@ impl TaskTransport for TcpTransport {
     ) -> earl_mapreduce::Result<RemoteMapOutcome> {
         self.remote_calls.fetch_add(1, Ordering::Relaxed);
         let mut workers = self.workers.lock();
-        let live = workers.iter().filter(|w| w.stream.is_some()).count();
+        // Remote-call boundary: dead workers whose backoff elapsed rejoin
+        // before the phase plans its chunks, so a recovered worker is picked
+        // back up at a deterministic position in the call sequence.
+        self.try_rejoins(&mut workers);
+        let live = workers.iter().filter(|w| w.conn.is_some()).count();
         if live == 0 {
             return Err(MrError::Transport("no live workers".into()));
         }
@@ -344,6 +730,7 @@ impl TaskTransport for TcpTransport {
     ) -> earl_mapreduce::Result<RemoteReduceOutcome> {
         self.remote_calls.fetch_add(1, Ordering::Relaxed);
         let mut workers = self.workers.lock();
+        self.try_rejoins(&mut workers);
         let msg = Message::ReduceTask {
             name: request.spec.name.clone(),
             params: request.spec.params.clone(),
@@ -361,17 +748,62 @@ impl TaskTransport for TcpTransport {
     }
 }
 
-/// One request/response round-trip on a worker connection.
-fn call(stream: &mut TcpStream, request: &Message) -> io::Result<Message> {
-    write_frame(stream, &request.encode())?;
-    let payload = read_frame(stream)?;
+/// The exponential backoff after `attempts` consecutive failures.
+fn exp_backoff(base: Duration, attempts: u32, cap: Duration) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    base.saturating_mul(1u32 << attempts.min(16)).min(cap)
+}
+
+/// One request/response round-trip on a connection.
+fn call(conn: &mut Box<dyn Conn>, request: &Message) -> io::Result<Message> {
+    write_frame(conn, &request.encode())?;
+    let payload = read_frame(conn)?;
     Message::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
-/// Marks a worker dead and reports its simulated node's failure so the
-/// existing arbitration/fault-log machinery observes the death.  Reporting can
-/// fail only if the node was already down — that is fine to ignore.
-fn mark_dead(cluster: &Cluster, worker: &mut WorkerConn) {
-    worker.stream = None;
-    let _ = cluster.report_external_failure(worker.node);
+/// The version handshake on a fresh connection.
+fn handshake(conn: &mut Box<dyn Conn>) -> io::Result<()> {
+    match call(
+        conn,
+        &Message::Hello {
+            version: WIRE_VERSION,
+        },
+    )? {
+        Message::HelloAck { version } if version == WIRE_VERSION => Ok(()),
+        Message::Error { message } => {
+            Err(io::Error::new(io::ErrorKind::ConnectionRefused, message))
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected handshake reply: {other:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_backoff_doubles_and_caps() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(5);
+        assert_eq!(exp_backoff(base, 0, cap), Duration::from_millis(50));
+        assert_eq!(exp_backoff(base, 1, cap), Duration::from_millis(100));
+        assert_eq!(exp_backoff(base, 3, cap), Duration::from_millis(400));
+        assert_eq!(exp_backoff(base, 10, cap), cap);
+        assert_eq!(exp_backoff(base, 60, cap), cap, "shift is clamped");
+        assert_eq!(exp_backoff(Duration::ZERO, 7, cap), Duration::ZERO);
+    }
+
+    #[test]
+    fn default_config_enables_revival_and_connect_retries() {
+        let config = TcpTransportConfig::default();
+        assert!(config.redials_per_call > 0);
+        assert!(config.connect_attempts > 1);
+        assert!(config.call_deadline.is_none());
+        assert!(config.rejoin_backoff <= config.rejoin_backoff_cap);
+    }
 }

@@ -104,7 +104,16 @@ pub fn handle_message(store: &mut Store, msg: Message) -> Option<Message> {
     }
 }
 
-/// Serves one coordinator connection until `Shutdown` or EOF.
+/// Serves one coordinator connection until `Shutdown`, EOF, or an
+/// undecodable frame.
+///
+/// A frame that fails to decode means the byte stream itself is corrupt, so
+/// nothing after it — not even frame boundaries — can be trusted; the worker
+/// closes the connection instead of answering.  The coordinator observes the
+/// hang-up as an EOF on its reply read and runs its ordinary
+/// revive/redispatch path, exactly as for a worker death.  (Contrast with
+/// [`Message::Error`] replies, which report *semantic* problems over a still
+/// healthy stream.)
 pub fn serve_connection(mut stream: TcpStream) -> io::Result<()> {
     let mut store = Store::new();
     loop {
@@ -114,13 +123,11 @@ pub fn serve_connection(mut stream: TcpStream) -> io::Result<()> {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
         };
-        let reply = match Message::decode(&payload) {
-            Ok(msg) => handle_message(&mut store, msg),
-            Err(e) => Some(Message::Error {
-                message: e.to_string(),
-            }),
+        let Ok(msg) = Message::decode(&payload) else {
+            // Corrupt stream: close it (see above).
+            return Ok(());
         };
-        match reply {
+        match handle_message(&mut store, msg) {
             Some(reply) => write_frame(&mut stream, &reply.encode())?,
             None => return Ok(()),
         }

@@ -1,0 +1,327 @@
+//! Fuzz-style property tests for the wire codec's hostile-input behaviour.
+//!
+//! The decoding path (`read_frame` + `Message::decode`) is the part of the
+//! coordinator and worker that consumes bytes written by *somebody else* — a
+//! peer that may be truncated mid-frame, corrupted in flight, or actively
+//! hostile.  The property under test everywhere here is the same: malformed
+//! input produces a clean `Err`, never a panic, never an allocation sized by
+//! an attacker-controlled count.  Inputs are generated from a seeded splitmix
+//! PRNG so every run explores the same corpus deterministically.
+
+use std::io::{self, Cursor, Read};
+
+use earl_net::{read_frame, write_frame, Message, MAX_FRAME_LEN, WIRE_VERSION};
+
+/// splitmix64: the repo-standard deterministic generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+/// One representative of every message variant, with non-trivial bodies so
+/// truncation cuts land inside strings, counts and f64s alike.
+fn corpus() -> Vec<Message> {
+    vec![
+        Message::Hello {
+            version: WIRE_VERSION,
+        },
+        Message::HelloAck {
+            version: WIRE_VERSION,
+        },
+        Message::Provision {
+            path: "/fuzz/values".into(),
+            records: vec![(0, "1.25".into()), (7, "-3.5e2".into()), (19, "".into())],
+        },
+        Message::ProvisionAck { records: 3 },
+        Message::MapTask {
+            name: "quantile".into(),
+            params: vec![0.9, -1.0, f64::MAX],
+            path: "/fuzz/values".into(),
+            offsets: vec![0, 7, 19, u64::MAX],
+            num_shards: 4,
+        },
+        Message::MapOk {
+            shards: vec![
+                vec![(0, 1.5), (3, f64::NEG_INFINITY)],
+                vec![],
+                vec![(2, 0.0)],
+            ],
+            records: 4,
+        },
+        Message::ReduceTask {
+            name: "mean".into(),
+            params: vec![],
+            groups: vec![(0, vec![1.0, 2.0]), (9, vec![])],
+        },
+        Message::ReduceOk {
+            outputs: vec![4.5, f64::INFINITY, f64::MIN_POSITIVE],
+        },
+        Message::Ping,
+        Message::Pong,
+        Message::Shutdown,
+        Message::Error {
+            message: "worker exploded: §↯ non-ascii too".into(),
+        },
+    ]
+}
+
+#[test]
+fn decode_never_panics_on_arbitrary_payloads() {
+    let mut rng = Rng(0xEA71_0001);
+    for round in 0..20_000 {
+        let len = (rng.next() % 256) as usize;
+        let payload = rng.bytes(len);
+        // The property is "returns", not "errors": a random blob that happens
+        // to spell a valid message is fine.
+        let _ = Message::decode(&payload);
+
+        // Bias half the rounds towards real tags so variant bodies get
+        // exercised, not just the unknown-tag early-out.
+        if round % 2 == 0 && !payload.is_empty() {
+            let mut tagged = payload;
+            tagged[0] = (rng.next() % 0x10) as u8;
+            let _ = Message::decode(&tagged);
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_every_valid_encoding_errors_cleanly() {
+    for msg in corpus() {
+        let encoded = msg.encode();
+        assert_eq!(Message::decode(&encoded).unwrap(), msg, "round trip first");
+        for cut in 0..encoded.len() {
+            assert!(
+                Message::decode(&encoded[..cut]).is_err(),
+                "a strict prefix ({cut} of {} bytes) of {msg:?} must not decode",
+                encoded.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_after_a_valid_message_are_rejected() {
+    for msg in corpus() {
+        let mut encoded = msg.encode();
+        encoded.push(0x00);
+        assert!(
+            Message::decode(&encoded).is_err(),
+            "one trailing byte after {msg:?} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn single_byte_mutations_never_panic() {
+    let mut rng = Rng(0xEA71_0002);
+    for msg in corpus() {
+        let encoded = msg.encode();
+        for i in 0..encoded.len() {
+            let mut mutated = encoded.clone();
+            mutated[i] ^= (rng.next() % 255 + 1) as u8;
+            // Mutating e.g. an f64's bits can still be a valid message; the
+            // property is only that decode returns instead of panicking.
+            let _ = Message::decode(&mutated);
+        }
+    }
+}
+
+/// Hand-crafted payloads whose length-prefixed counts claim astronomically
+/// more elements than the frame delivers.  A naive `Vec::with_capacity(count)`
+/// would reserve gigabytes before the first element read fails; the codec caps
+/// the reservation by the bytes actually remaining.
+#[test]
+fn hostile_claimed_counts_error_without_huge_allocations() {
+    let hostile: Vec<Vec<u8>> = vec![
+        // REDUCE_OK claiming u32::MAX outputs, delivering one.
+        {
+            let mut p = vec![0x08];
+            p.extend_from_slice(&u32::MAX.to_le_bytes());
+            p.extend_from_slice(&1.0f64.to_le_bytes());
+            p
+        },
+        // MAP_TASK: valid name/params/path/num_shards, then u32::MAX offsets.
+        {
+            let mut p = vec![0x05];
+            p.extend_from_slice(&4u32.to_le_bytes());
+            p.extend_from_slice(b"mean");
+            p.extend_from_slice(&0u32.to_le_bytes()); // params
+            p.extend_from_slice(&2u32.to_le_bytes());
+            p.extend_from_slice(b"/d");
+            p.extend_from_slice(&1u32.to_le_bytes()); // num_shards
+            p.extend_from_slice(&u32::MAX.to_le_bytes()); // offsets count
+            p
+        },
+        // PROVISION claiming u32::MAX records after an empty path.
+        {
+            let mut p = vec![0x03];
+            p.extend_from_slice(&0u32.to_le_bytes());
+            p.extend_from_slice(&u32::MAX.to_le_bytes());
+            p
+        },
+        // MAP_OK: one shard claiming u32::MAX pairs.
+        {
+            let mut p = vec![0x06];
+            p.extend_from_slice(&0u64.to_le_bytes()); // records
+            p.extend_from_slice(&1u32.to_le_bytes()); // num_shards
+            p.extend_from_slice(&u32::MAX.to_le_bytes()); // pairs in shard 0
+            p
+        },
+        // REDUCE_TASK: one group claiming u32::MAX values.
+        {
+            let mut p = vec![0x07];
+            p.extend_from_slice(&4u32.to_le_bytes());
+            p.extend_from_slice(b"mean");
+            p.extend_from_slice(&0u32.to_le_bytes()); // params
+            p.extend_from_slice(&1u32.to_le_bytes()); // groups
+            p.extend_from_slice(&0u32.to_le_bytes()); // key
+            p.extend_from_slice(&u32::MAX.to_le_bytes()); // values count
+            p
+        },
+        // ERROR with a string length far beyond the payload.
+        {
+            let mut p = vec![0x0C];
+            p.extend_from_slice(&u32::MAX.to_le_bytes());
+            p.extend_from_slice(b"oops");
+            p
+        },
+    ];
+    for payload in hostile {
+        assert!(
+            Message::decode(&payload).is_err(),
+            "hostile counts in {payload:?} must error"
+        );
+    }
+}
+
+#[test]
+fn read_frame_accepts_exactly_max_frame_len_and_rejects_one_more() {
+    // Exactly at the boundary: legal.
+    let payload = vec![0xA5u8; MAX_FRAME_LEN as usize];
+    let mut buf = Vec::with_capacity(payload.len() + 4);
+    write_frame(&mut buf, &payload).unwrap();
+    let got = read_frame(&mut Cursor::new(&buf)).unwrap();
+    assert_eq!(got.len(), MAX_FRAME_LEN as usize);
+    assert_eq!(got, payload);
+
+    // One past: the writer refuses to produce it...
+    let oversized = vec![0u8; MAX_FRAME_LEN as usize + 1];
+    assert_eq!(
+        write_frame(&mut Vec::new(), &oversized).unwrap_err().kind(),
+        io::ErrorKind::InvalidInput
+    );
+
+    // ...and the reader rejects the prefix before touching payload bytes:
+    // only the 4 length bytes are supplied, yet the error is InvalidData
+    // (an attempted payload read would have surfaced UnexpectedEof instead).
+    let prefix_only = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+    assert_eq!(
+        read_frame(&mut Cursor::new(prefix_only))
+            .unwrap_err()
+            .kind(),
+        io::ErrorKind::InvalidData
+    );
+}
+
+#[test]
+fn truncated_frames_error_at_every_cut() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &Message::Ping.encode()).unwrap();
+    write_frame(
+        &mut buf,
+        &Message::Error {
+            message: "boom".into(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    // Cutting the stream anywhere strictly inside the second frame (or the
+    // first) leaves a read that must end in UnexpectedEof, never a hang or
+    // panic.  Cuts that land exactly on a frame boundary read the preceding
+    // frames fine and EOF on the next.
+    for cut in 0..buf.len() {
+        let mut cursor = Cursor::new(&buf[..cut]);
+        let mut frames = 0;
+        loop {
+            match read_frame(&mut cursor) {
+                Ok(_) => frames += 1,
+                Err(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut at byte {cut}");
+                    break;
+                }
+            }
+            assert!(frames <= 2, "cannot read more frames than were written");
+        }
+    }
+}
+
+/// A hostile length prefix promising [`MAX_FRAME_LEN`] with only a handful of
+/// real bytes behind it must fail promptly with a small allocation, not stall
+/// or reserve 64 MiB up front.
+#[test]
+fn huge_length_prefix_with_tiny_payload_fails_fast() {
+    let mut buf = MAX_FRAME_LEN.to_le_bytes().to_vec();
+    buf.extend_from_slice(b"ten bytes!");
+    let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    assert!(
+        err.to_string().contains("10 of 67108864"),
+        "the error names the shortfall: {err}"
+    );
+}
+
+#[test]
+fn read_frame_never_panics_on_arbitrary_streams() {
+    let mut rng = Rng(0xEA71_0003);
+    for _ in 0..2_000 {
+        let len = (rng.next() % 64) as usize;
+        let stream = rng.bytes(len);
+        let mut cursor = Cursor::new(&stream);
+        // Drain the stream through the frame reader until it errors or the
+        // bytes run out; whatever happens, it returns rather than panics.
+        while read_frame(&mut cursor).is_ok() {
+            if cursor.position() as usize >= stream.len() {
+                break;
+            }
+        }
+        // Frames can also arrive through readers that deliver one byte at a
+        // time (a dribbling socket); the reader must reassemble them.
+        let mut dribble = Dribble {
+            inner: Cursor::new(&stream),
+        };
+        let _ = read_frame(&mut dribble);
+    }
+
+    // And a dribbling reader with a *valid* frame reassembles it intact.
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &Message::Pong.encode()).unwrap();
+    let mut dribble = Dribble {
+        inner: Cursor::new(&framed),
+    };
+    let payload = read_frame(&mut dribble).unwrap();
+    assert_eq!(Message::decode(&payload).unwrap(), Message::Pong);
+}
+
+/// A reader that returns at most one byte per `read` call.
+struct Dribble<R> {
+    inner: R,
+}
+
+impl<R: Read> Read for Dribble<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let take = buf.len().min(1);
+        self.inner.read(&mut buf[..take])
+    }
+}

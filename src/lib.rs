@@ -50,6 +50,12 @@
 //! [`net`] (`earl-net`) runs the same jobs on real worker subprocesses over
 //! TCP with bit-identical reports; see `docs/ARCHITECTURE.md`,
 //! `docs/WIRE_PROTOCOL.md` and the README's "Running a real cluster" section.
+//! The transport survives real network trouble: socket errors and stalled
+//! calls are revived transparently, reported deaths flow through the same
+//! `FailurePolicy`/`FaultLog` machinery as simulated failures, and dead
+//! workers rejoin with re-provisioning (`net::TcpTransportConfig` holds the
+//! deadline/retry/rejoin knobs, `net::chaos` the deterministic fault
+//! injection used to prove all of this).
 
 pub use earl_bootstrap as bootstrap;
 pub use earl_cluster as cluster;
