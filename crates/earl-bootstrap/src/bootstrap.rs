@@ -458,6 +458,44 @@ impl LinearSections {
         }
     }
 
+    /// Rebuilds a summary from `(len, mean, sd)` parts previously obtained via
+    /// [`LinearSections::parts`] — the deserialisation half of shipping a
+    /// summary over a wire.  The parts are taken verbatim (every f64 bit
+    /// pattern is preserved, including non-finite values); only the structural
+    /// invariant is checked: section lengths must sum to `total_items`.
+    pub fn from_parts(
+        total_items: u64,
+        parts: impl IntoIterator<Item = (u64, f64, f64)>,
+    ) -> Result<Self> {
+        let sections: Vec<Section> = parts
+            .into_iter()
+            .map(|(len, mean, sd)| Section { len, mean, sd })
+            .collect();
+        let summed: u64 = sections.iter().map(|s| s.len).sum();
+        if summed != total_items {
+            return Err(StatsError::InvalidParameter(format!(
+                "section lengths sum to {summed}, not the claimed {total_items} items"
+            )));
+        }
+        if sections.is_empty() && total_items > 0 {
+            return Err(StatsError::InvalidParameter(
+                "a non-empty summary needs at least one section".into(),
+            ));
+        }
+        Ok(Self {
+            sections,
+            total: total_items,
+        })
+    }
+
+    /// The `(len, mean, sd)` summary of each section, in section order — the
+    /// serialisation half of shipping a summary over a wire.  Together with
+    /// [`LinearSections::total_items`] this is the complete state:
+    /// `from_parts(total_items(), parts())` rebuilds an identical summary.
+    pub fn parts(&self) -> impl Iterator<Item = (u64, f64, f64)> + '_ {
+        self.sections.iter().map(|s| (s.len, s.mean, s.sd))
+    }
+
     /// Number of sections (the per-replicate cost of the count-based kernel).
     pub fn num_sections(&self) -> usize {
         self.sections.len()
@@ -616,6 +654,68 @@ impl KarySections {
         })
     }
 
+    /// Rebuilds a summary from parts previously obtained via
+    /// [`KarySections::parts`] — the deserialisation half of shipping a
+    /// summary over a wire.  Every f64 bit pattern is preserved verbatim
+    /// (including non-finite values); the structural invariants checked are
+    /// the ones [`KarySections::build`] guarantees: `1 ≤ arity ≤`
+    /// [`MAX_KARY_COMPONENTS`], `stride ≥ 1` and section lengths summing to
+    /// `total_records`.
+    pub fn from_parts(
+        stride: usize,
+        arity: usize,
+        total_records: u64,
+        parts: impl IntoIterator<Item = (u64, KaryComponents, [KaryComponents; MAX_KARY_COMPONENTS])>,
+    ) -> Result<Self> {
+        if arity == 0 || arity > MAX_KARY_COMPONENTS {
+            return Err(StatsError::InvalidParameter(format!(
+                "arity {arity} is outside 1..={MAX_KARY_COMPONENTS}"
+            )));
+        }
+        if stride == 0 {
+            return Err(StatsError::InvalidParameter("stride must be ≥ 1".into()));
+        }
+        let sections: Vec<KarySection> = parts
+            .into_iter()
+            .map(|(len, mean, chol)| KarySection { len, mean, chol })
+            .collect();
+        let summed: u64 = sections.iter().map(|s| s.len).sum();
+        if summed != total_records {
+            return Err(StatsError::InvalidParameter(format!(
+                "section lengths sum to {summed}, not the claimed {total_records} records"
+            )));
+        }
+        if sections.is_empty() && total_records > 0 {
+            return Err(StatsError::InvalidParameter(
+                "a non-empty summary needs at least one section".into(),
+            ));
+        }
+        Ok(Self {
+            arity,
+            stride,
+            sections,
+            total_records,
+        })
+    }
+
+    /// The `(len, mean vector, Cholesky factor)` summary of each section, in
+    /// section order — the serialisation half of shipping a summary over a
+    /// wire.  Only the leading [`KarySections::arity`] entries of the mean and
+    /// the lower triangle of the factor carry information; the rest is zero
+    /// padding.  `from_parts(stride(), arity(), total_records(), parts())`
+    /// rebuilds an identical summary.
+    pub fn parts(
+        &self,
+    ) -> impl Iterator<Item = (u64, &KaryComponents, &[KaryComponents; MAX_KARY_COMPONENTS])> + '_
+    {
+        self.sections.iter().map(|s| (s.len, &s.mean, &s.chol))
+    }
+
+    /// Components per record the summary reconstructs (`k` of the k-ary form).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
     /// Number of sections (the per-replicate cost factor).  Identical to
     /// [`LinearSections::section_count`] of the record count.
     pub fn num_sections(&self) -> usize {
@@ -732,6 +832,76 @@ pub fn draw_resample<R: Rng + ?Sized>(rng: &mut R, data: &[f64], size: usize) ->
     out
 }
 
+/// A count-based section summary paired with the form that evaluates it: the
+/// complete, self-contained state a replicate evaluation needs.  This is what
+/// [`bootstrap_distribution`] builds internally when the kernel resolves to
+/// [`ResolvedKernel::CountBased`], exposed so callers (SSABE, a wire
+/// transport) can build it once and evaluate replicates from it anywhere.
+#[derive(Debug, Clone)]
+pub enum BuiltSections {
+    /// Scalar linear statistic: [`LinearSections`] + the finishing form.
+    Linear(LinearSections, LinearForm),
+    /// K-ary linear statistic: [`KarySections`] + the combining form.
+    Kary(KarySections, KaryForm),
+}
+
+impl BuiltSections {
+    /// Builds the section summary for `estimator` over `data` when `kernel`
+    /// resolves to the count-based kernel; `Ok(None)` when it does not (the
+    /// estimator needs materialised resamples).  The unary linear form is the
+    /// cheaper special case and wins when an estimator declares both.
+    pub fn build_for(
+        data: &[f64],
+        estimator: &(impl Estimator + ?Sized),
+        kernel: BootstrapKernel,
+    ) -> Result<Option<Self>> {
+        if kernel.resolve_for(estimator) != ResolvedKernel::CountBased {
+            return Ok(None);
+        }
+        Ok(Some(match estimator.linear_form() {
+            Some(form) => BuiltSections::Linear(LinearSections::build(data), form),
+            None => {
+                let form = estimator
+                    .kary_form()
+                    .expect("CountBased resolution implies a linear or k-ary form");
+                BuiltSections::Kary(KarySections::build(data, &form)?, form)
+            }
+        }))
+    }
+
+    /// Evaluates one `size`-record replicate from the summary.  Replicate `b`
+    /// of a run is `replicate(&mut replicate_rng(seed, b), size)` — a pure
+    /// function of `(summary, seed, b, size)`, which is what makes remotely
+    /// evaluated replicates bit-identical to local ones.
+    pub fn replicate<R: Rng + ?Sized>(&self, rng: &mut R, size: usize) -> f64 {
+        match self {
+            BuiltSections::Linear(sections, form) => sections.replicate(rng, size, *form),
+            BuiltSections::Kary(sections, form) => sections.replicate(rng, size, form),
+        }
+    }
+
+    /// Number of sections in the summary (the per-replicate cost factor and
+    /// the O(√n) payload size of shipping it).
+    pub fn num_sections(&self) -> usize {
+        match self {
+            BuiltSections::Linear(sections, _) => sections.num_sections(),
+            BuiltSections::Kary(sections, _) => sections.num_sections(),
+        }
+    }
+}
+
+/// A hook that evaluates count-based replicates somewhere other than the
+/// local thread pool — e.g. on remote workers holding a provisioned copy of
+/// the section summary.  Called as `evaluator(sections, seed, b_start,
+/// b_count, size)`; a conforming implementation returns exactly `b_count`
+/// replicates where entry `i` is bit-identical to
+/// `sections.replicate(&mut replicate_rng(seed, b_start + i), size)`, or
+/// `None` to decline (the caller then evaluates locally — same bits either
+/// way).  Since replicate `b` is a pure function of `(seed, b)`, local and
+/// remote evaluation can be mixed freely within one run.
+pub type SectionEvaluator =
+    dyn Fn(&BuiltSections, u64, u64, u64, usize) -> Option<Vec<f64>> + Send + Sync;
+
 /// Runs the Monte-Carlo bootstrap: `config.num_resamples` resamples of `data`,
 /// each pushed through `estimator`, evaluated across a scoped thread pool
 /// using the configured [`BootstrapKernel`].
@@ -744,6 +914,23 @@ pub fn bootstrap_distribution(
     data: &[f64],
     estimator: &(impl Estimator + ?Sized),
     config: &BootstrapConfig,
+) -> Result<BootstrapResult> {
+    bootstrap_distribution_via(seed, data, estimator, config, None)
+}
+
+/// [`bootstrap_distribution`] with a [`SectionEvaluator`] hook: when the
+/// kernel resolves to the count-based kernel and `evaluator` is present, the
+/// replicate batch is offered to the evaluator first (one call covering
+/// `b ∈ [0, B)`); a decline — or a reply of the wrong length — falls back to
+/// the local thread pool.  Because a conforming evaluator returns the exact
+/// bits local evaluation would produce, the result is the same pure function
+/// of `(seed, data, estimator, B, size, kernel)` on every path.
+pub fn bootstrap_distribution_via(
+    seed: u64,
+    data: &[f64],
+    estimator: &(impl Estimator + ?Sized),
+    config: &BootstrapConfig,
+    evaluator: Option<&SectionEvaluator>,
 ) -> Result<BootstrapResult> {
     if data.is_empty() {
         return Err(StatsError::EmptySample);
@@ -774,41 +961,28 @@ pub fn bootstrap_distribution(
     }
     let point_estimate = estimator.estimate(data);
     let threads = config.effective_parallelism(size * stride);
-    let replicates = match config.kernel.resolve_for(estimator) {
-        // The unary linear form is the cheaper special case and wins when an
-        // estimator declares both.
-        ResolvedKernel::CountBased if estimator.linear_form().is_some() => {
-            let form = estimator.linear_form().expect("checked by the match guard");
-            let sections = LinearSections::build(data);
-            replicate_map(
-                config.num_resamples,
-                threads,
-                || (),
-                |b, ()| {
-                    let mut rng = replicate_rng(seed, b as u64);
-                    sections.replicate(&mut rng, size, form)
-                },
-            )
-        }
-        ResolvedKernel::CountBased => {
-            let form = estimator
-                .kary_form()
-                .expect("CountBased resolution implies a linear or k-ary form");
-            let sections = KarySections::build(data, &form)?;
-            replicate_map(
-                config.num_resamples,
-                threads,
-                || (),
-                |b, ()| {
-                    let mut rng = replicate_rng(seed, b as u64);
-                    sections.replicate(&mut rng, size, &form)
-                },
-            )
+    let replicates = match BuiltSections::build_for(data, estimator, config.kernel)? {
+        Some(sections) => {
+            let remote = evaluator
+                .and_then(|ev| ev(&sections, seed, 0, config.num_resamples as u64, size))
+                .filter(|r| r.len() == config.num_resamples);
+            match remote {
+                Some(replicates) => replicates,
+                None => replicate_map(
+                    config.num_resamples,
+                    threads,
+                    || (),
+                    |b, ()| {
+                        let mut rng = replicate_rng(seed, b as u64);
+                        sections.replicate(&mut rng, size)
+                    },
+                ),
+            }
         }
         // Streaming and gather share the Resampler entry point; for_kernel
         // holds an accumulator exactly when the resolution is Streaming.
-        resolved => {
-            let kernel = match resolved {
+        None => {
+            let kernel = match config.kernel.resolve_for(estimator) {
                 ResolvedKernel::Streaming => BootstrapKernel::Streaming,
                 _ => BootstrapKernel::Gather,
             };
@@ -851,6 +1025,79 @@ mod tests {
         (0..n)
             .map(|_| mean + sd * crate::rng::standard_normal(&mut rng))
             .collect()
+    }
+
+    #[test]
+    fn linear_sections_round_trip_through_parts() {
+        let data = normal_sample(1_000, 10.0, 3.0, 11);
+        let built = LinearSections::build(&data);
+        let rebuilt =
+            LinearSections::from_parts(built.total_items(), built.parts()).expect("valid parts");
+        assert_eq!(rebuilt.num_sections(), built.num_sections());
+        for ((l0, m0, s0), (l1, m1, s1)) in built.parts().zip(rebuilt.parts()) {
+            assert_eq!(l0, l1);
+            assert_eq!(m0.to_bits(), m1.to_bits());
+            assert_eq!(s0.to_bits(), s1.to_bits());
+        }
+        // And the rebuilt summary replicates bit-identically.
+        let form = Mean.linear_form().expect("mean is linear");
+        for b in 0..16u64 {
+            let a = built.replicate(&mut replicate_rng(7, b), data.len(), form);
+            let b_ = rebuilt.replicate(&mut replicate_rng(7, b), data.len(), form);
+            assert_eq!(a.to_bits(), b_.to_bits());
+        }
+        // Structural invariants are enforced.
+        assert!(LinearSections::from_parts(5, [(4, 0.0, 1.0)]).is_err());
+        assert!(LinearSections::from_parts(1, std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn kary_from_parts_validates_shape() {
+        assert!(KarySections::from_parts(0, 2, 0, std::iter::empty()).is_err());
+        assert!(KarySections::from_parts(1, 0, 0, std::iter::empty()).is_err());
+        assert!(
+            KarySections::from_parts(1, MAX_KARY_COMPONENTS + 1, 0, std::iter::empty()).is_err()
+        );
+        let zero = [0.0; MAX_KARY_COMPONENTS];
+        assert!(
+            KarySections::from_parts(1, 2, 9, [(4, zero, [zero; MAX_KARY_COMPONENTS])]).is_err()
+        );
+        assert!(
+            KarySections::from_parts(1, 2, 4, [(4, zero, [zero; MAX_KARY_COMPONENTS])]).is_ok()
+        );
+    }
+
+    #[test]
+    fn evaluator_results_are_used_verbatim_and_declines_fall_back() {
+        let data = normal_sample(500, 50.0, 5.0, 21);
+        let config = BootstrapConfig::with_resamples(40);
+        let local = bootstrap_distribution(9, &data, &Mean, &config).unwrap();
+
+        // A conforming evaluator (re-running the pure replicate function)
+        // reproduces the local result bit for bit.
+        let conforming: &SectionEvaluator = &|sections, seed, b_start, b_count, size| {
+            Some(
+                (b_start..b_start + b_count)
+                    .map(|b| sections.replicate(&mut replicate_rng(seed, b), size))
+                    .collect(),
+            )
+        };
+        let via = bootstrap_distribution_via(9, &data, &Mean, &config, Some(conforming)).unwrap();
+        assert_eq!(via, local);
+
+        // Declines and wrong-length replies fall back to local evaluation.
+        let declining: &SectionEvaluator = &|_, _, _, _, _| None;
+        let via = bootstrap_distribution_via(9, &data, &Mean, &config, Some(declining)).unwrap();
+        assert_eq!(via, local);
+        let short: &SectionEvaluator = &|_, _, _, _, _| Some(vec![1.0]);
+        let via = bootstrap_distribution_via(9, &data, &Mean, &config, Some(short)).unwrap();
+        assert_eq!(via, local);
+
+        // Non-count-based estimators never consult the evaluator.
+        let poisoned: &SectionEvaluator = &|_, _, _, _, _| Some(vec![f64::NAN; 40]);
+        let gather = bootstrap_distribution(9, &data, &Median, &config).unwrap();
+        let via = bootstrap_distribution_via(9, &data, &Median, &config, Some(poisoned)).unwrap();
+        assert_eq!(via, gather);
     }
 
     #[test]

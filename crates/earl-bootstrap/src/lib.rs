@@ -54,8 +54,9 @@ pub mod ssabe;
 pub use earl_parallel as parallel;
 
 pub use bootstrap::{
-    bootstrap_distribution, BootstrapConfig, BootstrapKernel, BootstrapResult, KarySections,
-    LinearSections, Resampler, ResolvedKernel,
+    bootstrap_distribution, bootstrap_distribution_via, BootstrapConfig, BootstrapKernel,
+    BootstrapResult, BuiltSections, KarySections, LinearSections, Resampler, ResolvedKernel,
+    SectionEvaluator,
 };
 pub use estimators::{
     Accumulator, Estimator, KaryComponents, KaryForm, LinearForm, StreamingStats,

@@ -16,11 +16,13 @@
 //! If the resulting `B·n ≥ N`, early approximation is not worthwhile and EARL
 //! falls back to exact execution over the full data set.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::bootstrap::{
-    bootstrap_distribution, BootstrapConfig, BootstrapKernel, KarySections, LinearSections,
-    Resampler, ResolvedKernel,
+    bootstrap_distribution_via, BootstrapConfig, BootstrapKernel, BuiltSections, Resampler,
+    SectionEvaluator,
 };
 use crate::estimators::{coefficient_of_variation, Estimator, Mean, StdDev};
 use crate::least_squares::{fit_power_law, PowerLawFit};
@@ -130,16 +132,43 @@ pub struct SsabeEstimate {
 }
 
 /// The SSABE estimator.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct Ssabe {
     config: SsabeConfig,
+    /// Optional remote replicate evaluation for the count-based kernel (see
+    /// [`SectionEvaluator`]).  `None` evaluates everything locally; either
+    /// way the estimates are the same pure function of the seed.
+    evaluator: Option<Arc<SectionEvaluator>>,
+}
+
+impl std::fmt::Debug for Ssabe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ssabe")
+            .field("config", &self.config)
+            .field("evaluator", &self.evaluator.as_ref().map(|_| "Fn"))
+            .finish()
+    }
 }
 
 impl Ssabe {
     /// Creates the estimator.
     pub fn new(config: SsabeConfig) -> Result<Self> {
         config.validate()?;
-        Ok(Self { config })
+        Ok(Self {
+            config,
+            evaluator: None,
+        })
+    }
+
+    /// Routes count-based replicate evaluation through `evaluator` (e.g. a
+    /// wire transport shipping the O(√n) section summary to remote workers).
+    /// Both phases use it: B-estimation fetches replicates in growing chunks,
+    /// the ladder fits fetch one batch per level.  A conforming evaluator
+    /// returns the exact bits local evaluation would, so the estimates do not
+    /// depend on where replicates ran; any decline falls back locally.
+    pub fn with_evaluator(mut self, evaluator: Arc<SectionEvaluator>) -> Self {
+        self.evaluator = Some(evaluator);
+        self
     }
 
     /// The configuration in use.
@@ -173,22 +202,7 @@ impl Ssabe {
         // extends the replicate set without redrawing the prefix — the same
         // streams a full parallel bootstrap at any thread count would use.
         let b_seed = derive_seed(seed, B_PHASE);
-        enum Sections {
-            Linear(LinearSections, crate::estimators::LinearForm),
-            Kary(KarySections, crate::estimators::KaryForm),
-        }
-        let sections = match self.config.kernel.resolve_for(estimator) {
-            ResolvedKernel::CountBased => Some(match estimator.linear_form() {
-                Some(form) => Sections::Linear(LinearSections::build(pilot), form),
-                None => {
-                    let form = estimator
-                        .kary_form()
-                        .expect("CountBased resolution implies a linear or k-ary form");
-                    Sections::Kary(KarySections::build(pilot, &form)?, form)
-                }
-            }),
-            _ => None,
-        };
+        let sections = BuiltSections::build_for(pilot, estimator, self.config.kernel)?;
         // The sections path never touches the Resampler — leave it empty
         // (zero allocation) rather than building unused scratch.
         let mut scratch = if sections.is_some() {
@@ -196,16 +210,37 @@ impl Ssabe {
         } else {
             Resampler::for_kernel(pilot.len(), estimator, self.config.kernel)
         };
-        let mut replicate = |i: usize| match &sections {
-            Some(Sections::Linear(sections, form)) => {
-                let mut rng = crate::rng::replicate_rng(b_seed, i as u64);
-                sections.replicate(&mut rng, pilot_records, *form)
+        // Remote evaluation is fetched in fixed-size chunks ahead of the
+        // incremental B growth: replicate i is a pure function of (b_seed, i),
+        // so prefetching past the stopping point changes nothing, and any
+        // decline switches to local evaluation of the same streams.
+        const REMOTE_CHUNK: u64 = 32;
+        let mut fetched: Vec<f64> = Vec::new();
+        let mut remote_live = self.evaluator.is_some() && sections.is_some();
+        let mut replicate = |i: usize| {
+            let Some(built) = &sections else {
+                return scratch.replicate(b_seed, i as u64, pilot, pilot_records, estimator);
+            };
+            if remote_live && i >= fetched.len() {
+                let chunk = self.evaluator.as_ref().and_then(|ev| {
+                    ev(
+                        built,
+                        b_seed,
+                        fetched.len() as u64,
+                        REMOTE_CHUNK,
+                        pilot_records,
+                    )
+                });
+                match chunk {
+                    Some(chunk) if chunk.len() == REMOTE_CHUNK as usize => fetched.extend(chunk),
+                    _ => remote_live = false,
+                }
             }
-            Some(Sections::Kary(sections, form)) => {
-                let mut rng = crate::rng::replicate_rng(b_seed, i as u64);
-                sections.replicate(&mut rng, pilot_records, form)
+            if let Some(&r) = fetched.get(i) {
+                return r;
             }
-            None => scratch.replicate(b_seed, i as u64, pilot, pilot_records, estimator),
+            let mut rng = crate::rng::replicate_rng(b_seed, i as u64);
+            built.replicate(&mut rng, pilot_records)
         };
         // Seed with two replicates (cv needs at least two points).
         let mut replicates: Vec<f64> = vec![replicate(0), replicate(1)];
@@ -264,7 +299,13 @@ impl Ssabe {
             }
             let subsample = &pilot[..ni * stride];
             let level_seed = derive_seed(seed, LADDER_PHASE + i as u64);
-            let result = bootstrap_distribution(level_seed, subsample, estimator, &config)?;
+            let result = bootstrap_distribution_via(
+                level_seed,
+                subsample,
+                estimator,
+                &config,
+                self.evaluator.as_deref(),
+            )?;
             if result.cv.is_finite() && result.cv > 0.0 {
                 ladder.push((ni as u64, result.cv));
             }
@@ -450,6 +491,46 @@ mod tests {
         assert!(est.b >= 5);
         assert!(est.n > 0);
         assert!(est.worthwhile);
+    }
+
+    #[test]
+    fn evaluator_backed_estimates_match_local_ones_bit_for_bit() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let pilot = lognormal_ish(2_048, 13);
+        let ssabe = Ssabe::new(SsabeConfig::new(0.05, 0.01)).unwrap();
+        let local = ssabe.estimate(14, &pilot, &Mean, 10_000_000).unwrap();
+
+        // A conforming evaluator re-runs the pure replicate function — the
+        // estimates must not depend on where replicates were evaluated.
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let conforming: Arc<SectionEvaluator> =
+            Arc::new(move |sections, seed, b_start, b_count, size| {
+                seen.fetch_add(1, Ordering::SeqCst);
+                Some(
+                    (b_start..b_start + b_count)
+                        .map(|b| sections.replicate(&mut crate::rng::replicate_rng(seed, b), size))
+                        .collect(),
+                )
+            });
+        let remote = ssabe
+            .clone()
+            .with_evaluator(conforming)
+            .estimate(14, &pilot, &Mean, 10_000_000)
+            .unwrap();
+        assert_eq!(remote, local);
+        // Phase 1a fetches in chunks, phase 1b once per ladder level.
+        assert!(calls.load(Ordering::SeqCst) >= 2, "evaluator was consulted");
+
+        // A declining evaluator silently falls back to local evaluation.
+        let declining: Arc<SectionEvaluator> = Arc::new(|_, _, _, _, _| None);
+        let fallback = ssabe
+            .clone()
+            .with_evaluator(declining)
+            .estimate(14, &pilot, &Mean, 10_000_000)
+            .unwrap();
+        assert_eq!(fallback, local);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 use std::sync::Arc;
 
 use earl_bootstrap::bootstrap::{
-    bootstrap_distribution, BootstrapConfig, BootstrapResult, LinearSections, ResolvedKernel,
+    bootstrap_distribution_via, BootstrapConfig, BootstrapResult, BuiltSections, LinearSections,
+    ResolvedKernel, SectionEvaluator,
 };
 use earl_bootstrap::delta::{IncrementalBootstrap, SketchConfig};
 use earl_bootstrap::rng::derive_seed;
@@ -29,7 +30,8 @@ use earl_dfs::{Dfs, DfsError, DfsPath};
 use earl_mapreduce::transport::default_transport;
 use earl_mapreduce::{
     ErrorReport, InputSource, JobConf, MapContext, Mapper, MrError, PendingIteration,
-    PipelinedSession, ReduceContext, Reducer, TaskSpec, TaskTransport,
+    PipelinedSession, ReduceContext, Reducer, RemoteSectionsRequest, SectionSummary, TaskSpec,
+    TaskTransport,
 };
 use earl_sampling::SamplingError;
 
@@ -155,6 +157,12 @@ struct Staged {
 /// Multi-column tasks (record stride > 1) always take the fresh path too:
 /// the maintained-resample structure adds and deletes individual *values*,
 /// which would split a record's columns apart.
+/// `evaluator` optionally offloads count-based replicate batches (e.g. to
+/// remote workers holding the provisioned section summary); a conforming
+/// evaluator is bit-identical to local evaluation, so the result — and the
+/// work accounting below, which is defined by the *statistic*, not by where
+/// it ran — is unchanged.
+#[allow(clippy::too_many_arguments)]
 fn accuracy_stage<T: EarlTask>(
     config: &EarlConfig,
     estimator: &TaskEstimator<'_, T>,
@@ -163,6 +171,7 @@ fn accuracy_stage<T: EarlTask>(
     bootstraps: usize,
     iteration: usize,
     incremental: &mut Option<IncrementalBootstrap>,
+    evaluator: Option<&SectionEvaluator>,
 ) -> Result<(BootstrapResult, u64)> {
     let resolved = config.bootstrap_kernel.resolve_for(estimator);
     let stride = estimator.record_stride().max(1);
@@ -195,13 +204,14 @@ fn accuracy_stage<T: EarlTask>(
             }
         }
     } else {
-        let result = bootstrap_distribution(
+        let result = bootstrap_distribution_via(
             derive_seed(config.seed, FRESH_STREAM + iteration as u64),
             values,
             estimator,
             &BootstrapConfig::with_resamples(bootstraps)
                 .with_parallelism(config.parallelism)
                 .with_kernel(config.bootstrap_kernel),
+            evaluator,
         )
         .map_err(EarlError::Stats)?;
         // Work is accounted in records (identical to values for stride 1).
@@ -217,6 +227,87 @@ fn accuracy_stage<T: EarlTask>(
         };
         Ok((result, touched))
     }
+}
+
+/// Converts a locally built section summary into its wire-transferable form.
+///
+/// The forms themselves (function pointers) never travel: workers rebuild
+/// them from the task spec.  K-ary Cholesky factors are packed as the lower
+/// triangle in row-major order, the layout `SectionSummary::Kary` documents.
+fn wire_summary(sections: &BuiltSections) -> SectionSummary {
+    match sections {
+        BuiltSections::Linear(s, _) => SectionSummary::Linear {
+            total_items: s.total_items(),
+            sections: s.parts().collect(),
+        },
+        BuiltSections::Kary(s, _) => {
+            let arity = s.arity();
+            SectionSummary::Kary {
+                stride: s.stride() as u32,
+                arity: arity as u32,
+                total_records: s.total_records(),
+                sections: s
+                    .parts()
+                    .map(|(len, mean, chol)| {
+                        let mut packed = Vec::with_capacity(arity * (arity + 1) / 2);
+                        for (i, row) in chol.iter().enumerate().take(arity) {
+                            packed.extend_from_slice(&row[..=i]);
+                        }
+                        (len, mean[..arity].to_vec(), packed)
+                    })
+                    .collect(),
+            }
+        }
+    }
+}
+
+/// Content address of a section summary: FNV-1a over every count and f64 bit
+/// pattern.  This is the `version` of the `(path, version)` identity the
+/// transport uses to decide whether workers already hold the summary — a
+/// B-growth loop reusing one summary ships it exactly once, while a new
+/// iteration's summary (different sample) re-provisions.
+fn summary_version(summary: &SectionSummary) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    match summary {
+        SectionSummary::Linear {
+            total_items,
+            sections,
+        } => {
+            mix(0);
+            mix(*total_items);
+            for (len, mean, sd) in sections {
+                mix(*len);
+                mix(mean.to_bits());
+                mix(sd.to_bits());
+            }
+        }
+        SectionSummary::Kary {
+            stride,
+            arity,
+            total_records,
+            sections,
+        } => {
+            mix(1);
+            mix(*stride as u64);
+            mix(*arity as u64);
+            mix(*total_records);
+            for (len, means, chol) in sections {
+                mix(*len);
+                for v in means.iter().chain(chol.iter()) {
+                    mix(v.to_bits());
+                }
+            }
+        }
+    }
+    hash
 }
 
 enum Sampler {
@@ -450,6 +541,55 @@ impl EarlDriver {
         }
 
         let estimator = TaskEstimator::new(task);
+
+        // ---- remote section evaluator ---------------------------------------
+        // Count-based bootstrap replicates can run on remote workers: the
+        // transport ships the O(√n) section summary once per version, and
+        // every batch thereafter carries only `(task, path, seed, B-range,
+        // size)`.  Gated on `pipeline_depth <= 1`: under the pipelined
+        // schedule AES overlaps the speculative map phase, and interleaving
+        // section calls with map calls would make per-worker call indices
+        // race-dependent — breaking the deterministic per-(worker, call)
+        // fault plans the chaos suite scripts.  A declined or failed remote
+        // batch falls back to local evaluation inside the bootstrap, which is
+        // bit-identical either way.
+        let section_evaluator: Option<Arc<SectionEvaluator>> = match task.wire_spec() {
+            Some(spec) if !self.transport.is_local() && self.config.pipeline_depth <= 1 => {
+                let transport = self.transport.clone();
+                let sections_path = format!("{}#sections", path.as_str());
+                let max_attempts = self.config.failure_policy.max_attempts().max(1);
+                Some(Arc::new(
+                    move |sections: &BuiltSections,
+                          seed: u64,
+                          b_start: u64,
+                          b_count: u64,
+                          size: usize| {
+                        let summary = wire_summary(sections);
+                        let outcome = transport
+                            .remote_sections(&RemoteSectionsRequest {
+                                spec: &spec,
+                                path: &sections_path,
+                                version: summary_version(&summary),
+                                summary: &summary,
+                                seed,
+                                b_start,
+                                b_count,
+                                size: size as u64,
+                                max_attempts,
+                            })
+                            .ok()?;
+                        // `retries` is deliberately dropped: a conforming
+                        // remote evaluation is content-identical to local, so
+                        // fault-free remote reports stay bit-identical to
+                        // in-process ones; worker deaths still reach the
+                        // simulation through the transport's own reporting.
+                        (outcome.replicates.len() as u64 == b_count).then_some(outcome.replicates)
+                    },
+                ))
+            }
+            _ => None,
+        };
+
         let (bootstraps, target_n, worthwhile) =
             match (self.config.bootstraps, self.config.sample_size) {
                 (Some(b), Some(n)) => (b, n.min(population), (b as u64) * n < population),
@@ -459,7 +599,10 @@ impl EarlDriver {
                         kernel: self.config.bootstrap_kernel,
                         ..SsabeConfig::new(self.config.sigma, self.config.tau)
                     };
-                    let ssabe = Ssabe::new(ssabe_config).map_err(EarlError::Stats)?;
+                    let mut ssabe = Ssabe::new(ssabe_config).map_err(EarlError::Stats)?;
+                    if let Some(evaluator) = &section_evaluator {
+                        ssabe = ssabe.with_evaluator(evaluator.clone());
+                    }
                     match ssabe.estimate(
                         derive_seed(seed, SSABE_STREAM),
                         &values,
@@ -564,6 +707,7 @@ impl EarlDriver {
                     bootstraps,
                     iterations,
                     &mut incremental,
+                    section_evaluator.as_deref(),
                 )?;
                 cluster.charge_reduce_cpu(Phase::AccuracyEstimation, aes_records, task.is_heavy());
 
@@ -676,6 +820,10 @@ impl EarlDriver {
                             bootstraps,
                             iterations,
                             incremental_ref,
+                            // The depth gate above means no evaluator exists
+                            // on this schedule: remote section calls may not
+                            // interleave with the concurrent speculative map.
+                            None,
                         )
                     });
                     let spec_out: Result<Option<Staged>> = if speculate {

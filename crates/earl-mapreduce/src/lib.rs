@@ -47,7 +47,7 @@ pub use runner::{finish_job, run_job, run_job_with_combiner, run_map_phase, MapP
 pub use shuffle::ShuffleOutput;
 pub use transport::{
     InProcess, RemoteMapOutcome, RemoteMapRequest, RemoteReduceOutcome, RemoteReduceRequest,
-    TaskSpec, TaskTransport,
+    RemoteSectionsOutcome, RemoteSectionsRequest, SectionSummary, TaskSpec, TaskTransport,
 };
 pub use types::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 

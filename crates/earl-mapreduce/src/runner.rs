@@ -559,6 +559,13 @@ where
     let Some(source_path) = &conf.source_path else {
         return Ok(None);
     };
+    // Summary-only deployments (workers provisioned with O(√n) section
+    // summaries, never the raw records) cannot resolve offsets remotely;
+    // skipping here keeps the decision deterministic instead of burning a
+    // doomed wire round-trip per task.
+    if !conf.transport.serves_records(source_path.as_str()) {
+        return Ok(None);
+    }
     let mut tasks: Vec<Vec<u64>> = Vec::with_capacity(inputs.len());
     for input in inputs {
         match input {

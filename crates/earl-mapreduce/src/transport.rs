@@ -89,6 +89,91 @@ pub struct RemoteMapOutcome {
     pub retries: u64,
 }
 
+/// Transport-neutral wire form of a count-based bootstrap section summary —
+/// `earl-bootstrap`'s `LinearSections`/`KarySections` flattened to plain data
+/// so the transport layer can ship them without depending on the statistics
+/// crate.  Every `f64` travels bit-for-bit (the codec uses `to_bits`), so a
+/// worker rebuilding the summary replicates bit-identically to the
+/// coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SectionSummary {
+    /// Summary of a scalar linear statistic's base sample.
+    Linear {
+        /// Items summarised (section lengths sum to this).
+        total_items: u64,
+        /// Per-section `(len, mean, within-section sd)`, in section order.
+        sections: Vec<(u64, f64, f64)>,
+    },
+    /// Summary of a k-ary linear statistic's base sample.
+    Kary {
+        /// Values per record in the interleaved sample.
+        stride: u32,
+        /// Components per record (`k`); means/factors carry exactly this many
+        /// entries per dimension.
+        arity: u32,
+        /// Records summarised (section lengths sum to this).
+        total_records: u64,
+        /// Per-section `(len, component means, Cholesky factor)`: `means` has
+        /// `arity` entries, `chol` is the lower triangle in row-major order
+        /// (`arity·(arity+1)/2` entries — row `i` contributes `i + 1`).
+        sections: Vec<(u64, Vec<f64>, Vec<f64>)>,
+    },
+}
+
+impl SectionSummary {
+    /// Number of sections — the O(√n) size driver of the payload.
+    pub fn num_sections(&self) -> usize {
+        match self {
+            SectionSummary::Linear { sections, .. } => sections.len(),
+            SectionSummary::Kary { sections, .. } => sections.len(),
+        }
+    }
+}
+
+/// One remote batch of count-based bootstrap replicates: evaluate replicates
+/// `b ∈ [b_start, b_start + b_count)` of the spec's statistic from the section
+/// summary provisioned under `(path, version)`.  Replicate `b` is a pure
+/// function of `(summary, seed, b, size)`, so any split of a batch across
+/// workers — or a local fallback — produces the same bits.
+#[derive(Debug)]
+pub struct RemoteSectionsRequest<'a> {
+    /// The task whose linear/k-ary form evaluates the replicates.
+    pub spec: &'a TaskSpec,
+    /// Logical path the summary is provisioned under (distinct from any raw
+    /// dataset path; by convention `"<source>#sections"`).
+    pub path: &'a str,
+    /// Monotone identity of the summary at `path`: the transport re-provisions
+    /// workers only when `(path, version)` changes, so a B-growth loop reusing
+    /// one summary ships it exactly once.
+    pub version: u64,
+    /// The summary itself (consulted only when `(path, version)` is new).
+    pub summary: &'a SectionSummary,
+    /// Base RNG seed of the replicate streams.
+    pub seed: u64,
+    /// First replicate index of the batch.
+    pub b_start: u64,
+    /// Number of replicates requested.
+    pub b_count: u64,
+    /// Resample size in records.
+    pub size: u64,
+    /// Maximum executions of any one chunk of the batch before the transport
+    /// gives up (mirrors [`FailurePolicy::max_attempts`]).
+    ///
+    /// [`FailurePolicy::max_attempts`]: crate::FailurePolicy::max_attempts
+    pub max_attempts: u32,
+}
+
+/// What a remote replicate batch produced.
+#[derive(Debug, Clone)]
+pub struct RemoteSectionsOutcome {
+    /// Replicates in `b` order, bit-identical to local evaluation.
+    pub replicates: Vec<f64>,
+    /// Chunk re-dispatches performed after *reported* worker deaths.  Like
+    /// [`RemoteMapOutcome::retries`], transparent same-worker recoveries are
+    /// excluded.
+    pub retries: u64,
+}
+
 /// One remote reduce partition: run the spec's reducer over `groups` (already
 /// grouped and key-ordered by the coordinator's shuffle).
 #[derive(Debug)]
@@ -142,6 +227,28 @@ pub trait TaskTransport: fmt::Debug + Send + Sync {
             "this transport cannot execute remote reduce partitions".into(),
         ))
     }
+
+    /// Whether workers hold the raw records of `path`, i.e. whether
+    /// `remote_map` calls addressing offsets into `path` can succeed.  A
+    /// summary-only deployment (workers provisioned with section summaries but
+    /// never the records) answers `false`, letting the runner skip doomed
+    /// remote map calls deterministically and keep that phase in-process.
+    /// Local transports trivially serve everything the coordinator holds.
+    fn serves_records(&self, path: &str) -> bool {
+        let _ = path;
+        true
+    }
+
+    /// Evaluates one batch of count-based bootstrap replicates remotely.
+    fn remote_sections(
+        &self,
+        request: &RemoteSectionsRequest<'_>,
+    ) -> Result<RemoteSectionsOutcome> {
+        let _ = request;
+        Err(MrError::Transport(
+            "this transport cannot evaluate remote section replicates".into(),
+        ))
+    }
 }
 
 /// The default transport: every task runs on the caller's threads, exactly as
@@ -179,6 +286,26 @@ mod tests {
             max_attempts: 4,
         };
         assert!(matches!(t.remote_reduce(&req), Err(MrError::Transport(_))));
+        assert!(t.serves_records("/data"), "local serves everything");
+        let summary = SectionSummary::Linear {
+            total_items: 2,
+            sections: vec![(2, 1.0, 0.5)],
+        };
+        let req = RemoteSectionsRequest {
+            spec: &spec,
+            path: "/data#sections",
+            version: 1,
+            summary: &summary,
+            seed: 7,
+            b_start: 0,
+            b_count: 4,
+            size: 2,
+            max_attempts: 4,
+        };
+        assert!(matches!(
+            t.remote_sections(&req),
+            Err(MrError::Transport(_))
+        ));
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //! Never raw input data at job time.  Datasets are shipped once at set-up via
 //! [`TcpTransport::provision`] (modelling DFS block placement); map tasks then
 //! carry only record *offsets*, and reduce tasks carry the compact shuffle
-//! groups.  `docs/WIRE_PROTOCOL.md` specifies every frame byte-for-byte.
+//! groups.  Count-based bootstrap work goes further: the coordinator ships
+//! the O(√n) section summary once (`ProvisionSections`) and every replicate
+//! batch thereafter carries only `(task, path, seed, B-range, size)` — the
+//! workers never see a raw record, and a rejoining worker is re-provisioned
+//! in O(√n) bytes.  `docs/WIRE_PROTOCOL.md` specifies every frame
+//! byte-for-byte.
 //!
 //! ## Failure handling
 //!
@@ -90,7 +95,7 @@ pub use chaos::{ChaosDialer, ChaosProxy, ChaosStream, Fault, FaultPlan};
 pub use conn::{Conn, Dialer, TcpDialer};
 pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
 pub use messages::{Message, WIRE_VERSION};
-pub use registry::WireTask;
+pub use registry::{StoredSections, WireTask};
 pub use transport::{RespawnFn, TcpTransport, TcpTransportConfig};
 pub use wire::{WireError, WireReader, WireWriter};
-pub use worker::{run_worker, serve_connection};
+pub use worker::{run_worker, serve_connection, Store};

@@ -9,17 +9,31 @@
 //!   reads exactly one response frame; workers never push unsolicited frames.
 //! * **No raw data at job time**: `MapTask` carries record *offsets* into a
 //!   dataset shipped once via `Provision` at set-up; `ReduceTask` carries the
-//!   compact shuffle groups.  Payloads stay proportional to the sample, not
-//!   the input.
+//!   compact shuffle groups; `SectionTask` carries only `(path, seed,
+//!   B-range, size)` against an O(√n) summary shipped via
+//!   `ProvisionSections`.  Payloads stay proportional to the sample — or its
+//!   square root — not the input.
 //! * **Lossless floats**: every `f64` travels as its IEEE-754 bit pattern, so
 //!   remote results are bit-identical to in-process ones.
+//! * **Fallible encode**: every `u32` count field is range-checked at encode
+//!   time ([`crate::WireWriter::put_len`]); a collection too long for the
+//!   protocol errors out instead of truncating into a corrupt frame.
+
+use earl_mapreduce::SectionSummary;
 
 use crate::wire::{WireError, WireReader, WireWriter};
 
 /// Protocol version carried in the handshake.  A worker refuses to serve a
 /// coordinator speaking a different version (there is no negotiation — both
-/// sides come from the same build in the intended deployment).
-pub const WIRE_VERSION: u32 = 1;
+/// sides come from the same build in the intended deployment).  Version 2
+/// added the section-summary path (`ProvisionSections` / `SectionTask` /
+/// `SectionOk`) and made encoding fallible on count overflow.
+pub const WIRE_VERSION: u32 = 2;
+
+/// Codec-level ceiling on a k-ary summary's arity.  The statistics layer caps
+/// arity much lower (`MAX_KARY_COMPONENTS`); this bound only keeps hostile
+/// arity claims from driving the decoder's per-section size arithmetic.
+const MAX_WIRE_ARITY: u32 = 64;
 
 /// One protocol message (the payload of one frame).
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +110,46 @@ pub enum Message {
         /// Human-readable reason.
         message: String,
     },
+    /// Coordinator → worker: replaces the count-based section summary stored
+    /// at `path` — the O(√n) state that makes job-time bootstrap work carry
+    /// no raw records.  Acknowledged by [`Message::ProvisionAck`] with the
+    /// section count.  Unlike `Provision`, repeats *replace* (a summary is
+    /// one value, not a stream), which is what keeps rejoin replay O(√n).
+    ProvisionSections {
+        /// Summary identifier later referenced by [`Message::SectionTask`].
+        path: String,
+        /// Monotone identity of the summary (the coordinator bumps it when
+        /// the underlying sample changes).
+        version: u64,
+        /// The flattened `LinearSections`/`KarySections` state, bit-lossless.
+        summary: SectionSummary,
+    },
+    /// Coordinator → worker: evaluate count-based bootstrap replicates
+    /// `b ∈ [b_start, b_start + b_count)` of the named task's statistic from
+    /// the summary stored at `path`.  Replicate `b` draws from the RNG stream
+    /// `(seed, b)`, making the reply a pure function of the request and the
+    /// provisioned summary.
+    SectionTask {
+        /// Registry name of the task (resolves the linear/k-ary form).
+        name: String,
+        /// Numeric task parameters.
+        params: Vec<f64>,
+        /// Provisioned summary the replicates evaluate against.
+        path: String,
+        /// Base RNG seed of the replicate streams.
+        seed: u64,
+        /// First replicate index.
+        b_start: u64,
+        /// Number of replicates.
+        b_count: u64,
+        /// Resample size in records.
+        size: u64,
+    },
+    /// Worker → coordinator: a replicate batch's values, in `b` order.
+    SectionOk {
+        /// Replicates, bit-identical to local evaluation of the same streams.
+        replicates: Vec<f64>,
+    },
 }
 
 mod tag {
@@ -111,13 +165,23 @@ mod tag {
     pub const PONG: u8 = 0x0A;
     pub const SHUTDOWN: u8 = 0x0B;
     pub const ERROR: u8 = 0x0C;
+    pub const PROVISION_SECTIONS: u8 = 0x0D;
+    pub const SECTION_TASK: u8 = 0x0E;
+    pub const SECTION_OK: u8 = 0x0F;
 }
 
-fn put_params(w: &mut WireWriter, params: &[f64]) {
-    w.put_u32(params.len() as u32);
+/// Summary-kind discriminants inside a `ProvisionSections` body.
+mod summary_kind {
+    pub const LINEAR: u8 = 0x00;
+    pub const KARY: u8 = 0x01;
+}
+
+fn put_params(w: &mut WireWriter, params: &[f64]) -> Result<(), WireError> {
+    w.put_len(params.len())?;
     for &p in params {
         w.put_f64(p);
     }
+    Ok(())
 }
 
 fn get_params(r: &mut WireReader<'_>) -> Result<Vec<f64>, WireError> {
@@ -129,6 +193,112 @@ fn get_params(r: &mut WireReader<'_>) -> Result<Vec<f64>, WireError> {
     Ok(params)
 }
 
+fn put_summary(w: &mut WireWriter, summary: &SectionSummary) -> Result<(), WireError> {
+    match summary {
+        SectionSummary::Linear {
+            total_items,
+            sections,
+        } => {
+            w.put_u8(summary_kind::LINEAR);
+            w.put_u64(*total_items);
+            w.put_len(sections.len())?;
+            for &(len, mean, sd) in sections {
+                w.put_u64(len);
+                w.put_f64(mean);
+                w.put_f64(sd);
+            }
+        }
+        SectionSummary::Kary {
+            stride,
+            arity,
+            total_records,
+            sections,
+        } => {
+            if *arity == 0 || *arity > MAX_WIRE_ARITY {
+                return Err(WireError(format!(
+                    "arity {arity} is outside the wire range 1..={MAX_WIRE_ARITY}"
+                )));
+            }
+            let tri = (*arity as usize) * (*arity as usize + 1) / 2;
+            w.put_u8(summary_kind::KARY);
+            w.put_u32(*stride);
+            w.put_u32(*arity);
+            w.put_u64(*total_records);
+            w.put_len(sections.len())?;
+            for (len, means, chol) in sections {
+                if means.len() != *arity as usize || chol.len() != tri {
+                    return Err(WireError(format!(
+                        "section shape ({} means, {} factors) disagrees with arity {arity}",
+                        means.len(),
+                        chol.len()
+                    )));
+                }
+                w.put_u64(*len);
+                for &m in means {
+                    w.put_f64(m);
+                }
+                for &c in chol {
+                    w.put_f64(c);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn get_summary(r: &mut WireReader<'_>) -> Result<SectionSummary, WireError> {
+    match r.get_u8()? {
+        summary_kind::LINEAR => {
+            let total_items = r.get_u64()?;
+            let n = r.get_u32()? as usize;
+            let mut sections = Vec::with_capacity(cap(n, r.remaining(), 24));
+            for _ in 0..n {
+                let len = r.get_u64()?;
+                let mean = r.get_f64()?;
+                let sd = r.get_f64()?;
+                sections.push((len, mean, sd));
+            }
+            Ok(SectionSummary::Linear {
+                total_items,
+                sections,
+            })
+        }
+        summary_kind::KARY => {
+            let stride = r.get_u32()?;
+            let arity = r.get_u32()?;
+            if arity == 0 || arity > MAX_WIRE_ARITY {
+                return Err(WireError(format!(
+                    "arity {arity} is outside the wire range 1..={MAX_WIRE_ARITY}"
+                )));
+            }
+            let total_records = r.get_u64()?;
+            let n = r.get_u32()? as usize;
+            let tri = arity as usize * (arity as usize + 1) / 2;
+            let section_bytes = 8 + 8 * (arity as usize + tri);
+            let mut sections = Vec::with_capacity(cap(n, r.remaining(), section_bytes));
+            for _ in 0..n {
+                let len = r.get_u64()?;
+                let mut means = Vec::with_capacity(arity as usize);
+                for _ in 0..arity {
+                    means.push(r.get_f64()?);
+                }
+                let mut chol = Vec::with_capacity(tri);
+                for _ in 0..tri {
+                    chol.push(r.get_f64()?);
+                }
+                sections.push((len, means, chol));
+            }
+            Ok(SectionSummary::Kary {
+                stride,
+                arity,
+                total_records,
+                sections,
+            })
+        }
+        other => Err(WireError(format!("unknown summary kind 0x{other:02X}"))),
+    }
+}
+
 /// Caps a claimed element count by what the remaining payload bytes could
 /// actually hold (at `min_elem_bytes` each), so `Vec::with_capacity` on a
 /// hostile or corrupted frame never reserves more memory than the frame
@@ -138,8 +308,12 @@ fn cap(claimed: usize, remaining: usize, min_elem_bytes: usize) -> usize {
 }
 
 impl Message {
-    /// Encodes the message into one frame payload (tag byte + body).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encodes the message into one frame payload (tag byte + body).  Errors
+    /// — without emitting anything — when a collection exceeds what its `u32`
+    /// count field can describe: a silent `as u32` truncation here would
+    /// produce a structurally corrupt frame whose claimed count disagrees
+    /// with the elements that follow.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut w = WireWriter::new();
         match self {
             Message::Hello { version } => {
@@ -152,11 +326,11 @@ impl Message {
             }
             Message::Provision { path, records } => {
                 w.put_u8(tag::PROVISION);
-                w.put_str(path);
-                w.put_u32(records.len() as u32);
+                w.put_str(path)?;
+                w.put_len(records.len())?;
                 for (offset, line) in records {
                     w.put_u64(*offset);
-                    w.put_str(line);
+                    w.put_str(line)?;
                 }
             }
             Message::ProvisionAck { records } => {
@@ -171,11 +345,11 @@ impl Message {
                 num_shards,
             } => {
                 w.put_u8(tag::MAP_TASK);
-                w.put_str(name);
-                put_params(&mut w, params);
-                w.put_str(path);
+                w.put_str(name)?;
+                put_params(&mut w, params)?;
+                w.put_str(path)?;
                 w.put_u32(*num_shards);
-                w.put_u32(offsets.len() as u32);
+                w.put_len(offsets.len())?;
                 for &offset in offsets {
                     w.put_u64(offset);
                 }
@@ -183,9 +357,9 @@ impl Message {
             Message::MapOk { shards, records } => {
                 w.put_u8(tag::MAP_OK);
                 w.put_u64(*records);
-                w.put_u32(shards.len() as u32);
+                w.put_len(shards.len())?;
                 for shard in shards {
-                    w.put_u32(shard.len() as u32);
+                    w.put_len(shard.len())?;
                     for (key, value) in shard {
                         w.put_u32(*key);
                         w.put_f64(*value);
@@ -198,12 +372,12 @@ impl Message {
                 groups,
             } => {
                 w.put_u8(tag::REDUCE_TASK);
-                w.put_str(name);
-                put_params(&mut w, params);
-                w.put_u32(groups.len() as u32);
+                w.put_str(name)?;
+                put_params(&mut w, params)?;
+                w.put_len(groups.len())?;
                 for (key, values) in groups {
                     w.put_u32(*key);
-                    w.put_u32(values.len() as u32);
+                    w.put_len(values.len())?;
                     for &v in values {
                         w.put_f64(v);
                     }
@@ -211,7 +385,7 @@ impl Message {
             }
             Message::ReduceOk { outputs } => {
                 w.put_u8(tag::REDUCE_OK);
-                w.put_u32(outputs.len() as u32);
+                w.put_len(outputs.len())?;
                 for &v in outputs {
                     w.put_f64(v);
                 }
@@ -221,10 +395,45 @@ impl Message {
             Message::Shutdown => w.put_u8(tag::SHUTDOWN),
             Message::Error { message } => {
                 w.put_u8(tag::ERROR);
-                w.put_str(message);
+                w.put_str(message)?;
+            }
+            Message::ProvisionSections {
+                path,
+                version,
+                summary,
+            } => {
+                w.put_u8(tag::PROVISION_SECTIONS);
+                w.put_str(path)?;
+                w.put_u64(*version);
+                put_summary(&mut w, summary)?;
+            }
+            Message::SectionTask {
+                name,
+                params,
+                path,
+                seed,
+                b_start,
+                b_count,
+                size,
+            } => {
+                w.put_u8(tag::SECTION_TASK);
+                w.put_str(name)?;
+                put_params(&mut w, params)?;
+                w.put_str(path)?;
+                w.put_u64(*seed);
+                w.put_u64(*b_start);
+                w.put_u64(*b_count);
+                w.put_u64(*size);
+            }
+            Message::SectionOk { replicates } => {
+                w.put_u8(tag::SECTION_OK);
+                w.put_len(replicates.len())?;
+                for &v in replicates {
+                    w.put_f64(v);
+                }
             }
         }
-        w.into_bytes()
+        Ok(w.into_bytes())
     }
 
     /// Decodes one frame payload.
@@ -319,6 +528,42 @@ impl Message {
             tag::ERROR => Message::Error {
                 message: r.get_str()?,
             },
+            tag::PROVISION_SECTIONS => {
+                let path = r.get_str()?;
+                let version = r.get_u64()?;
+                let summary = get_summary(&mut r)?;
+                Message::ProvisionSections {
+                    path,
+                    version,
+                    summary,
+                }
+            }
+            tag::SECTION_TASK => {
+                let name = r.get_str()?;
+                let params = get_params(&mut r)?;
+                let path = r.get_str()?;
+                let seed = r.get_u64()?;
+                let b_start = r.get_u64()?;
+                let b_count = r.get_u64()?;
+                let size = r.get_u64()?;
+                Message::SectionTask {
+                    name,
+                    params,
+                    path,
+                    seed,
+                    b_start,
+                    b_count,
+                    size,
+                }
+            }
+            tag::SECTION_OK => {
+                let n = r.get_u32()? as usize;
+                let mut replicates = Vec::with_capacity(cap(n, r.remaining(), 8));
+                for _ in 0..n {
+                    replicates.push(r.get_f64()?);
+                }
+                Message::SectionOk { replicates }
+            }
             other => return Err(WireError(format!("unknown message tag 0x{other:02X}"))),
         };
         if r.remaining() > 0 {
@@ -336,7 +581,7 @@ mod tests {
     use super::*;
 
     fn round_trip(msg: Message) {
-        let decoded = Message::decode(&msg.encode()).unwrap();
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
         assert_eq!(decoded, msg);
     }
 
@@ -378,14 +623,112 @@ mod tests {
         round_trip(Message::Error {
             message: "unknown task".into(),
         });
+        round_trip(Message::ProvisionSections {
+            path: "/data#sections".into(),
+            version: 3,
+            summary: SectionSummary::Linear {
+                total_items: 5,
+                sections: vec![(3, 1.5, 0.25), (2, -0.0, 0.0)],
+            },
+        });
+        round_trip(Message::ProvisionSections {
+            path: "/data#sections".into(),
+            version: 4,
+            summary: SectionSummary::Kary {
+                stride: 2,
+                arity: 2,
+                total_records: 3,
+                sections: vec![(3, vec![1.0, -2.0], vec![0.5, 0.1, 0.4])],
+            },
+        });
+        round_trip(Message::SectionTask {
+            name: "mean".into(),
+            params: vec![],
+            path: "/data#sections".into(),
+            seed: 0xEA21,
+            b_start: 32,
+            b_count: 32,
+            size: 4_000,
+        });
+        round_trip(Message::SectionOk {
+            replicates: vec![1.5, -0.0, f64::NEG_INFINITY],
+        });
     }
 
     #[test]
     fn trailing_garbage_and_unknown_tags_are_rejected() {
-        let mut bytes = Message::Ping.encode();
+        let mut bytes = Message::Ping.encode().unwrap();
         bytes.push(0);
         assert!(Message::decode(&bytes).is_err());
         assert!(Message::decode(&[0xFF]).is_err());
         assert!(Message::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn summary_floats_round_trip_bit_for_bit() {
+        // NaN, negative zero and infinities must survive the wire exactly:
+        // the replicate streams a worker derives from a rebuilt summary have
+        // to be bit-identical to the coordinator's.
+        let summary = SectionSummary::Kary {
+            stride: 2,
+            arity: 2,
+            total_records: 4,
+            sections: vec![(4, vec![f64::NAN, -0.0], vec![f64::INFINITY, -0.0, 1.0e-308])],
+        };
+        let msg = Message::ProvisionSections {
+            path: "/bits".into(),
+            version: 1,
+            summary,
+        };
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        let Message::ProvisionSections {
+            summary: SectionSummary::Kary { sections, .. },
+            ..
+        } = decoded
+        else {
+            panic!("wrong variant");
+        };
+        let (len, means, chol) = &sections[0];
+        assert_eq!(*len, 4);
+        assert_eq!(means[0].to_bits(), f64::NAN.to_bits());
+        assert_eq!(means[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(chol[0].to_bits(), f64::INFINITY.to_bits());
+        assert_eq!(chol[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(chol[2].to_bits(), 1.0e-308f64.to_bits());
+    }
+
+    #[test]
+    fn malformed_summaries_are_rejected_on_both_sides() {
+        // Encode: section shape disagreeing with the claimed arity.
+        let bad = Message::ProvisionSections {
+            path: "/bad".into(),
+            version: 1,
+            summary: SectionSummary::Kary {
+                stride: 1,
+                arity: 2,
+                total_records: 1,
+                sections: vec![(1, vec![1.0], vec![0.5])],
+            },
+        };
+        assert!(bad.encode().is_err());
+        // Encode: arity outside the wire range.
+        let bad = Message::ProvisionSections {
+            path: "/bad".into(),
+            version: 1,
+            summary: SectionSummary::Kary {
+                stride: 1,
+                arity: MAX_WIRE_ARITY + 1,
+                total_records: 0,
+                sections: vec![],
+            },
+        };
+        assert!(bad.encode().is_err());
+        // Decode: unknown summary kind byte.
+        let mut w = WireWriter::new();
+        w.put_u8(tag::PROVISION_SECTIONS);
+        w.put_str("/bad").unwrap();
+        w.put_u64(1);
+        w.put_u8(0x7F);
+        assert!(Message::decode(&w.into_bytes()).is_err());
     }
 }

@@ -12,6 +12,10 @@
 //! here (plus its `wire_spec()` override in `earl-core`) is all it takes to
 //! run it on a real cluster.
 
+use earl_bootstrap::rng::replicate_rng;
+use earl_bootstrap::{
+    KaryComponents, KaryForm, KarySections, LinearForm, LinearSections, MAX_KARY_COMPONENTS,
+};
 use earl_core::driver::{TaskMapper, TaskReducer};
 use earl_core::task::EarlTask;
 use earl_core::tasks::{
@@ -19,8 +23,87 @@ use earl_core::tasks::{
     VarianceTask,
 };
 use earl_mapreduce::{
-    HashPartitioner, MapContext, Mapper, Partitioner, ReduceContext, Reducer, TaskSpec,
+    HashPartitioner, MapContext, Mapper, Partitioner, ReduceContext, Reducer, SectionSummary,
+    TaskSpec,
 };
+
+/// Hard ceiling on the replicates one `SectionTask` may request, so a corrupt
+/// or hostile `b_count` cannot drive an unbounded evaluation loop.  Far above
+/// any real batch (the coordinator fans out chunks of at most a few thousand).
+const MAX_REPLICATES_PER_CALL: u64 = 1 << 20;
+
+/// A count-based section summary rebuilt worker-side from its wire form —
+/// the O(√n) state a near-stateless worker holds instead of raw records.
+#[derive(Debug, Clone)]
+pub enum StoredSections {
+    /// Scalar linear summary ([`LinearSections`]).
+    Linear(LinearSections),
+    /// K-ary summary with per-section Cholesky factors ([`KarySections`]).
+    Kary(KarySections),
+}
+
+impl StoredSections {
+    /// Rebuilds the statistics-layer summary from its transport-neutral wire
+    /// form, re-validating the structural invariants (`from_parts` re-checks
+    /// section-length sums, arity and stride), so a malformed provision is
+    /// refused at store time rather than poisoning later replicate calls.
+    pub fn from_summary(summary: &SectionSummary) -> Result<Self, String> {
+        match summary {
+            SectionSummary::Linear {
+                total_items,
+                sections,
+            } => LinearSections::from_parts(*total_items, sections.iter().copied())
+                .map(StoredSections::Linear)
+                .map_err(|e| e.to_string()),
+            SectionSummary::Kary {
+                stride,
+                arity,
+                total_records,
+                sections,
+            } => {
+                let arity_us = *arity as usize;
+                if arity_us == 0 || arity_us > MAX_KARY_COMPONENTS {
+                    return Err(format!(
+                        "arity {arity} is outside 1..={MAX_KARY_COMPONENTS}"
+                    ));
+                }
+                let tri = arity_us * (arity_us + 1) / 2;
+                let mut parts = Vec::with_capacity(sections.len());
+                for (len, means, chol) in sections {
+                    if means.len() != arity_us || chol.len() != tri {
+                        return Err(format!(
+                            "section shape ({} means, {} factors) disagrees with arity {arity}",
+                            means.len(),
+                            chol.len()
+                        ));
+                    }
+                    let mut mean: KaryComponents = [0.0; MAX_KARY_COMPONENTS];
+                    mean[..arity_us].copy_from_slice(means);
+                    // Unpack the row-major lower triangle (row i carries i+1
+                    // entries) back into the padded square factor.
+                    let mut factor = [[0.0; MAX_KARY_COMPONENTS]; MAX_KARY_COMPONENTS];
+                    let mut at = 0;
+                    for (i, row) in factor.iter_mut().enumerate().take(arity_us) {
+                        row[..=i].copy_from_slice(&chol[at..at + i + 1]);
+                        at += i + 1;
+                    }
+                    parts.push((*len, mean, factor));
+                }
+                KarySections::from_parts(*stride as usize, arity_us, *total_records, parts)
+                    .map(StoredSections::Kary)
+                    .map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    /// Number of sections held.
+    pub fn num_sections(&self) -> usize {
+        match self {
+            StoredSections::Linear(s) => s.num_sections(),
+            StoredSections::Kary(s) => s.num_sections(),
+        }
+    }
+}
 
 /// A task reconstructed from a [`TaskSpec`], ready to execute worker-side.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +161,90 @@ impl WireTask {
             WireTask::Max => map_with(&MaxTask, records, num_shards),
             WireTask::Quantile(q) => map_with(&QuantileTask::new(*q), records, num_shards),
         }
+    }
+
+    /// The task's scalar linear form, when its statistic declares one.
+    fn linear_form(&self) -> Option<LinearForm> {
+        match self {
+            WireTask::Mean => MeanTask.linear_form(),
+            WireTask::Sum => SumTask.linear_form(),
+            WireTask::Count => CountTask.linear_form(),
+            WireTask::Variance => VarianceTask.linear_form(),
+            WireTask::StdDev => StdDevTask.linear_form(),
+            WireTask::Median => MedianTask.linear_form(),
+            WireTask::Min => MinTask.linear_form(),
+            WireTask::Max => MaxTask.linear_form(),
+            WireTask::Quantile(q) => QuantileTask::new(*q).linear_form(),
+        }
+    }
+
+    /// The task's k-ary form, when its statistic declares one.
+    fn kary_form(&self) -> Option<KaryForm> {
+        match self {
+            WireTask::Mean => MeanTask.kary_form(),
+            WireTask::Sum => SumTask.kary_form(),
+            WireTask::Count => CountTask.kary_form(),
+            WireTask::Variance => VarianceTask.kary_form(),
+            WireTask::StdDev => StdDevTask.kary_form(),
+            WireTask::Median => MedianTask.kary_form(),
+            WireTask::Min => MinTask.kary_form(),
+            WireTask::Max => MaxTask.kary_form(),
+            WireTask::Quantile(q) => QuantileTask::new(*q).kary_form(),
+        }
+    }
+
+    /// Evaluates count-based bootstrap replicates `b ∈ [b_start, b_start +
+    /// b_count)` of this task's statistic from a stored summary.  Replicate
+    /// `b` draws from the stream `replicate_rng(seed, b)` — exactly the stream
+    /// the coordinator's local kernel would use — so the result is
+    /// bit-identical to in-process evaluation regardless of how a batch is
+    /// split across workers.
+    pub fn run_sections(
+        &self,
+        sections: &StoredSections,
+        seed: u64,
+        b_start: u64,
+        b_count: u64,
+        size: u64,
+    ) -> Result<Vec<f64>, String> {
+        if b_count > MAX_REPLICATES_PER_CALL {
+            return Err(format!(
+                "{b_count} replicates exceed the per-call limit of {MAX_REPLICATES_PER_CALL}"
+            ));
+        }
+        let size = usize::try_from(size).map_err(|_| format!("resample size {size} overflows"))?;
+        let mut out = Vec::with_capacity(b_count as usize);
+        match sections {
+            StoredSections::Linear(s) => {
+                let form = self
+                    .linear_form()
+                    .ok_or_else(|| format!("task {self:?} has no linear form"))?;
+                for i in 0..b_count {
+                    let mut rng = replicate_rng(seed, b_start + i);
+                    out.push(s.replicate(&mut rng, size, form));
+                }
+            }
+            StoredSections::Kary(s) => {
+                let form = self
+                    .kary_form()
+                    .ok_or_else(|| format!("task {self:?} has no k-ary form"))?;
+                if form.arity() != s.arity() || form.stride() != s.stride() {
+                    return Err(format!(
+                        "summary shape (arity {}, stride {}) disagrees with the task's form \
+                         (arity {}, stride {})",
+                        s.arity(),
+                        s.stride(),
+                        form.arity(),
+                        form.stride()
+                    ));
+                }
+                for i in 0..b_count {
+                    let mut rng = replicate_rng(seed, b_start + i);
+                    out.push(s.replicate(&mut rng, size, &form));
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Runs the task's real reducer over `(key, values)` groups, returning one
@@ -195,5 +362,55 @@ mod tests {
         assert_eq!(WireTask::Sum.run_reduce(&groups), vec![6.0]);
         assert_eq!(WireTask::Max.run_reduce(&groups), vec![3.0]);
         assert_eq!(WireTask::Quantile(0.5).run_reduce(&groups), vec![2.0]);
+    }
+
+    #[test]
+    fn section_replicates_match_direct_kernel_evaluation_bit_for_bit() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 17) as f64 * 0.75 - 3.0).collect();
+        let built = LinearSections::build(&data);
+        let summary = SectionSummary::Linear {
+            total_items: built.total_items(),
+            sections: built.parts().collect(),
+        };
+        let stored = StoredSections::from_summary(&summary).unwrap();
+        assert_eq!(stored.num_sections(), built.num_sections());
+        let got = WireTask::Mean
+            .run_sections(&stored, 0xEA21, 5, 40, data.len() as u64)
+            .unwrap();
+        let form = MeanTask.linear_form().unwrap();
+        for (i, v) in got.iter().enumerate() {
+            let mut rng = replicate_rng(0xEA21, 5 + i as u64);
+            let want = built.replicate(&mut rng, data.len(), form);
+            assert_eq!(v.to_bits(), want.to_bits(), "replicate {i}");
+        }
+    }
+
+    #[test]
+    fn malformed_summaries_and_formless_tasks_are_refused() {
+        // Lengths not summing to the claimed total.
+        let bad = SectionSummary::Linear {
+            total_items: 10,
+            sections: vec![(3, 0.0, 1.0)],
+        };
+        assert!(StoredSections::from_summary(&bad).is_err());
+        // Section shape disagreeing with the claimed arity.
+        let bad = SectionSummary::Kary {
+            stride: 1,
+            arity: 2,
+            total_records: 1,
+            sections: vec![(1, vec![1.0], vec![0.5])],
+        };
+        assert!(StoredSections::from_summary(&bad).is_err());
+        // Median has no linear form: the worker must refuse, not guess.
+        let ok = SectionSummary::Linear {
+            total_items: 3,
+            sections: vec![(3, 1.0, 0.5)],
+        };
+        let stored = StoredSections::from_summary(&ok).unwrap();
+        assert!(WireTask::Median.run_sections(&stored, 1, 0, 4, 3).is_err());
+        // Hostile replicate counts are bounded.
+        assert!(WireTask::Mean
+            .run_sections(&stored, 1, 0, u64::MAX, 3)
+            .is_err());
     }
 }

@@ -34,7 +34,7 @@
 use std::fmt;
 use std::io;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,17 +42,13 @@ use earl_cluster::{Cluster, NodeId};
 use earl_dfs::{Dfs, DfsPath};
 use earl_mapreduce::{
     MrError, RemoteMapOutcome, RemoteMapRequest, RemoteReduceOutcome, RemoteReduceRequest,
-    TaskTransport,
+    RemoteSectionsOutcome, RemoteSectionsRequest, SectionSummary, TaskTransport,
 };
 use parking_lot::Mutex;
 
 use crate::conn::{Conn, Dialer, TcpDialer};
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, write_frame, MAX_FRAME_LEN};
 use crate::messages::{Message, WIRE_VERSION};
-
-/// Records per `Provision` frame: keeps frames far below `MAX_FRAME_LEN` even
-/// for long lines, and exercises the multi-batch path in ordinary tests.
-const PROVISION_BATCH: usize = 4096;
 
 /// Cap on the backoff between dial attempts inside [`TcpTransport::connect`].
 const CONNECT_BACKOFF_CAP: Duration = Duration::from_secs(1);
@@ -95,12 +91,18 @@ pub struct TcpTransportConfig {
     pub rejoin_backoff: Duration,
     /// Upper bound on the exponential rejoin backoff.
     pub rejoin_backoff_cap: Duration,
+    /// Target encoded-payload size of one `Provision` frame, in bytes.
+    /// Batching is by *bytes*, not record count: a batch is flushed before a
+    /// record would push the frame past this budget, so frames stay bounded
+    /// regardless of line length.  A single record too large for
+    /// [`MAX_FRAME_LEN`] — budget or not — is a hard provisioning error.
+    pub provision_budget: usize,
 }
 
 impl TcpTransportConfig {
     /// The default knobs with the given heartbeat: one transparent revive per
     /// call, connect-time dial retries, 50 ms rejoin backoff capped at 5 s,
-    /// and no call deadline.
+    /// no call deadline, and 8 MiB provision frames.
     pub fn with_heartbeat(heartbeat: Duration) -> Self {
         Self {
             heartbeat,
@@ -110,6 +112,7 @@ impl TcpTransportConfig {
             redials_per_call: 1,
             rejoin_backoff: Duration::from_millis(50),
             rejoin_backoff_cap: Duration::from_secs(5),
+            provision_budget: 8 * 1024 * 1024,
         }
     }
 }
@@ -120,8 +123,24 @@ impl Default for TcpTransportConfig {
     }
 }
 
-/// One provisioned dataset as shipped on the wire: `(path, records)`.
-type ProvisionedDataset = (String, Vec<(u64, String)>);
+/// What the coordinator retained about one provisioned path, so a rejoining
+/// worker can be brought back up to date.
+#[derive(Debug, Clone)]
+enum ProvisionPayload {
+    /// Raw `(offset, line)` records — `Provision` frames append worker-side,
+    /// so replaying every retained batch reconstructs the dataset.
+    Records(Vec<(u64, String)>),
+    /// An O(√n) section summary — `ProvisionSections` replaces worker-side,
+    /// so only the *latest* version is retained (and replayed on rejoin:
+    /// this is what makes summary-only rejoin re-provisioning O(√n)).
+    Sections {
+        version: u64,
+        summary: SectionSummary,
+    },
+}
+
+/// One provisioned path as retained for replay: `(path, payload)`.
+type ProvisionedDataset = (String, ProvisionPayload);
 
 #[derive(Debug)]
 struct WorkerConn {
@@ -155,10 +174,16 @@ pub struct TcpTransport {
     /// Map tasks + reduce partitions served remotely (observability: proves a
     /// job actually exercised the wire rather than falling back in-process).
     remote_calls: AtomicUsize,
+    /// Section-replicate batches served remotely (the wire-v2 path).
+    section_calls: AtomicUsize,
     /// Transparent same-call revives (reconnects invisible to the simulation).
     revives: AtomicUsize,
     /// Reported-dead workers returned to service at a call boundary.
     rejoins: AtomicUsize,
+    /// Encoded payload bytes replayed to workers during revives — the cost of
+    /// bringing a reconnected worker back up to date.  Summary-only datasets
+    /// keep this O(√n); tests gate the rejoin bound on this counter.
+    reprovision_bytes: AtomicU64,
 }
 
 impl fmt::Debug for TcpTransport {
@@ -177,9 +202,14 @@ impl TcpTransport {
     /// Connects to workers at `addrs` with the default knobs and the given
     /// heartbeat, performing the version handshake with each.
     ///
-    /// Each worker is mapped onto a simulated node of `cluster`
-    /// (`available_nodes()[i % available]`), so a real worker's death can be
-    /// reported as that node's failure.
+    /// Each worker is pinned onto a simulated node of `cluster` — worker `i`
+    /// onto `nodes()[i % num_nodes]`, over the *full* stable node list — so a
+    /// real worker's death can be reported as that node's failure.  Pinning
+    /// against the full list (not the currently-available subset) keeps the
+    /// worker→node mapping independent of which nodes happen to be up at
+    /// connect time: two workers never collide on one node (for `workers ≤
+    /// nodes`) and deaths/recoveries are always reported against the same
+    /// node across the transport's lifetime.
     pub fn connect(
         cluster: Cluster,
         addrs: &[SocketAddr],
@@ -216,13 +246,17 @@ impl TcpTransport {
                 "at least one worker address is required",
             ));
         }
-        let available = cluster.available_nodes();
-        if available.is_empty() {
+        if cluster.available_nodes().is_empty() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "cluster has no available nodes to map workers onto",
             ));
         }
+        // Pin each worker to a node of the *stable* full node list.  Indexing
+        // the available subset instead would remap — and collide — workers
+        // whenever a node happens to be down at connect time, mis-attributing
+        // every later death and recovery report.
+        let nodes = cluster.nodes();
         let transport = Self {
             cluster,
             dialer,
@@ -232,8 +266,10 @@ impl TcpTransport {
             respawn: Mutex::new(None),
             next_reducer: AtomicUsize::new(0),
             remote_calls: AtomicUsize::new(0),
+            section_calls: AtomicUsize::new(0),
             revives: AtomicUsize::new(0),
             rejoins: AtomicUsize::new(0),
+            reprovision_bytes: AtomicU64::new(0),
         };
         {
             let mut workers = transport.workers.lock();
@@ -244,7 +280,7 @@ impl TcpTransport {
                 handshake(&mut conn)?;
                 workers.push(WorkerConn {
                     addr,
-                    node: available[i % available.len()],
+                    node: nodes[i % nodes.len()].id(),
                     conn: Some(conn),
                     dead_reported: false,
                     rejoin_attempts: 0,
@@ -280,25 +316,55 @@ impl TcpTransport {
             .export_records(path.clone())
             .map_err(|e| io::Error::new(io::ErrorKind::NotFound, e.to_string()))?;
         let path = path.as_str().to_owned();
+        // Pre-flight: a single record too large for one frame can never be
+        // shipped, by any batching.  Fail before the dataset is retained or
+        // any connection is touched — otherwise every future revive would
+        // replay the poisoned dataset and take the worker down with it.
+        let frame_overhead = 1 + 4 + path.len() + 4;
+        for (offset, line) in &records {
+            let cost = 8 + 4 + line.len();
+            if frame_overhead + cost > MAX_FRAME_LEN as usize {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "record at offset {offset} of {path:?} is {cost} bytes on the wire, \
+                         which exceeds the {MAX_FRAME_LEN}-byte frame limit"
+                    ),
+                ));
+            }
+        }
+        let payload = ProvisionPayload::Records(records);
         self.provisioned
             .lock()
-            .push((path.clone(), records.clone()));
+            .push((path.clone(), payload.clone()));
         let mut workers = self.workers.lock();
+        self.ship_to_all(&mut workers, &path, &payload)
+    }
+
+    /// Ships one payload to every live worker.  A worker that drops mid-ship
+    /// gets one transparent revive (which replays every retained dataset,
+    /// including this one); if that fails too it is declared dead and shipping
+    /// continues with the rest of the pool.  Errs only when *no* worker holds
+    /// the payload.
+    fn ship_to_all(
+        &self,
+        workers: &mut [WorkerConn],
+        path: &str,
+        payload: &ProvisionPayload,
+    ) -> io::Result<()> {
         let mut delivered = 0usize;
         let mut last_err: Option<io::Error> = None;
         for wi in 0..workers.len() {
             if workers[wi].conn.is_none() {
                 continue;
             }
-            match self.provision_conn(&mut workers[wi], &path, &records) {
-                Ok(()) => delivered += 1,
+            match self.provision_conn(&mut workers[wi], path, payload) {
+                Ok(_bytes) => delivered += 1,
                 Err(e) => {
                     workers[wi].conn = None;
                     // One transparent revive; it replays every retained
                     // dataset, including the one that just failed mid-ship.
-                    if self.config.redials_per_call > 0
-                        && self.revive(wi, &mut workers, None).is_ok()
-                    {
+                    if self.config.redials_per_call > 0 && self.revive(wi, workers, None).is_ok() {
                         delivered += 1;
                     } else {
                         self.declare_dead(&mut workers[wi]);
@@ -341,6 +407,19 @@ impl TcpTransport {
         self.remote_calls.load(Ordering::Relaxed)
     }
 
+    /// Number of section-replicate batches served over the wire so far (the
+    /// summary-only path of wire protocol v2).
+    pub fn section_calls(&self) -> usize {
+        self.section_calls.load(Ordering::Relaxed)
+    }
+
+    /// Encoded payload bytes replayed to workers during revives/rejoins —
+    /// what it cost to bring reconnected workers back up to date.  For
+    /// summary-only datasets this grows by O(√n) per rejoin, not O(n).
+    pub fn reprovision_bytes(&self) -> u64 {
+        self.reprovision_bytes.load(Ordering::Relaxed)
+    }
+
     /// Transparent revives performed: reconnects that resent the in-flight
     /// request on the same worker without the simulation observing anything.
     pub fn revives(&self) -> usize {
@@ -377,7 +456,9 @@ impl TcpTransport {
         let mut workers = self.workers.lock();
         for worker in workers.iter_mut() {
             if let Some(conn) = worker.conn.as_mut() {
-                let _ = write_frame(conn, &Message::Shutdown.encode());
+                if let Ok(bytes) = Message::Shutdown.encode() {
+                    let _ = write_frame(conn, &bytes);
+                }
             }
             worker.conn = None;
         }
@@ -479,13 +560,19 @@ impl TcpTransport {
         handshake(&mut conn)?;
         worker.conn = Some(conn);
         // A fresh connection starts with an empty worker-side store: replay
-        // every dataset so job-time offsets keep resolving.
+        // every retained payload so job-time offsets and section paths keep
+        // resolving.  The replayed bytes are the observable re-provisioning
+        // cost — O(√n) per summary, O(n) only when raw records were shipped.
         let provisioned = self.provisioned.lock();
-        for (path, records) in provisioned.iter() {
-            let outcome = self.provision_conn(worker, path, records);
-            if outcome.is_err() {
-                worker.conn = None;
-                return outcome;
+        for (path, payload) in provisioned.iter() {
+            match self.provision_conn(worker, path, payload) {
+                Ok(bytes) => {
+                    self.reprovision_bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    worker.conn = None;
+                    return Err(e);
+                }
             }
         }
         drop(provisioned);
@@ -500,44 +587,86 @@ impl TcpTransport {
         Ok(())
     }
 
-    /// Ships one dataset over one worker connection, in batches.
+    /// Ships one payload over one worker connection, returning the encoded
+    /// payload bytes sent.  Record datasets go out in byte-budgeted batches;
+    /// section summaries are one frame (their whole point is being O(√n)).
     fn provision_conn(
         &self,
         worker: &mut WorkerConn,
         path: &str,
-        records: &[(u64, String)],
-    ) -> io::Result<()> {
+        payload: &ProvisionPayload,
+    ) -> io::Result<u64> {
         let conn = worker
             .conn
             .as_mut()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "worker not connected"))?;
         conn.set_read_timeout(Some(self.config.heartbeat))?;
         conn.set_write_timeout(Some(self.config.heartbeat))?;
-        let mut batches: Vec<&[(u64, String)]> = records.chunks(PROVISION_BATCH.max(1)).collect();
-        if batches.is_empty() {
-            // Empty dataset: still register the path so MapTask lookups
-            // succeed.
-            batches.push(&[]);
-        }
-        for batch in batches {
-            let msg = Message::Provision {
-                path: path.to_owned(),
-                records: batch.to_vec(),
-            };
-            match call(conn, &msg)? {
-                Message::ProvisionAck { .. } => {}
-                Message::Error { message } => {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, message))
+        let mut bytes_sent = 0u64;
+        match payload {
+            ProvisionPayload::Records(records) => {
+                // Encoded cost of an empty Provision frame for this path
+                // (tag + path + record count)…
+                let frame_overhead = 1 + 4 + path.len() + 4;
+                // …and of one record within it (offset + line length + line).
+                let record_cost = |line: &str| 8 + 4 + line.len();
+                // Clamped into [one record, MAX_FRAME_LEN] so a misconfigured
+                // budget can neither stall (never flushing a record) nor
+                // produce an illegal oversized frame.
+                let budget = self
+                    .config
+                    .provision_budget
+                    .max(frame_overhead + 1)
+                    .min(MAX_FRAME_LEN as usize);
+                let mut batch: Vec<(u64, String)> = Vec::new();
+                let mut batch_bytes = frame_overhead;
+                let mut sent_any = false;
+                let flush = |batch: &mut Vec<(u64, String)>,
+                             batch_bytes: &mut usize,
+                             conn: &mut Box<dyn Conn>|
+                 -> io::Result<u64> {
+                    let msg = Message::Provision {
+                        path: path.to_owned(),
+                        records: std::mem::take(batch),
+                    };
+                    *batch_bytes = frame_overhead;
+                    provision_exchange(conn, &msg)
+                };
+                for (offset, line) in records {
+                    let cost = record_cost(line);
+                    if frame_overhead + cost > MAX_FRAME_LEN as usize {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!(
+                                "record at offset {offset} of {path:?} is {} bytes on the wire, \
+                                 which exceeds the {MAX_FRAME_LEN}-byte frame limit",
+                                cost
+                            ),
+                        ));
+                    }
+                    if !batch.is_empty() && batch_bytes + cost > budget {
+                        bytes_sent += flush(&mut batch, &mut batch_bytes, conn)?;
+                        sent_any = true;
+                    }
+                    batch.push((*offset, line.clone()));
+                    batch_bytes += cost;
                 }
-                other => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected provision reply: {other:?}"),
-                    ))
+                // Final batch — also sent when the dataset is empty, so the
+                // path still registers and MapTask lookups succeed.
+                if !batch.is_empty() || !sent_any {
+                    bytes_sent += flush(&mut batch, &mut batch_bytes, conn)?;
                 }
             }
+            ProvisionPayload::Sections { version, summary } => {
+                let msg = Message::ProvisionSections {
+                    path: path.to_owned(),
+                    version: *version,
+                    summary: summary.clone(),
+                };
+                bytes_sent += provision_exchange(conn, &msg)?;
+            }
         }
-        Ok(())
+        Ok(bytes_sent)
     }
 
     /// Declares a worker dead: drops its connection, reports its simulated
@@ -659,6 +788,49 @@ impl TcpTransport {
             }
         }
     }
+
+    /// Makes `(path, version)` of the request the summary every worker holds:
+    /// a no-op when the retained entry already carries that version (rejoin
+    /// replay keeps recovering workers current), otherwise the retained entry
+    /// is replaced and shipped to every live worker.  One summary, shipped
+    /// once per version — the B-growth loop reuses it for free.
+    fn ensure_sections(
+        &self,
+        workers: &mut [WorkerConn],
+        request: &RemoteSectionsRequest<'_>,
+    ) -> io::Result<()> {
+        let payload = {
+            let mut provisioned = self.provisioned.lock();
+            let existing = provisioned.iter_mut().find(|(p, payload)| {
+                p == request.path && matches!(payload, ProvisionPayload::Sections { .. })
+            });
+            match existing {
+                Some((_, ProvisionPayload::Sections { version, .. }))
+                    if *version == request.version =>
+                {
+                    return Ok(());
+                }
+                Some((_, payload)) => {
+                    *payload = ProvisionPayload::Sections {
+                        version: request.version,
+                        summary: request.summary.clone(),
+                    };
+                    payload.clone()
+                }
+                None => {
+                    let payload = ProvisionPayload::Sections {
+                        version: request.version,
+                        summary: request.summary.clone(),
+                    };
+                    provisioned.push((request.path.to_owned(), payload.clone()));
+                    payload
+                }
+            }
+            // The provisioned lock is released here, before any shipping:
+            // a mid-ship revive replays the retained list and must re-lock it.
+        };
+        self.ship_to_all(workers, request.path, &payload)
+    }
 }
 
 impl TaskTransport for TcpTransport {
@@ -746,6 +918,72 @@ impl TaskTransport for TcpTransport {
         };
         Ok(RemoteReduceOutcome { outputs, retries })
     }
+
+    fn serves_records(&self, path: &str) -> bool {
+        self.provisioned
+            .lock()
+            .iter()
+            .any(|(p, payload)| p == path && matches!(payload, ProvisionPayload::Records(_)))
+    }
+
+    fn remote_sections(
+        &self,
+        request: &RemoteSectionsRequest<'_>,
+    ) -> earl_mapreduce::Result<RemoteSectionsOutcome> {
+        self.section_calls.fetch_add(1, Ordering::Relaxed);
+        let mut workers = self.workers.lock();
+        // Remote-call boundary, exactly like map/reduce: recovered workers
+        // rejoin at a deterministic position in the call sequence.
+        self.try_rejoins(&mut workers);
+        let live = workers.iter().filter(|w| w.conn.is_some()).count();
+        if live == 0 {
+            return Err(MrError::Transport("no live workers".into()));
+        }
+        self.ensure_sections(&mut workers, request)
+            .map_err(|e| MrError::Transport(e.to_string()))?;
+        let live = workers.iter().filter(|w| w.conn.is_some()).count().max(1);
+        // Contiguous replicate chunks, one per live worker; concatenating in
+        // chunk order reproduces `b` order.  Each replicate is a pure function
+        // of `(summary, seed, b, size)`, so the split cannot perturb bits.
+        let chunk_len = request.b_count.div_ceil(live as u64).max(1);
+        let end = request.b_start.saturating_add(request.b_count);
+        let mut replicates = Vec::with_capacity(request.b_count as usize);
+        let mut retries = 0u64;
+        let mut start = request.b_start;
+        let mut ci = 0usize;
+        while start < end {
+            let count = chunk_len.min(end - start);
+            let msg = Message::SectionTask {
+                name: request.spec.name.clone(),
+                params: request.spec.params.clone(),
+                path: request.path.to_owned(),
+                seed: request.seed,
+                b_start: start,
+                b_count: count,
+                size: request.size,
+            };
+            let (reply, r) = self.dispatch(&mut workers, ci, &msg, request.max_attempts)?;
+            retries += r;
+            let Message::SectionOk { replicates: chunk } = reply else {
+                return Err(MrError::Transport(format!(
+                    "unexpected section reply: {reply:?}"
+                )));
+            };
+            if chunk.len() as u64 != count {
+                return Err(MrError::Transport(format!(
+                    "worker returned {} replicates, expected {count}",
+                    chunk.len()
+                )));
+            }
+            replicates.extend(chunk);
+            start += count;
+            ci += 1;
+        }
+        Ok(RemoteSectionsOutcome {
+            replicates,
+            retries,
+        })
+    }
 }
 
 /// The exponential backoff after `attempts` consecutive failures.
@@ -758,9 +996,32 @@ fn exp_backoff(base: Duration, attempts: u32, cap: Duration) -> Duration {
 
 /// One request/response round-trip on a connection.
 fn call(conn: &mut Box<dyn Conn>, request: &Message) -> io::Result<Message> {
-    write_frame(conn, &request.encode())?;
+    let bytes = request
+        .encode()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    write_frame(conn, &bytes)?;
     let payload = read_frame(conn)?;
     Message::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// One provisioning round-trip: sends the frame, expects `ProvisionAck`, and
+/// returns the encoded payload size (the unit of the re-provisioning cost
+/// accounting).
+fn provision_exchange(conn: &mut Box<dyn Conn>, msg: &Message) -> io::Result<u64> {
+    let bytes = msg
+        .encode()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let sent = bytes.len() as u64;
+    write_frame(conn, &bytes)?;
+    let payload = read_frame(conn)?;
+    match Message::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))? {
+        Message::ProvisionAck { .. } => Ok(sent),
+        Message::Error { message } => Err(io::Error::new(io::ErrorKind::InvalidData, message)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected provision reply: {other:?}"),
+        )),
+    }
 }
 
 /// The version handshake on a fresh connection.

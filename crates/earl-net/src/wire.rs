@@ -45,10 +45,24 @@ impl WireWriter {
         self.put_u64(v.to_bits());
     }
 
+    /// Appends a collection length as a `u32`, erroring when it does not fit —
+    /// the counterpart of every `u32` count field on the wire.  Encoding must
+    /// fail loudly here: an `as u32` truncation would silently emit a
+    /// structurally corrupt frame whose claimed count disagrees with the
+    /// elements that follow, which the peer then misparses.
+    pub fn put_len(&mut self, n: usize) -> Result<(), WireError> {
+        let n = u32::try_from(n)
+            .map_err(|_| WireError(format!("length {n} exceeds the u32 wire limit")))?;
+        self.put_u32(n);
+        Ok(())
+    }
+
     /// Appends a string as a `u32` byte length followed by its UTF-8 bytes.
-    pub fn put_str(&mut self, v: &str) {
-        self.put_u32(v.len() as u32);
+    /// Errors when the string is longer than a `u32` can describe.
+    pub fn put_str(&mut self, v: &str) -> Result<(), WireError> {
+        self.put_len(v.len())?;
         self.buf.extend_from_slice(v.as_bytes());
+        Ok(())
     }
 }
 
@@ -58,14 +72,15 @@ pub struct WireReader<'a> {
     buf: &'a [u8],
 }
 
-/// Error raised when a payload is shorter than its fields claim or carries
-/// invalid UTF-8.
+/// Error raised by the codec: on decode when a payload is shorter than its
+/// fields claim or carries invalid UTF-8, on encode when a collection is too
+/// long for its `u32` count field.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireError(pub String);
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "wire decode error: {}", self.0)
+        write!(f, "wire codec error: {}", self.0)
     }
 }
 
@@ -134,7 +149,7 @@ mod tests {
         w.put_u64(u64::MAX - 1);
         w.put_f64(-0.0);
         w.put_f64(f64::NAN);
-        w.put_str("héllo");
+        w.put_str("héllo").unwrap();
         let bytes = w.into_bytes();
         let mut r = WireReader::new(&bytes);
         assert_eq!(r.get_u8().unwrap(), 7);

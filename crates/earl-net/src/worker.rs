@@ -1,11 +1,12 @@
 //! The worker process: a TCP accept loop serving framed protocol requests.
 //!
 //! A worker is deliberately dumb.  It holds no simulation state, no cost
-//! model, no clock — only datasets the coordinator provisioned it with and the
-//! task registry.  Every frame it receives is a pure-compute request; every
-//! frame it sends is the deterministic result.  All scheduling, charging and
-//! failure arbitration stay with the coordinator, which is what keeps remote
-//! reports bit-identical to in-process ones.
+//! model, no clock — only what the coordinator provisioned it with (raw
+//! record datasets and/or O(√n) section summaries) and the task registry.
+//! Every frame it receives is a pure-compute request; every frame it sends is
+//! the deterministic result.  All scheduling, charging and failure
+//! arbitration stay with the coordinator, which is what keeps remote reports
+//! bit-identical to in-process ones.
 
 use std::collections::HashMap;
 use std::io;
@@ -13,10 +14,24 @@ use std::net::{TcpListener, TcpStream};
 
 use crate::frame::{read_frame, write_frame};
 use crate::messages::{Message, WIRE_VERSION};
-use crate::registry::WireTask;
+use crate::registry::{StoredSections, WireTask};
 
-/// Datasets provisioned on one connection: path → (offset → line).
-type Store = HashMap<String, HashMap<u64, String>>;
+/// Everything provisioned on one connection.
+#[derive(Debug, Default)]
+pub struct Store {
+    /// Raw record datasets: path → (offset → line).  `Provision` appends.
+    records: HashMap<String, HashMap<u64, String>>,
+    /// Section summaries: path → (version, rebuilt summary).
+    /// `ProvisionSections` replaces — a summary is one value, not a stream.
+    sections: HashMap<String, (u64, StoredSections)>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Computes the reply for one request frame.  Pure: no I/O, so it is unit
 /// testable without sockets.
@@ -36,7 +51,7 @@ pub fn handle_message(store: &mut Store, msg: Message) -> Option<Message> {
             }
         }
         Message::Provision { path, records } => {
-            let dataset = store.entry(path).or_default();
+            let dataset = store.records.entry(path).or_default();
             for (offset, line) in records {
                 dataset.insert(offset, line);
             }
@@ -44,6 +59,20 @@ pub fn handle_message(store: &mut Store, msg: Message) -> Option<Message> {
                 records: dataset.len() as u64,
             })
         }
+        Message::ProvisionSections {
+            path,
+            version,
+            summary,
+        } => match StoredSections::from_summary(&summary) {
+            Ok(stored) => {
+                let sections = stored.num_sections() as u64;
+                store.sections.insert(path, (version, stored));
+                Some(Message::ProvisionAck { records: sections })
+            }
+            Err(message) => Some(Message::Error {
+                message: format!("bad section summary for {path:?}: {message}"),
+            }),
+        },
         Message::MapTask {
             name,
             params,
@@ -57,7 +86,7 @@ pub fn handle_message(store: &mut Store, msg: Message) -> Option<Message> {
                     message: format!("unknown task spec {spec:?}"),
                 });
             };
-            let Some(dataset) = store.get(&path) else {
+            let Some(dataset) = store.records.get(&path) else {
                 return Some(Message::Error {
                     message: format!("dataset {path:?} was never provisioned"),
                 });
@@ -94,6 +123,31 @@ pub fn handle_message(store: &mut Store, msg: Message) -> Option<Message> {
                 outputs: task.run_reduce(&groups),
             })
         }
+        Message::SectionTask {
+            name,
+            params,
+            path,
+            seed,
+            b_start,
+            b_count,
+            size,
+        } => {
+            let spec = earl_mapreduce::TaskSpec { name, params };
+            let Some(task) = WireTask::from_spec(&spec) else {
+                return Some(Message::Error {
+                    message: format!("unknown task spec {spec:?}"),
+                });
+            };
+            let Some((_version, sections)) = store.sections.get(&path) else {
+                return Some(Message::Error {
+                    message: format!("sections {path:?} were never provisioned"),
+                });
+            };
+            match task.run_sections(sections, seed, b_start, b_count, size) {
+                Ok(replicates) => Some(Message::SectionOk { replicates }),
+                Err(message) => Some(Message::Error { message }),
+            }
+        }
         Message::Ping => Some(Message::Pong),
         Message::Shutdown => None,
         // Worker-to-coordinator messages arriving at a worker are protocol
@@ -113,7 +167,9 @@ pub fn handle_message(store: &mut Store, msg: Message) -> Option<Message> {
 /// hang-up as an EOF on its reply read and runs its ordinary
 /// revive/redispatch path, exactly as for a worker death.  (Contrast with
 /// [`Message::Error`] replies, which report *semantic* problems over a still
-/// healthy stream.)
+/// healthy stream.)  An unencodable reply is likewise unrecoverable — it
+/// cannot happen for well-formed requests, whose replies are bounded by their
+/// inputs — and closes the connection.
 pub fn serve_connection(mut stream: TcpStream) -> io::Result<()> {
     let mut store = Store::new();
     loop {
@@ -128,7 +184,12 @@ pub fn serve_connection(mut stream: TcpStream) -> io::Result<()> {
             return Ok(());
         };
         match handle_message(&mut store, msg) {
-            Some(reply) => write_frame(&mut stream, &reply.encode())?,
+            Some(reply) => {
+                let Ok(bytes) = reply.encode() else {
+                    return Ok(());
+                };
+                write_frame(&mut stream, &bytes)?
+            }
             None => return Ok(()),
         }
     }
@@ -150,6 +211,7 @@ pub fn run_worker(listener: TcpListener) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use earl_mapreduce::SectionSummary;
 
     #[test]
     fn handshake_checks_the_wire_version() {
@@ -255,6 +317,89 @@ mod tests {
                     path: "/data".into(),
                     offsets: vec![99],
                     num_shards: 1,
+                }
+            ),
+            Some(Message::Error { .. })
+        ));
+    }
+
+    #[test]
+    fn section_provision_replaces_and_section_tasks_evaluate() {
+        let mut store = Store::new();
+        let summary = SectionSummary::Linear {
+            total_items: 4,
+            sections: vec![(2, 1.0, 0.5), (2, 3.0, 0.5)],
+        };
+        let ack = handle_message(
+            &mut store,
+            Message::ProvisionSections {
+                path: "/data#sections".into(),
+                version: 1,
+                summary: summary.clone(),
+            },
+        );
+        assert_eq!(ack, Some(Message::ProvisionAck { records: 2 }));
+
+        // Re-provisioning replaces the summary wholesale (unlike `Provision`,
+        // which appends) — the worker holds exactly one value per path.
+        let replacement = SectionSummary::Linear {
+            total_items: 9,
+            sections: vec![(9, 2.0, 1.0)],
+        };
+        let ack = handle_message(
+            &mut store,
+            Message::ProvisionSections {
+                path: "/data#sections".into(),
+                version: 2,
+                summary: replacement,
+            },
+        );
+        assert_eq!(ack, Some(Message::ProvisionAck { records: 1 }));
+        assert_eq!(store.sections["/data#sections"].0, 2);
+
+        let reply = handle_message(
+            &mut store,
+            Message::SectionTask {
+                name: "mean".into(),
+                params: vec![],
+                path: "/data#sections".into(),
+                seed: 7,
+                b_start: 0,
+                b_count: 8,
+                size: 9,
+            },
+        );
+        let Some(Message::SectionOk { replicates }) = reply else {
+            panic!("expected SectionOk, got {reply:?}");
+        };
+        assert_eq!(replicates.len(), 8);
+
+        // Missing provisions and malformed summaries answer Error.
+        assert!(matches!(
+            handle_message(
+                &mut store,
+                Message::SectionTask {
+                    name: "mean".into(),
+                    params: vec![],
+                    path: "/never".into(),
+                    seed: 7,
+                    b_start: 0,
+                    b_count: 1,
+                    size: 9,
+                }
+            ),
+            Some(Message::Error { .. })
+        ));
+        assert!(matches!(
+            handle_message(
+                &mut store,
+                Message::ProvisionSections {
+                    path: "/bad".into(),
+                    version: 1,
+                    summary: SectionSummary::Linear {
+                        total_items: 10,
+                        sections: vec![(3, 0.0, 1.0)],
+                    },
                 }
             ),
             Some(Message::Error { .. })

@@ -406,6 +406,73 @@ fn rejoin_and_recover_with_real_subprocess_workers() {
     transport.shutdown();
 }
 
+/// The second CI `chaos-net` gate: kill-and-rejoin over the **section path**
+/// (wire v2).  At `pipeline_depth` 1 the driver routes SSABE and AES
+/// replicate batches through `remote_sections`; worker 0 sits behind a
+/// [`ChaosProxy`] that resets its connection at its first job-time call —
+/// which on this schedule is section-path traffic, before any map task.  With
+/// revival disabled the death is reported into the failure machinery, the
+/// batch re-chunks onto the survivor (bit-identical by replicate purity), and
+/// the worker rejoins at a later remote-call boundary — its O(√n) summary
+/// replayed along with the records it missed.
+#[test]
+fn section_path_kill_and_rejoin_recovers_result_bits() {
+    let behind_proxy = spawn_worker();
+    let direct = spawn_worker();
+    let proxy = ChaosProxy::spawn(
+        behind_proxy.addr,
+        0,
+        FaultPlan::scripted([(0, FIRST_JOB_CALL, Fault::Reset)]),
+    )
+    .unwrap();
+    let addrs = vec![proxy.addr(), direct.addr];
+
+    let config = EarlConfig {
+        pipeline_depth: 1,
+        failure_policy: FailurePolicy::retry(),
+        ..EarlConfig::default()
+    };
+    let baseline = run_local(4, 2, &config);
+
+    let dfs = make_dfs(4, 2);
+    let cluster = dfs.cluster().clone();
+    let mut tcp = chaos_config();
+    tcp.redials_per_call = 0;
+    let transport = Arc::new(TcpTransport::connect_with(cluster.clone(), &addrs, tcp).unwrap());
+    transport.provision(&dfs, DATASET).unwrap();
+
+    let report = EarlDriver::new(dfs, config)
+        .with_transport(transport.clone())
+        .run(DATASET, &MeanTask)
+        .unwrap();
+
+    assert_result_bits_equal(&baseline, &report);
+    assert!(
+        transport.section_calls() > 0,
+        "the run must actually have routed replicate batches over the wire"
+    );
+    assert!(
+        transport.rejoins() >= 1,
+        "the proxied worker must die, rejoin and recover"
+    );
+    assert!(
+        transport.reprovision_bytes() > 0,
+        "the rejoin must have replayed the worker's provisioned state"
+    );
+    assert_eq!(transport.live_workers(), 2);
+    let dead_node = transport.worker_nodes()[0];
+    assert!(
+        cluster.failure_events().iter().any(|e| e.node == dead_node),
+        "the death went through report_external_failure"
+    );
+    assert_eq!(
+        cluster.available_nodes().len(),
+        4,
+        "report_recovery returned the node to service"
+    );
+    transport.shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Tentpole (c): call deadlines.
 // ---------------------------------------------------------------------------

@@ -10,7 +10,8 @@
 
 use std::io::{self, Cursor, Read};
 
-use earl_net::{read_frame, write_frame, Message, MAX_FRAME_LEN, WIRE_VERSION};
+use earl_mapreduce::SectionSummary;
+use earl_net::{read_frame, write_frame, Message, WireWriter, MAX_FRAME_LEN, WIRE_VERSION};
 
 /// splitmix64: the repo-standard deterministic generator.
 struct Rng(u64);
@@ -73,6 +74,42 @@ fn corpus() -> Vec<Message> {
         Message::Error {
             message: "worker exploded: §↯ non-ascii too".into(),
         },
+        // Wire v2 section-summary path.  (No NaN here: the corpus round-trips
+        // through `==`; bit-pattern fidelity for non-finite values has its own
+        // dedicated tests.)
+        Message::ProvisionSections {
+            path: "/fuzz/values#sections".into(),
+            version: 7,
+            summary: SectionSummary::Linear {
+                total_items: 5,
+                sections: vec![(3, 1.5, 0.25), (2, -0.0, f64::MIN_POSITIVE)],
+            },
+        },
+        Message::ProvisionSections {
+            path: "/fuzz/pairs#sections".into(),
+            version: 1,
+            summary: SectionSummary::Kary {
+                stride: 2,
+                arity: 3,
+                total_records: 4,
+                sections: vec![
+                    (2, vec![1.0, -2.0, 0.5], vec![0.5, 0.1, 0.4, -0.2, 0.0, 0.3]),
+                    (2, vec![0.0, 0.0, 0.0], vec![0.0; 6]),
+                ],
+            },
+        },
+        Message::SectionTask {
+            name: "quantile".into(),
+            params: vec![0.95],
+            path: "/fuzz/values#sections".into(),
+            seed: u64::MAX,
+            b_start: 32,
+            b_count: 32,
+            size: 4_000,
+        },
+        Message::SectionOk {
+            replicates: vec![1.5, -0.0, f64::INFINITY],
+        },
     ]
 }
 
@@ -99,7 +136,7 @@ fn decode_never_panics_on_arbitrary_payloads() {
 #[test]
 fn every_truncation_of_every_valid_encoding_errors_cleanly() {
     for msg in corpus() {
-        let encoded = msg.encode();
+        let encoded = msg.encode().unwrap();
         assert_eq!(Message::decode(&encoded).unwrap(), msg, "round trip first");
         for cut in 0..encoded.len() {
             assert!(
@@ -114,7 +151,7 @@ fn every_truncation_of_every_valid_encoding_errors_cleanly() {
 #[test]
 fn trailing_bytes_after_a_valid_message_are_rejected() {
     for msg in corpus() {
-        let mut encoded = msg.encode();
+        let mut encoded = msg.encode().unwrap();
         encoded.push(0x00);
         assert!(
             Message::decode(&encoded).is_err(),
@@ -127,7 +164,7 @@ fn trailing_bytes_after_a_valid_message_are_rejected() {
 fn single_byte_mutations_never_panic() {
     let mut rng = Rng(0xEA71_0002);
     for msg in corpus() {
-        let encoded = msg.encode();
+        let encoded = msg.encode().unwrap();
         for i in 0..encoded.len() {
             let mut mutated = encoded.clone();
             mutated[i] ^= (rng.next() % 255 + 1) as u8;
@@ -197,6 +234,36 @@ fn hostile_claimed_counts_error_without_huge_allocations() {
             p.extend_from_slice(b"oops");
             p
         },
+        // PROVISION_SECTIONS (linear) claiming u32::MAX sections.
+        {
+            let mut p = vec![0x0D];
+            p.extend_from_slice(&0u32.to_le_bytes()); // empty path
+            p.extend_from_slice(&1u64.to_le_bytes()); // version
+            p.push(0x00); // linear
+            p.extend_from_slice(&5u64.to_le_bytes()); // total_items
+            p.extend_from_slice(&u32::MAX.to_le_bytes()); // section count
+            p
+        },
+        // PROVISION_SECTIONS (k-ary) with a hostile arity claim: the
+        // per-section size arithmetic must reject it, not overflow.
+        {
+            let mut p = vec![0x0D];
+            p.extend_from_slice(&0u32.to_le_bytes()); // empty path
+            p.extend_from_slice(&1u64.to_le_bytes()); // version
+            p.push(0x01); // kary
+            p.extend_from_slice(&1u32.to_le_bytes()); // stride
+            p.extend_from_slice(&u32::MAX.to_le_bytes()); // arity
+            p.extend_from_slice(&1u64.to_le_bytes()); // total_records
+            p.extend_from_slice(&u32::MAX.to_le_bytes()); // section count
+            p
+        },
+        // SECTION_OK claiming u32::MAX replicates, delivering one.
+        {
+            let mut p = vec![0x0F];
+            p.extend_from_slice(&u32::MAX.to_le_bytes());
+            p.extend_from_slice(&1.0f64.to_le_bytes());
+            p
+        },
     ];
     for payload in hostile {
         assert!(
@@ -204,6 +271,29 @@ fn hostile_claimed_counts_error_without_huge_allocations() {
             "hostile counts in {payload:?} must error"
         );
     }
+}
+
+/// The encode-side counterpart of the hostile-count tests: a collection too
+/// long for its `u32` count field must make encoding *fail*, not silently
+/// truncate the count (`x.len() as u32`) into a frame whose claimed element
+/// count disagrees with the bytes that follow.  Materialising a >4-billion
+/// element collection is not feasible in a test, so the pin is on the
+/// length-writing primitive every `Message::encode` count field goes through.
+#[test]
+#[cfg(target_pointer_width = "64")]
+fn oversized_collection_lengths_error_at_encode_time() {
+    let mut w = WireWriter::new();
+    assert!(w.put_len(u32::MAX as usize).is_ok(), "the boundary fits");
+    let mut w = WireWriter::new();
+    let err = w.put_len(u32::MAX as usize + 1).unwrap_err();
+    assert!(
+        err.to_string().contains("exceeds the u32 wire limit"),
+        "the error names the overflow: {err}"
+    );
+    assert!(
+        w.into_bytes().is_empty(),
+        "nothing may be emitted for an unencodable length"
+    );
 }
 
 #[test]
@@ -238,13 +328,14 @@ fn read_frame_accepts_exactly_max_frame_len_and_rejects_one_more() {
 #[test]
 fn truncated_frames_error_at_every_cut() {
     let mut buf = Vec::new();
-    write_frame(&mut buf, &Message::Ping.encode()).unwrap();
+    write_frame(&mut buf, &Message::Ping.encode().unwrap()).unwrap();
     write_frame(
         &mut buf,
         &Message::Error {
             message: "boom".into(),
         }
-        .encode(),
+        .encode()
+        .unwrap(),
     )
     .unwrap();
     // Cutting the stream anywhere strictly inside the second frame (or the
@@ -306,7 +397,7 @@ fn read_frame_never_panics_on_arbitrary_streams() {
 
     // And a dribbling reader with a *valid* frame reassembles it intact.
     let mut framed = Vec::new();
-    write_frame(&mut framed, &Message::Pong.encode()).unwrap();
+    write_frame(&mut framed, &Message::Pong.encode().unwrap()).unwrap();
     let mut dribble = Dribble {
         inner: Cursor::new(&framed),
     };
