@@ -45,6 +45,7 @@ const FRESH_STREAM: u64 = 16;
 use crate::aes::AccuracyEstimationStage;
 use crate::config::{EarlConfig, SamplingMethod};
 use crate::error::EarlError;
+use crate::progress::{EarlUpdate, Progress};
 use crate::report::EarlReport;
 use crate::task::{EarlTask, TaskEstimator};
 use crate::Result;
@@ -479,6 +480,33 @@ impl EarlDriver {
     /// [`EarlError::AccuracyNotReached`] carrying the partial report when the
     /// bound cannot be met within the iteration budget.
     pub fn run<T: EarlTask>(&self, path: impl Into<DfsPath>, task: &T) -> Result<EarlReport> {
+        self.run_with_progress(path, task, &mut |_| Progress::Continue)
+    }
+
+    /// [`run`](Self::run) with progressive early-result delivery — the paper's
+    /// headline behaviour exposed as an API.  `observer` receives one
+    /// [`EarlUpdate`] snapshot at every iteration boundary (after that
+    /// iteration's Accuracy Estimation Stage, including the final one), built
+    /// from the same AES output the stopping rule reads, so delivery costs no
+    /// extra simulated work.  Returning [`Progress::Cancel`] stops the ladder
+    /// at that boundary: the driver abandons further expansion and returns
+    /// [`EarlError::Cancelled`] carrying the partial report for the committed
+    /// work.  A boundary whose bound is already met (or whose sample is
+    /// exhausted or exact) completes normally even if the observer answers
+    /// `Cancel` — cancellation never discards an already-final result.
+    ///
+    /// Determinism: the observer cannot perturb the run — snapshots are pure
+    /// functions of the ladder, and for any fixed sequence of observer
+    /// verdicts the result (including `sim_time` and byte counters) is
+    /// bit-identical across thread counts and across re-runs.  An observer
+    /// that always answers [`Progress::Continue`] yields exactly
+    /// [`run`](Self::run)'s report.
+    pub fn run_with_progress<T: EarlTask>(
+        &self,
+        path: impl Into<DfsPath>,
+        task: &T,
+        observer: &mut dyn FnMut(EarlUpdate) -> Progress,
+    ) -> Result<EarlReport> {
         self.config.validate()?;
         let path = path.into();
         let status = self.dfs.status(path.clone())?;
@@ -655,6 +683,7 @@ impl EarlDriver {
         let mut last_bootstrap: Option<BootstrapResult> = None;
         let mut exact = false;
         let mut exhausted = false;
+        let mut cancelled = false;
         let mapper = TaskMapper::new(task);
         let reducer = TaskReducer::new(task);
         // Records drawn by the *delivered* schedule: a speculative draw that is
@@ -719,13 +748,35 @@ impl EarlDriver {
                 });
 
                 let cv = bootstrap_result.cv;
+                let update_fraction = (sampler.drawn() as f64 / population as f64).clamp(0.0, 1.0);
+                let snapshot = aes.summarise(
+                    task,
+                    &bootstrap_result,
+                    update_fraction,
+                    values.len() / stride,
+                );
                 last_bootstrap = Some(bootstrap_result);
+                let cancel_requested = observer(EarlUpdate {
+                    iteration: iterations,
+                    estimate: snapshot.corrected_result,
+                    uncorrected: snapshot.result,
+                    cv: snapshot.cv,
+                    ci_low: snapshot.ci.0,
+                    ci_high: snapshot.ci.1,
+                    sample_size: (values.len() / stride) as u64,
+                    sample_fraction: update_fraction,
+                    bootstraps: snapshot.bootstraps,
+                }) == Progress::Cancel;
 
                 if (values.len() / stride) as u64 >= population {
                     exact = true;
                     break;
                 }
                 if aes.meets_bound(cv) || exhausted {
+                    break;
+                }
+                if cancel_requested {
+                    cancelled = true;
                     break;
                 }
                 // Expand and try again.
@@ -873,7 +924,25 @@ impl EarlDriver {
                     error: bootstrap_result.cv,
                     timestamp: cluster.now(),
                 });
+                let update_fraction = (committed_drawn as f64 / population as f64).clamp(0.0, 1.0);
+                let snapshot = aes.summarise(
+                    task,
+                    &bootstrap_result,
+                    update_fraction,
+                    values.len() / stride,
+                );
                 last_bootstrap = Some(bootstrap_result);
+                let cancel_requested = observer(EarlUpdate {
+                    iteration: iterations,
+                    estimate: snapshot.corrected_result,
+                    uncorrected: snapshot.result,
+                    cv: snapshot.cv,
+                    ci_low: snapshot.ci.0,
+                    ci_high: snapshot.ci.1,
+                    sample_size: (values.len() / stride) as u64,
+                    sample_fraction: update_fraction,
+                    bootstraps: snapshot.bootstraps,
+                }) == Progress::Cancel;
 
                 if (values.len() / stride) as u64 >= population {
                     exact = true;
@@ -894,6 +963,16 @@ impl EarlDriver {
                     if let Some(s) = speculative {
                         fault_log.merge(&session.cancel_iteration(s.pending).fault_log);
                     }
+                    break;
+                }
+                if cancel_requested {
+                    // Cooperative cancellation at the iteration boundary: the
+                    // staged speculative iteration is abandoned exactly like a
+                    // met bound would abandon it.
+                    if let Some(s) = speculative {
+                        fault_log.merge(&session.cancel_iteration(s.pending).fault_log);
+                    }
+                    cancelled = true;
                     break;
                 }
                 target_n = next_target;
@@ -942,6 +1021,12 @@ impl EarlDriver {
             resample_work: incremental.as_ref().map(|ib| ib.work()),
             fault_log: (!fault_log.is_empty()).then_some(fault_log),
         };
+        if cancelled {
+            // The observer stopped the ladder: hand back the partial report —
+            // everything committed up to the cancellation boundary — through
+            // the distinct cancellation error.
+            return Err(EarlError::Cancelled(Box::new(report)));
+        }
         if report.meets_bound() {
             Ok(report)
         } else if self.config.failure_policy.is_degrade()
@@ -1252,6 +1337,97 @@ mod tests {
         DatasetBuilder::new(dfs.clone())
             .build("/data", &DatasetSpec::normal(records, 500.0, 400.0, seed))
             .unwrap();
+    }
+
+    /// A configuration that *must* expand through several iterations: the
+    /// fixed starting sample (just above the pilot's 600 records) is far too
+    /// small for σ at this dispersion, so the ladder doubles its way up —
+    /// deterministically, at every thread count.
+    fn multi_iteration_config(depth: usize) -> EarlConfig {
+        EarlConfig {
+            pipeline_depth: depth,
+            sigma: 0.02,
+            bootstraps: Some(60),
+            sample_size: Some(700),
+            ..EarlConfig::default()
+        }
+    }
+
+    #[test]
+    fn noop_observer_is_bit_identical_to_run() {
+        for depth in [1usize, 2] {
+            let make = || {
+                let dfs = dfs(4);
+                build_spread(&dfs, 60_000, 21);
+                EarlDriver::new(dfs, multi_iteration_config(depth))
+            };
+            let plain = make().run("/data", &MeanTask).unwrap();
+            let observed = make()
+                .run_with_progress("/data", &MeanTask, &mut |_| Progress::Continue)
+                .unwrap();
+            assert_eq!(plain, observed, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn progress_updates_are_delivered_each_iteration_and_match_the_report() {
+        for depth in [1usize, 2] {
+            let dfs = dfs(4);
+            build_spread(&dfs, 60_000, 21);
+            let driver = EarlDriver::new(dfs, multi_iteration_config(depth));
+            let mut updates: Vec<EarlUpdate> = Vec::new();
+            let report = driver
+                .run_with_progress("/data", &MeanTask, &mut |u| {
+                    updates.push(u);
+                    Progress::Continue
+                })
+                .unwrap();
+            assert!(
+                updates.len() >= 2,
+                "multi-iteration workload must deliver ≥2 updates, got {} (depth {depth})",
+                updates.len()
+            );
+            assert_eq!(updates.len(), report.iterations, "one update per iteration");
+            for (i, u) in updates.iter().enumerate() {
+                assert_eq!(u.iteration, i + 1, "iterations are 1-based and monotone");
+            }
+            let last = updates.last().unwrap();
+            assert_eq!(last.cv, report.error_estimate);
+            assert_eq!(last.sample_size, report.sample_size);
+            assert_eq!(last.sample_fraction, report.sample_fraction);
+            assert_eq!(last.estimate, report.result);
+            assert_eq!(last.ci_low, report.ci_low);
+            assert_eq!(last.ci_high, report.ci_high);
+        }
+    }
+
+    #[test]
+    fn cancel_at_the_first_boundary_returns_the_partial_report() {
+        for depth in [1usize, 2] {
+            let dfs = dfs(4);
+            build_spread(&dfs, 60_000, 21);
+            let driver = EarlDriver::new(dfs, multi_iteration_config(depth));
+            let mut seen = 0usize;
+            let err = driver
+                .run_with_progress("/data", &MeanTask, &mut |_| {
+                    seen += 1;
+                    Progress::Cancel
+                })
+                .unwrap_err();
+            assert_eq!(seen, 1, "cancel stops the ladder at the first boundary");
+            match err {
+                EarlError::Cancelled(report) => {
+                    assert_eq!(report.iterations, 1, "depth {depth}");
+                    assert!(!report.exact);
+                    assert!(report.sample_size > 0);
+                    assert!(
+                        report.error_estimate > 0.02,
+                        "a run worth cancelling had not met its bound yet"
+                    );
+                }
+                other => panic!("expected Cancelled, got {other:?}"),
+            }
+        }
     }
 
     #[test]

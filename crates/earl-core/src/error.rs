@@ -32,6 +32,10 @@ pub enum EarlError {
     /// observed weights sum to zero — so the run cannot report a number for
     /// it (a NaN result would otherwise slip through the bound predicate).
     DegenerateGroupWeight(String),
+    /// The run's progress observer requested cancellation at an iteration
+    /// boundary; the partial report at the moment of cancellation is attached
+    /// (every progressive update delivered so far remains valid).
+    Cancelled(Box<crate::report::EarlReport>),
 }
 
 impl fmt::Display for EarlError {
@@ -61,6 +65,13 @@ impl fmt::Display for EarlError {
             EarlError::DegenerateGroupWeight(key) => write!(
                 f,
                 "group `{key}` has a degenerate (all-zero) weight sum — its weighted statistic is undefined"
+            ),
+            EarlError::Cancelled(report) => write!(
+                f,
+                "run cancelled after iteration {} (cv {:.4} with a {:.1}% sample)",
+                report.iterations,
+                report.error_estimate,
+                report.sample_fraction * 100.0
             ),
         }
     }

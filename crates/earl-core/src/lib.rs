@@ -52,6 +52,7 @@ pub mod driver;
 pub mod error;
 pub mod fault;
 pub mod grouped;
+pub mod progress;
 pub mod report;
 pub mod task;
 pub mod tasks;
@@ -61,6 +62,7 @@ pub use config::{EarlConfig, SamplingMethod};
 pub use driver::EarlDriver;
 pub use error::EarlError;
 pub use grouped::{GroupReport, GroupedAggregate, GroupedEarlReport, GroupedStat};
+pub use progress::{EarlUpdate, Progress};
 pub use report::EarlReport;
 pub use task::{EarlTask, TaskEstimator};
 

@@ -1,0 +1,90 @@
+//! Progressive early-result delivery: per-iteration snapshots and cooperative
+//! cancellation.
+//!
+//! The paper's whole point is *early* results — the error bound tightens
+//! iteration by iteration, and a caller should see each improvement as it
+//! lands rather than only the final report.  [`EarlUpdate`] is one such
+//! snapshot, built from the same Accuracy Estimation Stage output the driver
+//! uses for its stopping decision (so it costs no extra simulated work), and
+//! handed to the observer passed to
+//! [`EarlDriver::run_with_progress`](crate::EarlDriver::run_with_progress) at
+//! every iteration boundary.
+//!
+//! The observer's return value doubles as the cancellation point: returning
+//! [`Progress::Cancel`] stops the ladder *at that boundary* — never
+//! mid-iteration — and the driver returns
+//! [`EarlError::Cancelled`](crate::EarlError::Cancelled) carrying the partial
+//! report for the work already committed.  Because both the snapshots and the
+//! cancellation point are pure functions of the iteration ladder, a run that
+//! records its observer's verdicts can be *replayed* bit-identically — the
+//! contract `earl-serve`'s deterministic replay harness is built on.
+
+use serde::{Deserialize, Serialize};
+
+/// One progressive result snapshot, pushed to the observer after each EARL
+/// iteration's Accuracy Estimation Stage.  Fields mirror the corresponding
+/// [`EarlReport`](crate::EarlReport) fields at that point in the ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EarlUpdate {
+    /// 1-based index of the iteration this snapshot summarises.
+    pub iteration: usize,
+    /// Current estimate, bias-corrected for the sampling fraction.
+    pub estimate: f64,
+    /// Current estimate without the finite-population correction.
+    pub uncorrected: f64,
+    /// Coefficient of variation achieved so far (the paper's error measure).
+    pub cv: f64,
+    /// Lower bound of the 95% bootstrap percentile confidence interval.
+    pub ci_low: f64,
+    /// Upper bound of the 95% bootstrap percentile confidence interval.
+    pub ci_high: f64,
+    /// Records sampled so far.
+    pub sample_size: u64,
+    /// Fraction of the population committed so far, in `[0, 1]`.
+    pub sample_fraction: f64,
+    /// Bootstrap replicates behind this snapshot's error estimate.
+    pub bootstraps: usize,
+}
+
+/// An observer's verdict at an iteration boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Progress {
+    /// Keep iterating (the default — plain [`EarlDriver::run`] behaves as if
+    /// every boundary answered this).
+    ///
+    /// [`EarlDriver::run`]: crate::EarlDriver::run
+    #[default]
+    Continue,
+    /// Stop at this boundary: the driver abandons further expansion and
+    /// returns [`EarlError::Cancelled`](crate::EarlError::Cancelled) with the
+    /// partial report.  Snapshots whose bound is already met, or whose sample
+    /// is exhausted, complete normally — cancellation never discards a result
+    /// that is already final.
+    Cancel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_defaults_to_continue() {
+        assert_eq!(Progress::default(), Progress::Continue);
+    }
+
+    #[test]
+    fn update_is_comparable_and_clonable() {
+        let update = EarlUpdate {
+            iteration: 2,
+            estimate: 500.25,
+            uncorrected: 499.75,
+            cv: 0.031,
+            ci_low: 480.0,
+            ci_high: 520.0,
+            sample_size: 4096,
+            sample_fraction: 0.041,
+            bootstraps: 100,
+        };
+        assert_eq!(update.clone(), update);
+    }
+}

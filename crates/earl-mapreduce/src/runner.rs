@@ -925,10 +925,14 @@ where
 /// survival check (the armed path decides survival by arbitration after the
 /// barrier).  The task's pairs are routed straight into `shard_buffers` with
 /// the same partitioner arithmetic the reduce-side shuffle uses; only the
-/// per-task counters are returned.  Returns `None` (emitting nothing) when
-/// the task's input blocks were already lost and the failure policy tolerates
-/// dropping them; a task that errors has emitted nothing either (emission
-/// happens only after a successful read).
+/// per-task counters are returned.  Without a combiner the `MapContext` sinks
+/// each pair into the shard buckets *as it is emitted* — no per-task
+/// all-pairs vector ever exists; a combiner still buffers, since it must see
+/// the task's full output before routing.  Returns `None` when the task's
+/// input blocks were already lost and the failure policy tolerates dropping
+/// them; on that abort (and on a hard error) the buffers are rolled back to
+/// their pre-task checkpoint, so an aborted task leaves them bit-identical to
+/// never having run at all.
 #[allow(clippy::too_many_arguments)]
 fn run_map_task_streaming<M, C>(
     dfs: &Dfs,
@@ -950,7 +954,13 @@ where
         cluster.record_task_on(node)?;
     }
 
-    let mut ctx = MapContext::new();
+    let direct = combiner.is_none();
+    let checkpoint = shard_buffers.checkpoint();
+    let mut ctx = if direct {
+        MapContext::sharded(std::mem::take(shard_buffers), num_shards)
+    } else {
+        MapContext::new()
+    };
     let mut records = 0u64;
     let read_result: Result<()> = (|| {
         match input {
@@ -970,35 +980,47 @@ where
         }
         Ok(())
     })();
-    match read_result {
-        Ok(()) => {}
-        Err(MrError::Dfs(earl_dfs::DfsError::BlockUnavailable(_)))
-            if conf.failure_policy.is_degrade() =>
-        {
-            return Ok(None);
+    if let Err(e) = read_result {
+        if direct {
+            // Hand the buffers back and discard this task's partial emissions:
+            // an aborted task must leave the shared buffers bit-identical to
+            // never having run.
+            let (mut buffers, _) = ctx.into_shards();
+            buffers.rollback(&checkpoint);
+            *shard_buffers = buffers;
         }
-        Err(e) => return Err(e),
+        return match e {
+            MrError::Dfs(earl_dfs::DfsError::BlockUnavailable(_))
+                if conf.failure_policy.is_degrade() =>
+            {
+                Ok(None)
+            }
+            e => Err(e),
+        };
     }
 
     cluster.charge_map_cpu(records, mapper.is_heavy());
 
     let mut task_counters = Counters::new();
     task_counters.add(builtin::MAP_INPUT_RECORDS, records);
-    let (pairs, emitted) = ctx.into_parts();
-    task_counters.merge(&emitted);
-    let pairs = match combiner {
-        Some(cmb) => {
-            let combined = apply_combiner(pairs, cmb);
-            task_counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
-            combined
+    if direct {
+        // Map-side shuffle already happened inside `emit`; just reclaim the
+        // buffers and fold in the task's counters.
+        let (buffers, emitted) = ctx.into_shards();
+        task_counters.merge(&emitted);
+        *shard_buffers = buffers;
+    } else {
+        let (pairs, emitted) = ctx.into_parts();
+        task_counters.merge(&emitted);
+        let cmb = combiner.expect("buffered path implies a combiner");
+        let combined = apply_combiner(pairs, cmb);
+        task_counters.add(builtin::COMBINE_OUTPUT_RECORDS, combined.len() as u64);
+        // Route the combined pairs to their reduce shards now — these pairs
+        // are never concatenated with any other task's.
+        for (key, value) in combined {
+            let shard = HashPartitioner.partition(&key, num_shards);
+            shard_buffers.emit(shard, (key, value));
         }
-        None => pairs,
-    };
-    // Map-side shuffle: route each pair to its reduce shard now — these pairs
-    // are never concatenated with any other task's.
-    for (key, value) in pairs {
-        let shard = HashPartitioner.partition(&key, num_shards);
-        shard_buffers.emit(shard, (key, value));
     }
     Ok(Some(task_counters))
 }

@@ -13,7 +13,10 @@
 
 use std::hash::Hash as StdHash;
 
+use earl_parallel::ShardBuffers;
+
 use crate::counters::{builtin, Counters};
+use crate::partition::{HashPartitioner, Partitioner};
 
 /// Marker bounds for intermediate keys.
 pub trait MrKey: Ord + StdHash + Clone + Send + Sync + 'static {}
@@ -23,26 +26,71 @@ impl<T: Ord + StdHash + Clone + Send + Sync + 'static> MrKey for T {}
 pub trait MrValue: Clone + Send + Sync + 'static {}
 impl<T: Clone + Send + Sync + 'static> MrValue for T {}
 
+/// Where a [`MapContext`]'s emitted pairs go.
+///
+/// `Buffered` collects them into one vector — needed when a combiner must see
+/// the task's full output before routing, and by callers that consume pairs
+/// directly ([`MapContext::into_parts`]).  `Sharded` routes every pair into
+/// per-reduce-shard buckets *as it is emitted*, via the same
+/// [`HashPartitioner`] the shuffle uses — the streaming-shuffle hot path,
+/// which never materialises a per-task all-pairs vector at all.
+#[derive(Debug)]
+enum Sink<K, V> {
+    Buffered(Vec<(K, V)>),
+    Sharded {
+        buffers: ShardBuffers<(K, V)>,
+        num_shards: usize,
+    },
+}
+
 /// Context handed to map functions for emitting intermediate pairs.
 #[derive(Debug)]
 pub struct MapContext<K, V> {
-    emitted: Vec<(K, V)>,
+    sink: Sink<K, V>,
     counters: Counters,
+    emitted: usize,
 }
 
 impl<K: MrKey, V: MrValue> MapContext<K, V> {
-    /// Creates an empty context.
+    /// Creates an empty buffering context: emitted pairs are collected for
+    /// [`into_parts`](Self::into_parts).
     pub fn new() -> Self {
         Self {
-            emitted: Vec::new(),
+            sink: Sink::Buffered(Vec::new()),
             counters: Counters::new(),
+            emitted: 0,
+        }
+    }
+
+    /// Creates a context that routes every emitted pair straight into
+    /// `buffers`' per-shard buckets (hash-partitioned over `num_shards`),
+    /// taking temporary ownership of the buffers.  Reclaim them — along with
+    /// the counters — via [`into_shards`](Self::into_shards).
+    pub fn sharded(buffers: ShardBuffers<(K, V)>, num_shards: usize) -> Self {
+        Self {
+            sink: Sink::Sharded {
+                buffers,
+                num_shards,
+            },
+            counters: Counters::new(),
+            emitted: 0,
         }
     }
 
     /// Emits one intermediate `(key, value)` pair.
     pub fn emit(&mut self, key: K, value: V) {
         self.counters.increment(builtin::MAP_OUTPUT_RECORDS);
-        self.emitted.push((key, value));
+        self.emitted += 1;
+        match &mut self.sink {
+            Sink::Buffered(pairs) => pairs.push((key, value)),
+            Sink::Sharded {
+                buffers,
+                num_shards,
+            } => {
+                let shard = HashPartitioner.partition(&key, *num_shards);
+                buffers.emit(shard, (key, value));
+            }
+        }
     }
 
     /// Increments a user counter.
@@ -52,12 +100,36 @@ impl<K: MrKey, V: MrValue> MapContext<K, V> {
 
     /// Number of pairs emitted so far.
     pub fn emitted_len(&self) -> usize {
-        self.emitted.len()
+        self.emitted
     }
 
-    /// Consumes the context, returning emitted pairs and counters.
+    /// Consumes a buffering context, returning emitted pairs and counters.
+    ///
+    /// # Panics
+    /// If the context was built with [`sharded`](Self::sharded) — its pairs
+    /// already live in the shard buffers; use [`into_shards`](Self::into_shards).
     pub fn into_parts(self) -> (Vec<(K, V)>, Counters) {
-        (self.emitted, self.counters)
+        match self.sink {
+            Sink::Buffered(pairs) => (pairs, self.counters),
+            Sink::Sharded { .. } => {
+                panic!("into_parts on a sharded MapContext; use into_shards")
+            }
+        }
+    }
+
+    /// Consumes a sharded context, returning the shard buffers (with this
+    /// task's pairs routed in) and counters.
+    ///
+    /// # Panics
+    /// If the context was built with [`new`](Self::new); use
+    /// [`into_parts`](Self::into_parts).
+    pub fn into_shards(self) -> (ShardBuffers<(K, V)>, Counters) {
+        match self.sink {
+            Sink::Sharded { buffers, .. } => (buffers, self.counters),
+            Sink::Buffered(_) => {
+                panic!("into_shards on a buffering MapContext; use into_parts")
+            }
+        }
     }
 }
 
@@ -207,6 +279,39 @@ mod tests {
         assert_eq!(pairs.len(), 3);
         assert_eq!(counters.get(builtin::MAP_OUTPUT_RECORDS), 3);
         assert_eq!(counters.get("custom"), 2);
+    }
+
+    #[test]
+    fn sharded_map_context_routes_like_the_partitioner() {
+        let mut ctx = MapContext::sharded(ShardBuffers::new(4), 4);
+        Tokenizer.map(0, "a b a c", &mut ctx);
+        assert_eq!(ctx.emitted_len(), 4);
+        let (buffers, counters) = ctx.into_shards();
+        assert_eq!(counters.get(builtin::MAP_OUTPUT_RECORDS), 4);
+        assert_eq!(buffers.emitted(), 4);
+        // The sink must use the exact same routing as the shuffle's
+        // post-hoc partitioning pass did.
+        let merged = earl_parallel::ShardedBuffers::from_workers(4, vec![buffers])
+            .merge(1, |shard, pairs: Vec<(String, u64)>| (shard, pairs));
+        for (shard, pairs) in merged {
+            for (key, _) in pairs {
+                assert_eq!(HashPartitioner.partition(&key, 4), shard);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "use into_shards")]
+    fn into_parts_refuses_a_sharded_context() {
+        let ctx = MapContext::<String, u64>::sharded(ShardBuffers::new(2), 2);
+        let _ = ctx.into_parts();
+    }
+
+    #[test]
+    #[should_panic(expected = "use into_parts")]
+    fn into_shards_refuses_a_buffering_context() {
+        let ctx = MapContext::<String, u64>::new();
+        let _ = ctx.into_shards();
     }
 
     #[test]

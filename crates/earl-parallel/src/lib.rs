@@ -16,6 +16,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod pool;
+
+pub use pool::WorkerPool;
+
 /// Resolves a requested worker count: `None` means all available cores.
 pub fn resolve_parallelism(requested: Option<usize>) -> usize {
     match requested {
@@ -195,6 +199,52 @@ impl<I> ShardBuffers<I> {
     pub fn emitted(&self) -> u64 {
         self.emitted
     }
+
+    /// Captures the current fill level of every bucket so a later
+    /// [`rollback`](Self::rollback) can discard everything emitted after this
+    /// point.  This is what lets a map task emit *directly* into a shared
+    /// worker buffer set and still abort cleanly (e.g. `Degrade` on a lost
+    /// split): checkpoint before the task, roll back on abort, and the buffers
+    /// are bit-identical to never having run the task at all.
+    pub fn checkpoint(&self) -> ShardCheckpoint {
+        ShardCheckpoint {
+            lens: self.buckets.iter().map(Vec::len).collect(),
+            emitted: self.emitted,
+        }
+    }
+
+    /// Discards every item emitted after `checkpoint` was taken, restoring the
+    /// bucket contents and the emitted count exactly.  The checkpoint must
+    /// come from this buffer set (same shard count) and nothing may have
+    /// removed items since it was taken.
+    pub fn rollback(&mut self, checkpoint: &ShardCheckpoint) {
+        assert_eq!(
+            checkpoint.lens.len(),
+            self.buckets.len(),
+            "checkpoint must come from a buffer set with the same shard count"
+        );
+        for (bucket, &len) in self.buckets.iter_mut().zip(&checkpoint.lens) {
+            debug_assert!(bucket.len() >= len, "items were removed since checkpoint");
+            bucket.truncate(len);
+        }
+        self.emitted = checkpoint.emitted;
+    }
+}
+
+impl<I> Default for ShardBuffers<I> {
+    /// A single-shard empty buffer set — the placeholder `std::mem::take`
+    /// leaves behind while a task temporarily owns the real buffers.
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+/// A point-in-time fill marker of a [`ShardBuffers`], produced by
+/// [`ShardBuffers::checkpoint`] and consumed by [`ShardBuffers::rollback`].
+#[derive(Debug, Clone)]
+pub struct ShardCheckpoint {
+    lens: Vec<usize>,
+    emitted: u64,
 }
 
 /// The chunk-major output of a [`sharded_emit`] map phase: one
@@ -619,6 +669,45 @@ mod tests {
     #[should_panic(expected = "same shard count")]
     fn from_workers_rejects_mismatched_shard_counts() {
         let _ = ShardedBuffers::from_workers(3, vec![ShardBuffers::<u8>::new(2)]);
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_buffers_exactly() {
+        let mut buffers = ShardBuffers::new(3);
+        buffers.emit(0, 10u32);
+        buffers.emit(2, 20);
+        let checkpoint = buffers.checkpoint();
+        buffers.emit(0, 30);
+        buffers.emit(1, 40);
+        buffers.emit(2, 50);
+        assert_eq!(buffers.emitted(), 5);
+        buffers.rollback(&checkpoint);
+        assert_eq!(buffers.emitted(), 2, "emitted count restored");
+        let merged = ShardedBuffers::from_workers(3, vec![buffers]).merge(1, |s, v| (s, v));
+        assert_eq!(
+            merged,
+            vec![(0, vec![10]), (1, vec![]), (2, vec![20])],
+            "bucket contents restored exactly"
+        );
+    }
+
+    #[test]
+    fn rollback_at_empty_checkpoint_empties_the_buffers() {
+        let mut buffers = ShardBuffers::<u8>::new(2);
+        let checkpoint = buffers.checkpoint();
+        buffers.emit(0, 1);
+        buffers.emit(1, 2);
+        buffers.rollback(&checkpoint);
+        assert_eq!(buffers.emitted(), 0);
+        let merged = ShardedBuffers::from_workers(2, vec![buffers]).merge(1, |s, v| (s, v));
+        assert_eq!(merged, vec![(0, Vec::<u8>::new()), (1, Vec::new())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same shard count")]
+    fn rollback_rejects_foreign_checkpoint() {
+        let other = ShardBuffers::<u8>::new(2).checkpoint();
+        ShardBuffers::<u8>::new(3).rollback(&other);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! A small fixed pool of OS threads for long-lived services.
+//!
+//! The fork-join primitives in this crate spawn scoped threads per call —
+//! right for a single job, wrong for a resident service that runs *many*
+//! jobs over its lifetime.  [`WorkerPool`] keeps a fixed set of named threads
+//! alive and feeds them boxed closures over a channel, so concurrent jobs
+//! share the same executor capacity instead of each spawning their own.
+//!
+//! The pool is deliberately minimal: FIFO dispatch, no work stealing, no
+//! result plumbing (jobs communicate through their own channels).  Fairness
+//! and priorities live in the caller's admission queue — by the time a job
+//! reaches the pool it has already been scheduled.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of long-lived worker threads executing boxed closures in FIFO
+/// submission order.  Dropping the pool closes the queue and joins every
+/// worker after it finishes its in-flight job.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<PoolJob>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<PoolJob>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("earl-pool-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn pool worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads — the pool's concurrent job capacity.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job.  It runs on the first idle worker; with every worker
+    /// busy it waits in the channel (the caller's admission queue is expected
+    /// to bound how many jobs are in flight).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is alive until dropped")
+            .send(Box::new(job))
+            .expect("pool workers outlive the sender");
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<PoolJob>>) {
+    loop {
+        // Hold the lock only while receiving: a panicking job must not poison
+        // the queue for its sibling workers (the guard is dropped before the
+        // job runs, and a panic then kills only this worker's thread).
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => break, // sender dropped: pool is shutting down
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn executes_every_job_across_all_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let done_tx = done_tx.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                done_tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            done_rx.recv().expect("job completed");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_joins_after_in_flight_jobs_finish() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..10 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop: queue closes, workers drain and join
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_at_least_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(7u8).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

@@ -1,0 +1,133 @@
+//! Deterministically rebuildable datasets.
+//!
+//! The engine's whole determinism contract hangs on the simulated cluster:
+//! every charge lands on one cluster's clock, so two jobs sharing a cluster
+//! would interleave their `sim_time`/byte accounting and neither report could
+//! ever be bit-identical to a solo run.  The service therefore gives **every
+//! job its own cluster**, rebuilt deterministically from a [`DatasetDef`]:
+//! same node count, same cost model, same generated records — so the solo
+//! baseline, the service run, and a later replay all see exactly the same
+//! simulated world, no matter how many jobs run concurrently around them.
+
+use std::collections::BTreeMap;
+
+use earl_cluster::{Cluster, CostModel};
+use earl_dfs::{Dfs, DfsConfig};
+use earl_workload::{DatasetBuilder, DatasetSpec};
+
+use crate::request::ServeError;
+
+/// A recipe for one dataset and the simulated cluster that holds it — enough
+/// to rebuild both bit-identically on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetDef {
+    /// Simulated cluster size.
+    pub nodes: u32,
+    /// DFS layout knobs (block size, replication, IO chunk).
+    pub dfs: DfsConfig,
+    /// Path the dataset is written under.
+    pub path: String,
+    /// The generated data: distribution, record count, layout, seed.
+    pub spec: DatasetSpec,
+}
+
+impl DatasetDef {
+    /// A definition with the workspace's usual test-scale DFS layout (64 KiB
+    /// blocks, 2 replicas).
+    pub fn new(nodes: u32, path: impl Into<String>, spec: DatasetSpec) -> Self {
+        Self {
+            nodes,
+            dfs: DfsConfig {
+                block_size: 1 << 16,
+                replication: 2,
+                io_chunk: 128,
+            },
+            path: path.into(),
+            spec,
+        }
+    }
+
+    /// Builds a fresh cluster + DFS and writes the dataset into it.  Every
+    /// call produces an identical simulated world: the cluster starts at
+    /// sim-time zero with the 2012 commodity cost model, and the dataset's
+    /// records are a pure function of its spec (including its seed).
+    pub fn build(&self) -> Result<Dfs, ServeError> {
+        let cluster = Cluster::builder()
+            .nodes(self.nodes)
+            .cost_model(CostModel::commodity_2012())
+            .build()
+            .map_err(|e| ServeError::Provision(format!("cluster: {e}")))?;
+        let dfs = Dfs::new(cluster, self.dfs.clone())
+            .map_err(|e| ServeError::Provision(format!("dfs: {e}")))?;
+        DatasetBuilder::new(dfs.clone())
+            .build(self.path.as_str(), &self.spec)
+            .map_err(|e| ServeError::Provision(format!("dataset {}: {e}", self.path)))?;
+        Ok(dfs)
+    }
+}
+
+/// The service's name → [`DatasetDef`] catalogue.  Requests address datasets
+/// by name; the service (and the replay harness) rebuild them on demand.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetRegistry {
+    defs: BTreeMap<String, DatasetDef>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `def` under `name`, replacing any previous definition.
+    pub fn register(&mut self, name: impl Into<String>, def: DatasetDef) -> &mut Self {
+        self.defs.insert(name.into(), def);
+        self
+    }
+
+    /// Looks a definition up by name.
+    pub fn get(&self, name: &str) -> Option<&DatasetDef> {
+        self.defs.get(name)
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuilds_are_bit_identical() {
+        let def = DatasetDef::new(3, "/data", DatasetSpec::normal(2_000, 500.0, 100.0, 7));
+        let a = def.build().unwrap();
+        let b = def.build().unwrap();
+        let ra = a.export_records("/data").unwrap();
+        let rb = b.export_records("/data").unwrap();
+        assert_eq!(ra, rb, "same def must rebuild the same records");
+        assert_eq!(
+            a.cluster().elapsed(),
+            b.cluster().elapsed(),
+            "fresh clusters start at the same sim-time"
+        );
+    }
+
+    #[test]
+    fn registry_round_trips_defs() {
+        let mut registry = DatasetRegistry::new();
+        assert!(registry.is_empty());
+        let def = DatasetDef::new(2, "/d", DatasetSpec::normal(100, 1.0, 0.1, 1));
+        registry.register("small", def.clone());
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.get("small"), Some(&def));
+        assert_eq!(registry.get("missing"), None);
+    }
+}

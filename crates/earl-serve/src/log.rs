@@ -1,0 +1,121 @@
+//! Deterministic per-job message logs.
+//!
+//! A job's interaction with the service reduces to a short, replayable
+//! stream: it was admitted, it started, and at each iteration boundary its
+//! observer answered *continue* or *cancel*.  [`JobLog`] records exactly that
+//! stream, keyed by `(seed, job_id)`.  Everything else about the run —
+//! sampling, bootstraps, simulated charges — is a pure function of the
+//! request's config and the dataset definition, so the log is sufficient for
+//! [`replay`](crate::replay) to re-drive the job standalone and reproduce its
+//! report bit-for-bit.  Wall-clock concurrency can change which boundary a
+//! cancel lands on; the log pins the boundary it *did* land on, which is what
+//! makes the replay deterministic after the fact.
+
+use crate::request::{JobId, JobRequest};
+
+/// One event in a job's recorded message stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// The job entered the admission queue.
+    Admitted,
+    /// The supervisor dispatched the job to the worker pool.
+    Started,
+    /// The observer let iteration `iteration` continue.
+    Granted {
+        /// 1-based iteration whose boundary granted continuation.
+        iteration: usize,
+    },
+    /// The observer cancelled at iteration `iteration`'s boundary.
+    Cancelled {
+        /// 1-based iteration whose boundary cancelled the ladder.
+        iteration: usize,
+    },
+    /// The job was shed from the queue (deadline expired) without running.
+    Shed,
+    /// The run returned (successfully or not) and the outcome was delivered.
+    Finished,
+}
+
+/// The recorded message stream of one job, sufficient for deterministic
+/// standalone replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobLog {
+    /// The job's identity within its service instance.
+    pub job_id: JobId,
+    /// The engine seed the job ran with (copied from the request's config);
+    /// `(seed, job_id)` keys the log.
+    pub seed: u64,
+    /// The full request, so replay needs no side channel.
+    pub request: JobRequest,
+    /// Position in the service's global start order (1-based): the
+    /// observable fairness record — which job got a pool slot when.
+    pub started_seq: u64,
+    /// The event stream, in order.
+    pub events: Vec<JobEvent>,
+}
+
+impl JobLog {
+    /// The observer verdict recorded for `iteration`, if the run reached that
+    /// boundary: `Some(false)` for granted, `Some(true)` for cancelled.
+    pub fn verdict_at(&self, iteration: usize) -> Option<bool> {
+        self.events.iter().find_map(|e| match e {
+            JobEvent::Granted { iteration: i } if *i == iteration => Some(false),
+            JobEvent::Cancelled { iteration: i } if *i == iteration => Some(true),
+            _ => None,
+        })
+    }
+
+    /// Number of iteration boundaries the run reached.
+    pub fn iterations_observed(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Granted { .. } | JobEvent::Cancelled { .. }))
+            .count()
+    }
+
+    /// Whether the job was shed from the queue without running.
+    pub fn was_shed(&self) -> bool {
+        self.events.contains(&JobEvent::Shed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earl_core::EarlConfig;
+    use earl_mapreduce::TaskSpec;
+
+    fn log(events: Vec<JobEvent>) -> JobLog {
+        JobLog {
+            job_id: JobId(1),
+            seed: 0xEA21,
+            request: JobRequest::new(TaskSpec::named("mean"), "data", EarlConfig::default()),
+            started_seq: 1,
+            events,
+        }
+    }
+
+    #[test]
+    fn verdicts_index_by_iteration() {
+        let log = log(vec![
+            JobEvent::Admitted,
+            JobEvent::Started,
+            JobEvent::Granted { iteration: 1 },
+            JobEvent::Granted { iteration: 2 },
+            JobEvent::Cancelled { iteration: 3 },
+            JobEvent::Finished,
+        ]);
+        assert_eq!(log.verdict_at(1), Some(false));
+        assert_eq!(log.verdict_at(3), Some(true));
+        assert_eq!(log.verdict_at(4), None);
+        assert_eq!(log.iterations_observed(), 3);
+        assert!(!log.was_shed());
+    }
+
+    #[test]
+    fn shed_jobs_record_no_iterations() {
+        let log = log(vec![JobEvent::Admitted, JobEvent::Shed]);
+        assert!(log.was_shed());
+        assert_eq!(log.iterations_observed(), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The bounded, fair admission queue.
+//!
+//! Pure data structure, no threads: the supervisor loop owns one of these
+//! behind the service mutex and calls it at scheduling points.  Keeping the
+//! policy thread-free is what makes fairness unit-testable — every property
+//! (priority order, aging, shedding, overflow) is asserted on the structure
+//! directly, with time passed in explicitly.
+//!
+//! Selection policy, applied at every [`pop_next`](AdmissionQueue::pop_next):
+//!
+//! 1. **Aging first** — the oldest entry that has been passed over at least
+//!    `starvation_limit` times is taken unconditionally.  Every selection
+//!    increments every other waiting entry's passed-over count, so under a
+//!    hostile stream of high-priority arrivals a low-priority job is forced
+//!    to the front after a bounded number of selections: no livelock.
+//! 2. Otherwise **highest priority**, FIFO within a priority level.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crate::request::Priority;
+
+#[derive(Debug)]
+struct Entry<T> {
+    priority: Priority,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+    passed_over: u32,
+    payload: T,
+}
+
+/// A bounded priority queue with aging and deadline shedding.  `T` is the
+/// caller's per-job payload (the service stores its dispatch state; tests
+/// store markers).
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    entries: VecDeque<Entry<T>>,
+    capacity: usize,
+    starvation_limit: u32,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue holding at most `capacity` waiting jobs (clamped to ≥ 1); an
+    /// entry passed over `starvation_limit` times (clamped to ≥ 1) is forced
+    /// to the front regardless of priority.
+    pub fn new(capacity: usize, starvation_limit: u32) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            starvation_limit: starvation_limit.max(1),
+        }
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is at capacity (the next push would be rejected).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Maximum number of waiting jobs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a job, or returns the payload untouched when the queue is
+    /// full — the caller turns that into an explicit rejection, which is the
+    /// whole backpressure story: bounded memory, no silent queueing.
+    pub fn try_push(
+        &mut self,
+        priority: Priority,
+        deadline: Option<Duration>,
+        now: Instant,
+        payload: T,
+    ) -> Result<(), T> {
+        if self.is_full() {
+            return Err(payload);
+        }
+        self.entries.push_back(Entry {
+            priority,
+            enqueued: now,
+            deadline,
+            passed_over: 0,
+            payload,
+        });
+        Ok(())
+    }
+
+    /// Removes every entry whose deadline has expired, returning the payloads
+    /// with how long each waited.  Called at scheduling points, before
+    /// selection, so a doomed job never takes a pool slot.
+    pub fn shed_expired(&mut self, now: Instant) -> Vec<(T, Duration)> {
+        let mut shed = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.entries.len());
+        for entry in self.entries.drain(..) {
+            let waited = now.saturating_duration_since(entry.enqueued);
+            match entry.deadline {
+                Some(deadline) if waited >= deadline => shed.push((entry.payload, waited)),
+                _ => keep.push_back(entry),
+            }
+        }
+        self.entries = keep;
+        shed
+    }
+
+    /// Selects the next job per the aging-then-priority policy, incrementing
+    /// every remaining entry's passed-over count.
+    pub fn pop_next(&mut self) -> Option<T> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let starved = self
+            .entries
+            .iter()
+            .position(|e| e.passed_over >= self.starvation_limit);
+        let index = starved.unwrap_or_else(|| {
+            let best = self
+                .entries
+                .iter()
+                .map(|e| e.priority)
+                .max()
+                .expect("non-empty queue");
+            self.entries
+                .iter()
+                .position(|e| e.priority == best)
+                .expect("a best-priority entry exists")
+        });
+        let entry = self.entries.remove(index).expect("index in bounds");
+        for waiting in &mut self.entries {
+            waiting.passed_over += 1;
+        }
+        Some(entry.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue(capacity: usize, starvation_limit: u32) -> AdmissionQueue<&'static str> {
+        AdmissionQueue::new(capacity, starvation_limit)
+    }
+
+    #[test]
+    fn overflow_returns_the_payload_instead_of_growing() {
+        let mut q = queue(2, 4);
+        let now = Instant::now();
+        assert!(q.try_push(Priority::Normal, None, now, "a").is_ok());
+        assert!(q.try_push(Priority::Normal, None, now, "b").is_ok());
+        assert!(q.is_full());
+        assert_eq!(q.try_push(Priority::High, None, now, "c"), Err("c"));
+        assert_eq!(q.len(), 2, "a rejected push changes nothing");
+    }
+
+    #[test]
+    fn higher_priority_drains_first_fifo_within_level() {
+        let mut q = queue(8, 100);
+        let now = Instant::now();
+        q.try_push(Priority::Low, None, now, "low-1").unwrap();
+        q.try_push(Priority::Normal, None, now, "norm-1").unwrap();
+        q.try_push(Priority::High, None, now, "high-1").unwrap();
+        q.try_push(Priority::High, None, now, "high-2").unwrap();
+        q.try_push(Priority::Normal, None, now, "norm-2").unwrap();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_next()).collect();
+        assert_eq!(order, vec!["high-1", "high-2", "norm-1", "norm-2", "low-1"]);
+    }
+
+    #[test]
+    fn aging_forces_a_starved_low_priority_job_to_run() {
+        let mut q = AdmissionQueue::new(64, 3);
+        let now = Instant::now();
+        q.try_push(Priority::Low, None, now, "starved".to_owned())
+            .unwrap();
+        // A hostile high-priority stream: one new high entry per selection.
+        let mut served = Vec::new();
+        for i in 0..10 {
+            q.try_push(Priority::High, None, now, format!("high-{i}"))
+                .unwrap();
+            served.push(q.pop_next().unwrap());
+        }
+        assert!(
+            served.contains(&"starved".to_owned()),
+            "low-priority job must run within the aging bound: {served:?}"
+        );
+        // It ran as soon as its passed-over count hit the limit.
+        assert_eq!(served[3], "starved");
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_with_their_wait_time() {
+        let mut q = queue(8, 4);
+        let start = Instant::now();
+        q.try_push(
+            Priority::Normal,
+            Some(Duration::from_millis(5)),
+            start,
+            "doomed",
+        )
+        .unwrap();
+        q.try_push(Priority::Normal, None, start, "patient")
+            .unwrap();
+        q.try_push(
+            Priority::Normal,
+            Some(Duration::from_secs(3600)),
+            start,
+            "far",
+        )
+        .unwrap();
+        let later = start + Duration::from_millis(50);
+        let shed = q.shed_expired(later);
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].0, "doomed");
+        assert!(shed[0].1 >= Duration::from_millis(50));
+        assert_eq!(q.len(), 2, "unexpired entries stay");
+        assert_eq!(q.pop_next(), Some("patient"));
+    }
+
+    #[test]
+    fn zero_deadline_is_shed_immediately() {
+        let mut q = queue(4, 4);
+        let now = Instant::now();
+        q.try_push(Priority::High, Some(Duration::ZERO), now, "zero")
+            .unwrap();
+        let shed = q.shed_expired(now);
+        assert_eq!(shed.len(), 1, "a zero deadline never runs");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_and_limit_are_clamped() {
+        let mut q: AdmissionQueue<u8> = AdmissionQueue::new(0, 0);
+        assert_eq!(q.capacity(), 1);
+        let now = Instant::now();
+        q.try_push(Priority::Low, None, now, 1).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.pop_next(), Some(1));
+        assert_eq!(q.pop_next(), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Resolving a wire-portable [`TaskSpec`] to a concrete EARL task.
+//!
+//! The service accepts task *specs* (name + numeric parameters), not trait
+//! objects — the same registry vocabulary `earl-net` workers resolve, so a
+//! request that can run locally can also be shipped to a remote pool
+//! unchanged.  `EarlTask` is not object-safe (generic evaluation methods), so
+//! dispatch is a match over this closed enum rather than a `dyn` call.
+
+use earl_core::tasks::{
+    CountTask, MaxTask, MeanTask, MedianTask, MinTask, QuantileTask, StdDevTask, SumTask,
+    VarianceTask,
+};
+use earl_core::{EarlDriver, EarlReport, EarlUpdate, Progress};
+use earl_mapreduce::TaskSpec;
+
+/// A resolved task: every statistic the service (and the `earl-net` worker
+/// registry) knows how to run from a [`TaskSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeTask {
+    /// Arithmetic mean.
+    Mean,
+    /// Sum, corrected to population scale.
+    Sum,
+    /// Record count, corrected to population scale.
+    Count,
+    /// Variance.
+    Variance,
+    /// Standard deviation.
+    StdDev,
+    /// Median.
+    Median,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Arbitrary quantile at the given level.
+    Quantile(f64),
+}
+
+impl ServeTask {
+    /// Resolves a spec against the registry; `None` if the name or parameter
+    /// arity matches no known task.  Mirrors the `earl-net` worker registry
+    /// exactly, so "admissible here" and "runnable remotely" never diverge.
+    pub fn from_spec(spec: &TaskSpec) -> Option<Self> {
+        match (spec.name.as_str(), spec.params.as_slice()) {
+            ("mean", []) => Some(ServeTask::Mean),
+            ("sum", []) => Some(ServeTask::Sum),
+            ("count", []) => Some(ServeTask::Count),
+            ("variance", []) => Some(ServeTask::Variance),
+            ("stddev", []) => Some(ServeTask::StdDev),
+            ("median", []) => Some(ServeTask::Median),
+            ("min", []) => Some(ServeTask::Min),
+            ("max", []) => Some(ServeTask::Max),
+            ("quantile", [q]) => Some(ServeTask::Quantile(*q)),
+            _ => None,
+        }
+    }
+
+    /// Runs the task through `driver` with progressive delivery: `observer`
+    /// sees one [`EarlUpdate`] per iteration and may cancel at any boundary.
+    pub fn run_with_progress(
+        &self,
+        driver: &EarlDriver,
+        path: &str,
+        observer: &mut dyn FnMut(EarlUpdate) -> Progress,
+    ) -> earl_core::Result<EarlReport> {
+        match self {
+            ServeTask::Mean => driver.run_with_progress(path, &MeanTask, observer),
+            ServeTask::Sum => driver.run_with_progress(path, &SumTask, observer),
+            ServeTask::Count => driver.run_with_progress(path, &CountTask, observer),
+            ServeTask::Variance => driver.run_with_progress(path, &VarianceTask, observer),
+            ServeTask::StdDev => driver.run_with_progress(path, &StdDevTask, observer),
+            ServeTask::Median => driver.run_with_progress(path, &MedianTask, observer),
+            ServeTask::Min => driver.run_with_progress(path, &MinTask, observer),
+            ServeTask::Max => driver.run_with_progress(path, &MaxTask, observer),
+            ServeTask::Quantile(q) => {
+                driver.run_with_progress(path, &QuantileTask::new(*q), observer)
+            }
+        }
+    }
+
+    /// Runs the task solo, without an observer — the baseline the service's
+    /// bit-identity contract compares against.
+    pub fn run(&self, driver: &EarlDriver, path: &str) -> earl_core::Result<EarlReport> {
+        self.run_with_progress(driver, path, &mut |_| Progress::Continue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_the_full_registry_vocabulary() {
+        for name in [
+            "mean", "sum", "count", "variance", "stddev", "median", "min", "max",
+        ] {
+            assert!(
+                ServeTask::from_spec(&TaskSpec::named(name)).is_some(),
+                "{name} must resolve"
+            );
+        }
+        let quantile = TaskSpec {
+            name: "quantile".into(),
+            params: vec![0.9],
+        };
+        assert_eq!(
+            ServeTask::from_spec(&quantile),
+            Some(ServeTask::Quantile(0.9))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_names_and_wrong_arity() {
+        assert_eq!(ServeTask::from_spec(&TaskSpec::named("mode")), None);
+        let mean_with_param = TaskSpec {
+            name: "mean".into(),
+            params: vec![1.0],
+        };
+        assert_eq!(ServeTask::from_spec(&mean_with_param), None);
+        assert_eq!(ServeTask::from_spec(&TaskSpec::named("quantile")), None);
+    }
+}

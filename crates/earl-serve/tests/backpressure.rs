@@ -1,0 +1,179 @@
+//! Backpressure, fairness, and deadline-shedding properties of the admission
+//! layer, exercised through the real service (paused dispatch stages the
+//! backlogs deterministically).
+
+use std::time::Duration;
+
+use earl_core::EarlConfig;
+use earl_mapreduce::TaskSpec;
+use earl_serve::{
+    DatasetDef, DatasetRegistry, EarlService, JobRequest, Priority, ServeError, ServiceConfig,
+};
+use earl_workload::DatasetSpec;
+
+fn registry() -> DatasetRegistry {
+    let mut registry = DatasetRegistry::new();
+    registry.register(
+        "small",
+        DatasetDef::new(3, "/data", DatasetSpec::normal(2_000, 500.0, 100.0, 7)),
+    );
+    registry
+}
+
+fn request() -> JobRequest {
+    JobRequest::new(TaskSpec::named("mean"), "small", EarlConfig::default())
+}
+
+/// A full queue rejects with an advisory retry delay — it never grows, never
+/// blocks, never deadlocks.  After capacity frees up, admission works again.
+#[test]
+fn overflow_is_an_explicit_rejection_not_a_hang() {
+    let config = ServiceConfig {
+        queue_capacity: 3,
+        start_paused: true,
+        ..ServiceConfig::default()
+    };
+    let service = EarlService::new(registry(), config);
+    let handles: Vec<_> = (0..3).map(|_| service.admit(request()).unwrap()).collect();
+    assert_eq!(service.queue_depth(), 3);
+
+    match service.admit(request()) {
+        Err(ServeError::Rejected {
+            queue_depth,
+            retry_after,
+        }) => {
+            assert_eq!(queue_depth, 3);
+            assert!(retry_after > Duration::ZERO);
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    assert_eq!(service.queue_depth(), 3, "rejection must not enqueue");
+
+    // Draining the backlog re-opens admission.
+    service.resume();
+    for handle in handles {
+        handle.wait().unwrap().result.expect("job should converge");
+    }
+    let late = service.admit(request()).expect("capacity freed");
+    late.wait().unwrap().result.expect("late job converges");
+}
+
+/// With dispatch paused, stack a low-priority job behind a wall of
+/// high-priority ones: priority drains high first, but the aging guard forces
+/// the low-priority job to start within `starvation_limit` selections — its
+/// `started_seq` proves it didn't wait for the whole wall.
+#[test]
+fn a_starved_low_priority_job_eventually_runs() {
+    let config = ServiceConfig {
+        max_running: 1,
+        starvation_limit: 2,
+        start_paused: true,
+        ..ServiceConfig::default()
+    };
+    let service = EarlService::new(registry(), config);
+    let low = service
+        .admit(request().with_priority(Priority::Low))
+        .unwrap();
+    let highs: Vec<_> = (0..6)
+        .map(|_| {
+            service
+                .admit(request().with_priority(Priority::High))
+                .unwrap()
+        })
+        .collect();
+    service.resume();
+
+    let low_seq = low.wait().unwrap().log.started_seq;
+    let high_seqs: Vec<u64> = highs
+        .into_iter()
+        .map(|h| h.wait().unwrap().log.started_seq)
+        .collect();
+    assert!(low_seq >= 1, "low-priority job must have started");
+    assert!(
+        low_seq <= 1 + 2 + 1,
+        "aging must bound the low job's start position, got {low_seq} (highs: {high_seqs:?})"
+    );
+    assert!(
+        high_seqs.iter().any(|&s| s > low_seq),
+        "some high-priority work should start after the aged low job"
+    );
+}
+
+/// A queued job whose deadline expires is shed with a distinct error before
+/// ever taking a pool slot; jobs without deadlines are untouched.
+#[test]
+fn deadline_expired_jobs_are_shed_with_a_distinct_error() {
+    let config = ServiceConfig {
+        max_running: 1,
+        start_paused: true,
+        ..ServiceConfig::default()
+    };
+    let service = EarlService::new(registry(), config);
+    let doomed = service
+        .admit(request().with_deadline(Duration::ZERO))
+        .unwrap();
+    let patient = service.admit(request()).unwrap();
+
+    let outcome = doomed.wait().unwrap();
+    match outcome.result {
+        Err(ServeError::DeadlineExpired { .. }) => {}
+        other => panic!("expected deadline shed, got {other:?}"),
+    }
+    assert!(outcome.log.was_shed());
+    assert_eq!(outcome.log.started_seq, 0, "shed jobs never start");
+    assert_eq!(outcome.log.iterations_observed(), 0);
+
+    service.resume();
+    patient
+        .wait()
+        .unwrap()
+        .result
+        .expect("deadline-free job runs normally");
+}
+
+/// Hammer admission from several threads against a tiny queue: every submit
+/// gets a definite answer (handle or rejection), all admitted jobs converge,
+/// and the service stays healthy throughout.
+#[test]
+fn concurrent_admission_under_overflow_never_wedges() {
+    let config = ServiceConfig {
+        max_running: 2,
+        queue_capacity: 4,
+        ..ServiceConfig::default()
+    };
+    let service = std::sync::Arc::new(EarlService::new(registry(), config));
+    let mut submitters = Vec::new();
+    for _ in 0..4 {
+        let service = std::sync::Arc::clone(&service);
+        submitters.push(std::thread::spawn(move || {
+            let mut converged = 0usize;
+            let mut rejected = 0usize;
+            for _ in 0..6 {
+                match service.admit(request()) {
+                    Ok(handle) => {
+                        handle
+                            .wait()
+                            .unwrap()
+                            .result
+                            .expect("admitted job converges");
+                        converged += 1;
+                    }
+                    Err(ServeError::Rejected { .. }) => rejected += 1,
+                    Err(other) => panic!("unexpected admit error: {other}"),
+                }
+            }
+            (converged, rejected)
+        }));
+    }
+    let mut total_converged = 0;
+    for submitter in submitters {
+        let (converged, _rejected) = submitter.join().unwrap();
+        total_converged += converged;
+    }
+    assert!(total_converged >= 4, "most submissions should get through");
+    assert_eq!(
+        service.queue_depth(),
+        0,
+        "queue drains when the dust settles"
+    );
+}

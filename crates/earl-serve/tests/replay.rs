@@ -1,0 +1,142 @@
+//! Deterministic-replay harness: record a job's message stream through the
+//! resident service, replay it standalone, and require the whole
+//! `EarlReport` — estimate, CIs, `sim_time`, byte counters, fault counters —
+//! to be bit-identical to both the service's report and a solo
+//! `EarlDriver::run`, at every `EARL_THREADS` parallelism level.
+
+use earl_core::tasks::MeanTask;
+use earl_core::{EarlConfig, EarlDriver, EarlReport};
+use earl_mapreduce::TaskSpec;
+use earl_serve::{
+    replay, DatasetDef, DatasetRegistry, EarlService, JobRequest, ServeError, ServiceConfig,
+};
+use earl_workload::DatasetSpec;
+
+/// Parallelism levels under test.  `EARL_THREADS=n` (the CI determinism
+/// matrix) pins a single level; the default covers the ends of the range.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("EARL_THREADS") {
+        Ok(v) => vec![v.parse().expect("EARL_THREADS must be a thread count")],
+        Err(_) => vec![2, 8],
+    }
+}
+
+/// A workload whose accuracy ladder needs several iterations: 60k records at
+/// cv ≈ 0.8, with the first sample just above the pilot so the ladder expands
+/// 700 → 1400 → 2800 before σ = 2% is met.
+fn multi_iteration_config(threads: usize) -> EarlConfig {
+    EarlConfig {
+        parallelism: Some(threads),
+        sigma: 0.02,
+        bootstraps: Some(60),
+        sample_size: Some(700),
+        ..EarlConfig::default()
+    }
+}
+
+fn spread_def() -> DatasetDef {
+    DatasetDef::new(4, "/spread", DatasetSpec::normal(60_000, 500.0, 400.0, 21))
+}
+
+fn registry() -> DatasetRegistry {
+    let mut registry = DatasetRegistry::new();
+    registry.register("spread", spread_def());
+    registry
+}
+
+fn solo_run(config: EarlConfig) -> EarlReport {
+    let dfs = spread_def().build().unwrap();
+    let driver = EarlDriver::new(dfs, config);
+    driver.run("/spread", &MeanTask).unwrap()
+}
+
+/// The CI `--exact` gate: service run, solo run, and standalone replay of the
+/// recorded log all produce the same bits.
+#[test]
+fn replay_is_bit_identical_to_service_and_solo() {
+    for threads in thread_counts() {
+        let config = multi_iteration_config(threads);
+        let registry = registry();
+        let service = EarlService::new(registry.clone(), ServiceConfig::default());
+        let handle = service
+            .admit(JobRequest::new(TaskSpec::named("mean"), "spread", config))
+            .unwrap();
+        let outcome = handle.wait().unwrap();
+        let report = outcome.result.expect("job should converge");
+        assert!(
+            report.iterations >= 2,
+            "workload must exercise the ladder ({} threads)",
+            threads
+        );
+
+        let solo = solo_run(config);
+        assert_eq!(report, solo, "service vs solo ({threads} threads)");
+
+        let replayed = replay(&outcome.log, &registry).unwrap();
+        assert_eq!(replayed, report, "replay vs service ({threads} threads)");
+    }
+}
+
+/// A job cancelled mid-ladder replays to the same partial report: the log
+/// pins the boundary the cancel landed on, and the replay's scripted observer
+/// cancels at exactly that boundary.
+#[test]
+fn replaying_a_cancelled_log_reproduces_the_partial_report() {
+    for threads in thread_counts() {
+        let config = multi_iteration_config(threads);
+        let registry = registry();
+        let service = EarlService::new(registry.clone(), ServiceConfig::default());
+        let handle = service
+            .admit(JobRequest::new(TaskSpec::named("mean"), "spread", config))
+            .unwrap();
+        // Cancel as soon as the first progressive update arrives; the flag is
+        // observed at whichever boundary the run reaches next.
+        let first = handle.next_update().expect("at least one update");
+        assert_eq!(first.iteration, 1);
+        handle.cancel();
+        let outcome = handle.wait().unwrap();
+
+        match &outcome.result {
+            Err(ServeError::Cancelled(partial)) => {
+                assert!(partial.iterations >= 1);
+                let replayed = replay(&outcome.log, &registry);
+                match replayed {
+                    Err(ServeError::Cancelled(replayed_partial)) => {
+                        assert_eq!(
+                            replayed_partial, *partial,
+                            "cancelled replay vs service ({threads} threads)"
+                        );
+                    }
+                    other => panic!("replay must also cancel, got {other:?}"),
+                }
+            }
+            // The cancel can race past the final boundary, in which case the
+            // run completed; the log then replays to the full report.
+            Ok(report) => {
+                let replayed = replay(&outcome.log, &registry).unwrap();
+                assert_eq!(replayed, *report);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}
+
+/// Replay needs nothing but the log and the registry — a log recorded in one
+/// service instance replays identically without that instance.
+#[test]
+fn replay_is_standalone_and_repeatable() {
+    let config = multi_iteration_config(2);
+    let registry = registry();
+    let log = {
+        let service = EarlService::new(registry.clone(), ServiceConfig::default());
+        let handle = service
+            .admit(JobRequest::new(TaskSpec::named("mean"), "spread", config))
+            .unwrap();
+        handle.wait().unwrap().log
+        // service dropped here
+    };
+    let first = replay(&log, &registry).unwrap();
+    let second = replay(&log, &registry).unwrap();
+    assert_eq!(first, second, "replay must be repeatable");
+    assert_eq!(first, solo_run(config), "replay must match solo");
+}

@@ -56,6 +56,16 @@
 //! workers rejoin with re-provisioning (`net::TcpTransportConfig` holds the
 //! deadline/retry/rejoin knobs, `net::chaos` the deterministic fault
 //! injection used to prove all of this).
+//!
+//! ## Running as a resident service
+//!
+//! [`serve`] (`earl-serve`) keeps the engine resident: concurrent jobs enter
+//! a bounded admission queue (priority + aging fairness, deadline shedding,
+//! explicit rejection under overflow), run on a shared worker pool, and
+//! stream one progressive `EarlUpdate` per iteration to their subscriber —
+//! with each job's message stream recorded for bit-identical deterministic
+//! replay.  See `docs/ARCHITECTURE.md` and the README's "Running the
+//! resident service" section.
 
 pub use earl_bootstrap as bootstrap;
 pub use earl_cluster as cluster;
@@ -64,4 +74,5 @@ pub use earl_dfs as dfs;
 pub use earl_mapreduce as mapreduce;
 pub use earl_net as net;
 pub use earl_sampling as sampling;
+pub use earl_serve as serve;
 pub use earl_workload as workload;
